@@ -1,0 +1,222 @@
+//! 3-D heat equation: `u_t = alpha * laplace(u)`.
+//!
+//! The simplest PDE with the Burgers kernel's communication structure (a
+//! 7-point stencil with one ghost layer) but none of its coefficient cost:
+//! 17 flops per cell and no exponentials. Against the Burgers problem it
+//! isolates how the schedulers behave when kernels are *cheap* relative to
+//! the MPE's task management — the regime where the asynchronous
+//! scheduler's poll granularity hurts most.
+//!
+//! Exact solution used for initial/boundary conditions and validation: the
+//! decaying Fourier mode
+//! `u = exp(-3 alpha pi^2 t) sin(pi x) sin(pi y) sin(pi z)`.
+
+use sw_athread::{cells, idx3, CpeTileKernel, Dims3, TileCostModel, TileCtx};
+use sw_math::simd::F64x4;
+use uintah_core::grid::{Level, Region};
+use uintah_core::task::Application;
+use uintah_core::var::CcVar;
+
+/// Flops per cell of the heat kernel: 3 second differences (4 each) +
+/// combine (3) + update (2).
+pub const HEAT_FLOPS_PER_CELL: u64 = 17;
+
+/// The heat application.
+pub struct HeatApp {
+    /// Thermal diffusivity.
+    pub alpha: f64,
+    scalar: HeatScalarKernel,
+    simd: HeatSimdKernel,
+    cost: HeatCost,
+}
+
+/// Exact decaying-mode solution.
+pub fn heat_exact(alpha: f64, x: f64, y: f64, z: f64, t: f64) -> f64 {
+    use std::f64::consts::PI;
+    (-3.0 * alpha * PI * PI * t).exp() * (PI * x).sin() * (PI * y).sin() * (PI * z).sin()
+}
+
+/// Per-tile cost model: 17 flops/cell, no exponentials.
+#[derive(Clone, Copy, Debug)]
+pub struct HeatCost;
+
+impl TileCostModel for HeatCost {
+    fn ghost(&self) -> usize {
+        1
+    }
+    fn flops(&self, d: Dims3) -> u64 {
+        HEAT_FLOPS_PER_CELL * cells(d)
+    }
+    fn exp_flops(&self, _d: Dims3) -> u64 {
+        0
+    }
+    fn exp_calls(&self, _d: Dims3) -> u64 {
+        0
+    }
+}
+
+/// Geometry constants shared by both kernels.
+#[derive(Clone, Copy, Debug)]
+struct HeatGeom {
+    alpha: f64,
+    ix2: f64,
+    iy2: f64,
+    iz2: f64,
+}
+
+/// Scalar 7-point heat kernel.
+pub struct HeatScalarKernel {
+    g: HeatGeom,
+}
+
+impl CpeTileKernel for HeatScalarKernel {
+    fn ghost(&self) -> usize {
+        1
+    }
+    fn compute(&self, ctx: &mut TileCtx<'_>) {
+        let dt = ctx.params[1];
+        let g = self.g;
+        let d = ctx.tile.dims;
+        for z in 0..d.2 {
+            for y in 0..d.1 {
+                for x in 0..d.0 {
+                    let u = ctx.in_at(x, y, z, 0, 0, 0);
+                    let d2x = ((-2.0 * u + ctx.in_at(x, y, z, -1, 0, 0))
+                        + ctx.in_at(x, y, z, 1, 0, 0))
+                        * g.ix2;
+                    let d2y = ((-2.0 * u + ctx.in_at(x, y, z, 0, -1, 0))
+                        + ctx.in_at(x, y, z, 0, 1, 0))
+                        * g.iy2;
+                    let d2z = ((-2.0 * u + ctx.in_at(x, y, z, 0, 0, -1))
+                        + ctx.in_at(x, y, z, 0, 0, 1))
+                        * g.iz2;
+                    ctx.out_at(x, y, z, u + dt * (g.alpha * ((d2x + d2y) + d2z)));
+                }
+            }
+        }
+    }
+}
+
+/// Hand-vectorized heat kernel: the same unfused lane sequence as the
+/// scalar kernel, so results are bit-identical (tested).
+pub struct HeatSimdKernel {
+    g: HeatGeom,
+}
+
+impl CpeTileKernel for HeatSimdKernel {
+    fn ghost(&self) -> usize {
+        1
+    }
+    fn compute(&self, ctx: &mut TileCtx<'_>) {
+        let dt = ctx.params[1];
+        let g = self.g;
+        let d = ctx.tile.dims;
+        let gd = ctx.tile.ghosted_dims(1);
+        let vm2 = F64x4::splat(-2.0);
+        let (vix2, viy2, viz2) = (
+            F64x4::splat(g.ix2),
+            F64x4::splat(g.iy2),
+            F64x4::splat(g.iz2),
+        );
+        let valpha = F64x4::splat(g.alpha);
+        let vdt = F64x4::splat(dt);
+        for z in 0..d.2 {
+            for y in 0..d.1 {
+                let row = idx3(gd, 0, y + 1, z + 1);
+                let row_ym = idx3(gd, 0, y, z + 1);
+                let row_yp = idx3(gd, 0, y + 2, z + 1);
+                let row_zm = idx3(gd, 0, y + 1, z);
+                let row_zp = idx3(gd, 0, y + 1, z + 2);
+                let mut x = 0;
+                while x + 4 <= d.0 {
+                    let u = F64x4::loadu(&ctx.ldm_in[row + x + 1..]);
+                    let uxm = F64x4::loadu(&ctx.ldm_in[row + x..]);
+                    let uxp = F64x4::loadu(&ctx.ldm_in[row + x + 2..]);
+                    let uym = F64x4::loadu(&ctx.ldm_in[row_ym + x + 1..]);
+                    let uyp = F64x4::loadu(&ctx.ldm_in[row_yp + x + 1..]);
+                    let uzm = F64x4::loadu(&ctx.ldm_in[row_zm + x + 1..]);
+                    let uzp = F64x4::loadu(&ctx.ldm_in[row_zp + x + 1..]);
+                    let d2x = (vm2.vmad(u, uxm) + uxp).vmuld(vix2);
+                    let d2y = (vm2.vmad(u, uym) + uyp).vmuld(viy2);
+                    let d2z = (vm2.vmad(u, uzm) + uzp).vmuld(viz2);
+                    let unew = vdt.vmad(valpha.vmuld((d2x + d2y) + d2z), u);
+                    let out = idx3(d, x, y, z);
+                    unew.storeu(&mut ctx.ldm_out[out..]);
+                    x += 4;
+                }
+                while x < d.0 {
+                    let u = ctx.in_at(x, y, z, 0, 0, 0);
+                    let d2x = ((-2.0 * u + ctx.in_at(x, y, z, -1, 0, 0))
+                        + ctx.in_at(x, y, z, 1, 0, 0))
+                        * g.ix2;
+                    let d2y = ((-2.0 * u + ctx.in_at(x, y, z, 0, -1, 0))
+                        + ctx.in_at(x, y, z, 0, 1, 0))
+                        * g.iy2;
+                    let d2z = ((-2.0 * u + ctx.in_at(x, y, z, 0, 0, -1))
+                        + ctx.in_at(x, y, z, 0, 0, 1))
+                        * g.iz2;
+                    ctx.out_at(x, y, z, u + dt * (g.alpha * ((d2x + d2y) + d2z)));
+                    x += 1;
+                }
+            }
+        }
+    }
+}
+
+impl HeatApp {
+    /// Build for a level's spacing.
+    pub fn new(level: &Level, alpha: f64) -> Self {
+        let (dx, dy, dz) = level.spacing();
+        let g = HeatGeom {
+            alpha,
+            ix2: 1.0 / (dx * dx),
+            iy2: 1.0 / (dy * dy),
+            iz2: 1.0 / (dz * dz),
+        };
+        HeatApp {
+            alpha,
+            scalar: HeatScalarKernel { g },
+            simd: HeatSimdKernel { g },
+            cost: HeatCost,
+        }
+    }
+}
+
+impl Application for HeatApp {
+    fn name(&self) -> &str {
+        "heat3d"
+    }
+    fn ghost(&self) -> i64 {
+        1
+    }
+    fn cost(&self) -> &dyn TileCostModel {
+        &self.cost
+    }
+    fn kernel(&self, simd: bool) -> &dyn CpeTileKernel {
+        if simd {
+            &self.simd
+        } else {
+            &self.scalar
+        }
+    }
+    fn bc_flops_per_cell(&self) -> u64 {
+        // One exp + three sines (modeled like exp) + products.
+        4 * sw_math::EXP_FAST_FLOPS + 8
+    }
+    fn stable_dt(&self, level: &Level) -> f64 {
+        let (dx, dy, dz) = level.spacing();
+        0.4 / (2.0 * self.alpha * (1.0 / (dx * dx) + 1.0 / (dy * dy) + 1.0 / (dz * dz)))
+    }
+    fn init(&self, level: &Level, region: &Region, var: &mut CcVar) {
+        for c in region.iter() {
+            let (x, y, z) = level.cell_center(c);
+            var.set(c, heat_exact(self.alpha, x, y, z, 0.0));
+        }
+    }
+    fn fill_boundary(&self, level: &Level, region: &Region, var: &mut CcVar, t: f64) {
+        for c in region.iter() {
+            let (x, y, z) = level.cell_center(c);
+            var.set(c, heat_exact(self.alpha, x, y, z, t));
+        }
+    }
+}

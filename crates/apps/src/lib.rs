@@ -1,0 +1,28 @@
+//! Additional simulation components on the `uintah-core` runtime.
+//!
+//! The paper's Burgers problem was built to be "equivalent to many of the
+//! equations in the Uintah applications in terms of its computational
+//! structure" (§III). These components span the structural family around
+//! it, all on the unchanged runtime and schedulers:
+//!
+//! * [`heat`] — pure diffusion: the same 7-point stencil with 17 flops/cell
+//!   and no coefficient cost (cheap-kernel regime);
+//! * [`advection`] — pure transport: upwind differences, 10 flops/cell, a
+//!   hyperbolic CFL limit;
+//! * [`split_heat`] — dimensionally-split diffusion: a **three-stage** task
+//!   graph (one dependent task per spatial direction per step, with ghost
+//!   exchange between stages).
+//!
+//! Each provides an exact solution used for initial conditions, Dirichlet
+//! boundary fills, and convergence validation, exactly as the Burgers
+//! component does.
+
+#![warn(missing_docs)]
+
+pub mod advection;
+pub mod heat;
+pub mod split_heat;
+
+pub use advection::{advection_exact, AdvectionApp, ADVECTION_FLOPS_PER_CELL};
+pub use heat::{heat_exact, HeatApp, HEAT_FLOPS_PER_CELL};
+pub use split_heat::{SplitHeatApp, SPLIT_STAGE_FLOPS_PER_CELL};

@@ -1,0 +1,156 @@
+//! Simulator-engine benchmarks: event queue, network model, MPI progression,
+//! and the LDM allocator — the substrates every virtual-time measurement
+//! rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sw_mpi::MpiWorld;
+use sw_sim::{EventQueue, LdmAlloc, Machine, MachineConfig, MachineEvent, SimDur, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("push_pop_1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                // Scatter times to exercise heap reordering.
+                q.schedule_at(SimTime((i * 7919) % 65536 + q.now().0), i);
+            }
+            let mut acc = 0;
+            while let Some((_, e)) = q.pop() {
+                acc += e;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("machine_net_send_100", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::sw26010(), 4);
+            for i in 0..100 {
+                m.net_send(i % 4, (i + 1) % 4, 65536, SimTime::ZERO, i as u64);
+            }
+            while m.pop().is_some() {}
+            m.stats().messages
+        })
+    });
+}
+
+fn bench_mpi_roundtrip(c: &mut Criterion) {
+    c.bench_function("mpi_rendezvous_roundtrip", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::sw26010(), 2);
+            let mut w = MpiWorld::new(2);
+            let s = w.isend(&mut m, 0, 1, 7, 1_000_000, None, SimTime::ZERO);
+            let r = w.irecv(1, 0, 7);
+            // Drive to completion: alternate event draining and progress.
+            loop {
+                while let Some((_, ev)) = m.pop() {
+                    if let MachineEvent::NetDeliver { token, .. } = ev {
+                        w.on_wire(token);
+                    }
+                }
+                let now = m.now();
+                let acted = w.progress(0, &mut m, now) + w.progress(1, &mut m, now);
+                if w.recv_done(r) && w.send_done(s) {
+                    break;
+                }
+                assert!(acted > 0 || m.peek_time().is_some(), "stuck");
+            }
+            black_box(r)
+        })
+    });
+}
+
+fn bench_ldm(c: &mut Criterion) {
+    c.bench_function("ldm_tile_cycle", |b| {
+        b.iter(|| {
+            let mut ldm = LdmAlloc::new(64 * 1024);
+            for _ in 0..8 {
+                ldm.reset();
+                let a = ldm.alloc_f64(black_box(3240)).unwrap();
+                let o = ldm.alloc_f64(black_box(2048)).unwrap();
+                black_box((a.len(), o.len()));
+            }
+            ldm.high_water()
+        })
+    });
+}
+
+fn bench_mpe_clock(c: &mut Criterion) {
+    c.bench_function("mpe_consume_1000", |b| {
+        b.iter(|| {
+            let mut m = sw_sim::MpeClock::new();
+            let mut t = SimTime::ZERO;
+            for _ in 0..1000 {
+                t = m.consume(t, SimDur(100));
+            }
+            t
+        })
+    });
+}
+
+fn bench_balancers(c: &mut Criterion) {
+    use uintah_core::grid::iv;
+    use uintah_core::{Level, LoadBalancer};
+    let level = Level::new(iv(16, 16, 512), iv(8, 8, 2));
+    let mut g = c.benchmark_group("load_balancer");
+    for (name, lb) in [
+        ("block", LoadBalancer::Block),
+        ("morton", LoadBalancer::Morton),
+        ("hilbert", LoadBalancer::Hilbert),
+    ] {
+        g.bench_function(name, |b| b.iter(|| lb.assign(black_box(&level), 16)));
+    }
+    g.finish();
+}
+
+fn bench_kernel_timing(c: &mut Criterion) {
+    use sw_athread::{
+        assign_tiles, detailed_kernel_duration, kernel_timing, tiles_of, Dims3, KernelRate,
+        TileCostModel,
+    };
+    struct M;
+    impl TileCostModel for M {
+        fn ghost(&self) -> usize {
+            1
+        }
+        fn flops(&self, d: Dims3) -> u64 {
+            305 * sw_athread::cells(d)
+        }
+        fn exp_flops(&self, d: Dims3) -> u64 {
+            204 * sw_athread::cells(d)
+        }
+        fn exp_calls(&self, d: Dims3) -> u64 {
+            6 * sw_athread::cells(d)
+        }
+    }
+    let cfg = MachineConfig::sw26010();
+    let tiles = tiles_of((128, 128, 512), (16, 16, 8)); // 4096 tiles
+    let assignment = assign_tiles(&tiles, 64);
+    let mut g = c.benchmark_group("kernel_timing");
+    g.bench_function("closed_form_4096_tiles", |b| {
+        b.iter(|| kernel_timing(&cfg, black_box(&assignment), &M, KernelRate::scalar(&cfg)))
+    });
+    g.bench_function("detailed_4096_tiles", |b| {
+        b.iter(|| {
+            detailed_kernel_duration(&cfg, black_box(&assignment), &M, KernelRate::scalar(&cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_network,
+    bench_mpi_roundtrip,
+    bench_ldm,
+    bench_mpe_clock,
+    bench_balancers,
+    bench_kernel_timing
+);
+criterion_main!(benches);

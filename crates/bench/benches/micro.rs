@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the software math layer: the exponentials that
+//! dominate the Burgers kernel (paper Table I: ~215 of ~311 flops per cell)
+//! and the phi coefficient function.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sw_math::exp::{exp_accurate, exp_fast};
+use sw_math::poly::horner;
+use sw_math::simd::{exp_fast_x4, F64x4};
+use sw_math::ExpKind;
+
+fn bench_exp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp");
+    let xs: Vec<f64> = (0..256).map(|i| -30.0 + 0.23 * i as f64).collect();
+    g.bench_function("fast_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += exp_fast(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("accurate_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += exp_accurate(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("fast_x4_256", |b| {
+        b.iter(|| {
+            let mut acc = F64x4::splat(0.0);
+            for chunk in xs.chunks_exact(4) {
+                acc = acc + exp_fast_x4(F64x4::loadu(black_box(chunk)));
+            }
+            acc.hsum()
+        })
+    });
+    g.bench_function("std_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += black_box(x).exp();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_phi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phi");
+    g.bench_function("fast", |b| {
+        b.iter(|| burgers::phi(black_box(0.43), black_box(0.01), ExpKind::Fast))
+    });
+    g.bench_function("accurate", |b| {
+        b.iter(|| burgers::phi(black_box(0.43), black_box(0.01), ExpKind::Accurate))
+    });
+    g.finish();
+}
+
+fn bench_horner(c: &mut Criterion) {
+    let coeffs: Vec<f64> = (0..14).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    c.bench_function("horner_deg13", |b| {
+        b.iter(|| horner(black_box(0.3_f64), &coeffs))
+    });
+}
+
+fn bench_simd_ops(c: &mut Criterion) {
+    let a = F64x4::new(1.0, 2.0, 3.0, 4.0);
+    let b_ = F64x4::splat(1.5);
+    let d = F64x4::splat(-0.5);
+    c.bench_function("f64x4_vmad", |b| {
+        b.iter(|| black_box(a).vmad(black_box(b_), black_box(d)))
+    });
+}
+
+criterion_group!(benches, bench_exp, bench_phi, bench_horner, bench_simd_ops);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end simulation benchmarks: one representative case per family of
+//! the paper's tables and figures, in model mode.
+//!
+//! `cargo run -p bench --bin repro -- all` regenerates the *full* tables;
+//! these Criterion targets track how fast the simulator produces each kind
+//! of measurement (and double as regression tests of the scheduler's event
+//! complexity).
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, RunConfig, RunReport, Simulation, Variant};
+
+fn run(patch: (i64, i64, i64), variant: Variant, n_ranks: usize) -> RunReport {
+    let level = Level::new(iv(patch.0, patch.1, patch.2), iv(8, 8, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let cfg = RunConfig::paper(variant, ExecMode::Model, n_ranks);
+    Simulation::new(level, app, cfg).run()
+}
+
+fn bench_cases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    // Fig 5 / Table V: one strong-scaling point (128 patches on 16 CGs).
+    g.bench_function("fig5_table5_point", |b| {
+        b.iter(|| run((16, 16, 512), Variant::ACC_SIMD_ASYNC, 16))
+    });
+    // Tables VI/VII: a sync/async pair.
+    g.bench_function("table6_pair", |b| {
+        b.iter(|| {
+            let s = run((32, 32, 512), Variant::ACC_SYNC, 8);
+            let a = run((32, 32, 512), Variant::ACC_ASYNC, 8);
+            a.improvement_over(&s)
+        })
+    });
+    // Figs 6-8: the host.sync baseline.
+    g.bench_function("fig678_host_baseline", |b| {
+        b.iter(|| run((16, 16, 512), Variant::HOST_SYNC, 8))
+    });
+    // Figs 9/10 and Table I: flop counting at the largest CG count.
+    g.bench_function("fig9_fig10_table1_point", |b| {
+        b.iter(|| {
+            let r = run((16, 16, 512), Variant::ACC_SIMD_ASYNC, 128);
+            (r.gflops(), r.flops.total())
+        })
+    });
+    g.finish();
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional");
+    g.sample_size(10);
+    // A small functional run through the whole stack (real numerics).
+    g.bench_function("burgers_16cubed_4ranks", |b| {
+        b.iter(|| {
+            let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
+            let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+            let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, 4);
+            cfg.steps = 3;
+            Simulation::new(level, app, cfg).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cases, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,303 @@
+//! Ablation experiments for the design choices DESIGN.md calls out and the
+//! paper's §IX future-work extensions.
+//!
+//! These go beyond the paper's evaluation: each isolates one mechanism of
+//! the scheduler or machine model and reports its contribution.
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::{
+    ExecMode, Level, LoadBalancer, MachineConfig, RunConfig, RunReport, SchedulerOptions,
+    Simulation, Variant,
+};
+
+use crate::problems::{ProblemSpec, MEDIUM, SMALL};
+use crate::table::{pct, secs, TextTable};
+
+fn run(
+    p: &ProblemSpec,
+    variant: Variant,
+    n_cgs: usize,
+    machine: MachineConfig,
+    options: SchedulerOptions,
+    lb: LoadBalancer,
+) -> RunReport {
+    let level: Level = p.level();
+    let app = Arc::new(BurgersApp::new(&level, variant.exp));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Model, n_cgs);
+    cfg.lb = lb;
+    cfg.machine = machine;
+    cfg.options = options;
+    Simulation::new(level, app, cfg).run()
+}
+
+fn base(p: &ProblemSpec, variant: Variant, n_cgs: usize) -> RunReport {
+    run(
+        p,
+        variant,
+        n_cgs,
+        MachineConfig::sw26010(),
+        SchedulerOptions::default(),
+        LoadBalancer::Block,
+    )
+}
+
+/// §IX extensions: double-buffered DMA, packed tiles, CPE grouping.
+pub fn ablation_extensions() -> TextTable {
+    let mut t = TextTable::new(vec!["Configuration", "small t/step", "medium t/step", "vs base"]);
+    let cases: Vec<(&str, SchedulerOptions)> = vec![
+        ("paper baseline", SchedulerOptions::default()),
+        (
+            "+ double-buffered DMA",
+            SchedulerOptions {
+                double_buffer: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "+ packed tiles",
+            SchedulerOptions {
+                packed_tiles: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "+ both",
+            SchedulerOptions {
+                double_buffer: true,
+                packed_tiles: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "2 CPE groups",
+            SchedulerOptions {
+                cpe_groups: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "4 CPE groups",
+            SchedulerOptions {
+                cpe_groups: 4,
+                ..Default::default()
+            },
+        ),
+    ];
+    let base_med = base(MEDIUM, Variant::ACC_SIMD_ASYNC, 8);
+    for (name, options) in cases {
+        let small = run(
+            SMALL,
+            Variant::ACC_SIMD_ASYNC,
+            8,
+            MachineConfig::sw26010(),
+            options,
+            LoadBalancer::Block,
+        );
+        let med = run(
+            MEDIUM,
+            Variant::ACC_SIMD_ASYNC,
+            8,
+            MachineConfig::sw26010(),
+            options,
+            LoadBalancer::Block,
+        );
+        t.row(vec![
+            name.to_string(),
+            secs(small.time_per_step().as_secs_f64()),
+            secs(med.time_per_step().as_secs_f64()),
+            format!("{:.2}x", med.boost_over(&base_med)),
+        ]);
+    }
+    t
+}
+
+/// The synchronous-spin memory-contention penalty: how much of the async
+/// advantage comes from it vs from genuine overlap.
+pub fn ablation_spin_penalty() -> TextTable {
+    let mut t = TextTable::new(vec!["spin penalty", "sync t/step", "async t/step", "async gain"]);
+    for c in [0.0, 0.06, 0.20] {
+        let machine = MachineConfig {
+            sync_spin_slowdown: c,
+            ..MachineConfig::sw26010()
+        };
+        let sync = run(
+            MEDIUM,
+            Variant::ACC_ASYNC,
+            8,
+            machine.clone(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let sync_run = run(
+            MEDIUM,
+            Variant::ACC_SYNC,
+            8,
+            machine,
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        t.row(vec![
+            format!("{:.0}%", c * 100.0),
+            secs(sync_run.time_per_step().as_secs_f64()),
+            secs(sync.time_per_step().as_secs_f64()),
+            pct(sync.improvement_over(&sync_run)),
+        ]);
+    }
+    t
+}
+
+/// Completion-flag poll granularity: the async scheduler's detection delay.
+pub fn ablation_poll_interval() -> TextTable {
+    let mut t = TextTable::new(vec!["poll interval", "8 CGs t/step", "128 CGs t/step", "128-CG gain vs sync"]);
+    for us in [100.0, 900.0, 3000.0] {
+        let machine = MachineConfig {
+            flag_poll_interval: sw_sim::SimDur::from_us(us),
+            ..MachineConfig::sw26010()
+        };
+        let a8 = run(
+            SMALL,
+            Variant::ACC_ASYNC,
+            8,
+            machine.clone(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let a128 = run(
+            SMALL,
+            Variant::ACC_ASYNC,
+            128,
+            machine.clone(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let s128 = run(
+            SMALL,
+            Variant::ACC_SYNC,
+            128,
+            machine,
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        t.row(vec![
+            format!("{us:.0} us"),
+            secs(a8.time_per_step().as_secs_f64()),
+            secs(a128.time_per_step().as_secs_f64()),
+            pct(a128.improvement_over(&s128)),
+        ]);
+    }
+    t
+}
+
+/// Load balancers: surface locality vs communication volume and time.
+pub fn ablation_load_balancer() -> TextTable {
+    let mut t = TextTable::new(vec!["balancer", "messages", "net bytes", "t/step"]);
+    for (name, lb) in [
+        ("Block", LoadBalancer::Block),
+        ("Morton", LoadBalancer::Morton),
+        ("RoundRobin", LoadBalancer::RoundRobin),
+    ] {
+        let r = run(
+            MEDIUM,
+            Variant::ACC_SIMD_ASYNC,
+            16,
+            MachineConfig::sw26010(),
+            Default::default(),
+            lb,
+        );
+        t.row(vec![
+            name.to_string(),
+            r.messages.to_string(),
+            r.net_bytes.to_string(),
+            secs(r.time_per_step().as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+/// The two software exp libraries (§VI-C): accuracy vs speed.
+pub fn ablation_exp_library() -> TextTable {
+    let mut t = TextTable::new(vec!["exp library", "flops/step", "t/step", "Gflop/s"]);
+    for (name, exp) in [("fast", ExpKind::Fast), ("IEEE (accurate)", ExpKind::Accurate)] {
+        let variant = Variant {
+            exp,
+            ..Variant::ACC_SIMD_ASYNC
+        };
+        let r = run(
+            MEDIUM,
+            variant,
+            8,
+            MachineConfig::sw26010(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        t.row(vec![
+            name.to_string(),
+            (r.flops.total() / 10).to_string(),
+            secs(r.time_per_step().as_secs_f64()),
+            format!("{:.1}", r.gflops()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_penalty_zero_still_leaves_overlap_gain() {
+        // With the contention knob at zero, the async win must come purely
+        // from overlap and still be positive: the mechanism is real, not an
+        // artifact of the calibration constant.
+        let machine = MachineConfig {
+            sync_spin_slowdown: 0.0,
+            ..MachineConfig::sw26010()
+        };
+        let a = run(
+            MEDIUM,
+            Variant::ACC_ASYNC,
+            8,
+            machine.clone(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let s = run(
+            MEDIUM,
+            Variant::ACC_SYNC,
+            8,
+            machine,
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let gain = a.improvement_over(&s);
+        assert!(gain > 0.05, "pure-overlap gain {gain}");
+    }
+
+    #[test]
+    fn accurate_exp_is_slower_and_does_more_flops() {
+        let fast = run(
+            SMALL,
+            Variant::ACC_SIMD_ASYNC,
+            8,
+            MachineConfig::sw26010(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        let acc = run(
+            SMALL,
+            Variant {
+                exp: ExpKind::Accurate,
+                ..Variant::ACC_SIMD_ASYNC
+            },
+            8,
+            MachineConfig::sw26010(),
+            Default::default(),
+            LoadBalancer::Block,
+        );
+        assert!(acc.total_time > fast.total_time);
+        assert!(acc.flops.total() > fast.flops.total());
+    }
+}

@@ -1,0 +1,169 @@
+//! Regenerate the paper's tables and figures on the simulated machine.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- table5 fig9
+//! ```
+
+use bench::{ablation, experiments as ex};
+use bench::Runner;
+use uintah_core::MachineConfig;
+
+/// Directory CSV copies are written into (when `--csv <dir>` is given).
+fn csv_dir(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = csv_dir(&args);
+    if let Some(dir) = &csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--csv" {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let want = |name: &str| -> bool {
+        positional.is_empty() || positional.iter().any(|a| *a == name || *a == "all")
+    };
+    let print_table = |title: &str, t: &bench::TextTable| {
+        println!("== {title} ==");
+        println!("{}", t.render());
+        if let Some(dir) = &csv {
+            let slug: String = title
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, t.render_csv()).expect("write csv");
+        }
+    };
+    let mut runner = Runner::new();
+    println!("flop model: {}\n", ex::flop_model_summary());
+
+    if want("dot") {
+        let level = uintah_core::Level::new(uintah_core::iv(8, 8, 8), uintah_core::iv(2, 2, 1));
+        let a = uintah_core::LoadBalancer::Hilbert.assign(&level, 2);
+        println!("== Task graph (2x2x1 layout, 2 ranks, 3 stages) ==");
+        println!("{}", uintah_core::task::task_graph_dot(&level, &a, 3));
+    }
+
+    if want("table1") {
+        print_table("Table I: FLOP per cell for the model problem", &ex::table1(&mut runner));
+    }
+    if want("table2") {
+        print_table("Table II: machine parameters", &ex::table2(&MachineConfig::sw26010()));
+    }
+    if want("table3") {
+        print_table("Table III: problem settings", &ex::table3());
+    }
+    if want("table4") {
+        print_table("Table IV: experimental variants", &ex::table4());
+    }
+    if want("fig5") {
+        for (title, t) in ex::fig5(&mut runner) {
+            print_table(&title, &t);
+        }
+    }
+    if want("table5") {
+        print_table("Table V: strong scaling efficiency (min CGs -> 128)", &ex::table5(&mut runner));
+    }
+    if want("table6") {
+        print_table(
+            "Table VI: async improvement, non-vectorized",
+            &ex::table6or7(&mut runner, false),
+        );
+    }
+    if want("table7") {
+        print_table(
+            "Table VII: async improvement, vectorized",
+            &ex::table6or7(&mut runner, true),
+        );
+    }
+    for which in [6usize, 7, 8] {
+        if want(&format!("fig{which}")) {
+            let (title, t) = ex::fig678(&mut runner, which);
+            print_table(&title, &t);
+        }
+    }
+    if want("fig9") {
+        print_table("Fig 9: floating point performance (Gflop/s), acc_simd.async", &ex::fig9(&mut runner));
+    }
+    if want("fig10") {
+        print_table("Fig 10: floating point efficiency, acc_simd.async", &ex::fig10(&mut runner));
+    }
+    if want("timeline") {
+        for v in [uintah_core::Variant::ACC_SYNC, uintah_core::Variant::ACC_ASYNC] {
+            println!("== Timeline: {} ==", v.name());
+            println!("{}", bench::timeline::render_timeline(v, 4, 3, 100));
+        }
+    }
+    if want("weak") {
+        print_table(
+            "Weak scaling (one 32x32x512 patch per CG) — not in the paper",
+            &ex::weak_scaling(),
+        );
+    }
+    if want("breakdown") {
+        print_table(
+            "MPE time breakdown (32x64x512, 8 CGs; shares of total MPE-seconds)",
+            &bench::breakdown::breakdown_table(bench::MEDIUM, 8),
+        );
+        print_table(
+            "MPE time breakdown (16x16x512, 128 CGs)",
+            &bench::breakdown::breakdown_table(bench::SMALL, 128),
+        );
+    }
+    if want("fidelity") {
+        print_table(
+            "Fidelity: best-of-N under kernel noise (32x64x512, 8 CGs)",
+            &bench::fidelity::fidelity_best_of_n(5),
+        );
+        print_table(
+            "Fidelity: measurement-driven rebalance with one slow CG (16x16x512, 4 CGs)",
+            &bench::fidelity::fidelity_rebalance(),
+        );
+    }
+    if want("ablation") {
+        print_table(
+            "Ablation: §IX extensions (double-buffer / packed tiles / CPE groups)",
+            &ablation::ablation_extensions(),
+        );
+        print_table(
+            "Ablation: sync-spin memory-contention penalty",
+            &ablation::ablation_spin_penalty(),
+        );
+        print_table(
+            "Ablation: completion-flag poll interval (16x16x512)",
+            &ablation::ablation_poll_interval(),
+        );
+        print_table(
+            "Ablation: load balancer (32x64x512, 16 CGs)",
+            &ablation::ablation_load_balancer(),
+        );
+        print_table(
+            "Ablation: software exp library (32x64x512, 8 CGs)",
+            &ablation::ablation_exp_library(),
+        );
+    }
+}

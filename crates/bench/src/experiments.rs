@@ -1,0 +1,342 @@
+//! One generator per table and figure of the paper's evaluation (§VII).
+//!
+//! Each function measures on the simulated machine and renders the same rows
+//! or series the paper reports; EXPERIMENTS.md records the paper-vs-measured
+//! comparison.
+
+use burgers::kernel::{cell_exp_flops, cell_flops};
+use burgers::phi::exact_u_flops;
+use sw_math::ExpKind;
+use uintah_core::{MachineConfig, Variant};
+
+use crate::problems::{ProblemSpec, ALL_CG_COUNTS, LARGE, MEDIUM, PROBLEMS, SMALL};
+use crate::runner::Runner;
+use crate::table::{pct, secs, TextTable};
+
+/// The four offloading variants of the scaling study (host.sync is excluded
+/// from Fig 5 / Table V since it uses only the MPE).
+pub const SCALING_VARIANTS: [Variant; 4] = [
+    Variant::ACC_SYNC,
+    Variant::ACC_ASYNC,
+    Variant::ACC_SIMD_SYNC,
+    Variant::ACC_SIMD_ASYNC,
+];
+
+/// Table I: flops per cell, measured with the emulated hardware counters.
+pub fn table1(runner: &mut Runner) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Problem",
+        "Total Cells",
+        "Total FLOPs",
+        "FLOPs per Cell",
+        "Exp share",
+    ]);
+    for p in &PROBLEMS {
+        let steps = 10u64;
+        let report = runner.run(p, Variant::ACC_SIMD_ASYNC, p.min_cgs).clone();
+        let flops_per_step = report.flops.total() / steps;
+        let exp_per_step = report.flops.get(sw_sim::FlopCategory::Exp) / steps;
+        // The paper normalizes by the ghosted grid volume (its "Total Cells"
+        // for 16x16x512 is exactly 130*130*1026).
+        let cells = p.level().ghosted_cells(1);
+        t.row(vec![
+            p.name.to_string(),
+            cells.to_string(),
+            flops_per_step.to_string(),
+            format!("{:.0}", flops_per_step as f64 / cells as f64),
+            pct(exp_per_step as f64 / flops_per_step as f64),
+        ]);
+    }
+    t
+}
+
+/// Table II: the machine model parameters.
+pub fn table2(cfg: &MachineConfig) -> TextTable {
+    let mut t = TextTable::new(vec!["Item", "Model value", "Paper value"]);
+    t.row(vec!["Node cores (4 CGs)".into(), format!("{} per CG + MPE", cfg.cpes_per_cg), "4 MPEs + 256 CPEs".to_string()]);
+    t.row(vec!["CG peak".into(), format!("{:.1} Gflop/s", cfg.cg_peak_gflops()), "765.6 Gflop/s".into()]);
+    t.row(vec!["Node performance".into(), format!("{:.2} Tflop/s", 4.0 * cfg.cg_peak_gflops() / 1e3), "3.06 Tflop/s".into()]);
+    t.row(vec!["LDM per CPE".into(), format!("{} KB", cfg.ldm_bytes / 1024), "64 KB".into()]);
+    t.row(vec!["CG memory bandwidth".into(), format!("{:.1} GB/s", cfg.mem_bw_gbs), "128bit DDR3-2133".into()]);
+    t.row(vec!["Interconnect bandwidth".into(), format!("{:.0} GB/s one-way", cfg.net_bw_gbs), "16 GB/s bidirectional".into()]);
+    t.row(vec!["Interconnect latency".into(), format!("{}", cfg.net_latency), "~1 us".into()]);
+    t
+}
+
+/// Table III: problem settings.
+pub fn table3() -> TextTable {
+    let mut t = TextTable::new(vec!["Problem", "Patch Size", "Grid Size", "Mem", "Min"]);
+    for p in &PROBLEMS {
+        let g = p.grid();
+        let mem = p.mem_bytes();
+        let mem_s = if mem >= 1 << 30 {
+            format!("{}GB", mem >> 30)
+        } else {
+            format!("{}MB", mem >> 20)
+        };
+        t.row(vec![
+            p.name.to_string(),
+            p.name.to_string(),
+            format!("{}x{}x{}", g.x, g.y, g.z),
+            mem_s,
+            format!("{}CG{}", p.min_cgs, if p.min_cgs > 1 { "s" } else { "" }),
+        ]);
+    }
+    t
+}
+
+/// Table IV: the experimental variants.
+pub fn table4() -> TextTable {
+    let mut t = TextTable::new(vec!["Variant", "Scheduler Mode", "Tiling", "Vectorization"]);
+    for v in Variant::TABLE_IV {
+        let mode = match v.mode {
+            uintah_core::SchedulerMode::MpeOnly => "MPE-only",
+            uintah_core::SchedulerMode::SyncCpe => "synchronous MPE+CPE",
+            uintah_core::SchedulerMode::AsyncCpe => "asynchronous MPE+CPE",
+        };
+        t.row(vec![
+            v.name().to_string(),
+            mode.to_string(),
+            if v.offloads() { "Yes" } else { "No" }.to_string(),
+            if v.simd { "Yes" } else { "No" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig 5: wall time per step, strong scaling, one table per problem.
+pub fn fig5(runner: &mut Runner) -> Vec<(String, TextTable)> {
+    let mut out = Vec::new();
+    for p in &PROBLEMS {
+        let mut t = TextTable::new(vec![
+            "CGs",
+            "acc.sync",
+            "acc.async",
+            "acc_simd.sync",
+            "acc_simd.async",
+        ]);
+        for n in p.cg_counts() {
+            let mut row = vec![n.to_string()];
+            for v in SCALING_VARIANTS {
+                let r = runner.run(p, v, n);
+                row.push(secs(r.time_per_step().as_secs_f64()));
+            }
+            t.row(row);
+        }
+        out.push((format!("Fig 5 — wall time per step, {}", p.name), t));
+    }
+    out
+}
+
+/// Table V: strong-scaling efficiency from the minimum CG count to 128.
+pub fn table5(runner: &mut Runner) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Problem",
+        "acc.sync",
+        "acc.async",
+        "simd.sync",
+        "simd.async",
+    ]);
+    for p in &PROBLEMS {
+        let mut row = vec![p.name.to_string()];
+        for v in SCALING_VARIANTS {
+            let base = runner.run(p, v, p.min_cgs).clone();
+            let top = runner.run(p, v, 128);
+            row.push(pct(top.scaling_efficiency(&base)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Tables VI/VII: async-over-sync improvement per problem per CG count.
+/// `simd = false` gives Table VI, `true` Table VII.
+pub fn table6or7(runner: &mut Runner, simd: bool) -> TextTable {
+    let (vs, va) = if simd {
+        (Variant::ACC_SIMD_SYNC, Variant::ACC_SIMD_ASYNC)
+    } else {
+        (Variant::ACC_SYNC, Variant::ACC_ASYNC)
+    };
+    let mut header = vec!["Problem".to_string()];
+    header.extend(ALL_CG_COUNTS.iter().map(|n| n.to_string()));
+    let mut t = TextTable::new(header);
+    for p in &PROBLEMS {
+        let mut row = vec![p.name.to_string()];
+        for &n in &ALL_CG_COUNTS {
+            if n < p.min_cgs {
+                row.push("-".to_string());
+                continue;
+            }
+            let sync = runner.run(p, vs, n).clone();
+            let asyn = runner.run(p, va, n);
+            row.push(pct(asyn.improvement_over(&sync)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figs 6/7/8: performance boost of the optimization steps over host.sync
+/// for the small/medium/large problem.
+pub fn fig678(runner: &mut Runner, which: usize) -> (String, TextTable) {
+    let p: &ProblemSpec = match which {
+        6 => SMALL,
+        7 => MEDIUM,
+        8 => LARGE,
+        _ => panic!("fig678 takes 6, 7, or 8"),
+    };
+    let mut t = TextTable::new(vec!["CGs", "host.sync", "acc.async boost", "acc_simd.async boost"]);
+    for n in p.cg_counts() {
+        let host = runner.run(p, Variant::HOST_SYNC, n).clone();
+        let acc = runner.run(p, Variant::ACC_ASYNC, n).clone();
+        let simd = runner.run(p, Variant::ACC_SIMD_ASYNC, n).clone();
+        t.row(vec![
+            n.to_string(),
+            secs(host.time_per_step().as_secs_f64()),
+            format!("{:.2}x", acc.boost_over(&host)),
+            format!("{:.2}x", simd.boost_over(&host)),
+        ]);
+    }
+    (
+        format!("Fig {which} — optimization boosts, {} problem ({})",
+            match which { 6 => "small", 7 => "medium", _ => "large" }, p.name),
+        t,
+    )
+}
+
+/// Fig 9: floating-point performance (Gflop/s) of acc_simd.async.
+pub fn fig9(runner: &mut Runner) -> TextTable {
+    let mut header = vec!["Problem".to_string()];
+    header.extend(ALL_CG_COUNTS.iter().map(|n| format!("{n} CGs")));
+    let mut t = TextTable::new(header);
+    for p in &PROBLEMS {
+        let mut row = vec![p.name.to_string()];
+        for &n in &ALL_CG_COUNTS {
+            if n < p.min_cgs {
+                row.push("-".to_string());
+                continue;
+            }
+            let r = runner.run(p, Variant::ACC_SIMD_ASYNC, n);
+            row.push(format!("{:.1}", r.gflops()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Fig 10: floating-point efficiency against the peak of the running CGs.
+pub fn fig10(runner: &mut Runner) -> TextTable {
+    let mut header = vec!["Problem".to_string()];
+    header.extend(ALL_CG_COUNTS.iter().map(|n| format!("{n} CGs")));
+    let mut t = TextTable::new(header);
+    let cfg = runner.machine().clone();
+    for p in &PROBLEMS {
+        let mut row = vec![p.name.to_string()];
+        for &n in &ALL_CG_COUNTS {
+            if n < p.min_cgs {
+                row.push("-".to_string());
+                continue;
+            }
+            let r = runner.run(p, Variant::ACC_SIMD_ASYNC, n);
+            row.push(format!("{:.2}%", r.fp_efficiency(&cfg) * 100.0));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Weak scaling (an experiment the paper does not include): one 32x32x512
+/// patch per CG, growing the machine 1 -> 128 CGs. Perfect weak scaling
+/// keeps the time per step flat; the deviation is the communication and
+/// reduction cost growing with the machine.
+pub fn weak_scaling() -> TextTable {
+    use burgers::BurgersApp;
+    use std::sync::Arc;
+    use uintah_core::grid::{iv, Level};
+    use uintah_core::{ExecMode, RunConfig, Simulation};
+
+    let layouts: [(usize, (i64, i64, i64)); 8] = [
+        (1, (1, 1, 1)),
+        (2, (2, 1, 1)),
+        (4, (2, 2, 1)),
+        (8, (2, 2, 2)),
+        (16, (4, 2, 2)),
+        (32, (4, 4, 2)),
+        (64, (8, 4, 2)),
+        (128, (8, 8, 2)),
+    ];
+    let mut t = TextTable::new(vec!["CGs", "grid", "sync t/step", "async t/step", "weak eff"]);
+    let mut base: Option<f64> = None;
+    for (n, l) in layouts {
+        let level = Level::new(iv(32, 32, 512), iv(l.0, l.1, l.2));
+        let run = |variant: Variant| {
+            let app = Arc::new(BurgersApp::new(&level, sw_math::ExpKind::Fast));
+            let cfg = RunConfig::paper(variant, ExecMode::Model, n);
+            Simulation::new(level.clone(), app, cfg).run()
+        };
+        let sync = run(Variant::ACC_SIMD_SYNC);
+        let asyn = run(Variant::ACC_SIMD_ASYNC);
+        let ta = asyn.time_per_step().as_secs_f64();
+        let b = *base.get_or_insert(ta);
+        let g = level.grid().extent();
+        t.row(vec![
+            n.to_string(),
+            format!("{}x{}x{}", g.x, g.y, g.z),
+            secs(sync.time_per_step().as_secs_f64()),
+            secs(ta),
+            pct(b / ta),
+        ]);
+    }
+    t
+}
+
+/// The analytic per-cell flop model behind Table I (documentation row).
+pub fn flop_model_summary() -> String {
+    format!(
+        "kernel: {} flops/cell ({} exp), boundary fill: {} flops/cell \
+         (paper: ~311 flops/cell, 215 exp)",
+        cell_flops(ExpKind::Fast),
+        cell_exp_flops(ExpKind::Fast),
+        exact_u_flops(ExpKind::Fast),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_magnitudes() {
+        let mut runner = Runner::new();
+        let t = table1(&mut runner);
+        let s = t.render();
+        // Paper: 299-311 flops/cell; ours lands in 295-310 with the same
+        // exp-dominated split.
+        assert!(s.contains("16x16x512"));
+        for line in s.lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let fpc: f64 = cols[3].parse().unwrap();
+            assert!((290.0..320.0).contains(&fpc), "flops/cell {fpc}");
+        }
+    }
+
+    #[test]
+    fn static_tables_render() {
+        assert!(table3().render().contains("1024x1024x1024"));
+        assert!(table3().render().contains("16GB"));
+        assert!(table4().render().contains("asynchronous MPE+CPE"));
+        let cfg = MachineConfig::sw26010();
+        assert!(table2(&cfg).render().contains("3.06 Tflop/s"));
+    }
+
+    #[test]
+    fn improvement_table_shape() {
+        // One problem is enough for a unit test; the full sweep runs in the
+        // repro binary.
+        let mut runner = Runner::new();
+        let sync = runner.run(&PROBLEMS[2], Variant::ACC_SYNC, 4).clone();
+        let asyn = runner.run(&PROBLEMS[2], Variant::ACC_ASYNC, 4).clone();
+        let gain = asyn.improvement_over(&sync);
+        assert!(gain > 0.0, "medium problems must benefit from async: {gain}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Reproduction harness for every table and figure of the paper's
+//! evaluation (§VII), plus Criterion micro-benchmarks.
+//!
+//! `cargo run --release -p bench --bin repro -- all` regenerates everything;
+//! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+
+#![warn(missing_docs)]
+pub mod ablation;
+pub mod breakdown;
+pub mod experiments;
+pub mod fidelity;
+pub mod problems;
+pub mod runner;
+pub mod table;
+pub mod timeline;
+
+pub use problems::{ProblemSpec, ALL_CG_COUNTS, LARGE, MEDIUM, PROBLEMS, SMALL};
+pub use runner::Runner;
+pub use table::TextTable;

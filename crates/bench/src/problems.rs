@@ -1,0 +1,131 @@
+//! The paper's problem settings (Table III).
+//!
+//! Seven problems, all with a fixed 8x8x2 patch layout (128 patches), built
+//! by starting from the smallest possible patch (16x16x512 — the tile size
+//! is 16x16x8 and 64 CPEs are used per CG) and doubling the x then y patch
+//! extent round-robin until the data exceeds one CG's memory.
+
+use uintah_core::grid::{iv, IntVec, Level};
+
+/// One row of Table III.
+#[derive(Clone, Copy, Debug)]
+pub struct ProblemSpec {
+    /// The paper's problem name ("16x16x512" ...).
+    pub name: &'static str,
+    /// Patch extent in cells.
+    pub patch: IntVec,
+    /// Smallest CG count the problem fits on (memory limit; starred rows of
+    /// Table III crash below this).
+    pub min_cgs: usize,
+}
+
+/// The fixed patch layout of every evaluation problem (paper §VII-A).
+pub const LAYOUT: IntVec = iv(8, 8, 2);
+
+/// Table III, in the paper's order.
+pub const PROBLEMS: [ProblemSpec; 7] = [
+    ProblemSpec { name: "16x16x512", patch: iv(16, 16, 512), min_cgs: 1 },
+    ProblemSpec { name: "16x32x512", patch: iv(16, 32, 512), min_cgs: 1 },
+    ProblemSpec { name: "32x32x512", patch: iv(32, 32, 512), min_cgs: 1 },
+    ProblemSpec { name: "32x64x512", patch: iv(32, 64, 512), min_cgs: 1 },
+    ProblemSpec { name: "64x64x512", patch: iv(64, 64, 512), min_cgs: 2 },
+    ProblemSpec { name: "64x128x512", patch: iv(64, 128, 512), min_cgs: 4 },
+    ProblemSpec { name: "128x128x512", patch: iv(128, 128, 512), min_cgs: 8 },
+];
+
+/// The paper's three "typical" problems for the optimization study (§VII-D).
+pub const SMALL: &ProblemSpec = &PROBLEMS[0];
+/// Medium problem 32x64x512.
+pub const MEDIUM: &ProblemSpec = &PROBLEMS[3];
+/// Large problem 128x128x512.
+pub const LARGE: &ProblemSpec = &PROBLEMS[6];
+
+impl ProblemSpec {
+    /// Build the level for this problem.
+    pub fn level(&self) -> Level {
+        Level::new(self.patch, LAYOUT)
+    }
+
+    /// Grid extent (Table III "Grid Size").
+    pub fn grid(&self) -> IntVec {
+        iv(
+            self.patch.x * LAYOUT.x,
+            self.patch.y * LAYOUT.y,
+            self.patch.z * LAYOUT.z,
+        )
+    }
+
+    /// Solution memory of the whole grid (one ghosted u plus one u_new per
+    /// patch), bytes — Table III's "Mem" column counts the solution field.
+    pub fn mem_bytes(&self) -> u64 {
+        // The paper's Mem column is grid cells * 2 fields * 8 B:
+        // 128x128x1024 -> 256 MB.
+        self.grid().volume() as u64 * 2 * 8
+    }
+
+    /// CG counts for the strong-scaling sweep: powers of two from the
+    /// problem's minimum to 128 (paper §VII-A).
+    pub fn cg_counts(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut n = self.min_cgs;
+        while n <= 128 {
+            v.push(n);
+            n *= 2;
+        }
+        v
+    }
+}
+
+/// The full CG axis of Tables VI/VII.
+pub const ALL_CG_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_match_table_iii() {
+        assert_eq!(PROBLEMS[0].grid(), iv(128, 128, 1024));
+        assert_eq!(PROBLEMS[3].grid(), iv(256, 512, 1024));
+        assert_eq!(PROBLEMS[6].grid(), iv(1024, 1024, 1024));
+    }
+
+    #[test]
+    fn memory_matches_table_iii() {
+        // Table III: 256 MB ... 16 GB.
+        assert_eq!(PROBLEMS[0].mem_bytes(), 256 << 20);
+        assert_eq!(PROBLEMS[2].mem_bytes(), 1 << 30);
+        assert_eq!(PROBLEMS[6].mem_bytes(), 16 << 30);
+    }
+
+    #[test]
+    fn cg_counts_respect_memory_minimum() {
+        assert_eq!(PROBLEMS[0].cg_counts(), vec![1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(PROBLEMS[6].cg_counts(), vec![8, 16, 32, 64, 128]);
+        assert_eq!(PROBLEMS[4].cg_counts().len(), 7);
+    }
+
+    #[test]
+    fn every_problem_has_128_patches() {
+        for p in &PROBLEMS {
+            assert_eq!(p.level().n_patches(), 128, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn table_i_total_cells_match_paper() {
+        // Paper Table I "Total Cells" is the ghosted grid volume.
+        let expect = [
+            17_339_400u64,
+            34_412_040,
+            68_294_664,
+            136_059_912,
+            271_065_096,
+            541_075_464,
+            1_080_045_576,
+        ];
+        for (p, e) in PROBLEMS.iter().zip(expect) {
+            assert_eq!(p.level().ghosted_cells(1), e, "{}", p.name);
+        }
+    }
+}

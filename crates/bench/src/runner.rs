@@ -1,0 +1,83 @@
+//! Running and caching evaluation cases.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::{ExecMode, LoadBalancer, MachineConfig, RunConfig, RunReport, Simulation, Variant};
+
+use crate::problems::ProblemSpec;
+
+/// Runs evaluation cases in model mode, caching each (problem, variant, CGs)
+/// so tables sharing data (e.g. Fig 5 / Table V) measure once.
+pub struct Runner {
+    machine: MachineConfig,
+    steps: u32,
+    cache: BTreeMap<(String, &'static str, usize), RunReport>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// The paper's setup: calibrated SW26010, 10 timesteps.
+    pub fn new() -> Self {
+        Runner {
+            machine: MachineConfig::sw26010(),
+            steps: 10,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Override the machine model (ablations).
+    pub fn with_machine(machine: MachineConfig) -> Self {
+        Runner {
+            machine,
+            steps: 10,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Run (or fetch) one case.
+    pub fn run(&mut self, p: &ProblemSpec, variant: Variant, n_cgs: usize) -> &RunReport {
+        let key = (p.name.to_string(), variant.name(), n_cgs);
+        if !self.cache.contains_key(&key) {
+            let level = p.level();
+            let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+            let mut cfg = RunConfig::paper(variant, ExecMode::Model, n_cgs);
+            cfg.steps = self.steps;
+            cfg.machine = self.machine.clone();
+            let report = Simulation::new(level, app, cfg).run();
+            self.cache.insert(key.clone(), report);
+        }
+        &self.cache[&key]
+    }
+
+    /// Run one case with a non-default load balancer or exp library
+    /// (uncached; used by the ablation experiments).
+    pub fn run_custom(
+        &self,
+        p: &ProblemSpec,
+        variant: Variant,
+        n_cgs: usize,
+        lb: LoadBalancer,
+        steps: u32,
+    ) -> RunReport {
+        let level = p.level();
+        let app = Arc::new(BurgersApp::new(&level, variant.exp));
+        let mut cfg = RunConfig::paper(variant, ExecMode::Model, n_cgs);
+        cfg.steps = steps;
+        cfg.lb = lb;
+        cfg.machine = self.machine.clone();
+        Simulation::new(level, app, cfg).run()
+    }
+}

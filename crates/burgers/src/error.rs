@@ -1,0 +1,37 @@
+//! Error norms of a functional run against the exact solution.
+
+use uintah_core::sim::Simulation;
+
+use crate::app::BurgersApp;
+
+/// Discrete error norms.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorNorms {
+    /// Maximum absolute error over all cells.
+    pub linf: f64,
+    /// Root-mean-square error.
+    pub l2: f64,
+}
+
+/// Compare the final solution of a *functional* run against the exact
+/// solution at the final simulated time.
+pub fn solution_error(sim: &Simulation, app: &BurgersApp) -> ErrorNorms {
+    let t = sim.final_time();
+    let level = sim.level();
+    let mut linf = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let mut n = 0u64;
+    for p in 0..level.n_patches() {
+        let var = sim.solution(p);
+        for c in level.patch(p).region.iter() {
+            let e = (var.get(c) - app.exact_at(level, c, t)).abs();
+            linf = linf.max(e);
+            sum2 += e * e;
+            n += 1;
+        }
+    }
+    ErrorNorms {
+        linf,
+        l2: (sum2 / n as f64).sqrt(),
+    }
+}

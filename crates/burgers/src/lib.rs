@@ -1,0 +1,27 @@
+//! The 3-D Burgers model fluid-flow problem (paper §III, §VI).
+//!
+//! A time-dependent model problem "equivalent to many of the equations in
+//! the Uintah applications in terms of its computational structure": a
+//! low-order stencil combined with expensive coefficient evaluations (three
+//! phi calls and six software exponentials per cell).
+//!
+//! * [`phi`] — the coefficient function, exact solution, and flop constants;
+//! * [`kernel`] — the scalar kernel (Algorithm 1), cell update rule, and the
+//!   tile cost model;
+//! * [`kernel_simd`] — the hand-vectorized kernel (Algorithm 2);
+//! * [`app`] — the [`uintah_core::Application`] implementation;
+//! * [`error`] — error norms against the exact solution for functional runs.
+
+
+#![warn(missing_docs)]
+pub mod app;
+pub mod error;
+pub mod kernel;
+pub mod kernel_simd;
+pub mod phi;
+
+pub use app::BurgersApp;
+pub use error::{solution_error, ErrorNorms};
+pub use kernel::{cell_flops, BurgersCost, BurgersScalarKernel, Geometry, STENCIL_FLOPS};
+pub use kernel_simd::BurgersSimdKernel;
+pub use phi::{exact_u, phi, phi_flops, NU};

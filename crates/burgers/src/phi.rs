@@ -1,0 +1,194 @@
+//! The coefficient function phi(x, t) and the exact solution of the model
+//! problem (paper §III).
+//!
+//! phi(x,t) is the classical three-wave solution of the 1-D Burgers
+//! equation:
+//!
+//! ```text
+//! phi(x,t) = (0.1 e^a + 0.5 e^b + e^c) / (e^a + e^b + e^c)
+//! a = -0.05 (x - 0.5  + 4.95 t) / nu
+//! b = -0.25 (x - 0.5  + 0.75 t) / nu
+//! c = -0.5  (x - 0.375)         / nu,     nu = 0.01
+//! ```
+//!
+//! "Dividing the numerator and denominator ... by the largest value of
+//! e^a, e^b, e^c reduces the number of exponentials needed by one" — so each
+//! phi call evaluates exactly **two** software exponentials, and the kernel's
+//! three phi calls per cell evaluate the six exponentials per cell the paper
+//! counts (§VI-C, Table I).
+//!
+//! Written over [`Arith`] so the identical operation sequence runs on `f64`
+//! and on the flop-counting scalar; [`PHI_FLOPS`] is verified by counted
+//! execution.
+
+use sw_math::exp::ExpKind;
+use sw_math::Arith;
+
+/// Viscosity of the medium (paper §III).
+pub const NU: f64 = 0.01;
+
+/// Exact flops of one [`phi`] call: 13 (a, b, c) + 3 (subtract the max) +
+/// 2 exp calls + 5 (numerator) + 2 (denominator) + 1 (divide).
+pub const fn phi_flops(exp: ExpKind) -> u64 {
+    13 + 3 + 2 * exp.flops() + 5 + 2 + 1
+}
+
+/// Exact flops of one [`exact_u`] call: three phi calls and two products.
+pub const fn exact_u_flops(exp: ExpKind) -> u64 {
+    3 * phi_flops(exp) + 2
+}
+
+/// The 1-D Burgers coefficient phi(x, t).
+///
+/// The branch on the largest exponent changes *which* operations run but
+/// never *how many*: every path costs exactly [`phi_flops`] flops, matching
+/// the data-independent counts the paper measured.
+///
+/// ```
+/// use burgers::phi;
+/// use sw_math::{flops_counted, Cf64, ExpKind};
+///
+/// // phi steps down from 1.0 toward 0.1 across its wave fronts...
+/// assert!(phi(0.1, 0.0, ExpKind::Fast) > phi(0.9, 0.0, ExpKind::Fast));
+/// // ...and every evaluation costs exactly the documented flop count.
+/// let (_, flops) = flops_counted(|| phi(Cf64::new(0.4), Cf64::new(0.01), ExpKind::Fast));
+/// assert_eq!(flops, burgers::phi_flops(ExpKind::Fast));
+/// ```
+pub fn phi<T: Arith>(x: T, t: T, exp: ExpKind) -> T {
+    let nu = T::lit(NU);
+    // a, b, c: 5 + 5 + 3 = 13 flops.
+    let a = T::lit(-0.05) * (x - T::lit(0.5) + T::lit(4.95) * t) / nu;
+    let b = T::lit(-0.25) * (x - T::lit(0.5) + T::lit(0.75) * t) / nu;
+    let c = T::lit(-0.5) * (x - T::lit(0.375)) / nu;
+    // Divide through by the largest exponential: subtract the max exponent
+    // (3 flops); the max term becomes e^0 = 1 exactly and needs no exp call.
+    let (av, bv, cv) = (a.value(), b.value(), c.value());
+    let m = if av >= bv && av >= cv {
+        a
+    } else if bv >= cv {
+        b
+    } else {
+        c
+    };
+    let da = a - m;
+    let db = b - m;
+    let dc = c - m;
+    let (ea, eb, ec) = if av >= bv && av >= cv {
+        (T::lit(1.0), exp.eval(db), exp.eval(dc))
+    } else if bv >= cv {
+        (exp.eval(da), T::lit(1.0), exp.eval(dc))
+    } else {
+        (exp.eval(da), exp.eval(db), T::lit(1.0))
+    };
+    // Numerator (5), denominator (2), divide (1).
+    let num = T::lit(0.1) * ea + T::lit(0.5) * eb + T::lit(1.0) * ec;
+    let den = ea + eb + ec;
+    num / den
+}
+
+/// The exact solution of the 3-D model problem:
+/// `u(x,y,z,t) = phi(x,t) phi(y,t) phi(z,t)` (paper §III; at t = 0 it is the
+/// initial condition, and it supplies the Dirichlet boundary values).
+pub fn exact_u<T: Arith>(x: T, y: T, z: T, t: T, exp: ExpKind) -> T {
+    phi(x, t, exp) * phi(y, t, exp) * phi(z, t, exp)
+}
+
+/// Reference phi evaluated directly with `f64::exp` (no max trick): used in
+/// tests to validate the reduced form.
+pub fn phi_reference(x: f64, t: f64) -> f64 {
+    let a = -0.05 * (x - 0.5 + 4.95 * t) / NU;
+    let b = -0.25 * (x - 0.5 + 0.75 * t) / NU;
+    let c = -0.5 * (x - 0.375) / NU;
+    (0.1 * a.exp() + 0.5 * b.exp() + c.exp()) / (a.exp() + b.exp() + c.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_math::counted::{flops_counted, Cf64};
+
+    #[test]
+    fn matches_direct_evaluation() {
+        let mut x = -0.2;
+        while x <= 1.2 {
+            for t in [0.0, 1e-4, 0.01, 0.1] {
+                let got = phi(x, t, ExpKind::Fast);
+                let want = phi_reference(x, t);
+                assert!(
+                    ((got - want) / want).abs() < 1e-12,
+                    "phi({x}, {t}) = {got}, reference {want}"
+                );
+            }
+            x += 0.0173;
+        }
+    }
+
+    #[test]
+    fn phi_is_bounded_by_wave_speeds() {
+        // phi is a convex-ish combination of 0.1, 0.5, 1.0.
+        let mut x = -0.2;
+        while x <= 1.2 {
+            let v = phi(x, 0.01, ExpKind::Fast);
+            assert!((0.1..=1.0).contains(&v), "phi({x}) = {v}");
+            x += 0.011;
+        }
+    }
+
+    #[test]
+    fn flop_constant_matches_counted_execution_on_all_branches() {
+        // Choose x values that exercise each max-branch (a, b, or c largest).
+        for &(x, t) in &[
+            (0.0, 0.0),   // c largest (x < 0.375)
+            (0.9, 0.0),   // a largest for large x? exercise another branch
+            (0.45, 0.0),  // near the b/c crossover
+            (0.375, 0.0), // tie: c == its own max
+            (1.1, 0.05),
+        ] {
+            let (_, n) = flops_counted(|| phi(Cf64::new(x), Cf64::new(t), ExpKind::Fast));
+            assert_eq!(n, phi_flops(ExpKind::Fast), "x={x} t={t}");
+            let (_, n) = flops_counted(|| phi(Cf64::new(x), Cf64::new(t), ExpKind::Accurate));
+            assert_eq!(n, phi_flops(ExpKind::Accurate), "accurate x={x}");
+        }
+    }
+
+    #[test]
+    fn exact_u_flop_constant() {
+        let (_, n) = flops_counted(|| {
+            exact_u(
+                Cf64::new(0.3),
+                Cf64::new(0.7),
+                Cf64::new(0.1),
+                Cf64::new(0.01),
+                ExpKind::Fast,
+            )
+        });
+        assert_eq!(n, exact_u_flops(ExpKind::Fast));
+    }
+
+    #[test]
+    fn six_exponentials_per_cell() {
+        // Three phi calls with two exps each = the paper's 6 exps/cell; the
+        // exp share of the flop count is 6 * EXP_FAST_FLOPS ~ 204 of ~305,
+        // the paper's "215 of 311".
+        let exp_share = 6 * ExpKind::Fast.flops();
+        assert_eq!(exp_share, 204);
+        assert_eq!(3 * phi_flops(ExpKind::Fast), 276);
+    }
+
+    #[test]
+    fn counted_and_plain_agree_bitwise() {
+        for &x in &[0.1, 0.375, 0.5, 0.99] {
+            let plain = phi(x, 0.02, ExpKind::Fast);
+            let counted = phi(Cf64::new(x), Cf64::new(0.02), ExpKind::Fast).get();
+            assert_eq!(plain.to_bits(), counted.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_u_is_product_of_phis() {
+        let (x, y, z, t) = (0.2, 0.6, 0.8, 0.03);
+        let u = exact_u(x, y, z, t, ExpKind::Fast);
+        let p = phi(x, t, ExpKind::Fast) * phi(y, t, ExpKind::Fast) * phi(z, t, ExpKind::Fast);
+        assert_eq!(u, p);
+    }
+}

@@ -1,0 +1,157 @@
+//! Integer cell-index vectors.
+
+use core::fmt;
+use core::ops::{Add, Index, Mul, Neg, Sub};
+
+/// A 3-component integer vector indexing cells of the structured grid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntVec {
+    /// x component.
+    pub x: i64,
+    /// y component.
+    pub y: i64,
+    /// z component.
+    pub z: i64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn iv(x: i64, y: i64, z: i64) -> IntVec {
+    IntVec { x, y, z }
+}
+
+impl IntVec {
+    /// The zero vector.
+    pub const ZERO: IntVec = iv(0, 0, 0);
+    /// All components one.
+    pub const ONE: IntVec = iv(1, 1, 1);
+
+    /// Component-wise minimum.
+    pub fn min(self, o: IntVec) -> IntVec {
+        iv(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: IntVec) -> IntVec {
+        iv(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component by axis index (0 = x, 1 = y, 2 = z).
+    pub fn axis(self, a: usize) -> i64 {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis {a} out of range"),
+        }
+    }
+
+    /// Replace one axis component.
+    pub fn with_axis(mut self, a: usize, v: i64) -> IntVec {
+        match a {
+            0 => self.x = v,
+            1 => self.y = v,
+            2 => self.z = v,
+            _ => panic!("axis {a} out of range"),
+        }
+        self
+    }
+
+    /// Product of components (volume when used as an extent).
+    pub fn volume(self) -> i64 {
+        self.x * self.y * self.z
+    }
+
+    /// Convert to unsigned dims; panics on negative components.
+    pub fn as_dims(self) -> (usize, usize, usize) {
+        assert!(
+            self.x >= 0 && self.y >= 0 && self.z >= 0,
+            "negative extent {self}"
+        );
+        (self.x as usize, self.y as usize, self.z as usize)
+    }
+}
+
+impl Add for IntVec {
+    type Output = IntVec;
+    fn add(self, o: IntVec) -> IntVec {
+        iv(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for IntVec {
+    type Output = IntVec;
+    fn sub(self, o: IntVec) -> IntVec {
+        iv(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<i64> for IntVec {
+    type Output = IntVec;
+    fn mul(self, k: i64) -> IntVec {
+        iv(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for IntVec {
+    type Output = IntVec;
+    fn neg(self) -> IntVec {
+        iv(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for IntVec {
+    type Output = i64;
+    fn index(&self, a: usize) -> &i64 {
+        match a {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis {a} out of range"),
+        }
+    }
+}
+
+impl fmt::Display for IntVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = iv(1, 2, 3);
+        let b = iv(10, 20, 30);
+        assert_eq!(a + b, iv(11, 22, 33));
+        assert_eq!(b - a, iv(9, 18, 27));
+        assert_eq!(a * 2, iv(2, 4, 6));
+        assert_eq!(-a, iv(-1, -2, -3));
+    }
+
+    #[test]
+    fn min_max_and_axis() {
+        let a = iv(1, 22, 3);
+        let b = iv(10, 2, 30);
+        assert_eq!(a.min(b), iv(1, 2, 3));
+        assert_eq!(a.max(b), iv(10, 22, 30));
+        assert_eq!(a.axis(1), 22);
+        assert_eq!(a[2], 3);
+        assert_eq!(a.with_axis(0, 9), iv(9, 22, 3));
+    }
+
+    #[test]
+    fn volume_and_dims() {
+        assert_eq!(iv(4, 5, 6).volume(), 120);
+        assert_eq!(iv(4, 5, 6).as_dims(), (4, 5, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative extent")]
+    fn negative_dims_panic() {
+        iv(-1, 2, 3).as_dims();
+    }
+}

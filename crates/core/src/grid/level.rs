@@ -1,0 +1,229 @@
+//! A grid level: a regular box of cells decomposed into equally-sized
+//! patches (paper §VII-A: "the grid is partitioned into equally-sized
+//! patches for parallelization", e.g. an 8x8x2 patch layout).
+//!
+//! Uintah proper supports adaptive refinement with multiple levels; the
+//! ported model problem runs on a single level, which is what this type
+//! provides (the runtime API keeps the level explicit so refinement can be
+//! added without churn).
+
+use super::intvec::{iv, IntVec};
+use super::region::{Face, Region};
+
+/// Identifier of a patch within its level.
+pub type PatchId = usize;
+
+/// One patch: a box of cells owned by exactly one rank at a time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Patch {
+    /// Id, equal to the patch's position in layout order (x-fastest).
+    pub id: PatchId,
+    /// Position in the patch layout (0..layout per axis).
+    pub index: IntVec,
+    /// Cells of this patch.
+    pub region: Region,
+}
+
+/// A single-level structured grid over the unit cube.
+#[derive(Clone, Debug)]
+pub struct Level {
+    grid: Region,
+    patch_extent: IntVec,
+    layout: IntVec,
+    patches: Vec<Patch>,
+}
+
+impl Level {
+    /// Build a level of `layout` patches, each of `patch_extent` cells.
+    ///
+    /// The paper's problems (Table III) use a fixed 8x8x2 layout with patch
+    /// extents from 16x16x512 to 128x128x512.
+    pub fn new(patch_extent: IntVec, layout: IntVec) -> Level {
+        assert!(patch_extent.volume() > 0, "empty patches");
+        assert!(layout.volume() > 0, "empty layout");
+        let grid = Region::of_extent(iv(
+            patch_extent.x * layout.x,
+            patch_extent.y * layout.y,
+            patch_extent.z * layout.z,
+        ));
+        let mut patches = Vec::with_capacity(layout.volume() as usize);
+        for pz in 0..layout.z {
+            for py in 0..layout.y {
+                for px in 0..layout.x {
+                    let index = iv(px, py, pz);
+                    let lo = iv(
+                        px * patch_extent.x,
+                        py * patch_extent.y,
+                        pz * patch_extent.z,
+                    );
+                    let id = patches.len();
+                    patches.push(Patch {
+                        id,
+                        index,
+                        region: Region::new(lo, lo + patch_extent),
+                    });
+                }
+            }
+        }
+        Level {
+            grid,
+            patch_extent,
+            layout,
+            patches,
+        }
+    }
+
+    /// All cells of the level.
+    pub fn grid(&self) -> Region {
+        self.grid
+    }
+
+    /// Patch extent in cells.
+    pub fn patch_extent(&self) -> IntVec {
+        self.patch_extent
+    }
+
+    /// Patches per axis.
+    pub fn layout(&self) -> IntVec {
+        self.layout
+    }
+
+    /// Number of patches.
+    pub fn n_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// All patches, id order.
+    pub fn patches(&self) -> &[Patch] {
+        &self.patches
+    }
+
+    /// Look up a patch by id.
+    pub fn patch(&self, id: PatchId) -> &Patch {
+        &self.patches[id]
+    }
+
+    /// Patch at a layout index, if in range.
+    pub fn patch_at(&self, index: IntVec) -> Option<PatchId> {
+        if index.x < 0
+            || index.y < 0
+            || index.z < 0
+            || index.x >= self.layout.x
+            || index.y >= self.layout.y
+            || index.z >= self.layout.z
+        {
+            return None;
+        }
+        Some((index.x + self.layout.x * (index.y + self.layout.y * index.z)) as usize)
+    }
+
+    /// The neighbor across `face`, or `None` at the physical boundary.
+    pub fn neighbor(&self, id: PatchId, face: Face) -> Option<PatchId> {
+        self.patch_at(self.patches[id].index + face.offset())
+    }
+
+    /// Whether `face` of patch `id` lies on the physical domain boundary.
+    pub fn is_physical_boundary(&self, id: PatchId, face: Face) -> bool {
+        self.neighbor(id, face).is_none()
+    }
+
+    /// Cell spacing over the unit cube: `(dx, dy, dz) = 1/(nx, ny, nz)`.
+    pub fn spacing(&self) -> (f64, f64, f64) {
+        let e = self.grid.extent();
+        (1.0 / e.x as f64, 1.0 / e.y as f64, 1.0 / e.z as f64)
+    }
+
+    /// Physical coordinate of the *centroid* of cell `c` (solution values
+    /// are situated at cell centroids, paper §III).
+    pub fn cell_center(&self, c: IntVec) -> (f64, f64, f64) {
+        let (dx, dy, dz) = self.spacing();
+        (
+            (c.x as f64 + 0.5) * dx,
+            (c.y as f64 + 0.5) * dy,
+            (c.z as f64 + 0.5) * dz,
+        )
+    }
+
+    /// Total cells of the ghosted grid, `(nx+2g)(ny+2g)(nz+2g)` — the cell
+    /// count the paper's Table I reports (its "Total Cells" for the
+    /// 16x16x512 problem is exactly 130*130*1026).
+    pub fn ghosted_cells(&self, g: i64) -> u64 {
+        self.grid.grow(g).cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::region::FACES;
+
+    fn paper_level() -> Level {
+        // Smallest paper problem: 16x16x512 patches in an 8x8x2 layout.
+        Level::new(iv(16, 16, 512), iv(8, 8, 2))
+    }
+
+    #[test]
+    fn layout_matches_paper_table_iii() {
+        let l = paper_level();
+        assert_eq!(l.n_patches(), 128);
+        assert_eq!(l.grid().extent(), iv(128, 128, 1024));
+        // Table I total cells for this problem: the ghosted grid volume.
+        assert_eq!(l.ghosted_cells(1), 17_339_400);
+    }
+
+    #[test]
+    fn patch_regions_tile_the_grid() {
+        let l = paper_level();
+        let total: u64 = l.patches().iter().map(|p| p.region.cells()).sum();
+        assert_eq!(total, l.grid().cells());
+        // Ids follow x-fastest layout order.
+        assert_eq!(l.patch(0).index, iv(0, 0, 0));
+        assert_eq!(l.patch(1).index, iv(1, 0, 0));
+        assert_eq!(l.patch(8).index, iv(0, 1, 0));
+        assert_eq!(l.patch(64).index, iv(0, 0, 1));
+        assert_eq!(l.patch_at(iv(7, 7, 1)), Some(127));
+    }
+
+    #[test]
+    fn neighbors_and_boundaries() {
+        let l = paper_level();
+        let xp = Face { axis: 0, high: true };
+        let xm = Face { axis: 0, high: false };
+        assert_eq!(l.neighbor(0, xp), Some(1));
+        assert_eq!(l.neighbor(1, xm), Some(0));
+        assert!(l.is_physical_boundary(0, xm));
+        assert!(!l.is_physical_boundary(0, xp));
+        // Every patch in an 8x8x2 layout touches a z boundary.
+        for p in 0..l.n_patches() {
+            let touches_z = FACES
+                .iter()
+                .any(|f| f.axis == 2 && l.is_physical_boundary(p, *f));
+            assert!(touches_z);
+        }
+    }
+
+    #[test]
+    fn neighbor_regions_are_adjacent() {
+        let l = paper_level();
+        for f in FACES {
+            if let Some(n) = l.neighbor(9, f) {
+                let me = l.patch(9).region;
+                let them = l.patch(n).region;
+                // My ghost slab across f is exactly their interior slab.
+                assert_eq!(me.face_ghost(f, 1), them.face_interior(f.opposite(), 1));
+                assert_eq!(me.face_ghost(f, 1).cells(), me.face_interior(f, 1).cells());
+            }
+        }
+    }
+
+    #[test]
+    fn spacing_and_centers() {
+        let l = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        let (dx, dy, dz) = l.spacing();
+        assert_eq!((dx, dy, dz), (1.0 / 8.0, 1.0 / 8.0, 1.0 / 8.0));
+        let (x, y, z) = l.cell_center(iv(0, 3, 7));
+        assert!((x - 0.0625).abs() < 1e-15);
+        assert!((y - 0.4375).abs() < 1e-15);
+        assert!((z - 0.9375).abs() < 1e-15);
+    }
+}

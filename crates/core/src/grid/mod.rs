@@ -1,0 +1,10 @@
+//! The structured grid: cell indices, regions, patches, and levels
+//! (paper §II, Fig 1).
+
+pub mod intvec;
+pub mod level;
+pub mod region;
+
+pub use intvec::{iv, IntVec};
+pub use level::{Level, Patch, PatchId};
+pub use region::{Face, Region, FACES};

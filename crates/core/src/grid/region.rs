@@ -1,0 +1,244 @@
+//! Half-open axis-aligned boxes of cells.
+
+use super::intvec::{iv, IntVec};
+
+/// A half-open box of cells: `lo <= cell < hi` component-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Inclusive low corner.
+    pub lo: IntVec,
+    /// Exclusive high corner.
+    pub hi: IntVec,
+}
+
+/// A face of a box, identified by axis and side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Face {
+    /// Axis 0/1/2 = x/y/z.
+    pub axis: usize,
+    /// `false` = low side, `true` = high side.
+    pub high: bool,
+}
+
+/// The six faces in deterministic order (x-, x+, y-, y+, z-, z+).
+pub const FACES: [Face; 6] = [
+    Face { axis: 0, high: false },
+    Face { axis: 0, high: true },
+    Face { axis: 1, high: false },
+    Face { axis: 1, high: true },
+    Face { axis: 2, high: false },
+    Face { axis: 2, high: true },
+];
+
+impl Face {
+    /// Outward unit offset of this face.
+    pub fn offset(self) -> IntVec {
+        let s = if self.high { 1 } else { -1 };
+        IntVec::ZERO.with_axis(self.axis, s)
+    }
+
+    /// Stable index 0..6 (for tags and arrays).
+    pub fn index(self) -> usize {
+        self.axis * 2 + usize::from(self.high)
+    }
+
+    /// The face opposite this one.
+    pub fn opposite(self) -> Face {
+        Face {
+            axis: self.axis,
+            high: !self.high,
+        }
+    }
+}
+
+impl Region {
+    /// Construct; `hi` must dominate `lo`.
+    pub fn new(lo: IntVec, hi: IntVec) -> Region {
+        assert!(
+            hi.x >= lo.x && hi.y >= lo.y && hi.z >= lo.z,
+            "inverted region {lo}..{hi}"
+        );
+        Region { lo, hi }
+    }
+
+    /// Box from the origin with the given extent.
+    pub fn of_extent(extent: IntVec) -> Region {
+        Region::new(IntVec::ZERO, extent)
+    }
+
+    /// Extent vector `hi - lo`.
+    pub fn extent(&self) -> IntVec {
+        self.hi - self.lo
+    }
+
+    /// Extent as unsigned dims.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.extent().as_dims()
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> u64 {
+        self.extent().volume() as u64
+    }
+
+    /// Whether no cells are inside.
+    pub fn is_empty(&self) -> bool {
+        self.cells() == 0
+    }
+
+    /// Whether `c` lies inside.
+    pub fn contains(&self, c: IntVec) -> bool {
+        c.x >= self.lo.x
+            && c.y >= self.lo.y
+            && c.z >= self.lo.z
+            && c.x < self.hi.x
+            && c.y < self.hi.y
+            && c.z < self.hi.z
+    }
+
+    /// Intersection (possibly empty).
+    pub fn intersect(&self, o: &Region) -> Region {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi).max(lo);
+        Region { lo, hi }
+    }
+
+    /// Grow by `g` cells on every side.
+    pub fn grow(&self, g: i64) -> Region {
+        Region::new(self.lo - iv(g, g, g), self.hi + iv(g, g, g))
+    }
+
+    /// The slab of `g` cells just *outside* the given face (the ghost region
+    /// a stencil with `g` ghost layers reads across that face).
+    pub fn face_ghost(&self, f: Face, g: i64) -> Region {
+        assert!(g >= 1);
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        if f.high {
+            lo = lo.with_axis(f.axis, self.hi.axis(f.axis));
+            hi = hi.with_axis(f.axis, self.hi.axis(f.axis) + g);
+        } else {
+            hi = hi.with_axis(f.axis, self.lo.axis(f.axis));
+            lo = lo.with_axis(f.axis, self.lo.axis(f.axis) - g);
+        }
+        Region::new(lo, hi)
+    }
+
+    /// The slab of `g` cells just *inside* the given face (what a neighbor
+    /// needs from us).
+    ///
+    /// # Panics
+    /// Panics if the region is thinner than `g` along the face's axis — a
+    /// patch must be at least as wide as the stencil's ghost depth.
+    pub fn face_interior(&self, f: Face, g: i64) -> Region {
+        assert!(g >= 1);
+        assert!(
+            self.extent().axis(f.axis) >= g,
+            "region {:?} thinner than ghost depth {g} on axis {}",
+            self,
+            f.axis
+        );
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        if f.high {
+            lo = lo.with_axis(f.axis, self.hi.axis(f.axis) - g);
+        } else {
+            hi = hi.with_axis(f.axis, self.lo.axis(f.axis) + g);
+        }
+        Region::new(lo, hi)
+    }
+
+    /// Iterate cells x-fastest (matching the storage order of variables).
+    pub fn iter(&self) -> impl Iterator<Item = IntVec> + '_ {
+        let (lo, hi) = (self.lo, self.hi);
+        (lo.z..hi.z).flat_map(move |z| {
+            (lo.y..hi.y).flat_map(move |y| (lo.x..hi.x).map(move |x| iv(x, y, z)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_and_cells() {
+        let r = Region::new(iv(1, 2, 3), iv(5, 6, 7));
+        assert_eq!(r.extent(), iv(4, 4, 4));
+        assert_eq!(r.cells(), 64);
+        assert!(!r.is_empty());
+        assert!(Region::new(iv(0, 0, 0), iv(0, 5, 5)).is_empty());
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let r = Region::of_extent(iv(2, 2, 2));
+        assert!(r.contains(iv(0, 0, 0)));
+        assert!(r.contains(iv(1, 1, 1)));
+        assert!(!r.contains(iv(2, 0, 0)));
+        assert!(!r.contains(iv(-1, 0, 0)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Region::new(iv(0, 0, 0), iv(4, 4, 4));
+        let b = Region::new(iv(2, 2, 2), iv(6, 6, 6));
+        let c = a.intersect(&b);
+        assert_eq!(c, Region::new(iv(2, 2, 2), iv(4, 4, 4)));
+        // Disjoint boxes give an empty region.
+        let d = Region::new(iv(10, 10, 10), iv(12, 12, 12));
+        assert!(a.intersect(&d).is_empty());
+    }
+
+    #[test]
+    fn grow() {
+        let r = Region::new(iv(0, 0, 0), iv(2, 2, 2)).grow(1);
+        assert_eq!(r, Region::new(iv(-1, -1, -1), iv(3, 3, 3)));
+    }
+
+    #[test]
+    fn face_regions() {
+        let r = Region::new(iv(0, 0, 0), iv(4, 4, 4));
+        let xm = Face { axis: 0, high: false };
+        let xp = Face { axis: 0, high: true };
+        assert_eq!(r.face_ghost(xm, 1), Region::new(iv(-1, 0, 0), iv(0, 4, 4)));
+        assert_eq!(r.face_ghost(xp, 1), Region::new(iv(4, 0, 0), iv(5, 4, 4)));
+        assert_eq!(
+            r.face_interior(xp, 1),
+            Region::new(iv(3, 0, 0), iv(4, 4, 4))
+        );
+        assert_eq!(
+            r.face_interior(xm, 2),
+            Region::new(iv(0, 0, 0), iv(2, 4, 4))
+        );
+        // Ghost slab of one patch's face == interior slab of the neighbor.
+        let neighbor = Region::new(iv(4, 0, 0), iv(8, 4, 4));
+        assert_eq!(
+            r.face_ghost(xp, 1),
+            neighbor.face_interior(xm, 1)
+        );
+    }
+
+    #[test]
+    fn faces_are_consistent() {
+        for (i, f) in FACES.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(f.opposite().opposite(), *f);
+            assert_eq!(f.offset() + f.opposite().offset(), IntVec::ZERO);
+        }
+    }
+
+    #[test]
+    fn iter_is_x_fastest() {
+        let r = Region::new(iv(0, 0, 0), iv(2, 2, 1));
+        let cells: Vec<_> = r.iter().collect();
+        assert_eq!(cells, vec![iv(0, 0, 0), iv(1, 0, 0), iv(0, 1, 0), iv(1, 1, 0)]);
+        assert_eq!(cells.len() as u64, r.cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted region")]
+    fn inverted_region_panics() {
+        Region::new(iv(1, 0, 0), iv(0, 5, 5));
+    }
+}

@@ -1,0 +1,34 @@
+//! `uintah-core` — a Uintah-style asynchronous many-task runtime with the
+//! Sunway-specific schedulers of "A Preliminary Port and Evaluation of the
+//! Uintah AMT Runtime on Sunway TaihuLight" (IPDPS workshops 2018).
+//!
+//! The runtime follows Uintah's architecture (paper §II): a structured grid
+//! decomposed into [`grid`] patches, per-timestep variables held in old/new
+//! [`var`] data warehouses, user problems described as coarse tasks over
+//! patches ([`task`]), a [`lb`] load balancer distributing patches over
+//! ranks, and a [`schedule`] scheduler executing tasks out of order while
+//! preserving dependencies and driving MPI through the warehouse.
+//!
+//! The schedulers are the paper's contribution (§V): an MPE task scheduler
+//! with MPE-only, synchronous MPE+CPE, and **asynchronous MPE+CPE** modes,
+//! delegating tile execution on the CPEs to the `sw-athread` layer. The
+//! [`sim`] controller advances all ranks through the shared `sw-sim`
+//! discrete-event machine model.
+
+
+#![warn(missing_docs)]
+pub mod grid;
+pub mod lb;
+pub mod schedule;
+pub mod sim;
+pub mod task;
+pub mod var;
+
+pub use grid::{iv, IntVec, Level, Patch, PatchId, Region};
+pub use lb::LoadBalancer;
+pub use schedule::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
+pub use sim::{run_simulation, RunConfig, RunReport, Simulation};
+pub use task::Application;
+pub use var::{CcVar, DataWarehouse, DwPair};
+
+pub use sw_sim::{MachineConfig, SimDur, SimTime};

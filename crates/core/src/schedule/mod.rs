@@ -1,0 +1,8 @@
+//! The Sunway-specific task schedulers (paper §V) — the contribution of the
+//! reproduced paper.
+
+pub mod rank;
+pub mod variant;
+
+pub use rank::{RankSched, RankStats, StepCtx, LABEL_U};
+pub use variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};

@@ -1,0 +1,982 @@
+//! The per-CG MPE task scheduler — the paper's contribution (§V).
+//!
+//! One scheduler instance runs per CG/rank and implements the MPE loop of
+//! §V-C in all three operation modes:
+//!
+//! * step 3a — post non-blocking receives for tasks depending on remote data
+//!   (at step begin, since the ghost data being exchanged is the old data
+//!   warehouse's, ready when the step starts);
+//! * step 3b — when the completion flag is set: finish the running task,
+//!   select the next ready offloadable task, process its MPE part (ghost
+//!   copies, boundary fills, data-warehouse bookkeeping), clear the flag and
+//!   offload the CPE part — returning immediately (async), spinning (sync),
+//!   or executing on the MPE (MPE-only);
+//! * step 3c — test posted sends and receives, updating dependent tasks
+//!   (the `sw-mpi` layer only progresses inside these calls);
+//! * step 3d — execute other MPE work (the per-step reduction).
+//!
+//! The scheduler is a state machine driven by the controller's event loop:
+//! `on_wake` is invoked whenever something this rank might care about
+//! happened, performs every action that has become possible, charges the
+//! consumed MPE time to the CG's [`sw_sim::MpeClock`], and arranges a wakeup
+//! for the earliest future instant it is waiting on.
+
+use std::collections::BTreeMap;
+
+use sw_athread::{
+    assign_tiles, choose_tile_shape, kernel_timing, run_patch_functional, tiles_of, AthreadGroup,
+    Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, KernelTiming, TileDesc,
+};
+use sw_math::ExpKind;
+use sw_mpi::{ModeledAllreduce, MpiWorld, RecvHandle, SendHandle};
+use sw_sim::{FlopCategory, Machine, MachineConfig, SimDur, SimTime};
+
+use crate::grid::{Level, PatchId};
+use crate::schedule::variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
+use crate::task::app::Application;
+use crate::task::plan::{ghost_tag, RankPlan};
+use crate::var::{CcVar, DwPair};
+
+/// The label of the solution variable `u` (the old data warehouse holds it
+/// ghosted; the last stage's output becomes it at the end of the step).
+pub const LABEL_U: usize = 0;
+
+/// The new-DW label of stage `s`'s output.
+const fn stage_label(s: usize) -> usize {
+    1 + s
+}
+
+/// Everything outside the rank that a scheduling step may touch.
+pub struct StepCtx<'a> {
+    /// The machine (event queue, MPE clocks, counters).
+    pub machine: &'a mut Machine,
+    /// The communicator.
+    pub mpi: &'a mut MpiWorld,
+    /// Per-step allreduces, keyed by step number.
+    pub reductions: &'a mut BTreeMap<u32, ModeledAllreduce>,
+    /// The grid level.
+    pub level: &'a Level,
+    /// The application being run.
+    pub app: &'a dyn Application,
+    /// Number of ranks in the run.
+    pub n_ranks: usize,
+}
+
+#[derive(Clone, Debug)]
+struct PatchRun {
+    /// Next stage to run (== `stages` when the patch finished the step).
+    stage: usize,
+    /// Remote ghost messages still missing, per stage.
+    recvs_by_stage: Vec<usize>,
+    /// Same-rank neighbor stage outputs still missing, per stage (stage 0
+    /// copies from the old DW during prep and needs none).
+    local_by_stage: Vec<usize>,
+    /// Whether the current stage's MPE part has run.
+    prepped: bool,
+}
+
+impl PatchRun {
+    fn advanced(&self, stages: usize) -> bool {
+        self.stage >= stages
+    }
+}
+
+struct CachedKernel {
+    assignment: Vec<Vec<TileDesc>>,
+    timing: KernelTiming,
+}
+
+/// Where a rank's MPE time went (all fields are totals over the run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpeBreakdown {
+    /// Task/data-warehouse bookkeeping (the per-task fixed + per-cell cost).
+    pub task_mgmt: SimDur,
+    /// Ghost packing/unpacking and same-rank data-warehouse copies.
+    pub copies: SimDur,
+    /// Boundary-condition fills (small MPE kernels).
+    pub boundary: SimDur,
+    /// MPI library calls (post, test, progress).
+    pub mpi: SimDur,
+    /// Busy-spinning on the completion flag (synchronous mode only).
+    pub spin: SimDur,
+    /// Kernels executed on the MPE itself (MPE-only mode) and offload
+    /// dispatch.
+    pub kernel: SimDur,
+}
+
+impl MpeBreakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> SimDur {
+        self.task_mgmt + self.copies + self.boundary + self.mpi + self.spin + self.kernel
+    }
+}
+
+/// Per-rank statistics gathered during the run.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Virtual instant each timestep completed on this rank.
+    pub step_end: Vec<SimTime>,
+    /// Kernels offloaded (or executed on the MPE).
+    pub kernels: u64,
+    /// Ghost messages received.
+    pub ghosts_received: u64,
+    /// Kernel execution spans `(patch, start, end)` for timeline views.
+    pub kernel_spans: Vec<(PatchId, SimTime, SimTime)>,
+    /// Where the MPE's busy time went.
+    pub mpe: MpeBreakdown,
+}
+
+/// The MPE task scheduler for one rank.
+pub struct RankSched {
+    rank: usize,
+    variant: Variant,
+    exec: ExecMode,
+    options: SchedulerOptions,
+    plan: RankPlan,
+    n_patches_total: usize,
+    athread: AthreadGroup,
+    dws: DwPair,
+    kernel_cache: BTreeMap<(Dims3, bool, usize), CachedKernel>,
+    /// Dependent kernel stages per timestep (from the application).
+    stages: usize,
+    // --- per-step state ---
+    step: u32,
+    total_steps: u32,
+    t: f64,
+    dt: f64,
+    patch_state: BTreeMap<PatchId, PatchRun>,
+    pending_recvs: Vec<(RecvHandle, usize, usize)>,
+    pending_sends: Vec<SendHandle>,
+    /// Patches whose MPE part is done, queued for the CPE cluster. In
+    /// asynchronous mode the MPE prepares these *while a kernel runs* — the
+    /// overlap of task management with computation that §V-C is built for.
+    prepped: std::collections::VecDeque<PatchId>,
+    /// In-flight offloads: kernel token -> patch.
+    running: BTreeMap<u64, PatchId>,
+    reduce_acc: Option<f64>,
+    contributed: bool,
+    done: bool,
+    wake_at: Option<SimTime>,
+    /// Rebalance every N steps (paper §V-C step 4); `None` = never.
+    rebalance_every: Option<u32>,
+    /// Set when the rank reached a rebalance boundary and waits for the
+    /// controller to recompile the task graph.
+    holding: Option<SimTime>,
+    /// Measured kernel time per local patch since the last rebalance — the
+    /// cost profile a measurement-driven load balancer consumes.
+    patch_cost: BTreeMap<PatchId, SimDur>,
+    /// Statistics.
+    pub stats: RankStats,
+}
+
+impl RankSched {
+    /// Build the scheduler for `rank`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: usize,
+        variant: Variant,
+        exec: ExecMode,
+        options: SchedulerOptions,
+        plan: RankPlan,
+        level: &Level,
+        cpes: usize,
+        total_steps: u32,
+    ) -> Self {
+        assert!(
+            options.cpe_groups == 1 || variant.mode == SchedulerMode::AsyncCpe,
+            "CPE grouping requires the asynchronous scheduler (a spinning MPE \
+             cannot feed multiple groups)"
+        );
+        RankSched {
+            rank,
+            variant,
+            exec,
+            options,
+            plan,
+            n_patches_total: level.n_patches(),
+            athread: AthreadGroup::with_groups(rank, cpes, options.cpe_groups),
+            dws: DwPair::new(),
+            kernel_cache: BTreeMap::new(),
+            stages: 1,
+            step: 0,
+            total_steps,
+            t: 0.0,
+            dt: 0.0,
+            patch_state: BTreeMap::new(),
+            pending_recvs: Vec::new(),
+            pending_sends: Vec::new(),
+            prepped: std::collections::VecDeque::new(),
+            running: BTreeMap::new(),
+            reduce_acc: None,
+            contributed: false,
+            done: false,
+            wake_at: None,
+            rebalance_every: None,
+            holding: None,
+            patch_cost: BTreeMap::new(),
+            stats: RankStats::default(),
+        }
+    }
+
+    /// Enable task-graph recompilation with load rebalancing every `n`
+    /// steps.
+    pub fn set_rebalance_every(&mut self, n: Option<u32>) {
+        assert!(n != Some(0), "rebalance interval must be positive");
+        self.rebalance_every = n;
+    }
+
+    /// Whether the rank is parked at a rebalance boundary, and since when.
+    pub fn holding(&self) -> Option<SimTime> {
+        self.holding
+    }
+
+    /// Drain the measured per-patch kernel costs (controller side of the
+    /// load balancer).
+    pub fn take_patch_costs(&mut self) -> BTreeMap<PatchId, SimDur> {
+        std::mem::take(&mut self.patch_cost)
+    }
+
+    /// Remove and return a local patch's solution variable for migration.
+    pub fn take_solution(&mut self, patch: PatchId) -> Option<CcVar> {
+        self.dws.old.take(LABEL_U, patch)
+    }
+
+    /// Resume after a rebalance with the recompiled plan, migrated solution
+    /// variables, and the instant migration traffic finished.
+    pub fn resume_rebalanced(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        plan: RankPlan,
+        vars: Vec<(PatchId, CcVar)>,
+        release_at: SimTime,
+    ) {
+        assert!(self.holding.is_some(), "resume without hold");
+        self.plan = plan;
+        for (p, v) in vars {
+            self.dws.old.put(LABEL_U, p, v);
+        }
+        self.holding = None;
+        let cursor = release_at.max(ctx.machine.cg(self.rank).mpe.free_at());
+        let cursor = self.begin_step(ctx, cursor);
+        self.drive(ctx, cursor);
+    }
+
+    /// Whether this rank has completed all timesteps.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Current timestep index.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Functional access to the solution variable of a local patch (the
+    /// ghosted `u` in the old data warehouse).
+    pub fn solution(&self, patch: PatchId) -> &CcVar {
+        self.dws.old.get(LABEL_U, patch)
+    }
+
+    /// Initialize the run: allocate and fill initial conditions (functional
+    /// mode), set the stable timestep, and begin step 0. Called once by the
+    /// controller at virtual time zero.
+    pub fn init_run(&mut self, ctx: &mut StepCtx<'_>) {
+        self.dt = ctx.app.stable_dt(ctx.level);
+        self.t = 0.0;
+        self.stages = ctx.app.stages();
+        assert!(self.stages >= 1, "an application needs at least one stage");
+        if self.exec == ExecMode::Functional {
+            let g = ctx.app.ghost();
+            for &p in &self.plan.patches.clone() {
+                let region = ctx.level.patch(p).region.grow(g);
+                let mut var = CcVar::new(region);
+                // The exact solution at t = 0 is the initial condition
+                // (paper §III); fill the whole ghosted box so even unused
+                // edge/corner ghosts hold sane values.
+                ctx.app.init(ctx.level, &region, &mut var);
+                self.dws.old.put(LABEL_U, p, var);
+            }
+        }
+        let cursor = SimTime::ZERO;
+        let cursor = self.begin_step(ctx, cursor);
+        self.drive(ctx, cursor);
+    }
+
+    /// Handle a wakeup at `now` (timer, message delivery, kernel done).
+    pub fn on_wake(&mut self, ctx: &mut StepCtx<'_>, now: SimTime) {
+        if self.done || self.holding.is_some() {
+            return;
+        }
+        if let Some(w) = self.wake_at {
+            if now >= w {
+                self.wake_at = None;
+            }
+        }
+        let cursor = now.max(ctx.machine.cg(self.rank).mpe.free_at());
+        self.drive(ctx, cursor);
+    }
+
+    // ---- step lifecycle -------------------------------------------------
+
+    /// Post this step's receives and sends; reset per-patch state.
+    /// Returns the advanced MPE cursor.
+    fn begin_step(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime) -> SimTime {
+        let cfg = ctx.machine.cfg().clone();
+        let stages = self.stages;
+        self.patch_state = self
+            .plan
+            .patches
+            .iter()
+            .map(|&p| {
+                let prep = &self.plan.prep[&p];
+                let mut local_by_stage = vec![prep.local_copies.len(); stages];
+                // Stage 0 copies its ghosts from the old DW during prep.
+                local_by_stage[0] = 0;
+                (
+                    p,
+                    PatchRun {
+                        stage: 0,
+                        recvs_by_stage: vec![prep.n_remote; stages],
+                        local_by_stage,
+                        prepped: false,
+                    },
+                )
+            })
+            .collect();
+        self.reduce_acc = None;
+        self.contributed = false;
+        self.running.clear();
+        self.prepped.clear();
+
+        // §V-C step 3a: post non-blocking receives first — for every stage;
+        // later stages' messages arrive as their producers complete.
+        let recvs = self.plan.recvs.clone();
+        for stage in 0..stages {
+            for (i, rv) in recvs.iter().enumerate() {
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                let tag = ghost_tag(
+                    self.step,
+                    stage,
+                    stages,
+                    self.n_patches_total,
+                    rv.src_patch,
+                    rv.face.opposite(),
+                );
+                let h = ctx.mpi.irecv(self.rank, rv.src_rank, tag);
+                self.pending_recvs.push((h, i, stage));
+            }
+        }
+        // Post sends of the old-DW ghost data (stage 0's input; the
+        // producing task completed last step): pack on the MPE, then isend.
+        for s in self.plan.sends.clone() {
+            let bytes = s.window.cells() * 8;
+            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+            let payload = (self.exec == ExecMode::Functional)
+                .then(|| self.dws.old.get(LABEL_U, s.src_patch).pack(&s.window));
+            let tag = ghost_tag(
+                self.step,
+                0,
+                stages,
+                self.n_patches_total,
+                s.src_patch,
+                s.face,
+            );
+            let h = ctx
+                .mpi
+                .isend(ctx.machine, self.rank, s.dst_rank, tag, bytes, payload, cursor);
+            self.pending_sends.push(h);
+        }
+        cursor
+    }
+
+    /// The scheduler loop: act until nothing further is possible, then
+    /// arrange the next wakeup.
+    fn drive(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime) {
+        loop {
+            let mut progressed = false;
+
+            // §V-C step 3c: test posted sends/receives (progression happens
+            // only inside the library).
+            if !self.pending_recvs.is_empty() || !self.pending_sends.is_empty() {
+                let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
+                cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
+                if ctx.mpi.progress(self.rank, ctx.machine, cursor) > 0 {
+                    progressed = true;
+                }
+                cursor = self.harvest_recvs(ctx, cursor, &mut progressed);
+                let mpi = &mut *ctx.mpi;
+                self.pending_sends.retain(|&h| !mpi.send_done(h));
+            }
+
+            // §V-C step 3b: completion flags.
+            for token in self.athread.try_complete(self.observable_now(ctx, cursor)) {
+                let p = self
+                    .running
+                    .remove(&token)
+                    .expect("completion for an unknown kernel");
+                cursor = self.finish_patch(ctx, cursor, p);
+                progressed = true;
+            }
+
+            // §V-C step 3(b)iv: offload prepared kernels onto free slots.
+            while self.athread.free_slot().is_some() {
+                let Some(p) = self.prepped.pop_front() else { break };
+                cursor = self.offload_patch(ctx, cursor, p);
+                progressed = true;
+            }
+
+            // §V-C step 3(b)iii: process the MPE part of the next ready
+            // task. In asynchronous mode this happens even while a kernel is
+            // running — the overlap the scheduler exists for; the other
+            // modes have a blocked MPE during kernels, so preparation only
+            // proceeds when the cluster is idle.
+            let may_prep = match self.variant.mode {
+                SchedulerMode::AsyncCpe => true,
+                _ => !self.athread.any_busy() && self.prepped.is_empty(),
+            };
+            if may_prep {
+                if let Some(p) = self.next_ready() {
+                    cursor = self.prep_patch(ctx, cursor, p);
+                    self.prepped.push_back(p);
+                    progressed = true;
+                }
+            }
+
+            // §V-C step 3d: other MPE tasks — the per-step reduction.
+            if !self.contributed && self.all_advanced() {
+                cursor = self.contribute_reduction(ctx, cursor);
+                progressed = true;
+            }
+
+            // End of timestep?
+            if self.step_can_end(ctx, cursor) {
+                cursor = self.end_step(ctx, cursor);
+                if self.done || self.holding.is_some() {
+                    return;
+                }
+                progressed = true;
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+        self.arrange_wakeup(ctx, cursor);
+    }
+
+    // ---- individual actions ---------------------------------------------
+
+    /// Latest kernel-completion instant observable by the MPE at `cursor`:
+    /// the synchronous scheduler spins and sees completions immediately; the
+    /// asynchronous one checks "at times", so a completion at T is only
+    /// observable from T + poll onwards.
+    fn observable_now(&self, ctx: &StepCtx<'_>, cursor: SimTime) -> SimTime {
+        match self.variant.mode {
+            SchedulerMode::AsyncCpe => {
+                let poll = ctx.machine.cfg().flag_poll_interval;
+                SimTime(cursor.0.saturating_sub(poll.0))
+            }
+            _ => cursor,
+        }
+    }
+
+    /// Process completed receives: unpack ghost payloads into the old DW and
+    /// update dependent tasks.
+    fn harvest_recvs(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        mut cursor: SimTime,
+        progressed: &mut bool,
+    ) -> SimTime {
+        let mut still = Vec::with_capacity(self.pending_recvs.len());
+        for (h, i, stage) in std::mem::take(&mut self.pending_recvs) {
+            if ctx.mpi.recv_done(h) {
+                let rv = self.plan.recvs[i].clone();
+                let bytes = rv.window.cells() * 8;
+                let copy = ctx.machine.cfg().mpe_copy_time(bytes);
+                cursor = self.consume_cat(ctx.machine, cursor, copy, |b| &mut b.copies);
+                if self.exec == ExecMode::Functional {
+                    let payload = ctx
+                        .mpi
+                        .take_payload(h)
+                        .expect("functional ghost message lost its payload");
+                    if stage == 0 {
+                        self.dws
+                            .old
+                            .get_mut(LABEL_U, rv.dst_patch)
+                            .unpack(&rv.window, &payload);
+                    } else {
+                        // Ghosts of the previous stage's output; allocate the
+                        // (ghosted) stage variable if the local kernel has not
+                        // produced it yet.
+                        let region = ctx.level.patch(rv.dst_patch).region.grow(ctx.app.ghost());
+                        self.dws
+                            .new
+                            .allocate(stage_label(stage - 1), rv.dst_patch, region)
+                            .unpack(&rv.window, &payload);
+                    }
+                }
+                ctx.mpi.retire_recv(h);
+                self.patch_state
+                    .get_mut(&rv.dst_patch)
+                    .expect("recv for non-local patch")
+                    .recvs_by_stage[stage] -= 1;
+                self.stats.ghosts_received += 1;
+                *progressed = true;
+            } else {
+                still.push((h, i, stage));
+            }
+        }
+        self.pending_recvs = still;
+        cursor
+    }
+
+    /// Lowest-id patch whose current stage's dependencies are met and whose
+    /// MPE part has not run yet.
+    fn next_ready(&self) -> Option<PatchId> {
+        let stages = self.stages;
+        self.patch_state
+            .iter()
+            .find(|(_, s)| {
+                !s.prepped
+                    && !s.advanced(stages)
+                    && s.recvs_by_stage[s.stage] == 0
+                    && s.local_by_stage[s.stage] == 0
+            })
+            .map(|(&p, _)| p)
+    }
+
+    fn all_advanced(&self) -> bool {
+        let stages = self.stages;
+        self.patch_state.values().all(|s| s.advanced(stages))
+    }
+
+    /// §V-C step 3(b)iii: the MPE part of the selected task — task and
+    /// data-warehouse bookkeeping, same-rank ghost copies, and the boundary
+    /// fills (small MPE kernels).
+    fn prep_patch(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime, p: PatchId) -> SimTime {
+        let cfg = ctx.machine.cfg().clone();
+        let stage = self.patch_state[&p].stage;
+        let cells = ctx.level.patch(p).region.cells();
+        cursor = self.consume_cat(
+            ctx.machine,
+            cursor,
+            cfg.mpe_task_overhead + cfg.mpe_task_per_cell * cells,
+            |b| &mut b.task_mgmt,
+        );
+        let prep = self.plan.prep[&p].clone();
+        if stage == 0 {
+            // Stage 0 reads the old DW: same-rank ghost copies happen here
+            // (the data has been ready since the step began).
+            for lc in &prep.local_copies {
+                let bytes = lc.window.cells() * 8;
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+                if self.exec == ExecMode::Functional {
+                    let src = self.dws.old.take(LABEL_U, lc.src_patch).expect("src patch var");
+                    self.dws
+                        .old
+                        .get_mut(LABEL_U, lc.dst_patch)
+                        .copy_region(&src, &lc.window);
+                    self.dws.old.put(LABEL_U, lc.src_patch, src);
+                }
+            }
+        }
+        // Boundary fills of the stage's input at the stage's time.
+        let t_stage = ctx.app.stage_time(stage, self.t, self.dt);
+        for bc in &prep.bc_regions {
+            let flops = ctx.app.bc_flops_per_cell() * bc.cells();
+            let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops);
+            cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.boundary);
+            ctx.machine
+                .cg_mut(self.rank)
+                .counters
+                .add(FlopCategory::Boundary, flops);
+            if self.exec == ExecMode::Functional {
+                let var = if stage == 0 {
+                    self.dws.old.get_mut(LABEL_U, p)
+                } else {
+                    let region = ctx.level.patch(p).region.grow(ctx.app.ghost());
+                    self.dws.new.allocate(stage_label(stage - 1), p, region)
+                };
+                ctx.app.fill_boundary(ctx.level, bc, var, t_stage);
+            }
+        }
+        self.patch_state
+            .get_mut(&p)
+            .expect("prepping non-local patch")
+            .prepped = true;
+        cursor
+    }
+
+    /// §V-C step 3(b)iv: run the prepared task's kernel under the variant's
+    /// mode.
+    fn offload_patch(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime, p: PatchId) -> SimTime {
+        let cfg = ctx.machine.cfg().clone();
+        let region = ctx.level.patch(p).region;
+        let dims = region.dims();
+        let stage = self.patch_state[&p].stage;
+        match self.variant.mode {
+            SchedulerMode::MpeOnly => {
+                let cost = ctx.app.stage_cost(stage);
+                let flops = cost.flops(dims);
+                let exp_flops = cost.exp_flops(dims);
+                let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops)
+                    .scale(1.0 / ctx.machine.cg_speed(self.rank));
+                let start = cursor.max(ctx.machine.cg(self.rank).mpe.free_at());
+                cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.kernel);
+                self.stats.kernel_spans.push((p, start, cursor));
+                *self.patch_cost.entry(p).or_default() += dur;
+                let counters = &mut ctx.machine.cg_mut(self.rank).counters;
+                counters.add(FlopCategory::Exp, exp_flops);
+                counters.add(FlopCategory::Stencil, flops - exp_flops);
+                if self.exec == ExecMode::Functional {
+                    // Whole patch as one "tile" with an unlimited scratchpad:
+                    // the MPE computes directly on main memory.
+                    let one = vec![vec![TileDesc {
+                        origin: (0, 0, 0),
+                        dims,
+                    }]];
+                    self.exec_kernel(ctx, p, stage, &one, usize::MAX);
+                }
+                self.stats.kernels += 1;
+                cursor = self.finish_patch(ctx, cursor, p);
+            }
+            SchedulerMode::SyncCpe | SchedulerMode::AsyncCpe => {
+                let spin = self.variant.mode == SchedulerMode::SyncCpe;
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.offload_spawn, |b| &mut b.kernel);
+                self.ensure_kernel_cached(ctx, dims, stage);
+                if self.exec == ExecMode::Functional {
+                    let ck = &self.kernel_cache[&(dims, self.variant.simd, stage)];
+                    let assignment = ck.assignment.clone();
+                    self.exec_kernel(ctx, p, stage, &assignment, cfg.ldm_bytes);
+                }
+                let timing = self.kernel_cache[&(dims, self.variant.simd, stage)]
+                    .timing
+                    .clone();
+                let h = self
+                    .athread
+                    .spawn(ctx.machine, cursor, &timing, spin);
+                // Measure what the kernel actually took (including CG speed
+                // and machine noise) — the load balancer's cost signal.
+                *self.patch_cost.entry(p).or_default() += h.done_at.since(cursor);
+                self.stats.kernel_spans.push((p, cursor, h.done_at));
+                self.stats.kernels += 1;
+                if spin {
+                    // §V-C: "the scheduler spins until the completion flag is
+                    // set, thus no overlapping ... is possible".
+                    self.stats.mpe.spin += h.done_at.since(cursor);
+                    cursor = ctx
+                        .machine
+                        .cg_mut(self.rank)
+                        .mpe
+                        .spin_until(cursor, h.done_at);
+                    assert_eq!(self.athread.try_complete(cursor), vec![h.token]);
+                    cursor = self.finish_patch(ctx, cursor, p);
+                } else {
+                    self.running.insert(h.token, p);
+                }
+            }
+        }
+        cursor
+    }
+
+    /// Compute (once per patch shape and stage) the tile assignment and
+    /// kernel timing.
+    fn ensure_kernel_cached(&mut self, ctx: &StepCtx<'_>, dims: Dims3, stage: usize) {
+        let key = (dims, self.variant.simd, stage);
+        if self.kernel_cache.contains_key(&key) {
+            return;
+        }
+        let cfg = ctx.machine.cfg();
+        let fp = InOutFootprint {
+            ghost: ctx.app.ghost() as usize,
+        };
+        let cpes = cfg.cpes_per_cg / self.options.cpe_groups;
+        let shape = choose_tile_shape(dims, &fp, cfg.ldm_bytes, cpes)
+            .unwrap_or_else(|| panic!("no tile of patch {dims:?} fits the LDM"));
+        let tiles = tiles_of(dims, shape);
+        let assignment = assign_tiles(&tiles, cpes);
+        let mut rate = match (self.variant.simd, self.variant.exp) {
+            (false, ExpKind::Fast) => KernelRate::scalar(cfg),
+            (true, ExpKind::Fast) => KernelRate::simd(cfg),
+            (false, ExpKind::Accurate) => KernelRate::scalar(cfg).with_accurate_exp(cfg),
+            (true, ExpKind::Accurate) => KernelRate::simd(cfg).with_accurate_exp(cfg),
+        };
+        if self.options.double_buffer {
+            rate = rate.with_double_buffer();
+        }
+        if self.options.packed_tiles {
+            rate = rate.with_packed_tiles();
+        }
+        let timing = kernel_timing(cfg, &assignment, ctx.app.stage_cost(stage), rate);
+        self.kernel_cache.insert(key, CachedKernel { assignment, timing });
+    }
+
+    /// Functionally execute stage `stage`'s kernel for patch `p` with the
+    /// given tile assignment (virtual time is charged separately by the cost
+    /// model).
+    fn exec_kernel(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        p: PatchId,
+        stage: usize,
+        assignment: &[Vec<TileDesc>],
+        ldm_bytes: usize,
+    ) {
+        let region = ctx.level.patch(p).region;
+        let g = ctx.app.ghost();
+        let gdims = region.grow(g).dims();
+        let mut out = CcVar::new(region);
+        let params = [
+            ctx.app.stage_time(stage, self.t, self.dt),
+            self.dt,
+            stage as f64,
+        ];
+        let kernel = ctx.app.stage_kernel(stage, self.variant.simd);
+        {
+            let input_var = if stage == 0 {
+                self.dws.old.get(LABEL_U, p)
+            } else {
+                self.dws.new.get(stage_label(stage - 1), p)
+            };
+            run_patch_functional(
+                kernel,
+                Field3 {
+                    data: input_var.data(),
+                    dims: gdims,
+                },
+                &mut Field3Mut {
+                    data: out.data_mut(),
+                    dims: region.dims(),
+                },
+                (region.lo.x, region.lo.y, region.lo.z),
+                assignment,
+                ldm_bytes,
+                &params,
+            )
+            .expect("kernel working set exceeded the LDM");
+        }
+        // Stage outputs live ghosted so they can serve as the next stage's
+        // input: write the interior into the (possibly pre-allocated, with
+        // ghosts already received) stage variable.
+        let ghosted = self
+            .dws
+            .new
+            .allocate(stage_label(stage), p, region.grow(g));
+        ghosted.copy_region(&out, &region);
+    }
+
+    /// Mark a patch's current stage done: post the dependent sends/copies of
+    /// its output (§V-C step 3(b)i) or, on the last stage, fold in the
+    /// reduction contribution.
+    fn finish_patch(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime, p: PatchId) -> SimTime {
+        let cfg = ctx.machine.cfg().clone();
+        let stage = self.patch_state[&p].stage;
+        let last = stage + 1 == self.stages;
+        if !last {
+            // "Post non-blocking MPI sends for the completed task": remote
+            // neighbors need this stage's output for their next stage.
+            for s in self.plan.sends.clone() {
+                if s.src_patch != p {
+                    continue;
+                }
+                let bytes = s.window.cells() * 8;
+                cursor =
+                    self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                let payload = (self.exec == ExecMode::Functional).then(|| {
+                    self.dws
+                        .new
+                        .get(stage_label(stage), s.src_patch)
+                        .pack(&s.window)
+                });
+                let tag = ghost_tag(
+                    self.step,
+                    stage + 1,
+                    self.stages,
+                    self.n_patches_total,
+                    s.src_patch,
+                    s.face,
+                );
+                let h = ctx.mpi.isend(
+                    ctx.machine,
+                    self.rank,
+                    s.dst_rank,
+                    tag,
+                    bytes,
+                    payload,
+                    cursor,
+                );
+                self.pending_sends.push(h);
+            }
+            // Same-rank neighbors: copy the output face into their stage
+            // input ghosts and release their dependency.
+            let g = ctx.app.ghost();
+            let copies: Vec<(PatchId, crate::grid::Region)> = self
+                .plan
+                .prep
+                .iter()
+                .flat_map(|(&dst, prep)| {
+                    prep.local_copies
+                        .iter()
+                        .filter(|lc| lc.src_patch == p)
+                        .map(move |lc| (dst, lc.window))
+                })
+                .collect();
+            for (dst, window) in copies {
+                let bytes = window.cells() * 8;
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+                if self.exec == ExecMode::Functional {
+                    let src = self
+                        .dws
+                        .new
+                        .take(stage_label(stage), p)
+                        .expect("finished stage lost its output");
+                    let region = ctx.level.patch(dst).region.grow(g);
+                    self.dws
+                        .new
+                        .allocate(stage_label(stage), dst, region)
+                        .copy_region(&src, &window);
+                    self.dws.new.put(stage_label(stage), p, src);
+                }
+                self.patch_state
+                    .get_mut(&dst)
+                    .expect("local copy to non-local patch")
+                    .local_by_stage[stage + 1] -= 1;
+            }
+        } else {
+            let val = if self.exec == ExecMode::Functional {
+                ctx.app.reduce(self.dws.new.get(stage_label(stage), p))
+            } else {
+                ctx.app.model_reduction_value()
+            };
+            self.reduce_acc = Some(match self.reduce_acc {
+                None => val,
+                Some(acc) => match ctx.app.reduce_op() {
+                    sw_mpi::ReduceOp::Min => acc.min(val),
+                    sw_mpi::ReduceOp::Max => acc.max(val),
+                    sw_mpi::ReduceOp::Sum => acc + val,
+                },
+            });
+        }
+        let st = self
+            .patch_state
+            .get_mut(&p)
+            .expect("finishing non-local patch");
+        st.stage += 1;
+        st.prepped = false;
+        cursor
+    }
+
+    /// Contribute to this step's allreduce; if we are the last contributor,
+    /// wake every rank at the result time.
+    fn contribute_reduction(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime) -> SimTime {
+        let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
+        cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
+        if !ctx.reductions.contains_key(&self.step) {
+            let red = ModeledAllreduce::new(ctx.machine.cfg(), ctx.n_ranks, ctx.app.reduce_op());
+            ctx.reductions.insert(self.step, red);
+        }
+        let red = ctx.reductions.get_mut(&self.step).unwrap();
+        red.contribute(self.rank, self.reduce_acc.unwrap_or(0.0), cursor);
+        self.contributed = true;
+        let ready = red.result_at();
+        if let Some((at, _)) = ready {
+            for r in 0..ctx.n_ranks {
+                ctx.machine.timer_at(r, at, 0);
+            }
+        }
+        cursor
+    }
+
+    fn step_can_end(&self, ctx: &StepCtx<'_>, cursor: SimTime) -> bool {
+        if !self.contributed || !self.pending_sends.is_empty() || !self.pending_recvs.is_empty() {
+            return false;
+        }
+        match ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
+            Some((at, _)) => at <= cursor,
+            None => false,
+        }
+    }
+
+    /// Advance the data warehouses and either finish the run or begin the
+    /// next step.
+    fn end_step(&mut self, ctx: &mut StepCtx<'_>, cursor: SimTime) -> SimTime {
+        if self.exec == ExecMode::Functional {
+            // The new DW becomes the old DW: the final stage's interiors
+            // replace the solution; ghost layers are refilled next step.
+            let last = stage_label(self.stages - 1);
+            for &p in &self.plan.patches.clone() {
+                let out = self
+                    .dws
+                    .new
+                    .take(last, p)
+                    .expect("patch did not compute its output");
+                let window = ctx.level.patch(p).region;
+                self.dws.old.get_mut(LABEL_U, p).copy_region(&out, &window);
+            }
+            self.dws.new.clear();
+        }
+        self.stats.step_end.push(cursor);
+        self.t += self.dt;
+        self.step += 1;
+        if self.step >= self.total_steps {
+            self.done = true;
+            return cursor;
+        }
+        // §V-C step 4: "check to see if recompilation of task graph, load
+        // balancing or regridding is needed" — park at the boundary and let
+        // the controller recompile.
+        if let Some(every) = self.rebalance_every {
+            if self.step.is_multiple_of(every) {
+                self.holding = Some(cursor);
+                return cursor;
+            }
+        }
+        self.begin_step(ctx, cursor)
+    }
+
+    /// Arrange to be woken at the earliest instant anything can change.
+    fn arrange_wakeup(&mut self, ctx: &mut StepCtx<'_>, cursor: SimTime) {
+        let mut at: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            at = Some(match at {
+                None => t,
+                Some(cur) => cur.min(t),
+            });
+        };
+        if let Some(h) = self.athread.inflight().first() {
+            let poll = match self.variant.mode {
+                SchedulerMode::AsyncCpe => ctx.machine.cfg().flag_poll_interval,
+                _ => sw_sim::SimDur::ZERO,
+            };
+            consider((h.done_at + poll).max(cursor));
+        }
+        if let Some((t, _)) = ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
+            if t > cursor {
+                consider(t);
+            }
+        }
+        // Message arrivals and CTS handshakes wake us via NetDeliver events;
+        // no polling needed for those.
+        if let Some(at) = at {
+            if self.wake_at.is_none_or(|w| at < w) {
+                self.wake_at = Some(at);
+                ctx.machine.timer_at(self.rank, at, 0);
+            }
+        }
+    }
+
+    /// Charge MPE time to a breakdown category.
+    fn consume_cat(
+        &mut self,
+        machine: &mut Machine,
+        cursor: SimTime,
+        d: SimDur,
+        cat: fn(&mut MpeBreakdown) -> &mut SimDur,
+    ) -> SimTime {
+        *cat(&mut self.stats.mpe) += d;
+        machine.cg_mut(self.rank).mpe.consume(cursor, d)
+    }
+}

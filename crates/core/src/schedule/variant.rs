@@ -1,0 +1,162 @@
+//! Scheduler operation modes and the paper's experimental variants.
+
+use sw_math::ExpKind;
+
+/// How the MPE task scheduler drives kernels (paper §V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// "MPE-only mode": the ready task executes on the MPE, no offloading.
+    MpeOnly,
+    /// "Synchronous MPE+CPE mode": offload, then spin on the completion
+    /// flag — no overlap of computation with other tasks.
+    SyncCpe,
+    /// The contributed asynchronous mode: offload and return immediately,
+    /// overlapping MPI, reductions, and task management with CPE compute.
+    AsyncCpe,
+}
+
+/// One experimental variant: scheduler mode x kernel optimization level
+/// (paper Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Variant {
+    /// Scheduler mode.
+    pub mode: SchedulerMode,
+    /// Whether the SIMD-vectorized kernel is used (§VI-B).
+    pub simd: bool,
+    /// Which software exp library the kernel links (§VI-C; the paper's runs
+    /// all use the fast one).
+    pub exp: ExpKind,
+}
+
+impl Variant {
+    /// `host.sync`: MPE-only, no tiling, no vectorization.
+    pub const HOST_SYNC: Variant = Variant {
+        mode: SchedulerMode::MpeOnly,
+        simd: false,
+        exp: ExpKind::Fast,
+    };
+    /// `acc.sync`: synchronous MPE+CPE, tiling, no vectorization.
+    pub const ACC_SYNC: Variant = Variant {
+        mode: SchedulerMode::SyncCpe,
+        simd: false,
+        exp: ExpKind::Fast,
+    };
+    /// `acc_simd.sync`: synchronous MPE+CPE, tiling, vectorized.
+    pub const ACC_SIMD_SYNC: Variant = Variant {
+        mode: SchedulerMode::SyncCpe,
+        simd: true,
+        exp: ExpKind::Fast,
+    };
+    /// `acc.async`: asynchronous MPE+CPE, tiling, no vectorization.
+    pub const ACC_ASYNC: Variant = Variant {
+        mode: SchedulerMode::AsyncCpe,
+        simd: false,
+        exp: ExpKind::Fast,
+    };
+    /// `acc_simd.async`: asynchronous MPE+CPE, tiling, vectorized — the
+    /// fastest variant studied.
+    pub const ACC_SIMD_ASYNC: Variant = Variant {
+        mode: SchedulerMode::AsyncCpe,
+        simd: true,
+        exp: ExpKind::Fast,
+    };
+
+    /// The five variants of Table IV, in the paper's order.
+    pub const TABLE_IV: [Variant; 5] = [
+        Variant::HOST_SYNC,
+        Variant::ACC_SYNC,
+        Variant::ACC_SIMD_SYNC,
+        Variant::ACC_ASYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ];
+
+    /// The paper's name for this variant.
+    pub fn name(&self) -> &'static str {
+        match (self.mode, self.simd) {
+            (SchedulerMode::MpeOnly, false) => "host.sync",
+            (SchedulerMode::MpeOnly, true) => "host_simd.sync",
+            (SchedulerMode::SyncCpe, false) => "acc.sync",
+            (SchedulerMode::SyncCpe, true) => "acc_simd.sync",
+            (SchedulerMode::AsyncCpe, false) => "acc.async",
+            (SchedulerMode::AsyncCpe, true) => "acc_simd.async",
+        }
+    }
+
+    /// Whether kernels are offloaded to the CPE cluster (tiling applies).
+    pub fn offloads(&self) -> bool {
+        self.mode != SchedulerMode::MpeOnly
+    }
+}
+
+/// Optional runtime features beyond the paper's implementation (§IX future
+/// work), evaluated by the ablation benches. The default is the paper's
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerOptions {
+    /// Split the 64 CPEs into this many groups and schedule different
+    /// patches to different groups concurrently ("to enable both task and
+    /// data parallelism on the CGs"). Requires the asynchronous scheduler.
+    pub cpe_groups: usize,
+    /// Double-buffer the memory-LDM transfers on the CPEs.
+    pub double_buffer: bool,
+    /// Pack each tile's fields into one DMA descriptor pair.
+    pub packed_tiles: bool,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            cpe_groups: 1,
+            double_buffer: false,
+            packed_tiles: false,
+        }
+    }
+}
+
+/// Whether kernels actually compute data or only advance the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Kernels really execute tile-by-tile through the LDM; results are
+    /// validated against exact solutions. For tests, examples, and small
+    /// problems.
+    Functional,
+    /// Kernels advance virtual time and flop counters analytically; no grid
+    /// data is allocated. For the paper-scale evaluation sweeps (up to
+    /// 1024^3 cells). Virtual times are identical to Functional by
+    /// construction (asserted by tests).
+    Model,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_names() {
+        let names: Vec<_> = Variant::TABLE_IV.iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "host.sync",
+                "acc.sync",
+                "acc_simd.sync",
+                "acc.async",
+                "acc_simd.async"
+            ]
+        );
+    }
+
+    #[test]
+    fn default_options_are_the_papers() {
+        let o = SchedulerOptions::default();
+        assert_eq!(o.cpe_groups, 1);
+        assert!(!o.double_buffer && !o.packed_tiles);
+    }
+
+    #[test]
+    fn offload_flag() {
+        assert!(!Variant::HOST_SYNC.offloads());
+        assert!(Variant::ACC_SYNC.offloads());
+        assert!(Variant::ACC_SIMD_ASYNC.offloads());
+    }
+}

@@ -1,0 +1,392 @@
+//! The simulation controller: owns the machine, the communicator, and one
+//! MPE scheduler per rank, and advances them through the shared
+//! discrete-event loop until all timesteps complete.
+//!
+//! This is the piece that, on the real machine, is the `mpirun` of one
+//! scheduler process per CG; here all ranks advance in one deterministic
+//! virtual timeline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sw_mpi::{ModeledAllreduce, MpiWorld};
+use sw_sim::{Machine, MachineConfig, MachineEvent, SimDur, SimTime};
+
+use crate::grid::{Level, PatchId};
+use crate::lb::LoadBalancer;
+use crate::schedule::rank::{RankSched, StepCtx};
+use crate::schedule::variant::{ExecMode, SchedulerOptions, Variant};
+use crate::sim::report::RunReport;
+use crate::task::app::Application;
+use crate::task::plan::build_rank_plan;
+use crate::var::CcVar;
+
+/// Configuration of one run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Scheduler/kernel variant (paper Table IV).
+    pub variant: Variant,
+    /// Functional or model execution.
+    pub exec: ExecMode,
+    /// Timesteps (the paper runs 10, §VII-A).
+    pub steps: u32,
+    /// Ranks = CGs.
+    pub n_ranks: usize,
+    /// Patch-to-rank policy.
+    pub lb: LoadBalancer,
+    /// Machine parameters.
+    pub machine: MachineConfig,
+    /// Extension features beyond the paper's implementation (§IX).
+    pub options: SchedulerOptions,
+    /// Recompile the task graph with measurement-driven load balancing every
+    /// N steps (paper §V-C step 4); `None` = the paper's static assignment.
+    pub rebalance_every: Option<u32>,
+    /// Seeded kernel-duration noise fraction ("instabilities in the
+    /// machine", §VII-A); 0 = exact.
+    pub noise_frac: f64,
+    /// Noise seed (repeat with different seeds and take the best, as the
+    /// paper does).
+    pub noise_seed: u64,
+    /// Per-CG relative speeds (heterogeneous hardware); `None` = uniform.
+    pub cg_speeds: Option<Vec<f64>>,
+}
+
+impl RunConfig {
+    /// The paper's standard setup: 10 steps, block load balancing, the
+    /// calibrated SW26010 machine.
+    pub fn paper(variant: Variant, exec: ExecMode, n_ranks: usize) -> Self {
+        RunConfig {
+            variant,
+            exec,
+            steps: 10,
+            n_ranks,
+            lb: LoadBalancer::Block,
+            machine: MachineConfig::sw26010(),
+            options: SchedulerOptions::default(),
+            rebalance_every: None,
+            noise_frac: 0.0,
+            noise_seed: 0,
+            cg_speeds: None,
+        }
+    }
+}
+
+/// A constructed simulation, ready to run.
+///
+/// The example below defines a complete (if tiny) application from scratch -
+/// a kernel that decays the field by 1% per step - and runs it through the
+/// asynchronous Sunway scheduler on two simulated CGs:
+///
+/// ```
+/// use std::sync::Arc;
+/// use sw_athread::{cells, CpeTileKernel, Dims3, TileCostModel, TileCtx};
+/// use uintah_core::grid::{iv, Level, Region};
+/// use uintah_core::task::Application;
+/// use uintah_core::var::CcVar;
+/// use uintah_core::{ExecMode, RunConfig, Simulation, Variant};
+///
+/// struct Decay;
+/// impl CpeTileKernel for Decay {
+///     fn ghost(&self) -> usize { 1 }
+///     fn compute(&self, ctx: &mut TileCtx<'_>) {
+///         let d = ctx.tile.dims;
+///         for z in 0..d.2 { for y in 0..d.1 { for x in 0..d.0 {
+///             ctx.out_at(x, y, z, 0.99 * ctx.in_at(x, y, z, 0, 0, 0));
+///         }}}
+///     }
+/// }
+/// impl TileCostModel for Decay {
+///     fn ghost(&self) -> usize { 1 }
+///     fn flops(&self, d: Dims3) -> u64 { cells(d) }
+///     fn exp_flops(&self, _d: Dims3) -> u64 { 0 }
+///     fn exp_calls(&self, _d: Dims3) -> u64 { 0 }
+/// }
+/// impl Application for Decay {
+///     fn name(&self) -> &str { "decay" }
+///     fn ghost(&self) -> i64 { 1 }
+///     fn cost(&self) -> &dyn TileCostModel { self }
+///     fn kernel(&self, _simd: bool) -> &dyn CpeTileKernel { self }
+///     fn bc_flops_per_cell(&self) -> u64 { 1 }
+///     fn stable_dt(&self, _level: &Level) -> f64 { 1.0 }
+///     fn init(&self, _l: &Level, region: &Region, var: &mut CcVar) {
+///         for c in region.iter() { var.set(c, 1.0); }
+///     }
+///     fn fill_boundary(&self, _l: &Level, region: &Region, var: &mut CcVar, t: f64) {
+///         for c in region.iter() { var.set(c, 0.99f64.powf(t)); }
+///     }
+/// }
+///
+/// let level = Level::new(iv(4, 4, 4), iv(2, 1, 1));
+/// let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 2);
+/// cfg.steps = 3;
+/// let mut sim = Simulation::new(level, Arc::new(Decay), cfg);
+/// let report = sim.run();
+/// assert_eq!(report.kernels, 2 * 3);
+/// // Every interior cell decayed 1% per step.
+/// let v = sim.solution(0).get(iv(1, 1, 1));
+/// assert!((v - 0.99f64.powi(3)).abs() < 1e-12);
+/// ```
+pub struct Simulation {
+    level: Level,
+    app: Arc<dyn Application>,
+    cfg: RunConfig,
+    assignment: Vec<usize>,
+    machine: Machine,
+    mpi: MpiWorld,
+    reductions: BTreeMap<u32, ModeledAllreduce>,
+    ranks: Vec<RankSched>,
+}
+
+impl Simulation {
+    /// Build a simulation of `app` on `level` under `cfg`.
+    pub fn new(level: Level, app: Arc<dyn Application>, cfg: RunConfig) -> Self {
+        let assignment = cfg.lb.assign(&level, cfg.n_ranks);
+        let mut machine = Machine::new(cfg.machine.clone(), cfg.n_ranks);
+        machine.set_noise(cfg.noise_frac, cfg.noise_seed);
+        if let Some(speeds) = &cfg.cg_speeds {
+            assert_eq!(speeds.len(), cfg.n_ranks, "one speed per CG");
+            for (cg, &s) in speeds.iter().enumerate() {
+                machine.set_cg_speed(cg, s);
+            }
+        }
+        let mpi = MpiWorld::new(cfg.n_ranks);
+        let ranks = (0..cfg.n_ranks)
+            .map(|r| {
+                let plan = build_rank_plan(&level, &assignment, r, app.ghost());
+                let mut sched = RankSched::new(
+                    r,
+                    cfg.variant,
+                    cfg.exec,
+                    cfg.options,
+                    plan,
+                    &level,
+                    cfg.machine.cpes_per_cg,
+                    cfg.steps,
+                );
+                sched.set_rebalance_every(cfg.rebalance_every);
+                sched
+            })
+            .collect();
+        Simulation {
+            level,
+            app,
+            cfg,
+            assignment,
+            machine,
+            mpi,
+            reductions: BTreeMap::new(),
+            ranks,
+        }
+    }
+
+    /// The grid level.
+    pub fn level(&self) -> &Level {
+        &self.level
+    }
+
+    /// The patch-to-rank assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Run to completion and produce the report.
+    ///
+    /// # Panics
+    /// Panics on deadlock (events exhausted with unfinished ranks) — which
+    /// would indicate a scheduler bug, never a legal outcome.
+    pub fn run(&mut self) -> RunReport {
+        let Simulation {
+            level,
+            app,
+            cfg,
+            assignment,
+            machine,
+            mpi,
+            reductions,
+            ranks,
+        } = self;
+        let n_ranks = cfg.n_ranks;
+        macro_rules! ctx {
+            () => {
+                &mut StepCtx {
+                    machine,
+                    mpi,
+                    reductions,
+                    level,
+                    app: &**app,
+                    n_ranks,
+                }
+            };
+        }
+        for r in ranks.iter_mut() {
+            r.init_run(ctx!());
+        }
+        loop {
+            // §V-C step 4: if every rank parked at the rebalance boundary,
+            // recompile the task graph with measured costs and resume.
+            if !ranks.is_empty() && ranks.iter().all(|r| r.holding().is_some()) {
+                Self::rebalance(level, app, cfg, assignment, machine, mpi, reductions, ranks);
+                continue;
+            }
+            if ranks.iter().all(|r| r.is_done()) {
+                break;
+            }
+            let Some((t, ev)) = machine.pop() else {
+                let states: Vec<String> = ranks
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "rank step={} done={} holding={}",
+                            r.step(),
+                            r.is_done(),
+                            r.holding().is_some()
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "deadlock: event queue empty with unfinished ranks: {}",
+                    states.join("; ")
+                );
+            };
+            match ev {
+                MachineEvent::KernelDone { cg, .. } => ranks[cg].on_wake(ctx!(), t),
+                MachineEvent::NetDeliver { dst, token } => {
+                    mpi.on_wire(token);
+                    ranks[dst].on_wake(ctx!(), t);
+                }
+                MachineEvent::Timer { cg, .. } => ranks[cg].on_wake(ctx!(), t),
+            }
+        }
+        self.report()
+    }
+
+    /// Recompile the task graph: gather measured per-patch costs, compute a
+    /// measurement-driven LPT assignment over the CGs' relative speeds,
+    /// migrate patch data, rebuild every rank's plan, and release the ranks
+    /// once the migration traffic has (modeled) completed.
+    #[allow(clippy::too_many_arguments)]
+    fn rebalance(
+        level: &Level,
+        app: &Arc<dyn Application>,
+        cfg: &RunConfig,
+        assignment: &mut Vec<usize>,
+        machine: &mut Machine,
+        mpi: &mut MpiWorld,
+        reductions: &mut BTreeMap<u32, ModeledAllreduce>,
+        ranks: &mut [RankSched],
+    ) {
+        let n_ranks = cfg.n_ranks;
+        // Gather costs and the global hold instant.
+        let mut costs: BTreeMap<usize, sw_sim::SimDur> = BTreeMap::new();
+        let mut held_at = sw_sim::SimTime::ZERO;
+        for r in ranks.iter_mut() {
+            held_at = held_at.max(r.holding().expect("all ranks hold here"));
+            for (p, c) in r.take_patch_costs() {
+                *costs.entry(p).or_default() += c;
+            }
+        }
+        let speeds: Vec<f64> = (0..n_ranks).map(|cg| machine.cg_speed(cg)).collect();
+        let new_assignment = crate::lb::lpt_assign(&costs, &speeds);
+        assert_eq!(new_assignment.len(), level.n_patches());
+
+        // Migration: every patch changing ranks ships its ghosted solution.
+        // Modeled as bulk transfers serialized per rank (pack + wire).
+        let g = app.ghost();
+        let mut moved_bytes = vec![0u64; n_ranks];
+        let mut migrated: Vec<Vec<(usize, crate::var::CcVar)>> = vec![Vec::new(); n_ranks];
+        for p in 0..level.n_patches() {
+            let (from, to) = (assignment[p], new_assignment[p]);
+            if from != to {
+                let bytes = level.patch(p).region.grow(g).cells() * 8;
+                moved_bytes[from] += bytes;
+                moved_bytes[to] += bytes;
+                if cfg.exec == crate::schedule::variant::ExecMode::Functional {
+                    let var = ranks[from]
+                        .take_solution(p)
+                        .expect("migrating patch lost its data");
+                    migrated[to].push((p, var));
+                }
+            }
+        }
+        let worst = moved_bytes.iter().copied().max().unwrap_or(0);
+        let release_at = held_at
+            + cfg.machine.mpe_copy_time(worst)
+            + cfg.machine.net_time(worst);
+
+        *assignment = new_assignment;
+        for (r, rank) in ranks.iter_mut().enumerate() {
+            let plan = build_rank_plan(level, assignment, r, g);
+            let vars = std::mem::take(&mut migrated[r]);
+            let mut ctx = StepCtx {
+                machine,
+                mpi,
+                reductions,
+                level,
+                app: &**app,
+                n_ranks,
+            };
+            rank.resume_rebalanced(&mut ctx, plan, vars, release_at);
+        }
+    }
+
+    /// Build the report from the finished run.
+    fn report(&self) -> RunReport {
+        let steps = self.cfg.steps;
+        let mut step_end = Vec::with_capacity(steps as usize);
+        for s in 0..steps as usize {
+            let t = self
+                .ranks
+                .iter()
+                .map(|r| r.stats.step_end[s])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            step_end.push(t);
+        }
+        let total_time = step_end
+            .last()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO);
+        let mut mpe_busy = SimDur::ZERO;
+        let mut cpe_busy = SimDur::ZERO;
+        for r in 0..self.cfg.n_ranks {
+            mpe_busy += self.machine.cg(r).mpe.busy_total();
+            cpe_busy += self.machine.cg(r).cpe_busy_total();
+        }
+        RunReport {
+            variant: self.cfg.variant.name(),
+            steps,
+            n_ranks: self.cfg.n_ranks,
+            step_end,
+            total_time,
+            flops: self.machine.total_flops(),
+            messages: self.machine.stats().messages,
+            net_bytes: self.machine.stats().net_bytes,
+            kernels: self.ranks.iter().map(|r| r.stats.kernels).sum(),
+            events: self.machine.events_popped(),
+            mpe_busy,
+            cpe_busy,
+        }
+    }
+
+    /// Per-rank statistics of a finished run (kernel spans, step ends).
+    pub fn rank_stats(&self, rank: usize) -> &crate::schedule::rank::RankStats {
+        &self.ranks[rank].stats
+    }
+
+    /// Functional-mode access to the final solution of a patch.
+    pub fn solution(&self, patch: PatchId) -> &CcVar {
+        let rank = self.assignment[patch];
+        self.ranks[rank].solution(patch)
+    }
+
+    /// Final simulated physical time.
+    pub fn final_time(&self) -> f64 {
+        self.cfg.steps as f64 * self.app.stable_dt(&self.level)
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_simulation(level: Level, app: Arc<dyn Application>, cfg: RunConfig) -> RunReport {
+    Simulation::new(level, app, cfg).run()
+}

@@ -1,0 +1,7 @@
+//! The simulation controller and run reports.
+
+pub mod controller;
+pub mod report;
+
+pub use controller::{run_simulation, RunConfig, Simulation};
+pub use report::RunReport;

@@ -1,0 +1,9 @@
+//! Task declaration and distributed task-graph compilation (paper §II).
+
+pub mod app;
+pub mod dot;
+pub mod plan;
+
+pub use app::Application;
+pub use dot::task_graph_dot;
+pub use plan::{build_rank_plan, ghost_tag, GhostRecv, GhostSend, LocalCopy, PatchPrep, RankPlan};

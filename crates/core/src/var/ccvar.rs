@@ -1,0 +1,206 @@
+//! Cell-centered grid variables.
+//!
+//! A [`CcVar`] stores one `f64` per cell over a region (typically a patch,
+//! possibly grown by ghost layers), x-fastest — the layout the CPE tile
+//! DMA transfers assume.
+
+use crate::grid::{IntVec, Region};
+
+/// A cell-centered double-precision variable over a region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CcVar {
+    region: Region,
+    data: Vec<f64>,
+}
+
+impl CcVar {
+    /// Zero-initialized variable over `region`.
+    pub fn new(region: Region) -> CcVar {
+        CcVar {
+            region,
+            data: vec![0.0; region.cells() as usize],
+        }
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Flat index of cell `c`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `c` is outside the region.
+    #[inline]
+    pub fn index(&self, c: IntVec) -> usize {
+        debug_assert!(self.region.contains(c), "{c} outside {:?}", self.region);
+        let r = self.region.lo;
+        let e = self.region.extent();
+        ((c.x - r.x) + e.x * ((c.y - r.y) + e.y * (c.z - r.z))) as usize
+    }
+
+    /// Read cell `c`.
+    #[inline]
+    pub fn get(&self, c: IntVec) -> f64 {
+        self.data[self.index(c)]
+    }
+
+    /// Write cell `c`.
+    #[inline]
+    pub fn set(&mut self, c: IntVec, v: f64) {
+        let i = self.index(c);
+        self.data[i] = v;
+    }
+
+    /// The raw storage, x-fastest.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Copy the cells of `window` (must lie inside both variables) from
+    /// `src` into `self`, row by row.
+    pub fn copy_region(&mut self, src: &CcVar, window: &Region) {
+        let w = self.region.intersect(window).intersect(&src.region);
+        assert_eq!(w, *window, "window escapes a variable's region");
+        for z in w.lo.z..w.hi.z {
+            for y in w.lo.y..w.hi.y {
+                let row = (w.hi.x - w.lo.x) as usize;
+                let s = src.index(IntVec { x: w.lo.x, y, z });
+                let d = self.index(IntVec { x: w.lo.x, y, z });
+                self.data[d..d + row].copy_from_slice(&src.data[s..s + row]);
+            }
+        }
+    }
+
+    /// Extract the cells of `window` into a fresh x-fastest vector
+    /// (message packing).
+    pub fn pack(&self, window: &Region) -> Vec<f64> {
+        let w = self.region.intersect(window);
+        assert_eq!(w, *window, "window escapes the variable's region");
+        let mut out = Vec::with_capacity(w.cells() as usize);
+        for z in w.lo.z..w.hi.z {
+            for y in w.lo.y..w.hi.y {
+                let row = (w.hi.x - w.lo.x) as usize;
+                let s = self.index(IntVec { x: w.lo.x, y, z });
+                out.extend_from_slice(&self.data[s..s + row]);
+            }
+        }
+        out
+    }
+
+    /// Scatter a packed vector back into the cells of `window`
+    /// (message unpacking).
+    pub fn unpack(&mut self, window: &Region, packed: &[f64]) {
+        let w = self.region.intersect(window);
+        assert_eq!(w, *window, "window escapes the variable's region");
+        assert_eq!(packed.len() as u64, w.cells(), "payload size mismatch");
+        let mut off = 0;
+        for z in w.lo.z..w.hi.z {
+            for y in w.lo.y..w.hi.y {
+                let row = (w.hi.x - w.lo.x) as usize;
+                let d = self.index(IntVec { x: w.lo.x, y, z });
+                self.data[d..d + row].copy_from_slice(&packed[off..off + row]);
+                off += row;
+            }
+        }
+    }
+
+    /// Maximum absolute value over the whole variable.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::iv;
+
+    #[test]
+    fn indexing_is_x_fastest_with_offset_origin() {
+        let r = Region::new(iv(-1, -1, -1), iv(3, 3, 3));
+        let mut v = CcVar::new(r);
+        assert_eq!(v.index(iv(-1, -1, -1)), 0);
+        assert_eq!(v.index(iv(0, -1, -1)), 1);
+        assert_eq!(v.index(iv(-1, 0, -1)), 4);
+        assert_eq!(v.index(iv(-1, -1, 0)), 16);
+        v.set(iv(2, 2, 2), 7.5);
+        assert_eq!(v.get(iv(2, 2, 2)), 7.5);
+        assert_eq!(v.data().len(), 64);
+    }
+
+    #[test]
+    fn copy_region_moves_a_window() {
+        let mut a = CcVar::new(Region::of_extent(iv(4, 4, 4)));
+        let mut b = CcVar::new(Region::of_extent(iv(4, 4, 4)));
+        for c in b.region().iter() {
+            let val = (c.x + 10 * c.y + 100 * c.z) as f64;
+            b.set(c, val);
+        }
+        let w = Region::new(iv(1, 1, 1), iv(3, 3, 3));
+        a.copy_region(&b, &w);
+        for c in w.iter() {
+            assert_eq!(a.get(c), b.get(c));
+        }
+        assert_eq!(a.get(iv(0, 0, 0)), 0.0, "outside window untouched");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut src = CcVar::new(Region::of_extent(iv(5, 4, 3)));
+        for (i, c) in src.region().iter().enumerate().collect::<Vec<_>>() {
+            src.set(c, i as f64 * 0.5);
+        }
+        let w = Region::new(iv(1, 0, 1), iv(4, 4, 3));
+        let packed = src.pack(&w);
+        assert_eq!(packed.len() as u64, w.cells());
+        let mut dst = CcVar::new(Region::of_extent(iv(5, 4, 3)));
+        dst.unpack(&w, &packed);
+        for c in w.iter() {
+            assert_eq!(dst.get(c), src.get(c));
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_shape() {
+        // Pack a face-interior slab of one patch, unpack into the neighbor's
+        // ghost slab: the canonical exchange.
+        use crate::grid::region::Face;
+        let left = Region::of_extent(iv(4, 4, 4));
+        let right = Region::new(iv(4, 0, 0), iv(8, 4, 4));
+        let mut lvar = CcVar::new(left.grow(1));
+        for c in left.iter() {
+            lvar.set(c, (c.x + c.y + c.z) as f64);
+        }
+        let xp = Face { axis: 0, high: true };
+        let slab = left.face_interior(xp, 1);
+        let packed = lvar.pack(&slab);
+        let mut rvar = CcVar::new(right.grow(1));
+        let ghost = right.face_ghost(xp.opposite(), 1);
+        assert_eq!(ghost, slab, "geometry: my interior is their ghost");
+        rvar.unpack(&ghost, &packed);
+        for c in ghost.iter() {
+            assert_eq!(rvar.get(c), lvar.get(c));
+        }
+    }
+
+    #[test]
+    fn max_abs() {
+        let mut v = CcVar::new(Region::of_extent(iv(2, 2, 2)));
+        v.set(iv(0, 1, 1), -9.0);
+        v.set(iv(1, 0, 0), 3.0);
+        assert_eq!(v.max_abs(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window escapes")]
+    fn pack_outside_region_panics() {
+        let v = CcVar::new(Region::of_extent(iv(2, 2, 2)));
+        v.pack(&Region::new(iv(0, 0, 0), iv(3, 2, 2)));
+    }
+}

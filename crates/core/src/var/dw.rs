@@ -1,0 +1,165 @@
+//! The data warehouse.
+//!
+//! Uintah distinguishes data of different timesteps with two warehouses: the
+//! *old* DW holds the previous step's results; tasks read from it and
+//! populate the *new* DW; after the timestep the new DW becomes the old DW
+//! (paper §II). A warehouse stores one [`CcVar`] per `(label, patch)`.
+//!
+//! In *model* execution mode no data is allocated — the schedulers still run
+//! the identical control flow, but `get`/`put` are never called.
+
+use std::collections::BTreeMap;
+
+use crate::grid::{PatchId, Region};
+use crate::var::ccvar::CcVar;
+use crate::var::label::LabelId;
+
+/// One timestep's variable store.
+#[derive(Clone, Debug, Default)]
+pub struct DataWarehouse {
+    vars: BTreeMap<(LabelId, PatchId), CcVar>,
+}
+
+impl DataWarehouse {
+    /// Empty warehouse.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate-and-put a zeroed variable over `region`.
+    pub fn allocate(&mut self, label: LabelId, patch: PatchId, region: Region) -> &mut CcVar {
+        self.vars
+            .entry((label, patch))
+            .or_insert_with(|| CcVar::new(region))
+    }
+
+    /// Store a computed variable.
+    pub fn put(&mut self, label: LabelId, patch: PatchId, var: CcVar) {
+        self.vars.insert((label, patch), var);
+    }
+
+    /// Read a variable.
+    ///
+    /// # Panics
+    /// Panics if absent — a task required a label nothing computed.
+    pub fn get(&self, label: LabelId, patch: PatchId) -> &CcVar {
+        self.vars
+            .get(&(label, patch))
+            .unwrap_or_else(|| panic!("DW miss: label {label} patch {patch}"))
+    }
+
+    /// Mutable access (ghost unpacking, boundary fills).
+    pub fn get_mut(&mut self, label: LabelId, patch: PatchId) -> &mut CcVar {
+        self.vars
+            .get_mut(&(label, patch))
+            .unwrap_or_else(|| panic!("DW miss: label {label} patch {patch}"))
+    }
+
+    /// Whether a variable exists.
+    pub fn exists(&self, label: LabelId, patch: PatchId) -> bool {
+        self.vars.contains_key(&(label, patch))
+    }
+
+    /// Remove and return a variable (used when the new DW's output becomes
+    /// the old DW's input without copying).
+    pub fn take(&mut self, label: LabelId, patch: PatchId) -> Option<CcVar> {
+        self.vars.remove(&(label, patch))
+    }
+
+    /// Number of stored variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Clear everything (start of a fresh step for the new DW).
+    pub fn clear(&mut self) {
+        self.vars.clear();
+    }
+}
+
+/// The old/new warehouse pair with the end-of-timestep swap.
+#[derive(Clone, Debug, Default)]
+pub struct DwPair {
+    /// Previous timestep's results (tasks read here).
+    pub old: DataWarehouse,
+    /// Current timestep's results (tasks write here).
+    pub new: DataWarehouse,
+}
+
+impl DwPair {
+    /// Fresh pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// End of timestep: the new DW becomes the old one; the fresh new DW is
+    /// empty (paper §II: "After the timestep is completed, the new
+    /// datawarehouse becomes the old datawarehouse for the next timestep").
+    pub fn advance(&mut self) {
+        std::mem::swap(&mut self.old, &mut self.new);
+        self.new.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::iv;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut dw = DataWarehouse::new();
+        let r = Region::of_extent(iv(2, 2, 2));
+        let mut v = CcVar::new(r);
+        v.set(iv(1, 1, 1), 4.5);
+        dw.put(3, 7, v);
+        assert!(dw.exists(3, 7));
+        assert!(!dw.exists(3, 8));
+        assert_eq!(dw.get(3, 7).get(iv(1, 1, 1)), 4.5);
+        dw.get_mut(3, 7).set(iv(0, 0, 0), 1.0);
+        assert_eq!(dw.get(3, 7).get(iv(0, 0, 0)), 1.0);
+        assert_eq!(dw.len(), 1);
+    }
+
+    #[test]
+    fn allocate_is_idempotent() {
+        let mut dw = DataWarehouse::new();
+        let r = Region::of_extent(iv(2, 2, 2));
+        dw.allocate(0, 0, r).set(iv(0, 0, 0), 9.0);
+        // A second allocate must not wipe the data.
+        assert_eq!(dw.allocate(0, 0, r).get(iv(0, 0, 0)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DW miss")]
+    fn missing_variable_panics() {
+        DataWarehouse::new().get(0, 0);
+    }
+
+    #[test]
+    fn advance_swaps_and_clears() {
+        let mut pair = DwPair::new();
+        let r = Region::of_extent(iv(1, 1, 1));
+        pair.new.put(0, 0, CcVar::new(r));
+        pair.old.put(9, 9, CcVar::new(r));
+        pair.advance();
+        assert!(pair.old.exists(0, 0), "new became old");
+        assert!(pair.new.is_empty(), "fresh new DW is empty");
+        assert!(!pair.old.exists(9, 9), "stale old data dropped");
+    }
+
+    #[test]
+    fn take_moves_ownership() {
+        let mut dw = DataWarehouse::new();
+        let r = Region::of_extent(iv(1, 1, 1));
+        dw.put(0, 0, CcVar::new(r));
+        assert!(dw.take(0, 0).is_some());
+        assert!(dw.take(0, 0).is_none());
+        assert!(dw.is_empty());
+    }
+}

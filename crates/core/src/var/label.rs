@@ -1,0 +1,84 @@
+//! Variable labels.
+//!
+//! Uintah users "create variables and associate them with the tasks"
+//! (paper §II); a [`VarLabel`] names one simulation variable, and tasks
+//! declare which labels they require (with how many ghost layers) and which
+//! they compute.
+
+use std::fmt;
+
+/// Numeric id of a label (index into the registry).
+pub type LabelId = usize;
+
+/// A named simulation variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarLabel {
+    /// Registry id.
+    pub id: LabelId,
+    /// Human-readable name, e.g. `"u"`.
+    pub name: String,
+}
+
+impl fmt::Display for VarLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name, self.id)
+    }
+}
+
+/// Registry assigning dense ids to labels.
+#[derive(Clone, Debug, Default)]
+pub struct LabelRegistry {
+    labels: Vec<VarLabel>,
+}
+
+impl LabelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or look up) a label by name.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        if let Some(l) = self.labels.iter().find(|l| l.name == name) {
+            return l.id;
+        }
+        let id = self.labels.len();
+        self.labels.push(VarLabel {
+            id,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: LabelId) -> &VarLabel {
+        &self.labels[id]
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_deduplicated() {
+        let mut r = LabelRegistry::new();
+        let u = r.label("u");
+        let v = r.label("v");
+        assert_ne!(u, v);
+        assert_eq!(r.label("u"), u);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(u).name, "u");
+        assert_eq!(format!("{}", r.get(v)), "v#1");
+    }
+}

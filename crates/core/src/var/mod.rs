@@ -1,0 +1,9 @@
+//! Simulation variables and the old/new data warehouses (paper §II).
+
+pub mod ccvar;
+pub mod dw;
+pub mod label;
+
+pub use ccvar::CcVar;
+pub use dw::{DataWarehouse, DwPair};
+pub use label::{LabelId, LabelRegistry, VarLabel};

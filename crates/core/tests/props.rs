@@ -1,0 +1,181 @@
+//! Property tests of the runtime's grid algebra, variable pack/unpack, task
+//! plan, and load balancers.
+
+use proptest::prelude::*;
+use uintah_core::grid::region::{Face, FACES};
+use uintah_core::grid::{iv, IntVec, Level, Region};
+use uintah_core::task::build_rank_plan;
+use uintah_core::var::CcVar;
+use uintah_core::LoadBalancer;
+
+fn vec3(r: std::ops::Range<i64>) -> impl Strategy<Value = IntVec> {
+    (r.clone(), r.clone(), r).prop_map(|(x, y, z)| iv(x, y, z))
+}
+
+fn region() -> impl Strategy<Value = Region> {
+    (vec3(-10..10), vec3(1..10)).prop_map(|(lo, ext)| Region::new(lo, lo + ext))
+}
+
+proptest! {
+    /// Region intersection is commutative, idempotent, and bounded.
+    #[test]
+    fn region_intersection_algebra(a in region(), b in region()) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab.cells(), ba.cells());
+        if !ab.is_empty() {
+            prop_assert_eq!(ab, ba);
+        }
+        prop_assert!(ab.cells() <= a.cells().min(b.cells()));
+        prop_assert_eq!(a.intersect(&a), a);
+        // Every cell of the intersection is in both.
+        for c in ab.iter() {
+            prop_assert!(a.contains(c) && b.contains(c));
+        }
+    }
+
+    /// contains == membership in the iterator; cells == iterator length.
+    #[test]
+    fn region_iteration_consistency(r in region(), probe in vec3(-12..12)) {
+        let members: Vec<IntVec> = r.iter().collect();
+        prop_assert_eq!(members.len() as u64, r.cells());
+        prop_assert_eq!(r.contains(probe), members.contains(&probe));
+    }
+
+    /// Face-ghost and face-interior slabs have equal shape, are adjacent,
+    /// and lie on the correct side.
+    #[test]
+    fn face_slabs_are_consistent(r in region(), g in 1i64..4) {
+        // A patch must be at least g cells wide for an interior slab to
+        // exist (enforced by an assertion in face_interior).
+        let e = r.extent();
+        prop_assume!(e.x >= g && e.y >= g && e.z >= g);
+        for f in FACES {
+            let ghost = r.face_ghost(f, g);
+            let interior = r.face_interior(f, g);
+            prop_assert_eq!(ghost.cells(), interior.cells());
+            prop_assert!(ghost.intersect(&r).is_empty(), "ghost outside");
+            prop_assert_eq!(interior.intersect(&r), interior, "interior inside");
+            // Shifting the interior slab by g across the face gives the ghost.
+            let shift = f.offset() * g;
+            prop_assert_eq!(
+                Region::new(interior.lo + shift, interior.hi + shift),
+                ghost
+            );
+        }
+    }
+
+    /// Pack/unpack round-trips any window through a fresh variable.
+    #[test]
+    fn pack_unpack_roundtrip(ext in vec3(1..8), wlo in vec3(0..4), wext in vec3(1..5)) {
+        let region = Region::of_extent(ext);
+        let window = Region::new(wlo, wlo + wext).intersect(&region);
+        prop_assume!(!window.is_empty());
+        let mut src = CcVar::new(region);
+        for (i, c) in region.iter().enumerate() {
+            src.set(c, i as f64 * 0.25 - 3.0);
+        }
+        let packed = src.pack(&window);
+        let mut dst = CcVar::new(region);
+        dst.unpack(&window, &packed);
+        for c in region.iter() {
+            if window.contains(c) {
+                prop_assert_eq!(dst.get(c), src.get(c));
+            } else {
+                prop_assert_eq!(dst.get(c), 0.0);
+            }
+        }
+    }
+
+    /// For every level layout, assignment, and rank: each local patch's six
+    /// faces are exactly partitioned into BC / local copy / remote recv, and
+    /// sends pair with recvs globally.
+    #[test]
+    fn rank_plans_partition_faces(
+        lx in 1i64..5, ly in 1i64..5, lz in 1i64..3,
+        n_ranks_raw in 1usize..9,
+        lb_idx in 0usize..3,
+    ) {
+        let level = Level::new(iv(4, 4, 8), iv(lx, ly, lz));
+        let n_ranks = n_ranks_raw.min(level.n_patches());
+        let lb = [LoadBalancer::Block, LoadBalancer::RoundRobin, LoadBalancer::Morton][lb_idx];
+        let assignment = lb.assign(&level, n_ranks);
+        let plans: Vec<_> = (0..n_ranks)
+            .map(|r| build_rank_plan(&level, &assignment, r, 1))
+            .collect();
+        let mut total_patches = 0;
+        let mut total_sends = 0;
+        let mut total_recvs = 0;
+        for plan in &plans {
+            total_patches += plan.patches.len();
+            total_sends += plan.sends.len();
+            total_recvs += plan.recvs.len();
+            for &p in &plan.patches {
+                let prep = &plan.prep[&p];
+                prop_assert_eq!(
+                    prep.bc_regions.len() + prep.local_copies.len() + prep.n_remote,
+                    6
+                );
+                // BC faces are exactly the physical-boundary faces.
+                let bc_count = FACES
+                    .iter()
+                    .filter(|f| level.is_physical_boundary(p, **f))
+                    .count();
+                prop_assert_eq!(prep.bc_regions.len(), bc_count);
+            }
+        }
+        prop_assert_eq!(total_patches, level.n_patches());
+        prop_assert_eq!(total_sends, total_recvs);
+        // Every recv finds exactly one matching send.
+        for plan in &plans {
+            for rv in &plan.recvs {
+                let matches = plans[rv.src_rank]
+                    .sends
+                    .iter()
+                    .filter(|s| s.src_patch == rv.src_patch && s.window == rv.window)
+                    .count();
+                prop_assert_eq!(matches, 1);
+            }
+        }
+    }
+
+    /// Load balancers always produce a balanced, complete assignment.
+    #[test]
+    fn balancers_are_balanced(n_ranks in 1usize..65, lb_idx in 0usize..3) {
+        let level = Level::new(iv(16, 16, 512), iv(8, 8, 2));
+        let lb = [LoadBalancer::Block, LoadBalancer::RoundRobin, LoadBalancer::Morton][lb_idx];
+        let a = lb.assign(&level, n_ranks);
+        prop_assert_eq!(a.len(), 128);
+        let mut counts = vec![0usize; n_ranks];
+        for &r in &a {
+            prop_assert!(r < n_ranks);
+            counts[r] += 1;
+        }
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "{lb:?}: {counts:?}");
+    }
+
+    /// Neighbor relations are symmetric and grid-consistent.
+    #[test]
+    fn neighbors_are_symmetric(px in 1i64..6, py in 1i64..6, pz in 1i64..4) {
+        let level = Level::new(iv(2, 2, 2), iv(px, py, pz));
+        for p in 0..level.n_patches() {
+            for f in FACES {
+                match level.neighbor(p, f) {
+                    Some(q) => {
+                        prop_assert_eq!(level.neighbor(q, f.opposite()), Some(p));
+                        // Regions touch: my ghost slab is their interior slab.
+                        prop_assert_eq!(
+                            level.patch(p).region.face_ghost(f, 1),
+                            level.patch(q).region.face_interior(f.opposite(), 1)
+                        );
+                    }
+                    None => {
+                        prop_assert!(level.is_physical_boundary(p, f));
+                    }
+                }
+            }
+        }
+        let _ = Face { axis: 0, high: false };
+    }
+}

@@ -1,0 +1,454 @@
+//! Analytic timing of an offloaded kernel.
+//!
+//! The CPE tile scheduler (paper §V-D) runs, per CPE, a serial loop over its
+//! assigned tiles: synchronous `athread_get` of the ghosted tile into LDM,
+//! compute, synchronous `athread_put` back — the paper explicitly does *not*
+//! overlap memory-LDM transfer with compute ("these issues will be addressed
+//! in the future"). Kernel completion is therefore the maximum over CPEs of
+//! the serial sum of their tile times, which this module computes in closed
+//! form so the large evaluation sweeps need one event per kernel rather than
+//! one per tile. The functional executor in [`crate::exec`] walks the same
+//! schedule tile-by-tile; a cross-validation test asserts both agree.
+
+use sw_sim::{MachineConfig, SimDur};
+
+use crate::tile::{Dims3, TileDesc};
+
+/// Per-tile cost description a kernel exposes to the scheduler.
+pub trait TileCostModel {
+    /// Ghost layers the kernel reads.
+    fn ghost(&self) -> usize;
+    /// Total flops to compute a tile of `dims` (hardware-counter accounting).
+    fn flops(&self, dims: Dims3) -> u64;
+    /// Of [`TileCostModel::flops`], how many are software-exponential flops.
+    fn exp_flops(&self, dims: Dims3) -> u64;
+    /// Software-exponential calls in a tile (for per-call stall modeling).
+    fn exp_calls(&self, dims: Dims3) -> u64;
+    /// Bytes DMA'd into LDM for a tile (default: one ghosted f64 field).
+    fn bytes_in(&self, dims: Dims3) -> u64 {
+        let g = self.ghost();
+        ((dims.0 + 2 * g) as u64) * ((dims.1 + 2 * g) as u64) * ((dims.2 + 2 * g) as u64) * 8
+    }
+    /// Bytes DMA'd out of LDM for a tile (default: one interior f64 field).
+    fn bytes_out(&self, dims: Dims3) -> u64 {
+        dims.0 as u64 * dims.1 as u64 * dims.2 as u64 * 8
+    }
+}
+
+/// Timing and accounting of one kernel offload.
+#[derive(Clone, Debug)]
+pub struct KernelTiming {
+    /// Wall (virtual) duration from offload start to last CPE's `faaw`.
+    pub duration: SimDur,
+    /// Total flops executed on the cluster.
+    pub flops: u64,
+    /// Of which, exponential flops.
+    pub exp_flops: u64,
+    /// Total bytes moved by DMA (in + out).
+    pub dma_bytes: u64,
+    /// Number of tiles processed.
+    pub tiles: u64,
+    /// Per-CPE busy durations (index = CPE id).
+    pub per_cpe: Vec<SimDur>,
+}
+
+/// How tile data moves between main memory and the LDM.
+///
+/// The paper's implementation is [`TransferMode::Synchronous`] ("does not
+/// make use of the fact that the memory-LDM transfer can be asynchronous",
+/// §V-D); the alternatives implement the future work of §IX and are
+/// evaluated by the ablation benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransferMode {
+    /// `athread_get` / compute / `athread_put`, strictly serial per tile.
+    #[default]
+    Synchronous,
+    /// Double-buffered DMA: while a tile computes, the next tile streams in
+    /// and the previous streams out; per-tile time is `max(compute, DMA)`
+    /// after a pipeline fill ("schedule memory-LDM transfer together with
+    /// computing kernels to further hide data moving", §IX).
+    DoubleBuffered,
+}
+
+/// Execution-rate parameters for one offload.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelRate {
+    /// Effective compute throughput per CPE, Gflop/s (scalar or SIMD rate
+    /// from [`MachineConfig`]).
+    pub gflops_per_cpe: f64,
+    /// Extra stall per software-exp call (zero for the fast library).
+    pub per_exp_stall: SimDur,
+    /// Memory-LDM transfer scheduling.
+    pub transfer: TransferMode,
+    /// Pack a tile's input and output into one DMA descriptor pair with a
+    /// contiguous staging layout: one start-up latency per tile instead of
+    /// two, and ~20% better effective bandwidth from longer bursts ("pack
+    /// the tiles to improve data transfer performance", §IX).
+    pub packed_tiles: bool,
+}
+
+impl KernelRate {
+    /// Rate for the scalar (non-vectorized) kernel with the fast exp library
+    /// and the paper's synchronous transfers.
+    pub fn scalar(cfg: &MachineConfig) -> Self {
+        KernelRate {
+            gflops_per_cpe: cfg.cpe_scalar_gflops,
+            per_exp_stall: SimDur::ZERO,
+            transfer: TransferMode::Synchronous,
+            packed_tiles: false,
+        }
+    }
+
+    /// Rate for the SIMD-vectorized kernel with the fast exp library and the
+    /// paper's synchronous transfers.
+    pub fn simd(cfg: &MachineConfig) -> Self {
+        KernelRate {
+            gflops_per_cpe: cfg.cpe_simd_gflops,
+            per_exp_stall: SimDur::ZERO,
+            transfer: TransferMode::Synchronous,
+            packed_tiles: false,
+        }
+    }
+
+    /// Add the accurate (IEEE) exp library's per-call stall (paper §VI-C).
+    pub fn with_accurate_exp(mut self, cfg: &MachineConfig) -> Self {
+        self.per_exp_stall = cfg.accurate_exp_stall;
+        self
+    }
+
+    /// Enable double-buffered memory-LDM transfers (§IX future work).
+    pub fn with_double_buffer(mut self) -> Self {
+        self.transfer = TransferMode::DoubleBuffered;
+        self
+    }
+
+    /// Enable packed tile transfers (§IX future work).
+    pub fn with_packed_tiles(mut self) -> Self {
+        self.packed_tiles = true;
+        self
+    }
+}
+
+/// Compute the timing of one kernel offload given the per-CPE tile
+/// assignment. DMA bandwidth is shared among the CPEs that have work
+/// (constant contention over the kernel: the same model the functional
+/// executor uses, so the two agree exactly).
+pub fn kernel_timing(
+    cfg: &MachineConfig,
+    assignment: &[Vec<TileDesc>],
+    model: &dyn TileCostModel,
+    rate: KernelRate,
+) -> KernelTiming {
+    let active = assignment.iter().filter(|a| !a.is_empty()).count().max(1);
+    let mut per_cpe = Vec::with_capacity(assignment.len());
+    let mut flops = 0u64;
+    let mut exp_flops = 0u64;
+    let mut dma_bytes = 0u64;
+    let mut tiles = 0u64;
+    let mut duration = SimDur::ZERO;
+    for cpe_tiles in assignment {
+        let busy = match rate.transfer {
+            TransferMode::Synchronous => {
+                let mut busy = SimDur::ZERO;
+                for t in cpe_tiles {
+                    busy += tile_time(cfg, t, model, rate, active);
+                }
+                busy
+            }
+            TransferMode::DoubleBuffered => {
+                // Pipeline: the first tile's DMA-in fills the pipe; while
+                // tile i computes, the engine drains tile i-1's output and
+                // prefetches tile i+1's input; the last tile's DMA-out
+                // drains the pipe. A single tile degenerates to the
+                // synchronous time — there is nothing to overlap with.
+                let n = cpe_tiles.len();
+                let mut busy = SimDur::ZERO;
+                if let Some(first) = cpe_tiles.first() {
+                    busy += dma_in_time(cfg, first, model, rate, active);
+                }
+                for (i, t) in cpe_tiles.iter().enumerate() {
+                    let compute = compute_tile_time(t, model, rate);
+                    let mut overlap = SimDur::ZERO;
+                    if i > 0 {
+                        overlap += dma_out_time(cfg, &cpe_tiles[i - 1], model, rate, active);
+                    }
+                    if i + 1 < n {
+                        overlap += dma_in_time(cfg, &cpe_tiles[i + 1], model, rate, active);
+                    }
+                    busy += compute.max(overlap);
+                }
+                if let Some(last) = cpe_tiles.last() {
+                    busy += dma_out_time(cfg, last, model, rate, active);
+                }
+                busy
+            }
+        };
+        for t in cpe_tiles {
+            flops += model.flops(t.dims);
+            exp_flops += model.exp_flops(t.dims);
+            dma_bytes += model.bytes_in(t.dims) + model.bytes_out(t.dims);
+            tiles += 1;
+        }
+        duration = duration.max(busy);
+        per_cpe.push(busy);
+    }
+    KernelTiming {
+        duration,
+        flops,
+        exp_flops,
+        dma_bytes,
+        tiles,
+        per_cpe,
+    }
+}
+
+/// Time one CPE spends on one tile under synchronous transfers:
+/// DMA-in + compute + DMA-out, serial.
+pub fn tile_time(
+    cfg: &MachineConfig,
+    tile: &TileDesc,
+    model: &dyn TileCostModel,
+    rate: KernelRate,
+    active_cpes: usize,
+) -> SimDur {
+    dma_in_time(cfg, tile, model, rate, active_cpes)
+        + compute_tile_time(tile, model, rate)
+        + dma_out_time(cfg, tile, model, rate, active_cpes)
+}
+
+/// Effective per-CPE DMA bandwidth, including the packed-tile burst bonus.
+fn dma_bw(cfg: &MachineConfig, rate: KernelRate, active: usize) -> f64 {
+    let base = cfg.dma_bw_per_cpe(active);
+    if rate.packed_tiles {
+        base * 1.2
+    } else {
+        base
+    }
+}
+
+/// Duration of a DMA of `bytes` with `latencies` start-up latencies.
+fn dma_raw(cfg: &MachineConfig, rate: KernelRate, bytes: u64, active: usize, latencies: u64) -> SimDur {
+    cfg.dma_latency * latencies
+        + SimDur::from_secs_f64(bytes as f64 / (dma_bw(cfg, rate, active) * 1e9))
+}
+
+/// DMA-in time of one tile (carries the tile's single descriptor latency
+/// when tiles are packed).
+pub fn dma_in_time(
+    cfg: &MachineConfig,
+    tile: &TileDesc,
+    model: &dyn TileCostModel,
+    rate: KernelRate,
+    active: usize,
+) -> SimDur {
+    dma_raw(cfg, rate, model.bytes_in(tile.dims), active, 1)
+}
+
+/// DMA-out time of one tile (latency-free when packed: the combined
+/// descriptor pair was charged on the way in).
+pub fn dma_out_time(
+    cfg: &MachineConfig,
+    tile: &TileDesc,
+    model: &dyn TileCostModel,
+    rate: KernelRate,
+    active: usize,
+) -> SimDur {
+    let lat = if rate.packed_tiles { 0 } else { 1 };
+    dma_raw(cfg, rate, model.bytes_out(tile.dims), active, lat)
+}
+
+/// Pure compute time of one tile.
+pub fn compute_tile_time(tile: &TileDesc, model: &dyn TileCostModel, rate: KernelRate) -> SimDur {
+    MachineConfig::compute_time(model.flops(tile.dims), rate.gflops_per_cpe)
+        + rate.per_exp_stall * model.exp_calls(tile.dims)
+}
+
+/// Apply the synchronous-mode spin penalty: while the MPE busy-waits on the
+/// main-memory completion flag it interferes with CPE traffic at the memory
+/// controller, slowing the kernel by the calibrated factor (DESIGN.md §5).
+pub fn with_spin_penalty(cfg: &MachineConfig, d: SimDur) -> SimDur {
+    d.scale(1.0 + cfg.sync_spin_slowdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{assign_tiles, tiles_of};
+
+    /// A simple fixed-rate cost model for tests: `f` flops per cell, of
+    /// which `e` are exponential flops from `c` calls.
+    struct PerCell {
+        f: u64,
+        e: u64,
+        c: u64,
+        g: usize,
+    }
+
+    impl TileCostModel for PerCell {
+        fn ghost(&self) -> usize {
+            self.g
+        }
+        fn flops(&self, d: Dims3) -> u64 {
+            self.f * crate::tile::cells(d)
+        }
+        fn exp_flops(&self, d: Dims3) -> u64 {
+            self.e * crate::tile::cells(d)
+        }
+        fn exp_calls(&self, d: Dims3) -> u64 {
+            self.c * crate::tile::cells(d)
+        }
+    }
+
+    fn model() -> PerCell {
+        PerCell {
+            f: 300,
+            e: 200,
+            c: 6,
+            g: 1,
+        }
+    }
+
+    #[test]
+    fn duration_is_max_over_cpes() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 24), (16, 16, 8)); // 3 tiles
+        let assignment = assign_tiles(&tiles, 2); // 2 + 1
+        let t = kernel_timing(&cfg, &assignment, &model(), KernelRate::scalar(&cfg));
+        assert_eq!(t.tiles, 3);
+        assert_eq!(t.per_cpe.len(), 2);
+        assert_eq!(t.duration, t.per_cpe[0].max(t.per_cpe[1]));
+        assert!(t.per_cpe[0] > t.per_cpe[1], "first CPE got 2 tiles");
+        assert_eq!(t.flops, 300 * 16 * 16 * 24);
+        assert_eq!(t.exp_flops, 200 * 16 * 16 * 24);
+    }
+
+    #[test]
+    fn balanced_assignment_scales_down_with_cpes() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 512), (16, 16, 8)); // 64 tiles
+        let t64 = kernel_timing(
+            &cfg,
+            &assign_tiles(&tiles, 64),
+            &model(),
+            KernelRate::scalar(&cfg),
+        );
+        let t1 = kernel_timing(
+            &cfg,
+            &assign_tiles(&tiles, 1),
+            &model(),
+            KernelRate::scalar(&cfg),
+        );
+        // One CPE alone gets better DMA bandwidth but 64x the tiles:
+        // compute dominates, so speedup is close to (but under) 64.
+        let speedup = t1.duration.as_secs_f64() / t64.duration.as_secs_f64();
+        assert!(speedup > 50.0 && speedup <= 64.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn simd_rate_halves_compute() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 512), (16, 16, 8));
+        let assignment = assign_tiles(&tiles, 64);
+        let ts = kernel_timing(&cfg, &assignment, &model(), KernelRate::scalar(&cfg));
+        let tv = kernel_timing(&cfg, &assignment, &model(), KernelRate::simd(&cfg));
+        let ratio = ts.duration.as_secs_f64() / tv.duration.as_secs_f64();
+        // DMA is a small additive part, so the ratio is just under 2.
+        assert!(ratio > 1.8 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn accurate_exp_adds_stalls() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 8), (16, 16, 8));
+        let assignment = assign_tiles(&tiles, 1);
+        let fast = kernel_timing(&cfg, &assignment, &model(), KernelRate::scalar(&cfg));
+        let slow = kernel_timing(
+            &cfg,
+            &assignment,
+            &model(),
+            KernelRate::scalar(&cfg).with_accurate_exp(&cfg),
+        );
+        let extra = slow.duration - fast.duration;
+        let expect = cfg.accurate_exp_stall * (6 * 2048);
+        assert_eq!(extra, expect);
+    }
+
+    #[test]
+    fn double_buffering_hides_dma() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 512), (16, 16, 8));
+        // 8 tiles per CPE: a real pipeline with interior tiles to overlap.
+        let assignment = assign_tiles(&tiles, 8);
+        let m = model();
+        let sync = kernel_timing(&cfg, &assignment, &m, KernelRate::scalar(&cfg));
+        let dbuf = kernel_timing(
+            &cfg,
+            &assignment,
+            &m,
+            KernelRate::scalar(&cfg).with_double_buffer(),
+        );
+        assert!(dbuf.duration < sync.duration, "{} !< {}", dbuf.duration, sync.duration);
+        // Compute-bound kernel: the pipelined time approaches pure compute
+        // plus the fill/drain DMAs.
+        let compute: f64 = assignment[0]
+            .iter()
+            .map(|t| compute_tile_time(t, &m, KernelRate::scalar(&cfg)).as_secs_f64())
+            .sum();
+        assert!(dbuf.duration.as_secs_f64() < compute * 1.1);
+        // Same flops either way.
+        assert_eq!(sync.flops, dbuf.flops);
+        // One tile per CPE degenerates to the synchronous time: nothing to
+        // overlap.
+        let one_each = assign_tiles(&tiles, 64);
+        let s1 = kernel_timing(&cfg, &one_each, &m, KernelRate::scalar(&cfg));
+        let d1 = kernel_timing(
+            &cfg,
+            &one_each,
+            &m,
+            KernelRate::scalar(&cfg).with_double_buffer(),
+        );
+        assert_eq!(s1.duration, d1.duration);
+    }
+
+    #[test]
+    fn packed_tiles_cut_latency_and_boost_bandwidth() {
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of((16, 16, 8), (16, 16, 8));
+        let assignment = assign_tiles(&tiles, 1);
+        let m = model();
+        let plain = kernel_timing(&cfg, &assignment, &m, KernelRate::scalar(&cfg));
+        let packed = kernel_timing(
+            &cfg,
+            &assignment,
+            &m,
+            KernelRate::scalar(&cfg).with_packed_tiles(),
+        );
+        assert!(packed.duration < plain.duration);
+        // Exactly one DMA latency saved (the combined descriptor) plus 20%
+        // faster transfer of the tile's bytes.
+        let bytes = (m.bytes_in((16, 16, 8)) + m.bytes_out((16, 16, 8))) as f64;
+        let bw = cfg.dma_bw_per_cpe(1) * 1e9;
+        let expect_saving = cfg.dma_latency.as_secs_f64() + bytes / bw - bytes / (bw * 1.2);
+        let saving = plain.duration.as_secs_f64() - packed.duration.as_secs_f64();
+        assert!(
+            (saving - expect_saving).abs() < 1e-9,
+            "{saving} vs {expect_saving}"
+        );
+    }
+
+    #[test]
+    fn spin_penalty_scales() {
+        let cfg = MachineConfig::sw26010();
+        let d = SimDur::from_us(100.0);
+        let p = with_spin_penalty(&cfg, d);
+        assert_eq!(p, d.scale(1.0 + cfg.sync_spin_slowdown));
+        assert!(p > d);
+    }
+
+    #[test]
+    fn default_byte_model_counts_ghosted_in_interior_out() {
+        let m = model();
+        assert_eq!(m.bytes_in((16, 16, 8)), 18 * 18 * 10 * 8);
+        assert_eq!(m.bytes_out((16, 16, 8)), 16 * 16 * 8 * 8);
+    }
+}

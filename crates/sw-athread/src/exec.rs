@@ -1,0 +1,349 @@
+//! Functional execution of an offloaded kernel, tile-by-tile through the LDM.
+//!
+//! This is the CPE tile scheduler of paper §V-D run for real: for each CPE's
+//! assigned tiles, (a) `athread_get` the ghosted input tile into LDM,
+//! (b) apply the numerical kernel entirely on LDM-resident data,
+//! (c) `athread_put` the modified tile back to main memory. The LDM
+//! allocator enforces the 64 KB budget, so a kernel whose working set does
+//! not fit fails exactly where it would on hardware.
+//!
+//! Execution order (CPE 0's tiles, then CPE 1's, ...) is deterministic; tile
+//! outputs are disjoint, so the result equals a true parallel execution.
+
+use sw_sim::{LdmAlloc, LdmOverflow};
+
+use crate::tile::{Dims3, TileDesc};
+
+/// Flat index into an x-fastest 3-D array.
+#[inline(always)]
+pub fn idx3(dims: Dims3, x: usize, y: usize, z: usize) -> usize {
+    debug_assert!(x < dims.0 && y < dims.1 && z < dims.2);
+    x + dims.0 * (y + dims.1 * z)
+}
+
+/// Read-only main-memory view of a field covering a patch *plus its ghost
+/// layers* (assembled by the data warehouse before the offload).
+#[derive(Clone, Copy)]
+pub struct Field3<'a> {
+    /// Cell data, x-fastest.
+    pub data: &'a [f64],
+    /// Extent including ghosts: patch dims + 2*ghost per axis.
+    pub dims: Dims3,
+}
+
+/// Mutable main-memory view of the output field covering the patch interior.
+pub struct Field3Mut<'a> {
+    /// Cell data, x-fastest.
+    pub data: &'a mut [f64],
+    /// Patch extent.
+    pub dims: Dims3,
+}
+
+/// Everything a kernel sees while computing one tile in the LDM.
+pub struct TileCtx<'a> {
+    /// The tile being computed (origin relative to the patch interior).
+    pub tile: TileDesc,
+    /// Global cell index of the patch's (0,0,0) interior cell, for evaluating
+    /// coordinate-dependent coefficients like phi(x, t).
+    pub patch_cell_origin: (i64, i64, i64),
+    /// LDM copy of the ghosted input tile, extent `tile.ghosted_dims(g)`.
+    pub ldm_in: &'a [f64],
+    /// LDM output buffer, extent `tile.dims`.
+    pub ldm_out: &'a mut [f64],
+    /// Ghost layers in `ldm_in`.
+    pub ghost: usize,
+    /// Per-offload scalar parameters (convention: `[t, dt, ...]`), passed by
+    /// the MPE alongside the tile descriptors.
+    pub params: &'a [f64],
+}
+
+impl TileCtx<'_> {
+    /// Read the ghosted input at tile-local interior coordinates, offset by
+    /// `(dx,dy,dz)` into the ghost margin.
+    #[inline(always)]
+    pub fn in_at(&self, x: usize, y: usize, z: usize, dx: i64, dy: i64, dz: i64) -> f64 {
+        let g = self.ghost as i64;
+        let gd = self.tile.ghosted_dims(self.ghost);
+        let xi = (x as i64 + g + dx) as usize;
+        let yi = (y as i64 + g + dy) as usize;
+        let zi = (z as i64 + g + dz) as usize;
+        self.ldm_in[idx3(gd, xi, yi, zi)]
+    }
+
+    /// Write the output at tile-local coordinates.
+    #[inline(always)]
+    pub fn out_at(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let d = self.tile.dims;
+        self.ldm_out[idx3(d, x, y, z)] = v;
+    }
+
+    /// Global cell index of tile-local cell (x, y, z).
+    #[inline(always)]
+    pub fn global_cell(&self, x: usize, y: usize, z: usize) -> (i64, i64, i64) {
+        (
+            self.patch_cell_origin.0 + self.tile.origin.0 as i64 + x as i64,
+            self.patch_cell_origin.1 + self.tile.origin.1 as i64 + y as i64,
+            self.patch_cell_origin.2 + self.tile.origin.2 as i64 + z as i64,
+        )
+    }
+}
+
+/// A numerical kernel that computes one tile on LDM-resident data.
+pub trait CpeTileKernel: Send + Sync {
+    /// Ghost layers required in the input.
+    fn ghost(&self) -> usize;
+    /// Compute the tile: read `ctx.ldm_in`, write every cell of
+    /// `ctx.ldm_out`.
+    fn compute(&self, ctx: &mut TileCtx<'_>);
+}
+
+/// Execute a kernel functionally over a whole patch.
+///
+/// * `input` covers the patch plus `kernel.ghost()` layers per side;
+/// * `output` covers the patch interior;
+/// * `assignment` is the per-CPE tile assignment from
+///   [`crate::tile::assign_tiles`];
+/// * `ldm_bytes` is the scratchpad budget enforced per tile.
+///
+/// Returns the number of tiles executed.
+pub fn run_patch_functional(
+    kernel: &dyn CpeTileKernel,
+    input: Field3<'_>,
+    output: &mut Field3Mut<'_>,
+    patch_cell_origin: (i64, i64, i64),
+    assignment: &[Vec<TileDesc>],
+    ldm_bytes: usize,
+    params: &[f64],
+) -> Result<u64, LdmOverflow> {
+    let g = kernel.ghost();
+    debug_assert_eq!(
+        (output.dims.0 + 2 * g, output.dims.1 + 2 * g, output.dims.2 + 2 * g),
+        input.dims,
+        "input must be the ghosted extent of output"
+    );
+    let mut ldm = LdmAlloc::new(ldm_bytes);
+    let mut tiles_run = 0;
+    for cpe_tiles in assignment {
+        for t in cpe_tiles {
+            ldm.reset();
+            let gdims = t.ghosted_dims(g);
+            let mut ldm_in = ldm.alloc_f64(gdims.0 * gdims.1 * gdims.2)?;
+            let mut ldm_out = ldm.alloc_f64(t.dims.0 * t.dims.1 * t.dims.2)?;
+            athread_get(&input, t, g, &mut ldm_in);
+            let mut ctx = TileCtx {
+                tile: *t,
+                patch_cell_origin,
+                ldm_in: &ldm_in,
+                ldm_out: &mut ldm_out,
+                ghost: g,
+                params,
+            };
+            kernel.compute(&mut ctx);
+            athread_put(&ldm_out, t, output);
+            tiles_run += 1;
+        }
+    }
+    Ok(tiles_run)
+}
+
+/// DMA a ghosted tile window from main memory into LDM (`athread_get`).
+fn athread_get(input: &Field3<'_>, t: &TileDesc, g: usize, ldm: &mut [f64]) {
+    let gd = t.ghosted_dims(g);
+    // The input field is already ghost-extended, so the ghosted window of a
+    // tile at interior origin `o` starts at `o` in input coordinates.
+    for z in 0..gd.2 {
+        for y in 0..gd.1 {
+            let src = idx3(input.dims, t.origin.0, t.origin.1 + y, t.origin.2 + z);
+            let dst = idx3(gd, 0, y, z);
+            ldm[dst..dst + gd.0].copy_from_slice(&input.data[src..src + gd.0]);
+        }
+    }
+}
+
+/// DMA a computed tile from LDM back to main memory (`athread_put`).
+fn athread_put(ldm: &[f64], t: &TileDesc, output: &mut Field3Mut<'_>) {
+    let d = t.dims;
+    for z in 0..d.2 {
+        for y in 0..d.1 {
+            let src = idx3(d, 0, y, z);
+            let dst = idx3(output.dims, t.origin.0, t.origin.1 + y, t.origin.2 + z);
+            output.data[dst..dst + d.0].copy_from_slice(&ldm[src..src + d.0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{assign_tiles, tiles_of};
+
+    /// 7-point average kernel for testing the executor plumbing.
+    struct Avg7;
+
+    impl CpeTileKernel for Avg7 {
+        fn ghost(&self) -> usize {
+            1
+        }
+        fn compute(&self, ctx: &mut TileCtx<'_>) {
+            let d = ctx.tile.dims;
+            for z in 0..d.2 {
+                for y in 0..d.1 {
+                    for x in 0..d.0 {
+                        let s = ctx.in_at(x, y, z, 0, 0, 0)
+                            + ctx.in_at(x, y, z, -1, 0, 0)
+                            + ctx.in_at(x, y, z, 1, 0, 0)
+                            + ctx.in_at(x, y, z, 0, -1, 0)
+                            + ctx.in_at(x, y, z, 0, 1, 0)
+                            + ctx.in_at(x, y, z, 0, 0, -1)
+                            + ctx.in_at(x, y, z, 0, 0, 1);
+                        ctx.out_at(x, y, z, s / 7.0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn reference_avg7(input: &[f64], patch: Dims3) -> Vec<f64> {
+        let gdims = (patch.0 + 2, patch.1 + 2, patch.2 + 2);
+        let mut out = vec![0.0; patch.0 * patch.1 * patch.2];
+        for z in 0..patch.2 {
+            for y in 0..patch.1 {
+                for x in 0..patch.0 {
+                    let at = |dx: i64, dy: i64, dz: i64| {
+                        input[idx3(
+                            gdims,
+                            (x as i64 + 1 + dx) as usize,
+                            (y as i64 + 1 + dy) as usize,
+                            (z as i64 + 1 + dz) as usize,
+                        )]
+                    };
+                    out[idx3(patch, x, y, z)] = (at(0, 0, 0)
+                        + at(-1, 0, 0)
+                        + at(1, 0, 0)
+                        + at(0, -1, 0)
+                        + at(0, 1, 0)
+                        + at(0, 0, -1)
+                        + at(0, 0, 1))
+                        / 7.0;
+                }
+            }
+        }
+        out
+    }
+
+    fn filled_input(patch: Dims3) -> Vec<f64> {
+        let gdims = (patch.0 + 2, patch.1 + 2, patch.2 + 2);
+        (0..gdims.0 * gdims.1 * gdims.2)
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect()
+    }
+
+    #[test]
+    fn tiled_execution_matches_untiled_reference() {
+        let patch = (12, 10, 16);
+        let input_data = filled_input(patch);
+        let want = reference_avg7(&input_data, patch);
+
+        let tiles = tiles_of(patch, (4, 4, 4));
+        for cpes in [1, 3, 7] {
+            let assignment = assign_tiles(&tiles, cpes);
+            let mut out_data = vec![0.0; patch.0 * patch.1 * patch.2];
+            let n = run_patch_functional(
+                &Avg7,
+                Field3 {
+                    data: &input_data,
+                    dims: (patch.0 + 2, patch.1 + 2, patch.2 + 2),
+                },
+                &mut Field3Mut {
+                    data: &mut out_data,
+                    dims: patch,
+                },
+                (0, 0, 0),
+                &assignment,
+                64 * 1024,
+                &[],
+            )
+            .unwrap();
+            assert_eq!(n, tiles.len() as u64);
+            assert_eq!(out_data, want, "cpes = {cpes}");
+        }
+    }
+
+    #[test]
+    fn ldm_budget_is_enforced() {
+        let patch = (8, 8, 8);
+        let input_data = filled_input(patch);
+        let tiles = tiles_of(patch, (8, 8, 8)); // one big tile
+        let assignment = assign_tiles(&tiles, 1);
+        let mut out_data = vec![0.0; 512];
+        // Working set: 10*10*10 + 8*8*8 doubles = 12096 B; give it less.
+        let err = run_patch_functional(
+            &Avg7,
+            Field3 {
+                data: &input_data,
+                dims: (10, 10, 10),
+            },
+            &mut Field3Mut {
+                data: &mut out_data,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            8 * 1024,
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err.capacity, 8 * 1024);
+    }
+
+    #[test]
+    fn global_cell_indices_account_for_patch_and_tile_origin() {
+        struct Probe;
+        impl CpeTileKernel for Probe {
+            fn ghost(&self) -> usize {
+                0
+            }
+            fn compute(&self, ctx: &mut TileCtx<'_>) {
+                let d = ctx.tile.dims;
+                for z in 0..d.2 {
+                    for y in 0..d.1 {
+                        for x in 0..d.0 {
+                            let (gx, gy, gz) = ctx.global_cell(x, y, z);
+                            ctx.out_at(x, y, z, (gx * 10000 + gy * 100 + gz) as f64);
+                        }
+                    }
+                }
+            }
+        }
+        let patch = (4, 4, 4);
+        let input_data = vec![0.0; 64];
+        let tiles = tiles_of(patch, (2, 2, 2));
+        let assignment = assign_tiles(&tiles, 2);
+        let mut out_data = vec![0.0; 64];
+        run_patch_functional(
+            &Probe,
+            Field3 {
+                data: &input_data,
+                dims: patch,
+            },
+            &mut Field3Mut {
+                data: &mut out_data,
+                dims: patch,
+            },
+            (100, 200, 300),
+            &assignment,
+            64 * 1024,
+            &[],
+        )
+        .unwrap();
+        // Cell (3,1,2) of the patch = global (103, 201, 302).
+        assert_eq!(
+            out_data[idx3(patch, 3, 1, 2)],
+            (103 * 10000 + 201 * 100 + 302) as f64
+        );
+        assert_eq!(
+            out_data[idx3(patch, 0, 0, 0)],
+            (100 * 10000 + 200 * 100 + 300) as f64
+        );
+    }
+}

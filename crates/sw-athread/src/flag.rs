@@ -1,0 +1,84 @@
+//! The main-memory completion flag.
+//!
+//! The scheduler sets up a completion flag in main memory just before
+//! offloading a kernel; each CPE atomically increments it with the `faaw`
+//! instruction when its share is done (paper §V-B, §V-D step 3). The MPE
+//! polls the flag — spinning in synchronous mode, "at times" in asynchronous
+//! mode.
+
+/// An 8-byte main-memory counter incremented by `faaw`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompletionFlag {
+    value: u64,
+    target: u64,
+}
+
+impl CompletionFlag {
+    /// A cleared flag that completes after `target` increments (one per CPE).
+    pub fn new(target: u64) -> Self {
+        CompletionFlag { value: 0, target }
+    }
+
+    /// Clear before the next offload (scheduler step 1 / 3(b)iv).
+    pub fn clear(&mut self, target: u64) {
+        self.value = 0;
+        self.target = target;
+    }
+
+    /// Fetch-and-add-word: one CPE reports done. Returns the new value.
+    pub fn faaw(&mut self) -> u64 {
+        self.value += 1;
+        self.value
+    }
+
+    /// Mark all participants done at once (used when the discrete-event model
+    /// collapses a kernel into a single completion event).
+    pub fn complete_all(&mut self) {
+        self.value = self.target;
+    }
+
+    /// What the MPE's poll reads: has every CPE incremented?
+    pub fn is_set(&self) -> bool {
+        self.value >= self.target
+    }
+
+    /// Current raw value (progress monitoring, §IV-A).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_target_faaws() {
+        let mut f = CompletionFlag::new(4);
+        for i in 1..=3 {
+            assert_eq!(f.faaw(), i);
+            assert!(!f.is_set());
+        }
+        assert_eq!(f.faaw(), 4);
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut f = CompletionFlag::new(2);
+        f.faaw();
+        f.faaw();
+        assert!(f.is_set());
+        f.clear(3);
+        assert!(!f.is_set());
+        assert_eq!(f.value(), 0);
+        f.complete_all();
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn zero_target_is_immediately_set() {
+        let f = CompletionFlag::new(0);
+        assert!(f.is_set());
+    }
+}

@@ -1,0 +1,289 @@
+//! Tiling a patch for the per-CPE scratchpad, and assigning tiles to CPEs.
+//!
+//! When a kernel is scheduled on the CPEs, the patch is subdivided into
+//! "tiles" like those in TiDA, sized so the kernel's working memory fits in
+//! the 64 KB LDM; tiles are then assigned evenly to the CPEs by naturally
+//! partitioning the blocks in the z dimension (paper §V-B, §V-D).
+
+/// Extent of a 3-D box of cells, x-fastest.
+pub type Dims3 = (usize, usize, usize);
+
+/// Number of cells in an extent.
+#[inline]
+pub fn cells(d: Dims3) -> u64 {
+    d.0 as u64 * d.1 as u64 * d.2 as u64
+}
+
+/// One tile of a patch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileDesc {
+    /// Offset of the tile within the patch, in cells.
+    pub origin: Dims3,
+    /// Tile extent in cells (edge tiles may be ragged).
+    pub dims: Dims3,
+}
+
+impl TileDesc {
+    /// Cells in this tile.
+    pub fn cells(&self) -> u64 {
+        cells(self.dims)
+    }
+
+    /// Extent of the tile including `g` ghost layers on every side.
+    pub fn ghosted_dims(&self, g: usize) -> Dims3 {
+        (self.dims.0 + 2 * g, self.dims.1 + 2 * g, self.dims.2 + 2 * g)
+    }
+}
+
+/// Enumerate the tiles of a `patch`-sized box cut by `tile` (ragged at the
+/// high edges), ordered z-slab-major (z outermost, then y, then x) so that a
+/// contiguous split of the list is a z-partition.
+pub fn tiles_of(patch: Dims3, tile: Dims3) -> Vec<TileDesc> {
+    assert!(tile.0 >= 1 && tile.1 >= 1 && tile.2 >= 1, "degenerate tile {tile:?}");
+    let mut out = Vec::new();
+    let mut z = 0;
+    while z < patch.2 {
+        let dz = tile.2.min(patch.2 - z);
+        let mut y = 0;
+        while y < patch.1 {
+            let dy = tile.1.min(patch.1 - y);
+            let mut x = 0;
+            while x < patch.0 {
+                let dx = tile.0.min(patch.0 - x);
+                out.push(TileDesc {
+                    origin: (x, y, z),
+                    dims: (dx, dy, dz),
+                });
+                x += dx;
+            }
+            y += dy;
+        }
+        z += dz;
+    }
+    out
+}
+
+/// Assign tiles to `cpes` CPEs: contiguous chunks of the z-slab-major tile
+/// list, sizes balanced to within one tile. With the paper's geometry
+/// (z-tiles = CPEs) each CPE receives exactly one z-slab of tiles.
+pub fn assign_tiles(tiles: &[TileDesc], cpes: usize) -> Vec<Vec<TileDesc>> {
+    assert!(cpes >= 1);
+    let n = tiles.len();
+    let base = n / cpes;
+    let extra = n % cpes;
+    let mut out = Vec::with_capacity(cpes);
+    let mut idx = 0;
+    for c in 0..cpes {
+        let take = base + usize::from(c < extra);
+        out.push(tiles[idx..idx + take].to_vec());
+        idx += take;
+    }
+    debug_assert_eq!(idx, n);
+    out
+}
+
+/// Working-set model used to size tiles: bytes of LDM a kernel needs for a
+/// tile of the given dims.
+pub trait LdmFootprint {
+    /// Ghost layers the kernel requires.
+    fn ghost(&self) -> usize;
+    /// Bytes of LDM working memory for a tile of `dims`.
+    fn ldm_bytes(&self, dims: Dims3) -> usize;
+}
+
+/// Standard one-in/one-out footprint: a ghosted input copy plus an interior
+/// output copy of `f64`s (the Burgers kernel's shape, paper §VI-A).
+#[derive(Clone, Copy, Debug)]
+pub struct InOutFootprint {
+    /// Ghost layers of the stencil.
+    pub ghost: usize,
+}
+
+impl LdmFootprint for InOutFootprint {
+    fn ghost(&self) -> usize {
+        self.ghost
+    }
+    fn ldm_bytes(&self, dims: Dims3) -> usize {
+        let g = self.ghost;
+        let ghosted = (dims.0 + 2 * g) * (dims.1 + 2 * g) * (dims.2 + 2 * g);
+        let interior = dims.0 * dims.1 * dims.2;
+        (ghosted + interior) * 8
+    }
+}
+
+/// Choose the tile shape for a patch: among power-of-two candidate shapes
+/// that divide the patch and fit the LDM, prefer shapes that produce at
+/// least `target_tiles` tiles (so every CPE has work — the paper's 16x16x8
+/// tile gives the smallest 16x16x512 patch exactly 64 z-slabs for the 64
+/// CPEs), then maximize cells per tile, then minimize ghost overhead, then
+/// minimize the z extent (more z-slabs), then maximize the x extent (longer
+/// SIMD rows).
+///
+/// For the paper's Burgers working set and patch sizes this selects 16x16x8,
+/// the shape chosen in §VI-A:
+///
+/// ```
+/// use sw_athread::{choose_tile_shape, InOutFootprint};
+///
+/// let fp = InOutFootprint { ghost: 1 };
+/// let tile = choose_tile_shape((16, 16, 512), &fp, 64 * 1024, 64).unwrap();
+/// assert_eq!(tile, (16, 16, 8));
+/// ```
+pub fn choose_tile_shape(
+    patch: Dims3,
+    fp: &impl LdmFootprint,
+    ldm_bytes: usize,
+    target_tiles: usize,
+) -> Option<Dims3> {
+    let candidates = |dim: usize| -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut c = 1;
+        while c <= dim && c <= 256 {
+            if dim.is_multiple_of(c) {
+                v.push(c);
+            }
+            c *= 2;
+        }
+        v
+    };
+    // (enough-tiles, cells, -ghosted, -tz, tx): lexicographically maximized.
+    type Key = (bool, u64, std::cmp::Reverse<usize>, std::cmp::Reverse<usize>, usize);
+    let mut best: Option<(Dims3, Key)> = None;
+    let patch_cells = cells(patch);
+    for &tx in &candidates(patch.0) {
+        for &ty in &candidates(patch.1) {
+            for &tz in &candidates(patch.2) {
+                let dims = (tx, ty, tz);
+                if fp.ldm_bytes(dims) > ldm_bytes {
+                    continue;
+                }
+                let c = cells(dims);
+                let n_tiles = patch_cells / c;
+                let g = fp.ghost();
+                let ghosted = (tx + 2 * g) * (ty + 2 * g) * (tz + 2 * g);
+                let key: Key = (
+                    n_tiles >= target_tiles as u64,
+                    c,
+                    std::cmp::Reverse(ghosted),
+                    std::cmp::Reverse(tz),
+                    tx,
+                );
+                if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
+                    best = Some((dims, key));
+                }
+            }
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_patch_exactly() {
+        let patch = (16, 16, 512);
+        let tiles = tiles_of(patch, (16, 16, 8));
+        assert_eq!(tiles.len(), 64);
+        let total: u64 = tiles.iter().map(|t| t.cells()).sum();
+        assert_eq!(total, cells(patch));
+    }
+
+    #[test]
+    fn ragged_edges() {
+        let tiles = tiles_of((10, 10, 10), (4, 4, 4));
+        // 3 x 3 x 3 tiles, edges of size 2.
+        assert_eq!(tiles.len(), 27);
+        let total: u64 = tiles.iter().map(|t| t.cells()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(tiles.last().unwrap().dims, (2, 2, 2));
+        assert_eq!(tiles.last().unwrap().origin, (8, 8, 8));
+    }
+
+    #[test]
+    fn z_slab_major_order() {
+        let tiles = tiles_of((32, 32, 16), (16, 16, 8));
+        // First four tiles are the z=0 slab.
+        assert!(tiles[..4].iter().all(|t| t.origin.2 == 0));
+        assert!(tiles[4..].iter().all(|t| t.origin.2 == 8));
+    }
+
+    #[test]
+    fn paper_geometry_gives_one_slab_per_cpe() {
+        // 128x128x512 patch, 16x16x8 tiles: 8*8*64 = 4096 tiles, 64 CPEs.
+        let tiles = tiles_of((128, 128, 512), (16, 16, 8));
+        let assign = assign_tiles(&tiles, 64);
+        assert_eq!(assign.len(), 64);
+        for (cpe, ts) in assign.iter().enumerate() {
+            assert_eq!(ts.len(), 64);
+            // Every tile of CPE i sits in z-slab i.
+            assert!(ts.iter().all(|t| t.origin.2 == cpe * 8), "cpe {cpe}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_balanced_within_one() {
+        let tiles = tiles_of((16, 16, 80), (16, 16, 8)); // 10 tiles
+        let assign = assign_tiles(&tiles, 4);
+        let sizes: Vec<_> = assign.iter().map(|a| a.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+        // Deterministic: first chunks get the extras.
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn chooses_paper_tile_shape() {
+        let fp = InOutFootprint { ghost: 1 };
+        let shape = choose_tile_shape((16, 16, 512), &fp, 64 * 1024, 64).unwrap();
+        assert_eq!(shape, (16, 16, 8), "paper §VI-A tile for Burgers");
+        // Bigger patches keep the same choice.
+        let shape = choose_tile_shape((128, 128, 512), &fp, 64 * 1024, 64).unwrap();
+        assert_eq!(shape, (16, 16, 8));
+    }
+
+    #[test]
+    fn paper_tile_working_set_close_to_41_kb() {
+        let fp = InOutFootprint { ghost: 1 };
+        let b = fp.ldm_bytes((16, 16, 8));
+        // Paper reports 41.3 KB; the in+out model gives ~41.3 KiB.
+        assert!(b > 40_000 && b < 44_000, "{b}");
+        assert!(b <= 64 * 1024);
+    }
+
+    #[test]
+    fn tiny_ldm_forces_small_tiles_or_none() {
+        let fp = InOutFootprint { ghost: 1 };
+        let shape = choose_tile_shape((16, 16, 16), &fp, 2 * 1024, 1).unwrap();
+        assert!(fp.ldm_bytes(shape) <= 2 * 1024);
+        // Impossible budget yields None.
+        assert_eq!(choose_tile_shape((16, 16, 16), &fp, 100, 1), None);
+    }
+
+    #[test]
+    fn target_tiles_forces_parallel_decomposition() {
+        // An 8x8x8 patch fits the LDM as one tile, but with 64 CPEs to feed
+        // the chooser must cut it into >= 64 tiles.
+        let fp = InOutFootprint { ghost: 1 };
+        let one = choose_tile_shape((8, 8, 8), &fp, 64 * 1024, 1).unwrap();
+        assert_eq!(one, (8, 8, 8));
+        let many = choose_tile_shape((8, 8, 8), &fp, 64 * 1024, 64).unwrap();
+        let n_tiles = 512 / cells(many);
+        assert!(n_tiles >= 64, "shape {many:?} gives {n_tiles} tiles");
+        // When the target is unreachable the chooser falls back to the
+        // cells-maximizing shape (never None just because of the target).
+        let t = choose_tile_shape((2, 2, 2), &fp, 64 * 1024, 64).unwrap();
+        assert_eq!(t, (2, 2, 2));
+    }
+
+    #[test]
+    fn ghosted_dims() {
+        let t = TileDesc {
+            origin: (0, 0, 0),
+            dims: (16, 16, 8),
+        };
+        assert_eq!(t.ghosted_dims(1), (18, 18, 10));
+        assert_eq!(t.cells(), 2048);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests of tiling, assignment, cost, and the functional executor.
+
+use proptest::prelude::*;
+use sw_athread::{
+    assign_tiles, cells, choose_tile_shape, kernel_timing, run_patch_functional, tiles_of,
+    CpeTileKernel, Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, LdmFootprint,
+    TileCostModel, TileCtx,
+};
+use sw_sim::MachineConfig;
+
+fn dims3() -> impl Strategy<Value = Dims3> {
+    (1usize..20, 1usize..20, 1usize..20)
+}
+
+proptest! {
+    /// Tiles partition the patch: disjoint, covering, cell counts add up.
+    #[test]
+    fn tiles_partition_the_patch(patch in dims3(), tile in dims3()) {
+        let tiles = tiles_of(patch, tile);
+        let total: u64 = tiles.iter().map(|t| t.cells()).sum();
+        prop_assert_eq!(total, cells(patch));
+        // Disjointness + coverage via a hit-count grid.
+        let mut hits = vec![0u8; (cells(patch)) as usize];
+        for t in &tiles {
+            for z in 0..t.dims.2 {
+                for y in 0..t.dims.1 {
+                    for x in 0..t.dims.0 {
+                        let gx = t.origin.0 + x;
+                        let gy = t.origin.1 + y;
+                        let gz = t.origin.2 + z;
+                        hits[gx + patch.0 * (gy + patch.1 * gz)] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    /// Assignment is a permutation-free split: preserves order and count,
+    /// balanced to within one tile.
+    #[test]
+    fn assignment_preserves_and_balances(patch in dims3(), tile in dims3(), cpes in 1usize..70) {
+        let tiles = tiles_of(patch, tile);
+        let assign = assign_tiles(&tiles, cpes);
+        prop_assert_eq!(assign.len(), cpes);
+        let flat: Vec<_> = assign.iter().flatten().cloned().collect();
+        prop_assert_eq!(flat, tiles.clone());
+        let sizes: Vec<usize> = assign.iter().map(|a| a.len()).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1);
+    }
+
+    /// The chosen tile shape always fits the scratchpad and divides into the
+    /// patch's power-of-two factors.
+    #[test]
+    fn chosen_tiles_fit_the_ldm(
+        px in 1usize..8, py in 1usize..8, pz in 1usize..8,
+        ldm_kb in 4usize..65,
+        target in 1usize..65,
+    ) {
+        let patch = (1 << px, 1 << py, 1 << pz);
+        let fp = InOutFootprint { ghost: 1 };
+        if let Some(shape) = choose_tile_shape(patch, &fp, ldm_kb * 1024, target) {
+            prop_assert!(fp.ldm_bytes(shape) <= ldm_kb * 1024);
+            prop_assert_eq!(patch.0 % shape.0, 0);
+            prop_assert_eq!(patch.1 % shape.1, 0);
+            prop_assert_eq!(patch.2 % shape.2, 0);
+        } else {
+            // Only a budget too small for even a 1x1x1 tile may fail.
+            prop_assert!(fp.ldm_bytes((1, 1, 1)) > ldm_kb * 1024);
+        }
+    }
+
+    /// Kernel timing invariants: duration is the max of per-CPE busy times;
+    /// flops are assignment-independent.
+    #[test]
+    fn timing_is_max_of_cpes_and_flops_are_conserved(
+        patch in dims3(),
+        cpes in 1usize..16,
+    ) {
+        struct M;
+        impl TileCostModel for M {
+            fn ghost(&self) -> usize { 1 }
+            fn flops(&self, d: Dims3) -> u64 { 100 * cells(d) }
+            fn exp_flops(&self, d: Dims3) -> u64 { 60 * cells(d) }
+            fn exp_calls(&self, d: Dims3) -> u64 { 2 * cells(d) }
+        }
+        let cfg = MachineConfig::sw26010();
+        let tiles = tiles_of(patch, (4, 4, 4));
+        let a1 = assign_tiles(&tiles, cpes);
+        let a2 = assign_tiles(&tiles, 1);
+        let t1 = kernel_timing(&cfg, &a1, &M, KernelRate::scalar(&cfg));
+        let t2 = kernel_timing(&cfg, &a2, &M, KernelRate::scalar(&cfg));
+        prop_assert_eq!(t1.flops, t2.flops);
+        prop_assert_eq!(t1.flops, 100 * cells(patch));
+        prop_assert_eq!(t1.duration, t1.per_cpe.iter().copied().max().unwrap());
+        // More CPEs never makes the kernel slower.
+        prop_assert!(t1.duration <= t2.duration);
+    }
+
+    /// The tiled functional executor computes exactly what an untiled
+    /// reference computes, for any tile shape and CPE count.
+    #[test]
+    fn functional_executor_matches_reference(
+        patch in (2usize..10, 2usize..10, 2usize..10),
+        tile in dims3(),
+        cpes in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        /// ctx-driven kernel: out = center*2 + sum of face neighbors.
+        struct K;
+        impl CpeTileKernel for K {
+            fn ghost(&self) -> usize { 1 }
+            fn compute(&self, ctx: &mut TileCtx<'_>) {
+                let d = ctx.tile.dims;
+                for z in 0..d.2 {
+                    for y in 0..d.1 {
+                        for x in 0..d.0 {
+                            let v = 2.0 * ctx.in_at(x, y, z, 0, 0, 0)
+                                + ctx.in_at(x, y, z, -1, 0, 0)
+                                + ctx.in_at(x, y, z, 1, 0, 0)
+                                + ctx.in_at(x, y, z, 0, -1, 0)
+                                + ctx.in_at(x, y, z, 0, 1, 0)
+                                + ctx.in_at(x, y, z, 0, 0, -1)
+                                + ctx.in_at(x, y, z, 0, 0, 1);
+                            ctx.out_at(x, y, z, v);
+                        }
+                    }
+                }
+            }
+        }
+        let g = 1usize;
+        let gdims = (patch.0 + 2 * g, patch.1 + 2 * g, patch.2 + 2 * g);
+        let input: Vec<f64> = (0..gdims.0 * gdims.1 * gdims.2)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 1000) as f64 * 0.001)
+            .collect();
+        let idx = |d: Dims3, x: usize, y: usize, z: usize| x + d.0 * (y + d.1 * z);
+        // Untiled reference.
+        let mut want = vec![0.0; patch.0 * patch.1 * patch.2];
+        for z in 0..patch.2 {
+            for y in 0..patch.1 {
+                for x in 0..patch.0 {
+                    let at = |dx: i64, dy: i64, dz: i64| {
+                        input[idx(
+                            gdims,
+                            (x as i64 + 1 + dx) as usize,
+                            (y as i64 + 1 + dy) as usize,
+                            (z as i64 + 1 + dz) as usize,
+                        )]
+                    };
+                    want[idx(patch, x, y, z)] = 2.0 * at(0, 0, 0)
+                        + at(-1, 0, 0) + at(1, 0, 0)
+                        + at(0, -1, 0) + at(0, 1, 0)
+                        + at(0, 0, -1) + at(0, 0, 1);
+                }
+            }
+        }
+        let tiles = tiles_of(patch, tile);
+        let assignment = assign_tiles(&tiles, cpes);
+        let mut out = vec![0.0; patch.0 * patch.1 * patch.2];
+        run_patch_functional(
+            &K,
+            Field3 { data: &input, dims: gdims },
+            &mut Field3Mut { data: &mut out, dims: patch },
+            (0, 0, 0),
+            &assignment,
+            usize::MAX,
+            &[],
+        )
+        .unwrap();
+        prop_assert_eq!(out, want);
+    }
+}

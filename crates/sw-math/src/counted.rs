@@ -1,0 +1,182 @@
+//! Flop-counting scalar and thread-local counter.
+//!
+//! The SW26010 exposes precise hardware counters for floating-point
+//! operations (paper §VII-E); they count every add/sub/mul/div/neg as one
+//! operation (divisions and square roots are counted as single operations
+//! even though they take many cycles — the paper calls this out explicitly).
+//! [`Cf64`] reproduces that accounting in software: every arithmetic operator
+//! increments a thread-local counter by the number of lanes involved.
+
+use core::cell::Cell;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::Arith;
+
+thread_local! {
+    static FLOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Add `n` to the thread-local flop counter.
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.with(|c| c.set(c.get() + n));
+}
+
+/// Read the thread-local flop counter.
+#[inline]
+pub fn read_flops() -> u64 {
+    FLOPS.with(|c| c.get())
+}
+
+/// Reset the thread-local flop counter to zero.
+#[inline]
+pub fn reset_flops() {
+    FLOPS.with(|c| c.set(0));
+}
+
+/// Run `f` and return `(result, flops executed by f on this thread)`.
+///
+/// Nested scopes compose: the inner scope's flops are also visible to the
+/// outer scope, exactly like nested hardware-counter reads.
+pub fn flops_counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = read_flops();
+    let out = f();
+    (out, read_flops() - before)
+}
+
+/// RAII flop-counting scope; reads the delta on [`FlopScope::finish`].
+pub struct FlopScope {
+    start: u64,
+}
+
+impl FlopScope {
+    /// Open a scope at the current counter value.
+    pub fn begin() -> Self {
+        Self {
+            start: read_flops(),
+        }
+    }
+
+    /// Flops executed since [`FlopScope::begin`].
+    pub fn finish(self) -> u64 {
+        read_flops() - self.start
+    }
+}
+
+/// A counting `f64`: behaves numerically exactly like `f64` but tallies every
+/// arithmetic operation into the thread-local counter.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Cf64(pub f64);
+
+impl Cf64 {
+    /// Wrap a value without counting anything.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Cf64(v)
+    }
+
+    /// Unwrap the value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+macro_rules! counted_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Cf64 {
+            type Output = Cf64;
+            #[inline]
+            fn $method(self, rhs: Cf64) -> Cf64 {
+                add_flops(1);
+                Cf64(self.0 $op rhs.0)
+            }
+        }
+    };
+}
+
+counted_binop!(Add, add, +);
+counted_binop!(Sub, sub, -);
+counted_binop!(Mul, mul, *);
+counted_binop!(Div, div, /);
+
+impl Neg for Cf64 {
+    type Output = Cf64;
+    #[inline]
+    fn neg(self) -> Cf64 {
+        add_flops(1);
+        Cf64(-self.0)
+    }
+}
+
+impl Arith for Cf64 {
+    #[inline]
+    fn lit(v: f64) -> Self {
+        Cf64(v)
+    }
+    #[inline]
+    fn value(self) -> f64 {
+        self.0
+    }
+    #[inline]
+    fn with_value(self, v: f64) -> Self {
+        Cf64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binops_count_one_flop_each() {
+        let ((), n) = flops_counted(|| {
+            let a = Cf64::new(2.0);
+            let b = Cf64::new(3.0);
+            let _ = a + b;
+            let _ = a - b;
+            let _ = a * b;
+            let _ = a / b;
+            let _ = -a;
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn construction_and_comparison_are_free() {
+        let ((), n) = flops_counted(|| {
+            let a = Cf64::new(1.0);
+            let b = Cf64::new(2.0);
+            assert!(a < b);
+            let _ = a.get();
+            let _ = a.with_value(9.0);
+            let _ = Cf64::lit(4.0);
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn counted_matches_plain_numerics() {
+        let a = 1.25_f64;
+        let b = -0.75_f64;
+        let plain = (a + b) * a / b - a;
+        let (counted, n) = flops_counted(|| {
+            let (ca, cb) = (Cf64::new(a), Cf64::new(b));
+            ((ca + cb) * ca / cb - ca).get()
+        });
+        assert_eq!(plain, counted);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let outer = FlopScope::begin();
+        let a = Cf64::new(1.0);
+        let _ = a + a;
+        let ((), inner) = flops_counted(|| {
+            let _ = a * a;
+        });
+        assert_eq!(inner, 1);
+        assert_eq!(outer.finish(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Software math library modeling the SW26010's floating-point environment.
+//!
+//! The Sunway SW26010 has no hardware instruction for `exp`; it is emulated in
+//! software by one of two libraries — an IEEE-754-conforming (slow) one and a
+//! fast (slightly inaccurate) one (paper §VI-C). The Burgers model problem
+//! evaluates six exponentials per cell, which contribute ~215 of its ~311
+//! flops per cell (paper Table I), so faithful flop accounting of the
+//! exponential is essential to reproducing the paper's floating-point
+//! efficiency numbers.
+//!
+//! This crate provides:
+//!
+//! * [`exp`] — the two software exponential implementations, written
+//!   generically over an [`Arith`] scalar so the *same* code path can run on
+//!   plain `f64` or on the flop-counting [`counted::Cf64`] type,
+//! * [`counted`] — a thread-local flop counter and counting scalar used to
+//!   verify the analytic per-call flop constants,
+//! * [`simd`] — a 4-wide `F64x4` vector type mirroring the SW26010's 256-bit
+//!   SIMD with `VMAD`-style fused operations (paper §VI-B, Algorithm 2),
+//! * [`poly`] — Horner-scheme polynomial evaluation helpers.
+
+
+#![warn(missing_docs)]
+pub mod counted;
+pub mod exp;
+pub mod poly;
+pub mod simd;
+
+pub use counted::{flops_counted, Cf64, FlopScope};
+pub use exp::{exp_accurate, exp_fast, ExpKind, EXP_ACCURATE_FLOPS, EXP_FAST_FLOPS};
+pub use simd::F64x4;
+
+/// Scalar abstraction over which the software math routines are written.
+///
+/// Implemented by `f64` (production) and [`counted::Cf64`] (flop-accounting
+/// verification), so the exact same algorithm is measured and shipped.
+pub trait Arith:
+    Copy
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + PartialOrd
+{
+    /// Lift a compile-time constant into the scalar. Constant materialization
+    /// is not a floating-point operation and is never counted.
+    fn lit(v: f64) -> Self;
+    /// Extract the underlying value (for rounding decisions and bit tricks,
+    /// which the SW26010 performs in integer registers and which its flop
+    /// counters do not count).
+    fn value(self) -> f64;
+    /// Replace the underlying value without counting an operation
+    /// (models integer-domain exponent manipulation).
+    fn with_value(self, v: f64) -> Self;
+}
+
+impl Arith for f64 {
+    #[inline(always)]
+    fn lit(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn value(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn with_value(self, v: f64) -> Self {
+        v
+    }
+}

@@ -1,0 +1,53 @@
+//! Horner-scheme polynomial evaluation over any [`Arith`] scalar.
+
+use crate::Arith;
+
+/// Evaluate `c[0] + c[1]*x + c[2]*x^2 + ...` by Horner's rule.
+///
+/// Costs exactly `2 * (coeffs.len() - 1)` flops (one multiply and one add per
+/// coefficient after the leading one).
+#[inline]
+pub fn horner<T: Arith>(x: T, coeffs: &[f64]) -> T {
+    debug_assert!(!coeffs.is_empty());
+    let mut acc = T::lit(coeffs[coeffs.len() - 1]);
+    for &c in coeffs[..coeffs.len() - 1].iter().rev() {
+        acc = acc * x + T::lit(c);
+    }
+    acc
+}
+
+/// Flop cost of [`horner`] with `n` coefficients.
+#[inline]
+pub const fn horner_flops(n: usize) -> u64 {
+    2 * (n as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counted::{flops_counted, Cf64};
+
+    #[test]
+    fn evaluates_cubic() {
+        // 1 + 2x + 3x^2 + 4x^3 at x = 2 -> 1 + 4 + 12 + 32 = 49
+        let v = horner(2.0_f64, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v, 49.0);
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        assert_eq!(horner(123.0_f64, &[7.5]), 7.5);
+        assert_eq!(horner_flops(1), 0);
+    }
+
+    #[test]
+    fn flop_count_matches_formula() {
+        for n in 1..=16usize {
+            let coeffs: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let ((), flops) = flops_counted(|| {
+                let _ = horner(Cf64::new(0.3), &coeffs);
+            });
+            assert_eq!(flops, horner_flops(n), "n = {n}");
+        }
+    }
+}

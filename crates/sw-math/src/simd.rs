@@ -1,0 +1,242 @@
+//! 4-wide SIMD vector mirroring the SW26010's 256-bit pipelines.
+//!
+//! The Sunway toolchain has no auto-vectorizer; kernels are vectorized by
+//! hand with intrinsics such as `SIMD_LOADU`, `SIMD_VMAD`, and `SIMD_VMULD`
+//! (paper §VI-B, Algorithm 2). [`F64x4`] provides the same operation set so
+//! the ported Burgers kernel reads like the paper's Fortran snippet.
+//!
+//! `vmad` is deliberately *unfused* (separate multiply and add) so that the
+//! vectorized kernel produces bit-identical results to the scalar kernel —
+//! the runtime's determinism tests rely on this. The truly fused variant is
+//! available as [`F64x4::vmad_fused`] for accuracy experiments.
+
+use core::ops::{Add, Div, Index, Mul, Neg, Sub};
+
+use crate::exp::{EXP_POLY, INV_LN2, LN2_HI, LN2_LO, LN2_MID};
+
+/// SIMD register width of the SW26010 (4 doubles in 256 bits).
+pub const SIMD_WIDTH: usize = 4;
+
+/// A 256-bit vector of four `f64` lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+#[repr(align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// Broadcast one value to all lanes (`SIMD_CMPLX(v, v, v, v)`).
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+
+    /// Construct from explicit lanes.
+    #[inline(always)]
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        F64x4([a, b, c, d])
+    }
+
+    /// Unaligned load of four consecutive doubles (`SIMD_LOADU`).
+    ///
+    /// # Panics
+    /// Panics if `s` has fewer than four elements.
+    #[inline(always)]
+    pub fn loadu(s: &[f64]) -> Self {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Unaligned store of the four lanes (`SIMD_STOREU`).
+    ///
+    /// # Panics
+    /// Panics if `d` has fewer than four elements.
+    #[inline(always)]
+    pub fn storeu(self, d: &mut [f64]) {
+        d[..4].copy_from_slice(&self.0);
+    }
+
+    /// Multiply-add `self * b + c` (`SIMD_VMAD`), unfused for bit-parity with
+    /// the scalar kernel.
+    #[inline(always)]
+    pub fn vmad(self, b: Self, c: Self) -> Self {
+        self * b + c
+    }
+
+    /// Truly fused multiply-add, one rounding (`fma` per lane).
+    #[inline(always)]
+    pub fn vmad_fused(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0; 4];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l].mul_add(b.0[l], c.0[l]);
+        }
+        F64x4(out)
+    }
+
+    /// Lane-wise multiply (`SIMD_VMULD`).
+    #[inline(always)]
+    pub fn vmuld(self, b: Self) -> Self {
+        self * b
+    }
+
+    /// Horizontal sum of the four lanes.
+    #[inline(always)]
+    pub fn hsum(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+
+    /// Lane-wise application of a scalar function (models the lane loop the
+    /// Sunway compiler emits for non-vectorizable calls).
+    #[inline(always)]
+    pub fn map(self, f: impl Fn(f64) -> f64) -> Self {
+        F64x4([f(self.0[0]), f(self.0[1]), f(self.0[2]), f(self.0[3])])
+    }
+
+    /// Lane array.
+    #[inline(always)]
+    pub fn lanes(self) -> [f64; 4] {
+        self.0
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F64x4 {
+            type Output = F64x4;
+            #[inline(always)]
+            fn $method(self, rhs: F64x4) -> F64x4 {
+                F64x4([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add, +);
+lanewise_binop!(Sub, sub, -);
+lanewise_binop!(Mul, mul, *);
+lanewise_binop!(Div, div, /);
+
+impl Neg for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn neg(self) -> F64x4 {
+        F64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+impl Index<usize> for F64x4 {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+/// Vectorized fast exponential: per lane, the identical operation sequence as
+/// [`crate::exp::exp_fast`], so lane results are bit-identical to the scalar
+/// library. Inputs outside the scalar fast path (NaN/overflow/underflow) fall
+/// back to the scalar routine per lane.
+pub fn exp_fast_x4(x: F64x4) -> F64x4 {
+    // Per-lane special-case screen; rare in the Burgers domain.
+    for l in 0..4 {
+        let v = x.0[l];
+        if !(-700.0..=700.0).contains(&v) {
+            return x.map(crate::exp::exp_fast);
+        }
+    }
+    let kx = x * F64x4::splat(INV_LN2);
+    let mut kd = [0.0; 4];
+    let mut scale = [0.0; 4];
+    for l in 0..4 {
+        let k = kx.0[l].round() as i32;
+        kd[l] = k as f64;
+        // |x| <= 700 keeps k well inside the normal exponent range.
+        scale[l] = f64::from_bits(((k + 1023) as u64) << 52);
+    }
+    let kd = F64x4(kd);
+    let r = x - kd * F64x4::splat(LN2_HI);
+    let r = r - kd * F64x4::splat(LN2_MID);
+    let r = r - kd * F64x4::splat(LN2_LO);
+    // Degree-13 Horner, same coefficient order as the scalar path.
+    let mut p = F64x4::splat(EXP_POLY[EXP_POLY.len() - 1]);
+    for &c in EXP_POLY[..EXP_POLY.len() - 1].iter().rev() {
+        p = p * r + F64x4::splat(c);
+    }
+    p * F64x4(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::exp_fast;
+
+    #[test]
+    fn lanewise_arithmetic() {
+        let a = F64x4::new(1.0, 2.0, 3.0, 4.0);
+        let b = F64x4::splat(2.0);
+        assert_eq!((a + b).lanes(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).lanes(), [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).lanes(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a / b).lanes(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!((-a).lanes(), [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src = [9.0, 8.0, 7.0, 6.0, 5.0];
+        let v = F64x4::loadu(&src[1..]);
+        assert_eq!(v.lanes(), [8.0, 7.0, 6.0, 5.0]);
+        let mut dst = [0.0; 4];
+        v.storeu(&mut dst);
+        assert_eq!(dst, [8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn vmad_is_unfused_mul_add() {
+        let a = F64x4::splat(1.0 + f64::EPSILON);
+        let b = F64x4::splat(1.0 - f64::EPSILON);
+        let c = F64x4::splat(-1.0);
+        let unfused = a.vmad(b, c);
+        for l in 0..4 {
+            assert_eq!(unfused[l], (1.0 + f64::EPSILON) * (1.0 - f64::EPSILON) - 1.0);
+        }
+        // The fused version retains the low product bits the unfused one drops.
+        let fused = a.vmad_fused(b, c);
+        assert_ne!(fused, unfused);
+    }
+
+    #[test]
+    fn hsum_sums_lanes() {
+        assert_eq!(F64x4::new(1.0, 2.0, 3.0, 4.0).hsum(), 10.0);
+    }
+
+    #[test]
+    fn vector_exp_bit_matches_scalar() {
+        let mut x = -35.0;
+        while x < 35.0 {
+            let v = F64x4::new(x, x + 0.123, x + 1.9, x + 3.4);
+            let got = exp_fast_x4(v);
+            for l in 0..4 {
+                assert_eq!(
+                    got[l].to_bits(),
+                    exp_fast(v[l]).to_bits(),
+                    "lane {l}, x = {}",
+                    v[l]
+                );
+            }
+            x += 0.517;
+        }
+    }
+
+    #[test]
+    fn vector_exp_falls_back_on_extremes() {
+        let v = F64x4::new(0.0, 800.0, -800.0, f64::NAN);
+        let got = exp_fast_x4(v);
+        assert_eq!(got[0], 1.0);
+        assert_eq!(got[1], f64::INFINITY);
+        assert_eq!(got[2], 0.0);
+        assert!(got[3].is_nan());
+    }
+}

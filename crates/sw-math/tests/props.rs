@@ -1,0 +1,76 @@
+//! Property tests of the software math layer.
+
+use proptest::prelude::*;
+use sw_math::counted::{flops_counted, Cf64};
+use sw_math::exp::{exp_accurate, exp_fast, EXP_ACCURATE_FLOPS, EXP_FAST_FLOPS};
+use sw_math::simd::{exp_fast_x4, F64x4};
+
+proptest! {
+    /// Both software exps stay within their accuracy budgets on the whole
+    /// non-degenerate range.
+    #[test]
+    fn exp_accuracy(x in -700.0f64..700.0) {
+        let want = x.exp();
+        let fast = exp_fast(x);
+        let acc = exp_accurate(x);
+        let rel = |got: f64| ((got - want) / want).abs();
+        prop_assert!(rel(fast) < 1e-13, "fast({x}) rel err {}", rel(fast));
+        prop_assert!(rel(acc) < 1e-14, "accurate({x}) rel err {}", rel(acc));
+        // The accurate library is never (meaningfully) worse than fast.
+        prop_assert!(rel(acc) <= rel(fast) + 1e-15);
+    }
+
+    /// Counted execution is bit-identical to plain execution and costs the
+    /// documented constant number of flops.
+    #[test]
+    fn counted_exp_matches_plain_and_constants(x in -700.0f64..700.0) {
+        let (cf, n_fast) = flops_counted(|| exp_fast(Cf64::new(x)));
+        prop_assert_eq!(cf.get().to_bits(), exp_fast(x).to_bits());
+        prop_assert_eq!(n_fast, EXP_FAST_FLOPS);
+        let (ca, n_acc) = flops_counted(|| exp_accurate(Cf64::new(x)));
+        prop_assert_eq!(ca.get().to_bits(), exp_accurate(x).to_bits());
+        prop_assert_eq!(n_acc, EXP_ACCURATE_FLOPS);
+    }
+
+    /// The vectorized exp is bit-identical per lane to the scalar library.
+    #[test]
+    fn simd_exp_lanes_match_scalar(
+        a in -650.0f64..650.0,
+        b in -650.0f64..650.0,
+        c in -650.0f64..650.0,
+        d in -650.0f64..650.0,
+    ) {
+        let v = exp_fast_x4(F64x4::new(a, b, c, d));
+        for (lane, x) in [a, b, c, d].into_iter().enumerate() {
+            prop_assert_eq!(v[lane].to_bits(), exp_fast(x).to_bits(), "lane {}", lane);
+        }
+    }
+
+    /// F64x4 arithmetic is exactly lane-wise f64 arithmetic.
+    #[test]
+    fn simd_ops_are_lanewise(
+        xs in prop::array::uniform4(-1e6f64..1e6),
+        ys in prop::array::uniform4(-1e6f64..1e6),
+    ) {
+        let a = F64x4(xs);
+        let b = F64x4(ys);
+        for l in 0..4 {
+            prop_assert_eq!((a + b)[l].to_bits(), (xs[l] + ys[l]).to_bits());
+            prop_assert_eq!((a - b)[l].to_bits(), (xs[l] - ys[l]).to_bits());
+            prop_assert_eq!((a * b)[l].to_bits(), (xs[l] * ys[l]).to_bits());
+            prop_assert_eq!((a / b)[l].to_bits(), (xs[l] / ys[l]).to_bits());
+            prop_assert_eq!(a.vmad(b, a)[l].to_bits(), (xs[l] * ys[l] + xs[l]).to_bits());
+        }
+    }
+
+    /// exp is monotonic on representable steps (sanity of the reduction
+    /// across k boundaries, where Cody-Waite bugs typically show up).
+    #[test]
+    fn exp_fast_monotone_near_k_boundaries(k in -900i32..900) {
+        // Straddle a multiple of ln2/2 where the reduction switches k.
+        let x0 = k as f64 * 0.346_573_590_279_972_65;
+        let below = exp_fast(x0 - 1e-9);
+        let above = exp_fast(x0 + 1e-9);
+        prop_assert!(below <= above, "exp_fast not monotone at {x0}");
+    }
+}

@@ -1,0 +1,544 @@
+//! Non-blocking point-to-point messaging with host-driven progression.
+//!
+//! The paper's scheduler design leans on a well-known MPI property: "in most
+//! MPI implementations, the non-blocking sends and receives do not progress
+//! without the help of the host processor" (§V-C, citing Denis & Trahay).
+//! This layer reproduces that behaviour exactly:
+//!
+//! * small messages (≤ eager limit) are injected at `isend` time, but their
+//!   *arrival only becomes visible* to the receiver at its next
+//!   [`MpiWorld::progress`] call;
+//! * large messages rendezvous: an RTS travels to the receiver, who — only
+//!   while progressing, with a matching `irecv` posted — returns a CTS; the
+//!   sender — only while progressing — then injects the payload.
+//!
+//! A synchronous scheduler that busy-spins on the completion flag makes no
+//! progress calls during kernels, so rendezvous handshakes serialize after
+//! compute; the asynchronous scheduler progresses while kernels run and
+//! hides them. That is precisely the overlap the paper measures.
+//!
+//! Matching is MPI-ordered: posted receives match messages from a given
+//! `(source, tag)` in message-id (send-program) order.
+
+use std::collections::BTreeMap;
+
+use sw_sim::{CgId, Machine, SimTime};
+
+/// Rank in the simulated communicator (identical to the CG id: one MPI
+/// process per CG, paper §V-B).
+pub type Rank = CgId;
+
+/// Message tag.
+pub type Tag = u64;
+
+/// Size of the RTS/CTS control messages on the wire.
+const CTRL_BYTES: u64 = 64;
+
+/// Handle to a posted non-blocking send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SendHandle(u64);
+
+/// Handle to a posted non-blocking receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecvHandle(u64);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MsgState {
+    /// Rendezvous: RTS on the wire.
+    RtsInFlight,
+    /// Rendezvous: RTS at the receiver, waiting for match + progress.
+    RtsArrived,
+    /// Rendezvous: CTS on the wire back to the sender.
+    CtsInFlight,
+    /// Rendezvous: CTS at the sender, waiting for sender progress.
+    CtsArrived,
+    /// Payload on the wire.
+    DataInFlight,
+    /// Payload at the receiver, waiting for match + progress.
+    DataArrived,
+    /// Received; payload handed to the application.
+    Consumed,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: Rank,
+    dst: Rank,
+    tag: Tag,
+    bytes: u64,
+    payload: Option<Vec<f64>>,
+    state: MsgState,
+    eager: bool,
+    matched_recv: Option<u64>,
+    send_complete: bool,
+}
+
+#[derive(Debug)]
+struct RecvReq {
+    matched_msg: Option<u64>,
+    complete: bool,
+    payload: Option<Vec<f64>>,
+}
+
+/// The simulated communicator.
+///
+/// ```
+/// use sw_mpi::MpiWorld;
+/// use sw_sim::{Machine, MachineConfig, MachineEvent, SimTime};
+///
+/// let mut m = Machine::new(MachineConfig::sw26010(), 2);
+/// let mut w = MpiWorld::new(2);
+/// // Eager send with a functional payload.
+/// let s = w.isend(&mut m, 0, 1, 42, 8, Some(vec![3.5]), SimTime::ZERO);
+/// let r = w.irecv(1, 0, 42);
+/// // Drain wire events, then let the receiving host progress the library.
+/// while let Some((_, ev)) = m.pop() {
+///     if let MachineEvent::NetDeliver { token, .. } = ev {
+///         w.on_wire(token);
+///     }
+/// }
+/// let now = m.now();
+/// w.progress(1, &mut m, now);
+/// assert!(w.send_done(s) && w.recv_done(r));
+/// assert_eq!(w.take_payload(r), Some(vec![3.5]));
+/// ```
+#[derive(Debug)]
+pub struct MpiWorld {
+    n: usize,
+    msgs: BTreeMap<u64, Msg>,
+    recvs: BTreeMap<u64, RecvReq>,
+    /// Per-rank index of in-flight message ids the rank may need to act on
+    /// (as sender or receiver); keeps `progress` proportional to live
+    /// traffic rather than run history.
+    active: Vec<std::collections::BTreeSet<u64>>,
+    /// Unmatched posted receives, FIFO per (dst, src, tag).
+    posted: BTreeMap<(Rank, Rank, Tag), std::collections::VecDeque<u64>>,
+    next_msg: u64,
+    next_recv: u64,
+    /// Wire-level statistics.
+    pub sends_posted: u64,
+    /// Completed receives.
+    pub recvs_completed: u64,
+}
+
+/// Decode a wire token into (message id, phase).
+fn decode(token: u64) -> (u64, u8) {
+    (token >> 2, (token & 3) as u8)
+}
+fn encode(id: u64, phase: u8) -> u64 {
+    (id << 2) | phase as u64
+}
+const PH_RTS: u8 = 0;
+const PH_CTS: u8 = 1;
+const PH_DATA: u8 = 2;
+
+impl MpiWorld {
+    /// A communicator of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        MpiWorld {
+            n,
+            msgs: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            active: vec![std::collections::BTreeSet::new(); n],
+            posted: BTreeMap::new(),
+            next_msg: 0,
+            next_recv: 0,
+            sends_posted: 0,
+            recvs_completed: 0,
+        }
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Post a non-blocking send of `bytes` (optionally carrying a functional
+    /// payload). Send-side work begins at `when`; the caller accounts the
+    /// MPE call overhead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend(
+        &mut self,
+        machine: &mut Machine,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        bytes: u64,
+        payload: Option<Vec<f64>>,
+        when: SimTime,
+    ) -> SendHandle {
+        assert!(src < self.n && dst < self.n, "rank out of range");
+        assert_ne!(src, dst, "self-sends go through the data warehouse");
+        let id = self.next_msg;
+        self.next_msg += 1;
+        self.sends_posted += 1;
+        let eager = bytes <= machine.cfg().eager_limit_bytes as u64;
+        let (state, send_complete) = if eager {
+            // Eager: payload leaves immediately; the library buffers it, so
+            // the send request is complete as soon as it is injected.
+            machine.net_send(src, dst, bytes.max(CTRL_BYTES), when, encode(id, PH_DATA));
+            (MsgState::DataInFlight, true)
+        } else {
+            machine.net_send(src, dst, CTRL_BYTES, when, encode(id, PH_RTS));
+            (MsgState::RtsInFlight, false)
+        };
+        self.msgs.insert(
+            id,
+            Msg {
+                src,
+                dst,
+                tag,
+                bytes,
+                payload,
+                state,
+                eager,
+                matched_recv: None,
+                send_complete,
+            },
+        );
+        self.active[src].insert(id);
+        self.active[dst].insert(id);
+        SendHandle(id)
+    }
+
+    /// Post a non-blocking receive for a message from `src` with `tag`.
+    pub fn irecv(&mut self, rank: Rank, src: Rank, tag: Tag) -> RecvHandle {
+        assert!(rank < self.n && src < self.n, "rank out of range");
+        let id = self.next_recv;
+        self.next_recv += 1;
+        self.recvs.insert(
+            id,
+            RecvReq {
+                matched_msg: None,
+                complete: false,
+                payload: None,
+            },
+        );
+        self.posted.entry((rank, src, tag)).or_default().push_back(id);
+        RecvHandle(id)
+    }
+
+    /// Record a wire delivery (called by the controller when a
+    /// `MachineEvent::NetDeliver` with this token pops). The delivery is not
+    /// yet *visible* to either rank — visibility requires `progress`.
+    pub fn on_wire(&mut self, token: u64) {
+        let (id, phase) = decode(token);
+        let msg = self.msgs.get_mut(&id).expect("wire token for unknown message");
+        msg.state = match (phase, msg.state) {
+            (PH_RTS, MsgState::RtsInFlight) => MsgState::RtsArrived,
+            (PH_CTS, MsgState::CtsInFlight) => MsgState::CtsArrived,
+            (PH_DATA, MsgState::DataInFlight) => MsgState::DataArrived,
+            (p, s) => panic!("message {id}: phase {p} delivery in state {s:?}"),
+        };
+    }
+
+    /// Drive the MPI library on `rank` at `now`: match arrived messages to
+    /// posted receives, answer rendezvous handshakes, inject granted
+    /// payloads, and complete requests. Returns the number of protocol
+    /// actions taken (0 means nothing changed). The caller accounts the MPE
+    /// call cost.
+    pub fn progress(&mut self, rank: Rank, machine: &mut Machine, now: SimTime) -> usize {
+        let mut actions = 0;
+        // Deterministic iteration over this rank's live traffic only:
+        // ascending message id gives MPI-FIFO matching.
+        let ids: Vec<u64> = self.active[rank].iter().copied().collect();
+        for id in ids {
+            let (src, dst, tag, state, matched, eager) = {
+                let m = &self.msgs[&id];
+                (m.src, m.dst, m.tag, m.state, m.matched_recv, m.eager)
+            };
+            match state {
+                MsgState::RtsArrived if dst == rank => {
+                    // Match (or use an existing match) and grant the send.
+                    let recv = matched.or_else(|| self.match_recv(id, dst, src, tag));
+                    if let Some(r) = recv {
+                        self.msgs.get_mut(&id).unwrap().matched_recv = Some(r);
+                        machine.net_send(dst, src, CTRL_BYTES, now, encode(id, PH_CTS));
+                        self.msgs.get_mut(&id).unwrap().state = MsgState::CtsInFlight;
+                        actions += 1;
+                    }
+                }
+                MsgState::CtsArrived if src == rank => {
+                    let bytes = self.msgs[&id].bytes;
+                    machine.net_send(src, dst, bytes, now, encode(id, PH_DATA));
+                    let m = self.msgs.get_mut(&id).unwrap();
+                    m.state = MsgState::DataInFlight;
+                    // Rendezvous send buffer is released once injected.
+                    m.send_complete = true;
+                    actions += 1;
+                }
+                MsgState::DataArrived if dst == rank => {
+                    let recv = matched.or_else(|| self.match_recv(id, dst, src, tag));
+                    if let Some(r) = recv {
+                        let m = self.msgs.get_mut(&id).unwrap();
+                        m.matched_recv = Some(r);
+                        m.state = MsgState::Consumed;
+                        let payload = m.payload.take();
+                        debug_assert!(eager || m.send_complete);
+                        let req = self.recvs.get_mut(&r).unwrap();
+                        req.complete = true;
+                        req.payload = payload;
+                        self.recvs_completed += 1;
+                        actions += 1;
+                        // Fully finished: retire from the live indexes (the
+                        // eager/rendezvous send side is complete by now).
+                        self.active[src].remove(&id);
+                        self.active[dst].remove(&id);
+                        self.msgs.remove(&id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        actions
+    }
+
+    /// Pop the oldest unmatched posted receive on `rank` for `(src, tag)`.
+    fn match_recv(&mut self, msg: u64, rank: Rank, src: Rank, tag: Tag) -> Option<u64> {
+        let id = self.posted.get_mut(&(rank, src, tag))?.pop_front()?;
+        self.recvs.get_mut(&id).unwrap().matched_msg = Some(msg);
+        Some(id)
+    }
+
+    /// Has this send's buffer been handed to the network? (Observable only
+    /// after a `progress` call on the sending rank, as in real MPI `Test`.)
+    pub fn send_done(&self, h: SendHandle) -> bool {
+        self.msgs.get(&h.0).is_none_or(|m| m.send_complete)
+    }
+
+    /// Has this receive completed?
+    pub fn recv_done(&self, h: RecvHandle) -> bool {
+        self.recvs[&h.0].complete
+    }
+
+    /// Take the functional payload of a completed receive.
+    ///
+    /// # Panics
+    /// Panics if the receive has not completed.
+    pub fn take_payload(&mut self, h: RecvHandle) -> Option<Vec<f64>> {
+        let r = self.recvs.get_mut(&h.0).expect("unknown recv");
+        assert!(r.complete, "take_payload before completion");
+        r.payload.take()
+    }
+
+    /// Whether every send in `sends` has completed (MPI `Testall` shape).
+    pub fn all_sends_done(&self, sends: &[SendHandle]) -> bool {
+        sends.iter().all(|&h| self.send_done(h))
+    }
+
+    /// Whether an unmatched message from `src` with `tag` is waiting at
+    /// `rank` (MPI `Iprobe` shape): its payload has arrived (eager) or its
+    /// RTS has (rendezvous), but no posted receive has claimed it.
+    pub fn iprobe(&self, rank: Rank, src: Rank, tag: Tag) -> bool {
+        self.msgs.values().any(|m| {
+            m.dst == rank
+                && m.src == src
+                && m.tag == tag
+                && m.matched_recv.is_none()
+                && matches!(m.state, MsgState::RtsArrived | MsgState::DataArrived)
+        })
+    }
+
+    /// Messages still live (in flight or awaiting consumption) that involve
+    /// `rank` as sender or receiver.
+    pub fn outstanding(&self, rank: Rank) -> usize {
+        self.active[rank].len()
+    }
+
+    /// Free the bookkeeping of a completed receive (after the payload has
+    /// been consumed). Keeps long runs O(live traffic).
+    pub fn retire_recv(&mut self, h: RecvHandle) {
+        if let Some(r) = self.recvs.get(&h.0) {
+            assert!(r.complete, "retiring an incomplete receive");
+            self.recvs.remove(&h.0);
+        }
+    }
+
+    /// True when no message is still in flight or awaiting consumption
+    /// (quiescence check between timesteps). Fully finished messages are
+    /// retired eagerly, so this checks emptiness of the live set.
+    pub fn quiescent(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drop completed receives (fully finished messages are already retired
+    /// eagerly by `progress`).
+    pub fn compact(&mut self) {
+        self.recvs.retain(|_, r| !r.complete);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::{MachineConfig, MachineEvent};
+
+    fn setup(n: usize) -> (Machine, MpiWorld) {
+        (Machine::new(MachineConfig::sw26010(), n), MpiWorld::new(n))
+    }
+
+    /// Drain all machine events into the world.
+    fn drain(m: &mut Machine, w: &mut MpiWorld) {
+        while let Some((_, ev)) = m.pop() {
+            if let MachineEvent::NetDeliver { token, .. } = ev {
+                w.on_wire(token);
+            }
+        }
+    }
+
+    #[test]
+    fn eager_send_completes_immediately_recv_needs_progress() {
+        let (mut m, mut w) = setup(2);
+        let s = w.isend(&mut m, 0, 1, 7, 100, None, SimTime::ZERO);
+        assert!(w.send_done(s), "eager sends buffer and complete");
+        let r = w.irecv(1, 0, 7);
+        assert!(!w.recv_done(r));
+        drain(&mut m, &mut w);
+        // Arrived, but invisible until rank 1 progresses.
+        assert!(!w.recv_done(r));
+        let now = m.now();
+        assert!(w.progress(1, &mut m, now) > 0);
+        assert!(w.recv_done(r));
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn rendezvous_requires_both_hosts_to_progress() {
+        let (mut m, mut w) = setup(2);
+        let bytes = 1_000_000; // > eager limit
+        let s = w.isend(&mut m, 0, 1, 3, bytes, None, SimTime::ZERO);
+        let r = w.irecv(1, 0, 3);
+        assert!(!w.send_done(s), "rendezvous sends are not complete at post");
+
+        // RTS arrives; receiver progress sends CTS.
+        drain(&mut m, &mut w);
+        let t = m.now();
+        assert_eq!(w.progress(1, &mut m, t), 1);
+        assert!(!w.send_done(s));
+        assert!(!w.recv_done(r));
+
+        // CTS arrives; *sender* progress injects the payload.
+        drain(&mut m, &mut w);
+        let t = m.now();
+        assert_eq!(w.progress(0, &mut m, t), 1);
+        assert!(w.send_done(s), "payload injected, buffer released");
+
+        // Payload arrives; receiver progress completes the receive.
+        drain(&mut m, &mut w);
+        let t = m.now();
+        assert_eq!(w.progress(1, &mut m, t), 1);
+        assert!(w.recv_done(r));
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn rendezvous_stalls_without_posted_recv() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 0, 1, 3, 1_000_000, None, SimTime::ZERO);
+        drain(&mut m, &mut w);
+        // Receiver progresses but has no matching irecv: nothing happens.
+        let t = m.now();
+        assert_eq!(w.progress(1, &mut m, t), 0);
+        // Posting the receive unblocks the handshake.
+        let r = w.irecv(1, 0, 3);
+        let t = m.now();
+        assert_eq!(w.progress(1, &mut m, t), 1);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(0, &mut m, t);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r));
+    }
+
+    #[test]
+    fn payload_travels_functionally() {
+        let (mut m, mut w) = setup(2);
+        let data = vec![1.5, 2.5, 3.5];
+        w.isend(&mut m, 0, 1, 9, 24, Some(data.clone()), SimTime::ZERO);
+        let r = w.irecv(1, 0, 9);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r));
+        assert_eq!(w.take_payload(r), Some(data));
+    }
+
+    #[test]
+    fn matching_is_fifo_per_source_and_tag() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 0, 1, 5, 8, Some(vec![1.0]), SimTime::ZERO);
+        w.isend(&mut m, 0, 1, 5, 8, Some(vec![2.0]), SimTime::ZERO);
+        let r1 = w.irecv(1, 0, 5);
+        let r2 = w.irecv(1, 0, 5);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r1) && w.recv_done(r2));
+        // First posted receive gets the first sent message.
+        assert_eq!(w.take_payload(r1), Some(vec![1.0]));
+        assert_eq!(w.take_payload(r2), Some(vec![2.0]));
+    }
+
+    #[test]
+    fn tags_separate_message_streams() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 0, 1, 100, 8, Some(vec![1.0]), SimTime::ZERO);
+        w.isend(&mut m, 0, 1, 200, 8, Some(vec![2.0]), SimTime::ZERO);
+        let r200 = w.irecv(1, 0, 200);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r200));
+        assert_eq!(w.take_payload(r200), Some(vec![2.0]));
+        assert!(!w.quiescent(), "tag-100 message still unconsumed");
+        let r100 = w.irecv(1, 0, 100);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r100));
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn compact_drops_finished_traffic() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 0, 1, 1, 8, None, SimTime::ZERO);
+        let r = w.irecv(1, 0, 1);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r));
+        w.compact();
+        assert!(w.msgs.is_empty() && w.recvs.is_empty());
+        assert_eq!(w.recvs_completed, 1);
+    }
+
+    #[test]
+    fn iprobe_and_outstanding_track_unmatched_arrivals() {
+        let (mut m, mut w) = setup(2);
+        let s = w.isend(&mut m, 0, 1, 5, 64, None, SimTime::ZERO);
+        assert_eq!(w.outstanding(0), 1);
+        assert_eq!(w.outstanding(1), 1);
+        assert!(!w.iprobe(1, 0, 5), "not arrived yet");
+        drain(&mut m, &mut w);
+        assert!(w.iprobe(1, 0, 5), "arrived, unmatched");
+        assert!(!w.iprobe(1, 0, 6), "wrong tag");
+        assert!(!w.iprobe(0, 1, 5), "wrong direction");
+        let r = w.irecv(1, 0, 5);
+        let now = m.now();
+        w.progress(1, &mut m, now);
+        assert!(w.recv_done(r));
+        assert!(!w.iprobe(1, 0, 5), "consumed");
+        assert_eq!(w.outstanding(0), 0);
+        assert!(w.all_sends_done(&[s]));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_sends_rejected() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 1, 1, 0, 8, None, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,15 @@
+//! Simulated MPI for the TaihuLight reproduction.
+//!
+//! Provides the messaging substrate the Sunway-specific Uintah schedulers
+//! are built on (paper §V): non-blocking point-to-point sends/receives whose
+//! progression requires the host MPE to enter the library ([`comm`]), plus
+//! closed-form modeled collectives for the per-timestep reductions
+//! ([`collective`]).
+
+
+#![warn(missing_docs)]
+pub mod collective;
+pub mod comm;
+
+pub use collective::{ModeledAllreduce, ModeledBarrier, ModeledBcast, ReduceOp};
+pub use comm::{MpiWorld, Rank, RecvHandle, SendHandle, Tag};

@@ -1,0 +1,227 @@
+//! Machine-model configuration, calibrated to the SW26010 / Sunway
+//! TaihuLight parameters published in the paper (Table II, §IV) and to the
+//! paper's own measured effective rates (§VII).
+//!
+//! Peak numbers come straight from the paper; *effective* rates are
+//! calibrated backwards from the paper's results (e.g. the best observed
+//! floating-point efficiency is 1.17% of CG peak, so the effective per-CPE
+//! kernel throughput on the Burgers stencil is on the order of 0.1 Gflop/s —
+//! software-emulated exponentials, cacheless CPEs, and un-overlapped DMA
+//! dominate). EXPERIMENTS.md discusses the calibration in detail.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDur;
+
+/// All tunable parameters of the SW26010/TaihuLight machine model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    // ---- topology (paper Table II, Fig 3) ----
+    /// Computing Processing Elements per core group.
+    pub cpes_per_cg: usize,
+    /// Local Data Memory per CPE, bytes (64 KB scratchpad, §IV-A).
+    pub ldm_bytes: usize,
+
+    // ---- peak rates (paper §IV-A) ----
+    /// MPE peak, Gflop/s (23.2).
+    pub mpe_peak_gflops: f64,
+    /// Per-CPE peak, Gflop/s (742.4 / 64 = 11.6).
+    pub cpe_peak_gflops: f64,
+
+    // ---- effective kernel rates (calibrated, §VII-E) ----
+    /// Effective per-CPE throughput for a scalar (non-vectorized) stencil
+    /// kernel with software exponentials, Gflop/s.
+    pub cpe_scalar_gflops: f64,
+    /// Effective per-CPE throughput for the SIMD-vectorized kernel, Gflop/s.
+    /// The paper observes vectorization halving compute time (§VII-B).
+    pub cpe_simd_gflops: f64,
+    /// Effective MPE throughput for the same kernel run host-only, Gflop/s.
+    /// Calibrated so CPE offload yields the paper's 2.7–6.0x boost (§VII-D).
+    pub mpe_eff_gflops: f64,
+    /// Extra per-exponential stall when the IEEE-conforming (slow) exp
+    /// library is used instead of the fast one (§VI-C).
+    pub accurate_exp_stall: SimDur,
+
+    // ---- memory system (paper Table II: 4 * 128bit DDR3-2133) ----
+    /// Aggregate main-memory bandwidth of one CG, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Peak DMA bandwidth a single CPE can sustain, GB/s (row-strided tile
+    /// transfers are far below the stream peak).
+    pub dma_cpe_peak_gbs: f64,
+    /// Start-up latency of one DMA descriptor (athread_get/put).
+    pub dma_latency: SimDur,
+    /// Effective bandwidth of MPE-side data motion (ghost packing, data-
+    /// warehouse copies), GB/s. The MPE is a single weak core.
+    pub mpe_copy_gbs: f64,
+
+    // ---- interconnect (paper Table II) ----
+    /// One-way point-to-point bandwidth, GB/s (16 GB/s bidirectional).
+    pub net_bw_gbs: f64,
+    /// Point-to-point latency (~1 us).
+    pub net_latency: SimDur,
+    /// Messages at or below this size use the eager protocol; larger ones
+    /// rendezvous (and therefore need receiver-side progression).
+    pub eager_limit_bytes: usize,
+
+    // ---- runtime overheads (calibrated; see DESIGN.md §5) ----
+    /// MPE cost of one MPI library call (isend/irecv/test).
+    pub mpi_call_overhead: SimDur,
+    /// Fixed MPE cost to prepare/dispatch one task (task-graph bookkeeping).
+    pub mpe_task_overhead: SimDur,
+    /// MPE data-warehouse bookkeeping per cell of the task's footprint; this
+    /// is the work the asynchronous scheduler hides under kernel execution.
+    pub mpe_task_per_cell: SimDur,
+    /// athread spawn/offload cost per kernel (§IV-B: "lightweight").
+    pub offload_spawn: SimDur,
+    /// How often the asynchronous MPE checks the completion flag between its
+    /// other jobs (§V-C step 3b: "checks the completion flag at times").
+    /// Expected detection delay of a finished kernel is about one interval.
+    pub flag_poll_interval: SimDur,
+    /// Fractional slowdown of an offloaded kernel while the MPE busy-spins on
+    /// the main-memory completion flag (synchronous mode only): the spin's
+    /// uncached loads contend with CPE traffic at the memory controller.
+    /// Calibrated to the paper's Tables VI/VII improvements.
+    pub sync_spin_slowdown: f64,
+}
+
+impl MachineConfig {
+    /// The calibrated SW26010 / TaihuLight model used for all reproductions.
+    pub fn sw26010() -> Self {
+        MachineConfig {
+            cpes_per_cg: 64,
+            ldm_bytes: 64 * 1024,
+            mpe_peak_gflops: 23.2,
+            cpe_peak_gflops: 11.6,
+            cpe_scalar_gflops: 0.095,
+            cpe_simd_gflops: 0.19,
+            mpe_eff_gflops: 1.0,
+            accurate_exp_stall: SimDur::from_ns(120.0),
+            mem_bw_gbs: 34.1,
+            dma_cpe_peak_gbs: 2.0,
+            dma_latency: SimDur::from_us(1.0),
+            mpe_copy_gbs: 2.0,
+            net_bw_gbs: 8.0,
+            net_latency: SimDur::from_us(1.0),
+            eager_limit_bytes: 16 * 1024,
+            mpi_call_overhead: SimDur::from_us(1.5),
+            mpe_task_overhead: SimDur::from_us(120.0),
+            mpe_task_per_cell: SimDur::from_ns(9.0),
+            offload_spawn: SimDur::from_us(8.0),
+            flag_poll_interval: SimDur::from_us(900.0),
+            sync_spin_slowdown: 0.06,
+        }
+    }
+
+    /// A tiny, fast configuration for unit tests: identical structure, much
+    /// smaller constants so tests exercising many events stay quick.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            cpes_per_cg: 4,
+            ldm_bytes: 8 * 1024,
+            flag_poll_interval: SimDur::from_us(10.0),
+            ..Self::sw26010()
+        }
+    }
+
+    /// Theoretical peak of one CG, Gflop/s (MPE + CPE cluster).
+    pub fn cg_peak_gflops(&self) -> f64 {
+        self.mpe_peak_gflops + self.cpe_peak_gflops * self.cpes_per_cg as f64
+    }
+
+    /// Effective DMA bandwidth seen by one CPE when `active` CPEs transfer
+    /// concurrently: the per-CPE engine peak, capped by a fair share of the
+    /// CG memory bandwidth.
+    pub fn dma_bw_per_cpe(&self, active: usize) -> f64 {
+        debug_assert!(active >= 1);
+        self.dma_cpe_peak_gbs
+            .min(self.mem_bw_gbs / active as f64)
+    }
+
+    /// Duration of one synchronous DMA transfer of `bytes` with `active`
+    /// concurrent CPEs.
+    pub fn dma_time(&self, bytes: u64, active: usize) -> SimDur {
+        self.dma_latency + SimDur::from_secs_f64(bytes as f64 / (self.dma_bw_per_cpe(active) * 1e9))
+    }
+
+    /// Compute time for `flops` at a `gflops` effective rate.
+    pub fn compute_time(flops: u64, gflops: f64) -> SimDur {
+        assert!(gflops > 0.0);
+        SimDur::from_secs_f64(flops as f64 / (gflops * 1e9))
+    }
+
+    /// MPE time to move `bytes` (pack/unpack/copy through the data
+    /// warehouse).
+    pub fn mpe_copy_time(&self, bytes: u64) -> SimDur {
+        SimDur::from_secs_f64(bytes as f64 / (self.mpe_copy_gbs * 1e9))
+    }
+
+    /// Wire time of a point-to-point message of `bytes` (latency + serial
+    /// transfer at the one-way link bandwidth).
+    pub fn net_time(&self, bytes: u64) -> SimDur {
+        self.net_latency + SimDur::from_secs_f64(bytes as f64 / (self.net_bw_gbs * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_match_paper_table_ii() {
+        let c = MachineConfig::sw26010();
+        // CPE cluster: 742.4 Gflop/s; CG: 765.6; node (4 CGs): 3.06 Tflop/s.
+        assert!((c.cpe_peak_gflops * 64.0 - 742.4).abs() < 1e-9);
+        assert!((c.cg_peak_gflops() - 765.6).abs() < 1e-9);
+        assert!((4.0 * c.cg_peak_gflops() - 3062.4).abs() < 1e-9);
+        assert_eq!(c.ldm_bytes, 65536);
+        assert_eq!(c.cpes_per_cg, 64);
+    }
+
+    #[test]
+    fn dma_bandwidth_contention() {
+        let c = MachineConfig::sw26010();
+        // One CPE alone gets its engine peak.
+        assert_eq!(c.dma_bw_per_cpe(1), c.dma_cpe_peak_gbs);
+        // All 64 share the memory controller fairly.
+        let shared = c.dma_bw_per_cpe(64);
+        assert!((shared - c.mem_bw_gbs / 64.0).abs() < 1e-12);
+        assert!(shared < c.dma_cpe_peak_gbs);
+    }
+
+    #[test]
+    fn dma_time_includes_latency() {
+        let c = MachineConfig::sw26010();
+        let t0 = c.dma_time(0, 1);
+        assert_eq!(t0, c.dma_latency);
+        let t = c.dma_time(2_000_000, 1); // 2 MB at 2 GB/s = 1 ms
+        assert!((t.as_secs_f64() - (1e-6 + 1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let t1 = MachineConfig::compute_time(1_000_000, 1.0);
+        let t2 = MachineConfig::compute_time(2_000_000, 1.0);
+        assert_eq!(t2, t1 * 2);
+        assert!((t1.as_secs_f64() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_time_matches_table_ii() {
+        let c = MachineConfig::sw26010();
+        // Latency-only for a zero-byte message.
+        assert_eq!(c.net_time(0), c.net_latency);
+        // 8 MB at 8 GB/s one-way = 1 ms + 1 us.
+        let t = c.net_time(8_000_000);
+        assert!((t.as_secs_f64() - 1.001e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_config_differs_only_where_documented() {
+        let t = MachineConfig::test_tiny();
+        let p = MachineConfig::sw26010();
+        assert_eq!(t.cpes_per_cg, 4);
+        assert_eq!(t.ldm_bytes, 8 * 1024);
+        assert_eq!(t.mem_bw_gbs, p.mem_bw_gbs);
+        assert_eq!(t.sync_spin_slowdown, p.sync_spin_slowdown);
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events fire in `(time, insertion sequence)` order, so two events scheduled
+//! for the same instant always fire in the order they were scheduled —
+//! repeated runs of the simulator are bit-reproducible regardless of payload
+//! type or platform.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDur, SimTime};
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed so the BinaryHeap max-heap pops the earliest event first.
+    fn cmp(&self, o: &Self) -> Ordering {
+        (o.at, o.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with a monotonically advancing
+/// virtual clock.
+///
+/// ```
+/// use sw_sim::{EventQueue, SimDur, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime(20), "late");
+/// q.schedule_in(SimDur(5), "early");
+/// assert_eq!(q.pop(), Some((SimTime(5), "early")));
+/// assert_eq!(q.now(), SimTime(5));
+/// assert_eq!(q.pop(), Some((SimTime(20), "late")));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — the clock never runs backwards.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `ev` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDur, ev: E) {
+        self.schedule_at(self.now + delay, ev);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.ev))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events popped so far (simulation-size statistic).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDur(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(7));
+        // schedule_in is relative to the advanced clock.
+        q.schedule_in(SimDur(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop();
+        q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn counters_and_emptiness() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime(1), ());
+        q.schedule_at(SimTime(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.popped(), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        // Two structurally identical runs give identical traces.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut trace = vec![];
+            q.schedule_at(SimTime(2), 0u32);
+            q.schedule_at(SimTime(1), 1);
+            while let Some((t, e)) = q.pop() {
+                trace.push((t, e));
+                if e < 4 {
+                    q.schedule_in(SimDur(2), e + 2);
+                    q.schedule_in(SimDur(2), e + 100);
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,116 @@
+//! Emulation of the SW26010's precise floating-point hardware counters.
+//!
+//! The paper counts the model problem's flops "directly using precise
+//! hardware counters on SW26010" (§III-A, Table I) and uses the same counters
+//! for the floating-point-performance figures (§VII-E). Counters here are
+//! per-CG and categorized so the harness can report the exponential
+//! contribution separately, as Table I's discussion does.
+
+use serde::{Deserialize, Serialize};
+
+/// Category a floating-point operation is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlopCategory {
+    /// Stencil arithmetic of the kernel body.
+    Stencil,
+    /// Software-emulated exponentials (≈215 of the ~311 flops/cell).
+    Exp,
+    /// Coefficient evaluation (the non-exp part of the phi calls).
+    Coeff,
+    /// Boundary-condition fills.
+    Boundary,
+    /// Everything else (reductions, initialization).
+    Other,
+}
+
+/// Per-CG flop counters, mirroring the per-CPE hardware counters summed over
+/// a core group.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlopCounters {
+    stencil: u64,
+    exp: u64,
+    coeff: u64,
+    boundary: u64,
+    other: u64,
+}
+
+impl FlopCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` flops in `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: FlopCategory, n: u64) {
+        match cat {
+            FlopCategory::Stencil => self.stencil += n,
+            FlopCategory::Exp => self.exp += n,
+            FlopCategory::Coeff => self.coeff += n,
+            FlopCategory::Boundary => self.boundary += n,
+            FlopCategory::Other => self.other += n,
+        }
+    }
+
+    /// Read one category.
+    pub fn get(&self, cat: FlopCategory) -> u64 {
+        match cat {
+            FlopCategory::Stencil => self.stencil,
+            FlopCategory::Exp => self.exp,
+            FlopCategory::Coeff => self.coeff,
+            FlopCategory::Boundary => self.boundary,
+            FlopCategory::Other => self.other,
+        }
+    }
+
+    /// Total across all categories (what the raw hardware counter reads).
+    pub fn total(&self) -> u64 {
+        self.stencil + self.exp + self.coeff + self.boundary + self.other
+    }
+
+    /// Zero all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merge another counter set into this one (summing CGs to a machine
+    /// total).
+    pub fn merge(&mut self, o: &FlopCounters) {
+        self.stencil += o.stencil;
+        self.exp += o.exp;
+        self.coeff += o.coeff;
+        self.boundary += o.boundary;
+        self.other += o.other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_accumulate_independently() {
+        let mut c = FlopCounters::new();
+        c.add(FlopCategory::Exp, 215);
+        c.add(FlopCategory::Stencil, 30);
+        c.add(FlopCategory::Coeff, 66);
+        c.add(FlopCategory::Exp, 5);
+        assert_eq!(c.get(FlopCategory::Exp), 220);
+        assert_eq!(c.get(FlopCategory::Stencil), 30);
+        assert_eq!(c.get(FlopCategory::Boundary), 0);
+        assert_eq!(c.total(), 316);
+    }
+
+    #[test]
+    fn reset_and_merge() {
+        let mut a = FlopCounters::new();
+        a.add(FlopCategory::Other, 7);
+        let mut b = FlopCounters::new();
+        b.add(FlopCategory::Other, 3);
+        b.add(FlopCategory::Boundary, 10);
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        a.reset();
+        assert_eq!(a.total(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The per-CPE Local Data Memory (LDM): a 64 KB user-controlled scratchpad.
+//!
+//! CPEs are cacheless; the application must move data explicitly between
+//! main memory and the LDM and use only the LDM as working memory
+//! (paper §IV-A). [`LdmAlloc`] is a bump allocator over the scratchpad that
+//! *enforces* the capacity limit — a kernel whose tile working set exceeds
+//! 64 KB fails loudly rather than silently reading main memory, which is the
+//! discipline the tile-size selection of §VI-A exists to satisfy.
+
+use std::fmt;
+
+/// Error returned when an allocation would overflow the scratchpad.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already in use.
+    pub in_use: usize,
+    /// Scratchpad capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} B with {} B already in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// Bump allocator over one CPE's scratchpad.
+///
+/// Allocations hand out owned `f64` buffers (the simulator has no reason to
+/// model addresses) while the allocator tracks the byte budget exactly as the
+/// hardware would. `reset` frees everything at once, matching the per-tile
+/// reuse pattern of the CPE tile scheduler.
+#[derive(Debug)]
+pub struct LdmAlloc {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+impl LdmAlloc {
+    /// Allocator over `capacity` bytes (64 KB on SW26010).
+    pub fn new(capacity: usize) -> Self {
+        LdmAlloc {
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Reserve `n` doubles of working memory; returns a zeroed buffer.
+    pub fn alloc_f64(&mut self, n: usize) -> Result<Vec<f64>, LdmOverflow> {
+        self.reserve(n * 8)?;
+        Ok(vec![0.0; n])
+    }
+
+    /// Reserve raw bytes without materializing a buffer (model-mode sizing
+    /// checks).
+    pub fn reserve(&mut self, bytes: usize) -> Result<(), LdmOverflow> {
+        if self.used + bytes > self.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                in_use: self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
+    /// Free everything (end of tile).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest occupancy ever observed (the paper reports the Burgers tile
+    /// working set as 41.3 KB of the 64 KB LDM, §VI-A).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforces_capacity() {
+        let mut ldm = LdmAlloc::new(1024);
+        let a = ldm.alloc_f64(64).unwrap(); // 512 B
+        assert_eq!(a.len(), 64);
+        assert_eq!(ldm.used(), 512);
+        let err = ldm.alloc_f64(128).unwrap_err(); // would need 1024 more
+        assert_eq!(err.in_use, 512);
+        assert_eq!(err.requested, 1024);
+        assert_eq!(err.capacity, 1024);
+        // Exactly filling is fine.
+        ldm.alloc_f64(64).unwrap();
+        assert_eq!(ldm.used(), 1024);
+    }
+
+    #[test]
+    fn reset_frees_and_high_water_persists() {
+        let mut ldm = LdmAlloc::new(4096);
+        ldm.alloc_f64(256).unwrap(); // 2048
+        ldm.reset();
+        assert_eq!(ldm.used(), 0);
+        ldm.alloc_f64(64).unwrap();
+        assert_eq!(ldm.high_water(), 2048);
+    }
+
+    #[test]
+    fn burgers_tile_fits_paper_ldm() {
+        // Paper §VI-A: tile 16x16x8 with one ghost layer; u (ghosted) plus
+        // u_new (interior) is the working set and must fit in 64 KB.
+        let mut ldm = LdmAlloc::new(64 * 1024);
+        let ghosted = 18 * 18 * 10;
+        let interior = 16 * 16 * 8;
+        ldm.alloc_f64(ghosted).unwrap();
+        ldm.alloc_f64(interior).unwrap();
+        // ~42 KB: close to the paper's 41.3 KB figure.
+        assert!(ldm.used() > 40 * 1024 && ldm.used() < 44 * 1024);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = LdmOverflow {
+            requested: 10,
+            in_use: 5,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("LDM overflow"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic discrete-event model of the Sunway SW26010 processor and
+//! the TaihuLight interconnect.
+//!
+//! There is no Sunway toolchain or hardware available to this reproduction
+//! (see DESIGN.md §2), so the machine the paper ports Uintah to is itself
+//! built here as a calibrated simulator:
+//!
+//! * [`time`] / [`event`] — virtual time and a deterministic event queue;
+//! * [`config`] — the SW26010/TaihuLight parameters (paper Table II) plus
+//!   calibrated effective rates;
+//! * [`machine`] — core groups (MPE + CPE cluster + NIC) advanced by one
+//!   global event queue;
+//! * [`mpe`] — serial busy-time accounting for the single management core;
+//! * [`ldm`] — the capacity-enforcing 64 KB scratchpad allocator;
+//! * [`flops`] — emulation of the precise per-CG floating-point counters;
+//! * [`trace`] — optional event tracing.
+//!
+//! Higher layers (`sw-athread`, `sw-mpi`, `uintah-core`) mint opaque tokens,
+//! drive the machine through [`machine::Machine`]'s primitives, and interpret
+//! the [`machine::MachineEvent`]s that pop.
+
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod event;
+pub mod flops;
+pub mod ldm;
+pub mod machine;
+pub mod mpe;
+pub mod noise;
+pub mod time;
+pub mod trace;
+
+pub use config::MachineConfig;
+pub use event::EventQueue;
+pub use flops::{FlopCategory, FlopCounters};
+pub use ldm::{LdmAlloc, LdmOverflow};
+pub use machine::{Cg, CgId, Machine, MachineEvent, MachineStats};
+pub use mpe::MpeClock;
+pub use noise::{KernelNoise, SplitMix64};
+pub use time::{SimDur, SimTime};
+pub use trace::{Trace, TraceRecord};

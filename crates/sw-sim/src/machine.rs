@@ -1,0 +1,421 @@
+//! The machine: a set of core groups connected by the TaihuLight network,
+//! advanced by one deterministic event queue.
+//!
+//! The machine layer knows about *hardware* happenings only; semantic layers
+//! mint opaque tokens and interpret them when the corresponding
+//! [`MachineEvent`] pops:
+//!
+//! * `sw-athread` mints kernel tokens and handles [`MachineEvent::KernelDone`],
+//! * `sw-mpi` mints message tokens and handles [`MachineEvent::NetDeliver`],
+//! * schedulers mint timer tokens and handle [`MachineEvent::Timer`].
+
+use crate::config::MachineConfig;
+use crate::event::EventQueue;
+use crate::flops::FlopCounters;
+use crate::mpe::MpeClock;
+use crate::noise::KernelNoise;
+use crate::time::{SimDur, SimTime};
+use crate::trace::Trace;
+
+/// Index of a core group (used as the node/rank id: the paper uses CGs as
+/// separate computing nodes, §IV-A).
+pub type CgId = usize;
+
+/// Hardware-level events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// A CPE kernel finished and its completion flag was incremented to done.
+    KernelDone {
+        /// CG whose CPE cluster finished.
+        cg: CgId,
+        /// Token minted by the offloading layer.
+        token: u64,
+    },
+    /// A network message fully arrived at the destination NIC.
+    NetDeliver {
+        /// Destination CG.
+        dst: CgId,
+        /// Token minted by the sending layer.
+        token: u64,
+    },
+    /// A wakeup timer for a CG's MPE (completion-flag polls etc.).
+    Timer {
+        /// CG to wake.
+        cg: CgId,
+        /// Token minted by the scheduling layer.
+        token: u64,
+    },
+}
+
+/// State of one core group.
+#[derive(Debug)]
+pub struct Cg {
+    /// The management element's serial clock.
+    pub mpe: MpeClock,
+    /// Emulated floating-point hardware counters (summed over the CG).
+    pub counters: FlopCounters,
+    /// End of the latest-finishing kernel on the cluster (slot occupancy is
+    /// enforced by the athread layer, which may split the cluster into
+    /// groups — paper §IX future work).
+    cpe_busy_until: SimTime,
+    /// Injection serialization point of this CG's NIC.
+    nic_free_at: SimTime,
+    /// Accumulated CPE-cluster busy time.
+    cpe_busy_total: SimDur,
+}
+
+impl Cg {
+    fn new() -> Self {
+        Cg {
+            mpe: MpeClock::new(),
+            counters: FlopCounters::new(),
+            cpe_busy_until: SimTime::ZERO,
+            nic_free_at: SimTime::ZERO,
+            cpe_busy_total: SimDur::ZERO,
+        }
+    }
+
+    /// When the CPE cluster finishes its current kernel.
+    pub fn cpe_busy_until(&self) -> SimTime {
+        self.cpe_busy_until
+    }
+
+    /// Total CPE-cluster busy time (utilization statistic).
+    pub fn cpe_busy_total(&self) -> SimDur {
+        self.cpe_busy_total
+    }
+}
+
+/// Aggregate machine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Kernels offloaded to CPE clusters.
+    pub kernels: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent on the network.
+    pub net_bytes: u64,
+    /// Timer events scheduled.
+    pub timers: u64,
+}
+
+/// The simulated machine: `n` CGs plus the interconnect.
+///
+/// ```
+/// use sw_sim::{Machine, MachineConfig, MachineEvent, SimDur, SimTime};
+///
+/// let mut m = Machine::new(MachineConfig::sw26010(), 2);
+/// // Offload a 100us kernel to CG 0 and send 1 KiB from CG 0 to CG 1.
+/// let done = m.offload_kernel(0, SimTime::ZERO, SimDur::from_us(100.0), 7);
+/// m.net_send(0, 1, 1024, SimTime::ZERO, 9);
+/// // The message (1us latency + wire time) pops before the kernel.
+/// let (t1, ev1) = m.pop().unwrap();
+/// assert!(matches!(ev1, MachineEvent::NetDeliver { dst: 1, token: 9 }));
+/// let (t2, ev2) = m.pop().unwrap();
+/// assert_eq!(t2, done);
+/// assert!(matches!(ev2, MachineEvent::KernelDone { cg: 0, token: 7 }));
+/// assert!(t1 < t2);
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    queue: EventQueue<MachineEvent>,
+    cgs: Vec<Cg>,
+    stats: MachineStats,
+    /// Optional seeded kernel-duration noise ("instabilities in the
+    /// machine", paper §VII-A).
+    noise: Option<KernelNoise>,
+    /// Per-CG relative speed (1.0 = nominal); a slow CG stretches every
+    /// kernel it runs. Gives the measurement-driven load balancer real
+    /// imbalance to correct.
+    cg_speed: Vec<f64>,
+    /// Optional hardware-event trace (off by default).
+    trace: Trace,
+}
+
+impl Machine {
+    /// A machine of `n_cgs` core groups with configuration `cfg`.
+    pub fn new(cfg: MachineConfig, n_cgs: usize) -> Self {
+        assert!(n_cgs >= 1);
+        Machine {
+            cfg,
+            queue: EventQueue::new(),
+            cgs: (0..n_cgs).map(|_| Cg::new()).collect(),
+            stats: MachineStats::default(),
+            noise: None,
+            cg_speed: vec![1.0; n_cgs],
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Start recording a hardware-event trace (offloads, messages, timers).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The recorded trace (empty unless enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enable seeded kernel-duration noise of up to `frac`.
+    pub fn set_noise(&mut self, frac: f64, seed: u64) {
+        self.noise = (frac > 0.0).then(|| KernelNoise::new(frac, seed));
+    }
+
+    /// Set one CG's relative speed (e.g. 0.5 = half as fast).
+    ///
+    /// # Panics
+    /// Panics on non-positive speeds.
+    pub fn set_cg_speed(&mut self, cg: CgId, speed: f64) {
+        assert!(speed > 0.0, "speed must be positive");
+        self.cg_speed[cg] = speed;
+    }
+
+    /// A CG's relative speed.
+    pub fn cg_speed(&self, cg: CgId) -> f64 {
+        self.cg_speed[cg]
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of core groups.
+    pub fn n_cgs(&self) -> usize {
+        self.cgs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Pop the next hardware event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(SimTime, MachineEvent)> {
+        self.queue.pop()
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Events processed so far.
+    pub fn events_popped(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Access a CG.
+    pub fn cg(&self, id: CgId) -> &Cg {
+        &self.cgs[id]
+    }
+
+    /// Mutably access a CG.
+    pub fn cg_mut(&mut self, id: CgId) -> &mut Cg {
+        &mut self.cgs[id]
+    }
+
+    /// Sum the flop counters of all CGs.
+    pub fn total_flops(&self) -> FlopCounters {
+        let mut total = FlopCounters::new();
+        for cg in &self.cgs {
+            total.merge(&cg.counters);
+        }
+        total
+    }
+
+    /// Run a kernel on (a group of) `cg`'s CPE cluster for `dur`, starting
+    /// no earlier than `start`. Concurrent kernels are allowed — whether the
+    /// cluster is whole or split into groups is the athread layer's policy
+    /// (the paper runs one kernel at a time; CPE grouping is §IX future
+    /// work). Schedules [`MachineEvent::KernelDone`] and returns its fire
+    /// time.
+    pub fn offload_kernel(
+        &mut self,
+        cg: CgId,
+        start: SimTime,
+        dur: SimDur,
+        token: u64,
+    ) -> SimTime {
+        let mut dur = dur.scale(1.0 / self.cg_speed[cg]);
+        if let Some(noise) = &mut self.noise {
+            dur = dur.scale(noise.draw());
+        }
+        let slot = &mut self.cgs[cg];
+        let begin = start.max(self.queue.now());
+        let end = begin + dur;
+        slot.cpe_busy_until = slot.cpe_busy_until.max(end);
+        slot.cpe_busy_total += dur;
+        self.stats.kernels += 1;
+        self.trace.record(begin, "offload", || {
+            format!("cg{cg} token{token} dur {dur} -> {end}")
+        });
+        self.queue.schedule_at(end, MachineEvent::KernelDone { cg, token });
+        end
+    }
+
+    /// Inject a message of `bytes` from `src` to `dst`, with the send-side
+    /// work beginning no earlier than `when`. Injection serializes on the
+    /// source NIC; delivery is injection end + wire time. Schedules
+    /// [`MachineEvent::NetDeliver`] and returns the delivery time.
+    pub fn net_send(
+        &mut self,
+        src: CgId,
+        dst: CgId,
+        bytes: u64,
+        when: SimTime,
+        token: u64,
+    ) -> SimTime {
+        assert!(dst < self.cgs.len(), "bad destination CG {dst}");
+        let inject_start = when.max(self.cgs[src].nic_free_at).max(self.queue.now());
+        let inject_dur = SimDur::from_secs_f64(bytes as f64 / (self.cfg.net_bw_gbs * 1e9));
+        let inject_end = inject_start + inject_dur;
+        self.cgs[src].nic_free_at = inject_end;
+        let deliver = inject_end + self.cfg.net_latency;
+        self.stats.messages += 1;
+        self.stats.net_bytes += bytes;
+        self.trace.record(inject_start, "send", || {
+            format!("cg{src} -> cg{dst}, {bytes} B, deliver {deliver}")
+        });
+        self.queue
+            .schedule_at(deliver, MachineEvent::NetDeliver { dst, token });
+        deliver
+    }
+
+    /// Schedule a wakeup timer for `cg` at `at`.
+    pub fn timer_at(&mut self, cg: CgId, at: SimTime, token: u64) {
+        self.stats.timers += 1;
+        self.queue
+            .schedule_at(at.max(self.queue.now()), MachineEvent::Timer { cg, token });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::sw26010(), n)
+    }
+
+    #[test]
+    fn kernels_may_overlap_on_group_slots() {
+        let mut m = machine(1);
+        let e1 = m.offload_kernel(0, SimTime(0), SimDur(100), 1);
+        assert_eq!(e1, SimTime(100));
+        // A second kernel (another CPE group) runs concurrently.
+        let e2 = m.offload_kernel(0, SimTime(10), SimDur(50), 2);
+        assert_eq!(e2, SimTime(60));
+        assert_eq!(m.cg(0).cpe_busy_total(), SimDur(150));
+        assert_eq!(m.cg(0).cpe_busy_until(), SimTime(100));
+        let (t1, ev1) = m.pop().unwrap();
+        assert_eq!((t1, ev1), (SimTime(60), MachineEvent::KernelDone { cg: 0, token: 2 }));
+        let (t2, _) = m.pop().unwrap();
+        assert_eq!(t2, SimTime(100));
+    }
+
+    #[test]
+    fn messages_serialize_on_source_nic() {
+        let mut m = machine(2);
+        let bytes = 8_000_000_000; // 1 s of injection at 8 GB/s
+        let d1 = m.net_send(0, 1, bytes, SimTime(0), 1);
+        let d2 = m.net_send(0, 1, bytes, SimTime(0), 2);
+        // Second injection starts after the first finishes.
+        assert_eq!(d2.since(d1), SimDur::from_secs_f64(1.0));
+        assert_eq!(m.stats().messages, 2);
+        assert_eq!(m.stats().net_bytes, 2 * bytes);
+    }
+
+    #[test]
+    fn delivery_includes_latency() {
+        let mut m = machine(2);
+        let d = m.net_send(0, 1, 0, SimTime(0), 7);
+        assert_eq!(d, SimTime::ZERO + m.cfg().net_latency);
+        let (t, ev) = m.pop().unwrap();
+        assert_eq!(t, d);
+        assert_eq!(ev, MachineEvent::NetDeliver { dst: 1, token: 7 });
+    }
+
+    #[test]
+    fn different_nics_do_not_contend() {
+        let mut m = machine(3);
+        let bytes = 8_000_000_000;
+        let d1 = m.net_send(0, 2, bytes, SimTime(0), 1);
+        let d2 = m.net_send(1, 2, bytes, SimTime(0), 2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut m = machine(1);
+        m.timer_at(0, SimTime(50), 5);
+        m.timer_at(0, SimTime(25), 4);
+        let (t, ev) = m.pop().unwrap();
+        assert_eq!(t, SimTime(25));
+        assert_eq!(ev, MachineEvent::Timer { cg: 0, token: 4 });
+        assert_eq!(m.stats().timers, 2);
+    }
+
+    #[test]
+    fn slow_cg_stretches_kernels() {
+        let mut m = machine(2);
+        m.set_cg_speed(1, 0.5);
+        let e0 = m.offload_kernel(0, SimTime(0), SimDur(100), 1);
+        let e1 = m.offload_kernel(1, SimTime(0), SimDur(100), 2);
+        assert_eq!(e0, SimTime(100));
+        assert_eq!(e1, SimTime(200), "half-speed CG takes twice as long");
+    }
+
+    #[test]
+    fn noise_is_seeded_and_bounded() {
+        let run = |seed: u64| {
+            let mut m = machine(1);
+            m.set_noise(0.10, seed);
+            (0..20)
+                .map(|i| m.offload_kernel(0, SimTime(0), SimDur(1000), i).0)
+                .collect::<Vec<u64>>()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b, "same seed, same stretch");
+        assert_ne!(a, run(6), "different seed, different stretch");
+        assert!(a.iter().all(|&e| (1000..=1100).contains(&e)), "{a:?}");
+        assert!(a.iter().any(|&e| e != 1000), "noise must do something");
+    }
+
+    #[test]
+    fn trace_records_hardware_events_when_enabled() {
+        let mut m = machine(2);
+        m.offload_kernel(0, SimTime(0), SimDur(10), 1);
+        assert!(m.trace().records().is_empty(), "off by default");
+        m.enable_trace();
+        m.offload_kernel(0, SimTime(0), SimDur(10), 2);
+        m.net_send(0, 1, 64, SimTime(0), 3);
+        assert_eq!(m.trace().with_tag("offload").count(), 1);
+        assert_eq!(m.trace().with_tag("send").count(), 1);
+        assert!(m.trace().render().contains("cg0 -> cg1"));
+    }
+
+    #[test]
+    fn flop_counters_aggregate() {
+        use crate::flops::FlopCategory;
+        let mut m = machine(2);
+        m.cg_mut(0).counters.add(FlopCategory::Exp, 100);
+        m.cg_mut(1).counters.add(FlopCategory::Exp, 50);
+        m.cg_mut(1).counters.add(FlopCategory::Stencil, 25);
+        assert_eq!(m.total_flops().total(), 175);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad destination")]
+    fn rejects_bad_destination() {
+        let mut m = machine(2);
+        m.net_send(0, 5, 10, SimTime(0), 0);
+    }
+}

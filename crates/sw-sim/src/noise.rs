@@ -1,0 +1,122 @@
+//! Deterministic performance-noise model.
+//!
+//! The paper notes that "to mitigate the instabilities in the machine, each
+//! case is repeated multiple times and the best result is selected"
+//! (§VII-A). The simulator is deterministic, but to study that methodology
+//! (and to give the measurement-driven load balancer something to react to)
+//! a seeded noise source can stretch each kernel's duration by a random
+//! factor. Determinism is preserved: the same seed gives the same run.
+
+/// SplitMix64: a tiny, high-quality deterministic PRNG (public-domain
+/// algorithm by Sebastiano Vigna). Used instead of an external crate so the
+//  machine model stays dependency-free and bit-stable.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Multiplicative kernel-duration noise.
+#[derive(Clone, Debug)]
+pub struct KernelNoise {
+    rng: SplitMix64,
+    /// Maximum fractional stretch: a kernel takes `1 + U(0, frac)` times its
+    /// modeled duration.
+    pub frac: f64,
+}
+
+impl KernelNoise {
+    /// Noise of up to `frac` with the given seed; `frac = 0` is exact.
+    pub fn new(frac: f64, seed: u64) -> Self {
+        assert!((0.0..=10.0).contains(&frac), "unreasonable noise {frac}");
+        KernelNoise {
+            rng: SplitMix64::new(seed),
+            frac,
+        }
+    }
+
+    /// The stretch factor for the next kernel (>= 1).
+    pub fn draw(&mut self) -> f64 {
+        if self.frac == 0.0 {
+            1.0
+        } else {
+            1.0 + self.frac * self.rng.next_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(43);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+        // Values spread across the range.
+        assert!(a.iter().any(|&v| v > u64::MAX / 2));
+        assert!(a.iter().any(|&v| v < u64::MAX / 2));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let mut n = KernelNoise::new(0.0, 1);
+        for _ in 0..5 {
+            assert_eq!(n.draw(), 1.0);
+        }
+    }
+
+    #[test]
+    fn noise_bounded_by_frac() {
+        let mut n = KernelNoise::new(0.25, 9);
+        for _ in 0..1000 {
+            let f = n.draw();
+            assert!((1.0..1.25).contains(&f), "{f}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Virtual time for the discrete-event machine model.
+//!
+//! All evaluation results in this reproduction are *virtual* times produced
+//! by the calibrated machine model (see DESIGN.md §2): the paper's wall-clock
+//! measurements on Sunway TaihuLight are not reproducible without the
+//! hardware. Time is kept in integer picoseconds so event ordering is exact
+//! and platform-independent.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per second.
+const PS_PER_SEC: f64 = 1e12;
+
+/// An instant in virtual time (picoseconds since simulation start).
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (picoseconds).
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since the epoch, as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Span from an earlier instant; saturates at zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDur {
+    /// Zero-length span.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Build from seconds; rounds to the nearest picosecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDur {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDur((s * PS_PER_SEC).round() as u64)
+    }
+
+    /// Build from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> SimDur {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// Build from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> SimDur {
+        Self::from_secs_f64(ns * 1e-9)
+    }
+
+    /// Seconds, as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Microseconds, as `f64`.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest picosecond.
+    #[inline]
+    pub fn scale(self, f: f64) -> SimDur {
+        assert!(f.is_finite() && f >= 0.0, "invalid scale {f}");
+        SimDur((self.0 as f64 * f).round() as u64)
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDur) -> SimDur {
+        SimDur(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDur) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDur) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, d: SimDur) -> SimDur {
+        SimDur(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, d: SimDur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, d: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SubAssign for SimDur {
+    #[inline]
+    fn sub_assign(&mut self, d: SimDur) {
+        self.0 = self.0.saturating_sub(d.0);
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn mul(self, n: u64) -> SimDur {
+        SimDur(self.0 * n)
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn div(self, n: u64) -> SimDur {
+        SimDur(self.0 / n)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.4}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.4}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}us", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let d = SimDur::from_secs_f64(1.5);
+        assert_eq!(d.0, 1_500_000_000_000);
+        assert_eq!(d.as_secs_f64(), 1.5);
+        assert_eq!(SimDur::from_us(2.0).0, 2_000_000);
+        assert_eq!(SimDur::from_ns(3.0).0, 3_000);
+        assert!((SimDur::from_us(2.5).as_us_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDur::from_us(1.0);
+        let t2 = t + SimDur::from_us(2.0);
+        assert_eq!(t2.since(t), SimDur::from_us(2.0));
+        assert_eq!(t.since(t2), SimDur::ZERO, "saturating");
+        assert_eq!(SimDur::from_us(4.0) / 2, SimDur::from_us(2.0));
+        assert_eq!(SimDur::from_us(4.0) * 3, SimDur::from_us(12.0));
+        assert_eq!(SimDur::from_us(4.0) - SimDur::from_us(1.0), SimDur::from_us(3.0));
+    }
+
+    #[test]
+    fn scaling_rounds() {
+        let d = SimDur(10);
+        assert_eq!(d.scale(0.25), SimDur(3)); // 2.5 rounds to 3 (round half away)
+        assert_eq!(d.scale(1.5), SimDur(15));
+        assert_eq!(d.scale(0.0), SimDur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDur::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime(5) > SimTime(4));
+        assert_eq!(SimTime(5).max(SimTime(9)), SimTime(9));
+        assert_eq!(SimDur(5).max(SimDur(2)), SimDur(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDur::from_secs_f64(2.0)), "2.0000s");
+        assert_eq!(format!("{}", SimDur::from_us(1500.0)), "1.5000ms");
+        assert_eq!(format!("{}", SimDur::from_us(3.0)), "3.000us");
+    }
+}

@@ -1,0 +1,105 @@
+//! Optional event tracing for debugging and test assertions.
+//!
+//! A [`Trace`] is a cheap append-only log of `(virtual time, tag, detail)`
+//! records. Tracing is off by default; when disabled, `record` is a no-op so
+//! hot loops pay only a branch.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Short category tag, e.g. `"offload"`, `"send"`.
+    pub tag: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Append-only virtual-time trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// A disabled trace (recording is a no-op).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled). `detail` is only invoked when
+    /// enabled, so callers can pass a closure building an expensive string.
+    pub fn record(&mut self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                at,
+                tag,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Render as text, one record per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("{} [{}] {}\n", r.at, r.tag, r.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record(SimTime(1), "x", || {
+            called = true;
+            "detail".into()
+        });
+        assert!(!called, "detail closure must not run when disabled");
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(SimTime(1), "send", || "a".into());
+        t.record(SimTime(2), "offload", || "b".into());
+        t.record(SimTime(3), "send", || "c".into());
+        assert_eq!(t.records().len(), 3);
+        let sends: Vec<_> = t.with_tag("send").map(|r| r.detail.clone()).collect();
+        assert_eq!(sends, vec!["a", "c"]);
+        assert!(t.render().contains("[offload] b"));
+    }
+}

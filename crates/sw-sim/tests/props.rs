@@ -1,0 +1,103 @@
+//! Property tests of the simulation substrate.
+
+use proptest::prelude::*;
+use sw_sim::{EventQueue, LdmAlloc, Machine, MachineConfig, MpeClock, SimDur, SimTime};
+
+proptest! {
+    /// Events pop in nondecreasing time order regardless of insertion order,
+    /// and same-time events preserve insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability");
+            }
+        }
+        // Every event accounted for.
+        let mut seen: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// The LDM allocator never lets the working set exceed its capacity, and
+    /// the high-water mark is the max over resets.
+    #[test]
+    fn ldm_never_exceeds_capacity(
+        capacity in 64usize..8192,
+        allocs in prop::collection::vec(prop::collection::vec(1usize..512, 0..6), 1..20)
+    ) {
+        let mut ldm = LdmAlloc::new(capacity);
+        let mut max_used = 0;
+        for tile in &allocs {
+            ldm.reset();
+            for &n in tile {
+                let before = ldm.used();
+                match ldm.alloc_f64(n) {
+                    Ok(buf) => {
+                        prop_assert_eq!(buf.len(), n);
+                        prop_assert!(ldm.used() <= capacity);
+                        prop_assert_eq!(ldm.used(), before + 8 * n);
+                    }
+                    Err(e) => {
+                        prop_assert!(before + 8 * n > capacity);
+                        prop_assert_eq!(e.capacity, capacity);
+                        prop_assert_eq!(e.in_use, before);
+                    }
+                }
+            }
+            max_used = max_used.max(ldm.used());
+        }
+        prop_assert_eq!(ldm.high_water(), max_used);
+    }
+
+    /// MPE busy time equals the sum of consumed durations, independent of
+    /// request times; free_at never decreases.
+    #[test]
+    fn mpe_clock_accounts_exactly(work in prop::collection::vec((0u64..1000, 1u64..500), 1..100)) {
+        let mut m = MpeClock::new();
+        let mut total = 0u64;
+        let mut last_free = SimTime::ZERO;
+        for &(at, dur) in &work {
+            let end = m.consume(SimTime(at), SimDur(dur));
+            total += dur;
+            prop_assert!(end >= last_free);
+            prop_assert!(end >= SimTime(at) + SimDur(dur));
+            last_free = end;
+        }
+        prop_assert_eq!(m.busy_total(), SimDur(total));
+    }
+
+    /// Network deliveries from one source arrive in injection order (NIC
+    /// serialization), and every send produces exactly one delivery event.
+    #[test]
+    fn nic_serializes_and_delivers_everything(
+        msgs in prop::collection::vec((0u64..1000, 1u64..100_000), 1..60)
+    ) {
+        let mut m = Machine::new(MachineConfig::sw26010(), 2);
+        let mut expected: Vec<SimTime> = Vec::new();
+        for (i, &(at, bytes)) in msgs.iter().enumerate() {
+            let d = m.net_send(0, 1, bytes, SimTime(at), i as u64);
+            expected.push(d);
+        }
+        // Injection order == token order here, so delivery times are
+        // nondecreasing in token order.
+        for w in expected.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut deliveries = 0;
+        while m.pop().is_some() {
+            deliveries += 1;
+        }
+        prop_assert_eq!(deliveries, msgs.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Linear advection on the runtime: a translating Gaussian bump, tracked
+//! against its exact solution, with the load balancers compared on the way.
+//!
+//! ```text
+//! cargo run --release --example advection
+//! ```
+
+use std::sync::Arc;
+
+use apps::AdvectionApp;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, LoadBalancer, RunConfig, Simulation, Variant};
+
+fn main() {
+    // 32 patches on 8 CGs: enough asymmetry for the balancers to differ.
+    let level = Level::new(iv(8, 8, 8), iv(4, 4, 2));
+    let steps = 16;
+
+    println!("advection3d: sigma-0.12 Gaussian, velocity (0.8, 0.6, 0.4), {steps} steps\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12}",
+        "balancer", "messages", "net bytes", "t/step", "Linf err"
+    );
+    for (name, lb) in [
+        ("Block", LoadBalancer::Block),
+        ("Morton", LoadBalancer::Morton),
+        ("Hilbert", LoadBalancer::Hilbert),
+        ("RoundRobin", LoadBalancer::RoundRobin),
+    ] {
+        let app = Arc::new(AdvectionApp::new(&level));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 8);
+        cfg.steps = steps;
+        cfg.lb = lb;
+        let mut sim = Simulation::new(level.clone(), Arc::clone(&app) as _, cfg);
+        let report = sim.run();
+        let t = sim.final_time();
+        let mut linf = 0.0f64;
+        for p in 0..level.n_patches() {
+            let var = sim.solution(p);
+            for c in level.patch(p).region.iter() {
+                linf = linf.max((var.get(c) - app.exact_at(&level, c, t)).abs());
+            }
+        }
+        println!(
+            "{name:<12} {:>10} {:>12} {:>14} {:>12.3e}",
+            report.messages,
+            report.net_bytes,
+            format!("{}", report.time_per_step()),
+            linf
+        );
+        assert!(linf < 0.3, "upwind error blew up: {linf}");
+    }
+    println!("\nidentical errors across balancers: partitioning never changes the numerics");
+}

@@ -1,0 +1,57 @@
+//! Strong-scaling sweep of the Burgers model problem — a compact version of
+//! the paper's Fig 5 / Table V for one problem size.
+//!
+//! ```text
+//! cargo run --release --example burgers_scaling [patch, e.g. 32x64x512]
+//! ```
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, RunConfig, RunReport, Simulation, Variant};
+
+fn run(patch: (i64, i64, i64), variant: Variant, n_ranks: usize) -> RunReport {
+    let level = Level::new(iv(patch.0, patch.1, patch.2), iv(8, 8, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let cfg = RunConfig::paper(variant, ExecMode::Model, n_ranks);
+    Simulation::new(level, app, cfg).run()
+}
+
+fn parse_patch(s: &str) -> Option<(i64, i64, i64)> {
+    let mut it = s.split('x').map(|p| p.parse::<i64>().ok());
+    match (it.next()??, it.next()??, it.next()??) {
+        (x, y, z) if x > 0 && y > 0 && z > 0 => Some((x, y, z)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let patch = std::env::args()
+        .nth(1)
+        .and_then(|s| parse_patch(&s))
+        .unwrap_or((32, 64, 512));
+    println!(
+        "strong scaling, {}x{}x{} patches (8x8x2 layout), 10 steps\n",
+        patch.0, patch.1, patch.2
+    );
+    println!(
+        "{:>5} {:>14} {:>14} {:>12} {:>12}",
+        "CGs", "sync t/step", "async t/step", "async gain", "sync eff"
+    );
+    let base = run(patch, Variant::ACC_SIMD_SYNC, 1);
+    let mut n = 1;
+    while n <= 128 {
+        let sync = run(patch, Variant::ACC_SIMD_SYNC, n);
+        let asyn = run(patch, Variant::ACC_SIMD_ASYNC, n);
+        println!(
+            "{n:>5} {:>14} {:>14} {:>11.1}% {:>11.1}%",
+            format!("{}", sync.time_per_step()),
+            format!("{}", asyn.time_per_step()),
+            100.0 * asyn.improvement_over(&sync),
+            100.0 * sync.scaling_efficiency(&base),
+        );
+        n *= 2;
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-stage task graphs: the dimensionally-split heat equation runs
+//! three dependent tasks per patch per timestep, with a fresh ghost
+//! exchange between stages — and still solves the PDE correctly under the
+//! asynchronous scheduler.
+//!
+//! Also prints the task graph of a small decomposition as Graphviz DOT
+//! (pipe it into `dot -Tsvg` to render).
+//!
+//! ```text
+//! cargo run --release --example multistage [--dot]
+//! ```
+
+use std::sync::Arc;
+
+use apps::{heat_exact, SplitHeatApp};
+use uintah_core::grid::iv;
+use uintah_core::task::task_graph_dot;
+use uintah_core::{ExecMode, Level, LoadBalancer, RunConfig, Simulation, Variant};
+
+fn main() {
+    if std::env::args().any(|a| a == "--dot") {
+        let level = Level::new(iv(8, 8, 8), iv(2, 2, 1));
+        let assignment = LoadBalancer::Hilbert.assign(&level, 2);
+        print!("{}", task_graph_dot(&level, &assignment, 3));
+        return;
+    }
+
+    let level = Level::new(iv(16, 16, 16), iv(2, 2, 2));
+    let alpha = 0.05;
+    let steps = 12;
+    let app = Arc::new(SplitHeatApp::new(&level, alpha));
+    let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+    cfg.steps = steps;
+    let mut sim = Simulation::new(level.clone(), Arc::clone(&app) as _, cfg);
+    let report = sim.run();
+
+    let t = sim.final_time();
+    let mut linf = 0.0f64;
+    for p in 0..level.n_patches() {
+        let var = sim.solution(p);
+        for c in level.patch(p).region.iter() {
+            let (x, y, z) = level.cell_center(c);
+            linf = linf.max((var.get(c) - heat_exact(alpha, x, y, z, t)).abs());
+        }
+    }
+    println!("split-heat3d: 3 dependent tasks/patch/step, {} patches, {steps} steps", level.n_patches());
+    println!("  kernels executed  : {} (3 per patch per step)", report.kernels);
+    println!("  ghost messages    : {} (one exchange per stage)", report.messages);
+    println!("  virtual wall time : {} ({} / step)", report.total_time, report.time_per_step());
+    println!("  Linf error vs heat: {linf:.3e}");
+    assert_eq!(report.kernels, 3 * 8 * steps as u64);
+    assert!(linf < 2e-3);
+    println!("  OK — run with --dot to print this decomposition's task graph");
+}

@@ -1,0 +1,34 @@
+//! Quickstart: run the Burgers model problem on the simulated Sunway
+//! machine with the asynchronous scheduler and check the answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use burgers::{solution_error, BurgersApp};
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, RunConfig, Simulation, Variant};
+
+fn main() {
+    // A 32^3 grid split into 2x2x2 patches of 16^3 cells, run functionally
+    // (kernels really execute, tile-by-tile through the 64 KB LDM).
+    for n in [16i64, 32, 64] {
+        let half = n / 2;
+        let level = Level::new(iv(half, half, half), iv(2, 2, 2));
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, 4);
+        cfg.steps = 10;
+        let mut sim = Simulation::new(level, Arc::clone(&app) as _, cfg);
+        let report = sim.run();
+        let err = solution_error(&sim, &app);
+
+        println!("grid {n}^3  ({} patches on 4 CGs)", sim.level().n_patches());
+        println!("  virtual wall time : {} ({} / step)", report.total_time, report.time_per_step());
+        println!("  flops             : {} ({:.1} Gflop/s virtual)", report.flops.total(), report.gflops());
+        println!("  messages          : {} ({} B)", report.messages, report.net_bytes);
+        println!("  error vs exact    : Linf {:.3e}  L2 {:.3e}", err.linf, err.l2);
+    }
+}

@@ -1,0 +1,60 @@
+//! How the runtime tiles patches to the 64 KB per-CPE scratchpad.
+//!
+//! Reproduces the reasoning of paper §VI-A: the Burgers kernel needs one
+//! ghost layer, so its tile working set is a ghosted input copy plus an
+//! interior output copy; within the 64 KB LDM the chooser picks 16x16x8
+//! (41.3 KB) — and with 64 CPEs to feed, the smallest 16x16x512 patch tiles
+//! into exactly 64 z-slabs, one per CPE.
+//!
+//! ```text
+//! cargo run --release --example tiling_ldm
+//! ```
+
+use sw_athread::{assign_tiles, cells, choose_tile_shape, tiles_of, InOutFootprint, LdmFootprint};
+
+fn main() {
+    let fp = InOutFootprint { ghost: 1 };
+    let cpes = 64;
+
+    println!("Burgers tile selection (ghost = 1, in + out working set):\n");
+    println!(
+        "{:>14} {:>12} {:>10} {:>8} {:>14}",
+        "patch", "tile", "LDM use", "tiles", "tiles per CPE"
+    );
+    for patch in [
+        (16, 16, 512),
+        (32, 32, 512),
+        (32, 64, 512),
+        (64, 64, 512),
+        (128, 128, 512),
+    ] {
+        let tile = choose_tile_shape(patch, &fp, 64 * 1024, cpes).expect("tile fits");
+        let tiles = tiles_of(patch, tile);
+        let assign = assign_tiles(&tiles, cpes);
+        let per_cpe: Vec<usize> = assign.iter().map(|a| a.len()).collect();
+        println!(
+            "{:>14} {:>12} {:>7.1}KB {:>8} {:>7}..{:<6}",
+            format!("{}x{}x{}", patch.0, patch.1, patch.2),
+            format!("{}x{}x{}", tile.0, tile.1, tile.2),
+            fp.ldm_bytes(tile) as f64 / 1024.0,
+            tiles.len(),
+            per_cpe.iter().min().unwrap(),
+            per_cpe.iter().max().unwrap(),
+        );
+    }
+
+    println!("\nSmaller scratchpads force smaller tiles (more ghost overhead):\n");
+    println!("{:>10} {:>12} {:>10} {:>14}", "LDM", "tile", "use", "ghost overhead");
+    for kb in [64, 32, 16, 8] {
+        let tile = choose_tile_shape((64, 64, 512), &fp, kb * 1024, cpes).expect("tile fits");
+        let interior = cells(tile);
+        let ghosted = (tile.0 + 2) as u64 * (tile.1 + 2) as u64 * (tile.2 + 2) as u64;
+        println!(
+            "{:>8}KB {:>12} {:>7.1}KB {:>13.1}%",
+            kb,
+            format!("{}x{}x{}", tile.0, tile.1, tile.2),
+            fp.ldm_bytes(tile) as f64 / 1024.0,
+            100.0 * (ghosted - interior) as f64 / interior as f64,
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the Uintah-on-Sunway reproduction workspace.
+//!
+//! This crate exists to host the top-level `examples/` and `tests/`
+//! directories required by the repository layout; all functionality lives in
+//! the member crates:
+//!
+//! * [`sw_sim`] — discrete-event SW26010 machine model,
+//! * [`sw_athread`] — athread-like CPE offload layer,
+//! * [`sw_mpi`] — simulated non-blocking message passing,
+//! * [`sw_math`] — software exp and 4-wide SIMD with flop accounting,
+//! * [`uintah_core`] — the AMT runtime (grid, data warehouse, task graph,
+//!   and the Sunway-specific schedulers),
+//! * [`burgers`] — the 3-D Burgers model fluid-flow problem,
+//! * [`apps`] — further applications (heat diffusion, linear advection).
+
+
+#![warn(missing_docs)]
+pub use apps;
+pub use burgers;
+pub use sw_athread;
+pub use sw_math;
+pub use sw_mpi;
+pub use sw_sim;
+pub use uintah_core;

@@ -1,0 +1,178 @@
+//! End-to-end integration: the Burgers model problem through the full stack
+//! (machine model -> athread -> MPI -> schedulers -> controller).
+
+use std::sync::Arc;
+
+use burgers::{solution_error, BurgersApp};
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{
+    run_simulation, ExecMode, Level, LoadBalancer, RunConfig, RunReport, Simulation, Variant,
+};
+
+fn small_level() -> Level {
+    // 2x2x2 patches of 8x8x8 cells: 16^3 grid — small enough to run
+    // functionally in every variant.
+    Level::new(iv(8, 8, 8), iv(2, 2, 2))
+}
+
+fn run(variant: Variant, exec: ExecMode, n_ranks: usize, steps: u32) -> (RunReport, Simulation) {
+    let level = small_level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, exec, n_ranks);
+    cfg.steps = steps;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    (report, sim)
+}
+
+#[test]
+fn functional_run_completes_all_variants_and_rank_counts() {
+    for variant in Variant::TABLE_IV {
+        for n_ranks in [1, 2, 4, 8] {
+            let (report, _) = run(variant, ExecMode::Functional, n_ranks, 3);
+            assert_eq!(report.steps, 3);
+            assert_eq!(report.step_end.len(), 3);
+            assert!(
+                report.total_time.as_secs_f64() > 0.0,
+                "{} on {n_ranks}",
+                variant.name()
+            );
+            assert_eq!(report.kernels, 3 * 8, "one kernel per patch per step");
+        }
+    }
+}
+
+#[test]
+fn solution_approaches_exact() {
+    let (_, sim) = run(Variant::ACC_ASYNC, ExecMode::Functional, 2, 10);
+    let level = small_level();
+    let app = BurgersApp::new(&level, ExpKind::Fast);
+    let err = solution_error(&sim, &app);
+    // 16^3 is coarse for nu = 0.01 internal layers (first-order upwind under-
+    // resolves them), but 10 forward-Euler steps must stay close to exact.
+    assert!(err.linf < 0.08, "linf = {}", err.linf);
+    assert!(err.l2 < 0.01, "l2 = {}", err.l2);
+    assert!(err.linf > 0.0, "the solution must actually evolve");
+}
+
+#[test]
+fn solution_converges_under_refinement() {
+    // Refining 16^3 -> 32^3 must shrink the error substantially (observed
+    // about 3.5x: first-order space plus dt ~ dx^2 time refinement).
+    let mut errs = vec![];
+    for half in [8i64, 16] {
+        let level = Level::new(iv(half, half, half), iv(2, 2, 2));
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+        cfg.steps = 10;
+        let mut sim = Simulation::new(level, Arc::clone(&app) as _, cfg);
+        sim.run();
+        errs.push(solution_error(&sim, &app).linf);
+    }
+    assert!(
+        errs[1] < errs[0] / 2.0,
+        "no convergence: {errs:?} (16^3 vs 32^3)"
+    );
+}
+
+#[test]
+fn all_offload_variants_produce_bit_identical_solutions() {
+    // Scheduler mode (sync/async/MPE-only), SIMD kernel, and rank count must
+    // not change a single bit of the result: the runtime's determinism
+    // invariant.
+    let (_, reference) = run(Variant::ACC_SYNC, ExecMode::Functional, 1, 5);
+    for variant in Variant::TABLE_IV {
+        for n_ranks in [1, 4, 8] {
+            let (_, sim) = run(variant, ExecMode::Functional, n_ranks, 5);
+            for p in 0..small_level().n_patches() {
+                let a = reference.solution(p);
+                let b = sim.solution(p);
+                for c in small_level().patch(p).region.iter() {
+                    assert_eq!(
+                        a.get(c).to_bits(),
+                        b.get(c).to_bits(),
+                        "{} on {n_ranks} ranks differs at {c} of patch {p}",
+                        variant.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn model_and_functional_runs_have_identical_virtual_times() {
+    for variant in [Variant::HOST_SYNC, Variant::ACC_SYNC, Variant::ACC_SIMD_ASYNC] {
+        for n_ranks in [1, 4] {
+            let (f, _) = run(variant, ExecMode::Functional, n_ranks, 4);
+            let (m, _) = run(variant, ExecMode::Model, n_ranks, 4);
+            assert_eq!(
+                f.step_end, m.step_end,
+                "{} on {n_ranks}: cost model must not depend on data",
+                variant.name()
+            );
+            assert_eq!(f.flops.total(), m.flops.total());
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (a, _) = run(Variant::ACC_SIMD_ASYNC, ExecMode::Model, 8, 5);
+    let (b, _) = run(Variant::ACC_SIMD_ASYNC, ExecMode::Model, 8, 5);
+    assert_eq!(a.step_end, b.step_end);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.messages, b.messages);
+}
+
+/// A paper-scale problem (16x16x512 patches, 8x8x2 layout) in model mode:
+/// no data is allocated, so even 128 patches run in milliseconds.
+fn run_paper_scale(variant: Variant, n_ranks: usize) -> RunReport {
+    let level = Level::new(iv(16, 16, 512), iv(8, 8, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let cfg = RunConfig::paper(variant, ExecMode::Model, n_ranks);
+    run_simulation(level, app, cfg)
+}
+
+#[test]
+fn async_beats_sync_with_many_patches_per_rank() {
+    // The headline claim (paper §VII-C): with work to overlap, the
+    // asynchronous scheduler wins.
+    let sync = run_paper_scale(Variant::ACC_SYNC, 4);
+    let async_ = run_paper_scale(Variant::ACC_ASYNC, 4);
+    let gain = async_.improvement_over(&sync);
+    assert!(gain > 0.0, "async gain {gain}");
+}
+
+#[test]
+fn offloading_beats_the_mpe_at_paper_scale() {
+    // Paper §VII-D: offloading kernels to the CPEs boosts performance by
+    // 2.7-6.0x over host.sync.
+    let host = run_paper_scale(Variant::HOST_SYNC, 4);
+    let acc = run_paper_scale(Variant::ACC_ASYNC, 4);
+    let boost = acc.boost_over(&host);
+    assert!(boost > 2.0, "offload boost {boost}");
+}
+
+#[test]
+fn vectorization_speeds_up_offloaded_kernels() {
+    // Paper §VII-B: "the computing time is reduced by half" with SIMD.
+    let scalar = run_paper_scale(Variant::ACC_ASYNC, 4);
+    let simd = run_paper_scale(Variant::ACC_SIMD_ASYNC, 4);
+    let boost = simd.boost_over(&scalar);
+    assert!(boost > 1.3 && boost < 2.2, "simd boost {boost}");
+}
+
+#[test]
+fn morton_and_roundrobin_balancers_also_complete() {
+    let level = small_level();
+    for lb in [LoadBalancer::Morton, LoadBalancer::RoundRobin] {
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+        cfg.steps = 2;
+        cfg.lb = lb;
+        let report = run_simulation(level.clone(), app, cfg);
+        assert_eq!(report.steps, 2);
+    }
+}

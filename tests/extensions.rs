@@ -1,0 +1,158 @@
+//! Integration tests of the paper's §IX future-work extensions:
+//! CPE grouping, double-buffered DMA, and packed tile transfers.
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{
+    ExecMode, Level, RunConfig, RunReport, SchedulerOptions, Simulation, Variant,
+};
+
+fn run_with(options: SchedulerOptions, exec: ExecMode, n_ranks: usize) -> (RunReport, Simulation) {
+    let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, exec, n_ranks);
+    cfg.steps = 4;
+    cfg.options = options;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    (report, sim)
+}
+
+fn paper_scale(options: SchedulerOptions, n_ranks: usize) -> RunReport {
+    paper_scale_patch(options, n_ranks, (16, 16, 512))
+}
+
+fn paper_scale_patch(
+    options: SchedulerOptions,
+    n_ranks: usize,
+    patch: (i64, i64, i64),
+) -> RunReport {
+    let level = Level::new(iv(patch.0, patch.1, patch.2), iv(8, 8, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Model, n_ranks);
+    cfg.options = options;
+    Simulation::new(level, app, cfg).run()
+}
+
+#[test]
+fn extensions_preserve_bit_identical_results() {
+    let (_, reference) = run_with(SchedulerOptions::default(), ExecMode::Functional, 2);
+    for options in [
+        SchedulerOptions {
+            cpe_groups: 4,
+            ..Default::default()
+        },
+        SchedulerOptions {
+            double_buffer: true,
+            packed_tiles: true,
+            ..Default::default()
+        },
+    ] {
+        let (_, sim) = run_with(options, ExecMode::Functional, 2);
+        let level = sim.level().clone();
+        for p in 0..level.n_patches() {
+            for c in level.patch(p).region.iter() {
+                assert_eq!(
+                    reference.solution(p).get(c).to_bits(),
+                    sim.solution(p).get(c).to_bits(),
+                    "{options:?} changed the numerics at {c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn double_buffering_and_packing_do_not_hurt() {
+    // The 32x32x512 patch gives each CPE four tiles, so the DMA pipeline has
+    // interior tiles to overlap. Gains are small (the kernel is compute-
+    // bound) but must never be a loss.
+    let patch = (32, 32, 512);
+    let base = paper_scale_patch(SchedulerOptions::default(), 8, patch);
+    let dbuf = paper_scale_patch(
+        SchedulerOptions {
+            double_buffer: true,
+            ..Default::default()
+        },
+        8,
+        patch,
+    );
+    let packed = paper_scale_patch(
+        SchedulerOptions {
+            packed_tiles: true,
+            ..Default::default()
+        },
+        8,
+        patch,
+    );
+    assert!(packed.total_time < base.total_time);
+    assert!(
+        dbuf.total_time < base.total_time,
+        "double buffering must hide some DMA: {} vs {}",
+        dbuf.total_time,
+        base.total_time
+    );
+}
+
+#[test]
+fn double_buffering_is_a_noop_with_one_tile_per_cpe() {
+    // The smallest patch tiles into exactly 64 tiles = one per CPE: the
+    // pipeline has nothing to overlap and must cost exactly the same.
+    let base = paper_scale(SchedulerOptions::default(), 8);
+    let dbuf = paper_scale(
+        SchedulerOptions {
+            double_buffer: true,
+            ..Default::default()
+        },
+        8,
+    );
+    assert_eq!(base.total_time, dbuf.total_time);
+}
+
+#[test]
+fn cpe_grouping_helps_when_patches_queue_up() {
+    // At 8 CGs each rank runs 16 patches back-to-back; two groups overlap
+    // one patch's tail with the next patch's head and hide the per-offload
+    // detection gaps, at the price of halving per-kernel parallelism.
+    // With the detection-delay dominant regime of the small problem, groups
+    // must not be slower.
+    let one = paper_scale(SchedulerOptions::default(), 8);
+    let two = paper_scale(
+        SchedulerOptions {
+            cpe_groups: 2,
+            ..Default::default()
+        },
+        8,
+    );
+    let ratio = two.total_time.as_secs_f64() / one.total_time.as_secs_f64();
+    assert!(ratio < 1.05, "2 groups {ratio}x of 1 group");
+}
+
+#[test]
+fn model_and_functional_agree_with_extensions_on() {
+    let options = SchedulerOptions {
+        cpe_groups: 2,
+        double_buffer: true,
+        packed_tiles: true,
+    };
+    let (f, _) = run_with(options, ExecMode::Functional, 4);
+    let (m, _) = run_with(options, ExecMode::Model, 4);
+    assert_eq!(f.step_end, m.step_end);
+}
+
+#[test]
+#[should_panic(expected = "requires the asynchronous scheduler")]
+fn grouping_with_sync_scheduler_is_rejected() {
+    let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(Variant::ACC_SYNC, ExecMode::Model, 1);
+    cfg.steps = 1;
+    cfg.options = SchedulerOptions {
+        cpe_groups: 2,
+        ..Default::default()
+    };
+    let _ = Simulation::new(level, app, cfg);
+}

@@ -1,0 +1,103 @@
+//! Randomized end-to-end invariants: for arbitrary small problem
+//! configurations, the runtime must be deterministic, produce
+//! scheduler-independent numerics, and keep model and functional virtual
+//! time identical.
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use proptest::prelude::*;
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{
+    ExecMode, Level, LoadBalancer, RunConfig, RunReport, SchedulerOptions, Simulation, Variant,
+};
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    patch: (i64, i64, i64),
+    layout: (i64, i64, i64),
+    variant: Variant,
+    exec: ExecMode,
+    n_ranks: usize,
+    lb: LoadBalancer,
+    steps: u32,
+    options: SchedulerOptions,
+) -> Simulation {
+    let level = Level::new(iv(patch.0, patch.1, patch.2), iv(layout.0, layout.1, layout.2));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, exec, n_ranks);
+    cfg.steps = steps;
+    cfg.lb = lb;
+    cfg.options = options;
+    Simulation::new(level, app, cfg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    patch: (i64, i64, i64),
+    layout: (i64, i64, i64),
+    variant: Variant,
+    exec: ExecMode,
+    n_ranks: usize,
+    lb: LoadBalancer,
+    steps: u32,
+    options: SchedulerOptions,
+) -> (RunReport, Simulation) {
+    let mut sim = build(patch, layout, variant, exec, n_ranks, lb, steps, options);
+    let report = sim.run();
+    (report, sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any configuration completes without deadlock; reruns are bit-equal;
+    /// sync and async agree on the numbers; model time == functional time.
+    #[test]
+    fn random_configs_uphold_runtime_invariants(
+        px in 1i64..3, py in 1i64..3, pz in 1i64..3,
+        lx in 1i64..4, ly in 1i64..4, lz in 1i64..3,
+        ranks_raw in 1usize..7,
+        lb_idx in 0usize..3,
+        steps in 1u32..4,
+        groups_idx in 0usize..2,
+    ) {
+        // Patches of 4-8 cells per axis; ghost depth 1 always fits.
+        let patch = (4 * px, 4 * py, 4 * pz);
+        let layout = (lx, ly, lz);
+        let n_patches = (lx * ly * lz) as usize;
+        let n_ranks = ranks_raw.min(n_patches);
+        let lb = [LoadBalancer::Block, LoadBalancer::RoundRobin, LoadBalancer::Morton][lb_idx];
+        let options = SchedulerOptions {
+            cpe_groups: [1usize, 2][groups_idx],
+            ..Default::default()
+        };
+
+        // 1. Deterministic rerun (async, functional).
+        let (r1, s1) = run(patch, layout, Variant::ACC_SIMD_ASYNC, ExecMode::Functional, n_ranks, lb, steps, options);
+        let (r2, s2) = run(patch, layout, Variant::ACC_SIMD_ASYNC, ExecMode::Functional, n_ranks, lb, steps, options);
+        prop_assert_eq!(&r1.step_end, &r2.step_end);
+        prop_assert_eq!(r1.events, r2.events);
+
+        // 2. Scheduler independence of the numerics (sync on 1 rank is the
+        //    reference ordering).
+        let (_, sref) = run(patch, layout, Variant::ACC_SYNC, ExecMode::Functional, 1, LoadBalancer::Block, steps, SchedulerOptions::default());
+        for p in 0..n_patches {
+            let level = s1.level();
+            for c in level.patch(p).region.iter() {
+                prop_assert_eq!(
+                    s1.solution(p).get(c).to_bits(),
+                    sref.solution(p).get(c).to_bits(),
+                    "numerics differ at {} of patch {}", c, p
+                );
+            }
+        }
+        drop(s2);
+
+        // 3. Model mode reproduces the functional virtual times exactly.
+        let (rm, _) = run(patch, layout, Variant::ACC_SIMD_ASYNC, ExecMode::Model, n_ranks, lb, steps, options);
+        prop_assert_eq!(&r1.step_end, &rm.step_end);
+        prop_assert_eq!(r1.flops.total(), rm.flops.total());
+    }
+}

@@ -1,0 +1,127 @@
+//! White-box scheduler behavior: the kernel spans and MPE clocks of finished
+//! runs must show the mechanisms the paper describes — overlap under the
+//! asynchronous scheduler, serialization under the synchronous one.
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, RunConfig, SimTime, Simulation, Variant};
+
+fn run(variant: Variant, n_ranks: usize, steps: u32) -> Simulation {
+    let level = Level::new(iv(16, 16, 512), iv(4, 2, 1));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Model, n_ranks);
+    cfg.steps = steps;
+    let mut sim = Simulation::new(level, app, cfg);
+    sim.run();
+    sim
+}
+
+/// Sum of gaps between consecutive kernel spans on a rank, in seconds.
+fn kernel_gaps(sim: &Simulation, rank: usize) -> (f64, usize) {
+    let spans = &sim.rank_stats(rank).kernel_spans;
+    let mut sorted: Vec<(SimTime, SimTime)> = spans.iter().map(|&(_, s, e)| (s, e)).collect();
+    sorted.sort();
+    let mut gap = 0.0;
+    for w in sorted.windows(2) {
+        gap += w[1].0.since(w[0].1).as_secs_f64();
+    }
+    (gap, sorted.len())
+}
+
+#[test]
+fn spans_are_recorded_and_ordered() {
+    let sim = run(Variant::ACC_ASYNC, 2, 3);
+    for r in 0..2 {
+        let spans = &sim.rank_stats(r).kernel_spans;
+        // 8 patches on 2 ranks, 3 steps: 12 kernels each.
+        assert_eq!(spans.len(), 12);
+        for &(p, s, e) in spans {
+            assert!(e > s, "span of patch {p} is empty");
+            assert!(p < 8);
+        }
+    }
+}
+
+#[test]
+fn async_leaves_smaller_kernel_gaps_than_sync() {
+    // In sync mode every kernel is separated by the next patch's full MPE
+    // preparation; in async mode only the offload dispatch and detection
+    // delay remain between kernels.
+    let sync = run(Variant::ACC_SYNC, 2, 3);
+    let asyn = run(Variant::ACC_ASYNC, 2, 3);
+    let (gap_sync, n1) = kernel_gaps(&sync, 0);
+    let (gap_async, n2) = kernel_gaps(&asyn, 0);
+    assert_eq!(n1, n2);
+    assert!(
+        gap_async < gap_sync * 0.6,
+        "async gaps {gap_async:.6}s not well below sync gaps {gap_sync:.6}s"
+    );
+}
+
+#[test]
+fn sync_mpe_is_pegged_and_async_mpe_is_mostly_idle() {
+    // The spinning synchronous MPE is busy nearly the whole run (its spin
+    // counts as busy time); the asynchronous MPE does its real work and
+    // sleeps.
+    let level_ranks = 2;
+    let report = |variant: Variant| {
+        let level = Level::new(iv(16, 16, 512), iv(4, 2, 1));
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(variant, ExecMode::Model, level_ranks);
+        cfg.steps = 3;
+        Simulation::new(level, app, cfg).run()
+    };
+    let rs = report(Variant::ACC_SYNC);
+    let ra = report(Variant::ACC_ASYNC);
+    let sync_util = rs.mpe_busy.as_secs_f64() / (rs.total_time.as_secs_f64() * level_ranks as f64);
+    let async_util = ra.mpe_busy.as_secs_f64() / (ra.total_time.as_secs_f64() * level_ranks as f64);
+    assert!(sync_util > 0.85, "sync MPE utilization {sync_util:.3}");
+    assert!(async_util < 0.6, "async MPE utilization {async_util:.3}");
+}
+
+#[test]
+fn each_patch_runs_exactly_once_per_step() {
+    let sim = run(Variant::ACC_SIMD_ASYNC, 4, 5);
+    for r in 0..4 {
+        let mut counts = std::collections::BTreeMap::new();
+        for &(p, _, _) in &sim.rank_stats(r).kernel_spans {
+            *counts.entry(p).or_insert(0u32) += 1;
+        }
+        for (&p, &n) in &counts {
+            assert_eq!(n, 5, "patch {p} ran {n} times in 5 steps");
+        }
+        assert_eq!(counts.len(), 2, "2 patches per rank");
+    }
+}
+
+#[test]
+fn step_ends_are_strictly_increasing() {
+    let sim = run(Variant::ACC_ASYNC, 4, 6);
+    for r in 0..4 {
+        let ends = &sim.rank_stats(r).step_end;
+        assert_eq!(ends.len(), 6);
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[test]
+fn cpe_groups_overlap_kernels_on_one_rank() {
+    let level = Level::new(iv(16, 16, 512), iv(4, 2, 1));
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Model, 1);
+    cfg.steps = 2;
+    cfg.options.cpe_groups = 2;
+    let mut sim = Simulation::new(level, app, cfg);
+    sim.run();
+    let spans = &sim.rank_stats(0).kernel_spans;
+    let overlapping = spans.iter().enumerate().any(|(i, &(_, s1, e1))| {
+        spans
+            .iter()
+            .skip(i + 1)
+            .any(|&(_, s2, e2)| s1 < e2 && s2 < e1)
+    });
+    assert!(overlapping, "two CPE groups must run kernels concurrently");
+}
