@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build/test pass.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # skip the release build (lints + tests only)
+#
+# Everything runs offline: external crates resolve to the stand-ins under
+# shims/ (see shims/README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+  step "cargo build --release (tier-1)"
+  cargo build --release
+fi
+
+step "cargo test (tier-1)"
+cargo test -q
+
+step "cargo test --workspace"
+cargo test -q --workspace
+
+echo
+echo "ci.sh: all green"

@@ -8,10 +8,7 @@ use apps::{advection_exact, heat_exact, AdvectionApp, HeatApp};
 use uintah_core::grid::iv;
 use uintah_core::{ExecMode, Level, RunConfig, Simulation, Variant};
 
-fn linf_error(
-    sim: &Simulation,
-    exact: impl Fn(&Level, uintah_core::IntVec, f64) -> f64,
-) -> f64 {
+fn linf_error(sim: &Simulation, exact: impl Fn(&Level, uintah_core::IntVec, f64) -> f64) -> f64 {
     let level = sim.level();
     let t = sim.final_time();
     let mut linf = 0.0f64;
@@ -137,7 +134,10 @@ fn model_mode_matches_functional_for_both_apps() {
             cfg.steps = 3;
             Simulation::new(level, app, cfg).run().step_end
         };
-        assert_eq!(heat_times(ExecMode::Functional), heat_times(ExecMode::Model));
+        assert_eq!(
+            heat_times(ExecMode::Functional),
+            heat_times(ExecMode::Model)
+        );
     }
 }
 

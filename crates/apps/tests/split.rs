@@ -60,7 +60,11 @@ fn split_heat_is_scheduler_neutral() {
     // Three-deep task graphs with per-stage ghost exchange must still give
     // bit-identical results under every scheduler and rank count.
     let (_, reference) = run_split(8, Variant::ACC_SYNC, ExecMode::Functional, 1, 5);
-    for variant in [Variant::HOST_SYNC, Variant::ACC_ASYNC, Variant::ACC_SIMD_ASYNC] {
+    for variant in [
+        Variant::HOST_SYNC,
+        Variant::ACC_ASYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ] {
         for n_ranks in [2usize, 8] {
             let (_, sim) = run_split(8, variant, ExecMode::Functional, n_ranks, 5);
             let level = sim.level().clone();

@@ -1,0 +1,95 @@
+//! Serial-vs-parallel wall-clock benchmarks of the execution engine.
+//!
+//! Criterion counterpart of `repro -- bench-json`: the same two workloads
+//! (functional patch execution through the CPE worker pool, and the sweep
+//! runner's job pool), measured as host wall time. On a multi-core host the
+//! `parallel` cases should beat `serial`; on a single-core host they tie.
+//!
+//! The steady-state tile loop is zero-alloc: each worker owns one `TilePool`
+//! whose staging buffers are sized once to the largest ghosted tile, so
+//! `b.iter` here exercises no per-tile heap allocation (see
+//! `sw-athread/tests/alloc_count.rs` for the counting proof).
+
+use burgers::{BurgersScalarKernel, Geometry};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_athread::{
+    assign_tiles, run_patch_functional_with, tiles_of, CpeTileKernel, ExecPolicy, Field3, Field3Mut,
+};
+use sw_math::ExpKind;
+use uintah_core::Variant;
+
+use bench::{Runner, SweepCell, SMALL};
+
+fn bench_patch_exec(c: &mut Criterion) {
+    let patch = (64, 64, 64);
+    let cells = (patch.0 * patch.1 * patch.2) as u64;
+    let gdims = (patch.0 + 2, patch.1 + 2, patch.2 + 2);
+    let input: Vec<f64> = (0..gdims.0 * gdims.1 * gdims.2)
+        .map(|i| 0.5 + 0.3 * ((i as f64) * 0.01).sin())
+        .collect();
+    let tiles = tiles_of(patch, (16, 16, 8));
+    let assignment = assign_tiles(&tiles, 64);
+    let kernel = BurgersScalarKernel {
+        geom: Geometry::new(1.0 / 128.0, 1.0 / 128.0, 1.0 / 1024.0),
+        exp: ExpKind::Fast,
+    };
+    let params = [0.01, 1e-5];
+    let mut out = vec![0.0; patch.0 * patch.1 * patch.2];
+    let run = |policy: ExecPolicy, out: &mut Vec<f64>| {
+        run_patch_functional_with(
+            policy,
+            &kernel as &dyn CpeTileKernel,
+            Field3 {
+                data: &input,
+                dims: gdims,
+            },
+            &mut Field3Mut {
+                data: out,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            64 * 1024,
+            &params,
+        )
+        .unwrap()
+    };
+
+    let mut g = c.benchmark_group("patch_exec");
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("serial", |b| b.iter(|| run(ExecPolicy::Serial, &mut out)));
+    g.bench_function("parallel_auto", |b| {
+        b.iter(|| run(ExecPolicy::AUTO, &mut out))
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cells: Vec<SweepCell> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&n| {
+            [Variant::ACC_SYNC, Variant::ACC_ASYNC]
+                .into_iter()
+                .map(move |v| (SMALL, v, n))
+        })
+        .collect();
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells.len() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut r = Runner::new();
+            r.prefetch(&cells, 1);
+        })
+    });
+    g.bench_function("parallel_auto", |b| {
+        b.iter(|| {
+            let mut r = Runner::new();
+            r.prefetch(&cells, 0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_patch_exec, bench_sweep);
+criterion_main!(benches);

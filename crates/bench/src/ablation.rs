@@ -46,7 +46,12 @@ fn base(p: &ProblemSpec, variant: Variant, n_cgs: usize) -> RunReport {
 
 /// §IX extensions: double-buffered DMA, packed tiles, CPE grouping.
 pub fn ablation_extensions() -> TextTable {
-    let mut t = TextTable::new(vec!["Configuration", "small t/step", "medium t/step", "vs base"]);
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "small t/step",
+        "medium t/step",
+        "vs base",
+    ]);
     let cases: Vec<(&str, SchedulerOptions)> = vec![
         ("paper baseline", SchedulerOptions::default()),
         (
@@ -117,7 +122,12 @@ pub fn ablation_extensions() -> TextTable {
 /// The synchronous-spin memory-contention penalty: how much of the async
 /// advantage comes from it vs from genuine overlap.
 pub fn ablation_spin_penalty() -> TextTable {
-    let mut t = TextTable::new(vec!["spin penalty", "sync t/step", "async t/step", "async gain"]);
+    let mut t = TextTable::new(vec![
+        "spin penalty",
+        "sync t/step",
+        "async t/step",
+        "async gain",
+    ]);
     for c in [0.0, 0.06, 0.20] {
         let machine = MachineConfig {
             sync_spin_slowdown: c,
@@ -151,7 +161,12 @@ pub fn ablation_spin_penalty() -> TextTable {
 
 /// Completion-flag poll granularity: the async scheduler's detection delay.
 pub fn ablation_poll_interval() -> TextTable {
-    let mut t = TextTable::new(vec!["poll interval", "8 CGs t/step", "128 CGs t/step", "128-CG gain vs sync"]);
+    let mut t = TextTable::new(vec![
+        "poll interval",
+        "8 CGs t/step",
+        "128 CGs t/step",
+        "128-CG gain vs sync",
+    ]);
     for us in [100.0, 900.0, 3000.0] {
         let machine = MachineConfig {
             flag_poll_interval: sw_sim::SimDur::from_us(us),
@@ -220,7 +235,10 @@ pub fn ablation_load_balancer() -> TextTable {
 /// The two software exp libraries (§VI-C): accuracy vs speed.
 pub fn ablation_exp_library() -> TextTable {
     let mut t = TextTable::new(vec!["exp library", "flops/step", "t/step", "Gflop/s"]);
-    for (name, exp) in [("fast", ExpKind::Fast), ("IEEE (accurate)", ExpKind::Accurate)] {
+    for (name, exp) in [
+        ("fast", ExpKind::Fast),
+        ("IEEE (accurate)", ExpKind::Accurate),
+    ] {
         let variant = Variant {
             exp,
             ..Variant::ACC_SIMD_ASYNC

@@ -3,10 +3,18 @@
 //! ```text
 //! cargo run --release -p bench --bin repro -- all
 //! cargo run --release -p bench --bin repro -- table5 fig9
+//! cargo run --release -p bench --bin repro -- all --jobs 4
+//! cargo run --release -p bench --bin repro -- bench-json
 //! ```
+//!
+//! `--jobs N` fans the independent sweep simulations behind the tables out
+//! over `N` pool workers (`0` = one per hardware thread); `--serial` is
+//! shorthand for `--jobs 1`. Output is byte-identical either way: the pool
+//! only prefetches the runner's cache, and cache insertion order is the
+//! deterministic input order (see `Runner::prefetch`).
 
-use bench::{ablation, experiments as ex};
 use bench::Runner;
+use bench::{ablation, experiments as ex};
 use uintah_core::MachineConfig;
 
 /// Directory CSV copies are written into (when `--csv <dir>` is given).
@@ -17,12 +25,25 @@ fn csv_dir(args: &[String]) -> Option<std::path::PathBuf> {
         .map(std::path::PathBuf::from)
 }
 
+/// Worker-pool size: `--serial` wins, then `--jobs N`, default `0` (auto).
+fn jobs_arg(args: &[String]) -> usize {
+    if args.iter().any(|a| a == "--serial") {
+        return 1;
+    }
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir(&args);
     if let Some(dir) = &csv {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
+    let jobs = jobs_arg(&args);
     let positional: Vec<&String> = {
         let mut skip_next = false;
         args.iter()
@@ -31,24 +52,55 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--csv" {
+                if *a == "--csv" || *a == "--jobs" {
                     skip_next = true;
                     return false;
                 }
-                true
+                *a != "--serial"
             })
             .collect()
     };
     let want = |name: &str| -> bool {
         positional.is_empty() || positional.iter().any(|a| *a == name || *a == "all")
     };
+
+    // Wall-clock pool benchmark: explicit only (it measures this host, so it
+    // is not part of `all`'s paper tables).
+    if positional.iter().any(|a| *a == "bench-json") {
+        let dir = std::path::Path::new("results");
+        let benches =
+            bench::perf::write_bench_json(dir, jobs).expect("write results/BENCH_functional.json");
+        println!("== Functional-engine wall-clock baseline ==");
+        for b in &benches {
+            println!(
+                "{}: {} | serial {:.3} ms, parallel {:.3} ms ({} threads) -> {:.2}x, bit_identical={}",
+                b.name,
+                b.workload,
+                b.serial_ms,
+                b.parallel_ms,
+                b.threads,
+                b.speedup(),
+                b.bit_identical
+            );
+        }
+        println!("wrote {}", dir.join("BENCH_functional.json").display());
+        if positional.len() == 1 {
+            return;
+        }
+    }
     let print_table = |title: &str, t: &bench::TextTable| {
         println!("== {title} ==");
         println!("{}", t.render());
         if let Some(dir) = &csv {
             let slug: String = title
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())
@@ -59,6 +111,19 @@ fn main() {
         }
     };
     let mut runner = Runner::new();
+
+    // Fan the union of all wanted experiments' independent sweep cells over
+    // the worker pool; the tables below then render from the warm cache.
+    let mut cells: Vec<bench::SweepCell> = Vec::new();
+    for name in [
+        "table1", "fig5", "table5", "table6", "table7", "fig6", "fig7", "fig8", "fig9", "fig10",
+    ] {
+        if want(name) {
+            cells.extend(ex::sweep_cells_for(name));
+        }
+    }
+    runner.prefetch(&cells, jobs);
+
     println!("flop model: {}\n", ex::flop_model_summary());
 
     if want("dot") {
@@ -69,10 +134,16 @@ fn main() {
     }
 
     if want("table1") {
-        print_table("Table I: FLOP per cell for the model problem", &ex::table1(&mut runner));
+        print_table(
+            "Table I: FLOP per cell for the model problem",
+            &ex::table1(&mut runner),
+        );
     }
     if want("table2") {
-        print_table("Table II: machine parameters", &ex::table2(&MachineConfig::sw26010()));
+        print_table(
+            "Table II: machine parameters",
+            &ex::table2(&MachineConfig::sw26010()),
+        );
     }
     if want("table3") {
         print_table("Table III: problem settings", &ex::table3());
@@ -86,7 +157,10 @@ fn main() {
         }
     }
     if want("table5") {
-        print_table("Table V: strong scaling efficiency (min CGs -> 128)", &ex::table5(&mut runner));
+        print_table(
+            "Table V: strong scaling efficiency (min CGs -> 128)",
+            &ex::table5(&mut runner),
+        );
     }
     if want("table6") {
         print_table(
@@ -107,13 +181,22 @@ fn main() {
         }
     }
     if want("fig9") {
-        print_table("Fig 9: floating point performance (Gflop/s), acc_simd.async", &ex::fig9(&mut runner));
+        print_table(
+            "Fig 9: floating point performance (Gflop/s), acc_simd.async",
+            &ex::fig9(&mut runner),
+        );
     }
     if want("fig10") {
-        print_table("Fig 10: floating point efficiency, acc_simd.async", &ex::fig10(&mut runner));
+        print_table(
+            "Fig 10: floating point efficiency, acc_simd.async",
+            &ex::fig10(&mut runner),
+        );
     }
     if want("timeline") {
-        for v in [uintah_core::Variant::ACC_SYNC, uintah_core::Variant::ACC_ASYNC] {
+        for v in [
+            uintah_core::Variant::ACC_SYNC,
+            uintah_core::Variant::ACC_ASYNC,
+        ] {
             println!("== Timeline: {} ==", v.name());
             println!("{}", bench::timeline::render_timeline(v, 4, 3, 100));
         }

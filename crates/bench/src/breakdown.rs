@@ -14,11 +14,7 @@ use crate::table::{pct, secs, TextTable};
 
 /// Run one case and aggregate the MPE breakdown over all ranks, plus the
 /// run's total MPE-seconds available (ranks x wall time).
-pub fn measure(
-    p: &ProblemSpec,
-    variant: Variant,
-    n_cgs: usize,
-) -> (MpeBreakdown, f64, f64) {
+pub fn measure(p: &ProblemSpec, variant: Variant, n_cgs: usize) -> (MpeBreakdown, f64, f64) {
     let level = p.level();
     let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
     let cfg = RunConfig::paper(variant, ExecMode::Model, n_cgs);
@@ -91,7 +87,11 @@ mod tests {
             }
             let clock_total = report.mpe_busy.as_secs_f64();
             let rel = (cat_total - clock_total).abs() / clock_total;
-            assert!(rel < 1e-9, "{}: categorized {cat_total} vs clock {clock_total}", v.name());
+            assert!(
+                rel < 1e-9,
+                "{}: categorized {cat_total} vs clock {clock_total}",
+                v.name()
+            );
         }
     }
 

@@ -10,7 +10,7 @@ use sw_math::ExpKind;
 use uintah_core::{MachineConfig, Variant};
 
 use crate::problems::{ProblemSpec, ALL_CG_COUNTS, LARGE, MEDIUM, PROBLEMS, SMALL};
-use crate::runner::Runner;
+use crate::runner::{Runner, SweepCell};
 use crate::table::{pct, secs, TextTable};
 
 /// The four offloading variants of the scaling study (host.sync is excluded
@@ -21,6 +21,80 @@ pub const SCALING_VARIANTS: [Variant; 4] = [
     Variant::ACC_SIMD_SYNC,
     Variant::ACC_SIMD_ASYNC,
 ];
+
+/// The independent sweep cells an experiment will ask the [`Runner`] for —
+/// the work list `Runner::prefetch` fans out over the worker pool before the
+/// (order-sensitive, cache-hitting) table rendering runs. Experiments that
+/// do not go through the runner cache return an empty list.
+pub fn sweep_cells_for(experiment: &str) -> Vec<SweepCell> {
+    let mut cells: Vec<SweepCell> = Vec::new();
+    match experiment {
+        "table1" => {
+            for p in &PROBLEMS {
+                cells.push((p, Variant::ACC_SIMD_ASYNC, p.min_cgs));
+            }
+        }
+        "fig5" => {
+            for p in &PROBLEMS {
+                for n in p.cg_counts() {
+                    for v in SCALING_VARIANTS {
+                        cells.push((p, v, n));
+                    }
+                }
+            }
+        }
+        "table5" => {
+            for p in &PROBLEMS {
+                for v in SCALING_VARIANTS {
+                    cells.push((p, v, p.min_cgs));
+                    cells.push((p, v, 128));
+                }
+            }
+        }
+        "table6" | "table7" => {
+            let (vs, va) = if experiment == "table7" {
+                (Variant::ACC_SIMD_SYNC, Variant::ACC_SIMD_ASYNC)
+            } else {
+                (Variant::ACC_SYNC, Variant::ACC_ASYNC)
+            };
+            for p in &PROBLEMS {
+                for &n in &ALL_CG_COUNTS {
+                    if n >= p.min_cgs {
+                        cells.push((p, vs, n));
+                        cells.push((p, va, n));
+                    }
+                }
+            }
+        }
+        "fig6" | "fig7" | "fig8" => {
+            let p: &'static ProblemSpec = match experiment {
+                "fig6" => SMALL,
+                "fig7" => MEDIUM,
+                _ => LARGE,
+            };
+            for n in p.cg_counts() {
+                for v in [
+                    Variant::HOST_SYNC,
+                    Variant::ACC_ASYNC,
+                    Variant::ACC_SIMD_ASYNC,
+                ] {
+                    cells.push((p, v, n));
+                }
+            }
+        }
+        "fig9" | "fig10" => {
+            for p in &PROBLEMS {
+                for &n in &ALL_CG_COUNTS {
+                    if n >= p.min_cgs {
+                        cells.push((p, Variant::ACC_SIMD_ASYNC, n));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    cells
+}
 
 /// Table I: flops per cell, measured with the emulated hardware counters.
 pub fn table1(runner: &mut Runner) -> TextTable {
@@ -53,13 +127,41 @@ pub fn table1(runner: &mut Runner) -> TextTable {
 /// Table II: the machine model parameters.
 pub fn table2(cfg: &MachineConfig) -> TextTable {
     let mut t = TextTable::new(vec!["Item", "Model value", "Paper value"]);
-    t.row(vec!["Node cores (4 CGs)".into(), format!("{} per CG + MPE", cfg.cpes_per_cg), "4 MPEs + 256 CPEs".to_string()]);
-    t.row(vec!["CG peak".into(), format!("{:.1} Gflop/s", cfg.cg_peak_gflops()), "765.6 Gflop/s".into()]);
-    t.row(vec!["Node performance".into(), format!("{:.2} Tflop/s", 4.0 * cfg.cg_peak_gflops() / 1e3), "3.06 Tflop/s".into()]);
-    t.row(vec!["LDM per CPE".into(), format!("{} KB", cfg.ldm_bytes / 1024), "64 KB".into()]);
-    t.row(vec!["CG memory bandwidth".into(), format!("{:.1} GB/s", cfg.mem_bw_gbs), "128bit DDR3-2133".into()]);
-    t.row(vec!["Interconnect bandwidth".into(), format!("{:.0} GB/s one-way", cfg.net_bw_gbs), "16 GB/s bidirectional".into()]);
-    t.row(vec!["Interconnect latency".into(), format!("{}", cfg.net_latency), "~1 us".into()]);
+    t.row(vec![
+        "Node cores (4 CGs)".into(),
+        format!("{} per CG + MPE", cfg.cpes_per_cg),
+        "4 MPEs + 256 CPEs".to_string(),
+    ]);
+    t.row(vec![
+        "CG peak".into(),
+        format!("{:.1} Gflop/s", cfg.cg_peak_gflops()),
+        "765.6 Gflop/s".into(),
+    ]);
+    t.row(vec![
+        "Node performance".into(),
+        format!("{:.2} Tflop/s", 4.0 * cfg.cg_peak_gflops() / 1e3),
+        "3.06 Tflop/s".into(),
+    ]);
+    t.row(vec![
+        "LDM per CPE".into(),
+        format!("{} KB", cfg.ldm_bytes / 1024),
+        "64 KB".into(),
+    ]);
+    t.row(vec![
+        "CG memory bandwidth".into(),
+        format!("{:.1} GB/s", cfg.mem_bw_gbs),
+        "128bit DDR3-2133".into(),
+    ]);
+    t.row(vec![
+        "Interconnect bandwidth".into(),
+        format!("{:.0} GB/s one-way", cfg.net_bw_gbs),
+        "16 GB/s bidirectional".into(),
+    ]);
+    t.row(vec![
+        "Interconnect latency".into(),
+        format!("{}", cfg.net_latency),
+        "~1 us".into(),
+    ]);
     t
 }
 
@@ -185,7 +287,12 @@ pub fn fig678(runner: &mut Runner, which: usize) -> (String, TextTable) {
         8 => LARGE,
         _ => panic!("fig678 takes 6, 7, or 8"),
     };
-    let mut t = TextTable::new(vec!["CGs", "host.sync", "acc.async boost", "acc_simd.async boost"]);
+    let mut t = TextTable::new(vec![
+        "CGs",
+        "host.sync",
+        "acc.async boost",
+        "acc_simd.async boost",
+    ]);
     for n in p.cg_counts() {
         let host = runner.run(p, Variant::HOST_SYNC, n).clone();
         let acc = runner.run(p, Variant::ACC_ASYNC, n).clone();
@@ -198,8 +305,15 @@ pub fn fig678(runner: &mut Runner, which: usize) -> (String, TextTable) {
         ]);
     }
     (
-        format!("Fig {which} — optimization boosts, {} problem ({})",
-            match which { 6 => "small", 7 => "medium", _ => "large" }, p.name),
+        format!(
+            "Fig {which} — optimization boosts, {} problem ({})",
+            match which {
+                6 => "small",
+                7 => "medium",
+                _ => "large",
+            },
+            p.name
+        ),
         t,
     )
 }
@@ -265,7 +379,13 @@ pub fn weak_scaling() -> TextTable {
         (64, (8, 4, 2)),
         (128, (8, 8, 2)),
     ];
-    let mut t = TextTable::new(vec!["CGs", "grid", "sync t/step", "async t/step", "weak eff"]);
+    let mut t = TextTable::new(vec![
+        "CGs",
+        "grid",
+        "sync t/step",
+        "async t/step",
+        "weak eff",
+    ]);
     let mut base: Option<f64> = None;
     for (n, l) in layouts {
         let level = Level::new(iv(32, 32, 512), iv(l.0, l.1, l.2));
@@ -337,6 +457,9 @@ mod tests {
         let sync = runner.run(&PROBLEMS[2], Variant::ACC_SYNC, 4).clone();
         let asyn = runner.run(&PROBLEMS[2], Variant::ACC_ASYNC, 4).clone();
         let gain = asyn.improvement_over(&sync);
-        assert!(gain > 0.0, "medium problems must benefit from async: {gain}");
+        assert!(
+            gain > 0.0,
+            "medium problems must benefit from async: {gain}"
+        );
     }
 }

@@ -48,7 +48,11 @@ pub fn fidelity_best_of_n(repeats: u64) -> TextTable {
     let base = clean.time_per_step().as_secs_f64();
     for noise in [0.05, 0.15, 0.30] {
         let runs: Vec<f64> = (1..=repeats)
-            .map(|s| run_with(MEDIUM, 8, noise, s, None, None).time_per_step().as_secs_f64())
+            .map(|s| {
+                run_with(MEDIUM, 8, noise, s, None, None)
+                    .time_per_step()
+                    .as_secs_f64()
+            })
             .collect();
         let best = runs.iter().cloned().fold(f64::INFINITY, f64::min);
         let worst = runs.iter().cloned().fold(0.0, f64::max);
@@ -81,7 +85,10 @@ pub fn fidelity_rebalance() -> TextTable {
             format!("{:.0}%", speed * 100.0),
             secs(stat.time_per_step().as_secs_f64()),
             secs(reb.time_per_step().as_secs_f64()),
-            format!("{:.2}x", stat.time_per_step().as_secs_f64() / reb.time_per_step().as_secs_f64()),
+            format!(
+                "{:.2}x",
+                stat.time_per_step().as_secs_f64() / reb.time_per_step().as_secs_f64()
+            ),
         ]);
     }
     t
@@ -93,9 +100,15 @@ mod tests {
 
     #[test]
     fn best_of_n_approaches_the_clean_run() {
-        let clean = run_with(SMALL, 4, 0.0, 0, None, None).time_per_step().as_secs_f64();
+        let clean = run_with(SMALL, 4, 0.0, 0, None, None)
+            .time_per_step()
+            .as_secs_f64();
         let best = (1..=5u64)
-            .map(|s| run_with(SMALL, 4, 0.15, s, None, None).time_per_step().as_secs_f64())
+            .map(|s| {
+                run_with(SMALL, 4, 0.15, s, None, None)
+                    .time_per_step()
+                    .as_secs_f64()
+            })
             .fold(f64::INFINITY, f64::min);
         // Best-of-5 sits within ~12% of the noise floor for 15% noise.
         assert!(best >= clean);

@@ -5,17 +5,17 @@
 //! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
-
 #![warn(missing_docs)]
 pub mod ablation;
 pub mod breakdown;
 pub mod experiments;
 pub mod fidelity;
+pub mod perf;
 pub mod problems;
 pub mod runner;
 pub mod table;
 pub mod timeline;
 
 pub use problems::{ProblemSpec, ALL_CG_COUNTS, LARGE, MEDIUM, PROBLEMS, SMALL};
-pub use runner::Runner;
+pub use runner::{Runner, SweepCell};
 pub use table::TextTable;

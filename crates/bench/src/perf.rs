@@ -1,0 +1,250 @@
+//! Wall-clock performance of the functional engine: serial vs worker pool.
+//!
+//! Everything else in this crate measures *virtual* time on the simulated
+//! SW26010; this module measures *host* wall-clock time of the two things
+//! the parallel execution engine accelerates:
+//!
+//! 1. functional patch execution (`run_patch_functional_with`, serial vs
+//!    the CPE worker pool), and
+//! 2. the evaluation sweep (`Runner::prefetch`, serial vs the job pool).
+//!
+//! `repro -- bench-json` serializes the measurements to
+//! `results/BENCH_functional.json` so the speedup baseline of this machine
+//! is recorded next to the paper-reproduction tables. Speedups scale with
+//! the host core count (on a single-core host they are ~1.0 by
+//! construction); `host_threads` is recorded so numbers from different
+//! machines stay comparable.
+
+use std::time::Instant;
+
+use burgers::{BurgersScalarKernel, Geometry};
+use sw_athread::{
+    assign_tiles, run_patch_functional_with, tiles_of, CpeTileKernel, Dims3, ExecPolicy, Field3,
+    Field3Mut,
+};
+use sw_math::ExpKind;
+use uintah_core::Variant;
+
+use crate::problems::SMALL;
+use crate::runner::{Runner, SweepCell};
+
+/// One serial-vs-parallel wall-clock measurement.
+#[derive(Clone, Debug)]
+pub struct PoolBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload description (grid or cell count).
+    pub workload: String,
+    /// Independent work items fanned over the pool.
+    pub work_items: usize,
+    /// Worker threads used by the parallel run.
+    pub threads: usize,
+    /// Best-of-reps serial wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Best-of-reps parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// Whether the parallel result was verified bit-identical to serial.
+    pub bit_identical: bool,
+}
+
+impl PoolBench {
+    /// serial / parallel wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Resolve a `--jobs`-style thread request (`0` = auto).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+}
+
+/// Measure functional patch execution, serial vs the CPE worker pool, on a
+/// Burgers scalar kernel (the paper's §VI-A tile shape).
+pub fn bench_patch_exec(threads: usize, reps: usize) -> PoolBench {
+    let threads = resolve_threads(threads);
+    let patch: Dims3 = (64, 64, 64);
+    let gdims = (patch.0 + 2, patch.1 + 2, patch.2 + 2);
+    let input: Vec<f64> = (0..gdims.0 * gdims.1 * gdims.2)
+        .map(|i| 0.5 + 0.3 * ((i as f64) * 0.01).sin())
+        .collect();
+    let tiles = tiles_of(patch, (16, 16, 8));
+    let assignment = assign_tiles(&tiles, 64);
+    let kernel = BurgersScalarKernel {
+        geom: Geometry::new(1.0 / 128.0, 1.0 / 128.0, 1.0 / 1024.0),
+        exp: ExpKind::Fast,
+    };
+    let params = [0.01, 1e-5];
+    let n = patch.0 * patch.1 * patch.2;
+    let run = |policy: ExecPolicy, out: &mut Vec<f64>| {
+        run_patch_functional_with(
+            policy,
+            &kernel as &dyn CpeTileKernel,
+            Field3 {
+                data: &input,
+                dims: gdims,
+            },
+            &mut Field3Mut {
+                data: out,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            64 * 1024,
+            &params,
+        )
+        .expect("bench working set fits the LDM");
+    };
+    let mut out_serial = vec![0.0; n];
+    let mut out_parallel = vec![f64::NAN; n];
+    // Warm up + correctness witness.
+    run(ExecPolicy::Serial, &mut out_serial);
+    run(ExecPolicy::Parallel { threads }, &mut out_parallel);
+    let bit_identical = out_serial == out_parallel;
+    let serial_ms = best_of(reps, || run(ExecPolicy::Serial, &mut out_serial));
+    let parallel_ms = best_of(reps, || {
+        run(ExecPolicy::Parallel { threads }, &mut out_parallel)
+    });
+    PoolBench {
+        name: "patch_exec_burgers_scalar".into(),
+        workload: format!(
+            "{}x{}x{} patch, {} tiles in {} CPE lists",
+            patch.0,
+            patch.1,
+            patch.2,
+            tiles.len(),
+            assignment.len()
+        ),
+        work_items: assignment.len(),
+        threads,
+        serial_ms,
+        parallel_ms,
+        bit_identical,
+    }
+}
+
+/// Measure the evaluation sweep, serial vs the job pool, on the small
+/// problem's Fig-5 column (independent model-mode simulations).
+pub fn bench_sweep(jobs: usize, reps: usize) -> PoolBench {
+    let jobs = resolve_threads(jobs);
+    let cells: Vec<SweepCell> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&n| {
+            [
+                Variant::ACC_SYNC,
+                Variant::ACC_ASYNC,
+                Variant::ACC_SIMD_ASYNC,
+            ]
+            .into_iter()
+            .map(move |v| (SMALL, v, n))
+        })
+        .collect();
+    // Correctness witness: pooled sweep equals serial sweep report-for-report
+    // (also asserted by the runner's unit test).
+    let mut a = Runner::new();
+    a.prefetch(&cells, jobs);
+    let mut b = Runner::new();
+    b.prefetch(&cells, 1);
+    let bit_identical = cells.iter().all(|&(p, v, n)| {
+        let (ra, rb) = (a.run(p, v, n).clone(), b.run(p, v, n).clone());
+        ra.step_end == rb.step_end && ra.flops.total() == rb.flops.total()
+    });
+    let serial_ms = best_of(reps, || {
+        let mut r = Runner::new();
+        r.prefetch(&cells, 1);
+    });
+    let parallel_ms = best_of(reps, || {
+        let mut r = Runner::new();
+        r.prefetch(&cells, jobs);
+    });
+    PoolBench {
+        name: "sweep_fig5_small_subset".into(),
+        workload: format!("{} model-mode runs of {}", cells.len(), SMALL.name),
+        work_items: cells.len(),
+        threads: jobs,
+        serial_ms,
+        parallel_ms,
+        bit_identical,
+    }
+}
+
+/// Render the measurements as the `BENCH_functional.json` document.
+pub fn bench_json(benches: &[PoolBench]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"host_threads\": {},\n  \"benches\": [\n",
+        rayon::current_num_threads()
+    ));
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"work_items\": {}, \
+             \"threads\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            b.name,
+            b.workload,
+            b.work_items,
+            b.threads,
+            b.serial_ms,
+            b.parallel_ms,
+            b.speedup(),
+            b.bit_identical,
+            if i + 1 == benches.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run both pool benchmarks and write `BENCH_functional.json` under `dir`.
+/// Returns the measurements for display.
+pub fn write_bench_json(dir: &std::path::Path, threads: usize) -> std::io::Result<Vec<PoolBench>> {
+    let benches = vec![bench_patch_exec(threads, 3), bench_sweep(threads, 3)];
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("BENCH_functional.json"), bench_json(&benches))?;
+    Ok(benches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_exec_pool_is_bit_identical_and_measured() {
+        let b = bench_patch_exec(2, 1);
+        assert!(b.bit_identical, "parallel output diverged from serial");
+        assert!(b.serial_ms > 0.0 && b.parallel_ms > 0.0);
+        assert_eq!(b.threads, 2);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let b = PoolBench {
+            name: "x".into(),
+            workload: "w".into(),
+            work_items: 4,
+            threads: 2,
+            serial_ms: 10.0,
+            parallel_ms: 5.0,
+            bit_identical: true,
+        };
+        let j = bench_json(&[b.clone(), b]);
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.contains("\"host_threads\""));
+        assert!(j.contains("\"bit_identical\": true"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

@@ -24,13 +24,41 @@ pub const LAYOUT: IntVec = iv(8, 8, 2);
 
 /// Table III, in the paper's order.
 pub const PROBLEMS: [ProblemSpec; 7] = [
-    ProblemSpec { name: "16x16x512", patch: iv(16, 16, 512), min_cgs: 1 },
-    ProblemSpec { name: "16x32x512", patch: iv(16, 32, 512), min_cgs: 1 },
-    ProblemSpec { name: "32x32x512", patch: iv(32, 32, 512), min_cgs: 1 },
-    ProblemSpec { name: "32x64x512", patch: iv(32, 64, 512), min_cgs: 1 },
-    ProblemSpec { name: "64x64x512", patch: iv(64, 64, 512), min_cgs: 2 },
-    ProblemSpec { name: "64x128x512", patch: iv(64, 128, 512), min_cgs: 4 },
-    ProblemSpec { name: "128x128x512", patch: iv(128, 128, 512), min_cgs: 8 },
+    ProblemSpec {
+        name: "16x16x512",
+        patch: iv(16, 16, 512),
+        min_cgs: 1,
+    },
+    ProblemSpec {
+        name: "16x32x512",
+        patch: iv(16, 32, 512),
+        min_cgs: 1,
+    },
+    ProblemSpec {
+        name: "32x32x512",
+        patch: iv(32, 32, 512),
+        min_cgs: 1,
+    },
+    ProblemSpec {
+        name: "32x64x512",
+        patch: iv(32, 64, 512),
+        min_cgs: 1,
+    },
+    ProblemSpec {
+        name: "64x64x512",
+        patch: iv(64, 64, 512),
+        min_cgs: 2,
+    },
+    ProblemSpec {
+        name: "64x128x512",
+        patch: iv(64, 128, 512),
+        min_cgs: 4,
+    },
+    ProblemSpec {
+        name: "128x128x512",
+        patch: iv(128, 128, 512),
+        min_cgs: 8,
+    },
 ];
 
 /// The paper's three "typical" problems for the optimization study (§VII-D).

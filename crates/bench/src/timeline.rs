@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use burgers::BurgersApp;
 use sw_math::ExpKind;
-use uintah_core::{
-    ExecMode, Level, RunConfig, SimTime, Simulation, Variant,
-};
+use uintah_core::{ExecMode, Level, RunConfig, SimTime, Simulation, Variant};
 
 /// Render a per-rank kernel timeline of `steps` steps of the given variant
 /// on a small problem, `width` characters wide.

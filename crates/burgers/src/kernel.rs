@@ -136,7 +136,9 @@ impl CpeTileKernel for BurgersScalarKernel {
         let t = ctx.params[0];
         let dt = ctx.params[1];
         let g = &self.geom;
-        let inv = [g.inv_dx, g.inv_dy, g.inv_dz, g.inv_dx2, g.inv_dy2, g.inv_dz2];
+        let inv = [
+            g.inv_dx, g.inv_dy, g.inv_dz, g.inv_dx2, g.inv_dy2, g.inv_dz2,
+        ];
         let d = ctx.tile.dims;
         for z in 0..d.2 {
             for y in 0..d.1 {
@@ -249,9 +251,7 @@ mod tests {
         // d2u/dx2 exactly.
         let inv = [1.0, 1.0, 1.0, 4.0, 1.0, 1.0]; // dx = 0.5 in x only
         let (uc, uxm, uxp) = (1.0, 0.25, 2.25); // u = (x)^2 with dx=0.5 at x=1
-        let unew = cell_update(
-            uc, uxm, uxp, uc, uc, uc, uc, 0.0, 0.0, 0.0, inv, 0.01, 0.1,
-        );
+        let unew = cell_update(uc, uxm, uxp, uc, uc, uc, uc, 0.0, 0.0, 0.0, inv, 0.01, 0.1);
         // d2udx2 = (-2 + 0.25 + 2.25) * 4 = 2; du = 0.01 * 2 = 0.02.
         assert!((unew - (1.0 + 0.1 * 0.02)).abs() < 1e-15);
     }

@@ -97,8 +97,7 @@ impl CpeTileKernel for BurgersSimdKernel {
                     let d2udy2 = (v_m2.vmad(uc, uym) + uyp).vmuld(v_invdy2);
                     let d2udz2 = (v_m2.vmad(uc, uzm) + uzp).vmuld(v_invdz2);
 
-                    let du = (u_dudx + u_dudy + u_dudz)
-                        + v_nu.vmuld((d2udx2 + d2udy2) + d2udz2);
+                    let du = (u_dudx + u_dudy + u_dudz) + v_nu.vmuld((d2udx2 + d2udy2) + d2udz2);
                     let unew = v_dt.vmad(du, uc);
 
                     let out = idx3(d, x, y, z);

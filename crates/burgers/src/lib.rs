@@ -12,7 +12,6 @@
 //! * [`app`] — the [`uintah_core::Application`] implementation;
 //! * [`error`] — error norms against the exact solution for functional runs.
 
-
 #![warn(missing_docs)]
 pub mod app;
 pub mod error;

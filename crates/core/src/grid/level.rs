@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn neighbors_and_boundaries() {
         let l = paper_level();
-        let xp = Face { axis: 0, high: true };
-        let xm = Face { axis: 0, high: false };
+        let xp = Face {
+            axis: 0,
+            high: true,
+        };
+        let xm = Face {
+            axis: 0,
+            high: false,
+        };
         assert_eq!(l.neighbor(0, xp), Some(1));
         assert_eq!(l.neighbor(1, xm), Some(0));
         assert!(l.is_physical_boundary(0, xm));

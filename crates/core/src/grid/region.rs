@@ -22,12 +22,30 @@ pub struct Face {
 
 /// The six faces in deterministic order (x-, x+, y-, y+, z-, z+).
 pub const FACES: [Face; 6] = [
-    Face { axis: 0, high: false },
-    Face { axis: 0, high: true },
-    Face { axis: 1, high: false },
-    Face { axis: 1, high: true },
-    Face { axis: 2, high: false },
-    Face { axis: 2, high: true },
+    Face {
+        axis: 0,
+        high: false,
+    },
+    Face {
+        axis: 0,
+        high: true,
+    },
+    Face {
+        axis: 1,
+        high: false,
+    },
+    Face {
+        axis: 1,
+        high: true,
+    },
+    Face {
+        axis: 2,
+        high: false,
+    },
+    Face {
+        axis: 2,
+        high: true,
+    },
 ];
 
 impl Face {
@@ -199,8 +217,14 @@ mod tests {
     #[test]
     fn face_regions() {
         let r = Region::new(iv(0, 0, 0), iv(4, 4, 4));
-        let xm = Face { axis: 0, high: false };
-        let xp = Face { axis: 0, high: true };
+        let xm = Face {
+            axis: 0,
+            high: false,
+        };
+        let xp = Face {
+            axis: 0,
+            high: true,
+        };
         assert_eq!(r.face_ghost(xm, 1), Region::new(iv(-1, 0, 0), iv(0, 4, 4)));
         assert_eq!(r.face_ghost(xp, 1), Region::new(iv(4, 0, 0), iv(5, 4, 4)));
         assert_eq!(
@@ -213,10 +237,7 @@ mod tests {
         );
         // Ghost slab of one patch's face == interior slab of the neighbor.
         let neighbor = Region::new(iv(4, 0, 0), iv(8, 4, 4));
-        assert_eq!(
-            r.face_ghost(xp, 1),
-            neighbor.face_interior(xm, 1)
-        );
+        assert_eq!(r.face_ghost(xp, 1), neighbor.face_interior(xm, 1));
     }
 
     #[test]
@@ -232,7 +253,10 @@ mod tests {
     fn iter_is_x_fastest() {
         let r = Region::new(iv(0, 0, 0), iv(2, 2, 1));
         let cells: Vec<_> = r.iter().collect();
-        assert_eq!(cells, vec![iv(0, 0, 0), iv(1, 0, 0), iv(0, 1, 0), iv(1, 1, 0)]);
+        assert_eq!(
+            cells,
+            vec![iv(0, 0, 0), iv(1, 0, 0), iv(0, 1, 0), iv(1, 1, 0)]
+        );
         assert_eq!(cells.len() as u64, r.cells());
     }
 

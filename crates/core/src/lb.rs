@@ -90,7 +90,10 @@ fn block_cut(order: Vec<usize>, n_ranks: usize) -> Vec<usize> {
 /// Returns `patch id -> rank`, minimizing (greedily) the maximum of
 /// `sum(assigned cost) / speed` over ranks. Deterministic: ties break by
 /// patch id and rank id.
-pub fn lpt_assign(costs: &std::collections::BTreeMap<usize, sw_sim::SimDur>, speeds: &[f64]) -> Vec<usize> {
+pub fn lpt_assign(
+    costs: &std::collections::BTreeMap<usize, sw_sim::SimDur>,
+    speeds: &[f64],
+) -> Vec<usize> {
     let n_ranks = speeds.len();
     assert!(n_ranks >= 1);
     let mut patches: Vec<(usize, sw_sim::SimDur)> = costs.iter().map(|(&p, &c)| (p, c)).collect();
@@ -216,7 +219,10 @@ mod tests {
                 counts[r] += 1;
             }
             assert_eq!(counts.iter().sum::<usize>(), 128);
-            assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1, "{lb:?}");
+            assert!(
+                counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1,
+                "{lb:?}"
+            );
         }
     }
 
@@ -354,14 +360,18 @@ mod tests {
             .filter(|(&p, _)| a[p] != big_rank)
             .map(|(_, c)| c.0)
             .sum();
-        assert!((load as i64 - other as i64).abs() <= 200, "{load} vs {other}");
+        assert!(
+            (load as i64 - other as i64).abs() <= 200,
+            "{load} vs {other}"
+        );
     }
 
     #[test]
     fn lpt_is_deterministic() {
         use sw_sim::SimDur;
-        let costs: std::collections::BTreeMap<usize, SimDur> =
-            (0..20).map(|p| (p, SimDur(50 + (p as u64 * 37) % 100))).collect();
+        let costs: std::collections::BTreeMap<usize, SimDur> = (0..20)
+            .map(|p| (p, SimDur(50 + (p as u64 * 37) % 100)))
+            .collect();
         let a = lpt_assign(&costs, &[1.0, 0.8, 1.2]);
         let b = lpt_assign(&costs, &[1.0, 0.8, 1.2]);
         assert_eq!(a, b);

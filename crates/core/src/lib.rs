@@ -15,7 +15,6 @@
 //! [`sim`] controller advances all ranks through the shared `sw-sim`
 //! discrete-event machine model.
 
-
 #![warn(missing_docs)]
 pub mod grid;
 pub mod lb;
@@ -31,4 +30,5 @@ pub use sim::{run_simulation, RunConfig, RunReport, Simulation};
 pub use task::Application;
 pub use var::{CcVar, DataWarehouse, DwPair};
 
+pub use sw_athread::ExecPolicy;
 pub use sw_sim::{MachineConfig, SimDur, SimTime};

@@ -22,10 +22,11 @@
 //! for the earliest future instant it is waiting on.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use sw_athread::{
-    assign_tiles, choose_tile_shape, kernel_timing, run_patch_functional, tiles_of, AthreadGroup,
-    Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, KernelTiming, TileDesc,
+    assign_tiles, choose_tile_shape, kernel_timing, run_patch_functional_with, tiles_of,
+    AthreadGroup, Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, KernelTiming, TileDesc,
 };
 use sw_math::ExpKind;
 use sw_mpi::{ModeledAllreduce, MpiWorld, RecvHandle, SendHandle};
@@ -82,7 +83,10 @@ impl PatchRun {
 }
 
 struct CachedKernel {
-    assignment: Vec<Vec<TileDesc>>,
+    /// Shared so functional execution borrows the plan without cloning the
+    /// tile lists on every offload (the clone dominated MPE-side overhead
+    /// for small patches).
+    assignment: Arc<Vec<Vec<TileDesc>>>,
     timing: KernelTiming,
 }
 
@@ -137,6 +141,10 @@ pub struct RankSched {
     athread: AthreadGroup,
     dws: DwPair,
     kernel_cache: BTreeMap<(Dims3, bool, usize), CachedKernel>,
+    /// Whole-patch "one tile, unlimited scratchpad" plans for the MPE-only
+    /// mode, cached per patch shape (the plan was rebuilt per offload
+    /// before).
+    mpe_plan_cache: BTreeMap<Dims3, Arc<Vec<Vec<TileDesc>>>>,
     /// Dependent kernel stages per timestep (from the application).
     stages: usize,
     // --- per-step state ---
@@ -197,6 +205,7 @@ impl RankSched {
             athread: AthreadGroup::with_groups(rank, cpes, options.cpe_groups),
             dws: DwPair::new(),
             kernel_cache: BTreeMap::new(),
+            mpe_plan_cache: BTreeMap::new(),
             stages: 1,
             step: 0,
             total_steps,
@@ -353,7 +362,8 @@ impl RankSched {
         let recvs = self.plan.recvs.clone();
         for stage in 0..stages {
             for (i, rv) in recvs.iter().enumerate() {
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                cursor =
+                    self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
                 let tag = ghost_tag(
                     self.step,
                     stage,
@@ -370,7 +380,9 @@ impl RankSched {
         // producing task completed last step): pack on the MPE, then isend.
         for s in self.plan.sends.clone() {
             let bytes = s.window.cells() * 8;
-            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                &mut b.copies
+            });
             cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
             let payload = (self.exec == ExecMode::Functional)
                 .then(|| self.dws.old.get(LABEL_U, s.src_patch).pack(&s.window));
@@ -382,9 +394,15 @@ impl RankSched {
                 s.src_patch,
                 s.face,
             );
-            let h = ctx
-                .mpi
-                .isend(ctx.machine, self.rank, s.dst_rank, tag, bytes, payload, cursor);
+            let h = ctx.mpi.isend(
+                ctx.machine,
+                self.rank,
+                s.dst_rank,
+                tag,
+                bytes,
+                payload,
+                cursor,
+            );
             self.pending_sends.push(h);
         }
         cursor
@@ -421,7 +439,9 @@ impl RankSched {
 
             // §V-C step 3(b)iv: offload prepared kernels onto free slots.
             while self.athread.free_slot().is_some() {
-                let Some(p) = self.prepped.pop_front() else { break };
+                let Some(p) = self.prepped.pop_front() else {
+                    break;
+                };
                 cursor = self.offload_patch(ctx, cursor, p);
                 progressed = true;
             }
@@ -571,9 +591,15 @@ impl RankSched {
             // (the data has been ready since the step began).
             for lc in &prep.local_copies {
                 let bytes = lc.window.cells() * 8;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                    &mut b.copies
+                });
                 if self.exec == ExecMode::Functional {
-                    let src = self.dws.old.take(LABEL_U, lc.src_patch).expect("src patch var");
+                    let src = self
+                        .dws
+                        .old
+                        .take(LABEL_U, lc.src_patch)
+                        .expect("src patch var");
                     self.dws
                         .old
                         .get_mut(LABEL_U, lc.dst_patch)
@@ -633,10 +659,12 @@ impl RankSched {
                 if self.exec == ExecMode::Functional {
                     // Whole patch as one "tile" with an unlimited scratchpad:
                     // the MPE computes directly on main memory.
-                    let one = vec![vec![TileDesc {
-                        origin: (0, 0, 0),
-                        dims,
-                    }]];
+                    let one = Arc::clone(self.mpe_plan_cache.entry(dims).or_insert_with(|| {
+                        Arc::new(vec![vec![TileDesc {
+                            origin: (0, 0, 0),
+                            dims,
+                        }]])
+                    }));
                     self.exec_kernel(ctx, p, stage, &one, usize::MAX);
                 }
                 self.stats.kernels += 1;
@@ -644,19 +672,20 @@ impl RankSched {
             }
             SchedulerMode::SyncCpe | SchedulerMode::AsyncCpe => {
                 let spin = self.variant.mode == SchedulerMode::SyncCpe;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.offload_spawn, |b| &mut b.kernel);
+                cursor =
+                    self.consume_cat(ctx.machine, cursor, cfg.offload_spawn, |b| &mut b.kernel);
                 self.ensure_kernel_cached(ctx, dims, stage);
                 if self.exec == ExecMode::Functional {
                     let ck = &self.kernel_cache[&(dims, self.variant.simd, stage)];
-                    let assignment = ck.assignment.clone();
+                    // Cheap refcount bump — the tile lists themselves are
+                    // shared, not copied, per offload.
+                    let assignment = Arc::clone(&ck.assignment);
                     self.exec_kernel(ctx, p, stage, &assignment, cfg.ldm_bytes);
                 }
                 let timing = self.kernel_cache[&(dims, self.variant.simd, stage)]
                     .timing
                     .clone();
-                let h = self
-                    .athread
-                    .spawn(ctx.machine, cursor, &timing, spin);
+                let h = self.athread.spawn(ctx.machine, cursor, &timing, spin);
                 // Measure what the kernel actually took (including CG speed
                 // and machine noise) — the load balancer's cost signal.
                 *self.patch_cost.entry(p).or_default() += h.done_at.since(cursor);
@@ -710,7 +739,13 @@ impl RankSched {
             rate = rate.with_packed_tiles();
         }
         let timing = kernel_timing(cfg, &assignment, ctx.app.stage_cost(stage), rate);
-        self.kernel_cache.insert(key, CachedKernel { assignment, timing });
+        self.kernel_cache.insert(
+            key,
+            CachedKernel {
+                assignment: Arc::new(assignment),
+                timing,
+            },
+        );
     }
 
     /// Functionally execute stage `stage`'s kernel for patch `p` with the
@@ -740,7 +775,8 @@ impl RankSched {
             } else {
                 self.dws.new.get(stage_label(stage - 1), p)
             };
-            run_patch_functional(
+            run_patch_functional_with(
+                self.options.exec_policy,
                 kernel,
                 Field3 {
                     data: input_var.data(),
@@ -760,10 +796,7 @@ impl RankSched {
         // Stage outputs live ghosted so they can serve as the next stage's
         // input: write the interior into the (possibly pre-allocated, with
         // ghosts already received) stage variable.
-        let ghosted = self
-            .dws
-            .new
-            .allocate(stage_label(stage), p, region.grow(g));
+        let ghosted = self.dws.new.allocate(stage_label(stage), p, region.grow(g));
         ghosted.copy_region(&out, &region);
     }
 
@@ -782,9 +815,11 @@ impl RankSched {
                     continue;
                 }
                 let bytes = s.window.cells() * 8;
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                    &mut b.copies
+                });
                 cursor =
-                    self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                    self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
                 let payload = (self.exec == ExecMode::Functional).then(|| {
                     self.dws
                         .new
@@ -826,7 +861,9 @@ impl RankSched {
                 .collect();
             for (dst, window) in copies {
                 let bytes = window.cells() * 8;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| &mut b.copies);
+                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                    &mut b.copies
+                });
                 if self.exec == ExecMode::Functional {
                     let src = self
                         .dws

@@ -1,5 +1,6 @@
 //! Scheduler operation modes and the paper's experimental variants.
 
+use sw_athread::ExecPolicy;
 use sw_math::ExpKind;
 
 /// How the MPE task scheduler drives kernels (paper §V-C).
@@ -101,6 +102,11 @@ pub struct SchedulerOptions {
     pub double_buffer: bool,
     /// Pack each tile's fields into one DMA descriptor pair.
     pub packed_tiles: bool,
+    /// How functional-mode kernels map the simulated CPE tile lists onto
+    /// host threads. Purely a wall-clock knob: results and virtual times
+    /// are identical across policies (the simulated 64-CPE concurrency is
+    /// captured by the cost model either way).
+    pub exec_policy: ExecPolicy,
 }
 
 impl Default for SchedulerOptions {
@@ -109,6 +115,7 @@ impl Default for SchedulerOptions {
             cpe_groups: 1,
             double_buffer: false,
             packed_tiles: false,
+            exec_policy: ExecPolicy::Serial,
         }
     }
 }
@@ -151,6 +158,7 @@ mod tests {
         let o = SchedulerOptions::default();
         assert_eq!(o.cpe_groups, 1);
         assert!(!o.double_buffer && !o.packed_tiles);
+        assert_eq!(o.exec_policy, ExecPolicy::Serial);
     }
 
     #[test]

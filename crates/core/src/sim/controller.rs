@@ -309,9 +309,7 @@ impl Simulation {
             }
         }
         let worst = moved_bytes.iter().copied().max().unwrap_or(0);
-        let release_at = held_at
-            + cfg.machine.mpe_copy_time(worst)
-            + cfg.machine.net_time(worst);
+        let release_at = held_at + cfg.machine.mpe_copy_time(worst) + cfg.machine.net_time(worst);
 
         *assignment = new_assignment;
         for (r, rank) in ranks.iter_mut().enumerate() {

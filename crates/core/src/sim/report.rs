@@ -128,10 +128,7 @@ mod tests {
     fn step_durations_are_differences() {
         let mut r = report(1, 3, 6.0, 1);
         r.step_end = vec![SimTime(10), SimTime(30), SimTime(60)];
-        assert_eq!(
-            r.step_durations(),
-            vec![SimDur(10), SimDur(20), SimDur(30)]
-        );
+        assert_eq!(r.step_durations(), vec![SimDur(10), SimDur(20), SimDur(30)]);
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
             }
         }
         // 2 stage-chain edges per patch.
-        assert_eq!(dot.matches("-> t_0_1;").count() + dot.matches("-> t_0_2;").count(), 2);
+        assert_eq!(
+            dot.matches("-> t_0_1;").count() + dot.matches("-> t_0_2;").count(),
+            2
+        );
         // Clusters for both ranks; dashed MPI edges exist across ranks.
         assert!(dot.contains("cluster_rank0") && dot.contains("cluster_rank1"));
         assert!(dot.contains("style=dashed"));

@@ -99,12 +99,7 @@ pub fn ghost_tag(
 }
 
 /// Compile the plan for `rank` under the given patch assignment.
-pub fn build_rank_plan(
-    level: &Level,
-    assignment: &[usize],
-    rank: usize,
-    ghost: i64,
-) -> RankPlan {
+pub fn build_rank_plan(level: &Level, assignment: &[usize], rank: usize, ghost: i64) -> RankPlan {
     assert_eq!(assignment.len(), level.n_patches());
     let patches: Vec<PatchId> = (0..level.n_patches())
         .filter(|&p| assignment[p] == rank)

@@ -177,7 +177,10 @@ mod tests {
         for c in left.iter() {
             lvar.set(c, (c.x + c.y + c.z) as f64);
         }
-        let xp = Face { axis: 0, high: true };
+        let xp = Face {
+            axis: 0,
+            high: true,
+        };
         let slab = left.face_interior(xp, 1);
         let packed = lvar.pack(&slab);
         let mut rvar = CcVar::new(right.grow(1));

@@ -227,7 +227,13 @@ fn dma_bw(cfg: &MachineConfig, rate: KernelRate, active: usize) -> f64 {
 }
 
 /// Duration of a DMA of `bytes` with `latencies` start-up latencies.
-fn dma_raw(cfg: &MachineConfig, rate: KernelRate, bytes: u64, active: usize, latencies: u64) -> SimDur {
+fn dma_raw(
+    cfg: &MachineConfig,
+    rate: KernelRate,
+    bytes: u64,
+    active: usize,
+    latencies: u64,
+) -> SimDur {
     cfg.dma_latency * latencies
         + SimDur::from_secs_f64(bytes as f64 / (dma_bw(cfg, rate, active) * 1e9))
 }
@@ -387,7 +393,12 @@ mod tests {
             &m,
             KernelRate::scalar(&cfg).with_double_buffer(),
         );
-        assert!(dbuf.duration < sync.duration, "{} !< {}", dbuf.duration, sync.duration);
+        assert!(
+            dbuf.duration < sync.duration,
+            "{} !< {}",
+            dbuf.duration,
+            sync.duration
+        );
         // Compute-bound kernel: the pipelined time approaches pure compute
         // plus the fill/drain DMAs.
         let compute: f64 = assignment[0]

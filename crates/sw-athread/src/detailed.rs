@@ -62,7 +62,11 @@ pub fn detailed_kernel_duration(
         .map(|tiles| CpeState {
             tiles,
             idx: 0,
-            phase: if tiles.is_empty() { Phase::Done } else { Phase::DmaIn },
+            phase: if tiles.is_empty() {
+                Phase::Done
+            } else {
+                Phase::DmaIn
+            },
             bytes_left: 0.0,
             time_left: SimDur::ZERO,
             finish: SimTime::ZERO,
@@ -90,7 +94,9 @@ pub fn detailed_kernel_duration(
         // Fair share of the memory controller among transferring CPEs,
         // capped by the per-CPE engine peak.
         let bw = if transferring > 0 {
-            cfg.dma_cpe_peak_gbs.min(cfg.mem_bw_gbs / transferring as f64) * 1e9
+            cfg.dma_cpe_peak_gbs
+                .min(cfg.mem_bw_gbs / transferring as f64)
+                * 1e9
         } else {
             1.0 // unused
         };
@@ -201,8 +207,7 @@ mod tests {
         let rate = KernelRate::scalar(&cfg);
         let analytic = kernel_timing(&cfg, &assignment, &M, rate).duration;
         let detailed = detailed_kernel_duration(&cfg, &assignment, &M, rate);
-        let rel = (analytic.as_secs_f64() - detailed.as_secs_f64()).abs()
-            / analytic.as_secs_f64();
+        let rel = (analytic.as_secs_f64() - detailed.as_secs_f64()).abs() / analytic.as_secs_f64();
         assert!(rel < 1e-9, "analytic {analytic} vs detailed {detailed}");
     }
 

@@ -7,8 +7,28 @@
 //! allocator enforces the 64 KB budget, so a kernel whose working set does
 //! not fit fails exactly where it would on hardware.
 //!
-//! Execution order (CPE 0's tiles, then CPE 1's, ...) is deterministic; tile
-//! outputs are disjoint, so the result equals a true parallel execution.
+//! # Worker pool
+//!
+//! On the real SW26010 the 64 CPE tile loops run concurrently. The engine
+//! reproduces that with an [`ExecPolicy`]: under
+//! [`ExecPolicy::Parallel`] the per-CPE tile lists are claimed by a pool of
+//! host worker threads (one `rayon` task per worker), each owning its own
+//! [`TilePool`] — a private [`LdmAlloc`] plus staging buffers, exactly one
+//! simulated scratchpad per worker. Tiles write disjoint interior cells
+//! (validated before any parallel write), so the parallel result is
+//! bit-identical to [`ExecPolicy::Serial`], which runs CPE 0's tiles, then
+//! CPE 1's, ... on the calling thread.
+//!
+//! # Zero-allocation steady state
+//!
+//! Both policies stage tiles through pooled buffers sized once to the
+//! largest (ghosted) tile of the assignment; the per-tile loop performs no
+//! heap allocation. The budget discipline is unchanged: every tile still
+//! resets its worker's allocator and reserves its input + output working
+//! set, so an oversized tile fails with the same [`LdmOverflow`] the
+//! per-tile allocator raised.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use sw_sim::{LdmAlloc, LdmOverflow};
 
@@ -17,8 +37,54 @@ use crate::tile::{Dims3, TileDesc};
 /// Flat index into an x-fastest 3-D array.
 #[inline(always)]
 pub fn idx3(dims: Dims3, x: usize, y: usize, z: usize) -> usize {
-    debug_assert!(x < dims.0 && y < dims.1 && z < dims.2);
+    debug_assert!(
+        x < dims.0 && y < dims.1 && z < dims.2,
+        "index ({x},{y},{z}) outside extent {dims:?} — negative offsets wrap \
+         to huge values when cast to usize before this call"
+    );
     x + dims.0 * (y + dims.1 * z)
+}
+
+/// How the functional engine maps simulated CPE tile lists onto host
+/// threads.
+///
+/// The numerical result is policy-independent: tile outputs are disjoint
+/// (validated before any parallel write), every worker runs the same tile
+/// code against its own scratchpad, and no kernel reads another tile's
+/// output. `Parallel` therefore changes wall-clock time only — the
+/// workspace's property tests assert bit-identical outputs across policies
+/// and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Run every CPE's tile list on the calling thread, in CPE order.
+    #[default]
+    Serial,
+    /// Fan the CPE tile lists out over a pool of host worker threads.
+    Parallel {
+        /// Worker threads; `0` means one per available hardware thread.
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// Parallel execution with one worker per available hardware thread.
+    pub const AUTO: ExecPolicy = ExecPolicy::Parallel { threads: 0 };
+
+    /// Number of pool workers this policy yields for `lists` CPE tile
+    /// lists: never more workers than lists, never fewer than one.
+    pub fn workers_for(&self, lists: usize) -> usize {
+        match *self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { threads } => {
+                let t = if threads == 0 {
+                    rayon::current_num_threads()
+                } else {
+                    threads
+                };
+                t.clamp(1, lists.max(1))
+            }
+        }
+    }
 }
 
 /// Read-only main-memory view of a field covering a patch *plus its ghost
@@ -64,10 +130,20 @@ impl TileCtx<'_> {
     pub fn in_at(&self, x: usize, y: usize, z: usize, dx: i64, dy: i64, dz: i64) -> f64 {
         let g = self.ghost as i64;
         let gd = self.tile.ghosted_dims(self.ghost);
-        let xi = (x as i64 + g + dx) as usize;
-        let yi = (y as i64 + g + dy) as usize;
-        let zi = (z as i64 + g + dz) as usize;
-        self.ldm_in[idx3(gd, xi, yi, zi)]
+        let xi = x as i64 + g + dx;
+        let yi = y as i64 + g + dy;
+        let zi = z as i64 + g + dz;
+        // Catch under-runs on the signed values: a negative index would
+        // silently wrap to a huge usize in the cast below and be reported
+        // (confusingly) as an out-of-bounds *high* index, or read the wrong
+        // cell outright in release builds.
+        debug_assert!(
+            xi >= 0 && yi >= 0 && zi >= 0,
+            "stencil offset ({dx},{dy},{dz}) at tile cell ({x},{y},{z}) \
+             reaches before the ghosted tile (ghost = {})",
+            self.ghost
+        );
+        self.ldm_in[idx3(gd, xi as usize, yi as usize, zi as usize)]
     }
 
     /// Write the output at tile-local coordinates.
@@ -93,20 +169,59 @@ pub trait CpeTileKernel: Send + Sync {
     /// Ghost layers required in the input.
     fn ghost(&self) -> usize;
     /// Compute the tile: read `ctx.ldm_in`, write every cell of
-    /// `ctx.ldm_out`.
+    /// `ctx.ldm_out` (the staging buffers are reused between tiles, so an
+    /// unwritten cell would hold the previous tile's data, not zero).
     fn compute(&self, ctx: &mut TileCtx<'_>);
 }
 
-/// Execute a kernel functionally over a whole patch.
+/// Execute a kernel functionally over a whole patch, serially (CPE 0's
+/// tiles, then CPE 1's, ...).
+///
+/// Convenience wrapper over [`run_patch_functional_with`] with
+/// [`ExecPolicy::Serial`]; see there for the parameter contract.
+pub fn run_patch_functional(
+    kernel: &dyn CpeTileKernel,
+    input: Field3<'_>,
+    output: &mut Field3Mut<'_>,
+    patch_cell_origin: (i64, i64, i64),
+    assignment: &[Vec<TileDesc>],
+    ldm_bytes: usize,
+    params: &[f64],
+) -> Result<u64, LdmOverflow> {
+    run_patch_functional_with(
+        ExecPolicy::Serial,
+        kernel,
+        input,
+        output,
+        patch_cell_origin,
+        assignment,
+        ldm_bytes,
+        params,
+    )
+}
+
+/// Execute a kernel functionally over a whole patch under `policy`.
 ///
 /// * `input` covers the patch plus `kernel.ghost()` layers per side;
 /// * `output` covers the patch interior;
 /// * `assignment` is the per-CPE tile assignment from
 ///   [`crate::tile::assign_tiles`];
-/// * `ldm_bytes` is the scratchpad budget enforced per tile.
+/// * `ldm_bytes` is the scratchpad budget enforced per tile (per worker
+///   under [`ExecPolicy::Parallel`], one simulated LDM each).
+///
+/// Parallel execution requires the assignment to tile the output exactly
+/// (every interior cell covered by exactly one tile — what `tiles_of`
+/// produces); an assignment that is not an exact partition is executed
+/// serially so overlapping tiles keep their deterministic last-write-wins
+/// order. On success the result is bit-identical across policies and thread
+/// counts. On [`LdmOverflow`], each CPE list stops at its first failing
+/// tile and the error of the lowest-indexed failing list is returned;
+/// partially written output is unspecified under both policies.
 ///
 /// Returns the number of tiles executed.
-pub fn run_patch_functional(
+#[allow(clippy::too_many_arguments)]
+pub fn run_patch_functional_with(
+    policy: ExecPolicy,
     kernel: &dyn CpeTileKernel,
     input: Field3<'_>,
     output: &mut Field3Mut<'_>,
@@ -117,58 +232,342 @@ pub fn run_patch_functional(
 ) -> Result<u64, LdmOverflow> {
     let g = kernel.ghost();
     debug_assert_eq!(
-        (output.dims.0 + 2 * g, output.dims.1 + 2 * g, output.dims.2 + 2 * g),
+        (
+            output.dims.0 + 2 * g,
+            output.dims.1 + 2 * g,
+            output.dims.2 + 2 * g
+        ),
         input.dims,
         "input must be the ghosted extent of output"
     );
-    let mut ldm = LdmAlloc::new(ldm_bytes);
+    let (max_in, max_out) = staging_extents(assignment, g);
+    let busy_lists = assignment.iter().filter(|l| !l.is_empty()).count();
+    let workers = policy.workers_for(busy_lists);
+    if workers > 1 && is_exact_partition(output.dims, assignment) {
+        run_parallel(RunArgs {
+            kernel,
+            input,
+            output,
+            patch_cell_origin,
+            assignment,
+            ldm_bytes,
+            params,
+            g,
+            max_in,
+            max_out,
+            workers,
+        })
+    } else {
+        run_serial(RunArgs {
+            kernel,
+            input,
+            output,
+            patch_cell_origin,
+            assignment,
+            ldm_bytes,
+            params,
+            g,
+            max_in,
+            max_out,
+            workers: 1,
+        })
+    }
+}
+
+/// Bundled arguments for the two engine back-ends.
+struct RunArgs<'r, 'a> {
+    kernel: &'r dyn CpeTileKernel,
+    input: Field3<'r>,
+    output: &'r mut Field3Mut<'a>,
+    patch_cell_origin: (i64, i64, i64),
+    assignment: &'r [Vec<TileDesc>],
+    ldm_bytes: usize,
+    params: &'r [f64],
+    g: usize,
+    max_in: usize,
+    max_out: usize,
+    workers: usize,
+}
+
+/// Largest staging extents (ghosted-input cells, output cells) over every
+/// tile of the assignment — the pooled-buffer sizes.
+fn staging_extents(assignment: &[Vec<TileDesc>], g: usize) -> (usize, usize) {
+    let mut max_in = 0;
+    let mut max_out = 0;
+    for t in assignment.iter().flatten() {
+        let gd = t.ghosted_dims(g);
+        max_in = max_in.max(gd.0 * gd.1 * gd.2);
+        max_out = max_out.max(t.dims.0 * t.dims.1 * t.dims.2);
+    }
+    (max_in, max_out)
+}
+
+/// Whether `assignment` tiles a `dims` box exactly: all tiles in bounds,
+/// every cell covered exactly once. This is the disjointness proof the
+/// parallel writers rely on; `tiles_of` output always satisfies it.
+fn is_exact_partition(dims: Dims3, assignment: &[Vec<TileDesc>]) -> bool {
+    let total = dims.0 as u64 * dims.1 as u64 * dims.2 as u64;
+    let mut covered: u64 = 0;
+    for t in assignment.iter().flatten() {
+        if t.dims.0 > dims.0
+            || t.origin.0 > dims.0 - t.dims.0
+            || t.dims.1 > dims.1
+            || t.origin.1 > dims.1 - t.dims.1
+            || t.dims.2 > dims.2
+            || t.origin.2 > dims.2 - t.dims.2
+            || t.dims.0 * t.dims.1 * t.dims.2 == 0
+        {
+            return false;
+        }
+        covered += t.cells();
+    }
+    if covered != total {
+        return false;
+    }
+    // Equal cell count plus in-bounds still admits overlap; mark each cell.
+    let mut seen = vec![false; dims.0 * dims.1 * dims.2];
+    let plane = dims.0 * dims.1;
+    for t in assignment.iter().flatten() {
+        let row0 = t.origin.0 + dims.0 * t.origin.1 + plane * t.origin.2;
+        for z in 0..t.dims.2 {
+            let zbase = row0 + z * plane;
+            for y in 0..t.dims.1 {
+                let row = zbase + y * dims.0;
+                for c in &mut seen[row..row + t.dims.0] {
+                    if std::mem::replace(c, true) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Per-worker reusable execution state: one simulated LDM allocator plus
+/// input/output staging buffers sized to the assignment's largest tile.
+/// After construction the tile loop allocates nothing.
+struct TilePool {
+    ldm: LdmAlloc,
+    buf_in: Vec<f64>,
+    buf_out: Vec<f64>,
+}
+
+impl TilePool {
+    fn new(ldm_bytes: usize, max_in: usize, max_out: usize) -> Self {
+        TilePool {
+            ldm: LdmAlloc::new(ldm_bytes),
+            buf_in: vec![0.0; max_in],
+            buf_out: vec![0.0; max_out],
+        }
+    }
+
+    /// Stage, compute, and write back one tile, reusing the pool's buffers.
+    ///
+    /// The budget check reserves the tile's input then output working set
+    /// against a freshly reset allocator — byte-for-byte the sequence the
+    /// per-tile allocator performed, so overflow errors are unchanged.
+    fn run_tile(
+        &mut self,
+        args: &RunArgs<'_, '_>,
+        out: &SharedOut,
+        t: &TileDesc,
+    ) -> Result<(), LdmOverflow> {
+        let g = args.g;
+        let gd = t.ghosted_dims(g);
+        let n_in = gd.0 * gd.1 * gd.2;
+        let n_out = t.dims.0 * t.dims.1 * t.dims.2;
+        self.ldm.reset();
+        self.ldm.reserve(n_in * 8)?;
+        self.ldm.reserve(n_out * 8)?;
+        let ldm_in = &mut self.buf_in[..n_in];
+        let ldm_out = &mut self.buf_out[..n_out];
+        athread_get(&args.input, t, g, ldm_in);
+        let mut ctx = TileCtx {
+            tile: *t,
+            patch_cell_origin: args.patch_cell_origin,
+            ldm_in,
+            ldm_out,
+            ghost: g,
+            params: args.params,
+        };
+        args.kernel.compute(&mut ctx);
+        // SAFETY: `out` writes stay inside tile `t` (bounds asserted in
+        // `put_tile`), and the caller guarantees no concurrent writer
+        // overlaps `t` — single-threaded for the serial engine, exact
+        // partition for the parallel one.
+        unsafe { out.put_tile(ldm_out, t) };
+        Ok(())
+    }
+}
+
+/// Output-field pointer shared by the tile workers.
+///
+/// Writers only touch cells of their own tiles; the engine guarantees the
+/// tiles written through one `SharedOut` concurrently are pairwise disjoint
+/// (checked by [`is_exact_partition`] before parallel execution; trivially
+/// true for the serial engine, which holds the only reference).
+struct SharedOut {
+    ptr: *mut f64,
+    len: usize,
+    dims: Dims3,
+}
+
+// SAFETY: see the struct docs — concurrent access is restricted to
+// non-overlapping writes of disjoint tiles.
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    fn of(out: &mut Field3Mut<'_>) -> Self {
+        assert_eq!(
+            out.data.len(),
+            out.dims.0 * out.dims.1 * out.dims.2,
+            "output slice does not match its declared extent"
+        );
+        SharedOut {
+            ptr: out.data.as_mut_ptr(),
+            len: out.data.len(),
+            dims: out.dims,
+        }
+    }
+
+    /// DMA a computed tile from LDM back to main memory (`athread_put`),
+    /// row strides hoisted out of the copy loops.
+    ///
+    /// # Safety
+    /// No concurrent `put_tile` may overlap tile `t`.
+    unsafe fn put_tile(&self, ldm: &[f64], t: &TileDesc) {
+        let d = t.dims;
+        // Bounds: checked arithmetic-free because each coordinate is first
+        // bounded by the extent itself.
+        assert!(
+            d.0 <= self.dims.0
+                && t.origin.0 <= self.dims.0 - d.0
+                && d.1 <= self.dims.1
+                && t.origin.1 <= self.dims.1 - d.1
+                && d.2 <= self.dims.2
+                && t.origin.2 <= self.dims.2 - d.2,
+            "tile {t:?} outside output extent {:?}",
+            self.dims
+        );
+        let sx = self.dims.0;
+        let plane = self.dims.0 * self.dims.1;
+        let row0 = t.origin.0 + sx * t.origin.1 + plane * t.origin.2;
+        let mut rows = ldm[..d.0 * d.1 * d.2].chunks_exact(d.0);
+        for z in 0..d.2 {
+            let zbase = row0 + z * plane;
+            for y in 0..d.1 {
+                let dst = zbase + y * sx;
+                debug_assert!(dst + d.0 <= self.len);
+                let row = rows.next().expect("LDM tile smaller than its extent");
+                // SAFETY: dst + d.0 <= len by the extent assertion above;
+                // `row` borrows the LDM staging buffer, disjoint from the
+                // output field.
+                unsafe { std::ptr::copy_nonoverlapping(row.as_ptr(), self.ptr.add(dst), d.0) };
+            }
+        }
+    }
+}
+
+/// DMA a ghosted tile window from main memory into LDM (`athread_get`),
+/// row strides hoisted out of the copy loops.
+fn athread_get(input: &Field3<'_>, t: &TileDesc, g: usize, ldm: &mut [f64]) {
+    let gd = t.ghosted_dims(g);
+    let sx = input.dims.0;
+    let plane = input.dims.0 * input.dims.1;
+    // The input field is already ghost-extended, so the ghosted window of a
+    // tile at interior origin `o` starts at `o` in input coordinates.
+    let row0 = t.origin.0 + sx * t.origin.1 + plane * t.origin.2;
+    let mut rows = ldm[..gd.0 * gd.1 * gd.2].chunks_exact_mut(gd.0);
+    for z in 0..gd.2 {
+        let zbase = row0 + z * plane;
+        for y in 0..gd.1 {
+            let src = zbase + y * sx;
+            rows.next()
+                .expect("LDM tile smaller than its extent")
+                .copy_from_slice(&input.data[src..src + gd.0]);
+        }
+    }
+}
+
+/// The serial engine: one pool, CPE lists in order, first error wins.
+fn run_serial(args: RunArgs<'_, '_>) -> Result<u64, LdmOverflow> {
+    let out = SharedOut::of(args.output);
+    let mut pool = TilePool::new(args.ldm_bytes, args.max_in, args.max_out);
     let mut tiles_run = 0;
-    for cpe_tiles in assignment {
+    for cpe_tiles in args.assignment {
         for t in cpe_tiles {
-            ldm.reset();
-            let gdims = t.ghosted_dims(g);
-            let mut ldm_in = ldm.alloc_f64(gdims.0 * gdims.1 * gdims.2)?;
-            let mut ldm_out = ldm.alloc_f64(t.dims.0 * t.dims.1 * t.dims.2)?;
-            athread_get(&input, t, g, &mut ldm_in);
-            let mut ctx = TileCtx {
-                tile: *t,
-                patch_cell_origin,
-                ldm_in: &ldm_in,
-                ldm_out: &mut ldm_out,
-                ghost: g,
-                params,
-            };
-            kernel.compute(&mut ctx);
-            athread_put(&ldm_out, t, output);
+            pool.run_tile(&args, &out, t)?;
             tiles_run += 1;
         }
     }
     Ok(tiles_run)
 }
 
-/// DMA a ghosted tile window from main memory into LDM (`athread_get`).
-fn athread_get(input: &Field3<'_>, t: &TileDesc, g: usize, ldm: &mut [f64]) {
-    let gd = t.ghosted_dims(g);
-    // The input field is already ghost-extended, so the ghosted window of a
-    // tile at interior origin `o` starts at `o` in input coordinates.
-    for z in 0..gd.2 {
-        for y in 0..gd.1 {
-            let src = idx3(input.dims, t.origin.0, t.origin.1 + y, t.origin.2 + z);
-            let dst = idx3(gd, 0, y, z);
-            ldm[dst..dst + gd.0].copy_from_slice(&input.data[src..src + gd.0]);
+/// The parallel engine: `workers` rayon tasks claim CPE tile lists from a
+/// shared counter; each worker owns a private [`TilePool`] (its simulated
+/// LDM). Requires `args.assignment` to be an exact partition of the output.
+fn run_parallel(args: RunArgs<'_, '_>) -> Result<u64, LdmOverflow> {
+    let out = SharedOut::of(args.output);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let args_ref = &args;
+    let results: Vec<(u64, Option<(usize, LdmOverflow)>)> = rayon::scope(|s| {
+        let handles: Vec<_> = (0..args_ref.workers)
+            .map(|_| {
+                let (out, next, abort) = (&out, &next, &abort);
+                s.spawn(move || {
+                    let mut pool =
+                        TilePool::new(args_ref.ldm_bytes, args_ref.max_in, args_ref.max_out);
+                    let mut tiles_run = 0u64;
+                    let mut first_err: Option<(usize, LdmOverflow)> = None;
+                    while !abort.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cpe_tiles) = args_ref.assignment.get(i) else {
+                            break;
+                        };
+                        for t in cpe_tiles {
+                            match pool.run_tile(args_ref, out, t) {
+                                Ok(()) => tiles_run += 1,
+                                Err(e) => {
+                                    // Stop this CPE list at its first failing
+                                    // tile, like the serial engine, and tell
+                                    // the other workers to wind down.
+                                    first_err = Some((i, e));
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        if first_err.is_some() {
+                            break;
+                        }
+                    }
+                    (tiles_run, first_err)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("CPE worker panicked"))
+            .collect()
+    });
+    let mut tiles = 0;
+    let mut err: Option<(usize, LdmOverflow)> = None;
+    for (n, e) in results {
+        tiles += n;
+        if let Some((i, e)) = e {
+            // Deterministic selection among observed failures: lowest CPE
+            // list index first, the order the serial engine scans in.
+            if err.is_none_or(|(j, _)| i < j) {
+                err = Some((i, e));
+            }
         }
     }
-}
-
-/// DMA a computed tile from LDM back to main memory (`athread_put`).
-fn athread_put(ldm: &[f64], t: &TileDesc, output: &mut Field3Mut<'_>) {
-    let d = t.dims;
-    for z in 0..d.2 {
-        for y in 0..d.1 {
-            let src = idx3(d, 0, y, z);
-            let dst = idx3(output.dims, t.origin.0, t.origin.1 + y, t.origin.2 + z);
-            output.data[dst..dst + d.0].copy_from_slice(&ldm[src..src + d.0]);
-        }
+    match err {
+        Some((_, e)) => Err(e),
+        None => Ok(tiles),
     }
 }
 
@@ -270,6 +669,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let patch = (12, 10, 16);
+        let input_data = filled_input(patch);
+        let want = reference_avg7(&input_data, patch);
+        let tiles = tiles_of(patch, (4, 4, 4));
+        for cpes in [1, 3, 7, 64] {
+            let assignment = assign_tiles(&tiles, cpes);
+            for policy in [
+                ExecPolicy::Parallel { threads: 2 },
+                ExecPolicy::Parallel { threads: 4 },
+                ExecPolicy::AUTO,
+            ] {
+                let mut out_data = vec![f64::NAN; patch.0 * patch.1 * patch.2];
+                let n = run_patch_functional_with(
+                    policy,
+                    &Avg7,
+                    Field3 {
+                        data: &input_data,
+                        dims: (patch.0 + 2, patch.1 + 2, patch.2 + 2),
+                    },
+                    &mut Field3Mut {
+                        data: &mut out_data,
+                        dims: patch,
+                    },
+                    (0, 0, 0),
+                    &assignment,
+                    64 * 1024,
+                    &[],
+                )
+                .unwrap();
+                assert_eq!(n, tiles.len() as u64);
+                assert_eq!(out_data, want, "cpes = {cpes}, policy = {policy:?}");
+            }
+        }
+    }
+
+    #[test]
     fn ldm_budget_is_enforced() {
         let patch = (8, 8, 8);
         let input_data = filled_input(patch);
@@ -294,6 +730,140 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.capacity, 8 * 1024);
+    }
+
+    #[test]
+    fn ldm_overflow_propagates_out_of_the_parallel_scope() {
+        let patch = (8, 8, 16);
+        let input_data = filled_input(patch);
+        let tiles = tiles_of(patch, (8, 8, 8)); // two over-budget tiles
+        let assignment = assign_tiles(&tiles, 2);
+        let mut out_data = vec![0.0; patch.0 * patch.1 * patch.2];
+        let serial_err = run_patch_functional(
+            &Avg7,
+            Field3 {
+                data: &input_data,
+                dims: (10, 10, 18),
+            },
+            &mut Field3Mut {
+                data: &mut out_data,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            8 * 1024,
+            &[],
+        )
+        .unwrap_err();
+        let par_err = run_patch_functional_with(
+            ExecPolicy::Parallel { threads: 2 },
+            &Avg7,
+            Field3 {
+                data: &input_data,
+                dims: (10, 10, 18),
+            },
+            &mut Field3Mut {
+                data: &mut out_data,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            8 * 1024,
+            &[],
+        )
+        .unwrap_err();
+        // Same-shape tiles fail identically, so the errors must agree.
+        assert_eq!(serial_err, par_err);
+        assert_eq!(par_err.capacity, 8 * 1024);
+    }
+
+    #[test]
+    fn overlapping_assignment_falls_back_to_serial_order() {
+        // Two tiles covering the same cells: not a partition, so the
+        // parallel policy must run them serially and keep last-write-wins.
+        struct Stamp;
+        impl CpeTileKernel for Stamp {
+            fn ghost(&self) -> usize {
+                0
+            }
+            fn compute(&self, ctx: &mut TileCtx<'_>) {
+                let v = ctx.params[0] + ctx.tile.origin.2 as f64;
+                let d = ctx.tile.dims;
+                for i in 0..d.0 * d.1 * d.2 {
+                    ctx.ldm_out[i] = v;
+                }
+            }
+        }
+        let patch = (4, 4, 2);
+        let whole = TileDesc {
+            origin: (0, 0, 0),
+            dims: patch,
+        };
+        let assignment = vec![vec![whole], vec![whole]];
+        let input = vec![0.0; 32];
+        let mut out_serial = vec![0.0; 32];
+        let mut out_par = vec![0.0; 32];
+        for (policy, out) in [
+            (ExecPolicy::Serial, &mut out_serial),
+            (ExecPolicy::Parallel { threads: 2 }, &mut out_par),
+        ] {
+            run_patch_functional_with(
+                policy,
+                &Stamp,
+                Field3 {
+                    data: &input,
+                    dims: patch,
+                },
+                &mut Field3Mut {
+                    data: out,
+                    dims: patch,
+                },
+                (0, 0, 0),
+                &assignment,
+                64 * 1024,
+                &[7.0],
+            )
+            .unwrap();
+        }
+        assert_eq!(out_serial, out_par);
+    }
+
+    #[test]
+    fn exec_policy_worker_counts() {
+        assert_eq!(ExecPolicy::Serial.workers_for(64), 1);
+        assert_eq!(ExecPolicy::Parallel { threads: 4 }.workers_for(64), 4);
+        // Never more workers than tile lists, never fewer than one.
+        assert_eq!(ExecPolicy::Parallel { threads: 8 }.workers_for(3), 3);
+        assert_eq!(ExecPolicy::Parallel { threads: 8 }.workers_for(0), 1);
+        assert!(ExecPolicy::AUTO.workers_for(64) >= 1);
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Serial);
+    }
+
+    #[test]
+    fn partition_checker_accepts_tiles_of_and_rejects_overlap() {
+        let patch = (10, 10, 10);
+        let tiles = tiles_of(patch, (4, 4, 4));
+        let assignment = assign_tiles(&tiles, 5);
+        assert!(is_exact_partition(patch, &assignment));
+        // Drop a tile: under-coverage.
+        let mut missing = assignment.clone();
+        missing[0].pop();
+        assert!(!is_exact_partition(patch, &missing));
+        // Duplicate a tile: overlap (cell count catches it).
+        let mut dup = assignment.clone();
+        let t = dup[0][0];
+        dup[0].push(t);
+        assert!(!is_exact_partition(patch, &dup));
+        // Same cell count, shifted tile: overlap (bitmap catches it).
+        let mut shifted = assignment;
+        shifted[1][0].origin = shifted[0][0].origin;
+        assert!(!is_exact_partition(patch, &shifted));
+        // Out-of-bounds tile.
+        let oob = vec![vec![TileDesc {
+            origin: (8, 0, 0),
+            dims: (4, 10, 10),
+        }]];
+        assert!(!is_exact_partition(patch, &oob));
     }
 
     #[test]

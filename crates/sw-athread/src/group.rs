@@ -128,9 +128,12 @@ impl AthreadGroup {
         timing: &KernelTiming,
         spin: bool,
     ) -> KernelHandle {
-        let slot = self
-            .free_slot()
-            .unwrap_or_else(|| panic!("CG {}: offload with all {} slots busy", self.cg, self.groups));
+        let slot = self.free_slot().unwrap_or_else(|| {
+            panic!(
+                "CG {}: offload with all {} slots busy",
+                self.cg, self.groups
+            )
+        });
         let dur = if spin {
             with_spin_penalty(machine.cfg(), timing.duration)
         } else {

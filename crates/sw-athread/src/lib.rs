@@ -15,7 +15,6 @@
 //! * [`flag`] — the `faaw`-incremented main-memory completion flag;
 //! * [`group`] — the offload facade (`spawn` + completion event handling).
 
-
 #![warn(missing_docs)]
 pub mod cost;
 pub mod detailed;
@@ -24,9 +23,17 @@ pub mod flag;
 pub mod group;
 pub mod tile;
 
-pub use cost::{kernel_timing, tile_time, with_spin_penalty, KernelRate, KernelTiming, TileCostModel, TransferMode};
+pub use cost::{
+    kernel_timing, tile_time, with_spin_penalty, KernelRate, KernelTiming, TileCostModel,
+    TransferMode,
+};
 pub use detailed::detailed_kernel_duration;
-pub use exec::{idx3, run_patch_functional, CpeTileKernel, Field3, Field3Mut, TileCtx};
+pub use exec::{
+    idx3, run_patch_functional, run_patch_functional_with, CpeTileKernel, ExecPolicy, Field3,
+    Field3Mut, TileCtx,
+};
 pub use flag::CompletionFlag;
 pub use group::{AthreadGroup, KernelHandle};
-pub use tile::{assign_tiles, cells, choose_tile_shape, tiles_of, Dims3, InOutFootprint, LdmFootprint, TileDesc};
+pub use tile::{
+    assign_tiles, cells, choose_tile_shape, tiles_of, Dims3, InOutFootprint, LdmFootprint, TileDesc,
+};

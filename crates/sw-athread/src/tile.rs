@@ -31,7 +31,11 @@ impl TileDesc {
 
     /// Extent of the tile including `g` ghost layers on every side.
     pub fn ghosted_dims(&self, g: usize) -> Dims3 {
-        (self.dims.0 + 2 * g, self.dims.1 + 2 * g, self.dims.2 + 2 * g)
+        (
+            self.dims.0 + 2 * g,
+            self.dims.1 + 2 * g,
+            self.dims.2 + 2 * g,
+        )
     }
 }
 
@@ -39,7 +43,10 @@ impl TileDesc {
 /// high edges), ordered z-slab-major (z outermost, then y, then x) so that a
 /// contiguous split of the list is a z-partition.
 pub fn tiles_of(patch: Dims3, tile: Dims3) -> Vec<TileDesc> {
-    assert!(tile.0 >= 1 && tile.1 >= 1 && tile.2 >= 1, "degenerate tile {tile:?}");
+    assert!(
+        tile.0 >= 1 && tile.1 >= 1 && tile.2 >= 1,
+        "degenerate tile {tile:?}"
+    );
     let mut out = Vec::new();
     let mut z = 0;
     while z < patch.2 {
@@ -147,7 +154,13 @@ pub fn choose_tile_shape(
         v
     };
     // (enough-tiles, cells, -ghosted, -tz, tx): lexicographically maximized.
-    type Key = (bool, u64, std::cmp::Reverse<usize>, std::cmp::Reverse<usize>, usize);
+    type Key = (
+        bool,
+        u64,
+        std::cmp::Reverse<usize>,
+        std::cmp::Reverse<usize>,
+        usize,
+    );
     let mut best: Option<(Dims3, Key)> = None;
     let patch_cells = cells(patch);
     for &tx in &candidates(patch.0) {

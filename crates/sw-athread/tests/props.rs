@@ -2,11 +2,37 @@
 
 use proptest::prelude::*;
 use sw_athread::{
-    assign_tiles, cells, choose_tile_shape, kernel_timing, run_patch_functional, tiles_of,
-    CpeTileKernel, Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, LdmFootprint,
-    TileCostModel, TileCtx,
+    assign_tiles, cells, choose_tile_shape, kernel_timing, run_patch_functional,
+    run_patch_functional_with, tiles_of, CpeTileKernel, Dims3, ExecPolicy, Field3, Field3Mut,
+    InOutFootprint, KernelRate, LdmFootprint, TileCostModel, TileCtx,
 };
 use sw_sim::MachineConfig;
+
+/// ctx-driven 7-point stencil kernel shared by the executor properties.
+struct Stencil7;
+
+impl CpeTileKernel for Stencil7 {
+    fn ghost(&self) -> usize {
+        1
+    }
+    fn compute(&self, ctx: &mut TileCtx<'_>) {
+        let d = ctx.tile.dims;
+        for z in 0..d.2 {
+            for y in 0..d.1 {
+                for x in 0..d.0 {
+                    let v = 2.0 * ctx.in_at(x, y, z, 0, 0, 0)
+                        + ctx.in_at(x, y, z, -1, 0, 0)
+                        + ctx.in_at(x, y, z, 1, 0, 0)
+                        + ctx.in_at(x, y, z, 0, -1, 0)
+                        + ctx.in_at(x, y, z, 0, 1, 0)
+                        + ctx.in_at(x, y, z, 0, 0, -1)
+                        + ctx.in_at(x, y, z, 0, 0, 1);
+                    ctx.out_at(x, y, z, v);
+                }
+            }
+        }
+    }
+}
 
 fn dims3() -> impl Strategy<Value = Dims3> {
     (1usize..20, 1usize..20, 1usize..20)
@@ -169,5 +195,84 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(out, want);
+    }
+
+    /// The CPE worker pool is bit-identical to serial execution for every
+    /// geometry, CPE count, and thread count {1, 2, 4, 8}.
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial(
+        patch in (2usize..12, 2usize..12, 2usize..12),
+        tile in dims3(),
+        cpes in 1usize..70,
+        threads_ix in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_ix];
+        let g = 1usize;
+        let gdims = (patch.0 + 2 * g, patch.1 + 2 * g, patch.2 + 2 * g);
+        let input: Vec<f64> = (0..gdims.0 * gdims.1 * gdims.2)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 1000) as f64 * 0.001)
+            .collect();
+        let tiles = tiles_of(patch, tile);
+        let assignment = assign_tiles(&tiles, cpes);
+        let n = patch.0 * patch.1 * patch.2;
+        let run = |policy: ExecPolicy, out: &mut Vec<f64>| {
+            run_patch_functional_with(
+                policy,
+                &Stencil7,
+                Field3 { data: &input, dims: gdims },
+                &mut Field3Mut { data: out, dims: patch },
+                (3, 5, 7),
+                &assignment,
+                usize::MAX,
+                &[],
+            )
+            .unwrap()
+        };
+        let mut serial = vec![0.0; n];
+        let flops_serial = run(ExecPolicy::Serial, &mut serial);
+        // NaN-filled so a cell the pool failed to write cannot pass by luck.
+        let mut parallel = vec![f64::NAN; n];
+        let flops_parallel = run(ExecPolicy::Parallel { threads }, &mut parallel);
+        prop_assert_eq!(flops_serial, flops_parallel);
+        let sbits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pbits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sbits, pbits);
+    }
+
+    /// An LDM budget too small for the working set raises the same
+    /// `LdmOverflow` under every policy: the pooled staging buffers must not
+    /// change the accounting, and the error must cross the parallel scope.
+    #[test]
+    fn ldm_overflow_is_policy_independent(
+        patch in (2usize..10, 2usize..10, 2usize..10),
+        tile in dims3(),
+        cpes in 1usize..16,
+        budget_kb in 0usize..8,
+    ) {
+        let g = 1usize;
+        let gdims = (patch.0 + 2 * g, patch.1 + 2 * g, patch.2 + 2 * g);
+        let input: Vec<f64> = vec![1.0; gdims.0 * gdims.1 * gdims.2];
+        let tiles = tiles_of(patch, tile);
+        let assignment = assign_tiles(&tiles, cpes);
+        let n = patch.0 * patch.1 * patch.2;
+        let run = |policy: ExecPolicy| {
+            let mut out = vec![0.0; n];
+            run_patch_functional_with(
+                policy,
+                &Stencil7,
+                Field3 { data: &input, dims: gdims },
+                &mut Field3Mut { data: &mut out, dims: patch },
+                (0, 0, 0),
+                &assignment,
+                budget_kb * 1024,
+                &[],
+            )
+        };
+        let serial = run(ExecPolicy::Serial);
+        for threads in [2usize, 4, 8] {
+            let parallel = run(ExecPolicy::Parallel { threads });
+            prop_assert_eq!(serial.clone(), parallel);
+        }
     }
 }

@@ -100,7 +100,10 @@ const UNDERFLOW_X: f64 = -745.2;
 /// callers pre-split extreme `k`.
 #[inline]
 fn pow2(k: i32) -> f64 {
-    debug_assert!((-1022..=1023).contains(&k), "pow2 exponent {k} out of range");
+    debug_assert!(
+        (-1022..=1023).contains(&k),
+        "pow2 exponent {k} out of range"
+    );
     f64::from_bits(((k + 1023) as u64) << 52)
 }
 
@@ -145,7 +148,7 @@ pub fn exp_fast<T: Arith>(x: T) -> T {
     let r = x - kd * T::lit(LN2_HI); // 2 flops
     let r = r - kd * T::lit(LN2_MID); // 2 flops
     let r = r - kd * T::lit(LN2_LO); // 2 flops
-    // e^r by degree-13 Horner: 26 flops.
+                                     // e^r by degree-13 Horner: 26 flops.
     let p = horner(r, &EXP_POLY);
     // Reconstruct 2^k. For k below the normal exponent range (deeply negative
     // x) scale twice; that branch costs one extra multiply but only fires for
@@ -185,7 +188,7 @@ pub fn exp_accurate<T: Arith>(x: T) -> T {
     // Compensated reduction: track the rounding error of each subtraction.
     let t1 = kd * T::lit(LN2_HI); // 1
     let r_hi = x - t1; // 1
-    // err = (x - r_hi) - t1 recovers what the subtraction dropped.
+                       // err = (x - r_hi) - t1 recovers what the subtraction dropped.
     let err = x - r_hi - t1; // 2
     let t2 = kd * T::lit(LN2_MID); // 1
     let r = r_hi - t2; // 1
@@ -194,7 +197,7 @@ pub fn exp_accurate<T: Arith>(x: T) -> T {
     let r_final = r - t3; // 1
     let err = err + (r - r_final - t3); // 3
     let p = horner(r_final, &EXP_POLY); // 26
-    // First-order correction: e^(r+err) ~= e^r * (1 + err) ~= p + p*err.
+                                        // First-order correction: e^(r+err) ~= e^r * (1 + err) ~= p + p*err.
     let p = p + p * err; // 2
     scale_by_pow2(p, k) // 1
 }
@@ -281,7 +284,10 @@ mod tests {
     #[test]
     fn counted_and_plain_agree_bitwise() {
         for &x in &[-12.75, -0.001, 0.5, 7.25] {
-            assert_eq!(exp_fast(x).to_bits(), exp_fast(Cf64::new(x)).get().to_bits());
+            assert_eq!(
+                exp_fast(x).to_bits(),
+                exp_fast(Cf64::new(x)).get().to_bits()
+            );
             assert_eq!(
                 exp_accurate(x).to_bits(),
                 exp_accurate(Cf64::new(x)).get().to_bits()

@@ -19,7 +19,6 @@
 //!   SIMD with `VMAD`-style fused operations (paper §VI-B, Algorithm 2),
 //! * [`poly`] — Horner-scheme polynomial evaluation helpers.
 
-
 #![warn(missing_docs)]
 pub mod counted;
 pub mod exp;

@@ -200,7 +200,10 @@ mod tests {
         let c = F64x4::splat(-1.0);
         let unfused = a.vmad(b, c);
         for l in 0..4 {
-            assert_eq!(unfused[l], (1.0 + f64::EPSILON) * (1.0 - f64::EPSILON) - 1.0);
+            assert_eq!(
+                unfused[l],
+                (1.0 + f64::EPSILON) * (1.0 - f64::EPSILON) - 1.0
+            );
         }
         // The fused version retains the low product bits the unfused one drops.
         let fused = a.vmad_fused(b, c);

@@ -215,7 +215,10 @@ impl MpiWorld {
                 payload: None,
             },
         );
-        self.posted.entry((rank, src, tag)).or_default().push_back(id);
+        self.posted
+            .entry((rank, src, tag))
+            .or_default()
+            .push_back(id);
         RecvHandle(id)
     }
 
@@ -224,7 +227,10 @@ impl MpiWorld {
     /// yet *visible* to either rank — visibility requires `progress`.
     pub fn on_wire(&mut self, token: u64) {
         let (id, phase) = decode(token);
-        let msg = self.msgs.get_mut(&id).expect("wire token for unknown message");
+        let msg = self
+            .msgs
+            .get_mut(&id)
+            .expect("wire token for unknown message");
         msg.state = match (phase, msg.state) {
             (PH_RTS, MsgState::RtsInFlight) => MsgState::RtsArrived,
             (PH_CTS, MsgState::CtsInFlight) => MsgState::CtsArrived,

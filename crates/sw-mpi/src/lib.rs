@@ -6,7 +6,6 @@
 //! closed-form modeled collectives for the per-timestep reductions
 //! ([`collective`]).
 
-
 #![warn(missing_docs)]
 pub mod collective;
 pub mod comm;

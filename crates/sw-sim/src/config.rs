@@ -133,8 +133,7 @@ impl MachineConfig {
     /// CG memory bandwidth.
     pub fn dma_bw_per_cpe(&self, active: usize) -> f64 {
         debug_assert!(active >= 1);
-        self.dma_cpe_peak_gbs
-            .min(self.mem_bw_gbs / active as f64)
+        self.dma_cpe_peak_gbs.min(self.mem_bw_gbs / active as f64)
     }
 
     /// Duration of one synchronous DMA transfer of `bytes` with `active`

@@ -82,7 +82,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is in the past — the clock never runs backwards.
     pub fn schedule_at(&mut self, at: SimTime, ev: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         self.heap.push(Entry {
             at,
             seq: self.seq,

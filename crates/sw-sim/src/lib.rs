@@ -19,7 +19,6 @@
 //! drive the machine through [`machine::Machine`]'s primitives, and interpret
 //! the [`machine::MachineEvent`]s that pop.
 
-
 #![warn(missing_docs)]
 pub mod config;
 pub mod event;

@@ -236,13 +236,7 @@ impl Machine {
     /// (the paper runs one kernel at a time; CPE grouping is §IX future
     /// work). Schedules [`MachineEvent::KernelDone`] and returns its fire
     /// time.
-    pub fn offload_kernel(
-        &mut self,
-        cg: CgId,
-        start: SimTime,
-        dur: SimDur,
-        token: u64,
-    ) -> SimTime {
+    pub fn offload_kernel(&mut self, cg: CgId, start: SimTime, dur: SimDur, token: u64) -> SimTime {
         let mut dur = dur.scale(1.0 / self.cg_speed[cg]);
         if let Some(noise) = &mut self.noise {
             dur = dur.scale(noise.draw());
@@ -256,7 +250,8 @@ impl Machine {
         self.trace.record(begin, "offload", || {
             format!("cg{cg} token{token} dur {dur} -> {end}")
         });
-        self.queue.schedule_at(end, MachineEvent::KernelDone { cg, token });
+        self.queue
+            .schedule_at(end, MachineEvent::KernelDone { cg, token });
         end
     }
 
@@ -315,7 +310,10 @@ mod tests {
         assert_eq!(m.cg(0).cpe_busy_total(), SimDur(150));
         assert_eq!(m.cg(0).cpe_busy_until(), SimTime(100));
         let (t1, ev1) = m.pop().unwrap();
-        assert_eq!((t1, ev1), (SimTime(60), MachineEvent::KernelDone { cg: 0, token: 2 }));
+        assert_eq!(
+            (t1, ev1),
+            (SimTime(60), MachineEvent::KernelDone { cg: 0, token: 2 })
+        );
         let (t2, _) = m.pop().unwrap();
         assert_eq!(t2, SimTime(100));
     }

@@ -221,7 +221,10 @@ mod tests {
         assert_eq!(t.since(t2), SimDur::ZERO, "saturating");
         assert_eq!(SimDur::from_us(4.0) / 2, SimDur::from_us(2.0));
         assert_eq!(SimDur::from_us(4.0) * 3, SimDur::from_us(12.0));
-        assert_eq!(SimDur::from_us(4.0) - SimDur::from_us(1.0), SimDur::from_us(3.0));
+        assert_eq!(
+            SimDur::from_us(4.0) - SimDur::from_us(1.0),
+            SimDur::from_us(3.0)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn main() {
     let level = Level::new(iv(16, 16, 16), iv(2, 2, 2));
     let steps = 20;
     println!("heat3d, 32^3 cells on 8 patches / 4 CGs, {steps} steps\n");
-    println!("{:<16} {:>14} {:>12} {:>12}", "variant", "t/step", "Gflop/s", "Linf err");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12}",
+        "variant", "t/step", "Gflop/s", "Linf err"
+    );
     for variant in Variant::TABLE_IV {
         let app = Arc::new(HeatApp::new(&level, 0.05));
         let alpha = app.alpha;

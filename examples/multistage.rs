@@ -43,10 +43,23 @@ fn main() {
             linf = linf.max((var.get(c) - heat_exact(alpha, x, y, z, t)).abs());
         }
     }
-    println!("split-heat3d: 3 dependent tasks/patch/step, {} patches, {steps} steps", level.n_patches());
-    println!("  kernels executed  : {} (3 per patch per step)", report.kernels);
-    println!("  ghost messages    : {} (one exchange per stage)", report.messages);
-    println!("  virtual wall time : {} ({} / step)", report.total_time, report.time_per_step());
+    println!(
+        "split-heat3d: 3 dependent tasks/patch/step, {} patches, {steps} steps",
+        level.n_patches()
+    );
+    println!(
+        "  kernels executed  : {} (3 per patch per step)",
+        report.kernels
+    );
+    println!(
+        "  ghost messages    : {} (one exchange per stage)",
+        report.messages
+    );
+    println!(
+        "  virtual wall time : {} ({} / step)",
+        report.total_time,
+        report.time_per_step()
+    );
     println!("  Linf error vs heat: {linf:.3e}");
     assert_eq!(report.kernels, 3 * 8 * steps as u64);
     assert!(linf < 2e-3);

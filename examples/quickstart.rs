@@ -26,9 +26,23 @@ fn main() {
         let err = solution_error(&sim, &app);
 
         println!("grid {n}^3  ({} patches on 4 CGs)", sim.level().n_patches());
-        println!("  virtual wall time : {} ({} / step)", report.total_time, report.time_per_step());
-        println!("  flops             : {} ({:.1} Gflop/s virtual)", report.flops.total(), report.gflops());
-        println!("  messages          : {} ({} B)", report.messages, report.net_bytes);
-        println!("  error vs exact    : Linf {:.3e}  L2 {:.3e}", err.linf, err.l2);
+        println!(
+            "  virtual wall time : {} ({} / step)",
+            report.total_time,
+            report.time_per_step()
+        );
+        println!(
+            "  flops             : {} ({:.1} Gflop/s virtual)",
+            report.flops.total(),
+            report.gflops()
+        );
+        println!(
+            "  messages          : {} ({} B)",
+            report.messages, report.net_bytes
+        );
+        println!(
+            "  error vs exact    : Linf {:.3e}  L2 {:.3e}",
+            err.linf, err.l2
+        );
     }
 }

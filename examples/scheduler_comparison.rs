@@ -40,8 +40,7 @@ fn main() {
             format!("{}", r.time_per_step()),
             r.gflops(),
             r.boost_over(&host),
-            100.0 * r.mpe_busy.as_secs_f64()
-                / (r.total_time.as_secs_f64() * n_ranks as f64),
+            100.0 * r.mpe_busy.as_secs_f64() / (r.total_time.as_secs_f64() * n_ranks as f64),
         );
         reports.push(r);
     }

@@ -44,7 +44,10 @@ fn main() {
     }
 
     println!("\nSmaller scratchpads force smaller tiles (more ghost overhead):\n");
-    println!("{:>10} {:>12} {:>10} {:>14}", "LDM", "tile", "use", "ghost overhead");
+    println!(
+        "{:>10} {:>12} {:>10} {:>14}",
+        "LDM", "tile", "use", "ghost overhead"
+    );
     for kb in [64, 32, 16, 8] {
         let tile = choose_tile_shape((64, 64, 512), &fp, kb * 1024, cpes).expect("tile fits");
         let interior = cells(tile);

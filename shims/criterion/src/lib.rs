@@ -1,0 +1,235 @@
+//! Wall-clock micro-benchmark harness (offline stand-in for `criterion`;
+//! see `shims/README.md`).
+//!
+//! Supports the subset used by this workspace's `benches/`: `Criterion`,
+//! `benchmark_group` (with `throughput` and `sample_size`),
+//! `bench_function`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is warmed up, then timed over a
+//! fixed measurement window; the mean time per iteration (and derived
+//! throughput) is printed to stdout. No statistics beyond the mean, no HTML
+//! reports, no baseline comparison — the numbers are honest wall-clock
+//! means on whatever machine runs them.
+//!
+//! Environment knobs: `CRITERION_WARMUP_MS` (default 150) and
+//! `CRITERION_MEASURE_MS` (default 500) bound each benchmark's runtime.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark context handed to `b.iter(..)` closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`: warm up, pick an iteration count targeting the measurement
+    /// window, then report the mean over that window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters == 0 || start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = ((self.measure.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let t0 = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let total = t0.elapsed();
+        self.iters = target;
+        self.mean_ns = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 150),
+            measure: env_ms("CRITERION_MEASURE_MS", 500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.warmup, self.measure, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let (warmup, measure) = (self.warmup, self.measure);
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            warmup,
+            measure,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warmup,
+        measure,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut line = format!(
+        "{name:<40} time: {:>12}/iter ({} iters)",
+        fmt_time(b.mean_ns),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.1} Melem/s", n as f64 / b.mean_ns * 1e3),
+            Throughput::Bytes(n) => format!("{:.1} MB/s", n as f64 / b.mean_ns * 1e3),
+        };
+        line.push_str(&format!("  thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion API compatibility; the shim sizes iteration
+    /// counts from the measurement window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink/grow the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.throughput, self.warmup, self.measure, f);
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(12.0).contains("ns"));
+        assert!(fmt_time(12_000.0).contains("µs"));
+        assert!(fmt_time(12_000_000.0).contains("ms"));
+        assert!(fmt_time(2e9).contains(" s"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Marker-trait stand-in for `serde` (offline; see `shims/README.md`).
+//!
+//! Exposes `Serialize`/`Deserialize` as both traits (type namespace) and
+//! derive macros (macro namespace), exactly like the real crate, so
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{..}` compile
+//! unchanged. The traits are satisfied for every type by blanket impls;
+//! no serialization machinery exists because nothing in-tree uses it —
+//! JSON artifacts (e.g. `results/BENCH_functional.json`) are rendered by
+//! hand.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for "this type opts into serialization" (no-op in the shim).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "this type opts into deserialization" (no-op in the shim).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derives (offline stand-in for
+//! `serde_derive`; see `shims/README.md`).
+//!
+//! The workspace derives these traits on model-parameter structs so that a
+//! real serde can be swapped in later; nothing in-tree calls serialization
+//! methods, so emitting no impl body keeps every type compiling while the
+//! marker traits in the `serde` shim are satisfied by blanket impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input item (and any `#[serde(...)]` attributes) and emits
+/// nothing; the `serde` shim's blanket impl provides the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input item (and any `#[serde(...)]` attributes) and emits
+/// nothing; the `serde` shim's blanket impl provides the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

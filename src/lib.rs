@@ -13,7 +13,6 @@
 //! * [`burgers`] — the 3-D Burgers model fluid-flow problem,
 //! * [`apps`] — further applications (heat diffusion, linear advection).
 
-
 #![warn(missing_docs)]
 pub use apps;
 pub use burgers;

@@ -103,12 +103,17 @@ fn all_offload_variants_produce_bit_identical_solutions() {
 
 #[test]
 fn model_and_functional_runs_have_identical_virtual_times() {
-    for variant in [Variant::HOST_SYNC, Variant::ACC_SYNC, Variant::ACC_SIMD_ASYNC] {
+    for variant in [
+        Variant::HOST_SYNC,
+        Variant::ACC_SYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ] {
         for n_ranks in [1, 4] {
             let (f, _) = run(variant, ExecMode::Functional, n_ranks, 4);
             let (m, _) = run(variant, ExecMode::Model, n_ranks, 4);
             assert_eq!(
-                f.step_end, m.step_end,
+                f.step_end,
+                m.step_end,
                 "{} on {n_ranks}: cost model must not depend on data",
                 variant.name()
             );

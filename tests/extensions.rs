@@ -6,9 +6,7 @@ use std::sync::Arc;
 use burgers::BurgersApp;
 use sw_math::ExpKind;
 use uintah_core::grid::iv;
-use uintah_core::{
-    ExecMode, Level, RunConfig, RunReport, SchedulerOptions, Simulation, Variant,
-};
+use uintah_core::{ExecMode, Level, RunConfig, RunReport, SchedulerOptions, Simulation, Variant};
 
 fn run_with(options: SchedulerOptions, exec: ExecMode, n_ranks: usize) -> (RunReport, Simulation) {
     let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
@@ -137,6 +135,7 @@ fn model_and_functional_agree_with_extensions_on() {
         cpe_groups: 2,
         double_buffer: true,
         packed_tiles: true,
+        ..Default::default()
     };
     let (f, _) = run_with(options, ExecMode::Functional, 4);
     let (m, _) = run_with(options, ExecMode::Model, 4);

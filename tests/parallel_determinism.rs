@@ -1,0 +1,77 @@
+//! The CPE worker pool is invisible to the runtime: every scheduler variant
+//! produces bit-identical solutions and reports whether functional tiles run
+//! serially or on the pool.
+//!
+//! This is the whole-stack counterpart of the executor-level property test
+//! in `crates/sw-athread/tests/props.rs`: here the policy is threaded
+//! through `SchedulerOptions::exec_policy` and exercised by real schedulers
+//! (MPE-only, synchronous, asynchronous offload) over multiple ranks.
+
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, ExecPolicy, Level, RunConfig, RunReport, Simulation, Variant};
+
+fn small_level() -> Level {
+    Level::new(iv(8, 8, 8), iv(2, 2, 2))
+}
+
+fn run_with_policy(
+    variant: Variant,
+    n_ranks: usize,
+    policy: ExecPolicy,
+) -> (RunReport, Simulation) {
+    let level = small_level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Functional, n_ranks);
+    cfg.steps = 4;
+    cfg.options.exec_policy = policy;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    (report, sim)
+}
+
+fn assert_same_solution(a: &Simulation, b: &Simulation, what: &str) {
+    let level = small_level();
+    for p in 0..level.n_patches() {
+        let sa = a.solution(p);
+        let sb = b.solution(p);
+        for c in level.patch(p).region.iter() {
+            assert_eq!(
+                sa.get(c).to_bits(),
+                sb.get(c).to_bits(),
+                "{what}: differs at {c} of patch {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_execution_is_bit_identical_for_all_variants_and_rank_counts() {
+    for variant in Variant::TABLE_IV {
+        for n_ranks in [1, 2, 4] {
+            let (rs, ss) = run_with_policy(variant, n_ranks, ExecPolicy::Serial);
+            for threads in [2usize, 4, 8] {
+                let (rp, sp) = run_with_policy(variant, n_ranks, ExecPolicy::Parallel { threads });
+                let what = format!("{} on {n_ranks} ranks, {threads} threads", variant.name());
+                assert_same_solution(&ss, &sp, &what);
+                // Virtual time and accounting must not see the host pool.
+                assert_eq!(rs.step_end, rp.step_end, "{what}: virtual times differ");
+                assert_eq!(rs.flops.total(), rp.flops.total(), "{what}: flops differ");
+                assert_eq!(rs.messages, rp.messages, "{what}: message counts differ");
+                assert_eq!(rs.events, rp.events, "{what}: event counts differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_policy_matches_serial() {
+    let (rs, ss) = run_with_policy(Variant::ACC_SIMD_ASYNC, 4, ExecPolicy::Serial);
+    let (rp, sp) = run_with_policy(Variant::ACC_SIMD_ASYNC, 4, ExecPolicy::AUTO);
+    assert_same_solution(&ss, &sp, "acc_simd.async on 4 ranks, auto threads");
+    assert_eq!(rs.step_end, rp.step_end);
+    assert_eq!(rs.flops.total(), rp.flops.total());
+}

@@ -24,7 +24,10 @@ fn build(
     steps: u32,
     options: SchedulerOptions,
 ) -> Simulation {
-    let level = Level::new(iv(patch.0, patch.1, patch.2), iv(layout.0, layout.1, layout.2));
+    let level = Level::new(
+        iv(patch.0, patch.1, patch.2),
+        iv(layout.0, layout.1, layout.2),
+    );
     let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
     let mut cfg = RunConfig::paper(variant, exec, n_ranks);
     cfg.steps = steps;

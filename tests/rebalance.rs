@@ -7,9 +7,7 @@ use std::sync::Arc;
 use burgers::{solution_error, BurgersApp};
 use sw_math::ExpKind;
 use uintah_core::grid::iv;
-use uintah_core::{
-    ExecMode, Level, RunConfig, RunReport, Simulation, Variant,
-};
+use uintah_core::{ExecMode, Level, RunConfig, RunReport, Simulation, Variant};
 
 fn config(n_ranks: usize, exec: ExecMode) -> RunConfig {
     RunConfig::paper(Variant::ACC_SIMD_ASYNC, exec, n_ranks)
@@ -96,11 +94,7 @@ fn noise_is_deterministic_per_seed_and_best_of_repeats_helps() {
 
     let (clean, _) = run(config(4, ExecMode::Model), (16, 16, 512));
     let runs: Vec<RunReport> = (1..=5).map(noisy).collect();
-    let best = runs
-        .iter()
-        .map(|r| r.total_time)
-        .min()
-        .unwrap();
+    let best = runs.iter().map(|r| r.total_time).min().unwrap();
     let worst = runs.iter().map(|r| r.total_time).max().unwrap();
     assert!(best < worst, "noise must spread the runs");
     assert!(best >= clean.total_time, "noise never speeds things up");
