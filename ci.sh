@@ -29,5 +29,22 @@ cargo test -q
 step "cargo test --workspace"
 cargo test -q --workspace
 
+if [[ "${1:-}" != "quick" ]]; then
+  step "static schedule verification (repro analyze)"
+  # Exits non-zero on any error-severity finding; writes results/ANALYZE.json.
+  cargo run --release -p bench --bin repro -- analyze
+fi
+
+# Best-effort: run the unsafe tile write-back path under miri when the
+# toolchain component is available (it needs a network fetch the first
+# time, so an offline box without it skips the stage rather than failing).
+step "cargo miri (best effort, sw-athread unsafe path)"
+if cargo miri --version >/dev/null 2>&1; then
+  MIRIFLAGS="${MIRIFLAGS:-}" cargo miri test -p sw-athread --lib exec:: \
+    || { echo "ci.sh: miri FAILED"; exit 1; }
+else
+  echo "cargo-miri not installed; skipping (rustup component add miri)"
+fi
+
 echo
 echo "ci.sh: all green"

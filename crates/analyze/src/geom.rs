@@ -1,0 +1,110 @@
+//! Integer cell boxes — the analyzer's region arithmetic.
+//!
+//! The runtime's own `Region` type lives above this crate (in
+//! `uintah-core`), so the analyzer carries its own minimal half-open box.
+//! Bridges convert losslessly in both directions.
+
+use std::fmt;
+
+/// A half-open box of cells: `lo <= c < hi` component-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Box3 {
+    /// Inclusive low corner.
+    pub lo: [i64; 3],
+    /// Exclusive high corner.
+    pub hi: [i64; 3],
+}
+
+impl Box3 {
+    /// Build from corners (an inverted axis yields an empty box).
+    pub fn new(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+        Box3 { lo, hi }
+    }
+
+    /// Number of cells inside (0 for inverted/empty boxes).
+    pub fn cells(&self) -> u64 {
+        let mut n = 1u64;
+        for a in 0..3 {
+            if self.hi[a] <= self.lo[a] {
+                return 0;
+            }
+            n *= (self.hi[a] - self.lo[a]) as u64;
+        }
+        n
+    }
+
+    /// Whether no cells are inside.
+    pub fn is_empty(&self) -> bool {
+        self.cells() == 0
+    }
+
+    /// Component-wise intersection (possibly empty).
+    pub fn intersect(&self, o: &Box3) -> Box3 {
+        let mut lo = [0i64; 3];
+        let mut hi = [0i64; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].max(o.lo[a]);
+            hi[a] = self.hi[a].min(o.hi[a]);
+        }
+        Box3 { lo, hi }
+    }
+
+    /// Whether the two boxes share at least one cell.
+    pub fn overlaps(&self, o: &Box3) -> bool {
+        !self.intersect(o).is_empty()
+    }
+
+    /// The box shifted by `d` cells per axis.
+    pub fn translated(&self, d: [i64; 3]) -> Box3 {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for a in 0..3 {
+            lo[a] += d[a];
+            hi[a] += d[a];
+        }
+        Box3 { lo, hi }
+    }
+}
+
+impl fmt::Display for Box3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{},{})x[{},{})x[{},{})",
+            self.lo[0], self.hi[0], self.lo[1], self.hi[1], self.lo[2], self.hi[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_and_empty() {
+        let b = Box3::new([0, 0, 0], [2, 3, 4]);
+        assert_eq!(b.cells(), 24);
+        assert!(!b.is_empty());
+        assert!(Box3::new([0, 0, 0], [0, 3, 4]).is_empty());
+        // Inverted axes count as empty, not negative.
+        assert!(Box3::new([5, 0, 0], [0, 3, 4]).is_empty());
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Box3::new([0, 0, 0], [4, 4, 4]);
+        let b = Box3::new([2, 2, 2], [6, 6, 6]);
+        assert_eq!(a.intersect(&b), Box3::new([2, 2, 2], [4, 4, 4]));
+        assert!(a.overlaps(&b));
+        // Face-adjacent boxes (half-open) do not overlap.
+        let c = Box3::new([4, 0, 0], [8, 4, 4]);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn translate_and_display() {
+        let a = Box3::new([0, 0, 0], [1, 1, 1]).translated([2, -1, 0]);
+        assert_eq!(a, Box3::new([2, -1, 0], [3, 0, 1]));
+        assert_eq!(a.to_string(), "[2,3)x[-1,0)x[0,1)");
+    }
+}

@@ -1,0 +1,285 @@
+//! The hazard scan: find conflicting access pairs the schedule leaves
+//! unordered.
+//!
+//! Two accesses conflict when they touch the same variable, overlap in
+//! cells, and at least one writes. A conflicting pair is a hazard unless the
+//! happens-before relation orders the two tasks one way or the other. All
+//! hazards are errors — even when the machine would serialize the pair by
+//! accident (same-rank MPE tasks in a serial variant), an unordered conflict
+//! means the result depends on emission order, which the task graph is
+//! supposed to make irrelevant. The `concurrent` detail records whether the
+//! pair could additionally overlap in wall time under the given variant.
+
+use crate::hb::Order;
+use crate::model::{AccessKind, Schedule, TaskId, VarRef};
+use crate::report::{Finding, FindingKind, Severity};
+
+/// Cap on race findings so one systemic mistake (e.g. every prep unordered
+/// with every kernel) doesn't bury the report.
+const MAX_RACE_FINDINGS: usize = 25;
+
+/// Scan all conflicting access pairs; append findings for unordered ones.
+/// Returns the number of conflicting pairs examined.
+pub fn scan(s: &Schedule, order: &Order, findings: &mut Vec<Finding>) -> u64 {
+    // Group accesses by variable: hazards only exist within one variable.
+    let mut by_var: Vec<(VarRef, TaskId, usize)> = Vec::new();
+    for t in &s.tasks {
+        for (i, a) in t.accesses.iter().enumerate() {
+            by_var.push((a.var, t.id, i));
+        }
+    }
+    by_var.sort_unstable_by_key(|&(v, t, i)| (v, t, i));
+
+    let mut pairs = 0u64;
+    let mut races = 0usize;
+    let mut group = 0;
+    while group < by_var.len() {
+        let var = by_var[group].0;
+        let end = by_var[group..]
+            .iter()
+            .position(|&(v, _, _)| v != var)
+            .map_or(by_var.len(), |p| group + p);
+        let accs = &by_var[group..end];
+        for (i, &(_, ta, ia)) in accs.iter().enumerate() {
+            let a = &s.tasks[ta].accesses[ia];
+            for &(_, tb, ib) in &accs[i + 1..] {
+                if ta == tb {
+                    // A task is internally sequential; self-pairs are fine.
+                    continue;
+                }
+                let b = &s.tasks[tb].accesses[ib];
+                if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                    continue;
+                }
+                if !a.region.overlaps(&b.region) {
+                    continue;
+                }
+                pairs += 1;
+                if order.ordered(ta, tb) {
+                    continue;
+                }
+                races += 1;
+                if races > MAX_RACE_FINDINGS {
+                    continue;
+                }
+                let kind = if a.kind == AccessKind::Write && b.kind == AccessKind::Write {
+                    FindingKind::WriteWriteRace
+                } else {
+                    FindingKind::ReadWriteRace
+                };
+                let overlap = a.region.intersect(&b.region);
+                let na = &s.tasks[ta].label;
+                let nb = &s.tasks[tb].label;
+                findings.push(
+                    Finding::new(
+                        kind,
+                        Severity::Error,
+                        format!(
+                            "unordered {}/{} on patch {} label {}: {na} touches {} \
+                             and {nb} touches {}, overlapping in {} ({} cells)",
+                            kind_str(a.kind),
+                            kind_str(b.kind),
+                            var.patch,
+                            var.label,
+                            a.region,
+                            b.region,
+                            overlap,
+                            overlap.cells(),
+                        ),
+                    )
+                    .task(na)
+                    .task(nb)
+                    .extra("patch", var.patch.to_string())
+                    .extra("label", var.label.to_string())
+                    .extra("overlap", overlap.to_string())
+                    .extra("concurrent", may_overlap_in_time(s, ta, tb).to_string()),
+                );
+            }
+        }
+        group = end;
+    }
+    if races > MAX_RACE_FINDINGS {
+        findings.push(
+            Finding::new(
+                FindingKind::WriteWriteRace,
+                Severity::Error,
+                format!(
+                    "... and {} more unordered conflicting pairs (capped at {})",
+                    races - MAX_RACE_FINDINGS,
+                    MAX_RACE_FINDINGS
+                ),
+            )
+            .extra("suppressed", (races - MAX_RACE_FINDINGS).to_string()),
+        );
+    }
+    pairs
+}
+
+fn kind_str(k: AccessKind) -> &'static str {
+    match k {
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+    }
+}
+
+/// Whether two unordered tasks could also overlap in wall time under the
+/// schedule's execution model (diagnostic detail only; unordered conflicts
+/// are errors regardless).
+fn may_overlap_in_time(s: &Schedule, a: TaskId, b: TaskId) -> bool {
+    let (ta, tb) = (&s.tasks[a], &s.tasks[b]);
+    if ta.rank != tb.rank {
+        // Different ranks always run concurrently.
+        return true;
+    }
+    if s.rank_serial {
+        // MPE-only / synchronous variants: one thing at a time per rank.
+        return false;
+    }
+    match (ta.on_mpe, tb.on_mpe) {
+        // The MPE itself is one thread.
+        (true, true) => false,
+        // Two offloaded kernels overlap only with >1 CPE group.
+        (false, false) => s.cpe_slots > 1,
+        // MPE work overlaps an in-flight offloaded kernel: the async mode.
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Box3;
+    use crate::hb::{happens_before, HbResult};
+    use crate::model::TaskKind;
+
+    fn two_task_schedule(
+        kinds: (AccessKind, AccessKind),
+        regions: (Box3, Box3),
+        edge: bool,
+    ) -> (Schedule, Vec<Finding>, u64) {
+        let mut s = Schedule::new("t", "v");
+        let a = s.add_task(TaskKind::Kernel, "A", 0, false);
+        let b = s.add_task(TaskKind::Kernel, "B", 0, false);
+        let var = VarRef { patch: 0, label: 1 };
+        s.access(a, var, regions.0, kinds.0);
+        s.access(b, var, regions.1, kinds.1);
+        if edge {
+            s.add_edge(a, b);
+        }
+        let order = match happens_before(s.tasks.len(), &s.edges) {
+            HbResult::Dag(o) => o,
+            HbResult::Cycle(_) => unreachable!(),
+        };
+        let mut f = Vec::new();
+        let pairs = scan(&s, &order, &mut f);
+        (s, f, pairs)
+    }
+
+    fn b(lo: i64, hi: i64) -> Box3 {
+        Box3::new([lo, 0, 0], [hi, 4, 4])
+    }
+
+    #[test]
+    fn unordered_overlapping_writes_race() {
+        let (_, f, pairs) = two_task_schedule(
+            (AccessKind::Write, AccessKind::Write),
+            (b(0, 4), b(2, 6)),
+            false,
+        );
+        assert_eq!(pairs, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::WriteWriteRace);
+        assert!(f[0].tasks.contains(&"A".to_string()));
+        assert!(f[0].message.contains("[2,4)"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn edge_orders_the_pair() {
+        let (_, f, pairs) = two_task_schedule(
+            (AccessKind::Write, AccessKind::Write),
+            (b(0, 4), b(2, 6)),
+            true,
+        );
+        assert_eq!(pairs, 1);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn read_read_never_conflicts() {
+        let (_, f, pairs) = two_task_schedule(
+            (AccessKind::Read, AccessKind::Read),
+            (b(0, 4), b(2, 6)),
+            false,
+        );
+        assert_eq!(pairs, 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn disjoint_regions_never_conflict() {
+        let (_, f, pairs) = two_task_schedule(
+            (AccessKind::Write, AccessKind::Write),
+            (b(0, 4), b(4, 8)),
+            false,
+        );
+        assert_eq!(pairs, 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn read_write_is_flagged() {
+        let (_, f, _) = two_task_schedule(
+            (AccessKind::Read, AccessKind::Write),
+            (b(0, 4), b(0, 4)),
+            false,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::ReadWriteRace);
+    }
+
+    #[test]
+    fn different_labels_never_conflict() {
+        let mut s = Schedule::new("t", "v");
+        let a = s.add_task(TaskKind::Kernel, "A", 0, false);
+        let bb = s.add_task(TaskKind::Kernel, "B", 0, false);
+        s.access(a, VarRef { patch: 0, label: 0 }, b(0, 4), AccessKind::Write);
+        s.access(
+            bb,
+            VarRef { patch: 0, label: 1 },
+            b(0, 4),
+            AccessKind::Write,
+        );
+        let order = match happens_before(2, &s.edges) {
+            HbResult::Dag(o) => o,
+            HbResult::Cycle(_) => unreachable!(),
+        };
+        let mut f = Vec::new();
+        assert_eq!(scan(&s, &order, &mut f), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn concurrency_detail_reflects_variant() {
+        let mut s = Schedule::new("t", "v");
+        s.rank_serial = false;
+        s.cpe_slots = 1;
+        let a = s.add_task(TaskKind::Prep, "A", 0, true);
+        let k = s.add_task(TaskKind::Kernel, "B", 0, false);
+        let var = VarRef { patch: 0, label: 1 };
+        s.access(a, var, b(0, 4), AccessKind::Write);
+        s.access(k, var, b(0, 4), AccessKind::Write);
+        let order = match happens_before(2, &s.edges) {
+            HbResult::Dag(o) => o,
+            HbResult::Cycle(_) => unreachable!(),
+        };
+        let mut f = Vec::new();
+        scan(&s, &order, &mut f);
+        let conc = f[0]
+            .extra
+            .iter()
+            .find(|(k, _)| k == "concurrent")
+            .map(|(_, v)| v.clone());
+        // MPE prep vs in-flight CPE kernel: genuinely concurrent.
+        assert_eq!(conc.as_deref(), Some("true"));
+    }
+}

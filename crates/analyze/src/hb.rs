@@ -1,0 +1,229 @@
+//! The happens-before relation: topological order, cycle extraction, and a
+//! bitset reachability closure for `O(1)` ordered-pair queries.
+//!
+//! The analyzer needs two things from the edge set: (1) proof the graph is
+//! acyclic (a cycle is a deadlock — some task transitively waits on
+//! itself), and (2) fast `reaches(a, b)` queries for the hazard scan, which
+//! asks "is this conflicting pair ordered?" for every overlapping access
+//! pair. A dense bitset closure computed in reverse topological order makes
+//! each query one bit test; at the model's scale (thousands of tasks) the
+//! closure is a few hundred KB and milliseconds to build.
+
+use crate::model::TaskId;
+
+/// Result of building the happens-before relation.
+pub enum HbResult {
+    /// The graph is a DAG; `Order` answers reachability queries.
+    Dag(Order),
+    /// A dependency cycle: task ids along the cycle, in order, first == a
+    /// task that transitively waits on itself.
+    Cycle(Vec<TaskId>),
+}
+
+/// Transitive-closure reachability over a DAG.
+pub struct Order {
+    n: usize,
+    words: usize,
+    /// `reach[v]` = bitset of tasks reachable from `v` (excluding `v`).
+    reach: Vec<u64>,
+}
+
+impl Order {
+    /// Whether `a` happens before `b` (a path `a -> ... -> b` exists).
+    #[inline]
+    pub fn reaches(&self, a: TaskId, b: TaskId) -> bool {
+        debug_assert!(a < self.n && b < self.n);
+        self.reach[a * self.words + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// Whether the pair is ordered either way.
+    #[inline]
+    pub fn ordered(&self, a: TaskId, b: TaskId) -> bool {
+        self.reaches(a, b) || self.reaches(b, a)
+    }
+}
+
+/// Build the happens-before relation for `n` tasks over `edges`.
+///
+/// Runs Kahn's algorithm; on success computes the closure in reverse
+/// topological order (`reach[v] = U over successors s of {s} U reach[s]`),
+/// on failure extracts one concrete cycle by walking unresolved edges.
+pub fn happens_before(n: usize, edges: &[(TaskId, TaskId)]) -> HbResult {
+    // Adjacency (successors) + indegrees.
+    let mut succ: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in edges {
+        debug_assert!(a < n && b < n, "edge ({a},{b}) out of range {n}");
+        succ[a].push(b);
+        indeg[b] += 1;
+    }
+
+    // Kahn's algorithm.
+    let mut topo = Vec::with_capacity(n);
+    let mut queue: Vec<TaskId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    while let Some(v) = queue.pop() {
+        topo.push(v);
+        for &s in &succ[v] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+
+    if topo.len() < n {
+        return HbResult::Cycle(extract_cycle(n, &succ, &indeg));
+    }
+
+    // Closure in reverse topo order: successors are finished first.
+    let words = n.div_ceil(64).max(1);
+    let mut reach = vec![0u64; n * words];
+    for &v in topo.iter().rev() {
+        // Collect v's row by OR-ing each successor's bit and row. Split the
+        // borrow: successor rows are disjoint from v's row (DAG, v != s).
+        for &s in &succ[v] {
+            debug_assert_ne!(v, s, "self-loop should have been caught as a cycle");
+            let (lo, hi) = if v < s { (v, s) } else { (s, v) };
+            let (head, tail) = reach.split_at_mut(hi * words);
+            let (row_lo, row_hi) = (
+                &mut head[lo * words..lo * words + words],
+                &mut tail[..words],
+            );
+            let (vrow, srow) = if v < s {
+                (row_lo, row_hi)
+            } else {
+                (row_hi, row_lo)
+            };
+            for w in 0..words {
+                vrow[w] |= srow[w];
+            }
+            vrow[s / 64] |= 1u64 << (s % 64);
+        }
+    }
+
+    HbResult::Dag(Order { n, words, reach })
+}
+
+/// With Kahn stalled, the unresolved nodes (`indeg > 0`) are the cycles
+/// plus everything reachable only through them. Walk *predecessors*
+/// restricted to unresolved nodes until one repeats, then return the loop
+/// portion in forward (edge) order.
+///
+/// Predecessors, not successors: an unresolved node strictly downstream of
+/// a cycle can have every successor resolved (a sink fed by a cycle member,
+/// say), so a successor walk gets stuck. A predecessor walk never does —
+/// an unresolved node's residual indegree counts exactly its edges from
+/// never-popped (unresolved) sources, so one always exists.
+fn extract_cycle(n: usize, succ: &[Vec<TaskId>], indeg: &[usize]) -> Vec<TaskId> {
+    let mut pred = vec![usize::MAX; n];
+    for (u, ss) in succ.iter().enumerate() {
+        if indeg[u] > 0 {
+            for &v in ss {
+                if indeg[v] > 0 && pred[v] == usize::MAX {
+                    pred[v] = u; // any one unresolved predecessor suffices
+                }
+            }
+        }
+    }
+    let start = (0..n).find(|&v| indeg[v] > 0).expect("a cycle exists");
+    let mut seen_at = vec![usize::MAX; n];
+    let mut path = Vec::new();
+    let mut v = start;
+    loop {
+        if seen_at[v] != usize::MAX {
+            let mut cyc = path.split_off(seen_at[v]);
+            cyc.reverse(); // the walk ran backwards along edges
+            return cyc;
+        }
+        seen_at[v] = path.len();
+        path.push(v);
+        v = pred[v];
+        assert!(
+            v != usize::MAX,
+            "unresolved node has an unresolved predecessor"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dag(n: usize, edges: &[(usize, usize)]) -> Order {
+        match happens_before(n, edges) {
+            HbResult::Dag(o) => o,
+            HbResult::Cycle(c) => panic!("unexpected cycle {c:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_is_transitively_ordered() {
+        let o = dag(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(o.reaches(0, 3));
+        assert!(o.reaches(1, 3));
+        assert!(!o.reaches(3, 0));
+        assert!(o.ordered(0, 3) && o.ordered(3, 0));
+    }
+
+    #[test]
+    fn diamond_and_unordered_siblings() {
+        let o = dag(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(o.reaches(0, 3));
+        assert!(!o.ordered(1, 2), "siblings are unordered");
+    }
+
+    #[test]
+    fn duplicate_edges_are_harmless() {
+        let o = dag(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert!(o.reaches(0, 1));
+    }
+
+    #[test]
+    fn cycle_detected_with_path() {
+        match happens_before(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]) {
+            HbResult::Cycle(c) => {
+                assert_eq!(c.len(), 2);
+                assert!(c.contains(&1) && c.contains(&2), "{c:?}");
+            }
+            HbResult::Dag(_) => panic!("cycle missed"),
+        }
+    }
+
+    #[test]
+    fn cycle_with_unresolved_sink_downstream() {
+        // Node 3 is a sink fed by cycle member 1: it stays unresolved
+        // (indeg > 0) but has no unresolved successor, which trapped the
+        // old successor-walking extraction. Node 0 feeds the cycle from
+        // outside and resolves, so the walk must also skip resolved
+        // predecessors.
+        match happens_before(4, &[(0, 1), (1, 2), (2, 1), (1, 3)]) {
+            HbResult::Cycle(c) => {
+                assert_eq!(c.len(), 2, "{c:?}");
+                assert!(c.contains(&1) && c.contains(&2), "{c:?}");
+                // Forward order: consecutive elements are edges.
+                let i1 = c.iter().position(|&v| v == 1).unwrap();
+                assert_eq!(c[(i1 + 1) % c.len()], 2, "{c:?}");
+            }
+            HbResult::Dag(_) => panic!("cycle missed"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        match happens_before(2, &[(0, 0)]) {
+            HbResult::Cycle(c) => assert_eq!(c, vec![0]),
+            HbResult::Dag(_) => panic!("self-loop missed"),
+        }
+    }
+
+    #[test]
+    fn large_chain_crosses_word_boundaries() {
+        let n = 200;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let o = dag(n, &edges);
+        assert!(o.reaches(0, n - 1));
+        assert!(o.reaches(63, 64));
+        assert!(o.reaches(0, 128));
+        assert!(!o.reaches(128, 0));
+    }
+}

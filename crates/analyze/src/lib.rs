@@ -1,0 +1,276 @@
+//! `sw-analyze`: static schedule verification for the Sunway Uintah port.
+//!
+//! Uintah's task-graph compilation is supposed to guarantee, by
+//! construction, that the schedule's dependency edges order every
+//! conflicting pair of data-warehouse accesses, that every ghost recv has a
+//! matching send, that the graph is acyclic, and that every offloaded tile
+//! plan partitions its patch exactly within the 64 KB LDM. The runtime so
+//! far only *probed* these properties (the executor's `is_exact_partition`
+//! check, `LdmOverflow` mid-run). This crate *proves* them ahead of time:
+//!
+//! 1. ghost messages are matched send-to-recv by identity, adding the
+//!    cross-rank happens-before edges (and flagging orphans);
+//! 2. the happens-before relation is built and checked for cycles
+//!    (deadlock) with a concrete cycle path in the diagnostic;
+//! 3. every pair of overlapping same-variable accesses with at least one
+//!    write must be ordered by happens-before, else it is a race;
+//! 4. every tile plan is checked for exact partition (no gap, no overlap,
+//!    in bounds) and per-tile LDM bytes.
+//!
+//! The model ([`Schedule`]) is deliberately runtime-agnostic — plain task
+//! nodes, integer boxes, and edges — so the verifier has no opinion about
+//! *how* the schedule was produced, and tests can hand-build adversarial
+//! schedules. The bridge that compiles a `RankPlan` into a [`Schedule`]
+//! lives in `uintah-core::schedule::verify`.
+
+pub mod geom;
+pub mod hazard;
+pub mod hb;
+pub mod model;
+pub mod report;
+pub mod tiles;
+
+pub use geom::Box3;
+pub use model::{Access, AccessKind, GhostMsg, Schedule, TaskId, TaskKind, TaskNode, VarRef};
+pub use report::{AnalysisReport, Finding, FindingKind, Severity};
+pub use tiles::TilePlan;
+
+use hb::HbResult;
+
+/// Analyze a schedule: message matching, deadlock, races, tile plans.
+pub fn analyze(s: &Schedule) -> AnalysisReport {
+    let mut findings = Vec::new();
+
+    // 1. Match ghost sends to recvs by message identity; matched pairs add
+    //    cross-rank happens-before edges.
+    let mut edges = s.edges.clone();
+    match_messages(s, &mut edges, &mut findings);
+
+    // 2+3. Happens-before, then the hazard scan (skipped on a cycle: with
+    //      no valid execution order, "unordered" is not meaningful).
+    let mut pairs_checked = 0;
+    match hb::happens_before(s.tasks.len(), &edges) {
+        HbResult::Cycle(cycle) => {
+            let path: Vec<String> = cycle.iter().map(|&t| s.tasks[t].label.clone()).collect();
+            let mut f = Finding::new(
+                FindingKind::Deadlock,
+                Severity::Error,
+                format!(
+                    "dependency cycle of {} tasks: {} -> (back to start) — \
+                     every task on the cycle waits on itself",
+                    cycle.len(),
+                    path.join(" -> "),
+                ),
+            );
+            for p in &path {
+                f = f.task(p);
+            }
+            findings.push(f);
+        }
+        HbResult::Dag(order) => {
+            pairs_checked = hazard::scan(s, &order, &mut findings);
+        }
+    }
+
+    // 4. Tile plans.
+    let mut tiles_checked = 0;
+    for plan in &s.tile_plans {
+        tiles_checked += plan.n_tiles();
+        tiles::check_tile_plan(plan, &mut findings);
+    }
+
+    AnalysisReport {
+        name: s.name.clone(),
+        variant: s.variant.clone(),
+        n_tasks: s.tasks.len(),
+        n_edges: edges.len(),
+        pairs_checked,
+        tile_plans: s.tile_plans.len(),
+        tiles_checked,
+        findings,
+    }
+}
+
+/// Pair sends with recvs by [`GhostMsg`] identity, adding a happens-before
+/// edge per matched pair; unmatched recvs are errors (the rank blocks
+/// forever), unmatched sends are warnings (wasted traffic).
+fn match_messages(s: &Schedule, edges: &mut Vec<(TaskId, TaskId)>, findings: &mut Vec<Finding>) {
+    use std::collections::BTreeMap;
+    let mut sends: BTreeMap<GhostMsg, Vec<TaskId>> = BTreeMap::new();
+    for t in &s.tasks {
+        if t.kind == TaskKind::Send {
+            if let Some(m) = t.msg {
+                sends.entry(m).or_default().push(t.id);
+            }
+        }
+    }
+    let mut consumed: BTreeMap<GhostMsg, usize> = BTreeMap::new();
+    for t in &s.tasks {
+        if t.kind != TaskKind::Recv {
+            continue;
+        }
+        let Some(m) = t.msg else { continue };
+        let senders = sends.get(&m).map_or(&[][..], |v| &v[..]);
+        let taken = consumed.entry(m).or_insert(0);
+        if *taken < senders.len() {
+            edges.push((senders[*taken], t.id));
+            *taken += 1;
+        } else {
+            findings.push(
+                Finding::new(
+                    FindingKind::OrphanRecv,
+                    Severity::Error,
+                    format!(
+                        "{} waits for a message no send produces \
+                         (rank {} <- rank {}, patch {}, stage {}, window {}): \
+                         the receiving rank deadlocks",
+                        t.label, m.dst_rank, m.src_rank, m.src_patch, m.stage, m.window
+                    ),
+                )
+                .task(&t.label)
+                .extra("window", m.window.to_string()),
+            );
+        }
+    }
+    for (m, senders) in &sends {
+        let used = consumed.get(m).copied().unwrap_or(0);
+        for &tid in &senders[used..] {
+            findings.push(
+                Finding::new(
+                    FindingKind::UnconsumedSend,
+                    Severity::Warning,
+                    format!(
+                        "{} sends a message no recv consumes \
+                         (rank {} -> rank {}, patch {}, stage {}, window {})",
+                        s.tasks[tid].label, m.src_rank, m.dst_rank, m.src_patch, m.stage, m.window
+                    ),
+                )
+                .task(&s.tasks[tid].label),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(lo: i64, hi: i64) -> Box3 {
+        Box3::new([lo, 0, 0], [hi, 4, 4])
+    }
+
+    /// Two ranks, one message: send on rank 0, recv + kernel on rank 1.
+    fn cross_rank_schedule(with_send: bool) -> Schedule {
+        let mut s = Schedule::new("xrank", "test");
+        let msg = GhostMsg {
+            src_rank: 0,
+            dst_rank: 1,
+            src_patch: 0,
+            stage: 0,
+            window: boxed(4, 5),
+        };
+        if with_send {
+            let snd = s.add_task(TaskKind::Send, "send(p0,s0)@r0", 0, true);
+            s.tasks[snd].msg = Some(msg);
+            s.access(
+                snd,
+                VarRef { patch: 0, label: 0 },
+                boxed(4, 5),
+                AccessKind::Read,
+            );
+        }
+        let rcv = s.add_task(TaskKind::Recv, "recv(p1,s0)@r1", 1, true);
+        s.tasks[rcv].msg = Some(msg);
+        s.access(
+            rcv,
+            VarRef { patch: 1, label: 0 },
+            boxed(4, 5),
+            AccessKind::Write,
+        );
+        let k = s.add_task(TaskKind::Kernel, "kernel(p1,s0)@r1", 1, true);
+        s.access(
+            k,
+            VarRef { patch: 1, label: 0 },
+            boxed(4, 9),
+            AccessKind::Read,
+        );
+        s.add_edge(rcv, k);
+        s
+    }
+
+    #[test]
+    fn matched_message_is_clean() {
+        let r = analyze(&cross_rank_schedule(true));
+        assert!(r.is_clean(), "{}", r.render());
+        assert!(r.findings.is_empty());
+        assert_eq!(r.pairs_checked, 1); // recv write vs kernel read
+    }
+
+    #[test]
+    fn orphan_recv_is_an_error() {
+        let r = analyze(&cross_rank_schedule(false));
+        assert!(!r.is_clean());
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::OrphanRecv
+            && f.tasks.contains(&"recv(p1,s0)@r1".to_string())));
+    }
+
+    #[test]
+    fn unconsumed_send_is_a_warning_only() {
+        let mut s = cross_rank_schedule(true);
+        // Second identical send with nobody to consume it.
+        let msg = s.tasks[0].msg.unwrap();
+        let extra = s.add_task(TaskKind::Send, "send2(p0,s0)@r0", 0, true);
+        s.tasks[extra].msg = Some(msg);
+        let r = analyze(&s);
+        assert!(r.is_clean(), "warnings don't break the bill of health");
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::UnconsumedSend));
+    }
+
+    #[test]
+    fn dropped_recv_edge_is_a_race() {
+        let mut s = cross_rank_schedule(true);
+        s.edges.clear(); // drop recv -> kernel
+        let r = analyze(&s);
+        assert!(!r.is_clean());
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::ReadWriteRace)
+            .expect("race expected");
+        assert!(f.tasks.contains(&"recv(p1,s0)@r1".to_string()), "{f:?}");
+        assert!(f.tasks.contains(&"kernel(p1,s0)@r1".to_string()));
+    }
+
+    #[test]
+    fn cycle_is_reported_with_labels() {
+        let mut s = Schedule::new("cyc", "test");
+        let a = s.add_task(TaskKind::Prep, "prep(p0)@r0", 0, true);
+        let b = s.add_task(TaskKind::Kernel, "kernel(p0)@r0", 0, true);
+        s.add_edge(a, b);
+        s.add_edge(b, a);
+        let r = analyze(&s);
+        assert!(!r.is_clean());
+        let f = &r.findings[0];
+        assert_eq!(f.kind, FindingKind::Deadlock);
+        assert!(f.message.contains("prep(p0)@r0"), "{}", f.message);
+        assert!(f.message.contains("kernel(p0)@r0"));
+    }
+
+    #[test]
+    fn tile_plans_flow_through() {
+        let mut s = Schedule::new("tp", "test");
+        s.tile_plans.push(TilePlan {
+            name: "bad".into(),
+            out_dims: (4, 4, 4),
+            ghost: 1,
+            assignment: vec![vec![]], // nothing covers the box
+            ldm_bytes: 64 * 1024,
+        });
+        let r = analyze(&s);
+        assert_eq!(r.tile_plans, 1);
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::TileGap));
+    }
+}

@@ -1,0 +1,184 @@
+//! The analyzer's schedule model: tasks, memory accesses, ordering edges,
+//! ghost messages, and tile plans.
+//!
+//! A [`Schedule`] describes one generic timestep of a compiled task plan as
+//! it executes on the machine: every unit of work that touches a
+//! data-warehouse variable is a [`TaskNode`] with explicit read/write
+//! [`Access`]es, and every ordering the scheduler *enforces* (not merely
+//! tends to produce) is an edge. The analyzer then proves that the edges
+//! order every conflicting pair of accesses — the property Uintah's
+//! task-graph compilation guarantees by construction.
+
+use crate::geom::Box3;
+use crate::tiles::TilePlan;
+
+/// Index of a task within [`Schedule::tasks`].
+pub type TaskId = usize;
+
+/// A data-warehouse variable instance: one field of one patch, resident on
+/// the patch's owner rank. `label` 0 is the old-DW solution `u`; label
+/// `1 + s` is stage `s`'s output in the new DW.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarRef {
+    /// Owning patch.
+    pub patch: usize,
+    /// Data-warehouse label.
+    pub label: usize,
+}
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The task reads the cells.
+    Read,
+    /// The task writes the cells.
+    Write,
+}
+
+/// One region access of a task.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// The variable touched.
+    pub var: VarRef,
+    /// Cells touched, global coordinates.
+    pub region: Box3,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// What kind of work a task models (used for diagnostics and targeted test
+/// mutations; the analysis itself only looks at accesses and edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Virtual source: the previous step's data being ready at step begin.
+    StepBegin,
+    /// MPE preparation of a task (same-rank ghost copies, boundary fills).
+    Prep,
+    /// The offloaded (or MPE-executed) stencil kernel.
+    Kernel,
+    /// Same-rank data-warehouse copy of a finished stage's output.
+    Copy,
+    /// Packing + posting one outgoing ghost message.
+    Send,
+    /// Receiving + unpacking one incoming ghost message.
+    Recv,
+    /// The per-step reduction contribution.
+    Reduce,
+    /// Virtual sink: data-warehouse swap at end of step.
+    StepEnd,
+}
+
+/// Identity of one ghost message; a send and a recv carrying equal keys are
+/// the two ends of the same wire transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GhostMsg {
+    /// Sending rank.
+    pub src_rank: usize,
+    /// Receiving rank.
+    pub dst_rank: usize,
+    /// Patch owning the sent data.
+    pub src_patch: usize,
+    /// Task-graph stage the message feeds.
+    pub stage: usize,
+    /// Cells carried (global coordinates — sender interior slab == receiver
+    /// ghost slab).
+    pub window: Box3,
+}
+
+/// One schedulable unit of work.
+#[derive(Clone, Debug)]
+pub struct TaskNode {
+    /// Index in [`Schedule::tasks`].
+    pub id: TaskId,
+    /// What the task models.
+    pub kind: TaskKind,
+    /// Human-readable name used in diagnostics (e.g. `kernel(p3,s0)@r1`).
+    pub label: String,
+    /// Executing rank.
+    pub rank: usize,
+    /// Whether the task runs on the rank's MPE (management processing
+    /// element); offloaded kernels run on the CPE cluster instead.
+    pub on_mpe: bool,
+    /// Memory accesses.
+    pub accesses: Vec<Access>,
+    /// Message identity for [`TaskKind::Send`]/[`TaskKind::Recv`] tasks.
+    pub msg: Option<GhostMsg>,
+}
+
+/// One generic timestep of a compiled plan, ready for analysis.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Name of the analyzed configuration (problem/app).
+    pub name: String,
+    /// Scheduler variant name (paper Table IV).
+    pub variant: String,
+    /// All tasks.
+    pub tasks: Vec<TaskNode>,
+    /// Happens-before edges `(from, to)` the scheduler enforces.
+    pub edges: Vec<(TaskId, TaskId)>,
+    /// Whether each rank executes its tasks one at a time (MPE-only and
+    /// synchronous modes: the MPE blocks or spins through kernels, so no
+    /// same-rank work ever overlaps). The asynchronous mode overlaps MPE
+    /// work with CPE kernels.
+    pub rank_serial: bool,
+    /// Concurrent kernel slots per rank (CPE groups) in asynchronous mode.
+    pub cpe_slots: usize,
+    /// Tile plans to prove (exact partition + LDM budget).
+    pub tile_plans: Vec<TilePlan>,
+}
+
+impl Schedule {
+    /// An empty schedule shell.
+    pub fn new(name: impl Into<String>, variant: impl Into<String>) -> Schedule {
+        Schedule {
+            name: name.into(),
+            variant: variant.into(),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            rank_serial: true,
+            cpe_slots: 1,
+            tile_plans: Vec::new(),
+        }
+    }
+
+    /// Append a task and return its id.
+    pub fn add_task(
+        &mut self,
+        kind: TaskKind,
+        label: impl Into<String>,
+        rank: usize,
+        on_mpe: bool,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        self.tasks.push(TaskNode {
+            id,
+            kind,
+            label: label.into(),
+            rank,
+            on_mpe,
+            accesses: Vec::new(),
+            msg: None,
+        });
+        id
+    }
+
+    /// Record an access on task `t`.
+    pub fn access(&mut self, t: TaskId, var: VarRef, region: Box3, kind: AccessKind) {
+        self.tasks[t].accesses.push(Access { var, region, kind });
+    }
+
+    /// Record a happens-before edge.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
+        debug_assert!(from < self.tasks.len() && to < self.tasks.len());
+        self.edges.push((from, to));
+    }
+
+    /// Ids of all tasks of a given kind (test/diagnostic helper).
+    pub fn tasks_of_kind(&self, kind: TaskKind) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.id)
+            .collect()
+    }
+}

@@ -1,0 +1,252 @@
+//! Static tile-plan verification: exact partition and LDM byte budget.
+//!
+//! The executor in `sw-athread` checks `is_exact_partition` at run time and
+//! reports `LdmOverflow` only when a kernel actually stages an oversized
+//! tile. This module proves both properties ahead of time for a whole plan:
+//! every cell of the output box is covered by exactly one tile, every tile
+//! stays inside the box, and every tile's staged working set fits the LDM
+//! budget — with diagnostics naming the offending tiles and byte counts.
+
+use crate::report::{Finding, FindingKind, Severity};
+use sw_athread::{InOutFootprint, LdmFootprint, TileDesc};
+
+/// Cap on findings emitted per tile plan so a badly broken plan (e.g. an
+/// empty assignment over a large patch) doesn't flood the report.
+const MAX_FINDINGS_PER_PLAN: usize = 5;
+
+/// One tile plan to verify: a CPE assignment over a patch-shaped output box.
+#[derive(Clone, Debug)]
+pub struct TilePlan {
+    /// Plan name used in diagnostics (e.g. `tiles(16x16x512,g1)`).
+    pub name: String,
+    /// Output (interior) box extent the tiles must partition exactly.
+    pub out_dims: (usize, usize, usize),
+    /// Ghost layers each tile stages around its interior.
+    pub ghost: usize,
+    /// Tiles per CPE slot, as handed to the executor.
+    pub assignment: Vec<Vec<TileDesc>>,
+    /// LDM byte budget per CPE (`usize::MAX` disables the budget check,
+    /// mirroring the executor's "no budget" mode).
+    pub ldm_bytes: usize,
+}
+
+impl TilePlan {
+    /// Total number of tiles across all CPE slots.
+    pub fn n_tiles(&self) -> usize {
+        self.assignment.iter().map(Vec::len).sum()
+    }
+}
+
+/// Verify one tile plan, appending findings.
+///
+/// Proves, in order:
+/// 1. every tile lies inside the output box ([`FindingKind::TileOutOfBounds`]);
+/// 2. no two tiles overlap ([`FindingKind::TileOverlap`]);
+/// 3. the tiles cover every cell ([`FindingKind::TileGap`]);
+/// 4. each tile's staged bytes fit the budget ([`FindingKind::LdmOverflow`]).
+pub fn check_tile_plan(plan: &TilePlan, findings: &mut Vec<Finding>) {
+    let before = findings.len();
+    let (nx, ny, nz) = plan.out_dims;
+    let n_cells = nx * ny * nz;
+
+    // Coverage map: which tile (1-based flat index) claimed each cell.
+    // u32 keeps the map compact for the paper's largest patch
+    // (128*128*512 cells = 32 MiB transient).
+    let mut owner = vec![0u32; n_cells];
+    let mut flat = 0u32;
+    'tiles: for (cpe, tiles) in plan.assignment.iter().enumerate() {
+        for t in tiles {
+            flat += 1;
+            let (ox, oy, oz) = t.origin;
+            let (dx, dy, dz) = t.dims;
+            if ox + dx > nx || oy + dy > ny || oz + dz > nz {
+                findings.push(
+                    Finding::new(
+                        FindingKind::TileOutOfBounds,
+                        Severity::Error,
+                        format!(
+                            "{}: tile origin ({ox},{oy},{oz}) dims ({dx},{dy},{dz}) \
+                             on cpe {cpe} exceeds the {nx}x{ny}x{nz} output box",
+                            plan.name
+                        ),
+                    )
+                    .extra("plan", &plan.name)
+                    .extra("cpe", cpe.to_string()),
+                );
+                if findings.len() - before >= MAX_FINDINGS_PER_PLAN {
+                    break 'tiles;
+                }
+                continue;
+            }
+            for z in oz..oz + dz {
+                for y in oy..oy + dy {
+                    for x in ox..ox + dx {
+                        let c = (z * ny + y) * nx + x;
+                        if owner[c] != 0 {
+                            findings.push(
+                                Finding::new(
+                                    FindingKind::TileOverlap,
+                                    Severity::Error,
+                                    format!(
+                                        "{}: cell ({x},{y},{z}) written by tile #{} \
+                                         and tile #{flat} (origin ({ox},{oy},{oz}), \
+                                         dims ({dx},{dy},{dz})) — writes are not disjoint",
+                                        plan.name, owner[c]
+                                    ),
+                                )
+                                .extra("plan", &plan.name)
+                                .extra("cpe", cpe.to_string()),
+                            );
+                            if findings.len() - before >= MAX_FINDINGS_PER_PLAN {
+                                break 'tiles;
+                            }
+                            // One finding per overlapping tile is enough.
+                            continue 'tiles;
+                        }
+                        owner[c] = flat;
+                    }
+                }
+            }
+        }
+    }
+
+    // Gap check only makes sense if every tile landed in-bounds without
+    // overlap; otherwise coverage is already known broken.
+    if findings.len() == before {
+        let uncovered = owner.iter().filter(|&&o| o == 0).count();
+        if uncovered > 0 {
+            // Name the first uncovered cell for the diagnostic.
+            let first = owner.iter().position(|&o| o == 0).unwrap_or(0);
+            let (fx, fy, fz) = (first % nx, (first / nx) % ny, first / (nx * ny));
+            findings.push(
+                Finding::new(
+                    FindingKind::TileGap,
+                    Severity::Error,
+                    format!(
+                        "{}: {uncovered} of {n_cells} cells uncovered by the \
+                         {} assigned tiles (first gap at ({fx},{fy},{fz})) — \
+                         the plan is not an exact partition",
+                        plan.name,
+                        plan.n_tiles()
+                    ),
+                )
+                .extra("plan", &plan.name)
+                .extra("uncovered_cells", uncovered.to_string()),
+            );
+        }
+    }
+
+    // LDM budget: the staged working set of each tile, using the same
+    // in+out model the executor's TilePool allocates.
+    if plan.ldm_bytes != usize::MAX {
+        let fp = InOutFootprint { ghost: plan.ghost };
+        let mut overflows = 0usize;
+        for (cpe, tiles) in plan.assignment.iter().enumerate() {
+            for t in tiles {
+                let bytes = fp.ldm_bytes(t.dims);
+                if bytes > plan.ldm_bytes {
+                    overflows += 1;
+                    if findings.len() - before < MAX_FINDINGS_PER_PLAN {
+                        let (dx, dy, dz) = t.dims;
+                        findings.push(
+                            Finding::new(
+                                FindingKind::LdmOverflow,
+                                Severity::Error,
+                                format!(
+                                    "{}: tile ({dx},{dy},{dz})+{}g on cpe {cpe} \
+                                     needs {bytes} B of LDM, budget is {} B \
+                                     ({} B over)",
+                                    plan.name,
+                                    plan.ghost,
+                                    plan.ldm_bytes,
+                                    bytes - plan.ldm_bytes
+                                ),
+                            )
+                            .extra("plan", &plan.name)
+                            .extra("bytes", bytes.to_string())
+                            .extra("budget", plan.ldm_bytes.to_string()),
+                        );
+                    }
+                }
+            }
+        }
+        let _ = overflows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_athread::{assign_tiles, tiles_of};
+
+    fn plan(out: (usize, usize, usize), tile: (usize, usize, usize), ldm: usize) -> TilePlan {
+        let tiles = tiles_of(out, tile);
+        TilePlan {
+            name: "test".into(),
+            out_dims: out,
+            ghost: 1,
+            assignment: assign_tiles(&tiles, 4),
+            ldm_bytes: ldm,
+        }
+    }
+
+    #[test]
+    fn clean_plan_has_no_findings() {
+        let p = plan((16, 16, 32), (16, 16, 8), 64 * 1024);
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn oversized_tile_reports_bytes() {
+        let p = plan((16, 16, 32), (16, 16, 8), 1024);
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|x| x.kind == FindingKind::LdmOverflow));
+        assert!(f[0].message.contains("B of LDM"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn missing_tile_is_a_gap() {
+        let mut p = plan((16, 16, 32), (16, 16, 8), 64 * 1024);
+        p.assignment[0].remove(0);
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::TileGap);
+        assert!(f[0].message.contains("2048 of 8192"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn duplicated_tile_is_an_overlap() {
+        let mut p = plan((16, 16, 32), (16, 16, 8), 64 * 1024);
+        let dup = p.assignment[0][0];
+        p.assignment[1].push(dup);
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert!(f.iter().any(|x| x.kind == FindingKind::TileOverlap));
+    }
+
+    #[test]
+    fn out_of_bounds_tile_detected() {
+        let mut p = plan((16, 16, 32), (16, 16, 8), 64 * 1024);
+        p.assignment[0].push(TileDesc {
+            origin: (8, 8, 28),
+            dims: (16, 16, 8),
+        });
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert!(f.iter().any(|x| x.kind == FindingKind::TileOutOfBounds));
+    }
+
+    #[test]
+    fn max_budget_disables_ldm_check() {
+        let mut p = plan((16, 16, 32), (16, 16, 8), usize::MAX);
+        p.ghost = 100; // would overflow any real budget
+        let mut f = Vec::new();
+        check_tile_plan(&p, &mut f);
+        assert!(f.is_empty());
+    }
+}

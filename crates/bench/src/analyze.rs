@@ -1,0 +1,175 @@
+//! `repro analyze`: static verification of every shipped scheduler-variant
+//! x problem plan, with a machine-readable JSON report under `results/`.
+//!
+//! For each Table III problem, each Table IV scheduler variant, and the
+//! problem's smallest and largest CG counts, the compiled task plans are
+//! run through the `sw-analyze` verifier: race freedom, deadlock freedom,
+//! ghost-message matching, and tile-plan exact-partition/LDM proofs. The
+//! paper's Burgers setup (1 ghost layer, single-stage task graph) is
+//! checked for every problem; a three-stage task graph (the split-heat
+//! shape) is additionally checked on the smallest problem so multi-stage
+//! ghost exchanges are covered.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use sw_analyze::AnalysisReport;
+use uintah_core::grid::Level;
+use uintah_core::task::plan::build_rank_plan;
+use uintah_core::{verify_plans, LoadBalancer, MachineConfig, SchedulerOptions, Variant};
+
+use crate::problems::PROBLEMS;
+
+/// One verified configuration.
+pub struct AnalyzeCell {
+    /// Problem name (Table III).
+    pub problem: &'static str,
+    /// CG/rank count the plans were compiled for.
+    pub cgs: usize,
+    /// Task-graph stages per timestep.
+    pub stages: usize,
+    /// The verifier's verdict.
+    pub report: AnalysisReport,
+}
+
+/// Verify one (level, variant, cgs) configuration.
+fn analyze_one(
+    name: &str,
+    level: &Level,
+    variant: Variant,
+    cgs: usize,
+    ghost: i64,
+    stages: usize,
+) -> AnalysisReport {
+    let assignment = LoadBalancer::Block.assign(level, cgs);
+    let plans: Vec<_> = (0..cgs)
+        .map(|r| build_rank_plan(level, &assignment, r, ghost))
+        .collect();
+    verify_plans(
+        name,
+        level,
+        &plans,
+        ghost,
+        stages,
+        variant,
+        &SchedulerOptions::default(),
+        &MachineConfig::sw26010(),
+    )
+}
+
+/// Run the full analysis sweep: every problem x variant at the problem's
+/// smallest and largest CG counts (Burgers single-stage), plus the
+/// three-stage graph on the smallest problem.
+pub fn run_analyze() -> Vec<AnalyzeCell> {
+    let mut cells = Vec::new();
+    for p in &PROBLEMS {
+        let level = p.level();
+        let mut cg_counts = vec![p.min_cgs];
+        if p.min_cgs != 128 {
+            cg_counts.push(128);
+        }
+        for variant in Variant::TABLE_IV {
+            for &cgs in &cg_counts {
+                cells.push(AnalyzeCell {
+                    problem: p.name,
+                    cgs,
+                    stages: 1,
+                    report: analyze_one(p.name, &level, variant, cgs, 1, 1),
+                });
+            }
+        }
+    }
+    // Multi-stage coverage: stage-(s+1) ghost messages and same-rank stage
+    // copies only exist with stages > 1.
+    let small = &PROBLEMS[0];
+    let level = small.level();
+    for variant in Variant::TABLE_IV {
+        for cgs in [1, 128] {
+            cells.push(AnalyzeCell {
+                problem: small.name,
+                cgs,
+                stages: 3,
+                report: analyze_one(small.name, &level, variant, cgs, 1, 3),
+            });
+        }
+    }
+    cells
+}
+
+/// Total error-severity findings across the sweep.
+pub fn total_errors(cells: &[AnalyzeCell]) -> usize {
+    cells.iter().map(|c| c.report.errors()).sum()
+}
+
+/// Serialize the sweep as one JSON document.
+pub fn analyze_json(cells: &[AnalyzeCell]) -> String {
+    let mut s = String::from("{\"generated_by\":\"repro analyze\",\"configs\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"problem\":\"{}\",\"cgs\":{},\"stages\":{},\"report\":{}}}",
+            c.problem,
+            c.cgs,
+            c.stages,
+            c.report.to_json()
+        ));
+    }
+    s.push_str(&format!(
+        "],\"n_configs\":{},\"total_errors\":{},\"clean\":{}}}",
+        cells.len(),
+        total_errors(cells),
+        total_errors(cells) == 0
+    ));
+    s
+}
+
+/// Run the sweep and write `results/ANALYZE.json`; returns the cells for
+/// console reporting.
+pub fn write_analyze_json(dir: &Path) -> std::io::Result<Vec<AnalyzeCell>> {
+    let cells = run_analyze();
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("ANALYZE.json"))?;
+    f.write_all(analyze_json(&cells).as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_problem_is_clean_everywhere() {
+        let p = &PROBLEMS[0];
+        let level = p.level();
+        for variant in Variant::TABLE_IV {
+            for cgs in [1, 8] {
+                let r = analyze_one(p.name, &level, variant, cgs, 1, 1);
+                assert!(
+                    r.is_clean(),
+                    "{} cgs {cgs}:\n{}",
+                    variant.name(),
+                    r.render()
+                );
+                assert!(r.findings.is_empty(), "{}", r.render());
+            }
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let p = &PROBLEMS[0];
+        let cells = vec![AnalyzeCell {
+            problem: p.name,
+            cgs: 1,
+            stages: 1,
+            report: analyze_one(p.name, &p.level(), Variant::HOST_SYNC, 1, 1, 1),
+        }];
+        let j = analyze_json(&cells);
+        assert!(j.contains("\"problem\":\"16x16x512\""), "{j}");
+        assert!(j.contains("\"clean\":true"), "{j}");
+        assert!(j.contains("\"total_errors\":0"), "{j}");
+    }
+}

@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin repro -- table5 fig9
 //! cargo run --release -p bench --bin repro -- all --jobs 4
 //! cargo run --release -p bench --bin repro -- bench-json
+//! cargo run --release -p bench --bin repro -- analyze
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -23,6 +24,20 @@ fn csv_dir(args: &[String]) -> Option<std::path::PathBuf> {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from)
+}
+
+/// Final sweep-report check: if any functional offload silently degraded
+/// from the parallel to the serial engine (non-exact tile partition), say
+/// so on stderr instead of letting the degradation pass unnoticed.
+fn warn_serial_fallbacks() {
+    let n = sw_athread::serial_fallback_count();
+    if n > 0 {
+        eprintln!(
+            "WARNING: {n} functional offload(s) this run fell back from the \
+             parallel to the serial engine because their tile assignment was \
+             not an exact partition (see sw_athread::serial_fallback_count)"
+        );
+    }
 }
 
 /// Worker-pool size: `--serial` wins, then `--jobs N`, default `0` (auto).
@@ -64,6 +79,49 @@ fn main() {
         positional.is_empty() || positional.iter().any(|a| *a == name || *a == "all")
     };
 
+    // Static schedule verification: every problem x variant plan through
+    // the sw-analyze verifier, JSON report under results/. Exits non-zero
+    // on any error-severity finding (the ci.sh analyze stage relies on it).
+    if positional.iter().any(|a| *a == "analyze") {
+        let dir = std::path::Path::new("results");
+        let cells = bench::analyze::write_analyze_json(dir).expect("write results/ANALYZE.json");
+        let errors = bench::analyze::total_errors(&cells);
+        println!("== Static schedule verification ==");
+        for c in &cells {
+            println!(
+                "{:>11} x {:<14} cgs {:>3} stages {}: {} tasks, {} edges, {} pairs, {} tiles -> {}",
+                c.problem,
+                c.report.variant,
+                c.cgs,
+                c.stages,
+                c.report.n_tasks,
+                c.report.n_edges,
+                c.report.pairs_checked,
+                c.report.tiles_checked,
+                if c.report.is_clean() {
+                    "clean"
+                } else {
+                    "FINDINGS"
+                }
+            );
+            if !c.report.is_clean() {
+                print!("{}", c.report.render());
+            }
+        }
+        println!(
+            "{} configs, {} errors; wrote {}",
+            cells.len(),
+            errors,
+            dir.join("ANALYZE.json").display()
+        );
+        if errors > 0 {
+            std::process::exit(1);
+        }
+        if positional.len() == 1 {
+            return;
+        }
+    }
+
     // Wall-clock pool benchmark: explicit only (it measures this host, so it
     // is not part of `all`'s paper tables).
     if positional.iter().any(|a| *a == "bench-json") {
@@ -82,9 +140,18 @@ fn main() {
                 b.speedup(),
                 b.bit_identical
             );
+            if b.serial_fallbacks > 0 {
+                eprintln!(
+                    "WARNING: {} parallel offload(s) in `{}` were demoted to \
+                     serial (non-exact tile partition) — the parallel numbers \
+                     measured the serial path",
+                    b.serial_fallbacks, b.name
+                );
+            }
         }
         println!("wrote {}", dir.join("BENCH_functional.json").display());
         if positional.len() == 1 {
+            warn_serial_fallbacks();
             return;
         }
     }
@@ -249,4 +316,5 @@ fn main() {
             &ablation::ablation_exp_library(),
         );
     }
+    warn_serial_fallbacks();
 }

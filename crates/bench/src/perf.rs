@@ -45,6 +45,11 @@ pub struct PoolBench {
     pub parallel_ms: f64,
     /// Whether the parallel result was verified bit-identical to serial.
     pub bit_identical: bool,
+    /// Parallel offloads demoted to serial during this benchmark because
+    /// their tile assignment was not an exact partition
+    /// (`sw_athread::serial_fallback_count` delta). Expected `0`: a nonzero
+    /// value means the "parallel" numbers actually measured the serial path.
+    pub serial_fallbacks: u64,
 }
 
 impl PoolBench {
@@ -111,6 +116,7 @@ pub fn bench_patch_exec(threads: usize, reps: usize) -> PoolBench {
     };
     let mut out_serial = vec![0.0; n];
     let mut out_parallel = vec![f64::NAN; n];
+    let fallbacks_before = sw_athread::serial_fallback_count();
     // Warm up + correctness witness.
     run(ExecPolicy::Serial, &mut out_serial);
     run(ExecPolicy::Parallel { threads }, &mut out_parallel);
@@ -119,6 +125,7 @@ pub fn bench_patch_exec(threads: usize, reps: usize) -> PoolBench {
     let parallel_ms = best_of(reps, || {
         run(ExecPolicy::Parallel { threads }, &mut out_parallel)
     });
+    let serial_fallbacks = sw_athread::serial_fallback_count() - fallbacks_before;
     PoolBench {
         name: "patch_exec_burgers_scalar".into(),
         workload: format!(
@@ -134,6 +141,7 @@ pub fn bench_patch_exec(threads: usize, reps: usize) -> PoolBench {
         serial_ms,
         parallel_ms,
         bit_identical,
+        serial_fallbacks,
     }
 }
 
@@ -141,6 +149,7 @@ pub fn bench_patch_exec(threads: usize, reps: usize) -> PoolBench {
 /// problem's Fig-5 column (independent model-mode simulations).
 pub fn bench_sweep(jobs: usize, reps: usize) -> PoolBench {
     let jobs = resolve_threads(jobs);
+    let fallbacks_before = sw_athread::serial_fallback_count();
     let cells: Vec<SweepCell> = [1usize, 2, 4, 8]
         .iter()
         .flat_map(|&n| {
@@ -179,6 +188,7 @@ pub fn bench_sweep(jobs: usize, reps: usize) -> PoolBench {
         serial_ms,
         parallel_ms,
         bit_identical,
+        serial_fallbacks: sw_athread::serial_fallback_count() - fallbacks_before,
     }
 }
 
@@ -193,7 +203,7 @@ pub fn bench_json(benches: &[PoolBench]) -> String {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"workload\": \"{}\", \"work_items\": {}, \
              \"threads\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+             \"speedup\": {:.3}, \"bit_identical\": {}, \"serial_fallbacks\": {}}}{}\n",
             b.name,
             b.workload,
             b.work_items,
@@ -202,6 +212,7 @@ pub fn bench_json(benches: &[PoolBench]) -> String {
             b.parallel_ms,
             b.speedup(),
             b.bit_identical,
+            b.serial_fallbacks,
             if i + 1 == benches.len() { "" } else { "," }
         ));
     }
@@ -240,11 +251,13 @@ mod tests {
             serial_ms: 10.0,
             parallel_ms: 5.0,
             bit_identical: true,
+            serial_fallbacks: 0,
         };
         let j = bench_json(&[b.clone(), b]);
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"host_threads\""));
         assert!(j.contains("\"bit_identical\": true"));
+        assert!(j.contains("\"serial_fallbacks\": 0"));
         assert!(j.trim_end().ends_with('}'));
     }
 }

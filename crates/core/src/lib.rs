@@ -25,7 +25,9 @@ pub mod var;
 
 pub use grid::{iv, IntVec, Level, Patch, PatchId, Region};
 pub use lb::LoadBalancer;
-pub use schedule::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
+pub use schedule::{
+    build_schedule_model, verify_plans, ExecMode, SchedulerMode, SchedulerOptions, Variant,
+};
 pub use sim::{run_simulation, RunConfig, RunReport, Simulation};
 pub use task::Application;
 pub use var::{CcVar, DataWarehouse, DwPair};

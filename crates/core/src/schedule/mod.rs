@@ -3,6 +3,8 @@
 
 pub mod rank;
 pub mod variant;
+pub mod verify;
 
 pub use rank::{RankSched, RankStats, StepCtx, LABEL_U};
 pub use variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
+pub use verify::{build_schedule_model, verify_plans};

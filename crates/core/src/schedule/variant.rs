@@ -107,6 +107,12 @@ pub struct SchedulerOptions {
     /// are identical across policies (the simulated 64-CPE concurrency is
     /// captured by the cost model either way).
     pub exec_policy: ExecPolicy,
+    /// Run the static schedule verifier (`sw-analyze`) over the compiled
+    /// task plans before the first step executes, panicking with the full
+    /// report on any error-severity finding (race, deadlock, orphan recv,
+    /// tile-plan violation). Off by default: the shipped plan builders are
+    /// proved clean by tests, and the check is re-run by `repro analyze`.
+    pub verify: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -116,6 +122,7 @@ impl Default for SchedulerOptions {
             double_buffer: false,
             packed_tiles: false,
             exec_policy: ExecPolicy::Serial,
+            verify: false,
         }
     }
 }
@@ -159,6 +166,7 @@ mod tests {
         assert_eq!(o.cpe_groups, 1);
         assert!(!o.double_buffer && !o.packed_tiles);
         assert_eq!(o.exec_policy, ExecPolicy::Serial);
+        assert!(!o.verify, "verification is opt-in");
     }
 
     #[test]

@@ -135,6 +135,9 @@ pub struct Simulation {
     mpi: MpiWorld,
     reductions: BTreeMap<u32, ModeledAllreduce>,
     ranks: Vec<RankSched>,
+    /// `sw_athread::serial_fallback_count()` sampled when `run` starts; the
+    /// report carries the delta, i.e. the demotions this run caused.
+    fallback_base: u64,
 }
 
 impl Simulation {
@@ -150,9 +153,16 @@ impl Simulation {
             }
         }
         let mpi = MpiWorld::new(cfg.n_ranks);
-        let ranks = (0..cfg.n_ranks)
-            .map(|r| {
-                let plan = build_rank_plan(&level, &assignment, r, app.ghost());
+        let plans: Vec<_> = (0..cfg.n_ranks)
+            .map(|r| build_rank_plan(&level, &assignment, r, app.ghost()))
+            .collect();
+        if cfg.options.verify {
+            Self::verify_or_panic(&level, &plans, &*app, &cfg);
+        }
+        let ranks = plans
+            .into_iter()
+            .enumerate()
+            .map(|(r, plan)| {
                 let mut sched = RankSched::new(
                     r,
                     cfg.variant,
@@ -176,6 +186,7 @@ impl Simulation {
             mpi,
             reductions: BTreeMap::new(),
             ranks,
+            fallback_base: sw_athread::serial_fallback_count(),
         }
     }
 
@@ -195,6 +206,9 @@ impl Simulation {
     /// Panics on deadlock (events exhausted with unfinished ranks) — which
     /// would indicate a scheduler bug, never a legal outcome.
     pub fn run(&mut self) -> RunReport {
+        // Other simulations may have run in this process since `new`;
+        // re-baseline so the report only counts this run's demotions.
+        self.fallback_base = sw_athread::serial_fallback_count();
         let Simulation {
             level,
             app,
@@ -204,6 +218,7 @@ impl Simulation {
             mpi,
             reductions,
             ranks,
+            ..
         } = self;
         let n_ranks = cfg.n_ranks;
         macro_rules! ctx {
@@ -312,6 +327,14 @@ impl Simulation {
         let release_at = held_at + cfg.machine.mpe_copy_time(worst) + cfg.machine.net_time(worst);
 
         *assignment = new_assignment;
+        // The recompiled task graph must satisfy the same static guarantees
+        // as the initial one.
+        if cfg.options.verify {
+            let plans: Vec<_> = (0..n_ranks)
+                .map(|r| build_rank_plan(level, assignment, r, g))
+                .collect();
+            Self::verify_or_panic(level, &plans, &**app, cfg);
+        }
         for (r, rank) in ranks.iter_mut().enumerate() {
             let plan = build_rank_plan(level, assignment, r, g);
             let vars = std::mem::take(&mut migrated[r]);
@@ -325,6 +348,33 @@ impl Simulation {
             };
             rank.resume_rebalanced(&mut ctx, plan, vars, release_at);
         }
+    }
+
+    /// Run the static schedule verifier (`sw-analyze`) over freshly
+    /// compiled plans, panicking with the full report on any
+    /// error-severity finding. The `SchedulerOptions::verify` gate.
+    fn verify_or_panic(
+        level: &Level,
+        plans: &[crate::task::plan::RankPlan],
+        app: &dyn Application,
+        cfg: &RunConfig,
+    ) {
+        let report = crate::schedule::verify::verify_plans(
+            app.name(),
+            level,
+            plans,
+            app.ghost(),
+            app.stages(),
+            cfg.variant,
+            &cfg.options,
+            &cfg.machine,
+        );
+        assert!(
+            report.is_clean(),
+            "schedule verification failed ({} errors):\n{}",
+            report.errors(),
+            report.render()
+        );
     }
 
     /// Build the report from the finished run.
@@ -364,6 +414,8 @@ impl Simulation {
             events: self.machine.events_popped(),
             mpe_busy,
             cpe_busy,
+            serial_fallbacks: sw_athread::serial_fallback_count()
+                .saturating_sub(self.fallback_base),
         }
     }
 

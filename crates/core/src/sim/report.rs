@@ -30,6 +30,12 @@ pub struct RunReport {
     pub mpe_busy: SimDur,
     /// Total CPE-cluster busy time across ranks.
     pub cpe_busy: SimDur,
+    /// Functional offloads demoted from parallel to serial execution during
+    /// this run because their tile assignment was not an exact partition of
+    /// the output (delta of `sw_athread::serial_fallback_count` over the
+    /// run). Nonzero means some offloads lost CPE-level parallelism; the
+    /// sweep report surfaces it so the degradation is never silent.
+    pub serial_fallbacks: u64,
 }
 
 impl RunReport {
@@ -114,6 +120,7 @@ mod tests {
             events: 0,
             mpe_busy: SimDur::ZERO,
             cpe_busy: SimDur::ZERO,
+            serial_fallbacks: 0,
         }
     }
 

@@ -28,11 +28,41 @@
 //! set, so an oversized tile fails with the same [`LdmOverflow`] the
 //! per-tile allocator raised.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use sw_sim::{LdmAlloc, LdmOverflow};
 
 use crate::tile::{Dims3, TileDesc};
+
+/// Times a parallel-policy offload was demoted to serial because its tile
+/// assignment was not an exact partition of the output (see
+/// [`run_patch_functional_with`]). Monotonic over the process lifetime;
+/// read it with [`serial_fallback_count`].
+static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the one-shot fallback warning has been printed already.
+static FALLBACK_LOGGED: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide count of parallel offloads that silently degraded to the
+/// serial engine because the tile assignment failed the exact-partition
+/// check. A nonzero value means some offloads ran without CPE-level
+/// parallelism — sweep reports surface it so the degradation is never
+/// silent.
+pub fn serial_fallback_count() -> u64 {
+    SERIAL_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Record one parallel->serial demotion; warns on stderr the first time.
+fn note_serial_fallback(dims: Dims3, tiles: usize) {
+    SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    if !FALLBACK_LOGGED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "sw-athread: parallel offload demoted to serial — {tiles}-tile \
+             assignment is not an exact partition of the {dims:?} output \
+             (further demotions counted silently; see serial_fallback_count())"
+        );
+    }
+}
 
 /// Flat index into an x-fastest 3-D array.
 #[inline(always)]
@@ -213,7 +243,9 @@ pub fn run_patch_functional(
 /// (every interior cell covered by exactly one tile — what `tiles_of`
 /// produces); an assignment that is not an exact partition is executed
 /// serially so overlapping tiles keep their deterministic last-write-wins
-/// order. On success the result is bit-identical across policies and thread
+/// order — each such demotion increments [`serial_fallback_count`] and the
+/// first one warns on stderr. On success the result is bit-identical across
+/// policies and thread
 /// counts. On [`LdmOverflow`], each CPE list stops at its first failing
 /// tile and the error of the lowest-indexed failing list is returned;
 /// partially written output is unspecified under both policies.
@@ -243,7 +275,16 @@ pub fn run_patch_functional_with(
     let (max_in, max_out) = staging_extents(assignment, g);
     let busy_lists = assignment.iter().filter(|l| !l.is_empty()).count();
     let workers = policy.workers_for(busy_lists);
-    if workers > 1 && is_exact_partition(output.dims, assignment) {
+    let exact = is_exact_partition(output.dims, assignment);
+    if workers > 1 && !exact {
+        // Overlapping or incomplete tile assignments must keep the serial
+        // last-write-wins order; count the demotion so it is never silent.
+        note_serial_fallback(
+            output.dims,
+            assignment.iter().map(|l| l.len()).sum::<usize>(),
+        );
+    }
+    if workers > 1 && exact {
         run_parallel(RunArgs {
             kernel,
             input,
@@ -413,9 +454,13 @@ struct SharedOut {
     dims: Dims3,
 }
 
-// SAFETY: see the struct docs — concurrent access is restricted to
-// non-overlapping writes of disjoint tiles.
+// SAFETY: the raw pointer refers to a `&mut [f64]` that outlives the scope
+// the workers run in (see `run_parallel`); sending the wrapper moves only
+// the pointer, never aliases the borrow.
 unsafe impl Send for SharedOut {}
+// SAFETY: see the struct docs — concurrent access through a shared
+// `SharedOut` is restricted to non-overlapping writes of disjoint tiles,
+// so no two threads ever touch the same cell.
 unsafe impl Sync for SharedOut {}
 
 impl SharedOut {
@@ -451,6 +496,12 @@ impl SharedOut {
             "tile {t:?} outside output extent {:?}",
             self.dims
         );
+        assert!(
+            ldm.len() >= d.0 * d.1 * d.2,
+            "LDM staging buffer ({} cells) smaller than tile {t:?} ({} cells)",
+            ldm.len(),
+            d.0 * d.1 * d.2
+        );
         let sx = self.dims.0;
         let plane = self.dims.0 * self.dims.1;
         let row0 = t.origin.0 + sx * t.origin.1 + plane * t.origin.2;
@@ -459,8 +510,30 @@ impl SharedOut {
             let zbase = row0 + z * plane;
             for y in 0..d.1 {
                 let dst = zbase + y * sx;
-                debug_assert!(dst + d.0 <= self.len);
+                // Every copied row must land inside the output field *and*
+                // inside the tile's declared interior: [dst, dst + d.0) is
+                // row (y, z) of tile `t`, whose last cell is at flat index
+                // row0 + (d.2-1)*plane + (d.1-1)*sx + d.0 - 1 < len by the
+                // extent assertion above. Check both in debug builds so a
+                // mis-specified tile fails loudly before the unsafe copy.
+                debug_assert!(
+                    dst + d.0 <= self.len,
+                    "row (y={y}, z={z}) of tile {t:?} writes [{dst}, {}) past \
+                     output len {}",
+                    dst + d.0,
+                    self.len
+                );
+                debug_assert!(
+                    dst >= row0 && dst + d.0 <= row0 + (d.2 - 1) * plane + (d.1 - 1) * sx + d.0,
+                    "row (y={y}, z={z}) of tile {t:?} escapes the tile's \
+                     declared interior"
+                );
                 let row = rows.next().expect("LDM tile smaller than its extent");
+                debug_assert_eq!(
+                    row.len(),
+                    d.0,
+                    "LDM row length does not match tile x-extent for {t:?}"
+                );
                 // SAFETY: dst + d.0 <= len by the extent assertion above;
                 // `row` borrows the LDM staging buffer, disjoint from the
                 // output field.
@@ -803,6 +876,7 @@ mod tests {
         let input = vec![0.0; 32];
         let mut out_serial = vec![0.0; 32];
         let mut out_par = vec![0.0; 32];
+        let fallbacks_before = serial_fallback_count();
         for (policy, out) in [
             (ExecPolicy::Serial, &mut out_serial),
             (ExecPolicy::Parallel { threads: 2 }, &mut out_par),
@@ -826,6 +900,37 @@ mod tests {
             .unwrap();
         }
         assert_eq!(out_serial, out_par);
+        // Exactly one demotion: the Serial run is not a fallback, only the
+        // parallel-policy run of the overlapping assignment counts. (This is
+        // the only test in the binary that increments the process-wide
+        // counter, so the exact delta is race-free.)
+        assert_eq!(serial_fallback_count(), fallbacks_before + 1);
+
+        // Counter is untouched by an exact-partition parallel run.
+        let patch = (12, 10, 16);
+        let input_data = filled_input(patch);
+        let tiles = tiles_of(patch, (4, 4, 4));
+        let assignment = assign_tiles(&tiles, 4);
+        let before = serial_fallback_count();
+        let mut out_data = vec![0.0; patch.0 * patch.1 * patch.2];
+        run_patch_functional_with(
+            ExecPolicy::Parallel { threads: 2 },
+            &Avg7,
+            Field3 {
+                data: &input_data,
+                dims: (patch.0 + 2, patch.1 + 2, patch.2 + 2),
+            },
+            &mut Field3Mut {
+                data: &mut out_data,
+                dims: patch,
+            },
+            (0, 0, 0),
+            &assignment,
+            64 * 1024,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(serial_fallback_count(), before);
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub use cost::{
 };
 pub use detailed::detailed_kernel_duration;
 pub use exec::{
-    idx3, run_patch_functional, run_patch_functional_with, CpeTileKernel, ExecPolicy, Field3,
-    Field3Mut, TileCtx,
+    idx3, run_patch_functional, run_patch_functional_with, serial_fallback_count, CpeTileKernel,
+    ExecPolicy, Field3, Field3Mut, TileCtx,
 };
 pub use flag::CompletionFlag;
 pub use group::{AthreadGroup, KernelHandle};

@@ -1,0 +1,157 @@
+//! Property tests for the `sw-analyze` schedule verifier: a schedule
+//! compiled from real rank plans is proved clean, and every injected fault
+//! class — a dropped ordering edge, a ghost-unpack window shifted onto the
+//! kernel's interior, an undersized LDM budget, a cycle — is flagged with a
+//! diagnostic naming the offending tasks or tiles.
+
+use proptest::prelude::*;
+use sw_analyze::{analyze, AccessKind, FindingKind, Schedule, TaskKind};
+use uintah_core::task::plan::build_rank_plan;
+use uintah_core::{
+    build_schedule_model, iv, Level, LoadBalancer, MachineConfig, SchedulerOptions, Variant,
+};
+
+/// Compile a real multi-rank schedule model. `ACC_ASYNC` makes the CPE
+/// kernels genuinely concurrent with the MPE message tasks, so an injected
+/// ordering fault is an actual race, not one masked by rank serialization.
+fn model(patch: i64, lx: i64, cgs: usize, stages: usize) -> (Level, Schedule) {
+    let level = Level::new(iv(patch, patch, patch), iv(lx, 2, 1));
+    let assignment = LoadBalancer::Block.assign(&level, cgs);
+    let plans: Vec<_> = (0..cgs)
+        .map(|r| build_rank_plan(&level, &assignment, r, 1))
+        .collect();
+    let s = build_schedule_model(
+        "prop",
+        &level,
+        &plans,
+        1,
+        stages,
+        Variant::ACC_ASYNC,
+        &SchedulerOptions::default(),
+        &MachineConfig::sw26010(),
+    );
+    (level, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The unmutated schedule is clean; each mutation below is detected.
+    #[test]
+    fn valid_schedule_is_clean_and_injected_faults_are_flagged(
+        psize in 1i64..3,       // patches of 4 or 8 cells per axis
+        lx in 2i64..4,          // 4..6 patches
+        cgs_raw in 2usize..5,
+        stages in 2usize..4,
+        pick in 0usize..1024,   // which fault site to mutate
+    ) {
+        let patch = 4 * psize;
+        let n_patches = (lx * 2) as usize;
+        let cgs = cgs_raw.min(n_patches);
+        let (level, base) = model(patch, lx, cgs, stages);
+
+        // Clean bill for the real compiled plans.
+        let r = analyze(&base);
+        prop_assert!(r.is_clean(), "valid schedule flagged:\n{}", r.render());
+        prop_assert!(r.findings.is_empty(), "unexpected warnings:\n{}", r.render());
+
+        // Fault 1 — drop a Recv -> Prep ordering edge. The recv's ghost
+        // unpack becomes concurrent with the CPE kernel that reads the
+        // ghosted input, and the race must name the dropped recv.
+        {
+            let mut s = base.clone();
+            let recv_edges: Vec<usize> = s
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, b))| {
+                    s.tasks[a].kind == TaskKind::Recv && s.tasks[b].kind == TaskKind::Prep
+                })
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert!(!recv_edges.is_empty(), "multi-rank plan must have recvs");
+            let i = recv_edges[pick % recv_edges.len()];
+            let dropped = s.tasks[s.edges[i].0].label.clone();
+            s.edges.remove(i);
+            let r = analyze(&s);
+            prop_assert!(!r.is_clean(), "dropped {dropped}->prep edge not flagged");
+            let hit = r.findings.iter().any(|f| {
+                matches!(f.kind, FindingKind::ReadWriteRace | FindingKind::WriteWriteRace)
+                    && f.tasks.contains(&dropped)
+            });
+            prop_assert!(hit, "no race names {dropped}:\n{}", r.render());
+        }
+
+        // Fault 2 — shift a stage>=1 recv's unpack window one cell toward
+        // the patch interior: it now overlaps the previous stage's kernel
+        // write, an unordered CPE/MPE pair, so a write-write race must name
+        // both.
+        {
+            let mut s = base.clone();
+            let recvs: Vec<usize> = s
+                .tasks
+                .iter()
+                .filter(|t| {
+                    t.kind == TaskKind::Recv && t.msg.map(|m| m.stage >= 1).unwrap_or(false)
+                })
+                .map(|t| t.id)
+                .collect();
+            prop_assert!(!recvs.is_empty(), "stages >= 2 must post late-stage recvs");
+            let t = recvs[pick % recvs.len()];
+            let label = s.tasks[t].label.clone();
+            let w = s.tasks[t]
+                .accesses
+                .iter_mut()
+                .find(|a| a.kind == AccessKind::Write)
+                .expect("recv writes its unpack window");
+            let interior = level.patch(w.var.patch).region;
+            let delta = [
+                (w.region.hi[0] <= interior.lo.x) as i64 - (w.region.lo[0] >= interior.hi.x) as i64,
+                (w.region.hi[1] <= interior.lo.y) as i64 - (w.region.lo[1] >= interior.hi.y) as i64,
+                (w.region.hi[2] <= interior.lo.z) as i64 - (w.region.lo[2] >= interior.hi.z) as i64,
+            ];
+            prop_assert!(delta != [0, 0, 0], "ghost window must sit outside the interior");
+            w.region = w.region.translated(delta);
+            let r = analyze(&s);
+            let hit = r.findings.iter().any(|f| {
+                f.kind == FindingKind::WriteWriteRace && f.tasks.contains(&label)
+            });
+            prop_assert!(hit, "shifted {label} window not flagged:\n{}", r.render());
+        }
+
+        // Fault 3 — shrink the LDM budget below any tile's working set:
+        // every plan must report an overflow stating bytes vs budget.
+        {
+            let mut s = base.clone();
+            prop_assert!(!s.tile_plans.is_empty(), "offload variant carries tile plans");
+            for p in &mut s.tile_plans {
+                p.ldm_bytes = 64;
+            }
+            let r = analyze(&s);
+            let overflows: Vec<_> = r
+                .findings
+                .iter()
+                .filter(|f| f.kind == FindingKind::LdmOverflow)
+                .collect();
+            prop_assert!(!overflows.is_empty(), "no LdmOverflow:\n{}", r.render());
+            prop_assert!(
+                overflows.iter().all(|f| f.message.contains("64")),
+                "overflow diagnostics must state the budget:\n{}",
+                r.render()
+            );
+        }
+
+        // Fault 4 — reverse an existing edge into a 2-cycle: deadlock.
+        {
+            let mut s = base.clone();
+            let (a, b) = s.edges[pick % s.edges.len()];
+            s.add_edge(b, a);
+            let r = analyze(&s);
+            let hit = r
+                .findings
+                .iter()
+                .any(|f| f.kind == FindingKind::Deadlock && !f.tasks.is_empty());
+            prop_assert!(hit, "cycle not flagged:\n{}", r.render());
+        }
+    }
+}
