@@ -33,6 +33,19 @@ if [[ "${1:-}" != "quick" ]]; then
   step "static schedule verification (repro analyze)"
   # Exits non-zero on any error-severity finding; writes results/ANALYZE.json.
   cargo run --release -p bench --bin repro -- analyze
+
+  step "telemetry trace export + validation (repro trace)"
+  # Exits non-zero if any trace fails to reconcile exactly with its
+  # RunReport; writes results/TRACE_*.perfetto.json and results/TIMELINE.json.
+  cargo run --release -p bench --bin repro -- trace \
+    --problem 16x16x512 --cgs 4 --steps 5 --variant acc_simd.async
+  # Schema validation: well-formed trace-event JSON, non-empty tracks,
+  # overlap efficiency in [0,1], splits sum to windows, async > sync.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py results
+  else
+    echo "python3 not found; skipping trace JSON schema validation"
+  fi
 fi
 
 # Best-effort: run the unsafe tile write-back path under miri when the

@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro -- all --jobs 4
 //! cargo run --release -p bench --bin repro -- bench-json
 //! cargo run --release -p bench --bin repro -- analyze
+//! cargo run --release -p bench --bin repro -- trace --problem 16x16x512 --cgs 4
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -52,6 +53,74 @@ fn jobs_arg(args: &[String]) -> usize {
         .unwrap_or(0)
 }
 
+/// `trace` subcommand: instrumented runs -> Perfetto trace JSON + derived
+/// phase metrics (`results/TRACE_*.perfetto.json`, `results/TIMELINE.json`).
+///
+/// Flags: `--problem <name>` (Table III name, default 16x16x512),
+/// `--cgs <n>` (default 4), `--steps <n>` (default 5), `--variant <name>`
+/// (repeatable; `acc.sync` and `acc.async` are always traced so the
+/// sync-vs-async overlap comparison is always present).
+fn run_trace(args: &[String]) {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let problem = flag("--problem").map_or("16x16x512", |s| s.as_str());
+    let p = bench::PROBLEMS
+        .iter()
+        .find(|q| q.name == problem)
+        .unwrap_or_else(|| panic!("unknown problem {problem:?} (see Table III names)"));
+    let cgs: usize = flag("--cgs").map_or(4, |s| s.parse().expect("--cgs N"));
+    let steps: u32 = flag("--steps").map_or(5, |s| s.parse().expect("--steps N"));
+    let mut variants = vec![
+        uintah_core::Variant::ACC_SYNC,
+        uintah_core::Variant::ACC_ASYNC,
+    ];
+    for (i, a) in args.iter().enumerate() {
+        if a == "--variant" {
+            let name = args.get(i + 1).expect("--variant <name>");
+            let v = bench::trace::variant_by_name(name)
+                .unwrap_or_else(|| panic!("unknown variant {name:?} (see Table IV names)"));
+            if !variants.contains(&v) {
+                variants.push(v);
+            }
+        }
+    }
+    let dir = std::path::Path::new("results");
+    let cases =
+        bench::trace::write_trace_json(dir, p, &variants, cgs, steps).expect("write trace JSON");
+    println!(
+        "== Telemetry trace: {} on {} CGs, {} steps ==",
+        p.name, cgs, steps
+    );
+    let mut bad = false;
+    for c in &cases {
+        let (compute, hidden, exposed, idle) = c.phases.totals();
+        println!(
+            "{:>14}: {} events | overlap eff {:.3} | compute {} hidden {} exposed {} idle {} (ps) | reconciled={} -> {}",
+            c.variant,
+            c.events,
+            c.phases.overlap_efficiency,
+            compute,
+            hidden,
+            exposed,
+            idle,
+            c.reconciled,
+            dir.join(&c.trace_file).display()
+        );
+        bad |= !c.reconciled;
+    }
+    println!(
+        "wrote {} (load traces at https://ui.perfetto.dev)",
+        dir.join("TIMELINE.json").display()
+    );
+    if bad {
+        eprintln!("ERROR: a trace failed to reconcile with its RunReport");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir(&args);
@@ -67,7 +136,16 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--csv" || *a == "--jobs" {
+                if [
+                    "--csv",
+                    "--jobs",
+                    "--problem",
+                    "--cgs",
+                    "--variant",
+                    "--steps",
+                ]
+                .contains(&a.as_str())
+                {
                     skip_next = true;
                     return false;
                 }
@@ -78,6 +156,15 @@ fn main() {
     let want = |name: &str| -> bool {
         positional.is_empty() || positional.iter().any(|a| *a == name || *a == "all")
     };
+
+    // Telemetry trace export: instrumented runs -> Perfetto JSON + derived
+    // phase metrics. Explicit only (writes results/, not a paper table).
+    if positional.iter().any(|a| *a == "trace") {
+        run_trace(&args);
+        if positional.iter().all(|a| *a == "trace") {
+            return;
+        }
+    }
 
     // Static schedule verification: every problem x variant plan through
     // the sw-analyze verifier, JSON report under results/. Exits non-zero
@@ -126,7 +213,7 @@ fn main() {
     // is not part of `all`'s paper tables).
     if positional.iter().any(|a| *a == "bench-json") {
         let dir = std::path::Path::new("results");
-        let benches =
+        let (benches, telemetry) =
             bench::perf::write_bench_json(dir, jobs).expect("write results/BENCH_functional.json");
         println!("== Functional-engine wall-clock baseline ==");
         for b in &benches {
@@ -148,6 +235,22 @@ fn main() {
                     b.serial_fallbacks, b.name
                 );
             }
+        }
+        println!(
+            "{}: {} | off {:.3} ms, on {:.3} ms -> {:+.1}% overhead, {} events, identical_reports={}",
+            telemetry.name,
+            telemetry.workload,
+            telemetry.off_ms,
+            telemetry.on_ms,
+            telemetry.overhead_frac() * 100.0,
+            telemetry.events,
+            telemetry.identical_reports
+        );
+        if !telemetry.identical_reports {
+            eprintln!(
+                "WARNING: enabling telemetry changed the run report — the \
+                 recorder must never touch virtual time"
+            );
         }
         println!("wrote {}", dir.join("BENCH_functional.json").display());
         if positional.len() == 1 {

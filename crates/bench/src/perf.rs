@@ -192,8 +192,74 @@ pub fn bench_sweep(jobs: usize, reps: usize) -> PoolBench {
     }
 }
 
+/// Wall-clock cost of recording telemetry: the identical simulation with
+/// the recorder disabled vs enabled.
+#[derive(Clone, Debug)]
+pub struct TelemetryBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload description.
+    pub workload: String,
+    /// Best-of-reps wall time with telemetry **off**, milliseconds.
+    pub off_ms: f64,
+    /// Best-of-reps wall time with telemetry **on**, milliseconds.
+    pub on_ms: f64,
+    /// Events recorded by the enabled run.
+    pub events: usize,
+    /// Whether the two runs produced identical reports (they must: the
+    /// recorder never touches virtual time).
+    pub identical_reports: bool,
+}
+
+impl TelemetryBench {
+    /// Relative overhead `(on - off) / off` (can be slightly negative from
+    /// measurement noise on fast runs).
+    pub fn overhead_frac(&self) -> f64 {
+        (self.on_ms - self.off_ms) / self.off_ms
+    }
+}
+
+/// Measure tracing overhead on a model-mode sweep cell: telemetry disabled
+/// (the shipped default; the zero-allocation claim is proved separately by
+/// `sw-telemetry`'s counting-allocator test) vs enabled.
+pub fn bench_telemetry_overhead(reps: usize) -> TelemetryBench {
+    use std::sync::Arc;
+    use uintah_core::{ExecMode, RunConfig, Simulation};
+
+    let run = |telemetry: bool| {
+        let level = SMALL.level();
+        let app = Arc::new(burgers::BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Model, 4);
+        cfg.steps = 5;
+        cfg.options.telemetry = telemetry;
+        let mut sim = Simulation::new(level, app, cfg);
+        let report = sim.run();
+        let events = sim.recorder().snapshot().iter().map(|b| b.len()).sum();
+        (report, events)
+    };
+    let (off_report, _) = run(false);
+    let (on_report, events) = run(true);
+    let identical_reports = off_report.step_end == on_report.step_end
+        && off_report.flops.total() == on_report.flops.total()
+        && off_report.messages == on_report.messages;
+    let off_ms = best_of(reps, || {
+        run(false);
+    });
+    let on_ms = best_of(reps, || {
+        run(true);
+    });
+    TelemetryBench {
+        name: "telemetry_overhead_model_run".into(),
+        workload: format!("{} model-mode, acc_simd.async, 4 CGs, 5 steps", SMALL.name),
+        off_ms,
+        on_ms,
+        events,
+        identical_reports,
+    }
+}
+
 /// Render the measurements as the `BENCH_functional.json` document.
-pub fn bench_json(benches: &[PoolBench]) -> String {
+pub fn bench_json(benches: &[PoolBench], telemetry: Option<&TelemetryBench>) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"host_threads\": {},\n  \"benches\": [\n",
@@ -216,17 +282,42 @@ pub fn bench_json(benches: &[PoolBench]) -> String {
             if i + 1 == benches.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    if let Some(t) = telemetry {
+        s.push_str(",\n  \"telemetry_overhead\": {\n");
+        s.push_str(&format!(
+            "    \"name\": \"{}\",\n    \"workload\": \"{}\",\n    \
+             \"off_ms\": {:.3},\n    \"on_ms\": {:.3},\n    \
+             \"overhead_frac\": {:.4},\n    \"events\": {},\n    \
+             \"identical_reports\": {}\n",
+            t.name,
+            t.workload,
+            t.off_ms,
+            t.on_ms,
+            t.overhead_frac(),
+            t.events,
+            t.identical_reports
+        ));
+        s.push_str("  }");
+    }
+    s.push_str("\n}\n");
     s
 }
 
-/// Run both pool benchmarks and write `BENCH_functional.json` under `dir`.
-/// Returns the measurements for display.
-pub fn write_bench_json(dir: &std::path::Path, threads: usize) -> std::io::Result<Vec<PoolBench>> {
+/// Run both pool benchmarks plus the telemetry-overhead benchmark and write
+/// `BENCH_functional.json` under `dir`. Returns the measurements for display.
+pub fn write_bench_json(
+    dir: &std::path::Path,
+    threads: usize,
+) -> std::io::Result<(Vec<PoolBench>, TelemetryBench)> {
     let benches = vec![bench_patch_exec(threads, 3), bench_sweep(threads, 3)];
+    let telemetry = bench_telemetry_overhead(3);
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("BENCH_functional.json"), bench_json(&benches))?;
-    Ok(benches)
+    std::fs::write(
+        dir.join("BENCH_functional.json"),
+        bench_json(&benches, Some(&telemetry)),
+    )?;
+    Ok((benches, telemetry))
 }
 
 #[cfg(test)]
@@ -253,11 +344,25 @@ mod tests {
             bit_identical: true,
             serial_fallbacks: 0,
         };
-        let j = bench_json(&[b.clone(), b]);
+        let j = bench_json(&[b.clone(), b.clone()], None);
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"host_threads\""));
         assert!(j.contains("\"bit_identical\": true"));
         assert!(j.contains("\"serial_fallbacks\": 0"));
+        assert!(!j.contains("\"telemetry_overhead\""));
         assert!(j.trim_end().ends_with('}'));
+        let t = TelemetryBench {
+            name: "t".into(),
+            workload: "w".into(),
+            off_ms: 8.0,
+            on_ms: 10.0,
+            events: 123,
+            identical_reports: true,
+        };
+        let jt = bench_json(&[b], Some(&t));
+        assert!(jt.contains("\"telemetry_overhead\""));
+        assert!(jt.contains("\"overhead_frac\": 0.2500"));
+        assert!(jt.contains("\"identical_reports\": true"));
+        assert_eq!(jt.matches('{').count(), jt.matches('}').count());
     }
 }

@@ -1,0 +1,269 @@
+//! `repro trace`: run instrumented simulations and export structured
+//! telemetry as a Chrome/Perfetto trace plus a derived-metrics summary.
+//!
+//! For each requested variant the Burgers problem is run in model mode with
+//! `SchedulerOptions::telemetry` enabled, then:
+//!
+//! * `results/TRACE_<problem>_<variant>_<cgs>cg.perfetto.json` — the
+//!   trace-event JSON (load at <https://ui.perfetto.dev>): one process per
+//!   rank, one track per MPE / CPE slot / wire, flow arrows send→recv;
+//! * `results/TIMELINE.json` — the derived phase breakdowns (compute /
+//!   comm-hidden / comm-exposed / idle per rank and step), overlap
+//!   efficiency, critical-path summary, and the metrics registry, for every
+//!   variant side by side.
+//!
+//! The pass double-checks itself: the phase windows are rebuilt from the
+//! `Barrier` events and must equal `RunReport::step_end` exactly
+//! (`reconciled` in the JSON; the CI trace stage fails if it is ever
+//! false), and each (step, rank) four-way split must sum to its window.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use sw_telemetry::{analyze, perfetto, PhaseReport};
+use uintah_core::{ExecMode, RunConfig, RunReport, Simulation, Variant};
+
+use crate::problems::ProblemSpec;
+
+/// Outcome of tracing one variant.
+pub struct TraceCase {
+    /// Variant name (Table IV).
+    pub variant: &'static str,
+    /// File the Perfetto JSON was written to (relative to the results dir).
+    pub trace_file: String,
+    /// Events recorded across all ranks.
+    pub events: usize,
+    /// The derived-metrics pass output.
+    pub phases: PhaseReport,
+    /// Whether the phase pass's step windows equal `RunReport::step_end`
+    /// exactly and every four-way split sums to its window.
+    pub reconciled: bool,
+    /// The run report the trace reconciles against.
+    pub report: RunReport,
+    /// Metrics-registry JSON ("{}" when telemetry was off).
+    pub metrics_json: String,
+}
+
+/// Look a Table IV variant up by its paper name (plus `host_simd.sync`).
+pub fn variant_by_name(name: &str) -> Option<Variant> {
+    let all = [
+        Variant::HOST_SYNC,
+        Variant::ACC_SYNC,
+        Variant::ACC_SIMD_SYNC,
+        Variant::ACC_ASYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ];
+    all.into_iter().find(|v| v.name() == name)
+}
+
+/// Trace one (problem, variant, cgs, steps) configuration, returning the
+/// case summary and the Perfetto trace-event JSON.
+pub fn trace_case_with_export(
+    p: &ProblemSpec,
+    variant: Variant,
+    cgs: usize,
+    steps: u32,
+) -> (TraceCase, String) {
+    let level = p.level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Model, cgs);
+    cfg.steps = steps;
+    cfg.options.telemetry = true;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    let snap = sim.recorder().snapshot();
+    let events: usize = snap.iter().map(|b| b.len()).sum();
+    let json = perfetto::export(&snap);
+    let phases = analyze(&snap);
+    let step_end_match = phases.step_end_ps.len() == report.step_end.len()
+        && phases
+            .step_end_ps
+            .iter()
+            .zip(&report.step_end)
+            .all(|(&ps, t)| ps == t.0);
+    let splits_sum = phases.breakdowns.iter().all(|b| b.sum_ps() == b.window_ps);
+    let metrics_json = sim
+        .recorder()
+        .metrics()
+        .map_or_else(|| "{}".to_string(), |m| m.to_json(""));
+    (
+        TraceCase {
+            variant: variant.name(),
+            trace_file: format!(
+                "TRACE_{}_{}_{}cg.perfetto.json",
+                p.name,
+                variant.name(),
+                cgs
+            ),
+            events,
+            phases,
+            reconciled: step_end_match && splits_sum,
+            report,
+            metrics_json,
+        },
+        json,
+    )
+}
+
+/// Trace one configuration, discarding the Perfetto JSON (tests, summaries).
+pub fn trace_case(p: &ProblemSpec, variant: Variant, cgs: usize, steps: u32) -> TraceCase {
+    trace_case_with_export(p, variant, cgs, steps).0
+}
+
+/// Render `TIMELINE.json` for a set of traced cases.
+pub fn timeline_json(p: &ProblemSpec, cgs: usize, steps: u32, cases: &[TraceCase]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"problem\": \"{}\",", p.name);
+    let _ = writeln!(s, "  \"cgs\": {cgs},");
+    let _ = writeln!(s, "  \"steps\": {steps},");
+    s.push_str("  \"variants\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let (compute, hidden, exposed, idle) = c.phases.totals();
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"variant\": \"{}\",", c.variant);
+        let _ = writeln!(s, "      \"trace_file\": \"{}\",", c.trace_file);
+        let _ = writeln!(s, "      \"events\": {},", c.events);
+        let _ = writeln!(s, "      \"reconciled\": {},", c.reconciled);
+        let _ = writeln!(
+            s,
+            "      \"overlap_efficiency\": {:.6},",
+            c.phases.overlap_efficiency
+        );
+        let _ = writeln!(s, "      \"compute_ps\": {compute},");
+        let _ = writeln!(s, "      \"comm_hidden_ps\": {hidden},");
+        let _ = writeln!(s, "      \"comm_exposed_ps\": {exposed},");
+        let _ = writeln!(s, "      \"idle_ps\": {idle},");
+        let _ = writeln!(
+            s,
+            "      \"total_time_ps\": {},",
+            c.report.step_end.last().map_or(0, |t| t.0)
+        );
+        let step_ends: Vec<String> = c
+            .phases
+            .step_end_ps
+            .iter()
+            .map(|ps| ps.to_string())
+            .collect();
+        let _ = writeln!(s, "      \"step_end_ps\": [{}],", step_ends.join(", "));
+        // Per-step phase rows (step-major, rank-major inside).
+        s.push_str("      \"breakdowns\": [\n");
+        for (j, b) in c.phases.breakdowns.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"step\": {}, \"rank\": {}, \"window_ps\": {}, \
+                 \"compute_ps\": {}, \"hidden_ps\": {}, \"exposed_ps\": {}, \
+                 \"idle_ps\": {}}}",
+                b.step, b.rank, b.window_ps, b.compute_ps, b.hidden_ps, b.exposed_ps, b.idle_ps
+            );
+            s.push_str(if j + 1 < c.phases.breakdowns.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("      ],\n");
+        // Critical path, forward order.
+        s.push_str("      \"critical_path\": [\n");
+        for (j, e) in c.phases.critical_path.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"rank\": {}, \"kind\": \"{}\", \"start_ps\": {}, \
+                 \"end_ps\": {}, \"detail\": \"{}\"}}",
+                e.rank, e.kind, e.start_ps, e.end_ps, e.detail
+            );
+            s.push_str(if j + 1 < c.phases.critical_path.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("      ],\n");
+        // Metrics registry, re-indented into this nesting level.
+        let metrics = c.metrics_json.replace('\n', "\n      ");
+        let _ = writeln!(s, "      \"metrics\": {metrics}");
+        s.push_str(if i + 1 < cases.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run the trace export end-to-end: one Perfetto file per variant plus the
+/// combined `TIMELINE.json`, all under `dir`.
+pub fn write_trace_json(
+    dir: &Path,
+    p: &ProblemSpec,
+    variants: &[Variant],
+    cgs: usize,
+    steps: u32,
+) -> io::Result<Vec<TraceCase>> {
+    std::fs::create_dir_all(dir)?;
+    let mut cases = Vec::with_capacity(variants.len());
+    for &v in variants {
+        let (case, json) = trace_case_with_export(p, v, cgs, steps);
+        std::fs::write(dir.join(&case.trace_file), json)?;
+        cases.push(case);
+    }
+    std::fs::write(
+        dir.join("TIMELINE.json"),
+        timeline_json(p, cgs, steps, &cases),
+    )?;
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::SMALL;
+
+    #[test]
+    fn traced_sync_and_async_reconcile_and_async_hides_more() {
+        let sync = trace_case(SMALL, Variant::ACC_SYNC, 2, 3);
+        let async_ = trace_case(SMALL, Variant::ACC_ASYNC, 2, 3);
+        assert!(sync.reconciled, "sync trace must reconcile with RunReport");
+        assert!(async_.reconciled, "async trace must reconcile");
+        assert!(sync.events > 0 && async_.events > 0);
+        assert!(
+            async_.phases.overlap_efficiency > sync.phases.overlap_efficiency,
+            "async must hide more communication than sync: async {} vs sync {}",
+            async_.phases.overlap_efficiency,
+            sync.phases.overlap_efficiency
+        );
+        for c in [&sync, &async_] {
+            assert!(
+                (0.0..=1.0).contains(&c.phases.overlap_efficiency),
+                "efficiency in [0,1]"
+            );
+            assert!(!c.phases.critical_path.is_empty());
+            assert!(c.report.leaked_handles.is_empty(), "no leaked handles");
+        }
+    }
+
+    #[test]
+    fn variant_lookup_by_paper_name() {
+        assert_eq!(variant_by_name("acc.async"), Some(Variant::ACC_ASYNC));
+        assert_eq!(variant_by_name("host.sync"), Some(Variant::HOST_SYNC));
+        assert_eq!(variant_by_name("nope"), None);
+    }
+
+    #[test]
+    fn timeline_json_is_balanced() {
+        let c = trace_case(SMALL, Variant::ACC_ASYNC, 2, 2);
+        let json = timeline_json(SMALL, 2, 2, &[c]);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(json.contains("\"overlap_efficiency\""));
+        assert!(json.contains("\"reconciled\": true"));
+    }
+}

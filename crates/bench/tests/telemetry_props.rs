@@ -1,0 +1,188 @@
+//! Property tests of the telemetry subsystem's trace invariants, across
+//! applications (Burgers, Heat, SplitHeat, Advection) and all five Table IV
+//! scheduler variants:
+//!
+//! 1. every `TaskStart` has a matching `TaskEnd` on the same lane (and
+//!    every `OffloadStart`/`DmaIn` its `OffloadDone`/`DmaOut`);
+//! 2. per-lane event times are monotone in recording order;
+//! 3. the derived per-step phase breakdowns reconcile **exactly** (±0 ps)
+//!    with the `RunReport`: step windows equal `RunReport::step_end`, and
+//!    each (step, rank) four-way split sums to its window.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use apps::{AdvectionApp, HeatApp, SplitHeatApp};
+use burgers::BurgersApp;
+use proptest::prelude::*;
+use sw_math::ExpKind;
+use sw_telemetry::{analyze, Event, EventRecord, Lane};
+use uintah_core::grid::{iv, Level};
+use uintah_core::task::Application;
+use uintah_core::{ExecMode, RunConfig, RunReport, Simulation, Variant};
+
+const VARIANTS: [Variant; 5] = Variant::TABLE_IV;
+
+fn app_of(idx: usize, level: &Level) -> Arc<dyn Application> {
+    match idx {
+        0 => Arc::new(BurgersApp::new(level, ExpKind::Fast)),
+        1 => Arc::new(HeatApp::new(level, 0.05)),
+        2 => Arc::new(SplitHeatApp::new(level, 0.05)),
+        _ => Arc::new(AdvectionApp::new(level)),
+    }
+}
+
+/// Run a tiny functional problem with telemetry on; return the snapshot and
+/// the report.
+fn traced_run(
+    app_idx: usize,
+    variant: Variant,
+    n_ranks: usize,
+    steps: u32,
+) -> (Vec<Vec<EventRecord>>, RunReport) {
+    let level = Level::new(iv(8, 8, 8), iv(2, 2, 1));
+    let app = app_of(app_idx, &level);
+    let mut cfg = RunConfig::paper(variant, ExecMode::Functional, n_ranks);
+    cfg.steps = steps;
+    cfg.options.telemetry = true;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    (sim.recorder().snapshot(), report)
+}
+
+/// Invariant 1: span-shaped events pair up per lane with nothing left open.
+fn assert_spans_balanced(rank: usize, buf: &[EventRecord]) {
+    // Key -> open count, per lane.
+    let mut open: BTreeMap<(Lane, &'static str, u64, u64), i64> = BTreeMap::new();
+    for r in buf {
+        let key = match &r.event {
+            Event::TaskStart { patch, stage } => {
+                Some(((r.lane, "task", *patch as u64, *stage as u64), 1))
+            }
+            Event::TaskEnd { patch, stage } => {
+                Some(((r.lane, "task", *patch as u64, *stage as u64), -1))
+            }
+            Event::OffloadStart { patch, token } => {
+                Some(((r.lane, "offload", *patch as u64, *token), 1))
+            }
+            Event::OffloadDone { patch, token } => {
+                Some(((r.lane, "offload", *patch as u64, *token), -1))
+            }
+            Event::DmaIn { .. } => Some(((r.lane, "dma", 0, 0), 1)),
+            Event::DmaOut { .. } => Some(((r.lane, "dma", 0, 0), -1)),
+            _ => None,
+        };
+        if let Some((k, d)) = key {
+            let e = open.entry(k).or_insert(0);
+            *e += d;
+            assert!(*e >= 0, "rank {rank}: end before start for {k:?}");
+        }
+    }
+    for (k, n) in open {
+        assert_eq!(n, 0, "rank {rank}: {n} unmatched span starts for {k:?}");
+    }
+}
+
+/// Invariant 2: per-lane recording order is time-monotone.
+fn assert_lanes_monotone(rank: usize, buf: &[EventRecord]) {
+    let mut last: BTreeMap<Lane, u64> = BTreeMap::new();
+    for r in buf {
+        let prev = last.insert(r.lane, r.at_ps);
+        if let Some(p) = prev {
+            assert!(
+                r.at_ps >= p,
+                "rank {rank} lane {:?}: time went backwards {p} -> {} at {:?}",
+                r.lane,
+                r.at_ps,
+                r.event
+            );
+        }
+    }
+}
+
+/// Invariant 3: the phase pass reconciles exactly with the run report.
+fn assert_phases_reconcile(snap: &[Vec<EventRecord>], report: &RunReport) {
+    let rep = analyze(snap);
+    assert_eq!(rep.n_ranks, report.n_ranks);
+    assert_eq!(
+        rep.step_end_ps.len(),
+        report.step_end.len(),
+        "one barrier per step"
+    );
+    for (s, (&ps, t)) in rep.step_end_ps.iter().zip(&report.step_end).enumerate() {
+        assert_eq!(ps, t.0, "step {s} window end differs from RunReport");
+    }
+    for b in &rep.breakdowns {
+        assert_eq!(
+            b.sum_ps(),
+            b.window_ps,
+            "step {} rank {}: four-way split does not sum to the window",
+            b.step,
+            b.rank
+        );
+    }
+    assert!(
+        (0.0..=1.0).contains(&rep.overlap_efficiency),
+        "efficiency {} out of [0,1]",
+        rep.overlap_efficiency
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All three invariants over apps x variants x ranks x steps.
+    #[test]
+    fn trace_invariants_hold(
+        app_idx in 0usize..4,
+        vi in 0usize..VARIANTS.len(),
+        n_ranks in 1usize..=4,
+        steps in 1u32..=3,
+    ) {
+        let variant = VARIANTS[vi];
+        let (snap, report) = traced_run(app_idx, variant, n_ranks, steps);
+        prop_assert_eq!(snap.len(), n_ranks);
+        prop_assert!(snap.iter().map(|b| b.len()).sum::<usize>() > 0, "trace not empty");
+        for (rank, buf) in snap.iter().enumerate() {
+            assert_spans_balanced(rank, buf);
+            assert_lanes_monotone(rank, buf);
+        }
+        assert_phases_reconcile(&snap, &report);
+        prop_assert!(report.leaked_handles.is_empty(), "leaked MPI handles");
+    }
+}
+
+/// Deterministic exhaustive pass over every app x variant at a fixed small
+/// configuration (the proptest above samples; this pins the full matrix).
+#[test]
+fn trace_invariants_full_matrix() {
+    for app_idx in 0..4 {
+        for variant in VARIANTS {
+            let (snap, report) = traced_run(app_idx, variant, 2, 2);
+            for (rank, buf) in snap.iter().enumerate() {
+                assert_spans_balanced(rank, buf);
+                assert_lanes_monotone(rank, buf);
+            }
+            assert_phases_reconcile(&snap, &report);
+        }
+    }
+}
+
+/// Model and functional mode produce identical virtual-time traces for the
+/// same configuration (wall clock aside): step ends must agree, so the
+/// phase pass is mode-independent.
+#[test]
+fn model_and_functional_step_ends_agree() {
+    let level = Level::new(iv(8, 8, 8), iv(2, 2, 1));
+    let mut ends = Vec::new();
+    for exec in [ExecMode::Functional, ExecMode::Model] {
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, exec, 2);
+        cfg.steps = 2;
+        cfg.options.telemetry = true;
+        let mut sim = Simulation::new(level.clone(), app, cfg);
+        sim.run();
+        ends.push(analyze(&sim.recorder().snapshot()).step_end_ps);
+    }
+    assert_eq!(ends[0], ends[1], "virtual trace must be mode-independent");
+}

@@ -31,6 +31,7 @@ use sw_athread::{
 use sw_math::ExpKind;
 use sw_mpi::{ModeledAllreduce, MpiWorld, RecvHandle, SendHandle};
 use sw_sim::{FlopCategory, Machine, MachineConfig, SimDur, SimTime};
+use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::grid::{Level, PatchId};
 use crate::schedule::variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
@@ -173,6 +174,9 @@ pub struct RankSched {
     /// Measured kernel time per local patch since the last rebalance — the
     /// cost profile a measurement-driven load balancer consumes.
     patch_cost: BTreeMap<PatchId, SimDur>,
+    /// Structured telemetry sink (off by default; a disabled recorder's
+    /// record path is a single branch).
+    rec: Recorder,
     /// Statistics.
     pub stats: RankStats,
 }
@@ -223,8 +227,16 @@ impl RankSched {
             rebalance_every: None,
             holding: None,
             patch_cost: BTreeMap::new(),
+            rec: Recorder::off(),
             stats: RankStats::default(),
         }
+    }
+
+    /// Thread a telemetry recorder through this scheduler (and its athread
+    /// group's DMA events).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.athread.set_recorder(rec.clone());
+        self.rec = rec;
     }
 
     /// Enable task-graph recompilation with load rebalancing every `n`
@@ -427,12 +439,28 @@ impl RankSched {
                 self.pending_sends.retain(|&h| !mpi.send_done(h));
             }
 
-            // §V-C step 3b: completion flags.
+            // §V-C step 3b: completion flags. (Snapshot the in-flight
+            // handles only when recording — `try_complete` consumes them,
+            // and the `OffloadDone` event wants the true completion instant
+            // and slot, not the MPE's observation time.)
+            let inflight = if self.rec.is_enabled() {
+                self.athread.inflight()
+            } else {
+                Vec::new()
+            };
             for token in self.athread.try_complete(self.observable_now(ctx, cursor)) {
                 let p = self
                     .running
                     .remove(&token)
                     .expect("completion for an unknown kernel");
+                if let Some(h) = inflight.iter().find(|h| h.token == token) {
+                    self.rec.record(
+                        self.rank,
+                        h.done_at.0,
+                        Lane::Cpe(h.slot as u32),
+                        Event::OffloadDone { patch: p, token },
+                    );
+                }
                 cursor = self.finish_patch(ctx, cursor, p);
                 progressed = true;
             }
@@ -578,6 +606,12 @@ impl RankSched {
     fn prep_patch(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime, p: PatchId) -> SimTime {
         let cfg = ctx.machine.cfg().clone();
         let stage = self.patch_state[&p].stage;
+        self.rec.record(
+            self.rank,
+            cursor.0,
+            Lane::Mpe,
+            Event::TaskStart { patch: p, stage },
+        );
         let cells = ctx.level.patch(p).region.cells();
         cursor = self.consume_cat(
             ctx.machine,
@@ -632,6 +666,12 @@ impl RankSched {
             .get_mut(&p)
             .expect("prepping non-local patch")
             .prepped = true;
+        self.rec.record(
+            self.rank,
+            cursor.0,
+            Lane::Mpe,
+            Event::TaskEnd { patch: p, stage },
+        );
         cursor
     }
 
@@ -650,7 +690,19 @@ impl RankSched {
                 let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops)
                     .scale(1.0 / ctx.machine.cg_speed(self.rank));
                 let start = cursor.max(ctx.machine.cg(self.rank).mpe.free_at());
+                self.rec.record(
+                    self.rank,
+                    start.0,
+                    Lane::Mpe,
+                    Event::OffloadStart { patch: p, token: 0 },
+                );
                 cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.kernel);
+                self.rec.record(
+                    self.rank,
+                    cursor.0,
+                    Lane::Mpe,
+                    Event::OffloadDone { patch: p, token: 0 },
+                );
                 self.stats.kernel_spans.push((p, start, cursor));
                 *self.patch_cost.entry(p).or_default() += dur;
                 let counters = &mut ctx.machine.cg_mut(self.rank).counters;
@@ -685,6 +737,21 @@ impl RankSched {
                 let timing = self.kernel_cache[&(dims, self.variant.simd, stage)]
                     .timing
                     .clone();
+                // Record the offload hand-off *before* spawning: spawn
+                // appends the DMA window to the same CPE lane, and per-lane
+                // event order must stay time-monotone.
+                if self.rec.is_enabled() {
+                    let slot = self.athread.free_slot().expect("offload with no free slot") as u32;
+                    self.rec.record(
+                        self.rank,
+                        cursor.0,
+                        Lane::Cpe(slot),
+                        Event::OffloadStart {
+                            patch: p,
+                            token: self.athread.peek_token(),
+                        },
+                    );
+                }
                 let h = self.athread.spawn(ctx.machine, cursor, &timing, spin);
                 // Measure what the kernel actually took (including CG speed
                 // and machine noise) — the load balancer's cost signal.
@@ -701,6 +768,15 @@ impl RankSched {
                         .mpe
                         .spin_until(cursor, h.done_at);
                     assert_eq!(self.athread.try_complete(cursor), vec![h.token]);
+                    self.rec.record(
+                        self.rank,
+                        h.done_at.0,
+                        Lane::Cpe(h.slot as u32),
+                        Event::OffloadDone {
+                            patch: p,
+                            token: h.token,
+                        },
+                    );
                     cursor = self.finish_patch(ctx, cursor, p);
                 } else {
                     self.running.insert(h.token, p);
@@ -912,7 +988,8 @@ impl RankSched {
         let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
         cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
         if !ctx.reductions.contains_key(&self.step) {
-            let red = ModeledAllreduce::new(ctx.machine.cfg(), ctx.n_ranks, ctx.app.reduce_op());
+            let red = ModeledAllreduce::new(ctx.machine.cfg(), ctx.n_ranks, ctx.app.reduce_op())
+                .with_telemetry(self.rec.clone(), self.step as usize);
             ctx.reductions.insert(self.step, red);
         }
         let red = ctx.reductions.get_mut(&self.step).unwrap();
@@ -955,6 +1032,14 @@ impl RankSched {
             }
             self.dws.new.clear();
         }
+        // The reduction result became visible and the step's barrier is
+        // crossed at exactly the instant pushed to `step_end` — the derived
+        // phase pass reconciles against these.
+        let step = self.step as usize;
+        self.rec
+            .record(self.rank, cursor.0, Lane::Mpe, Event::ReduceDone { step });
+        self.rec
+            .record(self.rank, cursor.0, Lane::Mpe, Event::Barrier { step });
         self.stats.step_end.push(cursor);
         self.t += self.dt;
         self.step += 1;
@@ -1002,6 +1087,16 @@ impl RankSched {
                 self.wake_at = Some(at);
                 ctx.machine.timer_at(self.rank, at, 0);
             }
+        }
+        if !self.done && self.holding.is_none() {
+            self.rec.record(
+                self.rank,
+                cursor.0,
+                Lane::Mpe,
+                Event::Idle {
+                    until_ps: at.map_or(u64::MAX, |t| t.0),
+                },
+            );
         }
     }
 

@@ -113,6 +113,11 @@ pub struct SchedulerOptions {
     /// tile-plan violation). Off by default: the shipped plan builders are
     /// proved clean by tests, and the check is re-run by `repro analyze`.
     pub verify: bool,
+    /// Record structured telemetry (spans/events through a
+    /// `sw_telemetry::Recorder` threaded into the machine, MPI world,
+    /// athread groups, and schedulers). Off by default: the disabled
+    /// recorder's hot path is a single branch and zero allocation.
+    pub telemetry: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -123,6 +128,7 @@ impl Default for SchedulerOptions {
             packed_tiles: false,
             exec_policy: ExecPolicy::Serial,
             verify: false,
+            telemetry: false,
         }
     }
 }
@@ -167,6 +173,7 @@ mod tests {
         assert!(!o.double_buffer && !o.packed_tiles);
         assert_eq!(o.exec_policy, ExecPolicy::Serial);
         assert!(!o.verify, "verification is opt-in");
+        assert!(!o.telemetry, "telemetry is opt-in");
     }
 
     #[test]

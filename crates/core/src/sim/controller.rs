@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use sw_mpi::{ModeledAllreduce, MpiWorld};
 use sw_sim::{Machine, MachineConfig, MachineEvent, SimDur, SimTime};
+use sw_telemetry::Recorder;
 
 use crate::grid::{Level, PatchId};
 use crate::lb::LoadBalancer;
@@ -138,6 +139,10 @@ pub struct Simulation {
     /// `sw_athread::serial_fallback_count()` sampled when `run` starts; the
     /// report carries the delta, i.e. the demotions this run caused.
     fallback_base: u64,
+    /// Structured telemetry sink, threaded through the machine, the MPI
+    /// world, and every scheduler when `SchedulerOptions::telemetry` is set;
+    /// a disabled no-op recorder otherwise.
+    recorder: Recorder,
 }
 
 impl Simulation {
@@ -152,7 +157,20 @@ impl Simulation {
                 machine.set_cg_speed(cg, s);
             }
         }
-        let mpi = MpiWorld::new(cfg.n_ranks);
+        let mut mpi = MpiWorld::new(cfg.n_ranks);
+        // Telemetry: one recorder shared by every layer. Functional mode
+        // also captures wall-clock offsets (host time is meaningful there).
+        let recorder = if cfg.options.telemetry {
+            if cfg.exec == ExecMode::Functional {
+                Recorder::with_wall_clock(cfg.n_ranks)
+            } else {
+                Recorder::new(cfg.n_ranks)
+            }
+        } else {
+            Recorder::off()
+        };
+        machine.set_recorder(recorder.clone());
+        mpi.set_recorder(recorder.clone());
         let plans: Vec<_> = (0..cfg.n_ranks)
             .map(|r| build_rank_plan(&level, &assignment, r, app.ghost()))
             .collect();
@@ -174,6 +192,7 @@ impl Simulation {
                     cfg.steps,
                 );
                 sched.set_rebalance_every(cfg.rebalance_every);
+                sched.set_recorder(recorder.clone());
                 sched
             })
             .collect();
@@ -187,7 +206,14 @@ impl Simulation {
             reductions: BTreeMap::new(),
             ranks,
             fallback_base: sw_athread::serial_fallback_count(),
+            recorder,
         }
+    }
+
+    /// The telemetry recorder of this simulation. Disabled (and empty)
+    /// unless the run was configured with `SchedulerOptions::telemetry`.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The grid level.
@@ -271,6 +297,18 @@ impl Simulation {
                 }
                 MachineEvent::Timer { cg, .. } => ranks[cg].on_wake(ctx!(), t),
             }
+        }
+        // Every isend/irecv must have been matched and retired by the end of
+        // the run; a leaked handle is a scheduler bug. Release builds carry
+        // the same data in `RunReport::leaked_handles`.
+        debug_assert!(
+            mpi.quiescent(),
+            "run finished with leaked MPI handles (rank, tag): {:?}",
+            mpi.leaked()
+        );
+        if let Some(m) = self.recorder.metrics() {
+            m.serial_fallbacks
+                .add(sw_athread::serial_fallback_count().saturating_sub(self.fallback_base));
         }
         self.report()
     }
@@ -416,6 +454,7 @@ impl Simulation {
             cpe_busy,
             serial_fallbacks: sw_athread::serial_fallback_count()
                 .saturating_sub(self.fallback_base),
+            leaked_handles: self.mpi.leaked(),
         }
     }
 

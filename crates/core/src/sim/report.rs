@@ -36,6 +36,11 @@ pub struct RunReport {
     /// run). Nonzero means some offloads lost CPE-level parallelism; the
     /// sweep report surfaces it so the degradation is never silent.
     pub serial_fallbacks: u64,
+    /// MPI send/recv handles still open when the run finished, as
+    /// `(rank, tag)` pairs — in-flight sends by source rank, un-matched
+    /// receives by posting rank. Always empty for a correct scheduler
+    /// (debug builds additionally assert quiescence at end of run).
+    pub leaked_handles: Vec<(sw_mpi::Rank, sw_mpi::Tag)>,
 }
 
 impl RunReport {
@@ -121,6 +126,7 @@ mod tests {
             mpe_busy: SimDur::ZERO,
             cpe_busy: SimDur::ZERO,
             serial_fallbacks: 0,
+            leaked_handles: vec![],
         }
     }
 

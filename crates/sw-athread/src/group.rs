@@ -15,6 +15,7 @@
 //! [`sw_sim::MachineEvent::KernelDone`] carrying the token minted here.
 
 use sw_sim::{CgId, FlopCategory, Machine, SimDur, SimTime};
+use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::cost::{with_spin_penalty, KernelTiming};
 use crate::flag::CompletionFlag;
@@ -40,6 +41,8 @@ pub struct AthreadGroup {
     slots: Vec<Option<KernelHandle>>,
     flags: Vec<CompletionFlag>,
     kernels_run: u64,
+    /// Telemetry sink for DMA/offload hardware events (off by default).
+    rec: Recorder,
 }
 
 impl AthreadGroup {
@@ -63,7 +66,13 @@ impl AthreadGroup {
             slots: vec![None; groups],
             flags: (0..groups).map(|_| CompletionFlag::new(0)).collect(),
             kernels_run: 0,
+            rec: Recorder::off(),
         }
+    }
+
+    /// Thread a telemetry recorder through this group's DMA/offload events.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// The CG this group belongs to.
@@ -84,6 +93,13 @@ impl AthreadGroup {
     /// Index of a free slot, lowest first.
     pub fn free_slot(&self) -> Option<usize> {
         self.slots.iter().position(|s| s.is_none())
+    }
+
+    /// The token the next [`spawn`](Self::spawn) will mint. Lets the caller
+    /// record an `OffloadStart` *before* spawning, so the CPE lane's event
+    /// order stays time-monotone (spawn appends the DMA window itself).
+    pub fn peek_token(&self) -> u64 {
+        self.next_token
     }
 
     /// Whether every slot is occupied.
@@ -153,6 +169,32 @@ impl AthreadGroup {
             done_at,
         };
         self.slots[slot] = Some(h);
+        // DMA-in at kernel begin, DMA-out at completion: the CPE lane's
+        // hardware window. (The scheduler wraps this with OffloadStart/Done
+        // from the MPE's point of view.)
+        let lane = Lane::Cpe(slot as u32);
+        // `offload_kernel` starts the kernel at `start.max(now)` and does
+        // not advance virtual time, so this is the exact hardware begin.
+        let begin = start.max(machine.now());
+        self.rec.record(
+            self.cg,
+            begin.0,
+            lane,
+            Event::DmaIn {
+                bytes: timing.dma_bytes,
+            },
+        );
+        self.rec.record(
+            self.cg,
+            done_at.0,
+            lane,
+            Event::DmaOut {
+                bytes: timing.dma_bytes,
+            },
+        );
+        if let Some(m) = self.rec.metrics() {
+            m.offloads.inc();
+        }
         h
     }
 

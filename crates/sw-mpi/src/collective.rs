@@ -9,6 +9,7 @@
 //! one network latency plus a small per-hop software overhead.
 
 use sw_sim::{MachineConfig, SimDur, SimTime};
+use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::comm::Rank;
 
@@ -53,6 +54,9 @@ pub struct ModeledAllreduce {
     last_contribution: SimTime,
     hop: SimDur,
     hops: u32,
+    /// Telemetry sink + step label (disabled/0 by default).
+    rec: Recorder,
+    step: usize,
 }
 
 impl ModeledAllreduce {
@@ -68,7 +72,17 @@ impl ModeledAllreduce {
             last_contribution: SimTime::ZERO,
             hop: cfg.net_latency + cfg.mpi_call_overhead,
             hops: 2 * levels,
+            rec: Recorder::off(),
+            step: 0,
         }
+    }
+
+    /// Thread a telemetry recorder through contributions, labelled with the
+    /// timestep this reduction belongs to.
+    pub fn with_telemetry(mut self, rec: Recorder, step: usize) -> Self {
+        self.rec = rec;
+        self.step = step;
+        self
     }
 
     /// Rank `r` contributes `value` at `now`.
@@ -81,6 +95,15 @@ impl ModeledAllreduce {
         self.remaining -= 1;
         self.acc = self.op.apply(self.acc, value);
         self.last_contribution = self.last_contribution.max(now);
+        self.rec.record(
+            r,
+            now.0,
+            Lane::Mpe,
+            Event::ReduceContribute { step: self.step },
+        );
+        if let Some(m) = self.rec.metrics() {
+            m.reduce_contributions.inc();
+        }
     }
 
     /// Whether every rank has contributed.

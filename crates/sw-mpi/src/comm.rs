@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 
 use sw_sim::{CgId, Machine, SimTime};
+use sw_telemetry::{Event, Lane, Recorder};
 
 /// Rank in the simulated communicator (identical to the CG id: one MPI
 /// process per CG, paper §V-B).
@@ -119,6 +120,8 @@ pub struct MpiWorld {
     pub sends_posted: u64,
     /// Completed receives.
     pub recvs_completed: u64,
+    /// Telemetry sink for protocol events (disabled by default).
+    rec: Recorder,
 }
 
 /// Decode a wire token into (message id, phase).
@@ -146,7 +149,13 @@ impl MpiWorld {
             next_recv: 0,
             sends_posted: 0,
             recvs_completed: 0,
+            rec: Recorder::off(),
         }
+    }
+
+    /// Thread a telemetry recorder through the protocol events.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Communicator size.
@@ -174,6 +183,22 @@ impl MpiWorld {
         self.next_msg += 1;
         self.sends_posted += 1;
         let eager = bytes <= machine.cfg().eager_limit_bytes as u64;
+        self.rec.record(
+            src,
+            when.0,
+            Lane::Mpe,
+            Event::MsgPosted {
+                msg: id,
+                peer: dst,
+                tag,
+                bytes,
+                eager,
+            },
+        );
+        if let Some(m) = self.rec.metrics() {
+            m.messages_posted.inc();
+            m.msg_bytes.record(bytes);
+        }
         let (state, send_complete) = if eager {
             // Eager: payload leaves immediately; the library buffers it, so
             // the send request is complete as soon as it is injected.
@@ -181,6 +206,12 @@ impl MpiWorld {
             (MsgState::DataInFlight, true)
         } else {
             machine.net_send(src, dst, CTRL_BYTES, when, encode(id, PH_RTS));
+            self.rec.record(
+                src,
+                when.0,
+                Lane::Mpe,
+                Event::RtsSent { msg: id, peer: dst },
+            );
             (MsgState::RtsInFlight, false)
         };
         self.msgs.insert(
@@ -262,6 +293,12 @@ impl MpiWorld {
                         self.msgs.get_mut(&id).unwrap().matched_recv = Some(r);
                         machine.net_send(dst, src, CTRL_BYTES, now, encode(id, PH_CTS));
                         self.msgs.get_mut(&id).unwrap().state = MsgState::CtsInFlight;
+                        self.rec.record(
+                            dst,
+                            now.0,
+                            Lane::Mpe,
+                            Event::CtsSent { msg: id, peer: src },
+                        );
                         actions += 1;
                     }
                 }
@@ -286,6 +323,17 @@ impl MpiWorld {
                         req.complete = true;
                         req.payload = payload;
                         self.recvs_completed += 1;
+                        self.rec.record(
+                            dst,
+                            now.0,
+                            Lane::Mpe,
+                            Event::MsgDelivered {
+                                msg: id,
+                                peer: src,
+                                tag,
+                                bytes: self.msgs[&id].bytes,
+                            },
+                        );
                         actions += 1;
                         // Fully finished: retire from the live indexes (the
                         // eager/rendezvous send side is complete by now).
@@ -296,6 +344,17 @@ impl MpiWorld {
                 }
                 _ => {}
             }
+        }
+        self.rec.record(
+            rank,
+            now.0,
+            Lane::Mpe,
+            Event::ProgressCall {
+                actions: actions as u64,
+            },
+        );
+        if let Some(m) = self.rec.metrics() {
+            m.progress_calls.inc();
         }
         actions
     }
@@ -366,6 +425,21 @@ impl MpiWorld {
     /// retired eagerly, so this checks emptiness of the live set.
     pub fn quiescent(&self) -> bool {
         self.msgs.is_empty()
+    }
+
+    /// Outstanding handles at the end of a run, by `(rank, tag)`: one entry
+    /// per live message (attributed to the *sending* rank) and one per
+    /// posted-but-never-matched receive (attributed to the receiving rank).
+    /// A clean run returns an empty vector; anything else is a leak the
+    /// controller surfaces in `RunReport` instead of letting it vanish
+    /// silently.
+    pub fn leaked(&self) -> Vec<(Rank, Tag)> {
+        let mut out: Vec<(Rank, Tag)> = self.msgs.values().map(|m| (m.src, m.tag)).collect();
+        for (&(rank, _src, tag), q) in &self.posted {
+            out.extend(q.iter().map(|_| (rank, tag)));
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Drop completed receives (fully finished messages are already retired

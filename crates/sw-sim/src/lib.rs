@@ -13,7 +13,8 @@
 //! * [`mpe`] — serial busy-time accounting for the single management core;
 //! * [`ldm`] — the capacity-enforcing 64 KB scratchpad allocator;
 //! * [`flops`] — emulation of the precise per-CG floating-point counters;
-//! * [`trace`] — optional event tracing.
+//! * [`trace`] — the deprecated stringly trace, now a shim over the
+//!   structured `sw-telemetry` recorder.
 //!
 //! Higher layers (`sw-athread`, `sw-mpi`, `uintah-core`) mint opaque tokens,
 //! drive the machine through [`machine::Machine`]'s primitives, and interpret

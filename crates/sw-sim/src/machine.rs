@@ -9,6 +9,8 @@
 //! * `sw-mpi` mints message tokens and handles [`MachineEvent::NetDeliver`],
 //! * schedulers mint timer tokens and handle [`MachineEvent::Timer`].
 
+use sw_telemetry::{Event, Lane, Recorder};
+
 use crate::config::MachineConfig;
 use crate::event::EventQueue;
 use crate::flops::FlopCounters;
@@ -128,8 +130,9 @@ pub struct Machine {
     /// kernel it runs. Gives the measurement-driven load balancer real
     /// imbalance to correct.
     cg_speed: Vec<f64>,
-    /// Optional hardware-event trace (off by default).
-    trace: Trace,
+    /// Telemetry sink for hardware-level events (disabled by default; the
+    /// controller threads the run's recorder in via [`Machine::set_recorder`]).
+    rec: Recorder,
 }
 
 impl Machine {
@@ -143,18 +146,30 @@ impl Machine {
             stats: MachineStats::default(),
             noise: None,
             cg_speed: vec![1.0; n_cgs],
-            trace: Trace::disabled(),
+            rec: Recorder::off(),
         }
     }
 
-    /// Start recording a hardware-event trace (offloads, messages, timers).
-    pub fn enable_trace(&mut self) {
-        self.trace = Trace::enabled();
+    /// Thread a telemetry recorder through the machine's hardware events.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
-    /// The recorded trace (empty unless enabled).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The machine's telemetry recorder (disabled unless set/enabled).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Start recording hardware events into a fresh per-CG recorder.
+    #[deprecated(note = "use set_recorder with a sw_telemetry::Recorder")]
+    pub fn enable_trace(&mut self) {
+        self.rec = Recorder::new(self.cgs.len());
+    }
+
+    /// Legacy view of the recorded events (empty unless enabled).
+    #[deprecated(note = "use recorder() and sw_telemetry directly")]
+    pub fn trace(&self) -> Trace {
+        Trace::over(self.rec.clone())
     }
 
     /// Enable seeded kernel-duration noise of up to `frac`.
@@ -247,9 +262,6 @@ impl Machine {
         slot.cpe_busy_until = slot.cpe_busy_until.max(end);
         slot.cpe_busy_total += dur;
         self.stats.kernels += 1;
-        self.trace.record(begin, "offload", || {
-            format!("cg{cg} token{token} dur {dur} -> {end}")
-        });
         self.queue
             .schedule_at(end, MachineEvent::KernelDone { cg, token });
         end
@@ -275,9 +287,18 @@ impl Machine {
         let deliver = inject_end + self.cfg.net_latency;
         self.stats.messages += 1;
         self.stats.net_bytes += bytes;
-        self.trace.record(inject_start, "send", || {
-            format!("cg{src} -> cg{dst}, {bytes} B, deliver {deliver}")
-        });
+        self.rec.record(
+            src,
+            inject_start.0,
+            Lane::Wire,
+            Event::MsgOnWire {
+                msg: token,
+                src,
+                dst,
+                bytes,
+                deliver_ps: deliver.0,
+            },
+        );
         self.queue
             .schedule_at(deliver, MachineEvent::NetDeliver { dst, token });
         deliver
@@ -388,16 +409,38 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn trace_records_hardware_events_when_enabled() {
         let mut m = machine(2);
         m.offload_kernel(0, SimTime(0), SimDur(10), 1);
         assert!(m.trace().records().is_empty(), "off by default");
         m.enable_trace();
-        m.offload_kernel(0, SimTime(0), SimDur(10), 2);
         m.net_send(0, 1, 64, SimTime(0), 3);
-        assert_eq!(m.trace().with_tag("offload").count(), 1);
-        assert_eq!(m.trace().with_tag("send").count(), 1);
-        assert!(m.trace().render().contains("cg0 -> cg1"));
+        assert_eq!(m.trace().with_tag("send").len(), 1);
+        assert!(m.trace().render().contains("[send]"));
+    }
+
+    #[test]
+    fn recorder_captures_wire_events_typed() {
+        use sw_telemetry::Event;
+        let mut m = machine(2);
+        m.set_recorder(Recorder::new(2));
+        let deliver = m.net_send(0, 1, 64, SimTime(0), 3);
+        let snap = m.recorder().snapshot();
+        assert_eq!(snap[0].len(), 1, "wire event lands on the source rank");
+        match &snap[0][0].event {
+            Event::MsgOnWire {
+                msg,
+                src,
+                dst,
+                bytes,
+                deliver_ps,
+            } => {
+                assert_eq!((*msg, *src, *dst, *bytes), (3, 0, 1, 64));
+                assert_eq!(*deliver_ps, deliver.0);
+            }
+            other => panic!("expected MsgOnWire, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,75 +1,110 @@
-//! Optional event tracing for debugging and test assertions.
+//! **Deprecated** stringly trace, now a thin shim over the structured
+//! telemetry recorder.
 //!
-//! A [`Trace`] is a cheap append-only log of `(virtual time, tag, detail)`
-//! records. Tracing is off by default; when disabled, `record` is a no-op so
-//! hot loops pay only a branch.
+//! The old `Trace` was a `(time, tag, String)` debug log nobody threaded
+//! through the schedulers. Telemetry PR: the runtime now records *typed*
+//! events through [`sw_telemetry::Recorder`] (see `DESIGN.md` §11); this
+//! shim keeps the legacy surface alive for old tests by projecting typed
+//! events back to `(time, tag)` records. The string-formatting paths are
+//! gone — [`Trace::record`]'s detail closure is **never invoked** — and new
+//! code should hold a `Recorder` directly.
+
+use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::time::SimTime;
 
-/// One trace record.
+/// One legacy trace record, projected from a typed telemetry event. The
+/// free-form `detail` string of the old API no longer exists.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Virtual time of the event.
     pub at: SimTime,
-    /// Short category tag, e.g. `"offload"`, `"send"`.
-    pub tag: &'static str,
-    /// Free-form detail.
-    pub detail: String,
+    /// Legacy category tag, e.g. `"offload"`, `"send"`, or the typed
+    /// event's kind for events the old log never had.
+    pub tag: String,
 }
 
-/// Append-only virtual-time trace.
-#[derive(Debug, Default)]
+/// Legacy tag for a typed event.
+fn legacy_tag(ev: &Event) -> String {
+    match ev {
+        Event::Mark { tag } => (*tag).to_string(),
+        Event::MsgOnWire { .. } => "send".to_string(),
+        Event::OffloadStart { .. } => "offload".to_string(),
+        other => other.kind().to_string(),
+    }
+}
+
+/// Deprecated append-only trace: a view over a [`Recorder`].
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
-    enabled: bool,
-    records: Vec<TraceRecord>,
+    rec: Recorder,
 }
 
 impl Trace {
     /// A disabled trace (recording is a no-op).
     pub fn disabled() -> Self {
-        Self::default()
+        Trace {
+            rec: Recorder::off(),
+        }
     }
 
-    /// An enabled trace.
+    /// An enabled trace (a fresh single-rank recorder).
     pub fn enabled() -> Self {
         Trace {
-            enabled: true,
-            records: Vec::new(),
+            rec: Recorder::new(1),
         }
+    }
+
+    /// A trace view over an existing recorder.
+    pub fn over(rec: Recorder) -> Self {
+        Trace { rec }
+    }
+
+    /// The underlying recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Whether records are being kept.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.rec.is_enabled()
     }
 
-    /// Record an event (no-op when disabled). `detail` is only invoked when
-    /// enabled, so callers can pass a closure building an expensive string.
-    pub fn record(&mut self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
-        if self.enabled {
-            self.records.push(TraceRecord {
-                at,
-                tag,
-                detail: detail(),
-            });
-        }
+    /// Record a legacy marker (no-op when disabled). The `detail` closure
+    /// is **never invoked**: the stringly path is dead. Use a typed
+    /// [`sw_telemetry::Event`] on a [`Recorder`] instead.
+    #[deprecated(note = "record typed events through sw_telemetry::Recorder")]
+    pub fn record(&mut self, at: SimTime, tag: &'static str, _detail: impl FnOnce() -> String) {
+        self.rec.record(0, at.0, Lane::Mpe, Event::Mark { tag });
     }
 
-    /// All records so far.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All records so far, projected from the typed stream (rank-major,
+    /// time-ordered within a rank's lanes as recorded).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.rec
+            .snapshot()
+            .iter()
+            .flat_map(|buf| buf.iter())
+            .map(|r| TraceRecord {
+                at: SimTime(r.at_ps),
+                tag: legacy_tag(&r.event),
+            })
+            .collect()
     }
 
-    /// Records with a given tag.
-    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.tag == tag)
+    /// Records with a given legacy tag.
+    pub fn with_tag(&self, tag: &str) -> Vec<TraceRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.tag == tag)
+            .collect()
     }
 
     /// Render as text, one record per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for r in &self.records {
-            out.push_str(&format!("{} [{}] {}\n", r.at, r.tag, r.detail));
+        for r in self.records() {
+            out.push_str(&format!("{} [{}]\n", r.at, r.tag));
         }
         out
     }
@@ -80,9 +115,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_trace_records_nothing() {
+    fn disabled_trace_records_nothing_and_never_formats() {
         let mut t = Trace::disabled();
         let mut called = false;
+        #[allow(deprecated)]
         t.record(SimTime(1), "x", || {
             called = true;
             "detail".into()
@@ -94,12 +130,51 @@ mod tests {
     #[test]
     fn enabled_trace_keeps_order_and_filters() {
         let mut t = Trace::enabled();
-        t.record(SimTime(1), "send", || "a".into());
-        t.record(SimTime(2), "offload", || "b".into());
-        t.record(SimTime(3), "send", || "c".into());
+        let mut formatted = false;
+        #[allow(deprecated)]
+        {
+            t.record(SimTime(1), "send", || "a".into());
+            t.record(SimTime(2), "offload", || {
+                formatted = true;
+                "b".into()
+            });
+            t.record(SimTime(3), "send", || "c".into());
+        }
+        assert!(
+            !formatted,
+            "the string-formatting path is dead even when on"
+        );
         assert_eq!(t.records().len(), 3);
-        let sends: Vec<_> = t.with_tag("send").map(|r| r.detail.clone()).collect();
-        assert_eq!(sends, vec!["a", "c"]);
-        assert!(t.render().contains("[offload] b"));
+        let sends: Vec<_> = t.with_tag("send").iter().map(|r| r.at).collect();
+        assert_eq!(sends, vec![SimTime(1), SimTime(3)]);
+        assert!(t.render().contains("[offload]"));
+    }
+
+    #[test]
+    fn trace_projects_typed_events_to_legacy_tags() {
+        let rec = Recorder::new(2);
+        rec.record(
+            0,
+            5,
+            Lane::Wire,
+            Event::MsgOnWire {
+                msg: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                deliver_ps: 9,
+            },
+        );
+        rec.record(
+            1,
+            7,
+            Lane::Cpe(0),
+            Event::OffloadStart { patch: 3, token: 2 },
+        );
+        rec.record(1, 8, Lane::Mpe, Event::Barrier { step: 0 });
+        let t = Trace::over(rec);
+        assert_eq!(t.with_tag("send").len(), 1);
+        assert_eq!(t.with_tag("offload").len(), 1);
+        assert_eq!(t.with_tag("Barrier").len(), 1);
     }
 }

@@ -1,0 +1,240 @@
+//! Typed telemetry events and the lanes they are recorded on.
+//!
+//! Every event carries the *virtual* time it happened at (integer
+//! picoseconds on the simulated SW26010 clock, i.e. `sw_sim::SimTime.0` —
+//! this crate is a dependency leaf and deliberately stores the raw `u64`),
+//! plus an optional wall-clock offset when the recorder was created with
+//! [`crate::Recorder::with_wall_clock`] (functional mode, where host time is
+//! meaningful).
+
+/// Execution lane an event belongs to, within one rank (one core group).
+///
+/// Perfetto track mapping: `Mpe` → tid 0, `Cpe(k)` → tid `1 + k`,
+/// `Wire` → tid [`Lane::WIRE_TID`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// The management processing element (the MPE scheduler thread).
+    Mpe,
+    /// One CPE kernel slot (0-based slot index, not a physical CPE id:
+    /// a slot drives a whole 64-CPE spawn in this runtime's model).
+    Cpe(u32),
+    /// The synthetic "wire" track carrying in-flight network messages.
+    Wire,
+}
+
+impl Lane {
+    /// Perfetto thread id reserved for the wire track.
+    pub const WIRE_TID: u64 = 99;
+
+    /// Perfetto thread id for this lane within its rank's process.
+    pub fn tid(self) -> u64 {
+        match self {
+            Lane::Mpe => 0,
+            Lane::Cpe(k) => 1 + u64::from(k),
+            Lane::Wire => Self::WIRE_TID,
+        }
+    }
+
+    /// Human-readable track name (Perfetto thread_name metadata).
+    pub fn name(self) -> String {
+        match self {
+            Lane::Mpe => "MPE".into(),
+            Lane::Cpe(k) => format!("CPE slot {k}"),
+            Lane::Wire => "wire".into(),
+        }
+    }
+}
+
+/// A structured telemetry event.
+///
+/// Span-shaped pairs (`TaskStart`/`TaskEnd`, `OffloadStart`/`OffloadDone`,
+/// `DmaIn`/`DmaOut`) are matched per lane in recording order; the remaining
+/// variants are instants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// MPE begins preparing/executing a coarse task for `patch` at `stage`.
+    TaskStart {
+        /// Patch id the task operates on.
+        patch: usize,
+        /// Pipeline stage index.
+        stage: usize,
+    },
+    /// MPE finished the coarse task started by the matching [`Event::TaskStart`].
+    TaskEnd {
+        /// Patch id the task operates on.
+        patch: usize,
+        /// Pipeline stage index.
+        stage: usize,
+    },
+    /// A kernel offload was handed to this lane (CPE slot, or MPE when the
+    /// variant computes on the host).
+    OffloadStart {
+        /// Patch id the kernel computes.
+        patch: usize,
+        /// Kernel token (machine event token; 0 for MPE-host compute).
+        token: u64,
+    },
+    /// The offload started by the matching [`Event::OffloadStart`] completed.
+    OffloadDone {
+        /// Patch id the kernel computes.
+        patch: usize,
+        /// Kernel token (machine event token; 0 for MPE-host compute).
+        token: u64,
+    },
+    /// DMA of the kernel working set into LDM begins (span start).
+    DmaIn {
+        /// Bytes staged into LDM.
+        bytes: u64,
+    },
+    /// DMA of results back to main memory completes (span end).
+    DmaOut {
+        /// Bytes written back.
+        bytes: u64,
+    },
+    /// An `isend` was posted on this rank.
+    MsgPosted {
+        /// Message id (world-unique).
+        msg: u64,
+        /// Destination rank.
+        peer: usize,
+        /// MPI tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// Whether the eager protocol applies (payload on wire immediately).
+        eager: bool,
+    },
+    /// A message packet entered the interconnect (recorded on [`Lane::Wire`]
+    /// of the *source* rank).
+    MsgOnWire {
+        /// Message id, or raw wire token when the packet is a protocol
+        /// control packet (RTS/CTS).
+        msg: u64,
+        /// Source rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Bytes on the wire.
+        bytes: u64,
+        /// Virtual delivery time (ps) at the destination NIC.
+        deliver_ps: u64,
+    },
+    /// A payload was matched to its `irecv` and consumed at the destination.
+    MsgDelivered {
+        /// Message id.
+        msg: u64,
+        /// Source rank the payload came from.
+        peer: usize,
+        /// MPI tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Rendezvous request-to-send control packet left this rank.
+    RtsSent {
+        /// Message id.
+        msg: u64,
+        /// Destination rank.
+        peer: usize,
+    },
+    /// Rendezvous clear-to-send control packet left this rank.
+    CtsSent {
+        /// Message id.
+        msg: u64,
+        /// Source rank being cleared.
+        peer: usize,
+    },
+    /// One call into `MpiWorld::progress` on this rank.
+    ProgressCall {
+        /// Protocol actions taken by this call (0 = no-op poll).
+        actions: u64,
+    },
+    /// This rank contributed its local value to the timestep reduction.
+    ReduceContribute {
+        /// Timestep index.
+        step: usize,
+    },
+    /// The reduction result became visible on this rank.
+    ReduceDone {
+        /// Timestep index.
+        step: usize,
+    },
+    /// This rank crossed the end-of-step barrier (its `step_end` instant).
+    Barrier {
+        /// Timestep index that just ended.
+        step: usize,
+    },
+    /// The MPE went idle waiting for the machine, until `until_ps` (a timer
+    /// wakeup) or an unknown future event (`u64::MAX`).
+    Idle {
+        /// Scheduled wakeup time in ps (`u64::MAX` when event-driven).
+        until_ps: u64,
+    },
+    /// Untyped legacy marker (the deprecated `sw_sim::Trace` shim records
+    /// these; new code should use a typed variant).
+    Mark {
+        /// Static tag string.
+        tag: &'static str,
+    },
+}
+
+impl Event {
+    /// Short stable name for exporters and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TaskStart { .. } => "TaskStart",
+            Event::TaskEnd { .. } => "TaskEnd",
+            Event::OffloadStart { .. } => "OffloadStart",
+            Event::OffloadDone { .. } => "OffloadDone",
+            Event::DmaIn { .. } => "DmaIn",
+            Event::DmaOut { .. } => "DmaOut",
+            Event::MsgPosted { .. } => "MsgPosted",
+            Event::MsgOnWire { .. } => "MsgOnWire",
+            Event::MsgDelivered { .. } => "MsgDelivered",
+            Event::RtsSent { .. } => "RtsSent",
+            Event::CtsSent { .. } => "CtsSent",
+            Event::ProgressCall { .. } => "ProgressCall",
+            Event::ReduceContribute { .. } => "ReduceContribute",
+            Event::ReduceDone { .. } => "ReduceDone",
+            Event::Barrier { .. } => "Barrier",
+            Event::Idle { .. } => "Idle",
+            Event::Mark { .. } => "Mark",
+        }
+    }
+}
+
+/// One recorded event: virtual timestamp, optional wall-clock offset, lane,
+/// payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Virtual time in integer picoseconds (`sw_sim::SimTime.0`).
+    pub at_ps: u64,
+    /// Wall-clock nanoseconds since the recorder's epoch, when wall-clock
+    /// capture is enabled (functional mode); `None` otherwise.
+    pub wall_ns: Option<u64>,
+    /// Lane the event belongs to.
+    pub lane: Lane,
+    /// The event payload.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_tids_are_distinct_and_stable() {
+        assert_eq!(Lane::Mpe.tid(), 0);
+        assert_eq!(Lane::Cpe(0).tid(), 1);
+        assert_eq!(Lane::Cpe(7).tid(), 8);
+        assert_eq!(Lane::Wire.tid(), 99);
+        assert_eq!(Lane::Cpe(3).name(), "CPE slot 3");
+    }
+
+    #[test]
+    fn event_kind_names() {
+        assert_eq!(Event::TaskStart { patch: 0, stage: 0 }.kind(), "TaskStart");
+        assert_eq!(Event::Mark { tag: "x" }.kind(), "Mark");
+        assert_eq!(Event::Idle { until_ps: 5 }.kind(), "Idle");
+    }
+}

@@ -1,0 +1,180 @@
+//! Always-on cheap metrics: atomic counters and log2 histograms.
+//!
+//! The registry lives inside the recorder's shared `Inner`, so a disabled
+//! recorder pays exactly one branch and touches no metric. All operations
+//! are relaxed atomics: the registry is a statistics sink, not a
+//! synchronization primitive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket `b` counts values `v` with
+/// `bit_length(v) == b`, i.e. bucket 0 holds `v == 0`, bucket 1 holds
+/// `v == 1`, bucket 2 holds `2..=3`, … bucket 64 holds the top half of the
+/// `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2 histogram over `u64` samples (e.g. message bytes).
+#[derive(Debug)]
+pub struct Hist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Hist {
+    /// Bucket index for a sample: its bit length (`0` for `0`).
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot of the raw bucket counts.
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Non-empty buckets as `(lower_bound_inclusive, count)` pairs.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.snapshot()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+            .collect()
+    }
+}
+
+/// The metrics registry carried by an enabled recorder.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// CPE kernel offloads spawned.
+    pub offloads: Counter,
+    /// Calls into `MpiWorld::progress`.
+    pub progress_calls: Counter,
+    /// Point-to-point messages posted (`isend`s).
+    pub messages_posted: Counter,
+    /// Payload bytes per posted message, by log2 size class.
+    pub msg_bytes: Hist,
+    /// Functional offloads demoted from the parallel to the serial engine.
+    pub serial_fallbacks: Counter,
+    /// Per-rank reduction contributions.
+    pub reduce_contributions: Counter,
+}
+
+impl Metrics {
+    /// Render the registry as a hand-rolled JSON object (the workspace has
+    /// no serde_json; see `bench::perf::bench_json` for the idiom).
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "{indent}  \"offloads\": {},\n",
+            self.offloads.get()
+        ));
+        s.push_str(&format!(
+            "{indent}  \"progress_calls\": {},\n",
+            self.progress_calls.get()
+        ));
+        s.push_str(&format!(
+            "{indent}  \"messages_posted\": {},\n",
+            self.messages_posted.get()
+        ));
+        s.push_str(&format!(
+            "{indent}  \"serial_fallbacks\": {},\n",
+            self.serial_fallbacks.get()
+        ));
+        s.push_str(&format!(
+            "{indent}  \"reduce_contributions\": {},\n",
+            self.reduce_contributions.get()
+        ));
+        s.push_str(&format!("{indent}  \"msg_bytes_log2\": ["));
+        let nz = self.msg_bytes.nonzero();
+        for (i, (lo, c)) in nz.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"ge\": {lo}, \"count\": {c}}}{}",
+                if i + 1 == nz.len() { "" } else { ", " }
+            ));
+        }
+        s.push_str("]\n");
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        let h = Hist::default();
+        for v in [0u64, 1, 2, 3, 4, 1024, 1025] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let nz = h.nonzero();
+        assert!(nz.contains(&(0, 1)));
+        assert!(nz.contains(&(2, 2))); // 2 and 3
+        assert!(nz.contains(&(1024, 2))); // 1024 and 1025
+    }
+
+    #[test]
+    fn metrics_json_is_wellformed_ish() {
+        let m = Metrics::default();
+        m.offloads.add(3);
+        m.msg_bytes.record(4096);
+        let j = m.to_json("  ");
+        assert!(j.contains("\"offloads\": 3"));
+        assert!(j.contains("\"ge\": 4096, \"count\": 1"));
+    }
+}

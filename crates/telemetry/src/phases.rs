@@ -1,0 +1,538 @@
+//! Derived-metrics pass: per-step phase breakdowns, overlap efficiency,
+//! and the critical path through the event graph.
+//!
+//! The decomposition follows the comm/compute-attribution methodology of
+//! the HPX+LCI communication study and Task Bench's phase breakdowns: for
+//! every rank and timestep window we partition virtual time into **four
+//! disjoint phases** using exact integer interval algebra, so the four
+//! always sum to the window length (the reconciliation the proptests and
+//! `repro trace` assert):
+//!
+//! * **compute** — kernel execution with no message of this rank in flight;
+//! * **comm-hidden** — kernel execution *overlapping* an in-flight message
+//!   (the paper's §V-C claim: the async scheduler hides MPI progression
+//!   behind CPE kernels);
+//! * **comm-exposed** — a message in flight while no kernel runs (the cost
+//!   the sync scheduler pays);
+//! * **idle** — neither.
+//!
+//! A message is "in flight" for *both* endpoint ranks from its `MsgPosted`
+//! instant on the sender to its `MsgDelivered` instant on the receiver.
+//! Overlap efficiency = hidden / (hidden + exposed), i.e. the fraction of
+//! communication time the scheduler managed to hide.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventRecord, Lane};
+
+/// Half-open interval `[start, end)` in virtual picoseconds.
+pub type Iv = (u64, u64);
+
+/// Sort + merge into a disjoint, ordered union.
+fn normalize(mut ivs: Vec<Iv>) -> Vec<Iv> {
+    ivs.retain(|&(a, b)| b > a);
+    ivs.sort_unstable();
+    let mut out: Vec<Iv> = Vec::with_capacity(ivs.len());
+    for (a, b) in ivs {
+        match out.last_mut() {
+            Some((_, pe)) if a <= *pe => *pe = (*pe).max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Intersection of two normalized unions.
+fn intersect(a: &[Iv], b: &[Iv]) -> Vec<Iv> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Clip a normalized union to `[lo, hi)`.
+fn clip(a: &[Iv], lo: u64, hi: u64) -> Vec<Iv> {
+    a.iter()
+        .filter_map(|&(s, e)| {
+            let (s, e) = (s.max(lo), e.min(hi));
+            (e > s).then_some((s, e))
+        })
+        .collect()
+}
+
+/// Total length of a normalized union.
+fn total(a: &[Iv]) -> u64 {
+    a.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Phase split of one rank over one timestep window. The four phase fields
+/// sum to `window_ps` exactly (integer arithmetic, no rounding).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Timestep index.
+    pub step: usize,
+    /// Rank.
+    pub rank: usize,
+    /// Window length in ps (`step_end[s] - step_end[s-1]`).
+    pub window_ps: u64,
+    /// Kernel time with no in-flight message.
+    pub compute_ps: u64,
+    /// Kernel time overlapping an in-flight message (hidden comm).
+    pub hidden_ps: u64,
+    /// In-flight-message time with no kernel running (exposed comm).
+    pub exposed_ps: u64,
+    /// Neither kernel nor message.
+    pub idle_ps: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the four phases (must equal `window_ps`).
+    pub fn sum_ps(&self) -> u64 {
+        self.compute_ps + self.hidden_ps + self.exposed_ps + self.idle_ps
+    }
+}
+
+/// One hop of the critical path (walked backward, reported forward).
+#[derive(Clone, Debug)]
+pub struct CritPathEntry {
+    /// Rank the hop executes on (source rank for a message hop).
+    pub rank: usize,
+    /// `"kernel"`, `"task"`, or `"msg"`.
+    pub kind: &'static str,
+    /// Start of the hop (ps).
+    pub start_ps: u64,
+    /// End of the hop (ps).
+    pub end_ps: u64,
+    /// Human-readable detail (patch / message id).
+    pub detail: String,
+}
+
+/// Output of the derived-metrics pass.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    /// Number of ranks in the trace.
+    pub n_ranks: usize,
+    /// Global end-of-step times (ps), from the per-rank `Barrier` events
+    /// (max across ranks per step). Matches `RunReport::step_end`.
+    pub step_end_ps: Vec<u64>,
+    /// Per (step, rank) phase splits, step-major then rank order.
+    pub breakdowns: Vec<PhaseBreakdown>,
+    /// hidden / (hidden + exposed) over the whole run; `1.0` when there was
+    /// no communication at all.
+    pub overlap_efficiency: f64,
+    /// Critical path from t=0 to the last barrier, in forward order.
+    pub critical_path: Vec<CritPathEntry>,
+}
+
+impl PhaseReport {
+    /// Totals over all steps/ranks: `(compute, hidden, exposed, idle)` ps.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        self.breakdowns.iter().fold((0, 0, 0, 0), |acc, b| {
+            (
+                acc.0 + b.compute_ps,
+                acc.1 + b.hidden_ps,
+                acc.2 + b.exposed_ps,
+                acc.3 + b.idle_ps,
+            )
+        })
+    }
+}
+
+/// Paired span on a lane, used for kernel/task interval extraction.
+#[derive(Clone, Debug)]
+struct Span {
+    start: u64,
+    end: u64,
+    patch: usize,
+    kind: &'static str,
+}
+
+/// Extract paired kernel (offload) and task spans from one rank's buffer.
+fn spans_of(buf: &[EventRecord]) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut open_off: Vec<(u64, usize, u64, Lane)> = Vec::new();
+    let mut open_task: Vec<(u64, usize, usize, Lane)> = Vec::new();
+    for r in buf {
+        match &r.event {
+            Event::OffloadStart { patch, token } => {
+                open_off.push((r.at_ps, *patch, *token, r.lane));
+            }
+            Event::OffloadDone { patch, token } => {
+                if let Some(pos) = open_off
+                    .iter()
+                    .rposition(|&(_, p, t, l)| p == *patch && t == *token && l == r.lane)
+                {
+                    let (t0, p, _, _) = open_off.remove(pos);
+                    out.push(Span {
+                        start: t0,
+                        end: r.at_ps,
+                        patch: p,
+                        kind: "kernel",
+                    });
+                }
+            }
+            Event::TaskStart { patch, stage } => {
+                open_task.push((r.at_ps, *patch, *stage, r.lane));
+            }
+            Event::TaskEnd { patch, stage } => {
+                if let Some(pos) = open_task
+                    .iter()
+                    .rposition(|&(_, p, s, l)| p == *patch && s == *stage && l == r.lane)
+                {
+                    let (t0, p, _, _) = open_task.remove(pos);
+                    out.push(Span {
+                        start: t0,
+                        end: r.at_ps,
+                        patch: p,
+                        kind: "task",
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Run the derived-metrics pass over per-rank buffers (as produced by
+/// [`crate::Recorder::snapshot`]).
+pub fn analyze(ranks: &[Vec<EventRecord>]) -> PhaseReport {
+    let n_ranks = ranks.len();
+
+    // -- Step boundaries from Barrier events: global end = max over ranks.
+    let mut step_end: BTreeMap<usize, u64> = BTreeMap::new();
+    for buf in ranks {
+        for r in buf {
+            if let Event::Barrier { step } = r.event {
+                let e = step_end.entry(step).or_insert(0);
+                *e = (*e).max(r.at_ps);
+            }
+        }
+    }
+    let n_steps = step_end.keys().next_back().map_or(0, |&s| s + 1);
+    let step_end_ps: Vec<u64> = (0..n_steps)
+        .map(|s| step_end.get(&s).copied().unwrap_or(0))
+        .collect();
+
+    // -- Message in-flight windows: posted@src .. delivered@dst, attributed
+    //    to both endpoints. Unmatched messages clip to the trace end.
+    let trace_end = step_end_ps.last().copied().unwrap_or_else(|| {
+        ranks
+            .iter()
+            .flat_map(|b| b.iter().map(|r| r.at_ps))
+            .max()
+            .unwrap_or(0)
+    });
+    struct MsgFlight {
+        posted: u64,
+        src: usize,
+        dst: usize,
+        delivered: Option<u64>,
+    }
+    let mut flights: BTreeMap<u64, MsgFlight> = BTreeMap::new();
+    for (rank, buf) in ranks.iter().enumerate() {
+        for r in buf {
+            match &r.event {
+                Event::MsgPosted { msg, peer, .. } => {
+                    flights.insert(
+                        *msg,
+                        MsgFlight {
+                            posted: r.at_ps,
+                            src: rank,
+                            dst: *peer,
+                            delivered: None,
+                        },
+                    );
+                }
+                Event::MsgDelivered { msg, .. } => {
+                    if let Some(f) = flights.get_mut(msg) {
+                        f.delivered = Some(r.at_ps);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut comm_ivs: Vec<Vec<Iv>> = vec![Vec::new(); n_ranks];
+    for f in flights.values() {
+        let end = f.delivered.unwrap_or(trace_end).max(f.posted);
+        if end > f.posted {
+            if f.src < n_ranks {
+                comm_ivs[f.src].push((f.posted, end));
+            }
+            if f.dst < n_ranks && f.dst != f.src {
+                comm_ivs[f.dst].push((f.posted, end));
+            }
+        }
+    }
+
+    // -- Kernel unions and span lists per rank.
+    let all_spans: Vec<Vec<Span>> = ranks.iter().map(|b| spans_of(b)).collect();
+    let kernel_ivs: Vec<Vec<Iv>> = all_spans
+        .iter()
+        .map(|spans| {
+            normalize(
+                spans
+                    .iter()
+                    .filter(|s| s.kind == "kernel")
+                    .map(|s| (s.start, s.end))
+                    .collect(),
+            )
+        })
+        .collect();
+    let comm_ivs: Vec<Vec<Iv>> = comm_ivs.into_iter().map(normalize).collect();
+
+    // -- Phase split per (step, rank), exact integer partition.
+    let mut breakdowns = Vec::with_capacity(n_steps * n_ranks);
+    for (s, &end) in step_end_ps.iter().enumerate() {
+        let start = if s == 0 { 0 } else { step_end_ps[s - 1] };
+        let window = end.saturating_sub(start);
+        for rank in 0..n_ranks {
+            let k = clip(&kernel_ivs[rank], start, end);
+            let c = clip(&comm_ivs[rank], start, end);
+            let kc = intersect(&k, &c);
+            let (tk, tc, tkc) = (total(&k), total(&c), total(&kc));
+            breakdowns.push(PhaseBreakdown {
+                step: s,
+                rank,
+                window_ps: window,
+                compute_ps: tk - tkc,
+                hidden_ps: tkc,
+                exposed_ps: tc - tkc,
+                idle_ps: window - (tk + tc - tkc),
+            });
+        }
+    }
+
+    // -- Overlap efficiency over the whole run.
+    let (hidden, exposed) = breakdowns
+        .iter()
+        .fold((0u64, 0u64), |a, b| (a.0 + b.hidden_ps, a.1 + b.exposed_ps));
+    let overlap_efficiency = if hidden + exposed == 0 {
+        1.0
+    } else {
+        hidden as f64 / (hidden + exposed) as f64
+    };
+
+    // -- Critical path: greedy backward walk from the last barrier.
+    let mut critical_path = Vec::new();
+    if trace_end > 0 && n_ranks > 0 {
+        // Start on the rank whose final barrier is latest.
+        let mut rank = ranks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, buf)| {
+                buf.iter()
+                    .filter_map(|r| match r.event {
+                        Event::Barrier { .. } => Some(r.at_ps),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .map_or(0, |(r, _)| r);
+        let mut t = trace_end;
+        for _ in 0..100_000 {
+            // Latest-ending span on `rank` ending at or before `t`.
+            let span = all_spans[rank]
+                .iter()
+                .filter(|s| s.end <= t && s.end > s.start)
+                .max_by_key(|s| s.end);
+            // Latest message delivered to `rank` at or before `t`.
+            let msg = flights
+                .iter()
+                .filter(|(_, f)| f.dst == rank)
+                .filter_map(|(id, f)| f.delivered.filter(|&d| d <= t).map(|d| (id, f, d)))
+                .max_by_key(|&(_, _, d)| d);
+            let span_end = span.map_or(0, |s| s.end);
+            let msg_end = msg.map_or(0, |m| m.2);
+            if span_end == 0 && msg_end == 0 {
+                break;
+            }
+            if span_end >= msg_end {
+                let s = span.expect("span_end > 0 implies a span");
+                critical_path.push(CritPathEntry {
+                    rank,
+                    kind: s.kind,
+                    start_ps: s.start,
+                    end_ps: s.end,
+                    detail: format!("patch {}", s.patch),
+                });
+                if s.start >= t {
+                    break; // no progress; malformed trace
+                }
+                t = s.start;
+            } else {
+                let (id, f, d) = msg.expect("msg_end > 0 implies a message");
+                critical_path.push(CritPathEntry {
+                    rank: f.src,
+                    kind: "msg",
+                    start_ps: f.posted,
+                    end_ps: d,
+                    detail: format!("msg {id} {}->{}", f.src, f.dst),
+                });
+                if f.posted >= t {
+                    break;
+                }
+                t = f.posted;
+                rank = f.src;
+            }
+        }
+        critical_path.reverse();
+    }
+
+    PhaseReport {
+        n_ranks,
+        step_end_ps,
+        breakdowns,
+        overlap_efficiency,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ps: u64, lane: Lane, event: Event) -> EventRecord {
+        EventRecord {
+            at_ps,
+            wall_ns: None,
+            lane,
+            event,
+        }
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let u = normalize(vec![(5, 10), (0, 3), (9, 12), (12, 12)]);
+        assert_eq!(u, vec![(0, 3), (5, 12)]);
+        assert_eq!(total(&u), 10);
+        let v = normalize(vec![(2, 6), (11, 20)]);
+        assert_eq!(intersect(&u, &v), vec![(2, 3), (5, 6), (11, 12)]);
+        assert_eq!(clip(&u, 1, 6), vec![(1, 3), (5, 6)]);
+    }
+
+    /// One rank: kernel [10,60), message in flight [40,80), step ends at 100.
+    /// compute = [10,40) = 30, hidden = [40,60) = 20, exposed = [60,80) = 20,
+    /// idle = [0,10) + [80,100) = 30.
+    #[test]
+    fn four_way_partition_is_exact() {
+        let ranks = vec![
+            vec![
+                rec(10, Lane::Cpe(0), Event::OffloadStart { patch: 0, token: 1 }),
+                rec(
+                    40,
+                    Lane::Mpe,
+                    Event::MsgPosted {
+                        msg: 1,
+                        peer: 1,
+                        tag: 0,
+                        bytes: 64,
+                        eager: true,
+                    },
+                ),
+                rec(60, Lane::Cpe(0), Event::OffloadDone { patch: 0, token: 1 }),
+                rec(100, Lane::Mpe, Event::Barrier { step: 0 }),
+            ],
+            vec![
+                rec(
+                    80,
+                    Lane::Mpe,
+                    Event::MsgDelivered {
+                        msg: 1,
+                        peer: 0,
+                        tag: 0,
+                        bytes: 64,
+                    },
+                ),
+                rec(100, Lane::Mpe, Event::Barrier { step: 0 }),
+            ],
+        ];
+        let rep = analyze(&ranks);
+        assert_eq!(rep.step_end_ps, vec![100]);
+        let b0 = &rep.breakdowns[0];
+        assert_eq!(
+            (b0.compute_ps, b0.hidden_ps, b0.exposed_ps, b0.idle_ps),
+            (30, 20, 20, 30)
+        );
+        assert_eq!(b0.sum_ps(), b0.window_ps);
+        // Rank 1 sees the same flight but runs no kernel: all exposed.
+        let b1 = &rep.breakdowns[1];
+        assert_eq!(
+            (b1.compute_ps, b1.hidden_ps, b1.exposed_ps, b1.idle_ps),
+            (0, 0, 40, 60)
+        );
+        // Efficiency: hidden 20 vs exposed 60 total.
+        assert!((rep.overlap_efficiency - 20.0 / 80.0).abs() < 1e-12);
+        assert!(!rep.critical_path.is_empty());
+    }
+
+    #[test]
+    fn no_comm_means_perfect_efficiency() {
+        let ranks = vec![vec![
+            rec(0, Lane::Cpe(0), Event::OffloadStart { patch: 0, token: 1 }),
+            rec(50, Lane::Cpe(0), Event::OffloadDone { patch: 0, token: 1 }),
+            rec(50, Lane::Mpe, Event::Barrier { step: 0 }),
+        ]];
+        let rep = analyze(&ranks);
+        assert_eq!(rep.overlap_efficiency, 1.0);
+        let b = &rep.breakdowns[0];
+        assert_eq!((b.compute_ps, b.idle_ps), (50, 0));
+    }
+
+    #[test]
+    fn critical_path_hops_across_ranks() {
+        // Rank 1's final kernel depends on a message from rank 0, which
+        // depends on rank 0's kernel.
+        let ranks = vec![
+            vec![
+                rec(0, Lane::Cpe(0), Event::OffloadStart { patch: 0, token: 1 }),
+                rec(30, Lane::Cpe(0), Event::OffloadDone { patch: 0, token: 1 }),
+                rec(
+                    30,
+                    Lane::Mpe,
+                    Event::MsgPosted {
+                        msg: 5,
+                        peer: 1,
+                        tag: 0,
+                        bytes: 64,
+                        eager: true,
+                    },
+                ),
+                rec(60, Lane::Mpe, Event::Barrier { step: 0 }),
+            ],
+            vec![
+                rec(
+                    50,
+                    Lane::Mpe,
+                    Event::MsgDelivered {
+                        msg: 5,
+                        peer: 0,
+                        tag: 0,
+                        bytes: 64,
+                    },
+                ),
+                rec(50, Lane::Cpe(0), Event::OffloadStart { patch: 1, token: 2 }),
+                rec(90, Lane::Cpe(0), Event::OffloadDone { patch: 1, token: 2 }),
+                rec(90, Lane::Mpe, Event::Barrier { step: 0 }),
+            ],
+        ];
+        let rep = analyze(&ranks);
+        let kinds: Vec<&str> = rep.critical_path.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["kernel", "msg", "kernel"]);
+        assert_eq!(rep.critical_path[0].rank, 0);
+        assert_eq!(rep.critical_path[2].rank, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The zero-cost-when-disabled event recorder.
+//!
+//! A [`Recorder`] is a cheap clonable handle. Disabled (the default and
+//! [`Recorder::off`]), it holds `None` and every [`Recorder::record`] call
+//! is a single branch — no allocation, no atomics, no time query (the
+//! counting-allocator test in `tests/alloc_count.rs` proves the allocation
+//! half). Enabled, it appends to a per-rank `Mutex<Vec<EventRecord>>`
+//! buffer; per-rank locks never contend in the single-threaded simulator
+//! and stay correct under the functional-mode worker pool.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, EventRecord, Lane};
+use crate::metrics::Metrics;
+
+#[derive(Debug)]
+struct Inner {
+    /// Per-rank append buffers.
+    buf: Vec<Mutex<Vec<EventRecord>>>,
+    /// Always-on counters/histograms.
+    metrics: Metrics,
+    /// Wall-clock epoch; `Some` when wall-clock capture is on.
+    epoch: Option<Instant>,
+}
+
+/// Handle to the telemetry sink. `Default`/[`Recorder::off`] is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: recording is a branch-only no-op.
+    pub fn off() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with one buffer per rank, virtual time only.
+    pub fn new(n_ranks: usize) -> Self {
+        Self::build(n_ranks, false)
+    }
+
+    /// An enabled recorder that additionally stamps each event with host
+    /// wall-clock nanoseconds since creation (functional mode).
+    pub fn with_wall_clock(n_ranks: usize) -> Self {
+        Self::build(n_ranks, true)
+    }
+
+    fn build(n_ranks: usize, wall: bool) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                buf: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
+                metrics: Metrics::default(),
+                epoch: wall.then(Instant::now),
+            })),
+        }
+    }
+
+    /// Whether events are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of rank buffers (0 when disabled).
+    pub fn n_ranks(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.buf.len())
+    }
+
+    /// Record `event` on `lane` of `rank` at virtual time `at_ps`
+    /// (picoseconds, `sw_sim::SimTime.0`). No-op when disabled. Events for
+    /// ranks beyond the buffer count are dropped (callers created the
+    /// recorder with the world size, so this only happens in tests).
+    #[inline]
+    pub fn record(&self, rank: usize, at_ps: u64, lane: Lane, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        let Some(buf) = inner.buf.get(rank) else {
+            return;
+        };
+        let wall_ns = inner
+            .epoch
+            .map(|e| u64::try_from(e.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        buf.lock()
+            .expect("telemetry buffer poisoned")
+            .push(EventRecord {
+                at_ps,
+                wall_ns,
+                lane,
+                event,
+            });
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Snapshot all per-rank buffers (clones; recording may continue).
+    /// Empty when disabled.
+    pub fn snapshot(&self) -> Vec<Vec<EventRecord>> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .buf
+                .iter()
+                .map(|m| m.lock().expect("telemetry buffer poisoned").clone())
+                .collect(),
+        }
+    }
+
+    /// Total events captured across all ranks.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner
+                .buf
+                .iter()
+                .map(|m| m.lock().expect("telemetry buffer poisoned").len())
+                .sum(),
+        }
+    }
+
+    /// True when no events have been captured (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_drops_everything() {
+        let r = Recorder::off();
+        assert!(!r.is_enabled());
+        r.record(0, 10, Lane::Mpe, Event::Mark { tag: "x" });
+        assert!(r.is_empty());
+        assert!(r.snapshot().is_empty());
+        assert!(r.metrics().is_none());
+    }
+
+    #[test]
+    fn enabled_recorder_buffers_per_rank() {
+        let r = Recorder::new(2);
+        assert!(r.is_enabled());
+        assert_eq!(r.n_ranks(), 2);
+        r.record(0, 5, Lane::Mpe, Event::Mark { tag: "a" });
+        r.record(1, 7, Lane::Cpe(0), Event::Mark { tag: "b" });
+        r.record(9, 1, Lane::Mpe, Event::Mark { tag: "dropped" });
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].len(), 1);
+        assert_eq!(snap[0][0].at_ps, 5);
+        assert_eq!(snap[0][0].wall_ns, None);
+        assert_eq!(snap[1][0].lane, Lane::Cpe(0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let r = Recorder::new(1);
+        let r2 = r.clone();
+        r2.record(0, 1, Lane::Mpe, Event::Mark { tag: "via clone" });
+        assert_eq!(r.len(), 1);
+        r.metrics().unwrap().offloads.inc();
+        assert_eq!(r2.metrics().unwrap().offloads.get(), 1);
+    }
+
+    #[test]
+    fn wall_clock_stamps_when_requested() {
+        let r = Recorder::with_wall_clock(1);
+        r.record(0, 1, Lane::Mpe, Event::Mark { tag: "w" });
+        let snap = r.snapshot();
+        assert!(snap[0][0].wall_ns.is_some());
+    }
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate the `repro trace` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* every TRACE_*.perfetto.json is well-formed Chrome trace-event JSON:
+  a {"traceEvents": [...]} object whose events all carry ph/pid (and tid
+  for everything except process-level "M" metadata), with at least one
+  "X" span and more than one distinct (pid, tid) track;
+* TIMELINE.json is well-formed, every variant is `reconciled` (phase
+  windows equal RunReport::step_end exactly and the four-way splits sum),
+  every overlap efficiency lies in [0, 1], and every per-(step, rank)
+  breakdown sums to its window;
+* each async variant hides strictly more communication than its sync
+  counterpart with the same kernel (the paper's core claim, made visible).
+
+Usage: validate_trace.py <results-dir>
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_perfetto(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    tracks = set()
+    spans = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph is None or "pid" not in e:
+            fail(f"{path}: event without ph/pid: {e}")
+        if ph == "M":
+            continue  # metadata: process-level entries legally lack tid
+        if "tid" not in e:
+            fail(f"{path}: non-metadata event without tid: {e}")
+        tracks.add((e["pid"], e["tid"]))
+        if ph == "X":
+            spans += 1
+            if e.get("dur", -1) < 0 or e.get("ts", -1) < 0:
+                fail(f"{path}: span with negative ts/dur: {e}")
+    if spans == 0:
+        fail(f"{path}: no complete ('X') spans")
+    if len(tracks) < 2:
+        fail(f"{path}: fewer than two tracks ({tracks})")
+    print(
+        f"validate_trace: {os.path.basename(path)}: "
+        f"{len(events)} events, {len(tracks)} tracks, {spans} spans"
+    )
+
+
+def check_timeline(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    variants = doc.get("variants")
+    if not variants:
+        fail(f"{path}: no variants")
+    eff = {}
+    for v in variants:
+        name = v.get("variant", "?")
+        if v.get("reconciled") is not True:
+            fail(f"{path}: variant {name} not reconciled with its RunReport")
+        e = v.get("overlap_efficiency")
+        if not isinstance(e, (int, float)) or not 0.0 <= e <= 1.0:
+            fail(f"{path}: variant {name} overlap_efficiency {e} not in [0,1]")
+        eff[name] = e
+        for b in v.get("breakdowns", []):
+            parts = b["compute_ps"] + b["hidden_ps"] + b["exposed_ps"] + b["idle_ps"]
+            if parts != b["window_ps"]:
+                fail(
+                    f"{path}: variant {name} step {b['step']} rank {b['rank']}: "
+                    f"split sums to {parts}, window is {b['window_ps']}"
+                )
+    # Async must hide strictly more communication than sync *for the same
+    # kernel* (SIMD kernels are shorter, so cross-kernel comparisons are
+    # meaningless).
+    for sync_name, async_name in (
+        ("acc.sync", "acc.async"),
+        ("acc_simd.sync", "acc_simd.async"),
+    ):
+        if sync_name in eff and async_name in eff:
+            if eff[async_name] <= eff[sync_name]:
+                fail(
+                    f"{path}: {async_name} efficiency {eff[async_name]} not "
+                    f"strictly above {sync_name} {eff[sync_name]}"
+                )
+    print(
+        "validate_trace: TIMELINE.json: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in sorted(eff.items()))
+    )
+
+
+def main() -> None:
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    traces = sorted(glob.glob(os.path.join(results, "TRACE_*.perfetto.json")))
+    if not traces:
+        fail(f"no TRACE_*.perfetto.json under {results}")
+    for t in traces:
+        check_perfetto(t)
+    timeline = os.path.join(results, "TIMELINE.json")
+    if not os.path.exists(timeline):
+        fail(f"{timeline} missing")
+    check_timeline(timeline)
+    print("validate_trace: OK")
+
+
+if __name__ == "__main__":
+    main()
