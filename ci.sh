@@ -46,6 +46,19 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping trace JSON schema validation"
   fi
+
+  step "resilience campaign (repro faults)"
+  # Byte-identity under recoverable faults across all Table IV variants,
+  # kill + checkpoint-restart reconvergence, harsh-preset degradation.
+  # Exits non-zero on any failed proof; writes results/FAULTS.json and
+  # results/ckpt/step*.ckpt.
+  cargo run --release -p bench --bin repro -- faults --seed 42
+  # Schema + invariant validation of the written report.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_faults.py results
+  else
+    echo "python3 not found; skipping faults JSON validation"
+  fi
 fi
 
 # Best-effort: run the unsafe tile write-back path under miri when the

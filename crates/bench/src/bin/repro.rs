@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin repro -- bench-json
 //! cargo run --release -p bench --bin repro -- analyze
 //! cargo run --release -p bench --bin repro -- trace --problem 16x16x512 --cgs 4
+//! cargo run --release -p bench --bin repro -- faults --seed 42
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -38,6 +39,74 @@ fn warn_serial_fallbacks() {
              parallel to the serial engine because their tile assignment was \
              not an exact partition (see sw_athread::serial_fallback_count)"
         );
+    }
+}
+
+/// Master seed for everything stochastic in the harness: the fault plans
+/// of `faults` and the kernel-noise streams of `fidelity`. Default 42.
+fn seed_arg(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed N"))
+        .unwrap_or(42)
+}
+
+/// `faults` subcommand: the resilience campaign — byte-identity under the
+/// standard recoverable preset across all Table IV variants, a kill +
+/// checkpoint-restart proof, the harsh degradation proof, and the
+/// Model-mode virtual-time overhead of the fault plane. Writes
+/// `results/FAULTS.json`; exits non-zero if any proof fails (the ci.sh
+/// faults stage relies on it).
+fn run_faults(seed: u64) {
+    let dir = std::path::Path::new("results");
+    let outcome = bench::faults::write_faults_json(dir, seed).expect("write results/FAULTS.json");
+    println!("== Resilience: fault injection campaign (seed {seed}) ==");
+    for c in &outcome.identity {
+        println!(
+            "{:>14}: bit_identical={} | injected {} detected {} retried {} recovered {} unrecovered {}",
+            c.variant,
+            c.bit_identical,
+            c.counts.total_injected(),
+            c.counts.detected_offload + c.counts.detected_msg,
+            c.counts.retries_offload + c.counts.resends_msg,
+            c.counts.recovered_offload + c.counts.recovered_msg,
+            c.counts.unrecovered
+        );
+    }
+    println!(
+        "restart: resumed from step {} ({} ckpt bytes) -> identical={} (restored {})",
+        outcome.restart.resumed_step,
+        outcome.restart.ckpt_bytes,
+        outcome.restart.restart_identical,
+        outcome.restart.counts.checkpoints_restored
+    );
+    println!(
+        "harsh: completed={} quiescent={} | degraded {} unrecovered {} blacklisted {}",
+        outcome.harsh.completed,
+        outcome.harsh.quiescent,
+        outcome.harsh.counts.serial_degradations,
+        outcome.harsh.counts.unrecovered,
+        outcome.harsh.counts.slots_blacklisted
+    );
+    for c in &outcome.overhead {
+        println!(
+            "model overhead {:>14}: clean {:.3e} s/step, faulted {:.3e} s/step -> {:+.1}%",
+            c.variant,
+            c.clean_tps,
+            c.faulted_tps,
+            c.overhead_frac() * 100.0
+        );
+    }
+    println!(
+        "{} faults injected across the campaign; wrote {}",
+        outcome.total_injected(),
+        dir.join("FAULTS.json").display()
+    );
+    let failures = outcome.failures();
+    if failures > 0 {
+        eprintln!("ERROR: {failures} resilience proof(s) failed");
+        std::process::exit(1);
     }
 }
 
@@ -128,6 +197,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     let jobs = jobs_arg(&args);
+    let seed = seed_arg(&args);
     let positional: Vec<&String> = {
         let mut skip_next = false;
         args.iter()
@@ -143,6 +213,7 @@ fn main() {
                     "--cgs",
                     "--variant",
                     "--steps",
+                    "--seed",
                 ]
                 .contains(&a.as_str())
                 {
@@ -162,6 +233,16 @@ fn main() {
     if positional.iter().any(|a| *a == "trace") {
         run_trace(&args);
         if positional.iter().all(|a| *a == "trace") {
+            return;
+        }
+    }
+
+    // Resilience campaign: fault injection, checkpoint/restart, and
+    // degradation proofs -> results/FAULTS.json. Explicit only (writes
+    // results/, not a paper table); exits non-zero on a failed proof.
+    if positional.iter().any(|a| *a == "faults") {
+        run_faults(seed);
+        if positional.iter().all(|a| *a == "faults") {
             return;
         }
     }
@@ -390,7 +471,7 @@ fn main() {
     if want("fidelity") {
         print_table(
             "Fidelity: best-of-N under kernel noise (32x64x512, 8 CGs)",
-            &bench::fidelity::fidelity_best_of_n(5),
+            &bench::fidelity::fidelity_best_of_n(5, seed),
         );
         print_table(
             "Fidelity: measurement-driven rebalance with one slow CG (16x16x512, 4 CGs)",

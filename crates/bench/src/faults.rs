@@ -1,0 +1,405 @@
+//! Fault-injection experiments: the `repro faults` subcommand.
+//!
+//! Three proofs, all against the paper's Burgers model problem, written to
+//! `results/FAULTS.json`:
+//!
+//! 1. **Byte identity** — every Table IV variant run under the standard
+//!    recoverable preset must produce the exact fault-free bits (retries
+//!    re-execute idempotent kernels, resends carry identical payloads,
+//!    duplicates are suppressed), with zero unrecovered faults.
+//! 2. **Kill + restart** — a faulted run checkpointing every N steps is
+//!    "killed" at the mid-flight checkpoint; a fresh process restores from
+//!    the `.ckpt` file, replays the remaining steps under the same fault
+//!    plan, and must land on the byte-identical final field.
+//! 3. **Graceful degradation** — the harsh preset (recovery *not*
+//!    guaranteed, tiny retry budget) must complete quiescently, with every
+//!    exhausted budget accounted as a degradation instead of a crash.
+//!
+//! A Model-mode sweep at paper scale additionally measures the virtual-time
+//! cost of the fault plane (retry/backoff/resend overhead) per variant.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use sw_resilience::{Checkpoint, FaultConfig, FaultCounts};
+use uintah_core::grid::iv;
+use uintah_core::{ExecMode, Level, RunConfig, RunReport, Simulation, Variant};
+
+use crate::problems::SMALL;
+
+/// The functional proof problem: small enough to run every variant twice
+/// (clean + faulted) with real data in well under a second.
+fn proof_level() -> Level {
+    Level::new(iv(8, 8, 8), iv(2, 2, 2))
+}
+
+fn functional_run(
+    variant: Variant,
+    steps: u32,
+    n_ranks: usize,
+    faults: Option<FaultConfig>,
+    ckpt: Option<(u32, &Path)>,
+) -> (Simulation, RunReport) {
+    let level = proof_level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Functional, n_ranks);
+    cfg.steps = steps;
+    cfg.options.faults = faults;
+    if let Some((every, dir)) = ckpt {
+        cfg.ckpt_every = Some(every);
+        cfg.ckpt_dir = Some(dir.to_path_buf());
+    }
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    (sim, report)
+}
+
+/// Final field of every patch as exact bit patterns.
+fn bits(sim: &Simulation) -> Vec<Vec<u64>> {
+    let level = sim.level();
+    (0..level.n_patches())
+        .map(|p| {
+            let var = sim.solution(p);
+            level
+                .patch(p)
+                .region
+                .iter()
+                .map(|c| var.get(c).to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// One byte-identity cell: a Table IV variant under the standard preset.
+#[derive(Clone, Debug)]
+pub struct IdentityCell {
+    /// Variant name (Table IV).
+    pub variant: &'static str,
+    /// Faulted bits == fault-free bits, cell for cell.
+    pub bit_identical: bool,
+    /// Fault counters of the faulted run.
+    pub counts: FaultCounts,
+}
+
+/// Outcome of the kill + restart proof.
+#[derive(Clone, Debug)]
+pub struct RestartProof {
+    /// Step the restored run resumed from.
+    pub resumed_step: u32,
+    /// Checkpoint file size in bytes.
+    pub ckpt_bytes: u64,
+    /// Restored final field == uninterrupted final field, bit for bit.
+    pub restart_identical: bool,
+    /// Counters of the restored run (includes `checkpoints_restored`).
+    pub counts: FaultCounts,
+}
+
+/// Outcome of the harsh-preset degradation proof.
+#[derive(Clone, Debug)]
+pub struct HarshProof {
+    /// The run completed all its steps without panicking or leaking.
+    pub completed: bool,
+    /// No MPI handle was left open at shutdown.
+    pub quiescent: bool,
+    /// Counters (degradations and unrecovered faults are expected).
+    pub counts: FaultCounts,
+}
+
+/// One Model-mode overhead cell: virtual time-per-step with and without
+/// the fault plane, at paper scale.
+#[derive(Clone, Debug)]
+pub struct OverheadCell {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Clean virtual time per step (s).
+    pub clean_tps: f64,
+    /// Faulted virtual time per step (s).
+    pub faulted_tps: f64,
+    /// Fault counters of the faulted run.
+    pub counts: FaultCounts,
+}
+
+impl OverheadCell {
+    /// Fractional virtual-time cost of faults + recovery.
+    pub fn overhead_frac(&self) -> f64 {
+        self.faulted_tps / self.clean_tps - 1.0
+    }
+}
+
+/// Everything `repro faults` measures.
+#[derive(Clone, Debug)]
+pub struct FaultsOutcome {
+    /// Master seed the fault plans were built from.
+    pub seed: u64,
+    /// Byte-identity proof per Table IV variant.
+    pub identity: Vec<IdentityCell>,
+    /// Kill + restart proof.
+    pub restart: RestartProof,
+    /// Harsh degradation proof.
+    pub harsh: HarshProof,
+    /// Model-mode virtual-time overhead (sync and async offload variants).
+    pub overhead: Vec<OverheadCell>,
+}
+
+impl FaultsOutcome {
+    /// Number of failed acceptance checks (0 = all proofs hold).
+    pub fn failures(&self) -> usize {
+        let mut n = 0;
+        for c in &self.identity {
+            if !c.bit_identical || c.counts.unrecovered != 0 {
+                n += 1;
+            }
+        }
+        if !self.restart.restart_identical || self.restart.counts.checkpoints_restored != 1 {
+            n += 1;
+        }
+        if !self.harsh.completed || !self.harsh.quiescent {
+            n += 1;
+        }
+        n
+    }
+
+    /// Total faults injected across every proof run.
+    pub fn total_injected(&self) -> u64 {
+        self.identity
+            .iter()
+            .map(|c| c.counts.total_injected())
+            .chain([self.restart.counts.total_injected()])
+            .chain([self.harsh.counts.total_injected()])
+            .chain(self.overhead.iter().map(|c| c.counts.total_injected()))
+            .sum()
+    }
+
+    /// Render as a JSON document (hand-rolled: the workspace serde is a
+    /// no-op shim).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"byte_identity\": [\n");
+        for (i, c) in self.identity.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"bit_identical\": {}, \"counts\": {}}}{}\n",
+                c.variant,
+                c.bit_identical,
+                c.counts.to_json(),
+                if i + 1 < self.identity.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"restart\": {{\"resumed_step\": {}, \"ckpt_bytes\": {}, \"restart_identical\": {}, \"counts\": {}}},\n",
+            self.restart.resumed_step,
+            self.restart.ckpt_bytes,
+            self.restart.restart_identical,
+            self.restart.counts.to_json()
+        ));
+        s.push_str(&format!(
+            "  \"harsh\": {{\"completed\": {}, \"quiescent\": {}, \"counts\": {}}},\n",
+            self.harsh.completed,
+            self.harsh.quiescent,
+            self.harsh.counts.to_json()
+        ));
+        s.push_str("  \"model_overhead\": [\n");
+        for (i, c) in self.overhead.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"clean_tps\": {:e}, \"faulted_tps\": {:e}, \"overhead_frac\": {:.6}, \"counts\": {}}}{}\n",
+                c.variant,
+                c.clean_tps,
+                c.faulted_tps,
+                c.overhead_frac(),
+                c.counts.to_json(),
+                if i + 1 < self.overhead.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"failures\": {},\n", self.failures()));
+        s.push_str(&format!(
+            "  \"total_injected\": {}\n",
+            self.total_injected()
+        ));
+        s.push('}');
+        s
+    }
+}
+
+/// Run the full fault campaign with the given master seed.
+pub fn run_faults(seed: u64, ckpt_dir: &Path) -> FaultsOutcome {
+    const STEPS: u32 = 6;
+    const RANKS: usize = 4;
+
+    // Proof 1: byte identity across every Table IV variant.
+    let identity: Vec<IdentityCell> = Variant::TABLE_IV
+        .iter()
+        .map(|&variant| {
+            let (clean, _) = functional_run(variant, STEPS, RANKS, None, None);
+            let (faulted, report) = functional_run(
+                variant,
+                STEPS,
+                RANKS,
+                Some(FaultConfig::standard(seed)),
+                None,
+            );
+            IdentityCell {
+                variant: variant.name(),
+                bit_identical: bits(&clean) == bits(&faulted),
+                counts: report.faults.expect("faulted run reports counters"),
+            }
+        })
+        .collect();
+
+    // Proof 2: kill at the mid-flight checkpoint, restart, reconverge.
+    let restart = {
+        const TOTAL: u32 = 8;
+        const EVERY: u32 = 4;
+        std::fs::remove_dir_all(ckpt_dir).ok();
+        let faults = Some(FaultConfig::standard(seed));
+        let (base, _) = functional_run(
+            Variant::ACC_SIMD_ASYNC,
+            TOTAL,
+            RANKS,
+            faults,
+            Some((EVERY, ckpt_dir)),
+        );
+        let path = ckpt_dir.join(format!("step{EVERY:05}.ckpt"));
+        let ckpt_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let ckpt = Checkpoint::read_from(&path).expect("read mid-flight checkpoint");
+        let resumed_step = ckpt.step;
+        // "Kill": the first process is gone; this fresh simulation is the
+        // restarted one, beginning from the on-disk state alone.
+        let level = proof_level();
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, RANKS);
+        cfg.steps = TOTAL;
+        cfg.options.faults = faults;
+        let mut restored = Simulation::new(level, app, cfg);
+        restored.restore_from(ckpt);
+        let report = restored.run();
+        RestartProof {
+            resumed_step,
+            ckpt_bytes,
+            restart_identical: bits(&base) == bits(&restored),
+            counts: report.faults.expect("restored run reports counters"),
+        }
+    };
+
+    // Proof 3: harsh preset degrades, never crashes.
+    let harsh = {
+        let (_, report) = functional_run(
+            Variant::ACC_ASYNC,
+            STEPS,
+            RANKS,
+            Some(FaultConfig::harsh(seed)),
+            None,
+        );
+        HarshProof {
+            completed: report.steps == STEPS,
+            quiescent: report.leaked_handles.is_empty(),
+            counts: report.faults.expect("harsh run reports counters"),
+        }
+    };
+
+    // Model-mode virtual-time overhead at paper scale.
+    let overhead = [
+        Variant::ACC_SYNC,
+        Variant::ACC_ASYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ]
+    .iter()
+    .map(|&variant| {
+        let run = |faults: Option<FaultConfig>| {
+            let level = SMALL.level();
+            let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+            let mut cfg = RunConfig::paper(variant, ExecMode::Model, RANKS);
+            cfg.options.faults = faults;
+            Simulation::new(level, app, cfg).run()
+        };
+        let clean = run(None);
+        let faulted = run(Some(FaultConfig::standard(seed)));
+        OverheadCell {
+            variant: variant.name(),
+            clean_tps: clean.time_per_step().as_secs_f64(),
+            faulted_tps: faulted.time_per_step().as_secs_f64(),
+            counts: faulted.faults.expect("faulted run reports counters"),
+        }
+    })
+    .collect();
+
+    FaultsOutcome {
+        seed,
+        identity,
+        restart,
+        harsh,
+        overhead,
+    }
+}
+
+/// Run the campaign and write `FAULTS.json` under `dir` (checkpoints go to
+/// `dir/ckpt/`). Returns the outcome for printing.
+pub fn write_faults_json(dir: &Path, seed: u64) -> io::Result<FaultsOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let outcome = run_faults(seed, &dir.join("ckpt"));
+    std::fs::write(dir.join("FAULTS.json"), outcome.to_json() + "\n")?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_holds_all_proofs() {
+        let dir = std::env::temp_dir().join(format!("sw-faults-test-{}", std::process::id()));
+        let outcome = run_faults(42, &dir);
+        assert_eq!(outcome.failures(), 0, "{outcome:?}");
+        assert!(outcome.total_injected() > 0, "campaign injected nothing");
+        assert_eq!(outcome.identity.len(), 5);
+        assert_eq!(outcome.restart.resumed_step, 4);
+        assert!(outcome.restart.restart_identical);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let dir = std::env::temp_dir().join(format!("sw-faults-json-{}", std::process::id()));
+        let outcome = run_faults(7, &dir);
+        let j = outcome.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"seed\"",
+            "\"byte_identity\"",
+            "\"restart\"",
+            "\"harsh\"",
+            "\"model_overhead\"",
+            "\"failures\"",
+            "\"total_injected\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+        assert_eq!(j.matches("\"variant\"").count(), 5 + outcome.overhead.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn different_seeds_change_the_fault_stream() {
+        let dir = std::env::temp_dir().join(format!("sw-faults-seed-{}", std::process::id()));
+        let a = run_faults(1, &dir);
+        let b = run_faults(2, &dir);
+        assert_eq!(a.failures(), 0);
+        assert_eq!(b.failures(), 0);
+        assert_ne!(
+            a.identity
+                .iter()
+                .map(|c| c.counts)
+                .collect::<Vec<FaultCounts>>(),
+            b.identity
+                .iter()
+                .map(|c| c.counts)
+                .collect::<Vec<FaultCounts>>(),
+            "seeds 1 and 2 injected identical fault streams"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,8 +34,9 @@ fn run_with(
 }
 
 /// Best-of-N under kernel noise: how many repeats the paper's methodology
-/// needs to approach the noise floor.
-pub fn fidelity_best_of_n(repeats: u64) -> TextTable {
+/// needs to approach the noise floor. `base_seed` offsets the per-repeat
+/// noise seeds (the top-level `repro --seed N` plumbs through here).
+pub fn fidelity_best_of_n(repeats: u64, base_seed: u64) -> TextTable {
     let mut t = TextTable::new(vec![
         "noise",
         "clean t/step",
@@ -49,7 +50,7 @@ pub fn fidelity_best_of_n(repeats: u64) -> TextTable {
     for noise in [0.05, 0.15, 0.30] {
         let runs: Vec<f64> = (1..=repeats)
             .map(|s| {
-                run_with(MEDIUM, 8, noise, s, None, None)
+                run_with(MEDIUM, 8, noise, base_seed.wrapping_add(s), None, None)
                     .time_per_step()
                     .as_secs_f64()
             })

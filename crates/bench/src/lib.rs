@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod analyze;
 pub mod breakdown;
 pub mod experiments;
+pub mod faults;
 pub mod fidelity;
 pub mod perf;
 pub mod problems;

@@ -25,11 +25,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sw_athread::{
-    assign_tiles, choose_tile_shape, kernel_timing, run_patch_functional_with, tiles_of,
-    AthreadGroup, Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, KernelTiming, TileDesc,
+    assign_tiles, choose_tile_shape, is_exact_partition, kernel_timing, run_patch_functional_with,
+    tiles_of, AthreadGroup, Dims3, Field3, Field3Mut, InOutFootprint, KernelRate, KernelTiming,
+    TileDesc, NEVER,
 };
 use sw_math::ExpKind;
 use sw_mpi::{ModeledAllreduce, MpiWorld, RecvHandle, SendHandle};
+use sw_resilience::{FaultPlan, FaultStats, OffloadKey};
 use sw_sim::{FlopCategory, Machine, MachineConfig, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
@@ -81,6 +83,20 @@ impl PatchRun {
     fn advanced(&self, stages: usize) -> bool {
         self.stage >= stages
     }
+}
+
+/// An in-flight asynchronous offload, tracked for completion *and* for the
+/// MPE's deadline detector (paper-style resilience: a dead CPE slot or a
+/// DMA error never sets the completion flag, so only a deadline can reap
+/// it).
+#[derive(Clone, Copy, Debug)]
+struct Inflight {
+    patch: PatchId,
+    stage: usize,
+    slot: usize,
+    /// Absolute instant after which the MPE declares the offload lost
+    /// (`None` when no fault plan is installed — nothing to detect).
+    deadline: Option<SimTime>,
 }
 
 struct CachedKernel {
@@ -160,8 +176,8 @@ pub struct RankSched {
     /// asynchronous mode the MPE prepares these *while a kernel runs* — the
     /// overlap of task management with computation that §V-C is built for.
     prepped: std::collections::VecDeque<PatchId>,
-    /// In-flight offloads: kernel token -> patch.
-    running: BTreeMap<u64, PatchId>,
+    /// In-flight offloads: kernel token -> patch/stage/slot/deadline.
+    running: BTreeMap<u64, Inflight>,
     reduce_acc: Option<f64>,
     contributed: bool,
     done: bool,
@@ -177,6 +193,20 @@ pub struct RankSched {
     /// Structured telemetry sink (off by default; a disabled recorder's
     /// record path is a single branch).
     rec: Recorder,
+    /// Deterministic fault plan (shared with the machine, the MPI world,
+    /// and the athread group); `None` disables every recovery hook.
+    faults: Option<Arc<FaultPlan>>,
+    /// Offload attempts per `(patch, stage)` this step (0 = first try).
+    attempts: BTreeMap<(PatchId, usize), u32>,
+    /// Patches waiting out a retry backoff: re-offload at the given instant.
+    retry: Vec<(SimTime, PatchId)>,
+    /// Deadline misses per CPE slot; two strikes blacklist the slot.
+    slot_strikes: BTreeMap<usize, u32>,
+    /// Park at a checkpoint boundary every N steps (`None` = never).
+    ckpt_every: Option<u32>,
+    /// Restart state staged by the controller before `init_run`: resume at
+    /// this step with these solution variables.
+    restore: Option<(u32, Vec<(PatchId, CcVar)>)>,
     /// Statistics.
     pub stats: RankStats,
 }
@@ -228,8 +258,35 @@ impl RankSched {
             holding: None,
             patch_cost: BTreeMap::new(),
             rec: Recorder::off(),
+            faults: None,
+            attempts: BTreeMap::new(),
+            retry: Vec::new(),
+            slot_strikes: BTreeMap::new(),
+            ckpt_every: None,
+            restore: None,
             stats: RankStats::default(),
         }
+    }
+
+    /// Install the shared fault plan: keyed spawns through the athread
+    /// group, MPE deadline detection, bounded retry with backoff, slot
+    /// blacklisting, and serial degradation all activate.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.athread.set_fault_plan(Arc::clone(&plan));
+        self.faults = Some(plan);
+    }
+
+    /// Park at a checkpoint boundary every `n` steps (the controller writes
+    /// the warehouse snapshot while every rank holds).
+    pub fn set_ckpt_every(&mut self, n: Option<u32>) {
+        assert!(n != Some(0), "checkpoint interval must be positive");
+        self.ckpt_every = n;
+    }
+
+    /// Stage a restart: `init_run` will overwrite the initial conditions
+    /// with `vars` and resume at `step` instead of step 0.
+    pub fn prime_restore(&mut self, step: u32, vars: Vec<(PatchId, CcVar)>) {
+        self.restore = Some((step, vars));
     }
 
     /// Thread a telemetry recorder through this scheduler (and its athread
@@ -318,6 +375,21 @@ impl RankSched {
                 self.dws.old.put(LABEL_U, p, var);
             }
         }
+        // Restart: overwrite the freshly filled initial conditions with the
+        // checkpointed warehouse and resume at the checkpointed step. The
+        // virtual clock restarts at zero — restart equality is about *data*,
+        // not about the (shorter) restarted timeline.
+        if let Some((step, vars)) = self.restore.take() {
+            self.step = step;
+            self.t = f64::from(step) * self.dt;
+            for (p, v) in vars {
+                self.dws.old.put(LABEL_U, p, v);
+            }
+            if self.step >= self.total_steps {
+                self.done = true;
+                return;
+            }
+        }
         let cursor = SimTime::ZERO;
         let cursor = self.begin_step(ctx, cursor);
         self.drive(ctx, cursor);
@@ -368,6 +440,8 @@ impl RankSched {
         self.contributed = false;
         self.running.clear();
         self.prepped.clear();
+        self.attempts.clear();
+        self.retry.clear();
 
         // §V-C step 3a: post non-blocking receives first — for every stage;
         // later stages' messages arrive as their producers complete.
@@ -427,8 +501,13 @@ impl RankSched {
             let mut progressed = false;
 
             // §V-C step 3c: test posted sends/receives (progression happens
-            // only inside the library).
-            if !self.pending_recvs.is_empty() || !self.pending_sends.is_empty() {
+            // only inside the library). Under a fault plan the reliable
+            // layer's resend timers also live inside `progress`, so the MPE
+            // keeps calling it while any of its sends is un-acked even after
+            // `send_done` (eager sends complete locally long before the ack).
+            let reliable_pending = self.faults.is_some() && ctx.mpi.unacked(self.rank) > 0;
+            if !self.pending_recvs.is_empty() || !self.pending_sends.is_empty() || reliable_pending
+            {
                 let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
                 cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
                 if ctx.mpi.progress(self.rank, ctx.machine, cursor) > 0 {
@@ -449,10 +528,11 @@ impl RankSched {
                 Vec::new()
             };
             for token in self.athread.try_complete(self.observable_now(ctx, cursor)) {
-                let p = self
+                let inf = self
                     .running
                     .remove(&token)
                     .expect("completion for an unknown kernel");
+                let p = inf.patch;
                 if let Some(h) = inflight.iter().find(|h| h.token == token) {
                     self.rec.record(
                         self.rank,
@@ -461,8 +541,29 @@ impl RankSched {
                         Event::OffloadDone { patch: p, token },
                     );
                 }
+                self.note_offload_recovered(cursor, p, inf.stage, token);
                 cursor = self.finish_patch(ctx, cursor, p);
                 progressed = true;
+            }
+
+            // Resilience: reap offloads whose deadline expired (dead slots,
+            // DMA errors, hopeless stragglers) and re-offload patches whose
+            // retry backoff matured.
+            if self.faults.is_some() {
+                cursor = self.reap_expired(ctx, cursor, &mut progressed);
+                let mut due = Vec::new();
+                self.retry.retain(|&(at, p)| {
+                    if at <= cursor {
+                        due.push(p);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for p in due {
+                    self.prepped.push_back(p);
+                    progressed = true;
+                }
             }
 
             // §V-C step 3(b)iv: offload prepared kernels onto free slots.
@@ -684,42 +785,7 @@ impl RankSched {
         let stage = self.patch_state[&p].stage;
         match self.variant.mode {
             SchedulerMode::MpeOnly => {
-                let cost = ctx.app.stage_cost(stage);
-                let flops = cost.flops(dims);
-                let exp_flops = cost.exp_flops(dims);
-                let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops)
-                    .scale(1.0 / ctx.machine.cg_speed(self.rank));
-                let start = cursor.max(ctx.machine.cg(self.rank).mpe.free_at());
-                self.rec.record(
-                    self.rank,
-                    start.0,
-                    Lane::Mpe,
-                    Event::OffloadStart { patch: p, token: 0 },
-                );
-                cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.kernel);
-                self.rec.record(
-                    self.rank,
-                    cursor.0,
-                    Lane::Mpe,
-                    Event::OffloadDone { patch: p, token: 0 },
-                );
-                self.stats.kernel_spans.push((p, start, cursor));
-                *self.patch_cost.entry(p).or_default() += dur;
-                let counters = &mut ctx.machine.cg_mut(self.rank).counters;
-                counters.add(FlopCategory::Exp, exp_flops);
-                counters.add(FlopCategory::Stencil, flops - exp_flops);
-                if self.exec == ExecMode::Functional {
-                    // Whole patch as one "tile" with an unlimited scratchpad:
-                    // the MPE computes directly on main memory.
-                    let one = Arc::clone(self.mpe_plan_cache.entry(dims).or_insert_with(|| {
-                        Arc::new(vec![vec![TileDesc {
-                            origin: (0, 0, 0),
-                            dims,
-                        }]])
-                    }));
-                    self.exec_kernel(ctx, p, stage, &one, usize::MAX);
-                }
-                self.stats.kernels += 1;
+                cursor = self.run_patch_on_mpe(ctx, cursor, p, stage);
                 cursor = self.finish_patch(ctx, cursor, p);
             }
             SchedulerMode::SyncCpe | SchedulerMode::AsyncCpe => {
@@ -752,38 +818,295 @@ impl RankSched {
                         },
                     );
                 }
-                let h = self.athread.spawn(ctx.machine, cursor, &timing, spin);
-                // Measure what the kernel actually took (including CG speed
-                // and machine noise) — the load balancer's cost signal.
-                *self.patch_cost.entry(p).or_default() += h.done_at.since(cursor);
-                self.stats.kernel_spans.push((p, cursor, h.done_at));
+                // Resilience: key this attempt for the fault plan and set
+                // the MPE's detection deadline from the *expected* duration.
+                let attempt = self.attempts.get(&(p, stage)).copied().unwrap_or(0);
+                let key = self.faults.as_ref().map(|_| OffloadKey {
+                    rank: self.rank as u32,
+                    patch: p as u64,
+                    stage: stage as u32,
+                    step: self.step,
+                    attempt,
+                });
+                let deadline = self
+                    .faults
+                    .as_ref()
+                    .map(|plan| SimTime(plan.offload_deadline(cursor.0, timing.duration.0)));
+                let h = self
+                    .athread
+                    .spawn_keyed(ctx.machine, cursor, &timing, spin, key.as_ref());
+                if h.done_at != NEVER {
+                    // Measure what the kernel actually took (including CG
+                    // speed and machine noise) — the load balancer's cost
+                    // signal. Dead offloads never ran, so nothing to measure.
+                    *self.patch_cost.entry(p).or_default() += h.done_at.since(cursor);
+                    self.stats.kernel_spans.push((p, cursor, h.done_at));
+                }
                 self.stats.kernels += 1;
                 if spin {
                     // §V-C: "the scheduler spins until the completion flag is
-                    // set, thus no overlapping ... is possible".
-                    self.stats.mpe.spin += h.done_at.since(cursor);
-                    cursor = ctx
-                        .machine
-                        .cg_mut(self.rank)
-                        .mpe
-                        .spin_until(cursor, h.done_at);
-                    assert_eq!(self.athread.try_complete(cursor), vec![h.token]);
-                    self.rec.record(
-                        self.rank,
-                        h.done_at.0,
-                        Lane::Cpe(h.slot as u32),
-                        Event::OffloadDone {
+                    // set, thus no overlapping ... is possible". Under a
+                    // fault plan the spin is bounded by the deadline: a dead
+                    // slot would otherwise spin forever.
+                    let dl = deadline.unwrap_or(NEVER);
+                    if h.done_at <= dl {
+                        self.stats.mpe.spin += h.done_at.since(cursor);
+                        cursor = ctx
+                            .machine
+                            .cg_mut(self.rank)
+                            .mpe
+                            .spin_until(cursor, h.done_at);
+                        assert_eq!(self.athread.try_complete(cursor), vec![h.token]);
+                        self.rec.record(
+                            self.rank,
+                            h.done_at.0,
+                            Lane::Cpe(h.slot as u32),
+                            Event::OffloadDone {
+                                patch: p,
+                                token: h.token,
+                            },
+                        );
+                        self.note_offload_recovered(cursor, p, stage, h.token);
+                        cursor = self.finish_patch(ctx, cursor, p);
+                    } else {
+                        // Deadline hit while spinning: detect, reap, retry
+                        // (after backoff, via the retry queue) or degrade.
+                        self.stats.mpe.spin += dl.since(cursor);
+                        cursor = ctx.machine.cg_mut(self.rank).mpe.spin_until(cursor, dl);
+                        let plan = Arc::clone(self.faults.as_ref().expect("deadline without plan"));
+                        FaultStats::bump(&plan.stats.detected_offload);
+                        self.rec.record(
+                            self.rank,
+                            cursor.0,
+                            Lane::Mpe,
+                            Event::FaultDetected {
+                                kind: "offload_timeout",
+                                id: h.token,
+                            },
+                        );
+                        let slot = self
+                            .athread
+                            .abort(h.token)
+                            .expect("expired kernel vanished");
+                        self.note_slot_strike(cursor, slot);
+                        cursor = self.retry_or_degrade(ctx, cursor, p, stage);
+                    }
+                } else {
+                    self.running.insert(
+                        h.token,
+                        Inflight {
                             patch: p,
-                            token: h.token,
+                            stage,
+                            slot: h.slot,
+                            deadline,
                         },
                     );
-                    cursor = self.finish_patch(ctx, cursor, p);
-                } else {
-                    self.running.insert(h.token, p);
                 }
             }
         }
         cursor
+    }
+
+    /// Execute a patch's stage kernel on the MPE itself — the MPE-only
+    /// mode's normal path, and the serial-degradation fallback when an
+    /// offload exhausted its retry budget (paper-style resilience: degrade,
+    /// never panic).
+    fn run_patch_on_mpe(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        mut cursor: SimTime,
+        p: PatchId,
+        stage: usize,
+    ) -> SimTime {
+        let cfg = ctx.machine.cfg().clone();
+        let dims = ctx.level.patch(p).region.dims();
+        let cost = ctx.app.stage_cost(stage);
+        let flops = cost.flops(dims);
+        let exp_flops = cost.exp_flops(dims);
+        let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops)
+            .scale(1.0 / ctx.machine.cg_speed(self.rank));
+        let start = cursor.max(ctx.machine.cg(self.rank).mpe.free_at());
+        self.rec.record(
+            self.rank,
+            start.0,
+            Lane::Mpe,
+            Event::OffloadStart { patch: p, token: 0 },
+        );
+        cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.kernel);
+        self.rec.record(
+            self.rank,
+            cursor.0,
+            Lane::Mpe,
+            Event::OffloadDone { patch: p, token: 0 },
+        );
+        self.stats.kernel_spans.push((p, start, cursor));
+        *self.patch_cost.entry(p).or_default() += dur;
+        let counters = &mut ctx.machine.cg_mut(self.rank).counters;
+        counters.add(FlopCategory::Exp, exp_flops);
+        counters.add(FlopCategory::Stencil, flops - exp_flops);
+        if self.exec == ExecMode::Functional {
+            // Whole patch as one "tile" with an unlimited scratchpad:
+            // the MPE computes directly on main memory.
+            let one = Arc::clone(self.mpe_plan_cache.entry(dims).or_insert_with(|| {
+                Arc::new(vec![vec![TileDesc {
+                    origin: (0, 0, 0),
+                    dims,
+                }]])
+            }));
+            self.exec_kernel(ctx, p, stage, &one, usize::MAX);
+        }
+        self.stats.kernels += 1;
+        cursor
+    }
+
+    // ---- resilience: detection, retry, degradation ----------------------
+
+    /// Reap asynchronous offloads whose deadline expired: the kernel is
+    /// declared lost (dead slot, DMA error, or hopeless straggler), its
+    /// slot is freed and struck, and the patch is retried or degraded.
+    fn reap_expired(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        mut cursor: SimTime,
+        progressed: &mut bool,
+    ) -> SimTime {
+        let Some(plan) = self.faults.as_ref().map(Arc::clone) else {
+            return cursor;
+        };
+        let expired: Vec<(u64, Inflight)> = self
+            .running
+            .iter()
+            .filter(|(_, inf)| inf.deadline.is_some_and(|d| d <= cursor))
+            .map(|(&t, &inf)| (t, inf))
+            .collect();
+        for (token, inf) in expired {
+            self.running.remove(&token);
+            // The deadline timer is itself a flag check: the MPE reads the
+            // completion word *now*, not at the last poll tick. A kernel
+            // that already completed was merely slower to become observable
+            // than the deadline (flag-poll granularity) — harvest it,
+            // don't kill it. Only a clear flag means the offload is lost.
+            let done_at = self
+                .athread
+                .inflight()
+                .iter()
+                .find(|h| h.token == token)
+                .map(|h| h.done_at)
+                .expect("expired kernel vanished");
+            if done_at != NEVER && done_at <= cursor {
+                assert!(self.athread.on_kernel_done(token));
+                self.rec.record(
+                    self.rank,
+                    done_at.0,
+                    Lane::Cpe(inf.slot as u32),
+                    Event::OffloadDone {
+                        patch: inf.patch,
+                        token,
+                    },
+                );
+                self.note_offload_recovered(cursor, inf.patch, inf.stage, token);
+                cursor = self.finish_patch(ctx, cursor, inf.patch);
+                *progressed = true;
+                continue;
+            }
+            FaultStats::bump(&plan.stats.detected_offload);
+            self.rec.record(
+                self.rank,
+                cursor.0,
+                Lane::Mpe,
+                Event::FaultDetected {
+                    kind: "offload_timeout",
+                    id: token,
+                },
+            );
+            let slot = self.athread.abort(token).expect("expired kernel vanished");
+            debug_assert_eq!(slot, inf.slot);
+            self.note_slot_strike(cursor, slot);
+            cursor = self.retry_or_degrade(ctx, cursor, inf.patch, inf.stage);
+            *progressed = true;
+        }
+        cursor
+    }
+
+    /// After a detected offload loss: bump the attempt counter and either
+    /// queue a backoff-delayed re-offload or, with the budget exhausted,
+    /// execute the stage serially on the MPE (bounded recovery — the run
+    /// always completes).
+    fn retry_or_degrade(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        mut cursor: SimTime,
+        p: PatchId,
+        stage: usize,
+    ) -> SimTime {
+        let plan = Arc::clone(self.faults.as_ref().expect("retry without a fault plan"));
+        let a = self.attempts.entry((p, stage)).or_insert(0);
+        *a += 1;
+        let attempt = *a;
+        if attempt >= plan.max_attempts() {
+            FaultStats::bump(&plan.stats.serial_degradations);
+            self.rec.record(
+                self.rank,
+                cursor.0,
+                Lane::Mpe,
+                Event::FaultRecovered {
+                    kind: "serial_degrade",
+                    id: p as u64,
+                },
+            );
+            cursor = self.run_patch_on_mpe(ctx, cursor, p, stage);
+            cursor = self.finish_patch(ctx, cursor, p);
+        } else {
+            FaultStats::bump(&plan.stats.retries_offload);
+            self.retry
+                .push((cursor + SimDur(plan.backoff_ps(attempt)), p));
+        }
+        cursor
+    }
+
+    /// Record a successful completion of a previously retried offload.
+    fn note_offload_recovered(&mut self, cursor: SimTime, p: PatchId, stage: usize, token: u64) {
+        if let Some(plan) = &self.faults {
+            if self.attempts.get(&(p, stage)).copied().unwrap_or(0) > 0 {
+                FaultStats::bump(&plan.stats.recovered_offload);
+                self.rec.record(
+                    self.rank,
+                    cursor.0,
+                    Lane::Mpe,
+                    Event::FaultRecovered {
+                        kind: "offload_retry",
+                        id: token,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A slot missed a deadline: two strikes take it out of service
+    /// (never the last healthy one). After a blacklist the cached tile
+    /// plans are re-checked against the exact-partition proof — the
+    /// remaining slots each still run a full per-group plan, so the
+    /// partition must stay exact.
+    fn note_slot_strike(&mut self, cursor: SimTime, slot: usize) {
+        let strikes = self.slot_strikes.entry(slot).or_insert(0);
+        *strikes += 1;
+        if *strikes >= 2 && self.athread.blacklist(slot) && self.athread.is_blacklisted(slot) {
+            self.rec.record(
+                self.rank,
+                cursor.0,
+                Lane::Mpe,
+                Event::FaultDetected {
+                    kind: "slot_blacklisted",
+                    id: slot as u64,
+                },
+            );
+            for (&(dims, _, _), ck) in &self.kernel_cache {
+                assert!(
+                    is_exact_partition(dims, &ck.assignment),
+                    "tile plan for {dims:?} lost exact-partition after blacklisting slot {slot}"
+                );
+            }
+        }
     }
 
     /// Compute (once per patch shape and stage) the tile assignment and
@@ -1008,6 +1331,15 @@ impl RankSched {
         if !self.contributed || !self.pending_sends.is_empty() || !self.pending_recvs.is_empty() {
             return false;
         }
+        if !self.running.is_empty() || !self.retry.is_empty() {
+            return false;
+        }
+        // Under the reliable layer a send is only *done* once acked: ending
+        // the step with an un-acked (possibly dropped) payload would strand
+        // the receiver — the resend timer lives on this rank.
+        if self.faults.is_some() && ctx.mpi.unacked(self.rank) > 0 {
+            return false;
+        }
         match ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
             Some((at, _)) => at <= cursor,
             None => false,
@@ -1049,14 +1381,27 @@ impl RankSched {
         }
         // §V-C step 4: "check to see if recompilation of task graph, load
         // balancing or regridding is needed" — park at the boundary and let
-        // the controller recompile.
-        if let Some(every) = self.rebalance_every {
-            if self.step.is_multiple_of(every) {
-                self.holding = Some(cursor);
-                return cursor;
-            }
+        // the controller recompile and/or write a warehouse checkpoint.
+        let boundary = [self.rebalance_every, self.ckpt_every]
+            .into_iter()
+            .flatten()
+            .any(|every| self.step.is_multiple_of(every));
+        if boundary {
+            self.holding = Some(cursor);
+            return cursor;
         }
         self.begin_step(ctx, cursor)
+    }
+
+    /// Release a rank parked at a checkpoint-only boundary (no plan change,
+    /// no migrated data — the controller wrote the snapshot while everyone
+    /// held).
+    pub fn resume_held(&mut self, ctx: &mut StepCtx<'_>, release_at: SimTime) {
+        assert!(self.holding.is_some(), "resume without hold");
+        self.holding = None;
+        let cursor = release_at.max(ctx.machine.cg(self.rank).mpe.free_at());
+        let cursor = self.begin_step(ctx, cursor);
+        self.drive(ctx, cursor);
     }
 
     /// Arrange to be woken at the earliest instant anything can change.
@@ -1068,7 +1413,7 @@ impl RankSched {
                 Some(cur) => cur.min(t),
             });
         };
-        if let Some(h) = self.athread.inflight().first() {
+        if let Some(h) = self.athread.inflight().iter().find(|h| h.done_at != NEVER) {
             let poll = match self.variant.mode {
                 SchedulerMode::AsyncCpe => ctx.machine.cfg().flag_poll_interval,
                 _ => sw_sim::SimDur::ZERO,
@@ -1078,6 +1423,22 @@ impl RankSched {
         if let Some((t, _)) = ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
             if t > cursor {
                 consider(t);
+            }
+        }
+        // Resilience timers: offload deadlines (dead kernels produce no
+        // event — only this wakeup reaps them), matured retry backoffs, and
+        // the reliable layer's earliest resend deadline.
+        for inf in self.running.values() {
+            if let Some(d) = inf.deadline {
+                consider(d.max(cursor));
+            }
+        }
+        for &(at, _) in &self.retry {
+            consider(at.max(cursor));
+        }
+        if self.faults.is_some() {
+            if let Some(d) = ctx.mpi.next_deadline(self.rank) {
+                consider(d.max(cursor));
             }
         }
         // Message arrivals and CTS handshakes wake us via NetDeliver events;

@@ -2,6 +2,7 @@
 
 use sw_athread::ExecPolicy;
 use sw_math::ExpKind;
+use sw_resilience::FaultConfig;
 
 /// How the MPE task scheduler drives kernels (paper §V-C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -118,6 +119,14 @@ pub struct SchedulerOptions {
     /// athread groups, and schedulers). Off by default: the disabled
     /// recorder's hot path is a single branch and zero allocation.
     pub telemetry: bool,
+    /// Deterministic fault plane (`sw-resilience`). When `Some`, a seeded
+    /// [`sw_resilience::FaultPlan`] is installed into the machine, the MPI
+    /// world, and every rank's athread group; the schedulers then run their
+    /// detection/retry/degradation machinery, and MPI quiescence at shutdown
+    /// is promoted from a debug assertion to a hard error. `None` (the
+    /// default) leaves every fault hook compiled out of the hot path behind
+    /// a single `Option` test.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SchedulerOptions {
@@ -129,6 +138,7 @@ impl Default for SchedulerOptions {
             exec_policy: ExecPolicy::Serial,
             verify: false,
             telemetry: false,
+            faults: None,
         }
     }
 }
@@ -174,6 +184,7 @@ mod tests {
         assert_eq!(o.exec_policy, ExecPolicy::Serial);
         assert!(!o.verify, "verification is opt-in");
         assert!(!o.telemetry, "telemetry is opt-in");
+        assert!(o.faults.is_none(), "fault injection is opt-in");
     }
 
     #[test]

@@ -7,15 +7,17 @@
 //! virtual timeline.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use sw_mpi::{ModeledAllreduce, MpiWorld};
+use sw_resilience::{Checkpoint, FaultPlan, FaultStats, PatchRecord};
 use sw_sim::{Machine, MachineConfig, MachineEvent, SimDur, SimTime};
-use sw_telemetry::Recorder;
+use sw_telemetry::{Event, Lane, Recorder};
 
-use crate::grid::{Level, PatchId};
+use crate::grid::{iv, Level, PatchId, Region};
 use crate::lb::LoadBalancer;
-use crate::schedule::rank::{RankSched, StepCtx};
+use crate::schedule::rank::{RankSched, StepCtx, LABEL_U};
 use crate::schedule::variant::{ExecMode, SchedulerOptions, Variant};
 use crate::sim::report::RunReport;
 use crate::task::app::Application;
@@ -50,6 +52,13 @@ pub struct RunConfig {
     pub noise_seed: u64,
     /// Per-CG relative speeds (heterogeneous hardware); `None` = uniform.
     pub cg_speeds: Option<Vec<f64>>,
+    /// Write a warehouse checkpoint every N steps (`None` = never). Ranks
+    /// park at the boundary (same mechanism as rebalancing) so the snapshot
+    /// is globally consistent.
+    pub ckpt_every: Option<u32>,
+    /// Directory checkpoints are written to (`stepNNNNN.ckpt`); required
+    /// for `ckpt_every` to have an effect.
+    pub ckpt_dir: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -68,6 +77,8 @@ impl RunConfig {
             noise_frac: 0.0,
             noise_seed: 0,
             cg_speeds: None,
+            ckpt_every: None,
+            ckpt_dir: None,
         }
     }
 }
@@ -143,6 +154,14 @@ pub struct Simulation {
     /// world, and every scheduler when `SchedulerOptions::telemetry` is set;
     /// a disabled no-op recorder otherwise.
     recorder: Recorder,
+    /// Shared deterministic fault plan (`SchedulerOptions::faults`), threaded
+    /// through the machine (DMA errors, rank jitter), the MPI world
+    /// (drop/dup/delay + the reliable ack layer), and every scheduler
+    /// (keyed spawns, deadlines, retries). `None` when faults are off.
+    faults: Option<Arc<FaultPlan>>,
+    /// Checkpoint staged via [`Simulation::restore_from`], consumed by the
+    /// next `run`.
+    restore: Option<Checkpoint>,
 }
 
 impl Simulation {
@@ -171,6 +190,12 @@ impl Simulation {
         };
         machine.set_recorder(recorder.clone());
         mpi.set_recorder(recorder.clone());
+        // Fault plane: one shared seeded plan for every layer.
+        let faults = cfg.options.faults.map(|fc| Arc::new(FaultPlan::new(fc)));
+        if let Some(plan) = &faults {
+            machine.set_fault_plan(Arc::clone(plan));
+            mpi.set_fault_plan(Arc::clone(plan));
+        }
         let plans: Vec<_> = (0..cfg.n_ranks)
             .map(|r| build_rank_plan(&level, &assignment, r, app.ghost()))
             .collect();
@@ -192,7 +217,11 @@ impl Simulation {
                     cfg.steps,
                 );
                 sched.set_rebalance_every(cfg.rebalance_every);
+                sched.set_ckpt_every(cfg.ckpt_every);
                 sched.set_recorder(recorder.clone());
+                if let Some(plan) = &faults {
+                    sched.set_fault_plan(Arc::clone(plan));
+                }
                 sched
             })
             .collect();
@@ -207,6 +236,8 @@ impl Simulation {
             ranks,
             fallback_base: sw_athread::serial_fallback_count(),
             recorder,
+            faults,
+            restore: None,
         }
     }
 
@@ -214,6 +245,27 @@ impl Simulation {
     /// unless the run was configured with `SchedulerOptions::telemetry`.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The shared fault plan (and its counters), when faults are enabled.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Stage a restart: the next [`Simulation::run`] resumes from the
+    /// checkpointed step with the checkpointed warehouses instead of the
+    /// initial conditions. The virtual clock restarts at zero; restart
+    /// equality is asserted on the *field data*, which is byte-identical to
+    /// an uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's rank count does not match this run's.
+    pub fn restore_from(&mut self, ckpt: Checkpoint) {
+        assert_eq!(
+            ckpt.n_ranks as usize, self.cfg.n_ranks,
+            "checkpoint rank count mismatch"
+        );
+        self.restore = Some(ckpt);
     }
 
     /// The grid level.
@@ -244,6 +296,9 @@ impl Simulation {
             mpi,
             reductions,
             ranks,
+            recorder,
+            faults,
+            restore,
             ..
         } = self;
         let n_ranks = cfg.n_ranks;
@@ -259,14 +314,66 @@ impl Simulation {
                 }
             };
         }
+        // Restart: distribute the checkpointed warehouse to its owning
+        // ranks before initialization.
+        if let Some(ck) = restore.take() {
+            let mut per_rank: Vec<Vec<(PatchId, CcVar)>> = vec![Vec::new(); n_ranks];
+            for rec in &ck.patches {
+                let p = rec.patch as usize;
+                let r = assignment[p];
+                let region = Region::new(
+                    iv(rec.lo[0], rec.lo[1], rec.lo[2]),
+                    iv(rec.hi[0], rec.hi[1], rec.hi[2]),
+                );
+                let mut var = CcVar::new(region);
+                assert_eq!(
+                    var.data().len(),
+                    rec.data.len(),
+                    "checkpoint payload size mismatch for patch {p}"
+                );
+                for (d, &bits) in var.data_mut().iter_mut().zip(&rec.data) {
+                    *d = f64::from_bits(bits);
+                }
+                per_rank[r].push((p, var));
+            }
+            for (r, sched) in ranks.iter_mut().enumerate() {
+                sched.prime_restore(ck.step, std::mem::take(&mut per_rank[r]));
+            }
+            if let Some(plan) = &*faults {
+                FaultStats::bump(&plan.stats.checkpoints_restored);
+            }
+            recorder.record(
+                0,
+                0,
+                Lane::Mpe,
+                Event::CheckpointRestored {
+                    step: ck.step as usize,
+                },
+            );
+        }
         for r in ranks.iter_mut() {
             r.init_run(ctx!());
         }
         loop {
-            // §V-C step 4: if every rank parked at the rebalance boundary,
-            // recompile the task graph with measured costs and resume.
+            // §V-C step 4: if every rank parked at a step boundary, write a
+            // checkpoint and/or recompile the task graph, then resume.
             if !ranks.is_empty() && ranks.iter().all(|r| r.holding().is_some()) {
-                Self::rebalance(level, app, cfg, assignment, machine, mpi, reductions, ranks);
+                let step = ranks[0].step();
+                if cfg.ckpt_every.is_some_and(|n| step.is_multiple_of(n)) {
+                    Self::write_checkpoint(cfg, assignment, ranks, faults, recorder);
+                }
+                if cfg.rebalance_every.is_some_and(|n| step.is_multiple_of(n)) {
+                    Self::rebalance(level, app, cfg, assignment, machine, mpi, reductions, ranks);
+                } else {
+                    let held = ranks
+                        .iter()
+                        .filter_map(|r| r.holding())
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    for rank in ranks.iter_mut() {
+                        rank.resume_held(ctx!(), held);
+                    }
+                }
                 continue;
             }
             if ranks.iter().all(|r| r.is_done()) {
@@ -300,17 +407,90 @@ impl Simulation {
         }
         // Every isend/irecv must have been matched and retired by the end of
         // the run; a leaked handle is a scheduler bug. Release builds carry
-        // the same data in `RunReport::leaked_handles`.
-        debug_assert!(
-            mpi.quiescent(),
-            "run finished with leaked MPI handles (rank, tag): {:?}",
-            mpi.leaked()
-        );
+        // the same data in `RunReport::leaked_handles`. With faults enabled
+        // this is promoted to a *hard* error in every profile: the reliable
+        // layer's whole contract is that injected losses drain to quiescence.
+        if cfg.options.faults.is_some() {
+            assert!(
+                mpi.quiescent(),
+                "faulted run finished with leaked MPI handles (rank, tag): {:?}",
+                mpi.leaked()
+            );
+        } else {
+            debug_assert!(
+                mpi.quiescent(),
+                "run finished with leaked MPI handles (rank, tag): {:?}",
+                mpi.leaked()
+            );
+        }
         if let Some(m) = self.recorder.metrics() {
             m.serial_fallbacks
                 .add(sw_athread::serial_fallback_count().saturating_sub(self.fallback_base));
         }
         self.report()
+    }
+
+    /// Write a globally consistent warehouse checkpoint while every rank
+    /// holds at the step boundary. Never panics on I/O failure — a
+    /// checkpoint is an optimization, not a correctness requirement.
+    fn write_checkpoint(
+        cfg: &RunConfig,
+        assignment: &[usize],
+        ranks: &[RankSched],
+        faults: &Option<Arc<FaultPlan>>,
+        recorder: &Recorder,
+    ) {
+        let Some(dir) = cfg.ckpt_dir.as_ref() else {
+            return;
+        };
+        let step = ranks[0].step();
+        let held = ranks
+            .iter()
+            .filter_map(|r| r.holding())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut ck = Checkpoint {
+            step,
+            t_ps: held.0,
+            n_ranks: cfg.n_ranks as u32,
+            patches: Vec::new(),
+        };
+        if cfg.exec == ExecMode::Functional {
+            for (p, &r) in assignment.iter().enumerate() {
+                let var = ranks[r].solution(p);
+                let reg = var.region();
+                ck.patches.push(PatchRecord {
+                    patch: p as u64,
+                    rank: r as u64,
+                    label: LABEL_U as u64,
+                    lo: [reg.lo.x, reg.lo.y, reg.lo.z],
+                    hi: [reg.hi.x, reg.hi.y, reg.hi.z],
+                    data: var.data().iter().map(|v| v.to_bits()).collect(),
+                });
+            }
+        }
+        ck.canonicalize();
+        let path = dir.join(format!("step{step:05}.ckpt"));
+        match ck.write_to(&path) {
+            Ok(bytes) => {
+                if let Some(plan) = faults {
+                    FaultStats::bump(&plan.stats.checkpoints_written);
+                }
+                recorder.record(
+                    0,
+                    held.0,
+                    Lane::Mpe,
+                    Event::CheckpointWritten {
+                        step: step as usize,
+                        bytes,
+                    },
+                );
+            }
+            Err(e) => eprintln!(
+                "warning: checkpoint write to {} failed: {e}",
+                path.display()
+            ),
+        }
     }
 
     /// Recompile the task graph: gather measured per-patch costs, compute a
@@ -418,12 +598,20 @@ impl Simulation {
     /// Build the report from the finished run.
     fn report(&self) -> RunReport {
         let steps = self.cfg.steps;
-        let mut step_end = Vec::with_capacity(steps as usize);
-        for s in 0..steps as usize {
+        // Restored runs execute fewer steps than `cfg.steps`; index over
+        // what actually ran (entry `s` is the s-th step *this run* executed).
+        let executed = self
+            .ranks
+            .iter()
+            .map(|r| r.stats.step_end.len())
+            .max()
+            .unwrap_or(0);
+        let mut step_end = Vec::with_capacity(executed);
+        for s in 0..executed {
             let t = self
                 .ranks
                 .iter()
-                .map(|r| r.stats.step_end[s])
+                .filter_map(|r| r.stats.step_end.get(s).copied())
                 .max()
                 .unwrap_or(SimTime::ZERO);
             step_end.push(t);
@@ -455,6 +643,7 @@ impl Simulation {
             serial_fallbacks: sw_athread::serial_fallback_count()
                 .saturating_sub(self.fallback_base),
             leaked_handles: self.mpi.leaked(),
+            faults: self.faults.as_ref().map(|p| p.stats.snapshot()),
         }
     }
 

@@ -39,8 +39,13 @@ pub struct RunReport {
     /// MPI send/recv handles still open when the run finished, as
     /// `(rank, tag)` pairs — in-flight sends by source rank, un-matched
     /// receives by posting rank. Always empty for a correct scheduler
-    /// (debug builds additionally assert quiescence at end of run).
+    /// (debug builds additionally assert quiescence at end of run; faulted
+    /// runs assert it in every profile).
     pub leaked_handles: Vec<(sw_mpi::Rank, sw_mpi::Tag)>,
+    /// Fault-plane counters (injected / detected / recovered / degraded)
+    /// when the run was configured with `SchedulerOptions::faults`;
+    /// `None` otherwise.
+    pub faults: Option<sw_resilience::FaultCounts>,
 }
 
 impl RunReport {
@@ -127,6 +132,7 @@ mod tests {
             cpe_busy: SimDur::ZERO,
             serial_fallbacks: 0,
             leaked_handles: vec![],
+            faults: None,
         }
     }
 

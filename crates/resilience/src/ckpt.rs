@@ -1,0 +1,311 @@
+//! Self-contained binary checkpoint container.
+//!
+//! A [`Checkpoint`] captures everything needed to restart a run from a
+//! step boundary: the controller's step counter and virtual time plus every
+//! patch's field data as **exact `f64` bit patterns** (no text round-trip,
+//! no serde — the workspace serde shim is a no-op marker). The on-disk
+//! format is byte-stable: little-endian integers behind an 8-byte magic,
+//! so `write_to` ∘ `read_from` is the identity and two checkpoints of the
+//! same state are byte-identical files.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic    8  b"SWCKPT01"
+//! step     4  u32
+//! t_bits   8  u64   (virtual time in ps)
+//! n_ranks  4  u32
+//! n_patch  8  u64
+//! per patch:
+//!   patch  8  u64
+//!   rank   8  u64
+//!   label  8  u64
+//!   lo     24 3 x i64
+//!   hi     24 3 x i64
+//!   len    8  u64
+//!   data   8*len  u64 (f64::to_bits of each cell)
+//! ```
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// On-disk magic for checkpoint files (version 01).
+pub const MAGIC: [u8; 8] = *b"SWCKPT01";
+
+/// One `(label, patch)` field captured bit-exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatchRecord {
+    /// Patch id.
+    pub patch: u64,
+    /// Owning rank at checkpoint time.
+    pub rank: u64,
+    /// Variable label id.
+    pub label: u64,
+    /// Inclusive low corner of the patch region.
+    pub lo: [i64; 3],
+    /// Exclusive high corner of the patch region.
+    pub hi: [i64; 3],
+    /// Cell values as `f64::to_bits` patterns, x-fastest order.
+    pub data: Vec<u64>,
+}
+
+/// A full warehouse + controller-state checkpoint (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Next step to execute after restart.
+    pub step: u32,
+    /// Virtual time (ps) at the checkpoint boundary.
+    pub t_ps: u64,
+    /// Rank count the run was configured with (restart must match).
+    pub n_ranks: u32,
+    /// All captured fields, sorted by `(label, patch)` for determinism.
+    pub patches: Vec<PatchRecord>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated checkpoint",
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Checkpoint {
+    /// Canonicalize: sort patches by `(label, patch)` so the same logical
+    /// state always serializes to the same bytes regardless of capture
+    /// order.
+    pub fn canonicalize(&mut self) {
+        self.patches.sort_by_key(|p| (p.label, p.patch));
+    }
+
+    /// Serialize to bytes (canonical order assumed; call
+    /// [`Checkpoint::canonicalize`] first if patches were pushed ad hoc).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            32 + self
+                .patches
+                .iter()
+                .map(|p| 80 + 8 * p.data.len())
+                .sum::<usize>(),
+        );
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, self.step);
+        put_u64(&mut out, self.t_ps);
+        put_u32(&mut out, self.n_ranks);
+        put_u64(&mut out, self.patches.len() as u64);
+        for p in &self.patches {
+            put_u64(&mut out, p.patch);
+            put_u64(&mut out, p.rank);
+            put_u64(&mut out, p.label);
+            for d in 0..3 {
+                put_i64(&mut out, p.lo[d]);
+            }
+            for d in 0..3 {
+                put_i64(&mut out, p.hi[d]);
+            }
+            put_u64(&mut out, p.data.len() as u64);
+            for &bits in &p.data {
+                put_u64(&mut out, bits);
+            }
+        }
+        out
+    }
+
+    /// Parse from bytes; errors on bad magic or truncation.
+    pub fn from_bytes(buf: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor { buf, at: 0 };
+        if c.take(8)? != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
+        }
+        let step = c.u32()?;
+        let t_ps = c.u64()?;
+        let n_ranks = c.u32()?;
+        let n_patch = c.u64()?;
+        let mut patches = Vec::with_capacity(n_patch.min(1 << 20) as usize);
+        for _ in 0..n_patch {
+            let patch = c.u64()?;
+            let rank = c.u64()?;
+            let label = c.u64()?;
+            let mut lo = [0i64; 3];
+            let mut hi = [0i64; 3];
+            for d in &mut lo {
+                *d = c.i64()?;
+            }
+            for d in &mut hi {
+                *d = c.i64()?;
+            }
+            let len = c.u64()? as usize;
+            let mut data = Vec::with_capacity(len.min(1 << 24));
+            for _ in 0..len {
+                data.push(c.u64()?);
+            }
+            patches.push(PatchRecord {
+                patch,
+                rank,
+                label,
+                lo,
+                hi,
+                data,
+            });
+        }
+        if c.at != buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after checkpoint",
+            ));
+        }
+        Ok(Checkpoint {
+            step,
+            t_ps,
+            n_ranks,
+            patches,
+        })
+    }
+
+    /// Write to a file (creating parent directories), returning the byte
+    /// count written.
+    pub fn write_to(&self, path: &Path) -> io::Result<u64> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let bytes = self.to_bytes();
+        let mut f = fs::File::create(path)?;
+        f.write_all(&bytes)?;
+        f.sync_all().ok();
+        Ok(bytes.len() as u64)
+    }
+
+    /// Read back from a file.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let mut buf = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut buf)?;
+        Checkpoint::from_bytes(&buf)
+    }
+
+    /// Total payload bytes of field data (for checkpoint-cost modeling).
+    pub fn payload_bytes(&self) -> u64 {
+        self.patches.iter().map(|p| 8 * p.data.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint {
+            step: 5,
+            t_ps: 123_456_789,
+            n_ranks: 4,
+            patches: vec![
+                PatchRecord {
+                    patch: 2,
+                    rank: 1,
+                    label: 0,
+                    lo: [0, 0, 0],
+                    hi: [4, 4, 2],
+                    data: (0..32).map(|i| f64::to_bits(i as f64 * 0.1)).collect(),
+                },
+                PatchRecord {
+                    patch: 1,
+                    rank: 0,
+                    label: 0,
+                    lo: [-4, 0, 0],
+                    hi: [0, 4, 2],
+                    data: vec![f64::to_bits(-0.0), f64::to_bits(f64::NAN)],
+                },
+            ],
+        };
+        c.canonicalize();
+        c
+    }
+
+    #[test]
+    fn roundtrip_is_identity_including_nan_bits() {
+        let c = sample();
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+        // NaN and -0.0 survive bit-exactly.
+        assert_eq!(back.patches[0].data[1], f64::to_bits(f64::NAN));
+        assert_eq!(back.patches[0].data[0], f64::to_bits(-0.0));
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let a = sample().to_bytes();
+        let b = sample().to_bytes();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonicalize_sorts_by_label_then_patch() {
+        let c = sample();
+        assert_eq!(c.patches[0].patch, 1);
+        assert_eq!(c.patches[1].patch, 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("swckpt-test-{}", std::process::id()));
+        let path = dir.join("nested").join("c.swckpt");
+        let c = sample();
+        let n = c.write_to(&path).unwrap();
+        assert_eq!(n, c.to_bytes().len() as u64);
+        let back = Checkpoint::read_from(&path).unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut bytes = sample().to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        bytes.truncate(bytes.len() - 3);
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+        let mut extra = sample().to_bytes();
+        extra.push(0);
+        assert!(Checkpoint::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn payload_bytes_counts_field_data_only() {
+        let c = sample();
+        assert_eq!(c.payload_bytes(), 8 * (32 + 2));
+    }
+}

@@ -14,11 +14,19 @@
 //! computed duration; completion arrives as a
 //! [`sw_sim::MachineEvent::KernelDone`] carrying the token minted here.
 
+use std::sync::Arc;
+
+use sw_resilience::{FaultPlan, FaultStats, OffloadKey, SlotFault};
 use sw_sim::{CgId, FlopCategory, Machine, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::cost::{with_spin_penalty, KernelTiming};
 use crate::flag::CompletionFlag;
+
+/// `done_at` sentinel for a kernel that will **never** complete (its slot
+/// died or its DMA transfer errored). Only the MPE's deadline detector can
+/// reap it, via [`AthreadGroup::abort`].
+pub const NEVER: SimTime = SimTime(u64::MAX);
 
 /// An in-flight offloaded kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +51,10 @@ pub struct AthreadGroup {
     kernels_run: u64,
     /// Telemetry sink for DMA/offload hardware events (off by default).
     rec: Recorder,
+    /// Optional fault plan consulted on every keyed spawn.
+    faults: Option<Arc<FaultPlan>>,
+    /// Slots taken out of service after a death (never chosen again).
+    blacklisted: Vec<bool>,
 }
 
 impl AthreadGroup {
@@ -67,7 +79,14 @@ impl AthreadGroup {
             flags: (0..groups).map(|_| CompletionFlag::new(0)).collect(),
             kernels_run: 0,
             rec: Recorder::off(),
+            faults: None,
+            blacklisted: vec![false; groups],
         }
+    }
+
+    /// Thread a fault plan through this group's spawns.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Thread a telemetry recorder through this group's DMA/offload events.
@@ -90,9 +109,55 @@ impl AthreadGroup {
         self.cpes / self.groups
     }
 
-    /// Index of a free slot, lowest first.
+    /// Index of a free, healthy slot, lowest first. Blacklisted slots are
+    /// never chosen.
     pub fn free_slot(&self) -> Option<usize> {
-        self.slots.iter().position(|s| s.is_none())
+        self.slots
+            .iter()
+            .enumerate()
+            .position(|(i, s)| s.is_none() && !self.blacklisted[i])
+    }
+
+    /// Take a slot out of service (after a detected death). In-flight state
+    /// on the slot, if any, must be reaped first via [`Self::abort`].
+    /// Returns `false` if blacklisting it would leave no healthy slots (the
+    /// caller must degrade to serial MPE execution instead).
+    pub fn blacklist(&mut self, slot: usize) -> bool {
+        if self.healthy_slots() <= 1 && !self.blacklisted[slot] {
+            return false;
+        }
+        if !self.blacklisted[slot] {
+            self.blacklisted[slot] = true;
+            if let Some(p) = &self.faults {
+                FaultStats::bump(&p.stats.slots_blacklisted);
+            }
+        }
+        true
+    }
+
+    /// Whether a slot has been blacklisted.
+    pub fn is_blacklisted(&self, slot: usize) -> bool {
+        self.blacklisted[slot]
+    }
+
+    /// Number of slots still in service.
+    pub fn healthy_slots(&self) -> usize {
+        self.blacklisted.iter().filter(|b| !**b).count()
+    }
+
+    /// Reap an in-flight kernel by token without completing it (the MPE's
+    /// deadline detector declared it lost). The slot frees, the completion
+    /// flag stays clear, and the machine's eventual `KernelDone` (stragglers
+    /// that were given up on) is later ignored by token mismatch. Returns
+    /// the freed slot.
+    pub fn abort(&mut self, token: u64) -> Option<usize> {
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            if s.map(|h| h.token) == Some(token) {
+                *s = None;
+                return Some(slot);
+            }
+        }
+        None
     }
 
     /// The token the next [`spawn`](Self::spawn) will mint. Lets the caller
@@ -144,13 +209,40 @@ impl AthreadGroup {
         timing: &KernelTiming,
         spin: bool,
     ) -> KernelHandle {
+        self.spawn_keyed(machine, start, timing, spin, None)
+    }
+
+    /// [`Self::spawn`] with an optional fault-plan key.
+    ///
+    /// When this group holds a fault plan and `key` identifies the offload
+    /// attempt, the plan may inject:
+    ///
+    /// * **slot death** — the kernel silently never completes: the slot
+    ///   stays occupied with `done_at ==` [`NEVER`], the flag stays clear,
+    ///   and no machine event is scheduled (flops are *not* credited: the
+    ///   kernel never ran);
+    /// * **straggler** — the kernel completes, but its duration is
+    ///   stretched by the plan's factor;
+    /// * **DMA error** (decided inside the machine) — same observable
+    ///   outcome as a death.
+    ///
+    /// Detection is the caller's job: compare `done_at ==` [`NEVER`] or run
+    /// an MPE deadline and [`Self::abort`] + retry on expiry.
+    pub fn spawn_keyed(
+        &mut self,
+        machine: &mut Machine,
+        start: SimTime,
+        timing: &KernelTiming,
+        spin: bool,
+        key: Option<&OffloadKey>,
+    ) -> KernelHandle {
         let slot = self.free_slot().unwrap_or_else(|| {
             panic!(
-                "CG {}: offload with all {} slots busy",
+                "CG {}: offload with all {} healthy slots busy",
                 self.cg, self.groups
             )
         });
-        let dur = if spin {
+        let mut dur = if spin {
             with_spin_penalty(machine.cfg(), timing.duration)
         } else {
             timing.duration
@@ -159,39 +251,85 @@ impl AthreadGroup {
         self.next_token += 1;
         let cpes_per_group = self.cpes_per_group() as u64;
         self.flags[slot].clear(cpes_per_group);
-        let done_at = machine.offload_kernel(self.cg, start, dur, token);
-        let counters = &mut machine.cg_mut(self.cg).counters;
-        counters.add(FlopCategory::Exp, timing.exp_flops);
-        counters.add(FlopCategory::Stencil, timing.flops - timing.exp_flops);
+        let lane = Lane::Cpe(slot as u32);
+        // `offload_kernel` starts the kernel at `start.max(now)` and does
+        // not advance virtual time, so this is the exact hardware begin.
+        let begin = start.max(machine.now());
+
+        // Consult the fault plane for this attempt.
+        let mut dead = false;
+        if let (Some(plan), Some(k)) = (self.faults.as_ref(), key) {
+            match plan.slot_fault(k) {
+                Some(SlotFault::Death) => {
+                    dead = true;
+                    FaultStats::bump(&plan.stats.injected_slot_death);
+                    self.rec.record(
+                        self.cg,
+                        begin.0,
+                        lane,
+                        Event::FaultInjected {
+                            kind: "slot_death",
+                            id: token,
+                        },
+                    );
+                }
+                Some(SlotFault::Straggler { factor_milli }) => {
+                    dur = SimDur(dur.0.saturating_mul(u64::from(factor_milli)).div_ceil(1000));
+                    FaultStats::bump(&plan.stats.injected_straggler);
+                    self.rec.record(
+                        self.cg,
+                        begin.0,
+                        lane,
+                        Event::FaultInjected {
+                            kind: "straggler",
+                            id: token,
+                        },
+                    );
+                }
+                None => {}
+            }
+        }
+
+        let done_at = if dead {
+            NEVER
+        } else {
+            match machine.offload_kernel_keyed(self.cg, start, dur, token, key) {
+                Some(end) => end,
+                // DMA error: observably identical to a slot death.
+                None => NEVER,
+            }
+        };
         let h = KernelHandle {
             token,
             slot,
             done_at,
         };
         self.slots[slot] = Some(h);
-        // DMA-in at kernel begin, DMA-out at completion: the CPE lane's
-        // hardware window. (The scheduler wraps this with OffloadStart/Done
-        // from the MPE's point of view.)
-        let lane = Lane::Cpe(slot as u32);
-        // `offload_kernel` starts the kernel at `start.max(now)` and does
-        // not advance virtual time, so this is the exact hardware begin.
-        let begin = start.max(machine.now());
-        self.rec.record(
-            self.cg,
-            begin.0,
-            lane,
-            Event::DmaIn {
-                bytes: timing.dma_bytes,
-            },
-        );
-        self.rec.record(
-            self.cg,
-            done_at.0,
-            lane,
-            Event::DmaOut {
-                bytes: timing.dma_bytes,
-            },
-        );
+        if done_at != NEVER {
+            // Flops only for kernels that actually ran.
+            let counters = &mut machine.cg_mut(self.cg).counters;
+            counters.add(FlopCategory::Exp, timing.exp_flops);
+            counters.add(FlopCategory::Stencil, timing.flops - timing.exp_flops);
+            // DMA-in at kernel begin, DMA-out at completion: the CPE lane's
+            // hardware window. (The scheduler wraps this with
+            // OffloadStart/Done from the MPE's point of view.)
+            self.rec.record(
+                self.cg,
+                begin.0,
+                lane,
+                Event::DmaIn {
+                    bytes: timing.dma_bytes,
+                },
+            );
+            self.rec.record(
+                self.cg,
+                done_at.0,
+                lane,
+                Event::DmaOut {
+                    bytes: timing.dma_bytes,
+                },
+            );
+        }
         if let Some(m) = self.rec.metrics() {
             m.offloads.inc();
         }
@@ -357,6 +495,83 @@ mod tests {
     #[should_panic(expected = "equal groups")]
     fn uneven_groups_rejected() {
         AthreadGroup::with_groups(0, 64, 3);
+    }
+
+    #[test]
+    fn dead_slot_never_completes_until_aborted() {
+        use sw_resilience::{FaultConfig, FaultPlan, OffloadKey};
+        let mut m = Machine::new(MachineConfig::sw26010(), 1);
+        let mut g = AthreadGroup::with_groups(0, 64, 2);
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            slot_death_ppm: 999_999,
+            guarantee_recovery: false,
+            ..FaultConfig::none(11)
+        }));
+        g.set_fault_plan(plan.clone());
+        let key = OffloadKey {
+            rank: 0,
+            patch: 1,
+            stage: 0,
+            step: 0,
+            attempt: 0,
+        };
+        let h = g.spawn_keyed(&mut m, SimTime::ZERO, &timing(10.0), false, Some(&key));
+        assert_eq!(h.done_at, NEVER);
+        assert!(m.pop().is_none(), "no KernelDone for a dead kernel");
+        assert!(g.try_complete(SimTime(u64::MAX - 1)).is_empty());
+        assert!(!g.flag(h.slot).is_set());
+        assert_eq!(m.cg(0).counters.total(), 0, "dead kernels credit no flops");
+        assert_eq!(plan.stats.snapshot().injected_slot_death, 1);
+        // The MPE detector reaps it and blacklists the slot.
+        assert_eq!(g.abort(h.token), Some(h.slot));
+        assert!(g.blacklist(h.slot));
+        assert_eq!(g.healthy_slots(), 1);
+        assert!(g.is_blacklisted(h.slot));
+        assert_ne!(g.free_slot(), Some(h.slot), "blacklisted slot not reused");
+        // Last healthy slot cannot be blacklisted.
+        let other = g.free_slot().unwrap();
+        assert!(!g.blacklist(other), "never blacklist the last slot");
+        assert_eq!(g.healthy_slots(), 1);
+    }
+
+    #[test]
+    fn straggler_stretches_duration_deterministically() {
+        use sw_resilience::{FaultConfig, FaultPlan, OffloadKey};
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            straggler_ppm: 999_999,
+            straggler_factor_milli: 4000,
+            ..FaultConfig::none(2)
+        }));
+        let mut m = Machine::new(MachineConfig::sw26010(), 1);
+        let mut g = AthreadGroup::new(0, 64);
+        g.set_fault_plan(plan.clone());
+        let key = OffloadKey {
+            rank: 0,
+            patch: 0,
+            stage: 0,
+            step: 0,
+            attempt: 0,
+        };
+        let h = g.spawn_keyed(&mut m, SimTime::ZERO, &timing(100.0), false, Some(&key));
+        assert_eq!(h.done_at, SimTime::ZERO + SimDur::from_us(400.0));
+        assert_eq!(plan.stats.snapshot().injected_straggler, 1);
+        // Stragglers do complete (recoverable by waiting or by abort+retry).
+        assert_eq!(g.try_complete(h.done_at), vec![h.token]);
+    }
+
+    #[test]
+    fn unkeyed_spawns_are_exempt_from_faults() {
+        use sw_resilience::{FaultConfig, FaultPlan};
+        let mut m = Machine::new(MachineConfig::sw26010(), 1);
+        let mut g = AthreadGroup::new(0, 64);
+        g.set_fault_plan(Arc::new(FaultPlan::new(FaultConfig {
+            slot_death_ppm: 999_999,
+            straggler_ppm: 999_999,
+            guarantee_recovery: false,
+            ..FaultConfig::none(5)
+        })));
+        let h = g.spawn(&mut m, SimTime::ZERO, &timing(100.0), false);
+        assert_eq!(h.done_at, SimTime::ZERO + SimDur::from_us(100.0));
     }
 
     #[test]

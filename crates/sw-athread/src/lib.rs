@@ -33,7 +33,8 @@ pub use exec::{
     ExecPolicy, Field3, Field3Mut, TileCtx,
 };
 pub use flag::CompletionFlag;
-pub use group::{AthreadGroup, KernelHandle};
+pub use group::{AthreadGroup, KernelHandle, NEVER};
 pub use tile::{
-    assign_tiles, cells, choose_tile_shape, tiles_of, Dims3, InOutFootprint, LdmFootprint, TileDesc,
+    assign_tiles, cells, choose_tile_shape, is_exact_partition, tiles_of, Dims3, InOutFootprint,
+    LdmFootprint, TileDesc,
 };

@@ -89,6 +89,45 @@ pub fn assign_tiles(tiles: &[TileDesc], cpes: usize) -> Vec<Vec<TileDesc>> {
     out
 }
 
+/// Verify that an assignment of tiles to CPEs is an **exact partition** of
+/// the patch: every cell covered exactly once, every tile in bounds.
+///
+/// This is the same property PR 2's static verifier proves offline for
+/// compiled tile plans; the resilience layer re-checks it *online* whenever
+/// it repartitions a patch over surviving CPE slots after a blacklist, so a
+/// recovery path can never silently compute a torn field — if the check
+/// fails the caller degrades to serial MPE execution instead.
+pub fn is_exact_partition(patch: Dims3, assignment: &[Vec<TileDesc>]) -> bool {
+    let total = cells(patch) as usize;
+    let mut covered = vec![false; total];
+    let mut n = 0usize;
+    for list in assignment {
+        for t in list {
+            let (ox, oy, oz) = t.origin;
+            let (dx, dy, dz) = t.dims;
+            if dx == 0 || dy == 0 || dz == 0 {
+                return false;
+            }
+            if ox + dx > patch.0 || oy + dy > patch.1 || oz + dz > patch.2 {
+                return false; // out of bounds
+            }
+            for z in oz..oz + dz {
+                for y in oy..oy + dy {
+                    for x in ox..ox + dx {
+                        let idx = (z * patch.1 + y) * patch.0 + x;
+                        if covered[idx] {
+                            return false; // overlap
+                        }
+                        covered[idx] = true;
+                        n += 1;
+                    }
+                }
+            }
+        }
+    }
+    n == total
+}
+
 /// Working-set model used to size tiles: bytes of LDM a kernel needs for a
 /// tile of the given dims.
 pub trait LdmFootprint {
@@ -201,6 +240,39 @@ mod tests {
         assert_eq!(tiles.len(), 64);
         let total: u64 = tiles.iter().map(|t| t.cells()).sum();
         assert_eq!(total, cells(patch));
+    }
+
+    #[test]
+    fn exact_partition_accepts_any_cpe_count() {
+        let patch = (10, 10, 20);
+        let tiles = tiles_of(patch, (4, 4, 4));
+        // Repartitioning over surviving slots: any split is still exact.
+        for cpes in [1usize, 3, 7, 27, 64] {
+            let asg = assign_tiles(&tiles, cpes);
+            assert!(is_exact_partition(patch, &asg), "cpes={cpes}");
+        }
+    }
+
+    #[test]
+    fn exact_partition_rejects_gaps_overlaps_and_oob() {
+        let patch = (8, 8, 8);
+        let tiles = tiles_of(patch, (4, 4, 4));
+        let mut asg = assign_tiles(&tiles, 2);
+        // Gap: drop one tile.
+        let dropped = asg[0].pop().unwrap();
+        assert!(!is_exact_partition(patch, &asg));
+        // Overlap: restore it twice.
+        asg[0].push(dropped);
+        asg[1].push(dropped);
+        assert!(!is_exact_partition(patch, &asg));
+        asg[1].pop();
+        assert!(is_exact_partition(patch, &asg));
+        // Out of bounds.
+        asg[1].push(TileDesc {
+            origin: (6, 6, 6),
+            dims: (4, 4, 4),
+        });
+        assert!(!is_exact_partition(patch, &asg));
     }
 
     #[test]

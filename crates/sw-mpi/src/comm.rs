@@ -20,9 +20,11 @@
 //! Matching is MPI-ordered: posted receives match messages from a given
 //! `(source, tag)` in message-id (send-program) order.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use sw_sim::{CgId, Machine, SimTime};
+use sw_resilience::{FaultPlan, FaultStats, MsgFault, MsgKey};
+use sw_sim::{CgId, Machine, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 /// Rank in the simulated communicator (identical to the CG id: one MPI
@@ -59,6 +61,12 @@ enum MsgState {
     DataArrived,
     /// Received; payload handed to the application.
     Consumed,
+    /// Reliable mode: payload dropped by the fault plane; the sender's
+    /// resend timer ([`Msg::deadline`]) is the only way forward.
+    DataLost,
+    /// Reliable mode: consumed at the receiver, ack in flight back to the
+    /// sender; the message retires when the ack lands.
+    AckWait,
 }
 
 #[derive(Debug)]
@@ -72,6 +80,11 @@ struct Msg {
     eager: bool,
     matched_recv: Option<u64>,
     send_complete: bool,
+    /// Reliable mode: payload transmission attempt, starting at 0.
+    attempt: u32,
+    /// Reliable mode: absolute time at which the sender declares the
+    /// current attempt lost and resends (armed only on a real drop).
+    deadline: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -122,6 +135,13 @@ pub struct MpiWorld {
     pub recvs_completed: u64,
     /// Telemetry sink for protocol events (disabled by default).
     rec: Recorder,
+    /// Optional fault plan: when set, payload transmission goes through the
+    /// *reliable* layer (fault consult at injection, ack on consumption,
+    /// resend on timeout, duplicate suppression).
+    faults: Option<Arc<FaultPlan>>,
+    /// Fully retired message ids (reliable mode): late duplicates for these
+    /// are suppressed rather than treated as protocol errors.
+    retired: BTreeSet<u64>,
 }
 
 /// Decode a wire token into (message id, phase).
@@ -134,6 +154,9 @@ fn encode(id: u64, phase: u8) -> u64 {
 const PH_RTS: u8 = 0;
 const PH_CTS: u8 = 1;
 const PH_DATA: u8 = 2;
+/// Reliable-mode delivery acknowledgement (receiver → sender control
+/// packet; retires the message when it lands at the sender's NIC).
+const PH_ACK: u8 = 3;
 
 impl MpiWorld {
     /// A communicator of `n` ranks.
@@ -150,12 +173,20 @@ impl MpiWorld {
             sends_posted: 0,
             recvs_completed: 0,
             rec: Recorder::off(),
+            faults: None,
+            retired: BTreeSet::new(),
         }
     }
 
     /// Thread a telemetry recorder through the protocol events.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.rec = rec;
+    }
+
+    /// Install a fault plan, switching payload transmission to the
+    /// reliable (ack + resend) layer.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Communicator size.
@@ -200,9 +231,9 @@ impl MpiWorld {
             m.msg_bytes.record(bytes);
         }
         let (state, send_complete) = if eager {
-            // Eager: payload leaves immediately; the library buffers it, so
-            // the send request is complete as soon as it is injected.
-            machine.net_send(src, dst, bytes.max(CTRL_BYTES), when, encode(id, PH_DATA));
+            // Eager: payload leaves immediately (possibly through the fault
+            // plane); the library buffers it, so the send request is
+            // complete as soon as it is injected.
             (MsgState::DataInFlight, true)
         } else {
             machine.net_send(src, dst, CTRL_BYTES, when, encode(id, PH_RTS));
@@ -226,11 +257,116 @@ impl MpiWorld {
                 eager,
                 matched_recv: None,
                 send_complete,
+                attempt: 0,
+                deadline: None,
             },
         );
         self.active[src].insert(id);
         self.active[dst].insert(id);
+        if eager {
+            self.inject_data(machine, id, when, false);
+        }
         SendHandle(id)
+    }
+
+    /// Put a message's payload on the wire (eager post, rendezvous grant,
+    /// or resend), consulting the fault plan for this transmission attempt.
+    /// With `forced` the fault consult is bypassed — the last-resort
+    /// delivery after the retry budget is exhausted.
+    fn inject_data(&mut self, machine: &mut Machine, id: u64, when: SimTime, forced: bool) {
+        let (src, dst, bytes, tag, eager, attempt) = {
+            let m = &self.msgs[&id];
+            (m.src, m.dst, m.bytes, m.tag, m.eager, m.attempt)
+        };
+        // Eager messages occupy at least a control packet on the wire.
+        let wire_bytes = if eager { bytes.max(CTRL_BYTES) } else { bytes };
+        let fault = if forced {
+            None
+        } else {
+            self.faults.as_ref().and_then(|p| {
+                p.msg_fault(&MsgKey {
+                    src: src as u32,
+                    dst: dst as u32,
+                    tag,
+                    attempt,
+                })
+            })
+        };
+        let m = self.msgs.get_mut(&id).unwrap();
+        match fault {
+            Some(MsgFault::Drop) => {
+                // Nothing reaches the wire. Arm the sender's resend timer.
+                let plan = self.faults.as_ref().unwrap();
+                m.state = MsgState::DataLost;
+                m.deadline = Some(when + SimDur(plan.msg_timeout_ps()));
+                FaultStats::bump(&plan.stats.injected_msg_drop);
+                self.rec.record(
+                    src,
+                    when.0,
+                    Lane::Mpe,
+                    Event::FaultInjected {
+                        kind: "msg_drop",
+                        id,
+                    },
+                );
+            }
+            Some(MsgFault::Duplicate) => {
+                m.state = MsgState::DataInFlight;
+                m.deadline = None;
+                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
+                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
+                let plan = self.faults.as_ref().unwrap();
+                FaultStats::bump(&plan.stats.injected_msg_dup);
+                self.rec.record(
+                    src,
+                    when.0,
+                    Lane::Mpe,
+                    Event::FaultInjected {
+                        kind: "msg_dup",
+                        id,
+                    },
+                );
+            }
+            Some(MsgFault::Delay { extra_ps }) => {
+                m.state = MsgState::DataInFlight;
+                m.deadline = None;
+                machine.net_send(
+                    src,
+                    dst,
+                    wire_bytes,
+                    when + SimDur(extra_ps),
+                    encode(id, PH_DATA),
+                );
+                let plan = self.faults.as_ref().unwrap();
+                FaultStats::bump(&plan.stats.injected_msg_delay);
+                self.rec.record(
+                    src,
+                    when.0,
+                    Lane::Mpe,
+                    Event::FaultInjected {
+                        kind: "msg_delay",
+                        id,
+                    },
+                );
+            }
+            None => {
+                m.state = MsgState::DataInFlight;
+                m.deadline = None;
+                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
+            }
+        }
+    }
+
+    /// Retire a message entirely (reliable mode: its ack landed, or a
+    /// clean run consumed it). Late wire deliveries for it are suppressed.
+    fn retire_msg(&mut self, id: u64) {
+        if let Some(m) = self.msgs.remove(&id) {
+            self.active[m.src].remove(&id);
+            self.active[m.dst].remove(&id);
+            if self.faults.is_some() {
+                self.retired.insert(id);
+            }
+        }
     }
 
     /// Post a non-blocking receive for a message from `src` with `tag`.
@@ -258,6 +394,51 @@ impl MpiWorld {
     /// yet *visible* to either rank — visibility requires `progress`.
     pub fn on_wire(&mut self, token: u64) {
         let (id, phase) = decode(token);
+        if self.faults.is_some() {
+            // Reliable mode: duplicates, late copies, and acks are part of
+            // the protocol rather than errors.
+            if !self.msgs.contains_key(&id) {
+                assert!(
+                    self.retired.contains(&id),
+                    "wire token for unknown message {id}"
+                );
+                // A late duplicate (or redundant resend) of a message whose
+                // ack already landed: suppressed exactly like a live dup.
+                if phase == PH_DATA {
+                    let plan = self.faults.as_ref().unwrap();
+                    FaultStats::bump(&plan.stats.duplicates_suppressed);
+                }
+                return;
+            }
+            let state = self.msgs[&id].state;
+            match (phase, state) {
+                (PH_RTS, MsgState::RtsInFlight) => {
+                    self.msgs.get_mut(&id).unwrap().state = MsgState::RtsArrived;
+                }
+                (PH_CTS, MsgState::CtsInFlight) => {
+                    self.msgs.get_mut(&id).unwrap().state = MsgState::CtsArrived;
+                }
+                (PH_DATA, MsgState::DataInFlight | MsgState::DataLost) => {
+                    // DataLost → DataArrived covers a stale copy landing
+                    // after the sender already declared the attempt lost:
+                    // delivery is delivery.
+                    self.msgs.get_mut(&id).unwrap().state = MsgState::DataArrived;
+                }
+                (PH_DATA, MsgState::DataArrived | MsgState::AckWait) => {
+                    // Duplicate delivery: the payload is already here (or
+                    // even consumed). Suppress; the receive side must see
+                    // each message exactly once.
+                    let plan = self.faults.as_ref().unwrap();
+                    FaultStats::bump(&plan.stats.duplicates_suppressed);
+                }
+                (PH_ACK, MsgState::AckWait) => {
+                    // Ack landed at the sender's NIC: the message is done.
+                    self.retire_msg(id);
+                }
+                (p, s) => panic!("message {id}: phase {p} delivery in state {s:?}"),
+            }
+            return;
+        }
         let msg = self
             .msgs
             .get_mut(&id)
@@ -303,13 +484,50 @@ impl MpiWorld {
                     }
                 }
                 MsgState::CtsArrived if src == rank => {
-                    let bytes = self.msgs[&id].bytes;
-                    machine.net_send(src, dst, bytes, now, encode(id, PH_DATA));
+                    // Rendezvous grant: payload through the fault plane.
+                    self.inject_data(machine, id, now, false);
                     let m = self.msgs.get_mut(&id).unwrap();
-                    m.state = MsgState::DataInFlight;
-                    // Rendezvous send buffer is released once injected.
+                    // Rendezvous send buffer is released once injected (a
+                    // dropped injection still buffers for resend).
                     m.send_complete = true;
                     actions += 1;
+                }
+                MsgState::DataLost if src == rank => {
+                    // Reliable mode: the sender's ack deadline expired —
+                    // detect and resend with exponential backoff, or force
+                    // delivery once the retry budget is spent.
+                    let deadline = self.msgs[&id].deadline.expect("lost msg without deadline");
+                    if now >= deadline {
+                        let plan = self.faults.as_ref().unwrap().clone();
+                        FaultStats::bump(&plan.stats.detected_msg);
+                        self.rec.record(
+                            src,
+                            now.0,
+                            Lane::Mpe,
+                            Event::FaultDetected {
+                                kind: "msg_timeout",
+                                id,
+                            },
+                        );
+                        let attempt = {
+                            let m = self.msgs.get_mut(&id).unwrap();
+                            m.attempt += 1;
+                            m.attempt
+                        };
+                        if attempt >= plan.max_attempts() {
+                            // Retry budget exhausted: the recoverable path
+                            // failed. Degrade gracefully — force the
+                            // payload through, bypassing the fault consult,
+                            // and account the fault as unrecovered.
+                            FaultStats::bump(&plan.stats.unrecovered);
+                            self.inject_data(machine, id, now, true);
+                        } else {
+                            FaultStats::bump(&plan.stats.resends_msg);
+                            let when = now + SimDur(plan.backoff_ps(attempt));
+                            self.inject_data(machine, id, when, false);
+                        }
+                        actions += 1;
+                    }
                 }
                 MsgState::DataArrived if dst == rank => {
                     let recv = matched.or_else(|| self.match_recv(id, dst, src, tag));
@@ -318,6 +536,7 @@ impl MpiWorld {
                         m.matched_recv = Some(r);
                         m.state = MsgState::Consumed;
                         let payload = m.payload.take();
+                        let attempt = m.attempt;
                         debug_assert!(eager || m.send_complete);
                         let req = self.recvs.get_mut(&r).unwrap();
                         req.complete = true;
@@ -335,11 +554,30 @@ impl MpiWorld {
                             },
                         );
                         actions += 1;
-                        // Fully finished: retire from the live indexes (the
-                        // eager/rendezvous send side is complete by now).
-                        self.active[src].remove(&id);
-                        self.active[dst].remove(&id);
-                        self.msgs.remove(&id);
+                        if let Some(plan) = self.faults.as_ref() {
+                            // Reliable mode: acknowledge; the message stays
+                            // live (suppressing duplicates) until the ack
+                            // lands at the sender.
+                            if attempt > 0 {
+                                FaultStats::bump(&plan.stats.recovered_msg);
+                                self.rec.record(
+                                    dst,
+                                    now.0,
+                                    Lane::Mpe,
+                                    Event::FaultRecovered {
+                                        kind: "msg_resend",
+                                        id,
+                                    },
+                                );
+                            }
+                            self.msgs.get_mut(&id).unwrap().state = MsgState::AckWait;
+                            machine.net_send(dst, src, CTRL_BYTES, now, encode(id, PH_ACK));
+                        } else {
+                            // Fully finished: retire from the live indexes
+                            // (the eager/rendezvous send side is complete
+                            // by now).
+                            self.retire_msg(id);
+                        }
                     }
                 }
                 _ => {}
@@ -409,6 +647,38 @@ impl MpiWorld {
     /// `rank` as sender or receiver.
     pub fn outstanding(&self, rank: Rank) -> usize {
         self.active[rank].len()
+    }
+
+    /// Reliable mode: sends from `rank` whose delivery has not yet been
+    /// acknowledged (including dropped payloads awaiting resend). A rank
+    /// must not end its step while this is non-zero, or a lost payload
+    /// could strand its receiver forever.
+    pub fn unacked(&self, rank: Rank) -> usize {
+        self.active[rank]
+            .iter()
+            .filter(|id| {
+                self.msgs
+                    .get(id)
+                    .is_some_and(|m| m.src == rank && !matches!(m.state, MsgState::Consumed))
+            })
+            .count()
+    }
+
+    /// Reliable mode: the earliest resend deadline among `rank`'s lost
+    /// payloads — the scheduler arranges an MPE wakeup timer for it so the
+    /// detection path runs even when no other event would wake the rank.
+    pub fn next_deadline(&self, rank: Rank) -> Option<SimTime> {
+        self.active[rank]
+            .iter()
+            .filter_map(|id| {
+                let m = self.msgs.get(id)?;
+                if m.src == rank && m.state == MsgState::DataLost {
+                    m.deadline
+                } else {
+                    None
+                }
+            })
+            .min()
     }
 
     /// Free the bookkeeping of a completed receive (after the payload has
@@ -620,5 +890,164 @@ mod tests {
     fn self_sends_rejected() {
         let (mut m, mut w) = setup(2);
         w.isend(&mut m, 1, 1, 0, 8, None, SimTime::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Reliable (fault-plane) mode
+    // ------------------------------------------------------------------
+
+    use sw_resilience::FaultConfig;
+
+    fn reliable(n: usize, cfg: FaultConfig) -> (Machine, MpiWorld, Arc<FaultPlan>) {
+        let (mut m, mut w) = setup(n);
+        let plan = Arc::new(FaultPlan::new(cfg));
+        w.set_fault_plan(plan.clone());
+        m.set_fault_plan(plan.clone());
+        (m, w, plan)
+    }
+
+    /// Drain events and progress both ranks until the world is quiescent
+    /// (or a step budget is exhausted — which fails the test).
+    fn settle(m: &mut Machine, w: &mut MpiWorld, ranks: usize) {
+        for _ in 0..64 {
+            drain(m, w);
+            let now = m.now();
+            let mut acted = 0;
+            for r in 0..ranks {
+                acted += w.progress(r, m, now);
+            }
+            if w.quiescent() && m.peek_time().is_none() {
+                return;
+            }
+            if acted == 0 && m.peek_time().is_none() {
+                // Only a future resend deadline can move things forward.
+                let dl = (0..ranks).filter_map(|r| w.next_deadline(r)).min();
+                match dl {
+                    Some(t) => {
+                        // Jump virtual time by scheduling + popping a timer.
+                        m.timer_at(0, t, u64::MAX);
+                        let _ = m.pop();
+                    }
+                    None => break,
+                }
+            }
+        }
+        panic!("world failed to settle: quiescent={}", w.quiescent());
+    }
+
+    #[test]
+    fn dropped_payload_is_detected_resent_and_recovered() {
+        // Force a drop on attempt 0; guarantee_recovery cleans later tries.
+        let cfg = FaultConfig {
+            msg_drop_ppm: 999_999,
+            max_attempts: 4,
+            ..FaultConfig::none(21)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        let data = vec![4.25, -1.5];
+        let s = w.isend(&mut m, 0, 1, 7, 16, Some(data.clone()), SimTime::ZERO);
+        let r = w.irecv(1, 0, 7);
+        settle(&mut m, &mut w, 2);
+        assert!(w.send_done(s) && w.recv_done(r));
+        assert_eq!(w.take_payload(r), Some(data), "payload survives the drop");
+        let c = plan.stats.snapshot();
+        assert!(c.injected_msg_drop >= 1);
+        assert_eq!(c.detected_msg, c.injected_msg_drop, "every drop detected");
+        assert!(c.resends_msg >= 1);
+        assert_eq!(c.recovered_msg, 1, "exactly one message recovered");
+        assert_eq!(c.unrecovered, 0);
+        assert!(w.quiescent(), "ack drained, nothing live");
+        assert_eq!(w.unacked(0), 0);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_exactly_once() {
+        let cfg = FaultConfig {
+            msg_dup_ppm: 999_999,
+            ..FaultConfig::none(22)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        let s = w.isend(&mut m, 0, 1, 5, 8, Some(vec![9.0]), SimTime::ZERO);
+        let r = w.irecv(1, 0, 5);
+        settle(&mut m, &mut w, 2);
+        assert!(w.send_done(s) && w.recv_done(r));
+        assert_eq!(w.take_payload(r), Some(vec![9.0]));
+        let c = plan.stats.snapshot();
+        assert_eq!(c.injected_msg_dup, 1);
+        assert_eq!(
+            c.duplicates_suppressed, 1,
+            "two copies on the wire, one delivery, one suppression"
+        );
+        assert_eq!(w.recvs_completed, 1, "receive completed exactly once");
+    }
+
+    #[test]
+    fn delayed_payload_arrives_late_but_intact() {
+        let cfg = FaultConfig {
+            msg_delay_ppm: 999_999,
+            delay_ps: 5_000_000,
+            ..FaultConfig::none(23)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        w.isend(&mut m, 0, 1, 3, 8, Some(vec![1.0]), SimTime::ZERO);
+        let r = w.irecv(1, 0, 3);
+        settle(&mut m, &mut w, 2);
+        assert!(w.recv_done(r));
+        assert!(m.now().0 >= 5_000_000, "delivery waited out the delay");
+        assert_eq!(plan.stats.snapshot().injected_msg_delay, 1);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_forces_delivery_and_counts_unrecovered() {
+        // Hostile: every attempt drops and recovery is NOT guaranteed.
+        let cfg = FaultConfig {
+            msg_drop_ppm: 999_999,
+            max_attempts: 2,
+            guarantee_recovery: false,
+            ..FaultConfig::none(24)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        let r = w.irecv(1, 0, 1);
+        w.isend(&mut m, 0, 1, 1, 8, Some(vec![2.0]), SimTime::ZERO);
+        settle(&mut m, &mut w, 2);
+        assert!(w.recv_done(r), "forced delivery still completes the run");
+        assert_eq!(w.take_payload(r), Some(vec![2.0]));
+        let c = plan.stats.snapshot();
+        assert!(c.unrecovered >= 1, "budget exhaustion is accounted");
+    }
+
+    #[test]
+    fn rendezvous_payload_goes_through_fault_plane_too() {
+        let cfg = FaultConfig {
+            msg_drop_ppm: 999_999,
+            max_attempts: 3,
+            ..FaultConfig::none(25)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        let bytes = 1_000_000; // > eager limit: rendezvous
+        let s = w.isend(&mut m, 0, 1, 9, bytes, None, SimTime::ZERO);
+        let r = w.irecv(1, 0, 9);
+        settle(&mut m, &mut w, 2);
+        assert!(w.send_done(s) && w.recv_done(r));
+        let c = plan.stats.snapshot();
+        assert!(c.injected_msg_drop >= 1, "rendezvous payload was dropped");
+        assert_eq!(c.unrecovered, 0);
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn clean_plan_matches_unfaulted_protocol_shape() {
+        // A fault plan that injects nothing still runs the ack layer;
+        // message delivery and payloads are unchanged.
+        let (mut m, mut w, plan) = reliable(2, FaultConfig::none(26));
+        let s = w.isend(&mut m, 0, 1, 7, 8, Some(vec![3.5]), SimTime::ZERO);
+        let r = w.irecv(1, 0, 7);
+        assert_eq!(w.unacked(0), 1);
+        settle(&mut m, &mut w, 2);
+        assert!(w.send_done(s) && w.recv_done(r));
+        assert_eq!(w.take_payload(r), Some(vec![3.5]));
+        assert_eq!(w.unacked(0), 0);
+        assert_eq!(plan.stats.snapshot().total_injected(), 0);
+        assert!(w.quiescent());
     }
 }

@@ -12,9 +12,12 @@
 //!   global event queue;
 //! * [`mpe`] — serial busy-time accounting for the single management core;
 //! * [`ldm`] — the capacity-enforcing 64 KB scratchpad allocator;
-//! * [`flops`] — emulation of the precise per-CG floating-point counters;
-//! * [`trace`] — the deprecated stringly trace, now a shim over the
-//!   structured `sw-telemetry` recorder.
+//! * [`flops`] — emulation of the precise per-CG floating-point counters.
+//!
+//! Structured tracing lives in `sw-telemetry` (the old stringly `Trace`
+//! shim was removed once its last callers migrated to the `Recorder`);
+//! deterministic fault injection consults an optional
+//! [`sw_resilience::FaultPlan`] at the machine's DMA boundary.
 //!
 //! Higher layers (`sw-athread`, `sw-mpi`, `uintah-core`) mint opaque tokens,
 //! drive the machine through [`machine::Machine`]'s primitives, and interpret
@@ -29,7 +32,6 @@ pub mod machine;
 pub mod mpe;
 pub mod noise;
 pub mod time;
-pub mod trace;
 
 pub use config::MachineConfig;
 pub use event::EventQueue;
@@ -39,4 +41,3 @@ pub use machine::{Cg, CgId, Machine, MachineEvent, MachineStats};
 pub use mpe::MpeClock;
 pub use noise::{KernelNoise, SplitMix64};
 pub use time::{SimDur, SimTime};
-pub use trace::{Trace, TraceRecord};

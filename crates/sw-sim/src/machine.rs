@@ -9,6 +9,9 @@
 //! * `sw-mpi` mints message tokens and handles [`MachineEvent::NetDeliver`],
 //! * schedulers mint timer tokens and handle [`MachineEvent::Timer`].
 
+use std::sync::Arc;
+
+use sw_resilience::{FaultPlan, FaultStats, OffloadKey};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::config::MachineConfig;
@@ -17,7 +20,6 @@ use crate::flops::FlopCounters;
 use crate::mpe::MpeClock;
 use crate::noise::KernelNoise;
 use crate::time::{SimDur, SimTime};
-use crate::trace::Trace;
 
 /// Index of a core group (used as the node/rank id: the paper uses CGs as
 /// separate computing nodes, §IV-A).
@@ -133,6 +135,9 @@ pub struct Machine {
     /// Telemetry sink for hardware-level events (disabled by default; the
     /// controller threads the run's recorder in via [`Machine::set_recorder`]).
     rec: Recorder,
+    /// Optional fault plan consulted at the DMA boundary
+    /// ([`Machine::offload_kernel_keyed`]) and for rank-level NIC jitter.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Machine {
@@ -147,6 +152,7 @@ impl Machine {
             noise: None,
             cg_speed: vec![1.0; n_cgs],
             rec: Recorder::off(),
+            faults: None,
         }
     }
 
@@ -160,16 +166,14 @@ impl Machine {
         &self.rec
     }
 
-    /// Start recording hardware events into a fresh per-CG recorder.
-    #[deprecated(note = "use set_recorder with a sw_telemetry::Recorder")]
-    pub fn enable_trace(&mut self) {
-        self.rec = Recorder::new(self.cgs.len());
+    /// Thread a fault plan through the machine's DMA and NIC boundaries.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
-    /// Legacy view of the recorded events (empty unless enabled).
-    #[deprecated(note = "use recorder() and sw_telemetry directly")]
-    pub fn trace(&self) -> Trace {
-        Trace::over(self.rec.clone())
+    /// The machine's fault plan, when one is installed.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Enable seeded kernel-duration noise of up to `frac`.
@@ -252,19 +256,53 @@ impl Machine {
     /// work). Schedules [`MachineEvent::KernelDone`] and returns its fire
     /// time.
     pub fn offload_kernel(&mut self, cg: CgId, start: SimTime, dur: SimDur, token: u64) -> SimTime {
+        self.offload_kernel_keyed(cg, start, dur, token, None)
+            .expect("unkeyed offloads never fault")
+    }
+
+    /// [`Machine::offload_kernel`] with an optional fault-plan key.
+    ///
+    /// When a fault plan is installed and `key` is provided, the plan may
+    /// inject a **DMA transfer error**: the kernel never starts, no
+    /// [`MachineEvent::KernelDone`] is scheduled, and `None` is returned.
+    /// The caller (athread layer) keeps the slot occupied until its MPE
+    /// deadline detector fires — exactly like a silent slot death.
+    pub fn offload_kernel_keyed(
+        &mut self,
+        cg: CgId,
+        start: SimTime,
+        dur: SimDur,
+        token: u64,
+        key: Option<&OffloadKey>,
+    ) -> Option<SimTime> {
+        let begin = start.max(self.queue.now());
+        if let (Some(plan), Some(k)) = (self.faults.as_ref(), key) {
+            if plan.dma_fault(k) {
+                FaultStats::bump(&plan.stats.injected_dma_error);
+                self.rec.record(
+                    cg,
+                    begin.0,
+                    Lane::Cpe(0),
+                    Event::FaultInjected {
+                        kind: "dma_error",
+                        id: token,
+                    },
+                );
+                return None;
+            }
+        }
         let mut dur = dur.scale(1.0 / self.cg_speed[cg]);
         if let Some(noise) = &mut self.noise {
             dur = dur.scale(noise.draw());
         }
         let slot = &mut self.cgs[cg];
-        let begin = start.max(self.queue.now());
         let end = begin + dur;
         slot.cpe_busy_until = slot.cpe_busy_until.max(end);
         slot.cpe_busy_total += dur;
         self.stats.kernels += 1;
         self.queue
             .schedule_at(end, MachineEvent::KernelDone { cg, token });
-        end
+        Some(end)
     }
 
     /// Inject a message of `bytes` from `src` to `dst`, with the send-side
@@ -284,7 +322,14 @@ impl Machine {
         let inject_dur = SimDur::from_secs_f64(bytes as f64 / (self.cfg.net_bw_gbs * 1e9));
         let inject_end = inject_start + inject_dur;
         self.cgs[src].nic_free_at = inject_end;
-        let deliver = inject_end + self.cfg.net_latency;
+        // Rank-level NIC jitter: a jittered source pays constant extra
+        // latency on every packet it injects (models a hot/slow node).
+        let jitter = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.jitter_ps(src as u32))
+            .map_or(SimDur::ZERO, SimDur);
+        let deliver = inject_end + self.cfg.net_latency + jitter;
         self.stats.messages += 1;
         self.stats.net_bytes += bytes;
         self.rec.record(
@@ -409,15 +454,74 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn trace_records_hardware_events_when_enabled() {
+    fn recorder_is_off_by_default_then_captures_wire_events() {
         let mut m = machine(2);
         m.offload_kernel(0, SimTime(0), SimDur(10), 1);
-        assert!(m.trace().records().is_empty(), "off by default");
-        m.enable_trace();
+        assert!(
+            m.recorder().snapshot().iter().all(|b| b.is_empty()),
+            "off by default"
+        );
+        m.set_recorder(Recorder::new(2));
         m.net_send(0, 1, 64, SimTime(0), 3);
-        assert_eq!(m.trace().with_tag("send").len(), 1);
-        assert!(m.trace().render().contains("[send]"));
+        let sends = m.recorder().snapshot()[0]
+            .iter()
+            .filter(|r| matches!(r.event, Event::MsgOnWire { .. }))
+            .count();
+        assert_eq!(sends, 1);
+    }
+
+    #[test]
+    fn dma_fault_suppresses_kernel_completion() {
+        use sw_resilience::FaultConfig;
+        let mut m = machine(1);
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            dma_error_ppm: 999_999,
+            guarantee_recovery: false,
+            ..FaultConfig::none(3)
+        }));
+        m.set_fault_plan(plan.clone());
+        m.set_recorder(Recorder::new(1));
+        let key = OffloadKey {
+            rank: 0,
+            patch: 0,
+            stage: 0,
+            step: 0,
+            attempt: 0,
+        };
+        let end = m.offload_kernel_keyed(0, SimTime(0), SimDur(100), 1, Some(&key));
+        assert_eq!(end, None, "DMA fault: kernel never runs");
+        assert!(m.pop().is_none(), "no KernelDone scheduled");
+        assert_eq!(plan.stats.snapshot().injected_dma_error, 1);
+        let injected = m.recorder().snapshot()[0]
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    Event::FaultInjected {
+                        kind: "dma_error",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(injected, 1);
+        // Unkeyed offloads are exempt even with a hostile plan installed.
+        let end = m.offload_kernel(0, SimTime(0), SimDur(100), 2);
+        assert_eq!(end, SimTime(100));
+    }
+
+    #[test]
+    fn jittered_rank_pays_constant_extra_latency() {
+        use sw_resilience::FaultConfig;
+        let mut m = machine(2);
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            rank_jitter_ppm: 999_999, // every rank jittered
+            jitter_ps: 777,
+            ..FaultConfig::none(1)
+        }));
+        m.set_fault_plan(plan);
+        let d = m.net_send(0, 1, 0, SimTime(0), 7);
+        assert_eq!(d, SimTime::ZERO + m.cfg().net_latency + SimDur(777));
     }
 
     #[test]

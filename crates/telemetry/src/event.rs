@@ -170,11 +170,48 @@ pub enum Event {
         /// Scheduled wakeup time in ps (`u64::MAX` when event-driven).
         until_ps: u64,
     },
-    /// Untyped legacy marker (the deprecated `sw_sim::Trace` shim records
-    /// these; new code should use a typed variant).
+    /// Untyped marker instant (tests and ad-hoc debugging; production code
+    /// should use a typed variant).
     Mark {
         /// Static tag string.
         tag: &'static str,
+    },
+    /// The fault plan injected a fault at a shim boundary (slot death,
+    /// straggler, DMA error, message drop/duplicate/delay).
+    FaultInjected {
+        /// Stable fault-kind name (matches a `FaultStats` counter, e.g.
+        /// `"slot_death"`, `"msg_drop"`).
+        kind: &'static str,
+        /// Entity id the fault hit (kernel token, message id, ...).
+        id: u64,
+    },
+    /// A detector fired: an offload deadline or a message ack timeout.
+    FaultDetected {
+        /// Stable fault-kind name (`"offload_timeout"`, `"msg_timeout"`).
+        kind: &'static str,
+        /// Entity id the detector fired for.
+        id: u64,
+    },
+    /// A recovery action completed (retry re-executed, resend delivered,
+    /// or degradation to a serial fallback).
+    FaultRecovered {
+        /// Stable recovery-kind name (`"offload_retry"`, `"msg_resend"`,
+        /// `"serial_degrade"`).
+        kind: &'static str,
+        /// Entity id that recovered.
+        id: u64,
+    },
+    /// A warehouse checkpoint was written at a step boundary.
+    CheckpointWritten {
+        /// Step the checkpoint covers (next step to run on restart).
+        step: usize,
+        /// Field-data payload bytes serialized.
+        bytes: u64,
+    },
+    /// Execution restarted from a checkpoint.
+    CheckpointRestored {
+        /// Step execution resumes at.
+        step: usize,
     },
 }
 
@@ -199,6 +236,11 @@ impl Event {
             Event::Barrier { .. } => "Barrier",
             Event::Idle { .. } => "Idle",
             Event::Mark { .. } => "Mark",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::FaultDetected { .. } => "FaultDetected",
+            Event::FaultRecovered { .. } => "FaultRecovered",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::CheckpointRestored { .. } => "CheckpointRestored",
         }
     }
 }
@@ -236,5 +278,17 @@ mod tests {
         assert_eq!(Event::TaskStart { patch: 0, stage: 0 }.kind(), "TaskStart");
         assert_eq!(Event::Mark { tag: "x" }.kind(), "Mark");
         assert_eq!(Event::Idle { until_ps: 5 }.kind(), "Idle");
+        assert_eq!(
+            Event::FaultInjected {
+                kind: "slot_death",
+                id: 7
+            }
+            .kind(),
+            "FaultInjected"
+        );
+        assert_eq!(
+            Event::CheckpointWritten { step: 2, bytes: 64 }.kind(),
+            "CheckpointWritten"
+        );
     }
 }

@@ -258,6 +258,41 @@ pub fn export(ranks: &[Vec<EventRecord>]) -> String {
                 Event::Mark { tag } => {
                     ev.push(instant(rank, tid, &format!("mark.{tag}"), r.at_ps, ""))
                 }
+                Event::FaultInjected { kind, id } => ev.push(instant(
+                    rank,
+                    tid,
+                    &format!("fault.inject.{kind}"),
+                    r.at_ps,
+                    &format!("\"id\": {id}"),
+                )),
+                Event::FaultDetected { kind, id } => ev.push(instant(
+                    rank,
+                    tid,
+                    &format!("fault.detect.{kind}"),
+                    r.at_ps,
+                    &format!("\"id\": {id}"),
+                )),
+                Event::FaultRecovered { kind, id } => ev.push(instant(
+                    rank,
+                    tid,
+                    &format!("fault.recover.{kind}"),
+                    r.at_ps,
+                    &format!("\"id\": {id}"),
+                )),
+                Event::CheckpointWritten { step, bytes } => ev.push(instant(
+                    rank,
+                    tid,
+                    "ckpt.write",
+                    r.at_ps,
+                    &format!("\"step\": {step}, \"bytes\": {bytes}"),
+                )),
+                Event::CheckpointRestored { step } => ev.push(instant(
+                    rank,
+                    tid,
+                    "ckpt.restore",
+                    r.at_ps,
+                    &format!("\"step\": {step}"),
+                )),
             }
         }
         // Unmatched span starts: emit as instants so nothing is lost.

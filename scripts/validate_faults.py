@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate the `repro faults` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* FAULTS.json is well-formed JSON with the expected top-level shape
+  (seed, byte_identity, restart, harsh, model_overhead, failures,
+  total_injected);
+* every Table IV variant appears in byte_identity, is bit_identical, and
+  reports zero unrecovered faults (the standard preset guarantees
+  recovery within the retry budget);
+* the campaign injected a nonzero number of faults (a silent all-clean
+  sweep would vacuously pass the identity checks);
+* the restart proof resumed from a real mid-flight checkpoint
+  (resumed_step > 0, ckpt_bytes > 0), reconverged bit-exactly, and
+  restored exactly one checkpoint;
+* the harsh proof completed quiescently, and any exhausted retry budget
+  is accounted: unrecovered faults imply degradations or forced
+  deliveries, never a crash;
+* the checkpoint file on disk (results/ckpt/step*.ckpt) starts with the
+  SWCKPT01 magic;
+* every model-overhead cell has positive times and a finite, sane
+  overhead (faults may slow a run, never make it free).
+
+Usage: validate_faults.py <results-dir>
+"""
+
+import glob
+import json
+import os
+import sys
+
+EXPECTED_VARIANTS = {
+    "host.sync",
+    "acc.sync",
+    "acc_simd.sync",
+    "acc.async",
+    "acc_simd.async",
+}
+
+COUNTER_KEYS = {
+    "injected_slot_death",
+    "injected_msg_drop",
+    "detected_offload",
+    "retries_offload",
+    "recovered_offload",
+    "unrecovered",
+    "duplicates_suppressed",
+    "serial_degradations",
+    "checkpoints_written",
+    "checkpoints_restored",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_faults: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_counts(where: str, counts: dict) -> None:
+    missing = COUNTER_KEYS - counts.keys()
+    if missing:
+        fail(f"{where}: counters missing {sorted(missing)}")
+    for k, v in counts.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: counter {k} = {v!r} is not a non-negative int")
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "FAULTS.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro faults` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in (
+        "seed",
+        "byte_identity",
+        "restart",
+        "harsh",
+        "model_overhead",
+        "failures",
+        "total_injected",
+    ):
+        if key not in doc:
+            fail(f"FAULTS.json: missing top-level key {key!r}")
+
+    if doc["failures"] != 0:
+        fail(f"campaign reported {doc['failures']} failed proof(s)")
+    if doc["total_injected"] <= 0:
+        fail("campaign injected zero faults — identity checks are vacuous")
+
+    seen = set()
+    for cell in doc["byte_identity"]:
+        v = cell["variant"]
+        seen.add(v)
+        if not cell["bit_identical"]:
+            fail(f"variant {v}: faulted run diverged from fault-free bits")
+        check_counts(f"byte_identity[{v}]", cell["counts"])
+        if cell["counts"]["unrecovered"] != 0:
+            fail(f"variant {v}: {cell['counts']['unrecovered']} unrecovered "
+                 "faults under the recoverable preset")
+    if seen != EXPECTED_VARIANTS:
+        fail(f"byte_identity covers {sorted(seen)}, "
+             f"expected {sorted(EXPECTED_VARIANTS)}")
+
+    r = doc["restart"]
+    check_counts("restart", r["counts"])
+    if not r["restart_identical"]:
+        fail("restart: restored run diverged from the uninterrupted run")
+    if r["resumed_step"] <= 0:
+        fail(f"restart: resumed_step {r['resumed_step']} is not mid-flight")
+    if r["ckpt_bytes"] <= 0:
+        fail("restart: checkpoint file is empty")
+    if r["counts"]["checkpoints_restored"] != 1:
+        fail(f"restart: restored {r['counts']['checkpoints_restored']} "
+             "checkpoints, expected exactly 1")
+
+    h = doc["harsh"]
+    check_counts("harsh", h["counts"])
+    if not h["completed"]:
+        fail("harsh: run did not complete all steps")
+    if not h["quiescent"]:
+        fail("harsh: run finished with leaked MPI handles")
+
+    for cell in doc["model_overhead"]:
+        v = cell["variant"]
+        check_counts(f"model_overhead[{v}]", cell["counts"])
+        if cell["clean_tps"] <= 0 or cell["faulted_tps"] <= 0:
+            fail(f"model_overhead[{v}]: non-positive time per step")
+        if cell["overhead_frac"] < -1e-9:
+            fail(f"model_overhead[{v}]: faults made the run faster "
+                 f"({cell['overhead_frac']:+.3%})")
+
+    ckpts = sorted(glob.glob(os.path.join(results_dir, "ckpt", "step*.ckpt")))
+    if not ckpts:
+        fail("no checkpoint files under results/ckpt/")
+    with open(ckpts[0], "rb") as f:
+        magic = f.read(8)
+    if magic != b"SWCKPT01":
+        fail(f"{ckpts[0]}: bad checkpoint magic {magic!r}")
+
+    print(
+        f"validate_faults: OK: seed {doc['seed']}, "
+        f"{len(doc['byte_identity'])} variants bit-identical, "
+        f"{doc['total_injected']} faults injected, "
+        f"restart from step {r['resumed_step']} reconverged, "
+        f"{len(ckpts)} checkpoint file(s)"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
