@@ -59,6 +59,21 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping faults JSON validation"
   fi
+
+  step "torture campaign (repro torture)"
+  # Fixed-seed differential config fuzzing: 200 random-but-valid configs
+  # through the full oracle battery (construct/complete/quiesce, telemetry
+  # reconciliation, Model-vs-Functional agreement, parallel + SIMD bit
+  # identity, checkpoint cadence semantics) plus intentionally-corrupted
+  # configs through the typed-rejection oracle. Exits non-zero on any
+  # oracle failure; writes results/TORTURE.json with minimized repros.
+  cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
+  # Schema + coverage validation of the written report.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_torture.py results
+  else
+    echo "python3 not found; skipping torture JSON validation"
+  fi
 fi
 
 # Best-effort: run the unsafe tile write-back path under miri when the

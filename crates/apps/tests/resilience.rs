@@ -186,6 +186,116 @@ fn checkpoint_restart_reconverges_bit_exactly() {
 }
 
 #[test]
+fn ckpt_cadence_longer_than_the_run_is_a_clean_noop() {
+    // Edge case: `ckpt_every` greater than the total step count. The
+    // boundary is never reached, so no rank ever parks, no file is
+    // written, and the numerics must be byte-identical to a run with
+    // checkpointing disabled.
+    let dir = tmpdir("ckpt-noop");
+    std::fs::remove_dir_all(&dir).ok();
+    let run = |ckpt_every: Option<u32>, ckpt_dir: Option<PathBuf>| {
+        let level = level();
+        let app = Arc::new(HeatApp::new(&level, 0.05));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+        cfg.steps = 6;
+        cfg.ckpt_every = ckpt_every;
+        cfg.ckpt_dir = ckpt_dir;
+        cfg.options.faults = Some(FaultConfig::standard(5));
+        let mut sim = Simulation::new(level, app, cfg);
+        let report = sim.run();
+        (sim, report)
+    };
+    let (plain, _) = run(None, None);
+    let (noop, noop_report) = run(Some(100), Some(dir.clone()));
+    assert_eq!(
+        solution_bits(&plain),
+        solution_bits(&noop),
+        "an unreachable checkpoint cadence changed the numerics"
+    );
+    assert_eq!(
+        noop_report.faults.unwrap().checkpoints_written,
+        0,
+        "ckpt_every > steps must write nothing"
+    );
+    let leftovers = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(leftovers, 0, "no checkpoint files expected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restore_at_the_final_step_is_a_byte_identical_noop_run() {
+    // Edge case: restoring a checkpoint taken at step N into a run whose
+    // total step count is N. Zero steps remain; the run must finish
+    // immediately and the solution must be byte-identical to the
+    // uninterrupted N-step run that produced the checkpoint.
+    let dir = tmpdir("ckpt-final-step");
+    std::fs::remove_dir_all(&dir).ok();
+    let level_a = level();
+    let app_a = Arc::new(HeatApp::new(&level_a, 0.05));
+    let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+    cfg.steps = 4;
+    cfg.ckpt_every = Some(4);
+    cfg.ckpt_dir = Some(dir.clone());
+    let mut base = Simulation::new(level_a, app_a, cfg);
+    base.run();
+    // The boundary at step 4 coincides with the end of the run: the rank
+    // is done, so no *parking* happens, but the controller still owes the
+    // snapshot — the cadence promised a step-4 checkpoint.
+    let ckpt = Checkpoint::read_from(&dir.join("step00004.ckpt"))
+        .expect("a checkpoint at the final-step boundary");
+    assert_eq!(ckpt.step, 4);
+
+    let level_b = level();
+    let app_b = Arc::new(HeatApp::new(&level_b, 0.05));
+    let mut cfg_b = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 4);
+    cfg_b.steps = 4;
+    let mut restored = Simulation::new(level_b, app_b, cfg_b);
+    restored.restore_from(ckpt);
+    let report = restored.run();
+    assert_eq!(report.steps, 4, "restored run reports the full step count");
+    assert_eq!(
+        solution_bits(&base),
+        solution_bits(&restored),
+        "restore at the final step diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restore_under_a_different_exec_policy_stays_byte_identical() {
+    // Edge case: the restarted job runs with a different `--jobs` setting
+    // (serial vs. a rayon-style worker pool). The tile schedule is policy
+    // -invariant, so the restarted halves must agree bit-for-bit.
+    let dir = tmpdir("ckpt-jobs");
+    std::fs::remove_dir_all(&dir).ok();
+    let level_a = level();
+    let app_a = Arc::new(HeatApp::new(&level_a, 0.05));
+    let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, 4);
+    cfg.steps = 8;
+    cfg.ckpt_every = Some(4);
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.options.exec_policy = uintah_core::ExecPolicy::Serial;
+    let mut base = Simulation::new(level_a, app_a, cfg);
+    base.run();
+    let ckpt = Checkpoint::read_from(&dir.join("step00004.ckpt")).expect("step-4 checkpoint");
+
+    let level_b = level();
+    let app_b = Arc::new(HeatApp::new(&level_b, 0.05));
+    let mut cfg_b = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, 4);
+    cfg_b.steps = 8;
+    cfg_b.options.exec_policy = uintah_core::ExecPolicy::Parallel { threads: 3 };
+    let mut restored = Simulation::new(level_b, app_b, cfg_b);
+    restored.restore_from(ckpt);
+    restored.run();
+    assert_eq!(
+        solution_bits(&base),
+        solution_bits(&restored),
+        "restarting under a different worker-pool size changed the bits"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn harsh_faults_degrade_gracefully_and_stay_correct() {
     // `guarantee_recovery` off with a tiny retry budget: some faults must
     // exhaust it. The run still completes quiescently, degradations are

@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin repro -- analyze
 //! cargo run --release -p bench --bin repro -- trace --problem 16x16x512 --cgs 4
 //! cargo run --release -p bench --bin repro -- faults --seed 42
+//! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -108,6 +109,56 @@ fn run_faults(seed: u64) {
         eprintln!("ERROR: {failures} resilience proof(s) failed");
         std::process::exit(1);
     }
+}
+
+/// `torture` subcommand: the seeded differential config-fuzzing campaign.
+/// `--cases N` (default 200) configs are drawn from `--seed` (default 42),
+/// each run through the full oracle battery (construct/complete/quiesce,
+/// telemetry reconciliation, Model-vs-Functional agreement, parallel and
+/// SIMD bit identity, checkpoint cadence semantics, typed rejection of
+/// corrupted configs). Failures are shrunk to minimal configs and emitted
+/// as ready-to-paste regression tests. Writes `results/TORTURE.json`;
+/// exits non-zero on any failure (the ci.sh torture stage relies on it).
+fn run_torture(seed: u64, cases: u64) {
+    let dir = std::path::Path::new("results");
+    let outcome =
+        bench::torture::write_torture_json(dir, seed, cases).expect("write results/TORTURE.json");
+    println!("== Torture: differential config fuzzing (seed {seed}, {cases} cases) ==");
+    println!(
+        "{} valid configs through the full battery, {} corrupted configs through the \
+         rejection oracle",
+        outcome.valid, outcome.rejected
+    );
+    for (oracle, passes) in &outcome.oracle_passes {
+        println!("{passes:>6} x {oracle}");
+    }
+    for f in &outcome.failures {
+        eprintln!("FAIL case {} [{}]", f.case, f.config);
+        eprintln!("  oracle {}: {}", f.oracle, f.detail);
+        eprintln!("  minimized: {}", f.minimized);
+        eprintln!("  regression test:\n{}", f.regression_test);
+    }
+    println!(
+        "wrote {} (ok={})",
+        bench::torture::results_file(dir).display(),
+        outcome.ok()
+    );
+    if !outcome.ok() {
+        eprintln!(
+            "ERROR: {} torture case(s) failed an oracle",
+            outcome.failures.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Torture corpus size: `--cases N`, default 200.
+fn cases_arg(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--cases")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--cases N"))
+        .unwrap_or(200)
 }
 
 /// Worker-pool size: `--serial` wins, then `--jobs N`, default `0` (auto).
@@ -214,6 +265,7 @@ fn main() {
                     "--variant",
                     "--steps",
                     "--seed",
+                    "--cases",
                 ]
                 .contains(&a.as_str())
                 {
@@ -243,6 +295,16 @@ fn main() {
     if positional.iter().any(|a| *a == "faults") {
         run_faults(seed);
         if positional.iter().all(|a| *a == "faults") {
+            return;
+        }
+    }
+
+    // Torture campaign: seeded differential config fuzzing with shrinking
+    // -> results/TORTURE.json. Explicit only (writes results/, not a paper
+    // table); exits non-zero on any oracle failure.
+    if positional.iter().any(|a| *a == "torture") {
+        run_torture(seed, cases_arg(&args));
+        if positional.iter().all(|a| *a == "torture") {
             return;
         }
     }

@@ -17,6 +17,7 @@ pub mod problems;
 pub mod runner;
 pub mod table;
 pub mod timeline;
+pub mod torture;
 pub mod trace;
 
 pub use problems::{ProblemSpec, ALL_CG_COUNTS, LARGE, MEDIUM, PROBLEMS, SMALL};

@@ -1,0 +1,1070 @@
+//! `repro torture`: seeded differential config fuzzing across the whole
+//! MPE/CPE/MPI stack.
+//!
+//! The campaign draws random-but-valid run configurations from a seeded
+//! generator — degenerate grids (1-cell and prime patch axes), extreme
+//! patch layouts, every Table IV variant, both functional exec policies,
+//! all three fault presets, and checkpoint cadences including
+//! `ckpt_every > steps` and a boundary landing exactly on the final step —
+//! and runs each one through a battery of cross-checking oracles:
+//!
+//! * **constructs / completes / quiescent** — `Simulation::try_new`
+//!   accepts the config, the run finishes all its steps without panicking
+//!   (the static verifier runs inline via `SchedulerOptions::verify`), and
+//!   no MPI handle is leaked at shutdown;
+//! * **telemetry_reconciles** — the phase pass rebuilt from the recorded
+//!   spans equals `RunReport::step_end` exactly and every four-way split
+//!   sums to its window;
+//! * **model_agrees** — a Model-mode run of the same config lands on the
+//!   identical virtual step-end times as the Functional run;
+//! * **parallel_bit_identical** — re-running under
+//!   `ExecPolicy::Parallel` produces bit-identical fields;
+//! * **simd_sibling_bit_identical** — the SIMD sibling variant produces
+//!   bit-identical fields (the kernels are proven bit-equal);
+//! * **ckpt_noop / ckpt_restart** — a cadence longer than the run writes
+//!   nothing; otherwise restoring the last on-disk checkpoint into a fresh
+//!   process reconverges byte-identically.
+//!
+//! Bit-identity oracles are skipped under the `harsh` preset (recovery is
+//! deliberately not guaranteed there); completion and quiescence still
+//! hold. Every seventh case is intentionally corrupted (zero steps, more
+//! ranks than patches, groups on a sync scheduler, NaN noise, an LDM no
+//! tile fits, an invalid machine model, ...) and must be **rejected with a
+//! typed error, not a panic** — the rejection oracle.
+//!
+//! On an oracle failure the harness greedily shrinks the case toward a
+//! minimal reproducing config and emits a ready-to-paste regression test
+//! into `results/TORTURE.json` (and stdout). A fixed-seed corpus runs as a
+//! `ci.sh` stage.
+//!
+//! Draws reuse the resilience subsystem's keying discipline
+//! ([`sw_resilience::splitmix64`] over [`sw_resilience::fold`]ed words), so
+//! a `(seed, case, field)` triple always yields the same value regardless
+//! of evaluation order — cases can be re-generated individually by id.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use sw_resilience::{fold, splitmix64, Checkpoint, FaultConfig};
+use sw_telemetry::analyze;
+use uintah_core::grid::iv;
+use uintah_core::{
+    ExecMode, ExecPolicy, Level, LoadBalancer, MachineConfig, RunConfig, SchedulerMode, Simulation,
+    Variant,
+};
+
+/// Domain discriminant for the torture generator's keyed draws (the
+/// resilience plan uses 0x51-0x71; this namespace is disjoint).
+const DOMAIN: u64 = 0x7081;
+
+/// Field discriminants within a case.
+mod field {
+    pub const PATCH_X: u64 = 1;
+    pub const PATCH_Y: u64 = 2;
+    pub const PATCH_Z: u64 = 3;
+    pub const LAYOUT_X: u64 = 4;
+    pub const LAYOUT_Y: u64 = 5;
+    pub const LAYOUT_Z: u64 = 6;
+    pub const VARIANT: u64 = 7;
+    pub const EXEC: u64 = 8;
+    pub const THREADS: u64 = 9;
+    pub const FAULTS: u64 = 10;
+    pub const FAULT_SEED: u64 = 11;
+    pub const STEPS: u64 = 12;
+    pub const CKPT: u64 = 13;
+    pub const CKPT_K: u64 = 14;
+    pub const RANKS: u64 = 15;
+    pub const GROUPS: u64 = 16;
+    pub const LB: u64 = 17;
+    pub const MACHINE: u64 = 18;
+    pub const CORRUPT: u64 = 19;
+}
+
+/// One keyed draw: same `(seed, case, field)` -> same value, always.
+fn draw(seed: u64, case: u64, f: u64) -> u64 {
+    splitmix64(fold(&[DOMAIN, seed, case, f]))
+}
+
+/// Fault preset of a torture case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// No fault plane at all (`options.faults = None`).
+    NoFaults,
+    /// The standard recoverable preset: bit identity must survive.
+    Standard,
+    /// The harsh preset: recovery not guaranteed, bit-identity oracles
+    /// are skipped, completion and quiescence still required.
+    Harsh,
+}
+
+impl Preset {
+    /// Name used in config summaries and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::NoFaults => "none",
+            Preset::Standard => "standard",
+            Preset::Harsh => "harsh",
+        }
+    }
+}
+
+/// A fully-specified torture case: pure data, independently re-generable
+/// from `(seed, id)`, directly constructible in a regression test.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TortureCase {
+    /// Cells per patch per axis (1..=7: includes 1-cell and prime axes).
+    pub patch: (i64, i64, i64),
+    /// Patches per axis (1..=3).
+    pub layout: (i64, i64, i64),
+    /// Table IV variant.
+    pub variant: Variant,
+    /// `0` = serial functional engine; otherwise `Parallel { threads }`.
+    pub exec_threads: usize,
+    /// Fault preset.
+    pub faults: Preset,
+    /// Seed the preset's fault plan is built from.
+    pub fault_seed: u64,
+    /// Checkpoint cadence (may exceed `steps`, may equal `steps`).
+    pub ckpt_every: Option<u32>,
+    /// Timesteps (1..=4).
+    pub steps: u32,
+    /// Ranks (1..=min(4, patches)).
+    pub n_ranks: usize,
+    /// CPE groups (2 only on the async scheduler).
+    pub cpe_groups: usize,
+    /// Patch-to-rank policy.
+    pub lb: LoadBalancer,
+    /// Run on the 4-CPE / 8 KB-LDM test machine instead of the SW26010.
+    pub tiny_machine: bool,
+    /// `Some(kind)`: the config is deliberately invalid and must be
+    /// rejected with a typed error (see [`corruption_name`]).
+    pub corrupt: Option<u8>,
+}
+
+/// Number of distinct corruption kinds the generator cycles through.
+pub const N_CORRUPTIONS: u8 = 10;
+
+/// Human name of a corruption kind (JSON + summaries).
+pub fn corruption_name(kind: u8) -> &'static str {
+    match kind % N_CORRUPTIONS {
+        0 => "zero_steps",
+        1 => "more_ranks_than_patches",
+        2 => "zero_cpe_groups",
+        3 => "groups_on_sync_scheduler",
+        4 => "zero_ckpt_interval",
+        5 => "nan_noise",
+        6 => "ldm_fits_no_tile",
+        7 => "machine_zero_cpes",
+        8 => "machine_negative_rate",
+        _ => "cg_speeds_wrong_length",
+    }
+}
+
+impl TortureCase {
+    /// Generate case `id` of the campaign keyed by `seed`.
+    pub fn generate(seed: u64, id: u64) -> TortureCase {
+        let d = |f: u64| draw(seed, id, f);
+        let tiny = d(field::MACHINE) % 8 == 0;
+        let axis_cap = if tiny { 3 } else { 7 };
+        let axis = |f: u64| 1 + (d(f) % axis_cap) as i64;
+        let patch = (
+            axis(field::PATCH_X),
+            axis(field::PATCH_Y),
+            axis(field::PATCH_Z),
+        );
+        let lay = |f: u64| 1 + (d(f) % 3) as i64;
+        let layout = (
+            lay(field::LAYOUT_X),
+            lay(field::LAYOUT_Y),
+            lay(field::LAYOUT_Z),
+        );
+        let patches = (layout.0 * layout.1 * layout.2) as usize;
+        let variant = Variant::TABLE_IV[(d(field::VARIANT) % 5) as usize];
+        let exec_threads = if d(field::EXEC) % 3 == 0 {
+            0
+        } else {
+            2 + (d(field::THREADS) % 3) as usize
+        };
+        let faults = match d(field::FAULTS) % 4 {
+            0 | 1 => Preset::NoFaults,
+            2 => Preset::Standard,
+            _ => Preset::Harsh,
+        };
+        let steps = 1 + (d(field::STEPS) % 4) as u32;
+        let ckpt_every = match d(field::CKPT) % 4 {
+            0 => None,
+            // A boundary strictly inside the run (when steps > 1).
+            1 => Some(1 + (d(field::CKPT_K) % steps as u64) as u32),
+            // A boundary landing exactly on the final step.
+            2 => Some(steps),
+            // A cadence the run never reaches.
+            _ => Some(steps + 1 + (d(field::CKPT_K) % 97) as u32),
+        };
+        let n_ranks = 1 + (d(field::RANKS) % 4.min(patches as u64)) as usize;
+        let cpe_groups = if variant.mode == SchedulerMode::AsyncCpe && d(field::GROUPS) % 4 == 0 {
+            2
+        } else {
+            1
+        };
+        let lb = [
+            LoadBalancer::Block,
+            LoadBalancer::RoundRobin,
+            LoadBalancer::Morton,
+            LoadBalancer::Hilbert,
+        ][(d(field::LB) % 4) as usize];
+        let corrupt = if id % 7 == 3 {
+            Some((d(field::CORRUPT) % N_CORRUPTIONS as u64) as u8)
+        } else {
+            None
+        };
+        TortureCase {
+            patch,
+            layout,
+            variant,
+            exec_threads,
+            faults,
+            fault_seed: splitmix64(fold(&[DOMAIN, seed, id, field::FAULT_SEED])),
+            ckpt_every,
+            steps,
+            n_ranks,
+            cpe_groups,
+            lb,
+            tiny_machine: tiny,
+            corrupt,
+        }
+    }
+
+    /// Number of patches in the layout.
+    pub fn patches(&self) -> usize {
+        (self.layout.0 * self.layout.1 * self.layout.2) as usize
+    }
+
+    /// Build the level and the run config, applying any corruption.
+    pub fn build(&self) -> (Level, RunConfig) {
+        let level = Level::new(
+            iv(self.patch.0, self.patch.1, self.patch.2),
+            iv(self.layout.0, self.layout.1, self.layout.2),
+        );
+        let mut cfg = RunConfig::paper(self.variant, ExecMode::Functional, self.n_ranks);
+        cfg.steps = self.steps;
+        cfg.lb = self.lb;
+        if self.tiny_machine {
+            cfg.machine = MachineConfig::test_tiny();
+        }
+        cfg.options.cpe_groups = self.cpe_groups;
+        cfg.options.exec_policy = if self.exec_threads == 0 {
+            ExecPolicy::Serial
+        } else {
+            ExecPolicy::Parallel {
+                threads: self.exec_threads,
+            }
+        };
+        cfg.options.faults = match self.faults {
+            Preset::NoFaults => None,
+            Preset::Standard => Some(FaultConfig::standard(self.fault_seed)),
+            Preset::Harsh => Some(FaultConfig::harsh(self.fault_seed)),
+        };
+        cfg.ckpt_every = self.ckpt_every;
+        if let Some(kind) = self.corrupt {
+            match kind % N_CORRUPTIONS {
+                0 => cfg.steps = 0,
+                1 => cfg.n_ranks = self.patches() + 1,
+                2 => cfg.options.cpe_groups = 0,
+                3 => {
+                    cfg.variant = Variant::ACC_SYNC;
+                    cfg.options.cpe_groups = 2;
+                }
+                4 => cfg.ckpt_every = Some(0),
+                5 => cfg.noise_frac = f64::NAN,
+                6 => cfg.machine.ldm_bytes = 64,
+                7 => cfg.machine.cpes_per_cg = 0,
+                8 => cfg.machine.net_bw_gbs = -1.0,
+                _ => cfg.cg_speeds = Some(Vec::new()),
+            }
+        }
+        (level, cfg)
+    }
+
+    /// One-line summary (JSON + stdout).
+    pub fn summary(&self) -> String {
+        format!(
+            "patch={}x{}x{} layout={}x{}x{} variant={} exec={} faults={} ckpt={} steps={} \
+             ranks={} groups={} lb={:?} machine={}{}",
+            self.patch.0,
+            self.patch.1,
+            self.patch.2,
+            self.layout.0,
+            self.layout.1,
+            self.layout.2,
+            self.variant.name(),
+            if self.exec_threads == 0 {
+                "serial".to_string()
+            } else {
+                format!("par{}", self.exec_threads)
+            },
+            self.faults.name(),
+            self.ckpt_every
+                .map_or("never".to_string(), |k| format!("every{k}")),
+            self.steps,
+            self.n_ranks,
+            self.cpe_groups,
+            self.lb,
+            if self.tiny_machine { "tiny" } else { "sw26010" },
+            self.corrupt.map_or(String::new(), |k| format!(
+                " CORRUPT={}",
+                corruption_name(k)
+            )),
+        )
+    }
+
+    /// A ready-to-paste regression test reproducing this case.
+    pub fn regression_test(&self, seed: u64, id: u64, oracle: &str) -> String {
+        let variant = match self.variant.name() {
+            "host.sync" => "HOST_SYNC",
+            "acc.sync" => "ACC_SYNC",
+            "acc_simd.sync" => "ACC_SIMD_SYNC",
+            "acc.async" => "ACC_ASYNC",
+            _ => "ACC_SIMD_ASYNC",
+        };
+        let faults = match self.faults {
+            Preset::NoFaults => "NoFaults",
+            Preset::Standard => "Standard",
+            Preset::Harsh => "Harsh",
+        };
+        format!(
+            "#[test]\n\
+             fn torture_seed{seed}_case{id}_regression() {{\n\
+             \x20   // Minimized by `repro torture --seed {seed}`: oracle `{oracle}` failed.\n\
+             \x20   let case = bench::torture::TortureCase {{\n\
+             \x20       patch: ({}, {}, {}),\n\
+             \x20       layout: ({}, {}, {}),\n\
+             \x20       variant: uintah_core::Variant::{variant},\n\
+             \x20       exec_threads: {},\n\
+             \x20       faults: bench::torture::Preset::{faults},\n\
+             \x20       fault_seed: {:#x},\n\
+             \x20       ckpt_every: {:?},\n\
+             \x20       steps: {},\n\
+             \x20       n_ranks: {},\n\
+             \x20       cpe_groups: {},\n\
+             \x20       lb: uintah_core::LoadBalancer::{:?},\n\
+             \x20       tiny_machine: {},\n\
+             \x20       corrupt: {:?},\n\
+             \x20   }};\n\
+             \x20   assert_eq!(bench::torture::check(&case), Ok(()));\n\
+             }}\n",
+            self.patch.0,
+            self.patch.1,
+            self.patch.2,
+            self.layout.0,
+            self.layout.1,
+            self.layout.2,
+            self.exec_threads,
+            self.fault_seed,
+            self.ckpt_every,
+            self.steps,
+            self.n_ranks,
+            self.cpe_groups,
+            self.lb,
+            self.tiny_machine,
+            self.corrupt,
+        )
+    }
+}
+
+/// Why an oracle rejected a case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleFailure {
+    /// Which oracle failed (stable name, used as a JSON key).
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+/// Per-case battery outcome: which oracles passed, and the first failure.
+pub struct BatteryVerdict {
+    /// Oracles that held, in execution order.
+    pub passed: Vec<&'static str>,
+    /// First failing oracle, if any (the battery stops there).
+    pub failure: Option<OracleFailure>,
+}
+
+/// Unique suffix for per-battery scratch directories (shrinking re-runs
+/// the battery many times on similar cases within one process).
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Final field of every patch as exact bit patterns.
+fn bits(sim: &Simulation) -> Vec<Vec<u64>> {
+    let level = sim.level();
+    (0..level.n_patches())
+        .map(|p| {
+            let var = sim.solution(p);
+            level
+                .patch(p)
+                .region
+                .iter()
+                .map(|c| var.get(c).to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Run a closure, translating a panic into an `Err` with its message.
+fn guarded<T>(what: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
+        let msg = e
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| e.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("{what} panicked: {msg}")
+    })
+}
+
+/// Run the full oracle battery over one case.
+///
+/// For a corrupted case the battery is the rejection oracle alone:
+/// `Simulation::try_new` must return a typed error without panicking.
+pub fn run_battery(case: &TortureCase) -> BatteryVerdict {
+    let mut passed = Vec::new();
+    let fail = |oracle: &'static str, detail: String| BatteryVerdict {
+        passed: Vec::new(),
+        failure: Some(OracleFailure { oracle, detail }),
+    };
+
+    // --- Rejection oracle (corrupted cases end here). ---
+    if let Some(kind) = case.corrupt {
+        let (level, cfg) = case.build();
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        return match guarded("try_new", || Simulation::try_new(level, app, cfg)) {
+            Err(msg) => fail("rejects_without_panicking", msg),
+            Ok(Ok(_)) => fail(
+                "rejects_without_panicking",
+                format!(
+                    "corruption `{}` was accepted as a valid config",
+                    corruption_name(kind)
+                ),
+            ),
+            Ok(Err(_)) => BatteryVerdict {
+                passed: vec!["rejects_without_panicking"],
+                failure: None,
+            },
+        };
+    }
+
+    let scratch = std::env::temp_dir().join(format!(
+        "sw-torture-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&scratch).ok();
+    let verdict = battery_valid(case, &scratch, &mut passed);
+    std::fs::remove_dir_all(&scratch).ok();
+    match verdict {
+        Ok(()) => BatteryVerdict {
+            passed,
+            failure: None,
+        },
+        Err(f) => BatteryVerdict {
+            passed,
+            failure: Some(f),
+        },
+    }
+}
+
+/// The valid-case battery body (scratch dir managed by the caller).
+fn battery_valid(
+    case: &TortureCase,
+    scratch: &Path,
+    passed: &mut Vec<&'static str>,
+) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure { oracle, detail };
+    let fresh = |exec: ExecMode| -> (Level, Arc<BurgersApp>, RunConfig) {
+        let (level, mut cfg) = case.build();
+        cfg.exec = exec;
+        let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+        (level, app, cfg)
+    };
+
+    // --- Reference run: functional, serial, verifier + telemetry on. ---
+    let (level, app, mut cfg) = fresh(ExecMode::Functional);
+    cfg.options.exec_policy = ExecPolicy::Serial;
+    cfg.options.verify = true;
+    cfg.options.telemetry = true;
+    cfg.ckpt_dir = Some(scratch.to_path_buf());
+    let mut reference = match guarded("try_new", || Simulation::try_new(level, app, cfg)) {
+        Err(msg) => return Err(fail("constructs", msg)),
+        Ok(Err(e)) => return Err(fail("constructs", format!("valid config rejected: {e}"))),
+        Ok(Ok(sim)) => sim,
+    };
+    passed.push("constructs");
+
+    let report =
+        guarded("reference run", || reference.run()).map_err(|msg| fail("completes", msg))?;
+    if report.steps != case.steps {
+        return Err(fail(
+            "completes",
+            format!("ran {} of {} steps", report.steps, case.steps),
+        ));
+    }
+    passed.push("completes");
+
+    if !report.leaked_handles.is_empty() {
+        return Err(fail(
+            "quiescent",
+            format!(
+                "{} MPI handles leaked: {:?}",
+                report.leaked_handles.len(),
+                report.leaked_handles
+            ),
+        ));
+    }
+    passed.push("quiescent");
+
+    // --- Telemetry reconciliation (trace.rs discipline). ---
+    let snap = reference.recorder().snapshot();
+    let phases = analyze(&snap);
+    let step_end_match = phases.step_end_ps.len() == report.step_end.len()
+        && phases
+            .step_end_ps
+            .iter()
+            .zip(&report.step_end)
+            .all(|(&ps, t)| ps == t.0);
+    let splits_sum = phases.breakdowns.iter().all(|b| b.sum_ps() == b.window_ps);
+    if !step_end_match || !splits_sum {
+        return Err(fail(
+            "telemetry_reconciles",
+            format!("step_end_match={step_end_match} splits_sum={splits_sum}"),
+        ));
+    }
+    passed.push("telemetry_reconciles");
+
+    let ref_bits = bits(&reference);
+
+    // --- Model-mode agreement: identical virtual step-end times. ---
+    {
+        let (level, app, cfg) = fresh(ExecMode::Model);
+        let model = guarded("model run", || {
+            Simulation::try_new(level, app, cfg)
+                .unwrap_or_else(|e| panic!("model config rejected: {e}"))
+                .run()
+        })
+        .map_err(|msg| fail("model_agrees", msg))?;
+        if model.step_end != report.step_end || model.total_time != report.total_time {
+            return Err(fail(
+                "model_agrees",
+                format!(
+                    "functional step_end {:?} != model step_end {:?}",
+                    report.step_end, model.step_end
+                ),
+            ));
+        }
+    }
+    passed.push("model_agrees");
+
+    // Harsh runs may legitimately diverge bit-wise (recovery is not
+    // guaranteed): the differential identity oracles only apply to the
+    // deterministic presets.
+    if case.faults != Preset::Harsh {
+        // --- Parallel functional engine: bit identity. ---
+        let threads = if case.exec_threads == 0 {
+            2
+        } else {
+            case.exec_threads
+        };
+        let (level, app, mut cfg) = fresh(ExecMode::Functional);
+        cfg.options.exec_policy = ExecPolicy::Parallel { threads };
+        cfg.ckpt_every = None;
+        let par = guarded("parallel run", || {
+            let mut sim = Simulation::try_new(level, app, cfg)
+                .unwrap_or_else(|e| panic!("parallel config rejected: {e}"));
+            sim.run();
+            sim
+        })
+        .map_err(|msg| fail("parallel_bit_identical", msg))?;
+        if bits(&par) != ref_bits {
+            return Err(fail(
+                "parallel_bit_identical",
+                format!("fields diverged under ExecPolicy::Parallel {{ threads: {threads} }}"),
+            ));
+        }
+        passed.push("parallel_bit_identical");
+
+        // --- SIMD sibling variant: bit identity. ---
+        if case.variant.mode != SchedulerMode::MpeOnly {
+            let sibling = Variant {
+                simd: !case.variant.simd,
+                ..case.variant
+            };
+            let (level, app, mut cfg) = fresh(ExecMode::Functional);
+            cfg.variant = sibling;
+            cfg.options.exec_policy = ExecPolicy::Serial;
+            cfg.ckpt_every = None;
+            let sib = guarded("simd sibling run", || {
+                let mut sim = Simulation::try_new(level, app, cfg)
+                    .unwrap_or_else(|e| panic!("sibling config rejected: {e}"));
+                sim.run();
+                sim
+            })
+            .map_err(|msg| fail("simd_sibling_bit_identical", msg))?;
+            if bits(&sib) != ref_bits {
+                return Err(fail(
+                    "simd_sibling_bit_identical",
+                    format!(
+                        "{} and {} diverged bit-wise",
+                        case.variant.name(),
+                        sibling.name()
+                    ),
+                ));
+            }
+            passed.push("simd_sibling_bit_identical");
+        }
+    }
+
+    // --- Checkpoint-cadence oracles (the reference run wrote them). ---
+    if let Some(every) = case.ckpt_every {
+        if every > case.steps {
+            // The run never reaches a boundary: nothing may be on disk.
+            let n = std::fs::read_dir(scratch).map(|d| d.count()).unwrap_or(0);
+            if n != 0 {
+                return Err(fail(
+                    "ckpt_noop",
+                    format!(
+                        "cadence {every} > {} steps but {n} file(s) written",
+                        case.steps
+                    ),
+                ));
+            }
+            passed.push("ckpt_noop");
+        } else {
+            let boundary = (case.steps / every) * every;
+            let path = scratch.join(format!("step{boundary:05}.ckpt"));
+            let restore = guarded("ckpt restart", || {
+                let ckpt = Checkpoint::read_from(&path)
+                    .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                let (level, app, mut cfg) = fresh(ExecMode::Functional);
+                cfg.options.exec_policy = ExecPolicy::Serial;
+                cfg.ckpt_every = None;
+                let mut sim = Simulation::try_new(level, app, cfg)
+                    .unwrap_or_else(|e| panic!("restore config rejected: {e}"));
+                sim.restore_from(ckpt);
+                let report = sim.run();
+                (sim, report)
+            })
+            .map_err(|msg| fail("ckpt_restart", msg))?;
+            let (restored, rep) = restore;
+            if rep.steps != case.steps {
+                return Err(fail(
+                    "ckpt_restart",
+                    format!(
+                        "restored run reported {} of {} steps",
+                        rep.steps, case.steps
+                    ),
+                ));
+            }
+            if case.faults != Preset::Harsh && bits(&restored) != ref_bits {
+                return Err(fail(
+                    "ckpt_restart",
+                    format!("restore from step {boundary} diverged from the uninterrupted run"),
+                ));
+            }
+            passed.push("ckpt_restart");
+        }
+    }
+
+    Ok(())
+}
+
+/// Convenience wrapper for regression tests: `Ok(())` or
+/// `Err("oracle: detail")`.
+pub fn check(case: &TortureCase) -> Result<(), String> {
+    match run_battery(case).failure {
+        None => Ok(()),
+        Some(f) => Err(format!("{}: {}", f.oracle, f.detail)),
+    }
+}
+
+/// Greedily shrink a failing case toward a minimal one that still fails
+/// `fails`, with a bounded evaluation budget. Transformations are ordered
+/// from coarse (drop whole features) to fine (shrink the grid).
+pub fn shrink(case: &TortureCase, fails: &mut dyn FnMut(&TortureCase) -> bool) -> TortureCase {
+    /// The ordered single-step simplifications, coarse to fine. Each is
+    /// applied to fixpoint (halving an axis repeats until the axis is 1 or
+    /// the battery stops failing) before moving to the next.
+    const TRANSFORMS: &[fn(&mut TortureCase)] = &[
+        |c| c.faults = Preset::NoFaults,
+        |c| c.ckpt_every = None,
+        |c| c.exec_threads = 0,
+        |c| c.cpe_groups = 1,
+        |c| c.tiny_machine = false,
+        |c| c.lb = LoadBalancer::Block,
+        |c| {
+            c.steps = 1;
+            if let Some(k) = c.ckpt_every {
+                c.ckpt_every = Some(k.min(1));
+            }
+        },
+        |c| {
+            if c.steps > 1 {
+                c.steps -= 1;
+                if let Some(k) = c.ckpt_every {
+                    c.ckpt_every = Some(k.min(c.steps));
+                }
+            }
+        },
+        |c| c.n_ranks = 1,
+        |c| c.layout.2 = 1,
+        |c| c.layout.1 = 1,
+        |c| c.layout.0 = 1,
+        |c| c.patch.2 = 1.max(c.patch.2 / 2),
+        |c| c.patch.1 = 1.max(c.patch.1 / 2),
+        |c| c.patch.0 = 1.max(c.patch.0 / 2),
+    ];
+    let mut cur = case.clone();
+    let mut budget = 60usize;
+    loop {
+        let mut improved = false;
+        for t in TRANSFORMS {
+            loop {
+                let mut cand = cur.clone();
+                t(&mut cand);
+                // Keep ranks consistent with a shrunk layout.
+                cand.n_ranks = cand.n_ranks.min(cand.patches());
+                if cand == cur {
+                    break;
+                }
+                if budget == 0 {
+                    return cur;
+                }
+                budget -= 1;
+                if !fails(&cand) {
+                    break;
+                }
+                cur = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// One recorded oracle failure, with its minimized reproduction.
+#[derive(Clone, Debug)]
+pub struct TortureFailure {
+    /// Case id within the campaign.
+    pub case: u64,
+    /// Summary of the original failing config.
+    pub config: String,
+    /// Failing oracle.
+    pub oracle: &'static str,
+    /// Failure detail.
+    pub detail: String,
+    /// Summary of the shrunk config (still failing the same battery).
+    pub minimized: String,
+    /// Ready-to-paste regression test for the shrunk config.
+    pub regression_test: String,
+}
+
+/// Outcome of a whole campaign.
+#[derive(Debug, Default)]
+pub struct TortureOutcome {
+    /// Master seed.
+    pub seed: u64,
+    /// Cases sampled.
+    pub cases: u64,
+    /// Valid configs exercised through the full battery.
+    pub valid: u64,
+    /// Intentionally-corrupted configs exercised through the rejection
+    /// oracle.
+    pub rejected: u64,
+    /// Pass counts per oracle (an oracle only counts where it applies).
+    pub oracle_passes: BTreeMap<&'static str, u64>,
+    /// Every oracle failure, minimized.
+    pub failures: Vec<TortureFailure>,
+}
+
+impl TortureOutcome {
+    /// Did every case pass its battery?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Render as a JSON document (hand-rolled: the workspace serde is a
+    /// no-op shim).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 8);
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"cases\": {},", self.cases);
+        let _ = writeln!(s, "  \"valid\": {},", self.valid);
+        let _ = writeln!(s, "  \"rejected\": {},", self.rejected);
+        s.push_str("  \"oracle_passes\": {");
+        for (i, (k, v)) in self.oracle_passes.iter().enumerate() {
+            let _ = write!(s, "{}\"{k}\": {v}", if i == 0 { "" } else { ", " });
+        }
+        s.push_str("},\n");
+        s.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"case\": {}, \"config\": \"{}\", \"oracle\": \"{}\", \"detail\": \"{}\", \
+                 \"minimized\": \"{}\", \"regression_test\": \"{}\"}}{}",
+                f.case,
+                esc(&f.config),
+                f.oracle,
+                esc(&f.detail),
+                esc(&f.minimized),
+                esc(&f.regression_test),
+                if i + 1 < self.failures.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"ok\": {}", self.ok());
+        s.push('}');
+        s
+    }
+}
+
+/// Run the campaign: `cases` configs drawn from `seed`, full battery each,
+/// shrinking + regression-test emission on failure.
+///
+/// The default panic hook is silenced for the duration (oracles translate
+/// panics into failures; a 200-case campaign would otherwise spray
+/// backtraces for every intentionally-corrupted config that trips an
+/// internal assert while being probed).
+pub fn run_torture(seed: u64, cases: u64) -> TortureOutcome {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut outcome = TortureOutcome {
+        seed,
+        cases,
+        ..TortureOutcome::default()
+    };
+    for id in 0..cases {
+        let case = TortureCase::generate(seed, id);
+        if case.corrupt.is_some() {
+            outcome.rejected += 1;
+        } else {
+            outcome.valid += 1;
+        }
+        let verdict = run_battery(&case);
+        for o in &verdict.passed {
+            *outcome.oracle_passes.entry(o).or_insert(0) += 1;
+        }
+        if let Some(failure) = verdict.failure {
+            // Shrink toward a minimal config that fails the same way.
+            let min = shrink(&case, &mut |c| run_battery(c).failure.is_some());
+            outcome.failures.push(TortureFailure {
+                case: id,
+                config: case.summary(),
+                oracle: failure.oracle,
+                detail: failure.detail,
+                minimized: min.summary(),
+                regression_test: min.regression_test(seed, id, failure.oracle),
+            });
+        }
+    }
+    panic::set_hook(prev_hook);
+    outcome
+}
+
+/// Run the campaign and write `TORTURE.json` under `dir`.
+pub fn write_torture_json(dir: &Path, seed: u64, cases: u64) -> io::Result<TortureOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let outcome = run_torture(seed, cases);
+    std::fs::write(dir.join("TORTURE.json"), outcome.to_json() + "\n")?;
+    Ok(outcome)
+}
+
+/// Scratch path helper shared with the CLI (kept for symmetry with the
+/// faults campaign's `results/ckpt` layout; torture checkpoints live in
+/// per-case temp dirs that are removed after each battery).
+pub fn results_file(dir: &Path) -> PathBuf {
+    dir.join("TORTURE.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_covers_the_grammar() {
+        let a: Vec<TortureCase> = (0..64).map(|i| TortureCase::generate(9, i)).collect();
+        let b: Vec<TortureCase> = (0..64).map(|i| TortureCase::generate(9, i)).collect();
+        assert_eq!(a, b, "same seed must regenerate identical cases");
+        let c: Vec<TortureCase> = (0..64).map(|i| TortureCase::generate(10, i)).collect();
+        assert_ne!(a, c, "different seeds must change the corpus");
+        // Grammar coverage in a modest corpus.
+        assert!(a.iter().any(|x| x.corrupt.is_some()));
+        assert!(a.iter().any(|x| x.faults == Preset::Harsh));
+        assert!(a.iter().any(|x| x.faults == Preset::Standard));
+        assert!(a.iter().any(|x| x.ckpt_every.is_some_and(|k| k > x.steps)));
+        assert!(a.iter().any(|x| x.ckpt_every.is_some_and(|k| k == x.steps)));
+        assert!(a.iter().any(|x| x.exec_threads > 0));
+        assert!(a.iter().any(|x| x.tiny_machine));
+        assert!(a.iter().any(|x| x.cpe_groups == 2));
+        assert!(a
+            .iter()
+            .any(|x| x.patch.0 == 1 || x.patch.1 == 1 || x.patch.2 == 1));
+        let variants: std::collections::BTreeSet<&str> =
+            a.iter().map(|x| x.variant.name()).collect();
+        assert_eq!(
+            variants.len(),
+            5,
+            "all Table IV variants drawn: {variants:?}"
+        );
+    }
+
+    #[test]
+    fn a_small_campaign_passes_every_oracle() {
+        let outcome = run_torture(0, 21);
+        assert!(
+            outcome.ok(),
+            "oracle failures:\n{}",
+            outcome
+                .failures
+                .iter()
+                .map(|f| format!(
+                    "case {} [{}]: {}: {}\n{}",
+                    f.case, f.config, f.oracle, f.detail, f.regression_test
+                ))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(outcome.valid + outcome.rejected, 21);
+        assert!(
+            outcome.rejected >= 2,
+            "corruption cadence is every 7th case"
+        );
+        assert!(
+            outcome
+                .oracle_passes
+                .get("rejects_without_panicking")
+                .copied()
+                >= Some(2),
+            "{:?}",
+            outcome.oracle_passes
+        );
+        for oracle in [
+            "constructs",
+            "completes",
+            "quiescent",
+            "telemetry_reconciles",
+            "model_agrees",
+        ] {
+            assert_eq!(
+                outcome.oracle_passes.get(oracle).copied(),
+                Some(outcome.valid),
+                "oracle {oracle} must run on every valid case: {:?}",
+                outcome.oracle_passes
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_a_minimal_case_for_a_synthetic_predicate() {
+        // A synthetic "bug" that needs >= 2 steps and a fault plane: the
+        // shrinker must strip everything else and keep exactly those.
+        let case = TortureCase {
+            patch: (7, 5, 3),
+            layout: (3, 2, 1),
+            variant: Variant::ACC_SIMD_ASYNC,
+            exec_threads: 4,
+            faults: Preset::Standard,
+            fault_seed: 1,
+            ckpt_every: Some(2),
+            steps: 4,
+            n_ranks: 4,
+            cpe_groups: 2,
+            lb: LoadBalancer::Hilbert,
+            tiny_machine: false,
+            corrupt: None,
+        };
+        let mut evals = 0;
+        let min = shrink(&case, &mut |c| {
+            evals += 1;
+            c.steps >= 2 && c.faults != Preset::NoFaults
+        });
+        assert!(evals <= 60, "shrink budget exceeded: {evals}");
+        assert_eq!(min.steps, 2);
+        assert_ne!(min.faults, Preset::NoFaults);
+        assert_eq!(min.ckpt_every, None);
+        assert_eq!(min.exec_threads, 0);
+        assert_eq!(min.cpe_groups, 1);
+        assert_eq!(min.n_ranks, 1);
+        assert_eq!((min.patch, min.layout), ((1, 1, 1), (1, 1, 1)));
+        // The emitted regression test is paste-ready Rust.
+        let t = min.regression_test(0, 0, "synthetic");
+        assert!(t.contains("bench::torture::TortureCase {"));
+        assert!(t.contains("assert_eq!(bench::torture::check(&case), Ok(()));"));
+    }
+
+    #[test]
+    fn corrupted_cases_are_rejected_not_crashed() {
+        for kind in 0..N_CORRUPTIONS {
+            let mut case = TortureCase::generate(3, 0);
+            case.corrupt = Some(kind);
+            let v = run_battery(&case);
+            assert!(
+                v.failure.is_none(),
+                "corruption `{}`: {:?}",
+                corruption_name(kind),
+                v.failure
+            );
+            assert_eq!(v.passed, vec!["rejects_without_panicking"]);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut outcome = run_torture(5, 7);
+        // Exercise the failure arm of the serializer with a synthetic entry.
+        outcome.failures.push(TortureFailure {
+            case: 99,
+            config: "patch=1x1x1".into(),
+            oracle: "model_agrees",
+            detail: "line1\n\"quoted\"\\backslash".into(),
+            minimized: "patch=1x1x1".into(),
+            regression_test: "#[test]\nfn t() {}\n".into(),
+        });
+        let j = outcome.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"seed\"",
+            "\"cases\"",
+            "\"valid\"",
+            "\"rejected\"",
+            "\"oracle_passes\"",
+            "\"failures\"",
+            "\"ok\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+        assert!(j.contains("\\n"), "newlines must be escaped");
+        assert!(j.contains("\\\"quoted\\\""), "quotes must be escaped");
+        assert!(j.contains("\"ok\": false"));
+    }
+}

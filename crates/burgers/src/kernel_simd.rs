@@ -134,3 +134,130 @@ impl CpeTileKernel for BurgersSimdKernel {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{cell_flops, BurgersCost, BurgersScalarKernel, STENCIL_FLOPS};
+    use crate::phi::{phi_flops, NU};
+    use sw_athread::TileCostModel;
+    use sw_athread::{assign_tiles, run_patch_functional, tiles_of, Field3, Field3Mut};
+    use sw_math::counted::{flops_counted, Cf64};
+
+    /// Counted execution of the exact arithmetic the ragged tail performs
+    /// for one cell: one per-cell `phi(x)` plus the shared `cell_update`.
+    fn counted_tail_cell(with_row_phis: bool) -> u64 {
+        let inv = [64.0, 64.0, 128.0, 4096.0, 4096.0, 16384.0].map(Cf64::new);
+        let u = [0.31, 0.28, 0.33, 0.27, 0.35, 0.26, 0.36].map(Cf64::new);
+        let t = Cf64::new(0.01);
+        let (_, n) = flops_counted(|| {
+            // Row-hoisted coefficients (evaluated once per row in the SIMD
+            // kernel, per cell in the scalar kernel).
+            let phi_y = phi(Cf64::new(0.4), t, ExpKind::Fast);
+            let phi_z = phi(Cf64::new(0.6), t, ExpKind::Fast);
+            let phi_x = phi(Cf64::new(0.2), t, ExpKind::Fast);
+            cell_update(
+                u[0],
+                u[1],
+                u[2],
+                u[3],
+                u[4],
+                u[5],
+                u[6],
+                phi_x,
+                phi_y,
+                phi_z,
+                inv,
+                Cf64::new(NU),
+                Cf64::new(1e-5),
+            )
+        });
+        if with_row_phis {
+            n
+        } else {
+            n - 2 * phi_flops(ExpKind::Fast)
+        }
+    }
+
+    #[test]
+    fn tail_cell_counts_flops_exactly_like_the_scalar_kernel() {
+        // A pure-tail row (width 1) performs per cell: phi(x) + phi(y) +
+        // phi(z) + the stencil — precisely `cell_flops`, the Table-I
+        // figure the scalar kernel is counted at. The tail cannot drift.
+        assert_eq!(counted_tail_cell(true), cell_flops(ExpKind::Fast));
+        // The stencil part alone is the shared `cell_update`: 29 flops,
+        // identical to the scalar kernel's per-cell stencil arithmetic.
+        assert_eq!(
+            counted_tail_cell(false) - phi_flops(ExpKind::Fast),
+            STENCIL_FLOPS
+        );
+    }
+
+    #[test]
+    fn accounted_flops_per_cell_do_not_drift_with_ragged_widths() {
+        // The cost model the machine charges (and the paper's Table-I
+        // flops/cell derives from) must be a pure per-cell constant: the
+        // same for widths 4k, 4k+1, 4k+2, 4k+3.
+        let m = BurgersCost { exp: ExpKind::Fast };
+        for w in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 13, 16, 31] {
+            let dims = (w, 3, 2);
+            let cells = (w * 3 * 2) as u64;
+            assert_eq!(m.flops(dims), cells * cell_flops(ExpKind::Fast), "w={w}");
+            assert_eq!(
+                m.exp_flops(dims),
+                cells * crate::kernel::cell_exp_flops(ExpKind::Fast),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_tail_is_bit_identical_to_scalar_at_every_width_mod_4() {
+        // Deterministic cousin of the proptest in tests/props.rs, pinned
+        // to one width per residue class so the tail path is exercised
+        // with 1, 2, and 3 trailing cells (and not at all for w % 4 == 0).
+        for nx in [4usize, 5, 6, 7] {
+            let (ny, nz) = (3, 2);
+            let patch = (nx, ny, nz);
+            let gdims = (nx + 2, ny + 2, nz + 2);
+            let input: Vec<f64> = (0..gdims.0 * gdims.1 * gdims.2)
+                .map(|i| {
+                    let h = (i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(11);
+                    0.001 + (h % 1000) as f64 / 1001.0
+                })
+                .collect();
+            let geom = Geometry::new(1.0 / 64.0, 1.0 / 64.0, 1.0 / 128.0);
+            let params = [0.02, 1e-5];
+            let tiles = tiles_of(patch, patch);
+            let assignment = assign_tiles(&tiles, 1);
+            let run = |kernel: &dyn CpeTileKernel| -> Vec<f64> {
+                let mut out = vec![0.0; nx * ny * nz];
+                run_patch_functional(
+                    kernel,
+                    Field3 {
+                        data: &input,
+                        dims: gdims,
+                    },
+                    &mut Field3Mut {
+                        data: &mut out,
+                        dims: patch,
+                    },
+                    (1, 1, 1),
+                    &assignment,
+                    usize::MAX,
+                    &params,
+                )
+                .unwrap();
+                out
+            };
+            let exp = ExpKind::Fast;
+            let scalar = run(&BurgersScalarKernel { geom, exp });
+            let simd = run(&BurgersSimdKernel { geom, exp });
+            for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "nx={nx} cell {i}: {a} vs {b}");
+            }
+        }
+    }
+}

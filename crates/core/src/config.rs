@@ -1,0 +1,395 @@
+//! Constructor-level run-configuration validation.
+//!
+//! Before this module existed, invalid configurations failed late and
+//! loudly at best (an `assert!` deep in `RankSched::new`, a panic in
+//! `ensure_kernel_cached` when no tile fits the LDM) and silently at worst
+//! (`debug_assert`-only index guards that wrap in release builds). The
+//! torture harness (DESIGN.md §13) samples the configuration space
+//! adversarially, so every constraint it relies on is collected here as a
+//! **typed** check: [`validate_config`] is the single entry point, and
+//! [`crate::Simulation::try_new`] runs it before building anything.
+//!
+//! The checks mirror — and are asserted against — the panicking guards
+//! they front-run: anything `validate_config` accepts must construct and
+//! run; anything it rejects must name the violated constraint.
+
+use crate::grid::{Level, LevelError};
+use crate::schedule::variant::{SchedulerMode, SchedulerOptions, Variant};
+use crate::sim::RunConfig;
+use sw_athread::{choose_tile_shape, InOutFootprint};
+
+/// Typed rejection of an invalid run configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The level geometry could wrap index arithmetic (see
+    /// [`crate::grid::LevelError`]).
+    Level(LevelError),
+    /// The machine model is unrepresentable (see
+    /// [`sw_sim::MachineConfigError`]).
+    Machine(sw_sim::MachineConfigError),
+    /// `steps` is zero — nothing to run.
+    ZeroSteps,
+    /// `n_ranks` is zero — no CGs to run on.
+    ZeroRanks,
+    /// More ranks than patches: some rank would own nothing and the
+    /// reduction would still wait on it.
+    MoreRanksThanPatches {
+        /// Requested ranks.
+        ranks: usize,
+        /// Patches available.
+        patches: usize,
+    },
+    /// `SchedulerOptions::cpe_groups` is zero.
+    ZeroCpeGroups,
+    /// CPE grouping (> 1) on a non-asynchronous variant: a spinning MPE
+    /// cannot feed multiple groups (the `RankSched::new` assertion).
+    CpeGroupsNeedAsync {
+        /// Requested groups.
+        groups: usize,
+        /// The offending variant.
+        variant: Variant,
+    },
+    /// More CPE groups than CPEs per CG.
+    MoreGroupsThanCpes {
+        /// Requested groups.
+        groups: usize,
+        /// CPEs per CG in the machine config.
+        cpes: usize,
+    },
+    /// A checkpoint or rebalance interval of zero steps.
+    ZeroInterval {
+        /// Which interval ("ckpt_every" or "rebalance_every").
+        which: &'static str,
+    },
+    /// `noise_frac` is negative or non-finite.
+    BadNoise {
+        /// The offending fraction.
+        frac: f64,
+    },
+    /// `cg_speeds` has the wrong length.
+    CgSpeedsLen {
+        /// Provided length.
+        got: usize,
+        /// Expected (`n_ranks`).
+        want: usize,
+    },
+    /// A per-CG speed is non-positive or non-finite.
+    BadCgSpeed {
+        /// The CG index.
+        cg: usize,
+        /// The offending speed.
+        speed: f64,
+    },
+    /// The application's ghost width exceeds the patch extent on some
+    /// axis: halo exchange would need non-face neighbors.
+    GhostTooWide {
+        /// Ghost layers requested.
+        ghost: i64,
+        /// Smallest patch axis extent.
+        min_axis: i64,
+    },
+    /// No tile of the patch fits the LDM budget — the scheduler's
+    /// `ensure_kernel_cached` would panic mid-run.
+    NoTileFitsLdm {
+        /// Patch dims being tiled.
+        dims: (usize, usize, usize),
+        /// LDM budget in bytes.
+        ldm_bytes: usize,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::Level(e) => write!(f, "level geometry: {e}"),
+            ConfigError::Machine(e) => write!(f, "machine config: {e}"),
+            ConfigError::ZeroSteps => write!(f, "steps must be >= 1"),
+            ConfigError::ZeroRanks => write!(f, "n_ranks must be >= 1"),
+            ConfigError::MoreRanksThanPatches { ranks, patches } => {
+                write!(f, "{ranks} ranks but only {patches} patches")
+            }
+            ConfigError::ZeroCpeGroups => write!(f, "cpe_groups must be >= 1"),
+            ConfigError::CpeGroupsNeedAsync { groups, variant } => write!(
+                f,
+                "{groups} CPE groups need the asynchronous scheduler, got {}",
+                variant.name()
+            ),
+            ConfigError::MoreGroupsThanCpes { groups, cpes } => {
+                write!(f, "{groups} CPE groups but only {cpes} CPEs per CG")
+            }
+            ConfigError::ZeroInterval { which } => {
+                write!(f, "{which} must be a positive step count")
+            }
+            ConfigError::BadNoise { frac } => write!(f, "noise_frac {frac} invalid"),
+            ConfigError::CgSpeedsLen { got, want } => {
+                write!(f, "cg_speeds has {got} entries, expected {want}")
+            }
+            ConfigError::BadCgSpeed { cg, speed } => {
+                write!(f, "cg_speeds[{cg}] = {speed} invalid")
+            }
+            ConfigError::GhostTooWide { ghost, min_axis } => write!(
+                f,
+                "ghost width {ghost} exceeds the smallest patch axis {min_axis}"
+            ),
+            ConfigError::NoTileFitsLdm { dims, ldm_bytes } => {
+                write!(f, "no tile of patch {dims:?} fits the {ldm_bytes}-byte LDM")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<LevelError> for ConfigError {
+    fn from(e: LevelError) -> Self {
+        ConfigError::Level(e)
+    }
+}
+
+impl From<sw_sim::MachineConfigError> for ConfigError {
+    fn from(e: sw_sim::MachineConfigError) -> Self {
+        ConfigError::Machine(e)
+    }
+}
+
+/// Validate `cfg` against `level` and an application ghost width.
+///
+/// This is the constructor-level gate the torture harness drives: a config
+/// that passes must build a [`crate::Simulation`] without tripping any of
+/// the panicking guards this function mirrors; a config that fails names
+/// its violated constraint in the returned [`ConfigError`].
+pub fn validate_config(level: &Level, app_ghost: i64, cfg: &RunConfig) -> Result<(), ConfigError> {
+    // Re-run the level's own geometry check: `level` may have been built
+    // before these checks existed (e.g. deserialized) and validation must
+    // not trust the constructor ran.
+    Level::try_new(level.patch_extent(), level.layout()).map(|_| ())?;
+    cfg.machine.validate()?;
+    if cfg.steps == 0 {
+        return Err(ConfigError::ZeroSteps);
+    }
+    if cfg.n_ranks == 0 {
+        return Err(ConfigError::ZeroRanks);
+    }
+    if cfg.n_ranks > level.n_patches() {
+        return Err(ConfigError::MoreRanksThanPatches {
+            ranks: cfg.n_ranks,
+            patches: level.n_patches(),
+        });
+    }
+    validate_options(&cfg.options, cfg.variant, cfg.machine.cpes_per_cg)?;
+    if cfg.ckpt_every == Some(0) {
+        return Err(ConfigError::ZeroInterval {
+            which: "ckpt_every",
+        });
+    }
+    if cfg.rebalance_every == Some(0) {
+        return Err(ConfigError::ZeroInterval {
+            which: "rebalance_every",
+        });
+    }
+    if !cfg.noise_frac.is_finite() || cfg.noise_frac < 0.0 {
+        return Err(ConfigError::BadNoise {
+            frac: cfg.noise_frac,
+        });
+    }
+    if let Some(speeds) = &cfg.cg_speeds {
+        if speeds.len() != cfg.n_ranks {
+            return Err(ConfigError::CgSpeedsLen {
+                got: speeds.len(),
+                want: cfg.n_ranks,
+            });
+        }
+        for (cg, &s) in speeds.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(ConfigError::BadCgSpeed { cg, speed: s });
+            }
+        }
+    }
+    let e = level.patch_extent();
+    let min_axis = e.x.min(e.y).min(e.z);
+    if app_ghost > min_axis || app_ghost < 0 {
+        return Err(ConfigError::GhostTooWide {
+            ghost: app_ghost,
+            min_axis,
+        });
+    }
+    // The scheduler tiles each patch shape once per (shape, groups) pair;
+    // prove up front that a tile exists so `ensure_kernel_cached` cannot
+    // panic mid-run.
+    let dims = (e.x as usize, e.y as usize, e.z as usize);
+    let fp = InOutFootprint {
+        ghost: app_ghost as usize,
+    };
+    let cpes = cfg.machine.cpes_per_cg / cfg.options.cpe_groups.max(1);
+    if choose_tile_shape(dims, &fp, cfg.machine.ldm_bytes, cpes.max(1)).is_none() {
+        return Err(ConfigError::NoTileFitsLdm {
+            dims,
+            ldm_bytes: cfg.machine.ldm_bytes,
+        });
+    }
+    Ok(())
+}
+
+/// The subset of checks on [`SchedulerOptions`] alone (shared with
+/// `RankSched::new`'s assertion).
+pub fn validate_options(
+    options: &SchedulerOptions,
+    variant: Variant,
+    cpes_per_cg: usize,
+) -> Result<(), ConfigError> {
+    if options.cpe_groups == 0 {
+        return Err(ConfigError::ZeroCpeGroups);
+    }
+    if options.cpe_groups > 1 && variant.mode != SchedulerMode::AsyncCpe {
+        return Err(ConfigError::CpeGroupsNeedAsync {
+            groups: options.cpe_groups,
+            variant,
+        });
+    }
+    if options.cpe_groups > cpes_per_cg {
+        return Err(ConfigError::MoreGroupsThanCpes {
+            groups: options.cpe_groups,
+            cpes: cpes_per_cg,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::iv;
+    use crate::schedule::variant::ExecMode;
+
+    fn base() -> (Level, RunConfig) {
+        let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
+        let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, 2);
+        (level, cfg)
+    }
+
+    #[test]
+    fn paper_configs_validate_clean() {
+        let (level, cfg) = base();
+        assert_eq!(validate_config(&level, 1, &cfg), Ok(()));
+        for v in Variant::TABLE_IV {
+            let mut c = cfg.clone();
+            c.variant = v;
+            assert_eq!(validate_config(&level, 1, &c), Ok(()), "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn each_constraint_is_reported_with_its_own_variant() {
+        let (level, cfg) = base();
+        let mut c = cfg.clone();
+        c.steps = 0;
+        assert_eq!(validate_config(&level, 1, &c), Err(ConfigError::ZeroSteps));
+        let mut c = cfg.clone();
+        c.n_ranks = 0;
+        assert_eq!(validate_config(&level, 1, &c), Err(ConfigError::ZeroRanks));
+        let mut c = cfg.clone();
+        c.n_ranks = 9; // only 8 patches
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::MoreRanksThanPatches {
+                ranks: 9,
+                patches: 8
+            })
+        ));
+        let mut c = cfg.clone();
+        c.ckpt_every = Some(0);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::ZeroInterval {
+                which: "ckpt_every"
+            })
+        ));
+        let mut c = cfg.clone();
+        c.rebalance_every = Some(0);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::ZeroInterval { .. })
+        ));
+        let mut c = cfg.clone();
+        c.noise_frac = f64::NAN;
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadNoise { .. })
+        ));
+        let mut c = cfg.clone();
+        c.cg_speeds = Some(vec![1.0]);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::CgSpeedsLen { got: 1, want: 2 })
+        ));
+        let mut c = cfg.clone();
+        c.cg_speeds = Some(vec![1.0, 0.0]);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadCgSpeed { cg: 1, .. })
+        ));
+        // Ghost wider than the smallest patch axis.
+        assert!(matches!(
+            validate_config(&level, 9, &cfg),
+            Err(ConfigError::GhostTooWide { ghost: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn cpe_group_constraints_mirror_the_scheduler_assert() {
+        let (level, cfg) = base();
+        let mut c = cfg.clone();
+        c.options.cpe_groups = 0;
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::ZeroCpeGroups)
+        );
+        // Groups > 1 on a synchronous variant: rejected.
+        let mut c = cfg.clone();
+        c.variant = Variant::ACC_SYNC;
+        c.options.cpe_groups = 2;
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::CpeGroupsNeedAsync { groups: 2, .. })
+        ));
+        // Groups > 1 on the async variant: fine.
+        let mut c = cfg.clone();
+        c.options.cpe_groups = 2;
+        assert_eq!(validate_config(&level, 1, &c), Ok(()));
+        // More groups than CPEs.
+        let mut c = cfg.clone();
+        c.options.cpe_groups = 65;
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::MoreGroupsThanCpes { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_ldm_budget_is_rejected_up_front() {
+        let (level, mut cfg) = base();
+        cfg.machine.ldm_bytes = 64; // nothing fits
+        assert!(matches!(
+            validate_config(&level, 1, &cfg),
+            Err(ConfigError::NoTileFitsLdm { .. })
+        ));
+    }
+
+    #[test]
+    fn machine_model_violations_surface_as_typed_errors() {
+        let (level, mut cfg) = base();
+        cfg.machine.cpes_per_cg = 0;
+        assert_eq!(
+            validate_config(&level, 1, &cfg),
+            Err(ConfigError::Machine(sw_sim::MachineConfigError::ZeroCpes))
+        );
+        let (level, mut cfg) = base();
+        cfg.machine.net_bw_gbs = f64::INFINITY;
+        assert!(matches!(
+            validate_config(&level, 1, &cfg),
+            Err(ConfigError::Machine(
+                sw_sim::MachineConfigError::BadRate { .. }
+            ))
+        ));
+    }
+}

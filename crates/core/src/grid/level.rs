@@ -13,6 +13,58 @@ use super::region::{Face, Region};
 /// Identifier of a patch within its level.
 pub type PatchId = usize;
 
+/// Typed rejection of a level geometry that could wrap downstream index
+/// arithmetic (the `idx3`/`in_at` pre-casts in `sw-athread` are
+/// `debug_assert`-only, so release builds rely on this constructor check).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LevelError {
+    /// A patch-extent axis is not positive.
+    EmptyPatchExtent {
+        /// The offending extent.
+        extent: IntVec,
+    },
+    /// A layout axis is not positive.
+    EmptyLayout {
+        /// The offending layout.
+        layout: IntVec,
+    },
+    /// The per-patch geometry (with a worst-case ghost width) fails the
+    /// wraparound bounds of `sw_athread::validate_patch_geometry`.
+    PatchGeometry {
+        /// The underlying tile-layer error.
+        err: sw_athread::GeomError,
+    },
+    /// The whole-grid extent (`patch_extent * layout`) overflows the safe
+    /// per-axis or volume bounds.
+    GridTooLarge {
+        /// Patch extent.
+        extent: IntVec,
+        /// Patch layout.
+        layout: IntVec,
+    },
+}
+
+impl core::fmt::Display for LevelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LevelError::EmptyPatchExtent { extent } => {
+                write!(f, "patch extent {extent:?} has an empty axis")
+            }
+            LevelError::EmptyLayout { layout } => {
+                write!(f, "patch layout {layout:?} has an empty axis")
+            }
+            LevelError::PatchGeometry { err } => write!(f, "patch geometry: {err}"),
+            LevelError::GridTooLarge { extent, layout } => write!(
+                f,
+                "grid of {extent:?}-cell patches in a {layout:?} layout \
+                 exceeds the safe index range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LevelError {}
+
 /// One patch: a box of cells owned by exactly one rank at a time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Patch {
@@ -38,9 +90,66 @@ impl Level {
     ///
     /// The paper's problems (Table III) use a fixed 8x8x2 layout with patch
     /// extents from 16x16x512 to 128x128x512.
+    ///
+    /// # Panics
+    /// Panics on a geometry [`Level::try_new`] rejects. Callers that sample
+    /// configurations (the torture harness) should use `try_new` and handle
+    /// the typed error instead.
     pub fn new(patch_extent: IntVec, layout: IntVec) -> Level {
-        assert!(patch_extent.volume() > 0, "empty patches");
-        assert!(layout.volume() > 0, "empty layout");
+        Level::try_new(patch_extent, layout)
+            .unwrap_or_else(|e| panic!("invalid level geometry: {e}"))
+    }
+
+    /// Worst-case ghost width assumed by the constructor-level wraparound
+    /// check (every in-tree application uses ghost = 1; the bound leaves
+    /// generous headroom for wider stencils).
+    pub const MAX_GHOST: usize = 8;
+
+    /// Fallible [`Level::new`]: rejects geometries whose ghosted patch
+    /// volume or flat-index arithmetic could wrap in release builds (where
+    /// the `idx3`/`in_at` guards are `debug_assert`-only) with a typed
+    /// [`LevelError`] instead of constructing a level that is undefined
+    /// behavior waiting to happen.
+    pub fn try_new(patch_extent: IntVec, layout: IntVec) -> Result<Level, LevelError> {
+        if patch_extent.x <= 0 || patch_extent.y <= 0 || patch_extent.z <= 0 {
+            return Err(LevelError::EmptyPatchExtent {
+                extent: patch_extent,
+            });
+        }
+        if layout.x <= 0 || layout.y <= 0 || layout.z <= 0 {
+            return Err(LevelError::EmptyLayout { layout });
+        }
+        // Per-patch bound, with the worst-case ghost width the runtime
+        // supports: this is the extent `sw-athread` will tile and index.
+        sw_athread::validate_patch_geometry(
+            (
+                patch_extent.x as usize,
+                patch_extent.y as usize,
+                patch_extent.z as usize,
+            ),
+            Self::MAX_GHOST,
+        )
+        .map_err(|err| LevelError::PatchGeometry { err })?;
+        // Whole-grid bound: per-axis products and the grid volume must stay
+        // in the same safe range (global cell ids and `ghosted_cells` use
+        // i64/u64 arithmetic on these).
+        let axis_ok = |e: i64, l: i64| {
+            e.checked_mul(l)
+                .is_some_and(|v| v <= sw_athread::MAX_AXIS_CELLS as i64)
+        };
+        if !axis_ok(patch_extent.x, layout.x)
+            || !axis_ok(patch_extent.y, layout.y)
+            || !axis_ok(patch_extent.z, layout.z)
+            || ((patch_extent.x * layout.x) as u64)
+                .checked_mul((patch_extent.y * layout.y) as u64)
+                .and_then(|v| v.checked_mul((patch_extent.z * layout.z) as u64))
+                .is_none_or(|v| v > sw_athread::MAX_VOLUME_CELLS)
+        {
+            return Err(LevelError::GridTooLarge {
+                extent: patch_extent,
+                layout,
+            });
+        }
         let grid = Region::of_extent(iv(
             patch_extent.x * layout.x,
             patch_extent.y * layout.y,
@@ -65,12 +174,12 @@ impl Level {
                 }
             }
         }
-        Level {
+        Ok(Level {
             grid,
             patch_extent,
             layout,
             patches,
-        }
+        })
     }
 
     /// All cells of the level.
@@ -220,6 +329,64 @@ mod tests {
                 assert_eq!(me.face_ghost(f, 1).cells(), me.face_interior(f, 1).cells());
             }
         }
+    }
+
+    #[test]
+    fn try_new_rejects_wrap_prone_geometries_with_typed_errors() {
+        // Degenerate-but-valid shapes are accepted.
+        for (e, l) in [
+            (iv(1, 1, 1), iv(1, 1, 1)),
+            (iv(7, 13, 129), iv(3, 1, 5)),
+            (iv(16, 16, 512), iv(8, 8, 2)),
+        ] {
+            assert!(Level::try_new(e, l).is_ok(), "{e:?} {l:?}");
+        }
+        // Empty axes.
+        assert_eq!(
+            Level::try_new(iv(0, 4, 4), iv(1, 1, 1)).unwrap_err(),
+            LevelError::EmptyPatchExtent {
+                extent: iv(0, 4, 4)
+            }
+        );
+        assert_eq!(
+            Level::try_new(iv(4, 4, 4), iv(1, 0, 1)).unwrap_err(),
+            LevelError::EmptyLayout {
+                layout: iv(1, 0, 1)
+            }
+        );
+        // A patch axis that wraps once ghosted.
+        let huge = sw_athread::MAX_AXIS_CELLS as i64;
+        assert!(matches!(
+            Level::try_new(iv(huge, 1, 1), iv(1, 1, 1)),
+            Err(LevelError::PatchGeometry { .. })
+        ));
+        // Patches fine individually (2^39 cells < 2^40), grid volume out of
+        // range (2^42).
+        assert!(matches!(
+            Level::try_new(iv(1 << 13, 1 << 13, 1 << 13), iv(2, 2, 2)),
+            Err(LevelError::GridTooLarge { .. })
+        ));
+        // i64-overflow-adjacent products must not wrap the checker itself.
+        assert!(Level::try_new(iv(1 << 19, 1 << 19, 1 << 19), iv(1 << 40, 1, 1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid level geometry")]
+    fn new_panics_with_the_typed_message() {
+        let _ = Level::new(iv(0, 1, 1), iv(1, 1, 1));
+    }
+
+    #[test]
+    fn try_new_eq_check() {
+        // Errors are PartialEq so regression tests can assert them exactly.
+        let e = Level::try_new(iv(0, 1, 1), iv(2, 2, 2)).unwrap_err();
+        assert_eq!(
+            e,
+            LevelError::EmptyPatchExtent {
+                extent: iv(0, 1, 1)
+            }
+        );
+        assert!(!format!("{e}").is_empty());
     }
 
     #[test]

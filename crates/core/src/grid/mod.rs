@@ -6,5 +6,5 @@ pub mod level;
 pub mod region;
 
 pub use intvec::{iv, IntVec};
-pub use level::{Level, Patch, PatchId};
+pub use level::{Level, LevelError, Patch, PatchId};
 pub use region::{Face, Region, FACES};

@@ -16,6 +16,7 @@
 //! discrete-event machine model.
 
 #![warn(missing_docs)]
+pub mod config;
 pub mod grid;
 pub mod lb;
 pub mod schedule;
@@ -23,7 +24,8 @@ pub mod sim;
 pub mod task;
 pub mod var;
 
-pub use grid::{iv, IntVec, Level, Patch, PatchId, Region};
+pub use config::{validate_config, validate_options, ConfigError};
+pub use grid::{iv, IntVec, Level, LevelError, Patch, PatchId, Region};
 pub use lb::LoadBalancer;
 pub use schedule::{
     build_schedule_model, verify_plans, ExecMode, SchedulerMode, SchedulerOptions, Variant,

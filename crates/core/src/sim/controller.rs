@@ -166,7 +166,25 @@ pub struct Simulation {
 
 impl Simulation {
     /// Build a simulation of `app` on `level` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics with the typed [`crate::ConfigError`] message if the
+    /// configuration is invalid; [`Simulation::try_new`] is the
+    /// non-panicking form.
     pub fn new(level: Level, app: Arc<dyn Application>, cfg: RunConfig) -> Self {
+        Self::try_new(level, app, cfg).unwrap_or_else(|e| panic!("invalid run configuration: {e}"))
+    }
+
+    /// Build a simulation of `app` on `level` under `cfg`, rejecting
+    /// invalid configurations with a typed [`crate::ConfigError`] instead
+    /// of tripping an assert deep inside the scheduler. This is the
+    /// constructor-level gate the torture harness (DESIGN.md §13) drives.
+    pub fn try_new(
+        level: Level,
+        app: Arc<dyn Application>,
+        cfg: RunConfig,
+    ) -> Result<Self, crate::ConfigError> {
+        crate::config::validate_config(&level, app.ghost(), &cfg)?;
         let assignment = cfg.lb.assign(&level, cfg.n_ranks);
         let mut machine = Machine::new(cfg.machine.clone(), cfg.n_ranks);
         machine.set_noise(cfg.noise_frac, cfg.noise_seed);
@@ -225,7 +243,7 @@ impl Simulation {
                 sched
             })
             .collect();
-        Simulation {
+        Ok(Simulation {
             level,
             app,
             cfg,
@@ -238,7 +256,7 @@ impl Simulation {
             recorder,
             faults,
             restore: None,
-        }
+        })
     }
 
     /// The telemetry recorder of this simulation. Disabled (and empty)
@@ -377,6 +395,17 @@ impl Simulation {
                 continue;
             }
             if ranks.iter().all(|r| r.is_done()) {
+                // A cadence boundary that coincides with the final step
+                // still owes its checkpoint: `end_step` finishes the rank
+                // *before* the boundary check, so nobody parks — write the
+                // snapshot here instead of silently skipping it.
+                let step = ranks[0].step();
+                if cfg
+                    .ckpt_every
+                    .is_some_and(|n| step > 0 && step.is_multiple_of(n))
+                {
+                    Self::write_checkpoint(cfg, assignment, ranks, faults, recorder);
+                }
                 break;
             }
             let Some((t, ev)) = machine.pop() else {

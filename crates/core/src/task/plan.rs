@@ -83,6 +83,14 @@ pub struct RankPlan {
 /// stage `stage` of `step`. Unique per (step, stage, patch, face), so
 /// receives match exactly even with one step of inter-rank skew and
 /// multi-stage task graphs.
+///
+/// All products are **checked**: a pathological `steps × stages × patches`
+/// combination panics here instead of wrapping and silently matching a
+/// different face's message. The result is also proven to stay below
+/// [`sw_mpi::APP_TAG_LIMIT`], so ghost tags can never wander into the MPI
+/// layer's reserved control-plane namespace (where `isend` would reject
+/// them anyway — this keeps the failure at the tag *scheme*, where it is
+/// diagnosable).
 pub fn ghost_tag(
     step: u32,
     stage: usize,
@@ -92,10 +100,20 @@ pub fn ghost_tag(
     face: Face,
 ) -> u64 {
     debug_assert!(stage < n_stages);
-    let per_stage = n_patches as u64 * 6;
-    ((step as u64) * n_stages as u64 + stage as u64) * per_stage
-        + (src_patch as u64) * 6
-        + face.index() as u64
+    let per_stage = (n_patches as u64).checked_mul(6);
+    let tag = (step as u64)
+        .checked_mul(n_stages as u64)
+        .and_then(|s| s.checked_add(stage as u64))
+        .and_then(|s| s.checked_mul(per_stage?))
+        .and_then(|s| s.checked_add((src_patch as u64) * 6 + face.index() as u64))
+        .filter(|&t| t < sw_mpi::APP_TAG_LIMIT);
+    match tag {
+        Some(t) => t,
+        None => panic!(
+            "ghost tag for step {step}, stage {stage}/{n_stages}, patch \
+             {src_patch}/{n_patches} overflows the application tag namespace"
+        ),
+    }
 }
 
 /// Compile the plan for `rank` under the given patch assignment.
@@ -239,6 +257,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ghost_tags_never_enter_the_reserved_control_plane_namespace() {
+        // Collision regression (see sw-mpi): the reliable layer's control
+        // traffic lives at tags >= APP_TAG_LIMIT. Even an absurdly long run
+        // of the largest torture-scale graph stays strictly below it.
+        let worst = ghost_tag(u32::MAX, 7, 8, 1 << 20, (1 << 20) - 1, FACES[5]);
+        assert!(worst < sw_mpi::APP_TAG_LIMIT);
+        // And a scheme that *would* overflow panics instead of wrapping
+        // around into someone else's tag.
+        let r = std::panic::catch_unwind(|| {
+            ghost_tag(
+                u32::MAX,
+                usize::MAX - 1,
+                usize::MAX,
+                usize::MAX,
+                0,
+                FACES[0],
+            )
+        });
+        assert!(r.is_err(), "overflowing tag arithmetic must not wrap");
     }
 
     #[test]

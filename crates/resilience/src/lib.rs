@@ -30,5 +30,5 @@ pub mod plan;
 pub mod stats;
 
 pub use ckpt::{Checkpoint, PatchRecord};
-pub use plan::{FaultConfig, FaultPlan, MsgFault, MsgKey, OffloadKey, SlotFault};
+pub use plan::{fold, splitmix64, FaultConfig, FaultPlan, MsgFault, MsgKey, OffloadKey, SlotFault};
 pub use stats::{FaultCounts, FaultStats};

@@ -198,17 +198,20 @@ pub enum MsgFault {
 
 /// SplitMix64 finalizer — the same mixer `sw-sim`'s `KernelNoise` uses.
 /// Copied (10 lines) rather than imported: this crate is a dependency leaf.
+/// Public so downstream harnesses (e.g. the bench torture campaign) reuse
+/// the exact keying discipline instead of growing a second mixer.
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-/// Fold a sequence of words into one well-mixed u64.
+/// Fold a sequence of words into one well-mixed u64 (domain-separated
+/// stateless keying: callers hash a distinct discriminant word first).
 #[inline]
-fn fold(words: &[u64]) -> u64 {
+pub fn fold(words: &[u64]) -> u64 {
     let mut acc = 0u64;
     for &w in words {
         acc = splitmix64(acc ^ splitmix64(w));

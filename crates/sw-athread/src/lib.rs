@@ -35,6 +35,6 @@ pub use exec::{
 pub use flag::CompletionFlag;
 pub use group::{AthreadGroup, KernelHandle, NEVER};
 pub use tile::{
-    assign_tiles, cells, choose_tile_shape, is_exact_partition, tiles_of, Dims3, InOutFootprint,
-    LdmFootprint, TileDesc,
+    assign_tiles, cells, choose_tile_shape, is_exact_partition, tiles_of, validate_patch_geometry,
+    Dims3, GeomError, InOutFootprint, LdmFootprint, TileDesc, MAX_AXIS_CELLS, MAX_VOLUME_CELLS,
 };

@@ -14,6 +14,116 @@ pub fn cells(d: Dims3) -> u64 {
     d.0 as u64 * d.1 as u64 * d.2 as u64
 }
 
+/// Largest per-axis cell extent the tile machinery accepts, *including*
+/// ghost layers. With every axis below 2^20 the signed index arithmetic of
+/// `TileCtx::in_at` (`x as i64 + g + dx`) and the global-cell sums of
+/// `TileCtx::global_cell` stay far from `i64` overflow, and any pairwise
+/// product of two axes fits comfortably in `usize`.
+pub const MAX_AXIS_CELLS: usize = 1 << 20;
+
+/// Largest ghosted volume (in cells) accepted. `idx3` computes
+/// `x + d0*(y + d1*z)` in `usize`; volumes below 2^40 keep that (and the
+/// `* 8`-byte staging sizes) orders of magnitude away from wraparound.
+pub const MAX_VOLUME_CELLS: u64 = 1 << 40;
+
+/// Typed rejection of a grid/tile geometry whose flat indexing could wrap.
+///
+/// Before this check existed, the guards in [`crate::idx3`] and
+/// `TileCtx::in_at` were `debug_assert!`-only: a release build handed a
+/// degenerate extent would wrap its index arithmetic instead of failing.
+/// Constructors now reject such geometries up front with this error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeomError {
+    /// An axis extent is zero — the box is empty.
+    EmptyAxis {
+        /// Axis index (0 = x).
+        axis: usize,
+        /// The offending (un-ghosted) extent.
+        dims: Dims3,
+    },
+    /// An axis extent, including ghosts, exceeds [`MAX_AXIS_CELLS`].
+    AxisTooLarge {
+        /// Axis index (0 = x).
+        axis: usize,
+        /// Ghosted extent of that axis.
+        extent: u64,
+        /// Ghost layers included in `extent`.
+        ghost: usize,
+    },
+    /// The ghosted volume exceeds [`MAX_VOLUME_CELLS`] (or overflows
+    /// entirely): flat indices and byte sizes could wrap.
+    VolumeTooLarge {
+        /// The (un-ghosted) extent.
+        dims: Dims3,
+        /// Ghost layers per side.
+        ghost: usize,
+    },
+}
+
+impl core::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            GeomError::EmptyAxis { axis, dims } => {
+                write!(f, "axis {axis} of extent {dims:?} is empty")
+            }
+            GeomError::AxisTooLarge {
+                axis,
+                extent,
+                ghost,
+            } => write!(
+                f,
+                "axis {axis} spans {extent} cells with {ghost} ghost layer(s), \
+                 above the safe bound {MAX_AXIS_CELLS} — index arithmetic \
+                 could wrap"
+            ),
+            GeomError::VolumeTooLarge { dims, ghost } => write!(
+                f,
+                "ghosted volume of {dims:?} with {ghost} ghost layer(s) \
+                 exceeds the safe bound {MAX_VOLUME_CELLS} cells — flat \
+                 indices could wrap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// Validate that a patch of `dims` cells with `ghost` ghost layers per side
+/// can be tiled, staged, and indexed without any integer wraparound:
+/// every axis is non-empty and, ghosted, stays below [`MAX_AXIS_CELLS`];
+/// the ghosted volume stays below [`MAX_VOLUME_CELLS`].
+///
+/// `Level`/tile-plan constructors call this so the `debug_assert`-only
+/// guards in the hot index path ([`crate::idx3`], `TileCtx::in_at`) are
+/// backed by a release-mode rejection at construction time.
+pub fn validate_patch_geometry(dims: Dims3, ghost: usize) -> Result<(), GeomError> {
+    let axes = [dims.0, dims.1, dims.2];
+    // Saturating on purpose: absurd inputs (usize::MAX ghosts) must land in
+    // the rejection branch, not overflow the checker itself.
+    let ghosted_axis = |d: usize| (d as u64).saturating_add((ghost as u64).saturating_mul(2));
+    for (axis, &d) in axes.iter().enumerate() {
+        if d == 0 {
+            return Err(GeomError::EmptyAxis { axis, dims });
+        }
+        let ghosted = ghosted_axis(d);
+        if ghosted > MAX_AXIS_CELLS as u64 {
+            return Err(GeomError::AxisTooLarge {
+                axis,
+                extent: ghosted,
+                ghost,
+            });
+        }
+    }
+    let ghosted_vol = axes
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(ghosted_axis(d)))
+        .filter(|&v| v <= MAX_VOLUME_CELLS);
+    if ghosted_vol.is_none() {
+        return Err(GeomError::VolumeTooLarge { dims, ghost });
+    }
+    Ok(())
+}
+
 /// One tile of a patch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TileDesc {
@@ -360,6 +470,46 @@ mod tests {
         // cells-maximizing shape (never None just because of the target).
         let t = choose_tile_shape((2, 2, 2), &fp, 64 * 1024, 64).unwrap();
         assert_eq!(t, (2, 2, 2));
+    }
+
+    #[test]
+    fn geometry_validation_accepts_paper_and_degenerate_but_sane_shapes() {
+        for dims in [
+            (16, 16, 512),
+            (128, 128, 512),
+            (1, 1, 1),
+            (7, 13, 129), // prime / non-divisible
+            (1, 1, MAX_AXIS_CELLS - 2),
+        ] {
+            assert_eq!(validate_patch_geometry(dims, 1), Ok(()), "{dims:?}");
+        }
+        // Wide ghosts on a tiny patch are fine as long as bounds hold.
+        assert_eq!(validate_patch_geometry((1, 1, 1), 4), Ok(()));
+    }
+
+    #[test]
+    fn geometry_validation_rejects_wrap_prone_shapes() {
+        assert_eq!(
+            validate_patch_geometry((0, 4, 4), 1),
+            Err(GeomError::EmptyAxis {
+                axis: 0,
+                dims: (0, 4, 4)
+            })
+        );
+        // Axis that wraps once ghosted.
+        assert!(matches!(
+            validate_patch_geometry((MAX_AXIS_CELLS, 4, 4), 1),
+            Err(GeomError::AxisTooLarge { axis: 0, .. })
+        ));
+        // Per-axis fine, volume out of range.
+        let a = 1 << 15;
+        assert!(matches!(
+            validate_patch_geometry((a, a, a), 1),
+            Err(GeomError::VolumeTooLarge { .. })
+        ));
+        // usize::MAX-adjacent extents must not overflow the checker itself.
+        assert!(validate_patch_geometry((usize::MAX, usize::MAX, usize::MAX), 1).is_err());
+        assert!(validate_patch_geometry((usize::MAX, 1, 1), usize::MAX / 2).is_err());
     }
 
     #[test]

@@ -34,6 +34,27 @@ pub type Rank = CgId;
 /// Message tag.
 pub type Tag = u64;
 
+/// First tag of the reserved control-plane namespace.
+///
+/// Application tags must be **strictly below** this value; everything at or
+/// above is reserved for the library's own control traffic (present and
+/// future). [`MpiWorld::isend`] and [`MpiWorld::irecv`] reject reserved
+/// tags at the constructor, so an app-level tag scheme (e.g. the runtime's
+/// `ghost_tag`) can never alias a control-plane stream no matter how many
+/// steps, stages, or patches it multiplies together — the overflow is
+/// caught here instead of silently matching the wrong message.
+pub const APP_TAG_LIMIT: Tag = 1 << 62;
+
+/// Largest message id the wire-token encoding carries injectively.
+///
+/// Wire tokens pack `(message id, phase)` as `id << 2 | phase`. The shift
+/// discards the top two bits of the id, so ids above this bound would
+/// alias: an `encode(id, PH_ACK)` for one message could decode as a
+/// different message's token and retire the wrong send. [`MpiWorld::isend`]
+/// refuses to allocate ids past this bound, making
+/// `decode(encode(id, phase)) == (id, phase)` a total guarantee.
+pub const MAX_MSG_ID: u64 = (1 << 62) - 1;
+
 /// Size of the RTS/CTS control messages on the wire.
 const CTRL_BYTES: u64 = 64;
 
@@ -149,6 +170,14 @@ fn decode(token: u64) -> (u64, u8) {
     (token >> 2, (token & 3) as u8)
 }
 fn encode(id: u64, phase: u8) -> u64 {
+    // Injectivity: ids are capped at `MAX_MSG_ID` (enforced at `isend`),
+    // so the shift cannot discard bits and every (id, phase) pair maps to
+    // a distinct token.
+    assert!(
+        id <= MAX_MSG_ID,
+        "message id {id} overflows the wire-token namespace"
+    );
+    debug_assert!(phase < 4);
     (id << 2) | phase as u64
 }
 const PH_RTS: u8 = 0;
@@ -210,6 +239,14 @@ impl MpiWorld {
     ) -> SendHandle {
         assert!(src < self.n && dst < self.n, "rank out of range");
         assert_ne!(src, dst, "self-sends go through the data warehouse");
+        assert!(
+            tag < APP_TAG_LIMIT,
+            "tag {tag:#x} lies in the reserved control-plane namespace (>= {APP_TAG_LIMIT:#x})"
+        );
+        assert!(
+            self.next_msg <= MAX_MSG_ID,
+            "message id space exhausted: wire tokens would alias"
+        );
         let id = self.next_msg;
         self.next_msg += 1;
         self.sends_posted += 1;
@@ -372,6 +409,10 @@ impl MpiWorld {
     /// Post a non-blocking receive for a message from `src` with `tag`.
     pub fn irecv(&mut self, rank: Rank, src: Rank, tag: Tag) -> RecvHandle {
         assert!(rank < self.n && src < self.n, "rank out of range");
+        assert!(
+            tag < APP_TAG_LIMIT,
+            "tag {tag:#x} lies in the reserved control-plane namespace (>= {APP_TAG_LIMIT:#x})"
+        );
         let id = self.next_recv;
         self.next_recv += 1;
         self.recvs.insert(
@@ -890,6 +931,67 @@ mod tests {
     fn self_sends_rejected() {
         let (mut m, mut w) = setup(2);
         w.isend(&mut m, 1, 1, 0, 8, None, SimTime::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Tag namespace separation (control plane vs. application)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn wire_token_encoding_is_injective_up_to_max_msg_id() {
+        // decode ∘ encode is the identity for every representable id and
+        // every protocol phase — including both ends of the id range.
+        for id in [0, 1, 2, 1 << 20, MAX_MSG_ID - 1, MAX_MSG_ID] {
+            for ph in [PH_RTS, PH_CTS, PH_DATA, PH_ACK] {
+                assert_eq!(decode(encode(id, ph)), (id, ph));
+            }
+        }
+        // Distinct (id, phase) pairs map to distinct tokens.
+        let ids = [0u64, 1, 7, MAX_MSG_ID];
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in &ids {
+            for ph in [PH_RTS, PH_CTS, PH_DATA, PH_ACK] {
+                assert!(
+                    seen.insert(encode(id, ph)),
+                    "token collision at ({id}, {ph})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wire-token namespace")]
+    fn message_ids_past_the_encoding_bound_are_rejected() {
+        encode(MAX_MSG_ID + 1, PH_ACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved control-plane namespace")]
+    fn reserved_tags_are_rejected_at_isend() {
+        let (mut m, mut w) = setup(2);
+        w.isend(&mut m, 0, 1, APP_TAG_LIMIT, 8, None, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved control-plane namespace")]
+    fn reserved_tags_are_rejected_at_irecv() {
+        let (_m, mut w) = setup(2);
+        w.irecv(1, 0, u64::MAX);
+    }
+
+    #[test]
+    fn app_tags_below_the_boundary_still_flow() {
+        // Regression: the largest legal app tag is an ordinary tag — the
+        // namespace check must not clip real traffic.
+        let (mut m, mut w) = setup(2);
+        let tag = APP_TAG_LIMIT - 1;
+        w.isend(&mut m, 0, 1, tag, 8, Some(vec![6.5]), SimTime::ZERO);
+        let r = w.irecv(1, 0, tag);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m, t);
+        assert!(w.recv_done(r));
+        assert_eq!(w.take_payload(r), Some(vec![6.5]));
     }
 
     // ------------------------------------------------------------------

@@ -84,6 +84,50 @@ pub struct MachineConfig {
     pub sync_spin_slowdown: f64,
 }
 
+/// Typed rejection of an unrepresentable machine configuration.
+///
+/// Every field a cost formula divides by (or a scheduler tiles against) is
+/// gated here, so an adversarial config fails at [`MachineConfig::validate`]
+/// with a named constraint instead of producing NaN durations, zero-CPE
+/// divisions, or untileable LDM budgets deep inside a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MachineConfigError {
+    /// `cpes_per_cg` is zero — no CPE cluster to tile for.
+    ZeroCpes,
+    /// `ldm_bytes` is zero — no scratchpad to stage tiles in.
+    ZeroLdm,
+    /// A rate or factor that formulas divide by (or multiply times into)
+    /// is non-positive or non-finite.
+    BadRate {
+        /// Field name.
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `sync_spin_slowdown` is negative or non-finite (0 disables it).
+    BadSpinSlowdown {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineConfigError::ZeroCpes => write!(f, "cpes_per_cg must be >= 1"),
+            MachineConfigError::ZeroLdm => write!(f, "ldm_bytes must be >= 1"),
+            MachineConfigError::BadRate { which, value } => {
+                write!(f, "{which} = {value} must be finite and positive")
+            }
+            MachineConfigError::BadSpinSlowdown { value } => {
+                write!(f, "sync_spin_slowdown = {value} must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
+
 impl MachineConfig {
     /// The calibrated SW26010 / TaihuLight model used for all reproductions.
     pub fn sw26010() -> Self {
@@ -121,6 +165,42 @@ impl MachineConfig {
             flag_poll_interval: SimDur::from_us(10.0),
             ..Self::sw26010()
         }
+    }
+
+    /// Constructor-level validation: reject configurations whose values
+    /// would wrap, divide by zero, or produce non-finite durations inside
+    /// the cost formulas. [`crate::Machine::new`] runs this, so an invalid
+    /// machine cannot be constructed (previously these were implicit
+    /// assumptions guarded, at best, by `debug_assert!`).
+    pub fn validate(&self) -> Result<(), MachineConfigError> {
+        if self.cpes_per_cg == 0 {
+            return Err(MachineConfigError::ZeroCpes);
+        }
+        if self.ldm_bytes == 0 {
+            return Err(MachineConfigError::ZeroLdm);
+        }
+        let rates = [
+            ("mpe_peak_gflops", self.mpe_peak_gflops),
+            ("cpe_peak_gflops", self.cpe_peak_gflops),
+            ("cpe_scalar_gflops", self.cpe_scalar_gflops),
+            ("cpe_simd_gflops", self.cpe_simd_gflops),
+            ("mpe_eff_gflops", self.mpe_eff_gflops),
+            ("mem_bw_gbs", self.mem_bw_gbs),
+            ("dma_cpe_peak_gbs", self.dma_cpe_peak_gbs),
+            ("mpe_copy_gbs", self.mpe_copy_gbs),
+            ("net_bw_gbs", self.net_bw_gbs),
+        ];
+        for (which, value) in rates {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(MachineConfigError::BadRate { which, value });
+            }
+        }
+        if !self.sync_spin_slowdown.is_finite() || self.sync_spin_slowdown < 0.0 {
+            return Err(MachineConfigError::BadSpinSlowdown {
+                value: self.sync_spin_slowdown,
+            });
+        }
+        Ok(())
     }
 
     /// Theoretical peak of one CG, Gflop/s (MPE + CPE cluster).
@@ -212,6 +292,39 @@ mod tests {
         // 8 MB at 8 GB/s one-way = 1 ms + 1 us.
         let t = c.net_time(8_000_000);
         assert!((t.as_secs_f64() - 1.001e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_accepts_the_shipped_presets_and_names_violations() {
+        assert_eq!(MachineConfig::sw26010().validate(), Ok(()));
+        assert_eq!(MachineConfig::test_tiny().validate(), Ok(()));
+        let mut c = MachineConfig::sw26010();
+        c.cpes_per_cg = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroCpes));
+        let mut c = MachineConfig::sw26010();
+        c.ldm_bytes = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroLdm));
+        let mut c = MachineConfig::sw26010();
+        c.net_bw_gbs = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(MachineConfigError::BadRate {
+                which: "net_bw_gbs",
+                ..
+            })
+        ));
+        let mut c = MachineConfig::sw26010();
+        c.cpe_scalar_gflops = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(MachineConfigError::BadRate { .. })
+        ));
+        let mut c = MachineConfig::sw26010();
+        c.sync_spin_slowdown = -0.1;
+        assert!(matches!(
+            c.validate(),
+            Err(MachineConfigError::BadSpinSlowdown { .. })
+        ));
     }
 
     #[test]

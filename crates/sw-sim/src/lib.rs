@@ -33,7 +33,7 @@ pub mod mpe;
 pub mod noise;
 pub mod time;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, MachineConfigError};
 pub use event::EventQueue;
 pub use flops::{FlopCategory, FlopCounters};
 pub use ldm::{LdmAlloc, LdmOverflow};

@@ -144,6 +144,8 @@ impl Machine {
     /// A machine of `n_cgs` core groups with configuration `cfg`.
     pub fn new(cfg: MachineConfig, n_cgs: usize) -> Self {
         assert!(n_cgs >= 1);
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
         Machine {
             cfg,
             queue: EventQueue::new(),

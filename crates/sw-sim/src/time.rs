@@ -71,14 +71,31 @@ impl SimDur {
     /// Zero-length span.
     pub const ZERO: SimDur = SimDur(0);
 
-    /// Build from seconds; rounds to the nearest picosecond.
+    /// Round a non-negative picosecond count to the nearest integer,
+    /// breaking ties to even (IEEE default rounding), and never collapsing
+    /// a strictly positive value to zero: sub-picosecond model constants
+    /// become the minimum representable 1 ps event instead of a
+    /// zero-duration event that would perturb event ordering.
+    #[inline]
+    fn round_ps(ps: f64) -> u64 {
+        let r = ps.round_ties_even();
+        if r <= 0.0 && ps > 0.0 {
+            return 1;
+        }
+        r as u64
+    }
+
+    /// Build from seconds; rounds to the nearest picosecond (ties to
+    /// even). Strictly positive inputs never round to [`SimDur::ZERO`] —
+    /// they clamp to 1 ps — so model constants below the tick cannot
+    /// create zero-duration events.
     ///
     /// # Panics
     /// Panics on negative or non-finite input.
     #[inline]
     pub fn from_secs_f64(s: f64) -> SimDur {
         assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
-        SimDur((s * PS_PER_SEC).round() as u64)
+        SimDur(Self::round_ps(s * PS_PER_SEC))
     }
 
     /// Build from microseconds.
@@ -105,11 +122,14 @@ impl SimDur {
         self.0 as f64 / 1e6
     }
 
-    /// Scale by a non-negative factor, rounding to the nearest picosecond.
+    /// Scale by a non-negative factor, rounding to the nearest picosecond
+    /// (ties to even). A non-zero span scaled by a non-zero factor never
+    /// collapses to zero (clamps to 1 ps), matching
+    /// [`SimDur::from_secs_f64`].
     #[inline]
     pub fn scale(self, f: f64) -> SimDur {
         assert!(f.is_finite() && f >= 0.0, "invalid scale {f}");
-        SimDur((self.0 as f64 * f).round() as u64)
+        SimDur(Self::round_ps(self.0 as f64 * f))
     }
 
     /// The larger of two spans.
@@ -230,9 +250,96 @@ mod tests {
     #[test]
     fn scaling_rounds() {
         let d = SimDur(10);
-        assert_eq!(d.scale(0.25), SimDur(3)); // 2.5 rounds to 3 (round half away)
+        assert_eq!(d.scale(0.25), SimDur(2)); // 2.5 rounds to 2 (ties to even)
+        assert_eq!(d.scale(0.35), SimDur(4)); // 3.5 rounds to 4 (ties to even)
         assert_eq!(d.scale(1.5), SimDur(15));
         assert_eq!(d.scale(0.0), SimDur::ZERO);
+    }
+
+    #[test]
+    fn sub_ps_constants_do_not_collapse_to_zero() {
+        // Model constants below one picosecond must produce the minimum
+        // 1 ps event, not a zero-duration event that reorders the queue.
+        assert_eq!(SimDur::from_secs_f64(1e-14), SimDur(1)); // 0.01 ps
+        assert_eq!(SimDur::from_ns(1e-4), SimDur(1)); // 0.1 ps
+        assert_eq!(SimDur::from_us(4e-7), SimDur(1)); // 0.4 ps
+        assert_eq!(SimDur::from_secs_f64(5e-13), SimDur(1)); // exactly 0.5 ps
+                                                             // Zero stays zero.
+        assert_eq!(SimDur::from_secs_f64(0.0), SimDur::ZERO);
+        // Non-zero spans scaled by tiny non-zero factors stay non-zero.
+        assert_eq!(SimDur(10).scale(1e-9), SimDur(1));
+        assert_eq!(SimDur(1).scale(0.049), SimDur(1));
+    }
+
+    #[test]
+    fn rounding_is_ties_even() {
+        // x.5 picoseconds resolves toward the even neighbor, never with a
+        // systematic half-away bias that would inflate summed constants.
+        assert_eq!(SimDur::from_secs_f64(2.5e-12), SimDur(2));
+        assert_eq!(SimDur::from_secs_f64(3.5e-12), SimDur(4));
+        assert_eq!(SimDur::from_secs_f64(4.5e-12), SimDur(4));
+        assert_eq!(SimDur(9).scale(0.5), SimDur(4)); // 4.5 -> 4
+        assert_eq!(SimDur(11).scale(0.5), SimDur(6)); // 5.5 -> 6
+    }
+
+    /// Deterministic pseudo-random f64 stream for the property tests
+    /// below (SplitMix64 finalizer — no external crates).
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn prop_roundtrip_within_half_ps() {
+        // from_secs_f64 . as_secs_f64 is the identity on whole-ps values,
+        // and any value round-trips to within half a picosecond (plus the
+        // 1 ps floor for sub-ps inputs).
+        for i in 0..4000u64 {
+            let ps = mix(i) % 1_000_000_000_000; // up to 1 s
+            let d = SimDur(ps);
+            assert_eq!(SimDur::from_secs_f64(d.as_secs_f64()), d, "ps={ps}");
+            // Fractional inputs: |round(ps) - ps| <= 0.5.
+            let frac = (mix(i ^ 0xABCD) % 1000) as f64 / 1000.0;
+            let s = (ps as f64 + frac) / 1e12;
+            let got = SimDur::from_secs_f64(s).0 as f64;
+            assert!(
+                (got - (ps as f64 + frac)).abs() <= 0.5 + 1e-6 || got == 1.0,
+                "s={s} got={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_from_secs_is_monotone() {
+        // Sorting the inputs must sort the outputs: rounding never inverts
+        // event order between two model constants.
+        let mut xs: Vec<f64> = (0..4000u64)
+            .map(|i| (mix(i) % 10_000_000) as f64 * 1e-13) // 0 .. 1 us, sub-ps steps
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = SimDur::ZERO;
+        for (i, &s) in xs.iter().enumerate() {
+            let d = SimDur::from_secs_f64(s);
+            assert!(d >= prev, "non-monotone at {i}: {s} -> {d:?} < {prev:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn prop_scale_is_monotone_in_both_arguments() {
+        let factors = [0.0, 1e-6, 0.25, 0.5, 1.0, 1.5, 3.999, 1e3];
+        for i in 0..500u64 {
+            let a = mix(i) % 1_000_000;
+            let b = a + mix(i ^ 0x55) % 1_000_000;
+            for w in factors.windows(2) {
+                // Monotone in the duration...
+                assert!(SimDur(a).scale(w[0]) <= SimDur(b).scale(w[0]));
+                // ...and in the factor.
+                assert!(SimDur(a).scale(w[0]) <= SimDur(a).scale(w[1]));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate the `repro torture` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* TORTURE.json is well-formed JSON with the expected top-level shape
+  (seed, cases, valid, rejected, oracle_passes, failures, ok);
+* the campaign is marked ok and the failures list is empty (every
+  sampled config passed its oracle battery, every corrupted config was
+  rejected with a typed error);
+* valid + rejected == cases, both strata are non-empty (a campaign that
+  never exercised the rejection oracle, or never ran a full battery, is
+  vacuous), and the corruption cadence (every 7th case) roughly holds;
+* the always-on oracles (constructs, completes, quiescent,
+  telemetry_reconciles, model_agrees) each passed exactly `valid` times
+  — an oracle silently skipped for some stratum would undercount;
+* the conditional oracles (parallel/SIMD bit identity, checkpoint noop
+  and restart semantics, typed rejection) each passed at least once, so
+  the corpus actually reached every corner the generator claims to
+  cover;
+* any failure entry (when present, e.g. when inspecting a red run by
+  hand) carries a minimized config and a non-empty ready-to-paste
+  regression test.
+
+Usage: validate_torture.py <results-dir>
+"""
+
+import json
+import os
+import sys
+
+ALWAYS_ON = {
+    "constructs",
+    "completes",
+    "quiescent",
+    "telemetry_reconciles",
+    "model_agrees",
+}
+
+CONDITIONAL = {
+    "parallel_bit_identical",
+    "simd_sibling_bit_identical",
+    "ckpt_noop",
+    "ckpt_restart",
+    "rejects_without_panicking",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_torture: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "TORTURE.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro torture` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in ("seed", "cases", "valid", "rejected", "oracle_passes",
+                "failures", "ok"):
+        if key not in doc:
+            fail(f"TORTURE.json: missing top-level key {key!r}")
+
+    cases, valid, rejected = doc["cases"], doc["valid"], doc["rejected"]
+    if valid + rejected != cases:
+        fail(f"strata do not partition the corpus: "
+             f"{valid} valid + {rejected} rejected != {cases} cases")
+    if valid == 0 or rejected == 0:
+        fail(f"degenerate corpus: {valid} valid, {rejected} rejected — "
+             "both oracles must be exercised")
+    # Corruption cadence is every 7th case; allow generator slack.
+    lo, hi = cases // 7 - 2, cases // 7 + 2
+    if not lo <= rejected <= hi:
+        fail(f"rejected stratum {rejected} outside the every-7th-case "
+             f"cadence [{lo}, {hi}] for {cases} cases")
+
+    passes = doc["oracle_passes"]
+    for k, v in passes.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"oracle_passes[{k}] = {v!r} is not a non-negative int")
+    for oracle in ALWAYS_ON:
+        if passes.get(oracle) != valid:
+            fail(f"oracle {oracle} passed {passes.get(oracle)} times, "
+                 f"expected exactly {valid} (once per valid config)")
+    for oracle in CONDITIONAL:
+        if passes.get(oracle, 0) < 1:
+            fail(f"oracle {oracle} never ran — the corpus missed a corner "
+                 "the generator is supposed to cover")
+    if passes.get("rejects_without_panicking") != rejected:
+        fail("rejection oracle passes "
+             f"{passes.get('rejects_without_panicking')} != rejected "
+             f"stratum {rejected}")
+
+    for f_ in doc["failures"]:
+        for key in ("case", "config", "oracle", "detail", "minimized",
+                    "regression_test"):
+            if key not in f_:
+                fail(f"failure entry missing {key!r}: {f_}")
+        if not f_["regression_test"].strip():
+            fail(f"case {f_['case']}: empty regression test")
+        if "#[test]" not in f_["regression_test"]:
+            fail(f"case {f_['case']}: regression test is not paste-ready")
+
+    if doc["failures"] and doc["ok"]:
+        fail("ok=true but the failures list is non-empty")
+    if not doc["ok"]:
+        fail(f"campaign reported {len(doc['failures'])} oracle failure(s)")
+
+    print(
+        f"validate_torture: OK: seed {doc['seed']}, {cases} cases "
+        f"({valid} valid through the full battery, {rejected} corrupted "
+        f"and rejected), {sum(passes.values())} oracle passes across "
+        f"{len(passes)} oracles, 0 failures"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

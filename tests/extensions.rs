@@ -143,7 +143,9 @@ fn model_and_functional_agree_with_extensions_on() {
 }
 
 #[test]
-#[should_panic(expected = "requires the asynchronous scheduler")]
+// Rejection now happens up front in `validate_config` (typed
+// `ConfigError::CpeGroupsNeedAsync`) rather than in the scheduler assert.
+#[should_panic(expected = "need the asynchronous scheduler")]
 fn grouping_with_sync_scheduler_is_rejected() {
     let level = Level::new(iv(8, 8, 8), iv(2, 2, 2));
     let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
