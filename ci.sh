@@ -74,6 +74,19 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping torture JSON validation"
   fi
+
+  step "strong-scaling sweep (repro scale --quick)"
+  # Serial vs conservative-PDES engine on the paper problem at 1/4/16 CGs:
+  # every cell asserts bit identity between the engines; exits non-zero on
+  # divergence; writes results/BENCH_scale.json. (The full paper axis plus
+  # the 256-CG extension runs via `repro scale`; `--full` pushes to 1024.)
+  cargo run --release -p bench --bin repro -- scale --quick
+  # Schema, strong-scaling shape, overlap advantage, honest host reporting.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_scale.py results
+  else
+    echo "python3 not found; skipping scale JSON validation"
+  fi
 fi
 
 # Best-effort: run the unsafe tile write-back path under miri when the

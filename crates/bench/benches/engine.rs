@@ -44,7 +44,7 @@ fn bench_mpi_roundtrip(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new(MachineConfig::sw26010(), 2);
             let mut w = MpiWorld::new(2);
-            let s = w.isend(&mut m, 0, 1, 7, 1_000_000, None, SimTime::ZERO);
+            let s = w.isend(&mut m.ctx(0), 0, 1, 7, 1_000_000, None, SimTime::ZERO);
             let r = w.irecv(1, 0, 7);
             // Drive to completion: alternate event draining and progress.
             loop {
@@ -54,7 +54,7 @@ fn bench_mpi_roundtrip(c: &mut Criterion) {
                     }
                 }
                 let now = m.now();
-                let acted = w.progress(0, &mut m, now) + w.progress(1, &mut m, now);
+                let acted = w.progress(0, &mut m.ctx(0), now) + w.progress(1, &mut m.ctx(1), now);
                 if w.recv_done(r) && w.send_done(s) {
                     break;
                 }
@@ -91,6 +91,31 @@ fn bench_mpe_clock(c: &mut Criterion) {
             t
         })
     });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    use std::sync::Arc;
+    use sw_math::ExpKind;
+    use uintah_core::grid::iv;
+    use uintah_core::{ExecMode, Level, RunConfig, Simulation, Variant};
+
+    // Whole-engine benchmark: the same model-mode run through the serial
+    // event engine and the conservative-PDES engine (DESIGN.md §14). The
+    // two must stay bit-identical; the interesting number is the window
+    // protocol's overhead (and, on multi-core hosts, its speedup).
+    let run = |pdes: bool| {
+        let level = Level::new(iv(16, 16, 512), iv(8, 8, 2));
+        let app = Arc::new(burgers::BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, 16);
+        cfg.steps = 5;
+        cfg.pdes = pdes;
+        let mut sim = Simulation::new(level, app, cfg);
+        sim.run()
+    };
+    let mut g = c.benchmark_group("event_engine");
+    g.bench_function("serial_16cg_5steps", |b| b.iter(|| run(black_box(false))));
+    g.bench_function("pdes_16cg_5steps", |b| b.iter(|| run(black_box(true))));
+    g.finish();
 }
 
 fn bench_balancers(c: &mut Criterion) {
@@ -150,6 +175,7 @@ criterion_group!(
     bench_mpi_roundtrip,
     bench_ldm,
     bench_mpe_clock,
+    bench_event_engine,
     bench_balancers,
     bench_kernel_timing
 );

@@ -9,6 +9,7 @@
 //! cargo run --release -p bench --bin repro -- trace --problem 16x16x512 --cgs 4
 //! cargo run --release -p bench --bin repro -- faults --seed 42
 //! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
+//! cargo run --release -p bench --bin repro -- scale [--quick | --full]
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -152,6 +153,61 @@ fn run_torture(seed: u64, cases: u64) {
     }
 }
 
+/// `scale` subcommand: strong-scaling sweeps on serial vs PDES engines.
+/// The paper's axis (1..128 CGs on 16x16x512) plus a beyond-paper
+/// 1024-patch extension at 256 CGs (512/1024 with `--full`; `--quick`
+/// stops at 16 CGs for the ci.sh stage). Every cell asserts PDES-vs-serial
+/// bit identity; writes `results/BENCH_scale.json`; exits non-zero if any
+/// cell diverged.
+fn run_scale(quick: bool, full: bool) {
+    let dir = std::path::Path::new("results");
+    let outcome =
+        bench::scale::write_scale_json(dir, quick, full).expect("write results/BENCH_scale.json");
+    let mode = if quick {
+        "quick"
+    } else if full {
+        "full"
+    } else {
+        "default"
+    };
+    println!(
+        "== Strong scaling: serial vs conservative-PDES engine ({mode}, {} steps, host_threads {}) ==",
+        bench::scale::STEPS,
+        outcome.host_threads
+    );
+    for c in &outcome.cells {
+        println!(
+            "{:>13} {:<14} cgs {:>4}: T {:>13} ps | speedup {:>7.3} eff {:>5.3} | \
+             serial {:>8.1} ms, pdes {:>8.1} ms | identical={}",
+            c.problem,
+            c.variant,
+            c.cgs,
+            c.virtual_time_ps,
+            c.speedup,
+            c.efficiency,
+            c.serial_wall_ms,
+            c.pdes_wall_ms,
+            c.pdes_identical
+        );
+    }
+    if outcome.host_threads <= 1 {
+        eprintln!(
+            "WARNING: single-core host — the PDES engine ran its rank workers \
+             sequentially, so the engine wall clocks compare window-protocol \
+             overhead, not parallelism"
+        );
+    }
+    println!(
+        "max swept CGs {}; wrote {}",
+        outcome.max_cgs(),
+        dir.join("BENCH_scale.json").display()
+    );
+    if !outcome.all_identical() {
+        eprintln!("ERROR: PDES engine diverged from the serial engine on a swept config");
+        std::process::exit(1);
+    }
+}
+
 /// Torture corpus size: `--cases N`, default 200.
 fn cases_arg(args: &[String]) -> u64 {
     args.iter()
@@ -272,7 +328,7 @@ fn main() {
                     skip_next = true;
                     return false;
                 }
-                *a != "--serial"
+                *a != "--serial" && *a != "--quick" && *a != "--full"
             })
             .collect()
     };
@@ -305,6 +361,19 @@ fn main() {
     if positional.iter().any(|a| *a == "torture") {
         run_torture(seed, cases_arg(&args));
         if positional.iter().all(|a| *a == "torture") {
+            return;
+        }
+    }
+
+    // Strong-scaling sweep: serial vs conservative-PDES engines over the
+    // paper's CG axis and beyond -> results/BENCH_scale.json. Explicit only
+    // (writes results/, not a paper table); exits non-zero on divergence.
+    if positional.iter().any(|a| *a == "scale") {
+        run_scale(
+            args.iter().any(|a| a == "--quick"),
+            args.iter().any(|a| a == "--full"),
+        );
+        if positional.iter().all(|a| *a == "scale") {
             return;
         }
     }

@@ -15,6 +15,7 @@ pub mod fidelity;
 pub mod perf;
 pub mod problems;
 pub mod runner;
+pub mod scale;
 pub mod table;
 pub mod timeline;
 pub mod torture;

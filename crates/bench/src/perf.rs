@@ -1,12 +1,14 @@
 //! Wall-clock performance of the functional engine: serial vs worker pool.
 //!
 //! Everything else in this crate measures *virtual* time on the simulated
-//! SW26010; this module measures *host* wall-clock time of the two things
-//! the parallel execution engine accelerates:
+//! SW26010; this module measures *host* wall-clock time of the things the
+//! parallel execution engines accelerate:
 //!
 //! 1. functional patch execution (`run_patch_functional_with`, serial vs
-//!    the CPE worker pool), and
-//! 2. the evaluation sweep (`Runner::prefetch`, serial vs the job pool).
+//!    the CPE worker pool),
+//! 2. the evaluation sweep (`Runner::prefetch`, serial vs the job pool), and
+//! 3. the event engine itself (serial vs the conservative-PDES engine of
+//!    DESIGN.md §14, bit identity enforced).
 //!
 //! `repro -- bench-json` serializes the measurements to
 //! `results/BENCH_functional.json` so the speedup baseline of this machine
@@ -76,6 +78,16 @@ pub fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// Actual host parallelism, straight from the OS — NOT the pool size. On a
+/// single-core host a "parallel" run is the serial path with extra
+/// scheduling overhead, and `bench_json` reports that honestly instead of
+/// a misleading `speedup: 1.0`.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Measure functional patch execution, serial vs the CPE worker pool, on a
@@ -192,6 +204,52 @@ pub fn bench_sweep(jobs: usize, reps: usize) -> PoolBench {
     }
 }
 
+/// Measure the event engine itself: the serial engine vs the
+/// conservative-PDES engine (DESIGN.md §14) on a model-mode run, rank
+/// workers fanned over `threads`. Bit identity of the two reports is the
+/// witness that the window protocol reordered nothing.
+pub fn bench_event_engine(threads: usize, reps: usize) -> PoolBench {
+    use std::sync::Arc;
+    use uintah_core::{ExecMode, RunConfig, Simulation};
+
+    let threads = resolve_threads(threads);
+    let n_cgs = 16;
+    let run = |pdes: bool| {
+        let level = SMALL.level();
+        let app = Arc::new(burgers::BurgersApp::new(&level, ExpKind::Fast));
+        let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, n_cgs);
+        cfg.steps = 10;
+        cfg.pdes = pdes;
+        if pdes {
+            cfg.threads = Some(threads);
+        }
+        let mut sim = Simulation::new(level, app, cfg);
+        sim.run()
+    };
+    let serial_report = run(false);
+    let pdes_report = run(true);
+    let bit_identical = format!("{serial_report:?}") == format!("{pdes_report:?}");
+    let serial_ms = best_of(reps, || {
+        run(false);
+    });
+    let parallel_ms = best_of(reps, || {
+        run(true);
+    });
+    PoolBench {
+        name: "event_engine_serial_vs_pdes".into(),
+        workload: format!(
+            "{} model-mode, acc.async, {n_cgs} CGs, 10 steps",
+            SMALL.name
+        ),
+        work_items: n_cgs,
+        threads,
+        serial_ms,
+        parallel_ms,
+        bit_identical,
+        serial_fallbacks: 0,
+    }
+}
+
 /// Wall-clock cost of recording telemetry: the identical simulation with
 /// the recorder disabled vs enabled.
 #[derive(Clone, Debug)]
@@ -259,24 +317,42 @@ pub fn bench_telemetry_overhead(reps: usize) -> TelemetryBench {
 }
 
 /// Render the measurements as the `BENCH_functional.json` document.
-pub fn bench_json(benches: &[PoolBench], telemetry: Option<&TelemetryBench>) -> String {
+///
+/// `host` is the *actual* host parallelism (see [`host_threads`]). On a
+/// single-core host every speedup cell is replaced by a warning: the
+/// "parallel" timings were measured without parallelism, and a
+/// `speedup: 1.0` row would read as "no benefit" when it really means
+/// "not measurable here".
+pub fn bench_json(
+    benches: &[PoolBench],
+    telemetry: Option<&TelemetryBench>,
+    host: usize,
+) -> String {
+    let degenerate = host <= 1;
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"host_threads\": {},\n  \"benches\": [\n",
-        rayon::current_num_threads()
+        "  \"host_threads\": {host},\n  \"degenerate_host\": {degenerate},\n  \"benches\": [\n",
     ));
     for (i, b) in benches.iter().enumerate() {
+        let speedup_cell = if degenerate {
+            "\"speedup\": null, \"warning\": \"single-core host: the pool \
+             ran its workers sequentially, so serial-vs-parallel wall clock \
+             measures overhead, not speedup\""
+                .to_string()
+        } else {
+            format!("\"speedup\": {:.3}", b.speedup())
+        };
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"workload\": \"{}\", \"work_items\": {}, \
              \"threads\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"bit_identical\": {}, \"serial_fallbacks\": {}}}{}\n",
+             {}, \"bit_identical\": {}, \"serial_fallbacks\": {}}}{}\n",
             b.name,
             b.workload,
             b.work_items,
             b.threads,
             b.serial_ms,
             b.parallel_ms,
-            b.speedup(),
+            speedup_cell,
             b.bit_identical,
             b.serial_fallbacks,
             if i + 1 == benches.len() { "" } else { "," }
@@ -310,12 +386,16 @@ pub fn write_bench_json(
     dir: &std::path::Path,
     threads: usize,
 ) -> std::io::Result<(Vec<PoolBench>, TelemetryBench)> {
-    let benches = vec![bench_patch_exec(threads, 3), bench_sweep(threads, 3)];
+    let benches = vec![
+        bench_patch_exec(threads, 3),
+        bench_sweep(threads, 3),
+        bench_event_engine(threads, 3),
+    ];
     let telemetry = bench_telemetry_overhead(3);
     std::fs::create_dir_all(dir)?;
     std::fs::write(
         dir.join("BENCH_functional.json"),
-        bench_json(&benches, Some(&telemetry)),
+        bench_json(&benches, Some(&telemetry), host_threads()),
     )?;
     Ok((benches, telemetry))
 }
@@ -333,6 +413,14 @@ mod tests {
     }
 
     #[test]
+    fn event_engine_bench_is_bit_identical_and_measured() {
+        let b = bench_event_engine(2, 1);
+        assert!(b.bit_identical, "PDES report diverged from serial");
+        assert!(b.serial_ms > 0.0 && b.parallel_ms > 0.0);
+        assert_eq!(b.work_items, 16);
+    }
+
+    #[test]
     fn json_document_shape() {
         let b = PoolBench {
             name: "x".into(),
@@ -344,13 +432,23 @@ mod tests {
             bit_identical: true,
             serial_fallbacks: 0,
         };
-        let j = bench_json(&[b.clone(), b.clone()], None);
+        let j = bench_json(&[b.clone(), b.clone()], None, 4);
         assert!(j.contains("\"speedup\": 2.000"));
-        assert!(j.contains("\"host_threads\""));
+        assert!(j.contains("\"host_threads\": 4"));
+        assert!(j.contains("\"degenerate_host\": false"));
         assert!(j.contains("\"bit_identical\": true"));
         assert!(j.contains("\"serial_fallbacks\": 0"));
         assert!(!j.contains("\"telemetry_overhead\""));
+        assert!(!j.contains("\"warning\""));
         assert!(j.trim_end().ends_with('}'));
+        // A single-core host must not report a misleading speedup number:
+        // the cell becomes null plus an explicit warning.
+        let j1 = bench_json(std::slice::from_ref(&b), None, 1);
+        assert!(j1.contains("\"host_threads\": 1"));
+        assert!(j1.contains("\"degenerate_host\": true"));
+        assert!(j1.contains("\"speedup\": null"));
+        assert!(j1.contains("\"warning\": \"single-core host"));
+        assert!(!j1.contains("\"speedup\": 2.000"));
         let t = TelemetryBench {
             name: "t".into(),
             workload: "w".into(),
@@ -359,7 +457,7 @@ mod tests {
             events: 123,
             identical_reports: true,
         };
-        let jt = bench_json(&[b], Some(&t));
+        let jt = bench_json(&[b], Some(&t), 4);
         assert!(jt.contains("\"telemetry_overhead\""));
         assert!(jt.contains("\"overhead_frac\": 0.2500"));
         assert!(jt.contains("\"identical_reports\": true"));

@@ -85,6 +85,8 @@ mod field {
     pub const LB: u64 = 17;
     pub const MACHINE: u64 = 18;
     pub const CORRUPT: u64 = 19;
+    pub const PDES: u64 = 20;
+    pub const PDES_THREADS: u64 = 21;
 }
 
 /// One keyed draw: same `(seed, case, field)` -> same value, always.
@@ -143,13 +145,18 @@ pub struct TortureCase {
     pub lb: LoadBalancer,
     /// Run on the 4-CPE / 8 KB-LDM test machine instead of the SW26010.
     pub tiny_machine: bool,
+    /// Drive the run through the conservative-PDES engine (`cfg.pdes`).
+    pub pdes: bool,
+    /// Rank-level worker threads for the PDES engine (`cfg.threads`;
+    /// `None` = auto-detect).
+    pub pdes_threads: Option<usize>,
     /// `Some(kind)`: the config is deliberately invalid and must be
     /// rejected with a typed error (see [`corruption_name`]).
     pub corrupt: Option<u8>,
 }
 
 /// Number of distinct corruption kinds the generator cycles through.
-pub const N_CORRUPTIONS: u8 = 10;
+pub const N_CORRUPTIONS: u8 = 11;
 
 /// Human name of a corruption kind (JSON + summaries).
 pub fn corruption_name(kind: u8) -> &'static str {
@@ -163,7 +170,8 @@ pub fn corruption_name(kind: u8) -> &'static str {
         6 => "ldm_fits_no_tile",
         7 => "machine_zero_cpes",
         8 => "machine_negative_rate",
-        _ => "cg_speeds_wrong_length",
+        9 => "cg_speeds_wrong_length",
+        _ => "zero_threads",
     }
 }
 
@@ -224,6 +232,11 @@ impl TortureCase {
         } else {
             None
         };
+        let pdes = d(field::PDES) % 2 == 0;
+        let pdes_threads = match d(field::PDES_THREADS) % 3 {
+            0 => None,
+            k => Some(1 + k as usize),
+        };
         TortureCase {
             patch,
             layout,
@@ -237,6 +250,8 @@ impl TortureCase {
             cpe_groups,
             lb,
             tiny_machine: tiny,
+            pdes,
+            pdes_threads,
             corrupt,
         }
     }
@@ -272,6 +287,8 @@ impl TortureCase {
             Preset::Harsh => Some(FaultConfig::harsh(self.fault_seed)),
         };
         cfg.ckpt_every = self.ckpt_every;
+        cfg.pdes = self.pdes;
+        cfg.threads = self.pdes_threads;
         if let Some(kind) = self.corrupt {
             match kind % N_CORRUPTIONS {
                 0 => cfg.steps = 0,
@@ -286,7 +303,11 @@ impl TortureCase {
                 6 => cfg.machine.ldm_bytes = 64,
                 7 => cfg.machine.cpes_per_cg = 0,
                 8 => cfg.machine.net_bw_gbs = -1.0,
-                _ => cfg.cg_speeds = Some(Vec::new()),
+                9 => cfg.cg_speeds = Some(Vec::new()),
+                _ => {
+                    cfg.pdes = true;
+                    cfg.threads = Some(0);
+                }
             }
         }
         (level, cfg)
@@ -296,7 +317,7 @@ impl TortureCase {
     pub fn summary(&self) -> String {
         format!(
             "patch={}x{}x{} layout={}x{}x{} variant={} exec={} faults={} ckpt={} steps={} \
-             ranks={} groups={} lb={:?} machine={}{}",
+             ranks={} groups={} lb={:?} machine={} pdes={}{}",
             self.patch.0,
             self.patch.1,
             self.patch.2,
@@ -317,6 +338,14 @@ impl TortureCase {
             self.cpe_groups,
             self.lb,
             if self.tiny_machine { "tiny" } else { "sw26010" },
+            if self.pdes {
+                match self.pdes_threads {
+                    Some(t) => format!("t{t}"),
+                    None => "auto".to_string(),
+                }
+            } else {
+                "off".to_string()
+            },
             self.corrupt.map_or(String::new(), |k| format!(
                 " CORRUPT={}",
                 corruption_name(k)
@@ -355,6 +384,8 @@ impl TortureCase {
              \x20       cpe_groups: {},\n\
              \x20       lb: uintah_core::LoadBalancer::{:?},\n\
              \x20       tiny_machine: {},\n\
+             \x20       pdes: {},\n\
+             \x20       pdes_threads: {:?},\n\
              \x20       corrupt: {:?},\n\
              \x20   }};\n\
              \x20   assert_eq!(bench::torture::check(&case), Ok(()));\n\
@@ -373,6 +404,8 @@ impl TortureCase {
             self.cpe_groups,
             self.lb,
             self.tiny_machine,
+            self.pdes,
+            self.pdes_threads,
             self.corrupt,
         )
     }
@@ -492,11 +525,15 @@ fn battery_valid(
         (level, app, cfg)
     };
 
-    // --- Reference run: functional, serial, verifier + telemetry on. ---
+    // --- Reference run: functional, serial engine, verifier + telemetry
+    // on. PDES stays off here — the reference IS the serial baseline the
+    // pdes_bit_identical oracle compares against.
     let (level, app, mut cfg) = fresh(ExecMode::Functional);
     cfg.options.exec_policy = ExecPolicy::Serial;
     cfg.options.verify = true;
     cfg.options.telemetry = true;
+    cfg.pdes = false;
+    cfg.threads = None;
     cfg.ckpt_dir = Some(scratch.to_path_buf());
     let mut reference = match guarded("try_new", || Simulation::try_new(level, app, cfg)) {
         Err(msg) => return Err(fail("constructs", msg)),
@@ -567,6 +604,67 @@ fn battery_valid(
         }
     }
     passed.push("model_agrees");
+
+    // --- Conservative-PDES engine: bit identity vs the serial engine. ---
+    // Applies to EVERY valid case, harsh preset included: the fault plan
+    // is keyed and deterministic, so the windowed engine must replay the
+    // exact same event stream — the PDES determinism contract is
+    // engine-level, not recovery-level.
+    {
+        let (level, app, mut cfg) = fresh(ExecMode::Functional);
+        cfg.options.exec_policy = ExecPolicy::Serial;
+        cfg.options.telemetry = true;
+        // Keep the checkpoint cadence: parking at boundaries is part of the
+        // timeline being compared (ckpt_dir stays None, so nothing is
+        // written and the ckpt oracles are untouched).
+        cfg.pdes = true;
+        cfg.threads = case.pdes_threads;
+        let (pdes, prep) = guarded("pdes run", || {
+            let mut sim = Simulation::try_new(level, app, cfg)
+                .unwrap_or_else(|e| panic!("pdes config rejected: {e}"));
+            let report = sim.run();
+            (sim, report)
+        })
+        .map_err(|msg| fail("pdes_bit_identical", msg))?;
+        if bits(&pdes) != ref_bits {
+            return Err(fail(
+                "pdes_bit_identical",
+                "fields diverged under the windowed PDES engine".to_string(),
+            ));
+        }
+        if prep.step_end != report.step_end
+            || prep.total_time != report.total_time
+            || prep.flops.total() != report.flops.total()
+            || prep.messages != report.messages
+            || prep.events != report.events
+        {
+            return Err(fail(
+                "pdes_bit_identical",
+                format!(
+                    "reports diverged: pdes step_end {:?} != serial step_end {:?}",
+                    prep.step_end, report.step_end
+                ),
+            ));
+        }
+        // The PDES run's telemetry must reconcile exactly like the serial
+        // run's (same spans, same phase pass).
+        let psnap = pdes.recorder().snapshot();
+        let pphases = analyze(&psnap);
+        let ok = pphases.step_end_ps.len() == prep.step_end.len()
+            && pphases
+                .step_end_ps
+                .iter()
+                .zip(&prep.step_end)
+                .all(|(&ps, t)| ps == t.0)
+            && pphases.breakdowns.iter().all(|b| b.sum_ps() == b.window_ps);
+        if !ok {
+            return Err(fail(
+                "pdes_bit_identical",
+                "PDES telemetry failed to reconcile against its own report".to_string(),
+            ));
+        }
+    }
+    passed.push("pdes_bit_identical");
 
     // Harsh runs may legitimately diverge bit-wise (recovery is not
     // guaranteed): the differential identity oracles only apply to the
@@ -700,6 +798,10 @@ pub fn shrink(case: &TortureCase, fails: &mut dyn FnMut(&TortureCase) -> bool) -
     const TRANSFORMS: &[fn(&mut TortureCase)] = &[
         |c| c.faults = Preset::NoFaults,
         |c| c.ckpt_every = None,
+        |c| {
+            c.pdes = false;
+            c.pdes_threads = None;
+        },
         |c| c.exec_threads = 0,
         |c| c.cpe_groups = 1,
         |c| c.tiny_machine = false,
@@ -926,6 +1028,9 @@ mod tests {
         assert!(a.iter().any(|x| x.exec_threads > 0));
         assert!(a.iter().any(|x| x.tiny_machine));
         assert!(a.iter().any(|x| x.cpe_groups == 2));
+        assert!(a.iter().any(|x| x.pdes) && a.iter().any(|x| !x.pdes));
+        assert!(a.iter().any(|x| x.pdes_threads.is_none()));
+        assert!(a.iter().any(|x| x.pdes_threads.is_some()));
         assert!(a
             .iter()
             .any(|x| x.patch.0 == 1 || x.patch.1 == 1 || x.patch.2 == 1));
@@ -974,6 +1079,7 @@ mod tests {
             "quiescent",
             "telemetry_reconciles",
             "model_agrees",
+            "pdes_bit_identical",
         ] {
             assert_eq!(
                 outcome.oracle_passes.get(oracle).copied(),
@@ -1001,6 +1107,8 @@ mod tests {
             cpe_groups: 2,
             lb: LoadBalancer::Hilbert,
             tiny_machine: false,
+            pdes: true,
+            pdes_threads: Some(2),
             corrupt: None,
         };
         let mut evals = 0;

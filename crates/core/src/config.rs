@@ -96,6 +96,21 @@ pub enum ConfigError {
         /// LDM budget in bytes.
         ldm_bytes: usize,
     },
+    /// `threads == Some(0)`: the PDES engine needs at least one worker
+    /// (use `None` for auto-detection). Note `threads` sizes the engine's
+    /// rank fan-out; `SchedulerOptions::exec_policy` independently controls
+    /// intra-rank functional kernel parallelism and is validated elsewhere.
+    ZeroThreads,
+    /// The PDES lookahead window is zero or wider than the minimum modeled
+    /// cross-rank latency — a message could be delivered into a rank's
+    /// already-drained past (a lookahead violation the engine would
+    /// otherwise catch as a panic mid-run).
+    BadLookahead {
+        /// Requested lookahead (ps).
+        got: u64,
+        /// The minimum modeled cross-rank latency (`machine.net_latency`, ps).
+        max: u64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -134,6 +149,14 @@ impl core::fmt::Display for ConfigError {
             ConfigError::NoTileFitsLdm { dims, ldm_bytes } => {
                 write!(f, "no tile of patch {dims:?} fits the {ldm_bytes}-byte LDM")
             }
+            ConfigError::ZeroThreads => {
+                write!(f, "threads must be >= 1 (or None for auto-detection)")
+            }
+            ConfigError::BadLookahead { got, max } => write!(
+                f,
+                "pdes_lookahead_ps {got} outside (0, {max}]: the lookahead must be \
+                 positive and no wider than the minimum modeled cross-rank latency"
+            ),
         }
     }
 }
@@ -191,6 +214,15 @@ pub fn validate_config(level: &Level, app_ghost: i64, cfg: &RunConfig) -> Result
         return Err(ConfigError::BadNoise {
             frac: cfg.noise_frac,
         });
+    }
+    if cfg.threads == Some(0) {
+        return Err(ConfigError::ZeroThreads);
+    }
+    if let Some(l) = cfg.pdes_lookahead_ps {
+        let max = cfg.machine.net_latency.0;
+        if l == 0 || l > max {
+            return Err(ConfigError::BadLookahead { got: l, max });
+        }
     }
     if let Some(speeds) = &cfg.cg_speeds {
         if speeds.len() != cfg.n_ranks {
@@ -333,6 +365,36 @@ mod tests {
             validate_config(&level, 9, &cfg),
             Err(ConfigError::GhostTooWide { ghost: 9, .. })
         ));
+        let mut c = cfg.clone();
+        c.threads = Some(0);
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::ZeroThreads)
+        );
+        let mut c = cfg.clone();
+        c.pdes_lookahead_ps = Some(0);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadLookahead { got: 0, .. })
+        ));
+        let mut c = cfg.clone();
+        c.pdes_lookahead_ps = Some(cfg.machine.net_latency.0 + 1);
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadLookahead { .. })
+        ));
+    }
+
+    #[test]
+    fn pdes_knobs_validate_clean() {
+        let (level, mut cfg) = base();
+        cfg.pdes = true;
+        cfg.threads = Some(4);
+        cfg.pdes_lookahead_ps = Some(cfg.machine.net_latency.0);
+        assert_eq!(validate_config(&level, 1, &cfg), Ok(()));
+        cfg.threads = None;
+        cfg.pdes_lookahead_ps = Some(1);
+        assert_eq!(validate_config(&level, 1, &cfg), Ok(()));
     }
 
     #[test]

@@ -30,9 +30,9 @@ use sw_athread::{
     TileDesc, NEVER,
 };
 use sw_math::ExpKind;
-use sw_mpi::{ModeledAllreduce, MpiWorld, RecvHandle, SendHandle};
+use sw_mpi::{ModeledAllreduce, RecvHandle, SendHandle, SharedMpi};
 use sw_resilience::{FaultPlan, FaultStats, OffloadKey};
-use sw_sim::{FlopCategory, Machine, MachineConfig, SimDur, SimTime};
+use sw_sim::{FlopCategory, MachineConfig, MachineCtx, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::grid::{Level, PatchId};
@@ -51,19 +51,56 @@ const fn stage_label(s: usize) -> usize {
 }
 
 /// Everything outside the rank that a scheduling step may touch.
+///
+/// Under the conservative-PDES engine several of these live on worker
+/// threads at once (one per rank chunk), so the context only grants what a
+/// single rank may safely use concurrently: its own machine shard
+/// ([`MachineCtx`]), the lock-guarded communicator ([`SharedMpi`]), and a
+/// read-only view of merged reductions plus a private contribution outbox
+/// ([`ReduceCtx`]) — the controller merges outboxes at the deterministic
+/// window barrier.
 pub struct StepCtx<'a> {
-    /// The machine (event queue, MPE clocks, counters).
-    pub machine: &'a mut Machine,
-    /// The communicator.
-    pub mpi: &'a mut MpiWorld,
-    /// Per-step allreduces, keyed by step number.
-    pub reductions: &'a mut BTreeMap<u32, ModeledAllreduce>,
+    /// This rank's shard of the machine (event queue, MPE clock, counters).
+    pub machine: MachineCtx<'a>,
+    /// The communicator (internally synchronized; see [`SharedMpi`]).
+    pub mpi: &'a SharedMpi,
+    /// Per-step allreduces: merged snapshot + this rank's outbox.
+    pub reduce: ReduceCtx<'a>,
     /// The grid level.
     pub level: &'a Level,
     /// The application being run.
     pub app: &'a dyn Application,
     /// Number of ranks in the run.
     pub n_ranks: usize,
+}
+
+/// A rank's window onto the per-step allreduces.
+///
+/// Ranks never mutate the shared [`ModeledAllreduce`] state directly (that
+/// would race under PDES and make the float accumulation order depend on
+/// thread interleaving). Instead each contribution is parked in a per-rank
+/// `outbox`; the controller drains every outbox at the window barrier in
+/// rank order — a fixed, schedule-independent merge — and broadcasts a
+/// wakeup timer when a reduction completes. `merged` is the read-only
+/// result of all barriers so far.
+pub struct ReduceCtx<'a> {
+    /// Reductions merged at past window barriers, keyed by step.
+    pub merged: &'a BTreeMap<u32, ModeledAllreduce>,
+    /// This rank's pending contributions: `(step, value, instant)`.
+    pub outbox: &'a mut Vec<(u32, f64, SimTime)>,
+}
+
+impl ReduceCtx<'_> {
+    /// Park a contribution for the barrier merge.
+    pub fn contribute(&mut self, step: u32, value: f64, at: SimTime) {
+        self.outbox.push((step, value, at));
+    }
+
+    /// When (and with what value) `step`'s reduction result is available on
+    /// every rank; `None` until a barrier merged the last contribution.
+    pub fn result_at(&self, step: u32) -> Option<(SimTime, f64)> {
+        self.merged.get(&step).and_then(|r| r.result_at())
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -207,6 +244,10 @@ pub struct RankSched {
     /// Restart state staged by the controller before `init_run`: resume at
     /// this step with these solution variables.
     restore: Option<(u32, Vec<(PatchId, CcVar)>)>,
+    /// Recycled kernel-output buffers: `exec_kernel` writes the interior
+    /// into a scratch variable before the ghosted stage copy, and pooling
+    /// that scratch keeps the steady-state step loop allocation-free.
+    scratch: Vec<Vec<f64>>,
     /// Statistics.
     pub stats: RankStats,
 }
@@ -264,6 +305,7 @@ impl RankSched {
             slot_strikes: BTreeMap::new(),
             ckpt_every: None,
             restore: None,
+            scratch: Vec::new(),
             stats: RankStats::default(),
         }
     }
@@ -448,8 +490,9 @@ impl RankSched {
         let recvs = self.plan.recvs.clone();
         for stage in 0..stages {
             for (i, rv) in recvs.iter().enumerate() {
-                cursor =
-                    self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                cursor = self.consume_cat(&mut ctx.machine, cursor, cfg.mpi_call_overhead, |b| {
+                    &mut b.mpi
+                });
                 let tag = ghost_tag(
                     self.step,
                     stage,
@@ -466,10 +509,12 @@ impl RankSched {
         // producing task completed last step): pack on the MPE, then isend.
         for s in self.plan.sends.clone() {
             let bytes = s.window.cells() * 8;
-            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+            cursor = self.consume_cat(&mut ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
                 &mut b.copies
             });
-            cursor = self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+            cursor = self.consume_cat(&mut ctx.machine, cursor, cfg.mpi_call_overhead, |b| {
+                &mut b.mpi
+            });
             let payload = (self.exec == ExecMode::Functional)
                 .then(|| self.dws.old.get(LABEL_U, s.src_patch).pack(&s.window));
             let tag = ghost_tag(
@@ -481,7 +526,7 @@ impl RankSched {
                 s.face,
             );
             let h = ctx.mpi.isend(
-                ctx.machine,
+                &mut ctx.machine,
                 self.rank,
                 s.dst_rank,
                 tag,
@@ -509,13 +554,12 @@ impl RankSched {
             if !self.pending_recvs.is_empty() || !self.pending_sends.is_empty() || reliable_pending
             {
                 let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
-                if ctx.mpi.progress(self.rank, ctx.machine, cursor) > 0 {
+                cursor = self.consume_cat(&mut ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
+                if ctx.mpi.progress(self.rank, &mut ctx.machine, cursor) > 0 {
                     progressed = true;
                 }
                 cursor = self.harvest_recvs(ctx, cursor, &mut progressed);
-                let mpi = &mut *ctx.mpi;
-                self.pending_sends.retain(|&h| !mpi.send_done(h));
+                self.pending_sends.retain(|&h| !ctx.mpi.send_done(h));
             }
 
             // §V-C step 3b: completion flags. (Snapshot the in-flight
@@ -644,7 +688,7 @@ impl RankSched {
                 let rv = self.plan.recvs[i].clone();
                 let bytes = rv.window.cells() * 8;
                 let copy = ctx.machine.cfg().mpe_copy_time(bytes);
-                cursor = self.consume_cat(ctx.machine, cursor, copy, |b| &mut b.copies);
+                cursor = self.consume_cat(&mut ctx.machine, cursor, copy, |b| &mut b.copies);
                 if self.exec == ExecMode::Functional {
                     let payload = ctx
                         .mpi
@@ -715,7 +759,7 @@ impl RankSched {
         );
         let cells = ctx.level.patch(p).region.cells();
         cursor = self.consume_cat(
-            ctx.machine,
+            &mut ctx.machine,
             cursor,
             cfg.mpe_task_overhead + cfg.mpe_task_per_cell * cells,
             |b| &mut b.task_mgmt,
@@ -726,9 +770,10 @@ impl RankSched {
             // (the data has been ready since the step began).
             for lc in &prep.local_copies {
                 let bytes = lc.window.cells() * 8;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
-                    &mut b.copies
-                });
+                cursor =
+                    self.consume_cat(&mut ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                        &mut b.copies
+                    });
                 if self.exec == ExecMode::Functional {
                     let src = self
                         .dws
@@ -748,7 +793,7 @@ impl RankSched {
         for bc in &prep.bc_regions {
             let flops = ctx.app.bc_flops_per_cell() * bc.cells();
             let dur = MachineConfig::compute_time(flops, cfg.mpe_eff_gflops);
-            cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.boundary);
+            cursor = self.consume_cat(&mut ctx.machine, cursor, dur, |b| &mut b.boundary);
             ctx.machine
                 .cg_mut(self.rank)
                 .counters
@@ -790,8 +835,9 @@ impl RankSched {
             }
             SchedulerMode::SyncCpe | SchedulerMode::AsyncCpe => {
                 let spin = self.variant.mode == SchedulerMode::SyncCpe;
-                cursor =
-                    self.consume_cat(ctx.machine, cursor, cfg.offload_spawn, |b| &mut b.kernel);
+                cursor = self.consume_cat(&mut ctx.machine, cursor, cfg.offload_spawn, |b| {
+                    &mut b.kernel
+                });
                 self.ensure_kernel_cached(ctx, dims, stage);
                 if self.exec == ExecMode::Functional {
                     let ck = &self.kernel_cache[&(dims, self.variant.simd, stage)];
@@ -832,9 +878,9 @@ impl RankSched {
                     .faults
                     .as_ref()
                     .map(|plan| SimTime(plan.offload_deadline(cursor.0, timing.duration.0)));
-                let h = self
-                    .athread
-                    .spawn_keyed(ctx.machine, cursor, &timing, spin, key.as_ref());
+                let h =
+                    self.athread
+                        .spawn_keyed(&mut ctx.machine, cursor, &timing, spin, key.as_ref());
                 if h.done_at != NEVER {
                     // Measure what the kernel actually took (including CG
                     // speed and machine noise) — the load balancer's cost
@@ -932,7 +978,7 @@ impl RankSched {
             Lane::Mpe,
             Event::OffloadStart { patch: p, token: 0 },
         );
-        cursor = self.consume_cat(ctx.machine, cursor, dur, |b| &mut b.kernel);
+        cursor = self.consume_cat(&mut ctx.machine, cursor, dur, |b| &mut b.kernel);
         self.rec.record(
             self.rank,
             cursor.0,
@@ -1161,7 +1207,7 @@ impl RankSched {
         let region = ctx.level.patch(p).region;
         let g = ctx.app.ghost();
         let gdims = region.grow(g).dims();
-        let mut out = CcVar::new(region);
+        let mut out = CcVar::from_pooled(region, self.scratch.pop().unwrap_or_default());
         let params = [
             ctx.app.stage_time(stage, self.t, self.dt),
             self.dt,
@@ -1197,6 +1243,7 @@ impl RankSched {
         // ghosts already received) stage variable.
         let ghosted = self.dws.new.allocate(stage_label(stage), p, region.grow(g));
         ghosted.copy_region(&out, &region);
+        self.scratch.push(out.into_data());
     }
 
     /// Mark a patch's current stage done: post the dependent sends/copies of
@@ -1214,11 +1261,13 @@ impl RankSched {
                     continue;
                 }
                 let bytes = s.window.cells() * 8;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
-                    &mut b.copies
-                });
                 cursor =
-                    self.consume_cat(ctx.machine, cursor, cfg.mpi_call_overhead, |b| &mut b.mpi);
+                    self.consume_cat(&mut ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                        &mut b.copies
+                    });
+                cursor = self.consume_cat(&mut ctx.machine, cursor, cfg.mpi_call_overhead, |b| {
+                    &mut b.mpi
+                });
                 let payload = (self.exec == ExecMode::Functional).then(|| {
                     self.dws
                         .new
@@ -1234,7 +1283,7 @@ impl RankSched {
                     s.face,
                 );
                 let h = ctx.mpi.isend(
-                    ctx.machine,
+                    &mut ctx.machine,
                     self.rank,
                     s.dst_rank,
                     tag,
@@ -1260,9 +1309,10 @@ impl RankSched {
                 .collect();
             for (dst, window) in copies {
                 let bytes = window.cells() * 8;
-                cursor = self.consume_cat(ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
-                    &mut b.copies
-                });
+                cursor =
+                    self.consume_cat(&mut ctx.machine, cursor, cfg.mpe_copy_time(bytes), |b| {
+                        &mut b.copies
+                    });
                 if self.exec == ExecMode::Functional {
                     let src = self
                         .dws
@@ -1305,25 +1355,32 @@ impl RankSched {
         cursor
     }
 
-    /// Contribute to this step's allreduce; if we are the last contributor,
-    /// wake every rank at the result time.
+    /// Contribute to this step's allreduce. The contribution is parked in
+    /// this rank's outbox; the controller merges all outboxes at the window
+    /// barrier (in rank order, so the float accumulation order never
+    /// depends on scheduling) and wakes every rank at the result time.
     fn contribute_reduction(&mut self, ctx: &mut StepCtx<'_>, mut cursor: SimTime) -> SimTime {
         let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
-        cursor = self.consume_cat(ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
-        if !ctx.reductions.contains_key(&self.step) {
-            let red = ModeledAllreduce::new(ctx.machine.cfg(), ctx.n_ranks, ctx.app.reduce_op())
-                .with_telemetry(self.rec.clone(), self.step as usize);
-            ctx.reductions.insert(self.step, red);
+        cursor = self.consume_cat(&mut ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
+        ctx.reduce
+            .contribute(self.step, self.reduce_acc.unwrap_or(0.0), cursor);
+        // The telemetry the shared `ModeledAllreduce` used to emit now
+        // happens rank-side: the hub instance merges with a disabled
+        // recorder (it runs on the controller thread, outside any rank's
+        // lane), so record the contribution here to keep the reconciliation
+        // pass and per-lane time monotonicity intact.
+        self.rec.record(
+            self.rank,
+            cursor.0,
+            Lane::Mpe,
+            Event::ReduceContribute {
+                step: self.step as usize,
+            },
+        );
+        if let Some(m) = self.rec.metrics() {
+            m.reduce_contributions.inc();
         }
-        let red = ctx.reductions.get_mut(&self.step).unwrap();
-        red.contribute(self.rank, self.reduce_acc.unwrap_or(0.0), cursor);
         self.contributed = true;
-        let ready = red.result_at();
-        if let Some((at, _)) = ready {
-            for r in 0..ctx.n_ranks {
-                ctx.machine.timer_at(r, at, 0);
-            }
-        }
         cursor
     }
 
@@ -1340,7 +1397,7 @@ impl RankSched {
         if self.faults.is_some() && ctx.mpi.unacked(self.rank) > 0 {
             return false;
         }
-        match ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
+        match ctx.reduce.result_at(self.step) {
             Some((at, _)) => at <= cursor,
             None => false,
         }
@@ -1361,6 +1418,9 @@ impl RankSched {
                     .expect("patch did not compute its output");
                 let window = ctx.level.patch(p).region;
                 self.dws.old.get_mut(LABEL_U, p).copy_region(&out, &window);
+                // Park the output back so `clear` recycles its buffer into
+                // the arena pool (steady-state steps then allocate nothing).
+                self.dws.new.put(last, p, out);
             }
             self.dws.new.clear();
         }
@@ -1420,11 +1480,9 @@ impl RankSched {
             };
             consider((h.done_at + poll).max(cursor));
         }
-        if let Some((t, _)) = ctx.reductions.get(&self.step).and_then(|r| r.result_at()) {
-            if t > cursor {
-                consider(t);
-            }
-        }
+        // The reduction result needs no consideration here: the controller
+        // broadcasts a wakeup timer to every rank when the barrier merge
+        // completes a reduction.
         // Resilience timers: offload deadlines (dead kernels produce no
         // event — only this wakeup reaps them), matured retry backoffs, and
         // the reliable layer's earliest resend deadline.
@@ -1464,7 +1522,7 @@ impl RankSched {
     /// Charge MPE time to a breakdown category.
     fn consume_cat(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut MachineCtx<'_>,
         cursor: SimTime,
         d: SimDur,
         cat: fn(&mut MpeBreakdown) -> &mut SimDur,

@@ -6,18 +6,18 @@
 //! scheduler process per CG; here all ranks advance in one deterministic
 //! virtual timeline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use sw_mpi::{ModeledAllreduce, MpiWorld};
+use sw_mpi::{ModeledAllreduce, MpiWorld, SharedMpi};
 use sw_resilience::{Checkpoint, FaultPlan, FaultStats, PatchRecord};
-use sw_sim::{Machine, MachineConfig, MachineEvent, SimDur, SimTime};
+use sw_sim::{Machine, MachineConfig, MachineCtx, MachineEvent, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::grid::{iv, Level, PatchId, Region};
 use crate::lb::LoadBalancer;
-use crate::schedule::rank::{RankSched, StepCtx, LABEL_U};
+use crate::schedule::rank::{RankSched, ReduceCtx, StepCtx, LABEL_U};
 use crate::schedule::variant::{ExecMode, SchedulerOptions, Variant};
 use crate::sim::report::RunReport;
 use crate::task::app::Application;
@@ -59,6 +59,28 @@ pub struct RunConfig {
     /// Directory checkpoints are written to (`stepNNNNN.ckpt`); required
     /// for `ckpt_every` to have an effect.
     pub ckpt_dir: Option<PathBuf>,
+    /// Advance the simulated ranks concurrently with the conservative-PDES
+    /// engine (DESIGN.md §14). `false` drains the *same* windowed schedule
+    /// on the controller thread — the two are bit-identical by
+    /// construction, which the torture campaign's `pdes_bit_identical`
+    /// oracle enforces.
+    pub pdes: bool,
+    /// Worker threads for the PDES engine; `None` auto-detects the host's
+    /// available parallelism. `Some(0)` is rejected by validation
+    /// ([`crate::ConfigError::ZeroThreads`]). Orthogonal to
+    /// [`SchedulerOptions::exec_policy`], which parallelizes the
+    /// *functional kernel execution inside one rank* — `threads`
+    /// parallelizes *across ranks*; combining both oversubscribes the host
+    /// (each PDES worker may itself fan out tiles) and is legal but rarely
+    /// faster.
+    pub threads: Option<usize>,
+    /// Conservative lookahead window in picoseconds; `None` derives it
+    /// from the calibrated MPI latency (`machine.net_latency`) — the
+    /// minimum cross-rank delay the model can produce, since jitter and
+    /// fault delays only ever *add* to it. Values above that latency are
+    /// rejected ([`crate::ConfigError::BadLookahead`]): a wider window
+    /// could deliver a message into a rank's already-drained past.
+    pub pdes_lookahead_ps: Option<u64>,
 }
 
 impl RunConfig {
@@ -79,6 +101,9 @@ impl RunConfig {
             cg_speeds: None,
             ckpt_every: None,
             ckpt_dir: None,
+            pdes: false,
+            threads: None,
+            pdes_lookahead_ps: None,
         }
     }
 }
@@ -144,8 +169,16 @@ pub struct Simulation {
     cfg: RunConfig,
     assignment: Vec<usize>,
     machine: Machine,
-    mpi: MpiWorld,
+    mpi: SharedMpi,
+    /// The reduction hub: every completed barrier merge lives here; ranks
+    /// read it through [`ReduceCtx::result_at`]. Hub instances run with a
+    /// disabled recorder — contribution telemetry is recorded rank-side.
     reductions: BTreeMap<u32, ModeledAllreduce>,
+    /// Per-rank reduction outboxes `(step, value, instant)`, drained into
+    /// the hub at each window barrier in rank order.
+    reduce_out: Vec<Vec<(u32, f64, SimTime)>>,
+    /// Steps whose completed reduction already broadcast its wakeup timer.
+    announced: BTreeSet<u32>,
     ranks: Vec<RankSched>,
     /// `sw_athread::serial_fallback_count()` sampled when `run` starts; the
     /// report carries the delta, i.e. the demotions this run caused.
@@ -243,14 +276,17 @@ impl Simulation {
                 sched
             })
             .collect();
+        let reduce_out = vec![Vec::new(); cfg.n_ranks];
         Ok(Simulation {
             level,
             app,
             cfg,
             assignment,
             machine,
-            mpi,
+            mpi: SharedMpi::new(mpi),
             reductions: BTreeMap::new(),
+            reduce_out,
+            announced: BTreeSet::new(),
             ranks,
             fallback_base: sw_athread::serial_fallback_count(),
             recorder,
@@ -298,13 +334,31 @@ impl Simulation {
 
     /// Run to completion and produce the report.
     ///
+    /// The engine is a conservative windowed PDES (DESIGN.md §14): every
+    /// rank owns an event-queue shard, and each iteration drains the window
+    /// `[W, W + L)` — `W` the globally earliest pending event, `L` the
+    /// lookahead — on every shard independently. Cross-rank deliveries are
+    /// parked in per-shard outboxes and merged at the window barrier; the
+    /// calibrated model guarantees they land at or after the window end,
+    /// which the merge asserts. With `cfg.pdes` the shards of one window
+    /// drain on scoped worker threads; either way the schedule — and the
+    /// resulting `RunReport`, telemetry, and fault streams — is
+    /// bit-identical, because ranks cannot observe each other inside a
+    /// window.
+    ///
     /// # Panics
     /// Panics on deadlock (events exhausted with unfinished ranks) — which
-    /// would indicate a scheduler bug, never a legal outcome.
+    /// would indicate a scheduler bug, never a legal outcome — and on a
+    /// lookahead wider than the minimum modeled cross-rank latency.
     pub fn run(&mut self) -> RunReport {
         // Other simulations may have run in this process since `new`;
         // re-baseline so the report only counts this run's demotions.
         self.fallback_base = sw_athread::serial_fallback_count();
+        // A fresh run never inherits reduction state (a restored run
+        // re-contributes the steps it replays).
+        self.reductions.clear();
+        self.announced.clear();
+        self.reduce_out.iter_mut().for_each(Vec::clear);
         let Simulation {
             level,
             app,
@@ -313,6 +367,8 @@ impl Simulation {
             machine,
             mpi,
             reductions,
+            reduce_out,
+            announced,
             ranks,
             recorder,
             faults,
@@ -320,12 +376,35 @@ impl Simulation {
             ..
         } = self;
         let n_ranks = cfg.n_ranks;
+        let lookahead = SimDur(cfg.pdes_lookahead_ps.unwrap_or(cfg.machine.net_latency.0));
+        assert!(lookahead.0 > 0, "PDES lookahead must be positive");
+        assert!(
+            lookahead <= cfg.machine.net_latency,
+            "PDES lookahead {}ps exceeds the minimum modeled cross-rank latency {}ps: \
+             a message could be delivered inside an already-drained window \
+             (lookahead violation)",
+            lookahead.0,
+            cfg.machine.net_latency.0,
+        );
+        // `threads` caps the PDES fan-out; the serial engine ignores it.
+        // On a 1-thread host the PDES engine degenerates to the serial
+        // drain order — same schedule, honestly no speedup.
+        let threads = if cfg.pdes {
+            cfg.threads
+                .unwrap_or_else(rayon::current_num_threads)
+                .max(1)
+        } else {
+            1
+        };
         macro_rules! ctx {
-            () => {
+            ($r:expr) => {
                 &mut StepCtx {
-                    machine,
-                    mpi,
-                    reductions,
+                    machine: machine.ctx($r),
+                    mpi: &*mpi,
+                    reduce: ReduceCtx {
+                        merged: &*reductions,
+                        outbox: &mut reduce_out[$r],
+                    },
                     level,
                     app: &**app,
                     n_ranks,
@@ -369,10 +448,17 @@ impl Simulation {
                 },
             );
         }
-        for r in ranks.iter_mut() {
-            r.init_run(ctx!());
+        for (r, sched) in ranks.iter_mut().enumerate() {
+            sched.init_run(ctx!(r));
         }
+        machine.merge_outboxes(None);
         loop {
+            // Window barrier, part 2: fold every rank's reduction outbox
+            // into the hub (rank order — a fixed, schedule-independent
+            // float accumulation order) and broadcast wakeup timers for
+            // newly completed reductions. Runs before the deadlock check:
+            // a pending contribution *is* forward progress.
+            Self::merge_reductions(cfg, &**app, machine, reductions, reduce_out, announced);
             // §V-C step 4: if every rank parked at a step boundary, write a
             // checkpoint and/or recompile the task graph, then resume.
             if !ranks.is_empty() && ranks.iter().all(|r| r.holding().is_some()) {
@@ -381,17 +467,20 @@ impl Simulation {
                     Self::write_checkpoint(cfg, assignment, ranks, faults, recorder);
                 }
                 if cfg.rebalance_every.is_some_and(|n| step.is_multiple_of(n)) {
-                    Self::rebalance(level, app, cfg, assignment, machine, mpi, reductions, ranks);
+                    Self::rebalance(
+                        level, app, cfg, assignment, machine, mpi, reductions, reduce_out, ranks,
+                    );
                 } else {
                     let held = ranks
                         .iter()
                         .filter_map(|r| r.holding())
                         .max()
                         .unwrap_or(SimTime::ZERO);
-                    for rank in ranks.iter_mut() {
-                        rank.resume_held(ctx!(), held);
+                    for (r, rank) in ranks.iter_mut().enumerate() {
+                        rank.resume_held(ctx!(r), held);
                     }
                 }
+                machine.merge_outboxes(None);
                 continue;
             }
             if ranks.iter().all(|r| r.is_done()) {
@@ -408,7 +497,7 @@ impl Simulation {
                 }
                 break;
             }
-            let Some((t, ev)) = machine.pop() else {
+            let Some(wstart) = machine.peek_time() else {
                 let states: Vec<String> = ranks
                     .iter()
                     .map(|r| {
@@ -425,14 +514,52 @@ impl Simulation {
                     states.join("; ")
                 );
             };
-            match ev {
-                MachineEvent::KernelDone { cg, .. } => ranks[cg].on_wake(ctx!(), t),
-                MachineEvent::NetDeliver { dst, token } => {
-                    mpi.on_wire(token);
-                    ranks[dst].on_wake(ctx!(), t);
+            let wend = wstart + lookahead;
+            // Shards with no event inside the window have nothing to do;
+            // spawning threads is only worth it when at least two shards
+            // are active (a 1-thread host always takes the inline path).
+            let active = (0..n_ranks)
+                .filter(|&r| machine.shard_peek(r).is_some_and(|t| t < wend))
+                .count();
+            if threads <= 1 || active < 2 {
+                for r in 0..n_ranks {
+                    let mut mctx = machine.ctx(r);
+                    Self::drain_rank(
+                        &mut ranks[r],
+                        &mut mctx,
+                        mpi,
+                        reductions,
+                        &mut reduce_out[r],
+                        level,
+                        &**app,
+                        n_ranks,
+                        wend,
+                    );
                 }
-                MachineEvent::Timer { cg, .. } => ranks[cg].on_wake(ctx!(), t),
+            } else {
+                let mut work: Vec<_> = machine
+                    .ctxs()
+                    .into_iter()
+                    .zip(ranks.iter_mut().zip(reduce_out.iter_mut()))
+                    .collect();
+                let chunk = work.len().div_ceil(threads);
+                let (mpi, reductions, level, app) = (&*mpi, &*reductions, &*level, &**app);
+                rayon::scope(|s| {
+                    for slice in work.chunks_mut(chunk) {
+                        s.spawn(move || {
+                            for (mctx, (sched, outbox)) in slice.iter_mut() {
+                                Self::drain_rank(
+                                    sched, mctx, mpi, reductions, outbox, level, app, n_ranks, wend,
+                                );
+                            }
+                        });
+                    }
+                });
             }
+            // Window barrier, part 1: deliver cross-rank messages. Any
+            // delivery inside the window just drained is a lookahead
+            // violation and panics.
+            machine.merge_outboxes(Some(wend));
         }
         // Every isend/irecv must have been matched and retired by the end of
         // the run; a leaked handle is a scheduler bug. Release builds carry
@@ -457,6 +584,87 @@ impl Simulation {
                 .add(sw_athread::serial_fallback_count().saturating_sub(self.fallback_base));
         }
         self.report()
+    }
+
+    /// Drain one rank's shard for the current window: pop every event
+    /// strictly before `wend` and hand it to the rank's scheduler. Safe to
+    /// run concurrently with other ranks' drains — the shard context only
+    /// reaches its own queue/CG, the communicator is internally
+    /// synchronized (and its operations for different ranks commute inside
+    /// a window), and reduction contributions go to a private outbox.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_rank(
+        sched: &mut RankSched,
+        machine: &mut MachineCtx<'_>,
+        mpi: &SharedMpi,
+        merged: &BTreeMap<u32, ModeledAllreduce>,
+        outbox: &mut Vec<(u32, f64, SimTime)>,
+        level: &Level,
+        app: &dyn Application,
+        n_ranks: usize,
+        wend: SimTime,
+    ) {
+        let mut ctx = StepCtx {
+            machine: machine.reborrow(),
+            mpi,
+            reduce: ReduceCtx { merged, outbox },
+            level,
+            app,
+            n_ranks,
+        };
+        while let Some((t, ev)) = ctx.machine.pop_before(wend) {
+            match ev {
+                MachineEvent::NetDeliver { token, .. } => {
+                    mpi.on_wire(token);
+                    sched.on_wake(&mut ctx, t);
+                }
+                MachineEvent::KernelDone { .. } | MachineEvent::Timer { .. } => {
+                    sched.on_wake(&mut ctx, t)
+                }
+            }
+        }
+    }
+
+    /// Window barrier: drain every rank's reduction outbox into the hub in
+    /// rank order (the float accumulation order is therefore fixed by rank
+    /// id, never by drain scheduling) and broadcast one wakeup timer per
+    /// rank for each reduction that just completed. Hub instances carry a
+    /// disabled recorder — contribution telemetry was already recorded
+    /// rank-side at contribution time.
+    fn merge_reductions(
+        cfg: &RunConfig,
+        app: &dyn Application,
+        machine: &mut Machine,
+        reductions: &mut BTreeMap<u32, ModeledAllreduce>,
+        reduce_out: &mut [Vec<(u32, f64, SimTime)>],
+        announced: &mut BTreeSet<u32>,
+    ) {
+        let n = cfg.n_ranks;
+        for (r, out) in reduce_out.iter_mut().enumerate().take(n) {
+            if out.is_empty() {
+                continue;
+            }
+            for (step, value, at) in std::mem::take(out) {
+                let red = reductions
+                    .entry(step)
+                    .or_insert_with(|| ModeledAllreduce::new(&cfg.machine, n, app.reduce_op()));
+                red.contribute(r, value, at);
+            }
+        }
+        let complete: Vec<(u32, SimTime)> = reductions
+            .iter()
+            .filter(|(s, _)| !announced.contains(s))
+            .filter_map(|(&s, red)| red.result_at().map(|(at, _)| (s, at)))
+            .collect();
+        for (step, at) in complete {
+            announced.insert(step);
+            // The result reaches every rank at `at`; for n >= 2 the
+            // dissemination hops put `at` beyond the current window end, so
+            // the timer is always schedulable on every shard.
+            for r in 0..n {
+                machine.timer_at(r, at, 0);
+            }
+        }
     }
 
     /// Write a globally consistent warehouse checkpoint while every rank
@@ -533,8 +741,9 @@ impl Simulation {
         cfg: &RunConfig,
         assignment: &mut Vec<usize>,
         machine: &mut Machine,
-        mpi: &mut MpiWorld,
-        reductions: &mut BTreeMap<u32, ModeledAllreduce>,
+        mpi: &SharedMpi,
+        reductions: &BTreeMap<u32, ModeledAllreduce>,
+        reduce_out: &mut [Vec<(u32, f64, SimTime)>],
         ranks: &mut [RankSched],
     ) {
         let n_ranks = cfg.n_ranks;
@@ -586,9 +795,12 @@ impl Simulation {
             let plan = build_rank_plan(level, assignment, r, g);
             let vars = std::mem::take(&mut migrated[r]);
             let mut ctx = StepCtx {
-                machine,
+                machine: machine.ctx(r),
                 mpi,
-                reductions,
+                reduce: ReduceCtx {
+                    merged: reductions,
+                    outbox: &mut reduce_out[r],
+                },
                 level,
                 app: &**app,
                 n_ranks,

@@ -22,6 +22,20 @@ impl CcVar {
         }
     }
 
+    /// Zero-initialized variable over `region` built on a recycled buffer
+    /// (the warehouse arena's allocation path: once the buffer pool is
+    /// warm, constructing a variable allocates nothing).
+    pub fn from_pooled(region: Region, mut buf: Vec<f64>) -> CcVar {
+        buf.clear();
+        buf.resize(region.cells() as usize, 0.0);
+        CcVar { region, data: buf }
+    }
+
+    /// Consume the variable, returning its buffer for recycling.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// The covered region.
     pub fn region(&self) -> Region {
         self.region

@@ -7,6 +7,19 @@
 //!
 //! In *model* execution mode no data is allocated — the schedulers still run
 //! the identical control flow, but `get`/`put` are never called.
+//!
+//! # Arena allocation
+//!
+//! The step loop allocates and clears the same `(label, patch)` set every
+//! timestep, which made variable (re)allocation the dominant heap traffic
+//! of functional runs. The store is therefore an arena: the key → slot
+//! `index` persists across [`DataWarehouse::clear`], occupied slots hold
+//! their variable in place, and clearing *recycles* every data buffer into
+//! a pool (in slot order — deterministic) instead of freeing it. The next
+//! step's [`DataWarehouse::allocate`]/[`DataWarehouse::put`] reuse pooled
+//! buffers LIFO, so the steady-state loop performs **zero** heap
+//! allocations (`crates/core/tests/alloc_steady_state.rs` enforces this
+//! with a counting allocator).
 
 use std::collections::BTreeMap;
 
@@ -14,10 +27,18 @@ use crate::grid::{PatchId, Region};
 use crate::var::ccvar::CcVar;
 use crate::var::label::LabelId;
 
-/// One timestep's variable store.
+/// One timestep's variable store (arena-backed; see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct DataWarehouse {
-    vars: BTreeMap<(LabelId, PatchId), CcVar>,
+    /// Key → slot. Persists across `clear` so the per-step key churn never
+    /// re-balances the tree in steady state.
+    index: BTreeMap<(LabelId, PatchId), usize>,
+    /// One slot per key ever seen; `None` = cleared/taken.
+    slots: Vec<Option<CcVar>>,
+    /// Recycled data buffers, reused LIFO by `allocate`.
+    pool: Vec<Vec<f64>>,
+    /// Occupied slot count (`len()` in O(1)).
+    occupied: usize,
 }
 
 impl DataWarehouse {
@@ -26,16 +47,38 @@ impl DataWarehouse {
         Self::default()
     }
 
-    /// Allocate-and-put a zeroed variable over `region`.
-    pub fn allocate(&mut self, label: LabelId, patch: PatchId, region: Region) -> &mut CcVar {
-        self.vars
-            .entry((label, patch))
-            .or_insert_with(|| CcVar::new(region))
+    /// Slot of `(label, patch)`, interning a new one on first sight.
+    fn slot_of(&mut self, label: LabelId, patch: PatchId) -> usize {
+        if let Some(&i) = self.index.get(&(label, patch)) {
+            return i;
+        }
+        let i = self.slots.len();
+        self.slots.push(None);
+        self.index.insert((label, patch), i);
+        i
     }
 
-    /// Store a computed variable.
+    /// Allocate-and-put a zeroed variable over `region`. Idempotent: an
+    /// existing variable is returned untouched (ghost payloads may be
+    /// unpacked into a stage variable before the local kernel allocates it).
+    pub fn allocate(&mut self, label: LabelId, patch: PatchId, region: Region) -> &mut CcVar {
+        let slot = self.slot_of(label, patch);
+        if self.slots[slot].is_none() {
+            let buf = self.pool.pop().unwrap_or_default();
+            self.slots[slot] = Some(CcVar::from_pooled(region, buf));
+            self.occupied += 1;
+        }
+        self.slots[slot].as_mut().expect("slot just filled")
+    }
+
+    /// Store a computed variable (a replaced variable's buffer is
+    /// recycled).
     pub fn put(&mut self, label: LabelId, patch: PatchId, var: CcVar) {
-        self.vars.insert((label, patch), var);
+        let slot = self.slot_of(label, patch);
+        match self.slots[slot].replace(var) {
+            Some(old) => self.pool.push(old.into_data()),
+            None => self.occupied += 1,
+        }
     }
 
     /// Read a variable.
@@ -43,42 +86,65 @@ impl DataWarehouse {
     /// # Panics
     /// Panics if absent — a task required a label nothing computed.
     pub fn get(&self, label: LabelId, patch: PatchId) -> &CcVar {
-        self.vars
+        self.index
             .get(&(label, patch))
+            .and_then(|&i| self.slots[i].as_ref())
             .unwrap_or_else(|| panic!("DW miss: label {label} patch {patch}"))
     }
 
     /// Mutable access (ghost unpacking, boundary fills).
     pub fn get_mut(&mut self, label: LabelId, patch: PatchId) -> &mut CcVar {
-        self.vars
-            .get_mut(&(label, patch))
+        let i = *self
+            .index
+            .get(&(label, patch))
+            .unwrap_or_else(|| panic!("DW miss: label {label} patch {patch}"));
+        self.slots[i]
+            .as_mut()
             .unwrap_or_else(|| panic!("DW miss: label {label} patch {patch}"))
     }
 
     /// Whether a variable exists.
     pub fn exists(&self, label: LabelId, patch: PatchId) -> bool {
-        self.vars.contains_key(&(label, patch))
+        self.index
+            .get(&(label, patch))
+            .is_some_and(|&i| self.slots[i].is_some())
     }
 
     /// Remove and return a variable (used when the new DW's output becomes
     /// the old DW's input without copying).
     pub fn take(&mut self, label: LabelId, patch: PatchId) -> Option<CcVar> {
-        self.vars.remove(&(label, patch))
+        let i = *self.index.get(&(label, patch))?;
+        let v = self.slots[i].take();
+        if v.is_some() {
+            self.occupied -= 1;
+        }
+        v
     }
 
     /// Number of stored variables.
     pub fn len(&self) -> usize {
-        self.vars.len()
+        self.occupied
     }
 
     /// Whether nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.vars.is_empty()
+        self.occupied == 0
     }
 
-    /// Clear everything (start of a fresh step for the new DW).
+    /// Clear everything (start of a fresh step for the new DW), recycling
+    /// every data buffer into the pool in slot order.
     pub fn clear(&mut self) {
-        self.vars.clear();
+        for s in &mut self.slots {
+            if let Some(v) = s.take() {
+                self.pool.push(v.into_data());
+            }
+        }
+        self.occupied = 0;
+    }
+
+    /// Buffers currently parked in the recycling pool (test hook).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -151,6 +217,35 @@ mod tests {
         assert!(pair.old.exists(0, 0), "new became old");
         assert!(pair.new.is_empty(), "fresh new DW is empty");
         assert!(!pair.old.exists(9, 9), "stale old data dropped");
+    }
+
+    #[test]
+    fn clear_recycles_buffers_and_allocate_reuses_them() {
+        let mut dw = DataWarehouse::new();
+        let r = Region::of_extent(iv(3, 3, 3));
+        dw.allocate(0, 0, r).set(iv(1, 1, 1), 5.0);
+        dw.allocate(0, 1, r);
+        assert_eq!(dw.len(), 2);
+        dw.clear();
+        assert!(dw.is_empty());
+        assert_eq!(dw.pooled(), 2, "cleared buffers parked in the pool");
+        // Reallocation drains the pool and hands back zeroed storage.
+        let v = dw.allocate(0, 0, r);
+        assert_eq!(v.get(iv(1, 1, 1)), 0.0, "recycled buffer re-zeroed");
+        assert_eq!(dw.pooled(), 1);
+        dw.allocate(0, 1, r);
+        assert_eq!(dw.pooled(), 0);
+        assert_eq!(dw.len(), 2);
+    }
+
+    #[test]
+    fn put_replacement_recycles_the_old_buffer() {
+        let mut dw = DataWarehouse::new();
+        let r = Region::of_extent(iv(2, 2, 2));
+        dw.put(0, 0, CcVar::new(r));
+        dw.put(0, 0, CcVar::new(r));
+        assert_eq!(dw.len(), 1);
+        assert_eq!(dw.pooled(), 1, "replaced variable's buffer recycled");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use sw_resilience::{FaultPlan, FaultStats, OffloadKey, SlotFault};
-use sw_sim::{CgId, FlopCategory, Machine, SimDur, SimTime};
+use sw_sim::{CgId, FlopCategory, MachineCtx, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::cost::{with_spin_penalty, KernelTiming};
@@ -204,7 +204,7 @@ impl AthreadGroup {
     /// Panics if every slot is occupied.
     pub fn spawn(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut MachineCtx<'_>,
         start: SimTime,
         timing: &KernelTiming,
         spin: bool,
@@ -230,7 +230,7 @@ impl AthreadGroup {
     /// an MPE deadline and [`Self::abort`] + retry on expiry.
     pub fn spawn_keyed(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut MachineCtx<'_>,
         start: SimTime,
         timing: &KernelTiming,
         spin: bool,
@@ -385,7 +385,7 @@ impl AthreadGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sw_sim::{MachineConfig, MachineEvent};
+    use sw_sim::{Machine, MachineConfig, MachineEvent};
 
     fn timing(us: f64) -> KernelTiming {
         KernelTiming {
@@ -402,7 +402,7 @@ mod tests {
     fn spawn_completes_via_event() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::new(0, 64);
-        let h = g.spawn(&mut m, SimTime::ZERO, &timing(100.0), false);
+        let h = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(100.0), false);
         assert!(g.all_busy());
         assert!(!g.flag(0).is_set());
         assert_eq!(h.done_at, SimTime::ZERO + SimDur::from_us(100.0));
@@ -423,9 +423,11 @@ mod tests {
     #[test]
     fn spin_mode_inflates_duration() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
-        let slow = AthreadGroup::new(0, 64).spawn(&mut m, SimTime::ZERO, &timing(100.0), true);
+        let slow =
+            AthreadGroup::new(0, 64).spawn(&mut m.ctx(0), SimTime::ZERO, &timing(100.0), true);
         let mut m2 = Machine::new(MachineConfig::sw26010(), 1);
-        let fast = AthreadGroup::new(0, 64).spawn(&mut m2, SimTime::ZERO, &timing(100.0), false);
+        let fast =
+            AthreadGroup::new(0, 64).spawn(&mut m2.ctx(0), SimTime::ZERO, &timing(100.0), false);
         let c = MachineConfig::sw26010().sync_spin_slowdown;
         let ratio = slow.done_at.since(SimTime::ZERO).as_secs_f64()
             / fast.done_at.since(SimTime::ZERO).as_secs_f64();
@@ -436,7 +438,7 @@ mod tests {
     fn flops_credited_to_counters() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::new(0, 64);
-        g.spawn(&mut m, SimTime::ZERO, &timing(1.0), false);
+        g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(1.0), false);
         let f = m.cg(0).counters.clone();
         assert_eq!(f.total(), 1000);
         assert_eq!(f.get(FlopCategory::Exp), 600);
@@ -446,7 +448,7 @@ mod tests {
     fn stale_tokens_are_ignored() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::new(0, 64);
-        let h = g.spawn(&mut m, SimTime::ZERO, &timing(1.0), false);
+        let h = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(1.0), false);
         assert!(!g.on_kernel_done(h.token + 5));
         assert!(g.any_busy());
     }
@@ -456,8 +458,8 @@ mod tests {
     fn overfilling_slots_panics() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::new(0, 64);
-        g.spawn(&mut m, SimTime::ZERO, &timing(1.0), false);
-        g.spawn(&mut m, SimTime::ZERO, &timing(1.0), false);
+        g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(1.0), false);
+        g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(1.0), false);
     }
 
     #[test]
@@ -465,8 +467,8 @@ mod tests {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::with_groups(0, 64, 4);
         assert_eq!(g.cpes_per_group(), 16);
-        let h0 = g.spawn(&mut m, SimTime::ZERO, &timing(100.0), false);
-        let h1 = g.spawn(&mut m, SimTime::ZERO, &timing(50.0), false);
+        let h0 = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(100.0), false);
+        let h1 = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(50.0), false);
         assert_ne!(h0.slot, h1.slot);
         assert!(!g.all_busy(), "two of four slots used");
         assert!(g.any_busy());
@@ -484,8 +486,8 @@ mod tests {
     fn try_complete_returns_all_finished_in_order() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::with_groups(0, 64, 2);
-        let h0 = g.spawn(&mut m, SimTime::ZERO, &timing(80.0), false);
-        let h1 = g.spawn(&mut m, SimTime::ZERO, &timing(30.0), false);
+        let h0 = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(80.0), false);
+        let h1 = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(30.0), false);
         let done = g.try_complete(h0.done_at);
         assert_eq!(done, vec![h1.token, h0.token], "earliest first");
         assert!(!g.any_busy());
@@ -515,7 +517,13 @@ mod tests {
             step: 0,
             attempt: 0,
         };
-        let h = g.spawn_keyed(&mut m, SimTime::ZERO, &timing(10.0), false, Some(&key));
+        let h = g.spawn_keyed(
+            &mut m.ctx(0),
+            SimTime::ZERO,
+            &timing(10.0),
+            false,
+            Some(&key),
+        );
         assert_eq!(h.done_at, NEVER);
         assert!(m.pop().is_none(), "no KernelDone for a dead kernel");
         assert!(g.try_complete(SimTime(u64::MAX - 1)).is_empty());
@@ -552,7 +560,13 @@ mod tests {
             step: 0,
             attempt: 0,
         };
-        let h = g.spawn_keyed(&mut m, SimTime::ZERO, &timing(100.0), false, Some(&key));
+        let h = g.spawn_keyed(
+            &mut m.ctx(0),
+            SimTime::ZERO,
+            &timing(100.0),
+            false,
+            Some(&key),
+        );
         assert_eq!(h.done_at, SimTime::ZERO + SimDur::from_us(400.0));
         assert_eq!(plan.stats.snapshot().injected_straggler, 1);
         // Stragglers do complete (recoverable by waiting or by abort+retry).
@@ -570,7 +584,7 @@ mod tests {
             guarantee_recovery: false,
             ..FaultConfig::none(5)
         })));
-        let h = g.spawn(&mut m, SimTime::ZERO, &timing(100.0), false);
+        let h = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(100.0), false);
         assert_eq!(h.done_at, SimTime::ZERO + SimDur::from_us(100.0));
     }
 
@@ -578,7 +592,7 @@ mod tests {
     fn spin_time_measures_remaining() {
         let mut m = Machine::new(MachineConfig::sw26010(), 1);
         let mut g = AthreadGroup::new(0, 64);
-        let h = g.spawn(&mut m, SimTime::ZERO, &timing(100.0), false);
+        let h = g.spawn(&mut m.ctx(0), SimTime::ZERO, &timing(100.0), false);
         assert_eq!(g.spin_time(SimTime::ZERO), SimDur::from_us(100.0));
         assert_eq!(
             g.spin_time(SimTime::ZERO + SimDur::from_us(40.0)),

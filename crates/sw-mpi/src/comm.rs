@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use sw_resilience::{FaultPlan, FaultStats, MsgFault, MsgKey};
-use sw_sim::{CgId, Machine, SimDur, SimTime};
+use sw_sim::{CgId, MachineCtx, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
 /// Rank in the simulated communicator (identical to the CG id: one MPI
@@ -124,7 +124,7 @@ struct RecvReq {
 /// let mut m = Machine::new(MachineConfig::sw26010(), 2);
 /// let mut w = MpiWorld::new(2);
 /// // Eager send with a functional payload.
-/// let s = w.isend(&mut m, 0, 1, 42, 8, Some(vec![3.5]), SimTime::ZERO);
+/// let s = w.isend(&mut m.ctx(0), 0, 1, 42, 8, Some(vec![3.5]), SimTime::ZERO);
 /// let r = w.irecv(1, 0, 42);
 /// // Drain wire events, then let the receiving host progress the library.
 /// while let Some((_, ev)) = m.pop() {
@@ -133,7 +133,7 @@ struct RecvReq {
 ///     }
 /// }
 /// let now = m.now();
-/// w.progress(1, &mut m, now);
+/// w.progress(1, &mut m.ctx(1), now);
 /// assert!(w.send_done(s) && w.recv_done(r));
 /// assert_eq!(w.take_payload(r), Some(vec![3.5]));
 /// ```
@@ -148,8 +148,14 @@ pub struct MpiWorld {
     active: Vec<std::collections::BTreeSet<u64>>,
     /// Unmatched posted receives, FIFO per (dst, src, tag).
     posted: BTreeMap<(Rank, Rank, Tag), std::collections::VecDeque<u64>>,
-    next_msg: u64,
-    next_recv: u64,
+    /// Per-source message-id sequence counters. Ids are drawn from
+    /// per-rank namespaces (`id = src + n * seq`) so that concurrently
+    /// advancing shards mint identical ids regardless of interleaving —
+    /// the PDES bit-identity guarantee depends on it. Within one source
+    /// the ids stay ascending in send-program order (MPI FIFO).
+    next_msg: Vec<u64>,
+    /// Per-destination receive-id sequence counters (`id = rank + n * seq`).
+    next_recv: Vec<u64>,
     /// Wire-level statistics.
     pub sends_posted: u64,
     /// Completed receives.
@@ -197,8 +203,8 @@ impl MpiWorld {
             recvs: BTreeMap::new(),
             active: vec![std::collections::BTreeSet::new(); n],
             posted: BTreeMap::new(),
-            next_msg: 0,
-            next_recv: 0,
+            next_msg: vec![0; n],
+            next_recv: vec![0; n],
             sends_posted: 0,
             recvs_completed: 0,
             rec: Recorder::off(),
@@ -229,7 +235,7 @@ impl MpiWorld {
     #[allow(clippy::too_many_arguments)]
     pub fn isend(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut MachineCtx<'_>,
         src: Rank,
         dst: Rank,
         tag: Tag,
@@ -243,12 +249,12 @@ impl MpiWorld {
             tag < APP_TAG_LIMIT,
             "tag {tag:#x} lies in the reserved control-plane namespace (>= {APP_TAG_LIMIT:#x})"
         );
+        let id = src as u64 + self.n as u64 * self.next_msg[src];
         assert!(
-            self.next_msg <= MAX_MSG_ID,
+            id <= MAX_MSG_ID,
             "message id space exhausted: wire tokens would alias"
         );
-        let id = self.next_msg;
-        self.next_msg += 1;
+        self.next_msg[src] += 1;
         self.sends_posted += 1;
         let eager = bytes <= machine.cfg().eager_limit_bytes as u64;
         self.rec.record(
@@ -310,7 +316,7 @@ impl MpiWorld {
     /// or resend), consulting the fault plan for this transmission attempt.
     /// With `forced` the fault consult is bypassed — the last-resort
     /// delivery after the retry budget is exhausted.
-    fn inject_data(&mut self, machine: &mut Machine, id: u64, when: SimTime, forced: bool) {
+    fn inject_data(&mut self, machine: &mut MachineCtx<'_>, id: u64, when: SimTime, forced: bool) {
         let (src, dst, bytes, tag, eager, attempt) = {
             let m = &self.msgs[&id];
             (m.src, m.dst, m.bytes, m.tag, m.eager, m.attempt)
@@ -413,8 +419,8 @@ impl MpiWorld {
             tag < APP_TAG_LIMIT,
             "tag {tag:#x} lies in the reserved control-plane namespace (>= {APP_TAG_LIMIT:#x})"
         );
-        let id = self.next_recv;
-        self.next_recv += 1;
+        let id = rank as u64 + self.n as u64 * self.next_recv[rank];
+        self.next_recv[rank] += 1;
         self.recvs.insert(
             id,
             RecvReq {
@@ -497,7 +503,7 @@ impl MpiWorld {
     /// payloads, and complete requests. Returns the number of protocol
     /// actions taken (0 means nothing changed). The caller accounts the MPE
     /// call cost.
-    pub fn progress(&mut self, rank: Rank, machine: &mut Machine, now: SimTime) -> usize {
+    pub fn progress(&mut self, rank: Rank, machine: &mut MachineCtx<'_>, now: SimTime) -> usize {
         let mut actions = 0;
         // Deterministic iteration over this rank's live traffic only:
         // ascending message id gives MPI-FIFO matching.
@@ -760,10 +766,164 @@ impl MpiWorld {
     }
 }
 
+/// A [`MpiWorld`] shared by concurrently advancing rank shards.
+///
+/// The world sits behind a mutex; every method locks for the duration of
+/// exactly one library call. Determinism under the PDES window protocol is
+/// **not** provided by the lock (lock acquisition order varies run to run)
+/// — it comes from the calls of different ranks *commuting* within one
+/// lookahead window:
+///
+/// * message and receive ids are minted from per-rank namespaces, so the
+///   ids a rank draws never depend on other ranks' call timing;
+/// * each message's state is only ever touched by one side per window (the
+///   other side cannot observe the transition until the barrier merge
+///   delivers the corresponding wire event);
+/// * matching is FIFO per `(dst, src, tag)` and driven solely by the
+///   destination rank;
+/// * the shared counters (`sends_posted`, `recvs_completed`, fault stats)
+///   are pure accumulators.
+///
+/// Any interleaving of different ranks' calls therefore produces the same
+/// world state at the window barrier, which is what makes the PDES engine
+/// bit-identical to the serial one.
+pub struct SharedMpi {
+    inner: std::sync::Mutex<MpiWorld>,
+}
+
+impl SharedMpi {
+    /// Wrap a world for shared access.
+    pub fn new(world: MpiWorld) -> Self {
+        SharedMpi {
+            inner: std::sync::Mutex::new(world),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MpiWorld> {
+        self.inner.lock().expect("MpiWorld mutex poisoned")
+    }
+
+    /// Thread a telemetry recorder through the protocol events.
+    pub fn set_recorder(&self, rec: Recorder) {
+        self.lock().set_recorder(rec);
+    }
+
+    /// Install a fault plan (see [`MpiWorld::set_fault_plan`]).
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        self.lock().set_fault_plan(plan);
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.lock().size()
+    }
+
+    /// See [`MpiWorld::isend`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend(
+        &self,
+        machine: &mut MachineCtx<'_>,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        bytes: u64,
+        payload: Option<Vec<f64>>,
+        when: SimTime,
+    ) -> SendHandle {
+        self.lock()
+            .isend(machine, src, dst, tag, bytes, payload, when)
+    }
+
+    /// See [`MpiWorld::irecv`].
+    pub fn irecv(&self, rank: Rank, src: Rank, tag: Tag) -> RecvHandle {
+        self.lock().irecv(rank, src, tag)
+    }
+
+    /// See [`MpiWorld::on_wire`].
+    pub fn on_wire(&self, token: u64) {
+        self.lock().on_wire(token);
+    }
+
+    /// See [`MpiWorld::progress`].
+    pub fn progress(&self, rank: Rank, machine: &mut MachineCtx<'_>, now: SimTime) -> usize {
+        self.lock().progress(rank, machine, now)
+    }
+
+    /// See [`MpiWorld::send_done`].
+    pub fn send_done(&self, h: SendHandle) -> bool {
+        self.lock().send_done(h)
+    }
+
+    /// See [`MpiWorld::recv_done`].
+    pub fn recv_done(&self, h: RecvHandle) -> bool {
+        self.lock().recv_done(h)
+    }
+
+    /// See [`MpiWorld::take_payload`].
+    pub fn take_payload(&self, h: RecvHandle) -> Option<Vec<f64>> {
+        self.lock().take_payload(h)
+    }
+
+    /// See [`MpiWorld::all_sends_done`].
+    pub fn all_sends_done(&self, sends: &[SendHandle]) -> bool {
+        self.lock().all_sends_done(sends)
+    }
+
+    /// See [`MpiWorld::iprobe`].
+    pub fn iprobe(&self, rank: Rank, src: Rank, tag: Tag) -> bool {
+        self.lock().iprobe(rank, src, tag)
+    }
+
+    /// See [`MpiWorld::outstanding`].
+    pub fn outstanding(&self, rank: Rank) -> usize {
+        self.lock().outstanding(rank)
+    }
+
+    /// See [`MpiWorld::unacked`].
+    pub fn unacked(&self, rank: Rank) -> usize {
+        self.lock().unacked(rank)
+    }
+
+    /// See [`MpiWorld::next_deadline`].
+    pub fn next_deadline(&self, rank: Rank) -> Option<SimTime> {
+        self.lock().next_deadline(rank)
+    }
+
+    /// See [`MpiWorld::retire_recv`].
+    pub fn retire_recv(&self, h: RecvHandle) {
+        self.lock().retire_recv(h);
+    }
+
+    /// See [`MpiWorld::quiescent`].
+    pub fn quiescent(&self) -> bool {
+        self.lock().quiescent()
+    }
+
+    /// See [`MpiWorld::leaked`].
+    pub fn leaked(&self) -> Vec<(Rank, Tag)> {
+        self.lock().leaked()
+    }
+
+    /// See [`MpiWorld::compact`].
+    pub fn compact(&self) {
+        self.lock().compact();
+    }
+
+    /// Wire-level statistic: sends posted so far.
+    pub fn sends_posted(&self) -> u64 {
+        self.lock().sends_posted
+    }
+
+    /// Wire-level statistic: receives completed so far.
+    pub fn recvs_completed(&self) -> u64 {
+        self.lock().recvs_completed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sw_sim::{MachineConfig, MachineEvent};
+    use sw_sim::{Machine, MachineConfig, MachineEvent};
 
     fn setup(n: usize) -> (Machine, MpiWorld) {
         (Machine::new(MachineConfig::sw26010(), n), MpiWorld::new(n))
@@ -781,7 +941,7 @@ mod tests {
     #[test]
     fn eager_send_completes_immediately_recv_needs_progress() {
         let (mut m, mut w) = setup(2);
-        let s = w.isend(&mut m, 0, 1, 7, 100, None, SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 7, 100, None, SimTime::ZERO);
         assert!(w.send_done(s), "eager sends buffer and complete");
         let r = w.irecv(1, 0, 7);
         assert!(!w.recv_done(r));
@@ -789,7 +949,7 @@ mod tests {
         // Arrived, but invisible until rank 1 progresses.
         assert!(!w.recv_done(r));
         let now = m.now();
-        assert!(w.progress(1, &mut m, now) > 0);
+        assert!(w.progress(1, &mut m.ctx(1), now) > 0);
         assert!(w.recv_done(r));
         assert!(w.quiescent());
     }
@@ -798,27 +958,27 @@ mod tests {
     fn rendezvous_requires_both_hosts_to_progress() {
         let (mut m, mut w) = setup(2);
         let bytes = 1_000_000; // > eager limit
-        let s = w.isend(&mut m, 0, 1, 3, bytes, None, SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 3, bytes, None, SimTime::ZERO);
         let r = w.irecv(1, 0, 3);
         assert!(!w.send_done(s), "rendezvous sends are not complete at post");
 
         // RTS arrives; receiver progress sends CTS.
         drain(&mut m, &mut w);
         let t = m.now();
-        assert_eq!(w.progress(1, &mut m, t), 1);
+        assert_eq!(w.progress(1, &mut m.ctx(1), t), 1);
         assert!(!w.send_done(s));
         assert!(!w.recv_done(r));
 
         // CTS arrives; *sender* progress injects the payload.
         drain(&mut m, &mut w);
         let t = m.now();
-        assert_eq!(w.progress(0, &mut m, t), 1);
+        assert_eq!(w.progress(0, &mut m.ctx(0), t), 1);
         assert!(w.send_done(s), "payload injected, buffer released");
 
         // Payload arrives; receiver progress completes the receive.
         drain(&mut m, &mut w);
         let t = m.now();
-        assert_eq!(w.progress(1, &mut m, t), 1);
+        assert_eq!(w.progress(1, &mut m.ctx(1), t), 1);
         assert!(w.recv_done(r));
         assert!(w.quiescent());
     }
@@ -826,21 +986,21 @@ mod tests {
     #[test]
     fn rendezvous_stalls_without_posted_recv() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 0, 1, 3, 1_000_000, None, SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 3, 1_000_000, None, SimTime::ZERO);
         drain(&mut m, &mut w);
         // Receiver progresses but has no matching irecv: nothing happens.
         let t = m.now();
-        assert_eq!(w.progress(1, &mut m, t), 0);
+        assert_eq!(w.progress(1, &mut m.ctx(1), t), 0);
         // Posting the receive unblocks the handshake.
         let r = w.irecv(1, 0, 3);
         let t = m.now();
-        assert_eq!(w.progress(1, &mut m, t), 1);
+        assert_eq!(w.progress(1, &mut m.ctx(1), t), 1);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(0, &mut m, t);
+        w.progress(0, &mut m.ctx(0), t);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r));
     }
 
@@ -848,11 +1008,19 @@ mod tests {
     fn payload_travels_functionally() {
         let (mut m, mut w) = setup(2);
         let data = vec![1.5, 2.5, 3.5];
-        w.isend(&mut m, 0, 1, 9, 24, Some(data.clone()), SimTime::ZERO);
+        w.isend(
+            &mut m.ctx(0),
+            0,
+            1,
+            9,
+            24,
+            Some(data.clone()),
+            SimTime::ZERO,
+        );
         let r = w.irecv(1, 0, 9);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r));
         assert_eq!(w.take_payload(r), Some(data));
     }
@@ -860,13 +1028,13 @@ mod tests {
     #[test]
     fn matching_is_fifo_per_source_and_tag() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 0, 1, 5, 8, Some(vec![1.0]), SimTime::ZERO);
-        w.isend(&mut m, 0, 1, 5, 8, Some(vec![2.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 5, 8, Some(vec![1.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 5, 8, Some(vec![2.0]), SimTime::ZERO);
         let r1 = w.irecv(1, 0, 5);
         let r2 = w.irecv(1, 0, 5);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r1) && w.recv_done(r2));
         // First posted receive gets the first sent message.
         assert_eq!(w.take_payload(r1), Some(vec![1.0]));
@@ -876,18 +1044,18 @@ mod tests {
     #[test]
     fn tags_separate_message_streams() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 0, 1, 100, 8, Some(vec![1.0]), SimTime::ZERO);
-        w.isend(&mut m, 0, 1, 200, 8, Some(vec![2.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 100, 8, Some(vec![1.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 200, 8, Some(vec![2.0]), SimTime::ZERO);
         let r200 = w.irecv(1, 0, 200);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r200));
         assert_eq!(w.take_payload(r200), Some(vec![2.0]));
         assert!(!w.quiescent(), "tag-100 message still unconsumed");
         let r100 = w.irecv(1, 0, 100);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r100));
         assert!(w.quiescent());
     }
@@ -895,11 +1063,11 @@ mod tests {
     #[test]
     fn compact_drops_finished_traffic() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 0, 1, 1, 8, None, SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 1, 8, None, SimTime::ZERO);
         let r = w.irecv(1, 0, 1);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r));
         w.compact();
         assert!(w.msgs.is_empty() && w.recvs.is_empty());
@@ -909,7 +1077,7 @@ mod tests {
     #[test]
     fn iprobe_and_outstanding_track_unmatched_arrivals() {
         let (mut m, mut w) = setup(2);
-        let s = w.isend(&mut m, 0, 1, 5, 64, None, SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 5, 64, None, SimTime::ZERO);
         assert_eq!(w.outstanding(0), 1);
         assert_eq!(w.outstanding(1), 1);
         assert!(!w.iprobe(1, 0, 5), "not arrived yet");
@@ -919,7 +1087,7 @@ mod tests {
         assert!(!w.iprobe(0, 1, 5), "wrong direction");
         let r = w.irecv(1, 0, 5);
         let now = m.now();
-        w.progress(1, &mut m, now);
+        w.progress(1, &mut m.ctx(1), now);
         assert!(w.recv_done(r));
         assert!(!w.iprobe(1, 0, 5), "consumed");
         assert_eq!(w.outstanding(0), 0);
@@ -930,7 +1098,7 @@ mod tests {
     #[should_panic(expected = "self-sends")]
     fn self_sends_rejected() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 1, 1, 0, 8, None, SimTime::ZERO);
+        w.isend(&mut m.ctx(1), 1, 1, 0, 8, None, SimTime::ZERO);
     }
 
     // ------------------------------------------------------------------
@@ -969,7 +1137,7 @@ mod tests {
     #[should_panic(expected = "reserved control-plane namespace")]
     fn reserved_tags_are_rejected_at_isend() {
         let (mut m, mut w) = setup(2);
-        w.isend(&mut m, 0, 1, APP_TAG_LIMIT, 8, None, SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, APP_TAG_LIMIT, 8, None, SimTime::ZERO);
     }
 
     #[test]
@@ -985,11 +1153,11 @@ mod tests {
         // namespace check must not clip real traffic.
         let (mut m, mut w) = setup(2);
         let tag = APP_TAG_LIMIT - 1;
-        w.isend(&mut m, 0, 1, tag, 8, Some(vec![6.5]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, tag, 8, Some(vec![6.5]), SimTime::ZERO);
         let r = w.irecv(1, 0, tag);
         drain(&mut m, &mut w);
         let t = m.now();
-        w.progress(1, &mut m, t);
+        w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r));
         assert_eq!(w.take_payload(r), Some(vec![6.5]));
     }
@@ -1016,7 +1184,7 @@ mod tests {
             let now = m.now();
             let mut acted = 0;
             for r in 0..ranks {
-                acted += w.progress(r, m, now);
+                acted += w.progress(r, &mut m.ctx(r), now);
             }
             if w.quiescent() && m.peek_time().is_none() {
                 return;
@@ -1047,7 +1215,15 @@ mod tests {
         };
         let (mut m, mut w, plan) = reliable(2, cfg);
         let data = vec![4.25, -1.5];
-        let s = w.isend(&mut m, 0, 1, 7, 16, Some(data.clone()), SimTime::ZERO);
+        let s = w.isend(
+            &mut m.ctx(0),
+            0,
+            1,
+            7,
+            16,
+            Some(data.clone()),
+            SimTime::ZERO,
+        );
         let r = w.irecv(1, 0, 7);
         settle(&mut m, &mut w, 2);
         assert!(w.send_done(s) && w.recv_done(r));
@@ -1069,7 +1245,7 @@ mod tests {
             ..FaultConfig::none(22)
         };
         let (mut m, mut w, plan) = reliable(2, cfg);
-        let s = w.isend(&mut m, 0, 1, 5, 8, Some(vec![9.0]), SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 5, 8, Some(vec![9.0]), SimTime::ZERO);
         let r = w.irecv(1, 0, 5);
         settle(&mut m, &mut w, 2);
         assert!(w.send_done(s) && w.recv_done(r));
@@ -1091,7 +1267,7 @@ mod tests {
             ..FaultConfig::none(23)
         };
         let (mut m, mut w, plan) = reliable(2, cfg);
-        w.isend(&mut m, 0, 1, 3, 8, Some(vec![1.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 3, 8, Some(vec![1.0]), SimTime::ZERO);
         let r = w.irecv(1, 0, 3);
         settle(&mut m, &mut w, 2);
         assert!(w.recv_done(r));
@@ -1110,7 +1286,7 @@ mod tests {
         };
         let (mut m, mut w, plan) = reliable(2, cfg);
         let r = w.irecv(1, 0, 1);
-        w.isend(&mut m, 0, 1, 1, 8, Some(vec![2.0]), SimTime::ZERO);
+        w.isend(&mut m.ctx(0), 0, 1, 1, 8, Some(vec![2.0]), SimTime::ZERO);
         settle(&mut m, &mut w, 2);
         assert!(w.recv_done(r), "forced delivery still completes the run");
         assert_eq!(w.take_payload(r), Some(vec![2.0]));
@@ -1127,7 +1303,7 @@ mod tests {
         };
         let (mut m, mut w, plan) = reliable(2, cfg);
         let bytes = 1_000_000; // > eager limit: rendezvous
-        let s = w.isend(&mut m, 0, 1, 9, bytes, None, SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 9, bytes, None, SimTime::ZERO);
         let r = w.irecv(1, 0, 9);
         settle(&mut m, &mut w, 2);
         assert!(w.send_done(s) && w.recv_done(r));
@@ -1142,7 +1318,7 @@ mod tests {
         // A fault plan that injects nothing still runs the ack layer;
         // message delivery and payloads are unchanged.
         let (mut m, mut w, plan) = reliable(2, FaultConfig::none(26));
-        let s = w.isend(&mut m, 0, 1, 7, 8, Some(vec![3.5]), SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 7, 8, Some(vec![3.5]), SimTime::ZERO);
         let r = w.irecv(1, 0, 7);
         assert_eq!(w.unacked(0), 1);
         settle(&mut m, &mut w, 2);

@@ -19,7 +19,7 @@ fn settle(m: &mut Machine, w: &mut MpiWorld, n: usize) {
     loop {
         drain(m, w);
         let now = m.now();
-        let acted: usize = (0..n).map(|r| w.progress(r, m, now)).sum();
+        let acted: usize = (0..n).map(|r| w.progress(r, &mut m.ctx(r), now)).sum();
         if acted == 0 && m.peek_time().is_none() {
             break;
         }
@@ -44,7 +44,7 @@ proptest! {
             let src = src_raw;
             let dst = if dst_raw == src { (dst_raw + 1) % n } else { dst_raw };
             let stamp = i as f64;
-            w.isend(&mut m, src, dst, tag, bytes, Some(vec![stamp]), SimTime::ZERO);
+            w.isend(&mut m.ctx(src), src, dst, tag, bytes, Some(vec![stamp]), SimTime::ZERO);
             per_channel.entry((src, dst, tag)).or_default().push(stamp);
         }
         // Post matching receives (channel by channel, FIFO) and settle.
@@ -77,7 +77,7 @@ proptest! {
         let mut m = Machine::new(MachineConfig::sw26010(), 2);
         let mut w = MpiWorld::new(2);
         for i in 0..count {
-            w.isend(&mut m, 0, 1, 9, bytes, Some(vec![i as f64]), SimTime::ZERO);
+            w.isend(&mut m.ctx(0), 0, 1, 9, bytes, Some(vec![i as f64]), SimTime::ZERO);
         }
         // Let everything that can move without receives move.
         settle(&mut m, &mut w, 2);
@@ -98,13 +98,13 @@ proptest! {
     fn rendezvous_send_completion_requires_handshake(bytes in 20_000u64..1_000_000) {
         let mut m = Machine::new(MachineConfig::sw26010(), 2);
         let mut w = MpiWorld::new(2);
-        let s = w.isend(&mut m, 0, 1, 1, bytes, None, SimTime::ZERO);
+        let s = w.isend(&mut m.ctx(0), 0, 1, 1, bytes, None, SimTime::ZERO);
         prop_assert!(!w.send_done(s));
         // Sender progressing alone can never complete it.
         for _ in 0..3 {
             drain(&mut m, &mut w);
             let now = m.now();
-            w.progress(0, &mut m, now);
+            w.progress(0, &mut m.ctx(0), now);
         }
         prop_assert!(!w.send_done(s));
         let r = w.irecv(1, 0, 1);

@@ -8,8 +8,8 @@
 //! * [`time`] / [`event`] — virtual time and a deterministic event queue;
 //! * [`config`] — the SW26010/TaihuLight parameters (paper Table II) plus
 //!   calibrated effective rates;
-//! * [`machine`] — core groups (MPE + CPE cluster + NIC) advanced by one
-//!   global event queue;
+//! * [`machine`] — core groups (MPE + CPE cluster + NIC), each advanced by
+//!   its own event queue and logical clock (conservative-PDES shards);
 //! * [`mpe`] — serial busy-time accounting for the single management core;
 //! * [`ldm`] — the capacity-enforcing 64 KB scratchpad allocator;
 //! * [`flops`] — emulation of the precise per-CG floating-point counters.
@@ -37,7 +37,7 @@ pub use config::{MachineConfig, MachineConfigError};
 pub use event::EventQueue;
 pub use flops::{FlopCategory, FlopCounters};
 pub use ldm::{LdmAlloc, LdmOverflow};
-pub use machine::{Cg, CgId, Machine, MachineEvent, MachineStats};
+pub use machine::{Cg, CgId, Machine, MachineCtx, MachineEvent, MachineStats};
 pub use mpe::MpeClock;
 pub use noise::{KernelNoise, SplitMix64};
 pub use time::{SimDur, SimTime};

@@ -1,5 +1,12 @@
-//! The machine: a set of core groups connected by the TaihuLight network,
-//! advanced by one deterministic event queue.
+//! The machine: a set of core groups connected by the TaihuLight network.
+//!
+//! Since the conservative-PDES rework each core group owns its *own*
+//! event queue and logical clock (a [`Shard`]); cross-CG traffic leaves a
+//! shard through an **outbox** and is merged into the destination shard's
+//! queue at a deterministic barrier. Rank-local layers act on the machine
+//! through a [`MachineCtx`] — a borrow of exactly one shard plus the
+//! immutable machine-wide state — which is what makes it sound to advance
+//! many CGs concurrently on scoped threads.
 //!
 //! The machine layer knows about *hardware* happenings only; semantic layers
 //! mint opaque tokens and interpret them when the corresponding
@@ -8,6 +15,11 @@
 //! * `sw-athread` mints kernel tokens and handles [`MachineEvent::KernelDone`],
 //! * `sw-mpi` mints message tokens and handles [`MachineEvent::NetDeliver`],
 //! * schedulers mint timer tokens and handle [`MachineEvent::Timer`].
+//!
+//! The pre-PDES whole-machine API (`pop`, `peek_time`, `net_send`, …) is
+//! kept as a facade over the shards: it scans for the globally earliest
+//! event and drains outboxes eagerly, so single-threaded callers and tests
+//! observe one deterministic global timeline.
 
 use std::sync::Arc;
 
@@ -103,6 +115,51 @@ pub struct MachineStats {
     pub timers: u64,
 }
 
+impl MachineStats {
+    fn merge(&mut self, o: &MachineStats) {
+        self.kernels += o.kernels;
+        self.messages += o.messages;
+        self.net_bytes += o.net_bytes;
+        self.timers += o.timers;
+    }
+}
+
+/// A message crossing shard boundaries: `(deliver, dst, token)`, parked in
+/// the source shard's outbox until the next barrier merge.
+type Outbound = (SimTime, CgId, u64);
+
+/// One core group's slice of the machine: its event queue/logical clock,
+/// hardware state, seeded noise stream, and outbox of cross-CG deliveries.
+struct Shard {
+    queue: EventQueue<MachineEvent>,
+    cg: Cg,
+    /// Per-shard noise stream so concurrent shards draw independently and
+    /// deterministically (seed is mixed with the CG id).
+    noise: Option<KernelNoise>,
+    speed: f64,
+    stats: MachineStats,
+    outbox: Vec<Outbound>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            queue: EventQueue::new(),
+            cg: Cg::new(),
+            noise: None,
+            speed: 1.0,
+            stats: MachineStats::default(),
+            outbox: Vec::new(),
+        }
+    }
+}
+
+/// Mix a machine-level noise seed with a CG id. CG 0 maps to the seed
+/// unchanged, so single-CG noise streams match the pre-shard machine.
+fn mix_seed(seed: u64, cg: CgId) -> u64 {
+    seed ^ (cg as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// The simulated machine: `n` CGs plus the interconnect.
 ///
 /// ```
@@ -122,22 +179,16 @@ pub struct MachineStats {
 /// ```
 pub struct Machine {
     cfg: MachineConfig,
-    queue: EventQueue<MachineEvent>,
-    cgs: Vec<Cg>,
-    stats: MachineStats,
-    /// Optional seeded kernel-duration noise ("instabilities in the
-    /// machine", paper §VII-A).
-    noise: Option<KernelNoise>,
-    /// Per-CG relative speed (1.0 = nominal); a slow CG stretches every
-    /// kernel it runs. Gives the measurement-driven load balancer real
-    /// imbalance to correct.
-    cg_speed: Vec<f64>,
+    shards: Vec<Shard>,
     /// Telemetry sink for hardware-level events (disabled by default; the
     /// controller threads the run's recorder in via [`Machine::set_recorder`]).
     rec: Recorder,
     /// Optional fault plan consulted at the DMA boundary
     /// ([`Machine::offload_kernel_keyed`]) and for rank-level NIC jitter.
     faults: Option<Arc<FaultPlan>>,
+    /// Noise parameters, kept so late-constructed shards could reuse them
+    /// and so [`Machine::set_noise`] stays idempotent per shard.
+    noise: Option<(f64, u64)>,
 }
 
 impl Machine {
@@ -148,13 +199,10 @@ impl Machine {
             .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
         Machine {
             cfg,
-            queue: EventQueue::new(),
-            cgs: (0..n_cgs).map(|_| Cg::new()).collect(),
-            stats: MachineStats::default(),
-            noise: None,
-            cg_speed: vec![1.0; n_cgs],
+            shards: (0..n_cgs).map(|_| Shard::new()).collect(),
             rec: Recorder::off(),
             faults: None,
+            noise: None,
         }
     }
 
@@ -179,8 +227,14 @@ impl Machine {
     }
 
     /// Enable seeded kernel-duration noise of up to `frac`.
+    ///
+    /// Each CG draws from its own stream (seed mixed with the CG id), so
+    /// noise stays bit-reproducible when shards advance concurrently.
     pub fn set_noise(&mut self, frac: f64, seed: u64) {
-        self.noise = (frac > 0.0).then(|| KernelNoise::new(frac, seed));
+        self.noise = (frac > 0.0).then_some((frac, seed));
+        for (cg, shard) in self.shards.iter_mut().enumerate() {
+            shard.noise = (frac > 0.0).then(|| KernelNoise::new(frac, mix_seed(seed, cg)));
+        }
     }
 
     /// Set one CG's relative speed (e.g. 0.5 = half as fast).
@@ -189,12 +243,12 @@ impl Machine {
     /// Panics on non-positive speeds.
     pub fn set_cg_speed(&mut self, cg: CgId, speed: f64) {
         assert!(speed > 0.0, "speed must be positive");
-        self.cg_speed[cg] = speed;
+        self.shards[cg].speed = speed;
     }
 
     /// A CG's relative speed.
     pub fn cg_speed(&self, cg: CgId) -> f64 {
-        self.cg_speed[cg]
+        self.shards[cg].speed
     }
 
     /// The machine configuration.
@@ -204,65 +258,300 @@ impl Machine {
 
     /// Number of core groups.
     pub fn n_cgs(&self) -> usize {
-        self.cgs.len()
+        self.shards.len()
     }
 
-    /// Current virtual time.
+    /// Current virtual time: the furthest-advanced shard clock.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.shards
+            .iter()
+            .map(|s| s.queue.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
-    /// Pop the next hardware event, advancing virtual time.
+    /// One shard's logical clock.
+    pub fn shard_now(&self, cg: CgId) -> SimTime {
+        self.shards[cg].queue.now()
+    }
+
+    /// Timestamp of one shard's next queued event (outboxes not included).
+    pub fn shard_peek(&self, cg: CgId) -> Option<SimTime> {
+        self.shards[cg].queue.peek_time()
+    }
+
+    /// Pop the globally earliest hardware event, advancing that shard's
+    /// clock. Outboxes are merged first so cross-CG messages are visible;
+    /// ties across shards break by CG id (within a shard, by schedule
+    /// order), which keeps the facade timeline deterministic.
     pub fn pop(&mut self) -> Option<(SimTime, MachineEvent)> {
-        self.queue.pop()
+        self.merge_outboxes(None);
+        let rank = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| s.queue.peek_time().map(|t| (t, r)))
+            .min()?
+            .1;
+        self.shards[rank].queue.pop()
     }
 
-    /// Timestamp of the next pending event.
+    /// Timestamp of the next pending event anywhere (queues and outboxes).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        let queued = self.shards.iter().filter_map(|s| s.queue.peek_time());
+        let outbound = self
+            .shards
+            .iter()
+            .flat_map(|s| s.outbox.iter().map(|&(at, _, _)| at));
+        queued.chain(outbound).min()
     }
 
-    /// Events processed so far.
+    /// Merge every shard's outbox into the destination queues, in source
+    /// rank order and outbox push order — the deterministic barrier of the
+    /// window protocol. With `floor = Some(end)` (the window end), a
+    /// delivery scheduled before `end` is a **lookahead violation** and
+    /// panics: the conservative contract promised no cross-CG message could
+    /// land inside the window just drained.
+    pub fn merge_outboxes(&mut self, floor: Option<SimTime>) {
+        for src in 0..self.shards.len() {
+            if self.shards[src].outbox.is_empty() {
+                continue;
+            }
+            let outbox = std::mem::take(&mut self.shards[src].outbox);
+            for (at, dst, token) in outbox {
+                if let Some(end) = floor {
+                    assert!(
+                        at >= end,
+                        "lookahead violation: message from CG {src} delivers at {at}, \
+                         inside the window ending at {end}"
+                    );
+                }
+                self.shards[dst]
+                    .queue
+                    .schedule_at(at, MachineEvent::NetDeliver { dst, token });
+            }
+        }
+    }
+
+    /// True when any shard still has an undelivered outbox entry.
+    pub fn has_outbound(&self) -> bool {
+        self.shards.iter().any(|s| !s.outbox.is_empty())
+    }
+
+    /// Events processed so far, summed over shards.
     pub fn events_popped(&self) -> u64 {
-        self.queue.popped()
+        self.shards.iter().map(|s| s.queue.popped()).sum()
     }
 
-    /// Aggregate statistics.
-    pub fn stats(&self) -> &MachineStats {
-        &self.stats
+    /// Aggregate statistics, summed over shards.
+    pub fn stats(&self) -> MachineStats {
+        let mut total = MachineStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
     }
 
     /// Access a CG.
     pub fn cg(&self, id: CgId) -> &Cg {
-        &self.cgs[id]
+        &self.shards[id].cg
     }
 
     /// Mutably access a CG.
     pub fn cg_mut(&mut self, id: CgId) -> &mut Cg {
-        &mut self.cgs[id]
+        &mut self.shards[id].cg
     }
 
     /// Sum the flop counters of all CGs.
     pub fn total_flops(&self) -> FlopCounters {
         let mut total = FlopCounters::new();
-        for cg in &self.cgs {
-            total.merge(&cg.counters);
+        for s in &self.shards {
+            total.merge(&s.cg.counters);
         }
         total
     }
 
+    /// Borrow one shard as a [`MachineCtx`] — the machine handle a rank's
+    /// layers (athread, MPI, scheduler) act through.
+    pub fn ctx(&mut self, rank: CgId) -> MachineCtx<'_> {
+        let n_cgs = self.shards.len();
+        MachineCtx {
+            rank,
+            n_cgs,
+            cfg: &self.cfg,
+            shard: &mut self.shards[rank],
+            rec: &self.rec,
+            faults: self.faults.as_ref(),
+        }
+    }
+
+    /// Borrow **all** shards as disjoint [`MachineCtx`]s at once, for the
+    /// PDES engine to hand out across scoped threads.
+    pub fn ctxs(&mut self) -> Vec<MachineCtx<'_>> {
+        let n_cgs = self.shards.len();
+        let cfg = &self.cfg;
+        let rec = &self.rec;
+        let faults = self.faults.as_ref();
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, shard)| MachineCtx {
+                rank,
+                n_cgs,
+                cfg,
+                shard,
+                rec,
+                faults,
+            })
+            .collect()
+    }
+
     /// Run a kernel on (a group of) `cg`'s CPE cluster for `dur`, starting
-    /// no earlier than `start`. Concurrent kernels are allowed — whether the
-    /// cluster is whole or split into groups is the athread layer's policy
-    /// (the paper runs one kernel at a time; CPE grouping is §IX future
-    /// work). Schedules [`MachineEvent::KernelDone`] and returns its fire
-    /// time.
+    /// no earlier than `start`. Facade over [`MachineCtx::offload_kernel`].
+    pub fn offload_kernel(&mut self, cg: CgId, start: SimTime, dur: SimDur, token: u64) -> SimTime {
+        self.ctx(cg)
+            .offload_kernel_keyed(cg, start, dur, token, None)
+            .expect("unkeyed offloads never fault")
+    }
+
+    /// [`Machine::offload_kernel`] with an optional fault-plan key. Facade
+    /// over [`MachineCtx::offload_kernel_keyed`].
+    pub fn offload_kernel_keyed(
+        &mut self,
+        cg: CgId,
+        start: SimTime,
+        dur: SimDur,
+        token: u64,
+        key: Option<&OffloadKey>,
+    ) -> Option<SimTime> {
+        self.ctx(cg)
+            .offload_kernel_keyed(cg, start, dur, token, key)
+    }
+
+    /// Inject a message of `bytes` from `src` to `dst`. Facade over
+    /// [`MachineCtx::net_send`] that merges the outbox immediately, so the
+    /// delivery is visible to the next [`Machine::pop`].
+    pub fn net_send(
+        &mut self,
+        src: CgId,
+        dst: CgId,
+        bytes: u64,
+        when: SimTime,
+        token: u64,
+    ) -> SimTime {
+        let deliver = self.ctx(src).net_send(src, dst, bytes, when, token);
+        self.merge_outboxes(None);
+        deliver
+    }
+
+    /// Schedule a wakeup timer for `cg` at `at` (clamped to its clock).
+    pub fn timer_at(&mut self, cg: CgId, at: SimTime, token: u64) {
+        self.ctx(cg).timer_at(cg, at, token);
+    }
+}
+
+/// A single shard's view of the machine: everything a rank's semantic
+/// layers may touch while that rank is being advanced (possibly on a
+/// worker thread, concurrently with other shards).
+///
+/// The method names mirror [`Machine`]'s, so layer code reads identically;
+/// CG-indexed methods assert the index is this context's own rank — the
+/// only cross-rank action a shard may take is [`MachineCtx::net_send`],
+/// which parks the delivery in the outbox for the barrier merge.
+pub struct MachineCtx<'a> {
+    rank: CgId,
+    n_cgs: usize,
+    cfg: &'a MachineConfig,
+    shard: &'a mut Shard,
+    rec: &'a Recorder,
+    faults: Option<&'a Arc<FaultPlan>>,
+}
+
+impl MachineCtx<'_> {
+    /// The rank this context is bound to.
+    pub fn rank(&self) -> CgId {
+        self.rank
+    }
+
+    /// Reborrow this context with a shorter lifetime — hand a by-value
+    /// `MachineCtx` to a callee (e.g. a `StepCtx`) without giving up the
+    /// original.
+    pub fn reborrow(&mut self) -> MachineCtx<'_> {
+        MachineCtx {
+            rank: self.rank,
+            n_cgs: self.n_cgs,
+            cfg: self.cfg,
+            shard: &mut *self.shard,
+            rec: self.rec,
+            faults: self.faults,
+        }
+    }
+
+    /// Number of core groups in the whole machine.
+    pub fn n_cgs(&self) -> usize {
+        self.n_cgs
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        self.cfg
+    }
+
+    /// This shard's logical clock.
+    pub fn now(&self) -> SimTime {
+        self.shard.queue.now()
+    }
+
+    /// The telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        self.rec
+    }
+
+    /// The fault plan, when one is installed.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults
+    }
+
+    /// This shard's CG state. `id` must be this context's rank.
+    pub fn cg(&self, id: CgId) -> &Cg {
+        assert_eq!(id, self.rank, "shard ctx may only touch its own CG");
+        &self.shard.cg
+    }
+
+    /// Mutable CG state. `id` must be this context's rank.
+    pub fn cg_mut(&mut self, id: CgId) -> &mut Cg {
+        assert_eq!(id, self.rank, "shard ctx may only touch its own CG");
+        &mut self.shard.cg
+    }
+
+    /// This CG's relative speed. `id` must be this context's rank.
+    pub fn cg_speed(&self, id: CgId) -> f64 {
+        assert_eq!(id, self.rank, "shard ctx may only touch its own CG");
+        self.shard.speed
+    }
+
+    /// Timestamp of this shard's next queued event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.shard.queue.peek_time()
+    }
+
+    /// Pop this shard's next event if it fires strictly before `bound`
+    /// (the current window end), advancing the shard clock.
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, MachineEvent)> {
+        if self.shard.queue.peek_time()? < bound {
+            self.shard.queue.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Run a kernel on this CG's CPE cluster (see [`Machine::offload_kernel`]).
     pub fn offload_kernel(&mut self, cg: CgId, start: SimTime, dur: SimDur, token: u64) -> SimTime {
         self.offload_kernel_keyed(cg, start, dur, token, None)
             .expect("unkeyed offloads never fault")
     }
 
-    /// [`Machine::offload_kernel`] with an optional fault-plan key.
+    /// [`MachineCtx::offload_kernel`] with an optional fault-plan key.
     ///
     /// When a fault plan is installed and `key` is provided, the plan may
     /// inject a **DMA transfer error**: the kernel never starts, no
@@ -277,8 +566,9 @@ impl Machine {
         token: u64,
         key: Option<&OffloadKey>,
     ) -> Option<SimTime> {
-        let begin = start.max(self.queue.now());
-        if let (Some(plan), Some(k)) = (self.faults.as_ref(), key) {
+        assert_eq!(cg, self.rank, "shard ctx may only offload to its own CG");
+        let begin = start.max(self.shard.queue.now());
+        if let (Some(plan), Some(k)) = (self.faults, key) {
             if plan.dma_fault(k) {
                 FaultStats::bump(&plan.stats.injected_dma_error);
                 self.rec.record(
@@ -293,24 +583,27 @@ impl Machine {
                 return None;
             }
         }
-        let mut dur = dur.scale(1.0 / self.cg_speed[cg]);
-        if let Some(noise) = &mut self.noise {
+        let mut dur = dur.scale(1.0 / self.shard.speed);
+        if let Some(noise) = &mut self.shard.noise {
             dur = dur.scale(noise.draw());
         }
-        let slot = &mut self.cgs[cg];
         let end = begin + dur;
-        slot.cpe_busy_until = slot.cpe_busy_until.max(end);
-        slot.cpe_busy_total += dur;
-        self.stats.kernels += 1;
-        self.queue
+        self.shard.cg.cpe_busy_until = self.shard.cg.cpe_busy_until.max(end);
+        self.shard.cg.cpe_busy_total += dur;
+        self.shard.stats.kernels += 1;
+        self.shard
+            .queue
             .schedule_at(end, MachineEvent::KernelDone { cg, token });
         Some(end)
     }
 
-    /// Inject a message of `bytes` from `src` to `dst`, with the send-side
-    /// work beginning no earlier than `when`. Injection serializes on the
-    /// source NIC; delivery is injection end + wire time. Schedules
-    /// [`MachineEvent::NetDeliver`] and returns the delivery time.
+    /// Inject a message of `bytes` from `src` (this rank) to `dst`, with
+    /// the send-side work beginning no earlier than `when`. Injection
+    /// serializes on the source NIC; delivery is injection end plus wire
+    /// time plus latency. The delivery is parked in this shard's outbox — it
+    /// reaches `dst`'s queue at the next barrier merge — and its time is
+    /// returned. Delivery can never precede `now + net_latency`, which is
+    /// exactly the lookahead the PDES window protocol relies on.
     pub fn net_send(
         &mut self,
         src: CgId,
@@ -319,21 +612,23 @@ impl Machine {
         when: SimTime,
         token: u64,
     ) -> SimTime {
-        assert!(dst < self.cgs.len(), "bad destination CG {dst}");
-        let inject_start = when.max(self.cgs[src].nic_free_at).max(self.queue.now());
+        assert_eq!(src, self.rank, "shard ctx may only send from its own CG");
+        assert!(dst < self.n_cgs, "bad destination CG {dst}");
+        let inject_start = when
+            .max(self.shard.cg.nic_free_at)
+            .max(self.shard.queue.now());
         let inject_dur = SimDur::from_secs_f64(bytes as f64 / (self.cfg.net_bw_gbs * 1e9));
         let inject_end = inject_start + inject_dur;
-        self.cgs[src].nic_free_at = inject_end;
+        self.shard.cg.nic_free_at = inject_end;
         // Rank-level NIC jitter: a jittered source pays constant extra
         // latency on every packet it injects (models a hot/slow node).
         let jitter = self
             .faults
-            .as_ref()
             .and_then(|p| p.jitter_ps(src as u32))
             .map_or(SimDur::ZERO, SimDur);
         let deliver = inject_end + self.cfg.net_latency + jitter;
-        self.stats.messages += 1;
-        self.stats.net_bytes += bytes;
+        self.shard.stats.messages += 1;
+        self.shard.stats.net_bytes += bytes;
         self.rec.record(
             src,
             inject_start.0,
@@ -346,16 +641,25 @@ impl Machine {
                 deliver_ps: deliver.0,
             },
         );
-        self.queue
-            .schedule_at(deliver, MachineEvent::NetDeliver { dst, token });
+        if dst == src {
+            // Self-delivery stays shard-local (no barrier needed).
+            self.shard
+                .queue
+                .schedule_at(deliver, MachineEvent::NetDeliver { dst, token });
+        } else {
+            self.shard.outbox.push((deliver, dst, token));
+        }
         deliver
     }
 
-    /// Schedule a wakeup timer for `cg` at `at`.
+    /// Schedule a wakeup timer for this CG at `at` (clamped to its clock).
     pub fn timer_at(&mut self, cg: CgId, at: SimTime, token: u64) {
-        self.stats.timers += 1;
-        self.queue
-            .schedule_at(at.max(self.queue.now()), MachineEvent::Timer { cg, token });
+        assert_eq!(cg, self.rank, "shard ctx may only arm its own timers");
+        self.shard.stats.timers += 1;
+        let at = at.max(self.shard.queue.now());
+        self.shard
+            .queue
+            .schedule_at(at, MachineEvent::Timer { cg, token });
     }
 }
 
@@ -453,6 +757,24 @@ mod tests {
         assert_ne!(a, run(6), "different seed, different stretch");
         assert!(a.iter().all(|&e| (1000..=1100).contains(&e)), "{a:?}");
         assert!(a.iter().any(|&e| e != 1000), "noise must do something");
+    }
+
+    #[test]
+    fn per_cg_noise_streams_are_independent() {
+        // Two CGs running identical kernels draw different (but seeded)
+        // stretches, and the draws do not depend on interleaving order.
+        let mut m = machine(2);
+        m.set_noise(0.10, 42);
+        let a0 = m.offload_kernel(0, SimTime(0), SimDur(1000), 1);
+        let b0 = m.offload_kernel(1, SimTime(0), SimDur(1000), 2);
+        let mut m2 = machine(2);
+        m2.set_noise(0.10, 42);
+        // Reverse the offload order: per-CG streams must be unaffected.
+        let b1 = m2.offload_kernel(1, SimTime(0), SimDur(1000), 2);
+        let a1 = m2.offload_kernel(0, SimTime(0), SimDur(1000), 1);
+        assert_eq!(a0, a1, "CG 0 stream independent of interleaving");
+        assert_eq!(b0, b1, "CG 1 stream independent of interleaving");
+        assert_ne!(a0, b0, "distinct CGs draw from distinct streams");
     }
 
     #[test]
@@ -564,5 +886,36 @@ mod tests {
     fn rejects_bad_destination() {
         let mut m = machine(2);
         m.net_send(0, 5, 10, SimTime(0), 0);
+    }
+
+    #[test]
+    fn outbox_parks_cross_shard_deliveries_until_merge() {
+        let mut m = machine(2);
+        let deliver = m.ctx(0).net_send(0, 1, 64, SimTime(0), 9);
+        assert!(m.has_outbound(), "ctx sends park in the outbox");
+        assert_eq!(m.shard_peek(1), None, "not yet visible to the target");
+        assert_eq!(m.peek_time(), Some(deliver), "but visible to the facade");
+        m.merge_outboxes(None);
+        assert_eq!(m.shard_peek(1), Some(deliver));
+        assert!(!m.has_outbound());
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn merge_rejects_deliveries_inside_the_window() {
+        let mut m = machine(2);
+        let deliver = m.ctx(0).net_send(0, 1, 0, SimTime(0), 9);
+        // Claim a window that extends past the delivery: conservative
+        // contract broken, the merge must refuse.
+        m.merge_outboxes(Some(deliver + SimDur(1)));
+    }
+
+    #[test]
+    fn ctx_guards_foreign_cg_access() {
+        let mut m = machine(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.ctx(0).cg_mut(1);
+        }));
+        assert!(r.is_err(), "ctx must not reach into another shard's CG");
     }
 }

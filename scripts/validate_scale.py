@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate the `repro scale` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* BENCH_scale.json is well-formed JSON with the expected top-level shape
+  (host_threads, degenerate_host, steps, max_cgs, all_identical, cells);
+* every cell carries the full schema (problem, patches, variant, cgs,
+  virtual_time_ps, speedup, efficiency, serial_wall_ms, pdes_wall_ms,
+  pdes_wall_speedup, pdes_identical);
+* pdes_identical is true on every cell and all_identical agrees — the
+  conservative-PDES engine replayed the serial timeline bit-for-bit on
+  every swept config;
+* strong-scaling shape: within each (problem, variant) group the
+  virtual-time speedup is monotone non-decreasing in CG count (with a
+  2% slack for modeled contention effects) and the baseline row is 1.0;
+* overlap advantage: on the paper problem, at every CG count that
+  leaves each rank >= 2 patches to pipeline, the async variant finishes
+  no later than its sync sibling in virtual time. (At 1 patch/rank
+  there is nothing left to overlap and async's extra scheduling can
+  lose — the crossover is a finding, not a failure; see
+  EXPERIMENTS.md.)
+* honest host reporting: on a degenerate (single-thread) host the
+  wall-clock ratio is null and every cell carries the warning text;
+  on a multi-thread host the ratio is a positive number.
+
+Usage: validate_scale.py <results-dir>
+"""
+
+import json
+import os
+import sys
+
+CELL_KEYS = (
+    "problem", "patches", "variant", "cgs", "virtual_time_ps", "speedup",
+    "efficiency", "serial_wall_ms", "pdes_wall_ms", "pdes_wall_speedup",
+    "pdes_identical",
+)
+
+PAPER_PROBLEM = "16x16x512"
+
+# Slack for the monotone-speedup check: modeled contention can flatten
+# the curve between adjacent CG counts, but never collapse it.
+MONOTONE_SLACK = 0.98
+
+
+def fail(msg: str) -> None:
+    print(f"validate_scale: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "BENCH_scale.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro scale` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in ("host_threads", "degenerate_host", "steps", "max_cgs",
+                "all_identical", "cells"):
+        if key not in doc:
+            fail(f"BENCH_scale.json: missing top-level key {key!r}")
+
+    cells = doc["cells"]
+    if not cells:
+        fail("empty cells array — the sweep ran nothing")
+    degenerate = doc["degenerate_host"]
+    if degenerate != (doc["host_threads"] <= 1):
+        fail(f"degenerate_host={degenerate} disagrees with "
+             f"host_threads={doc['host_threads']}")
+
+    for c in cells:
+        for key in CELL_KEYS:
+            if key not in c:
+                fail(f"cell missing {key!r}: {c}")
+        if not c["pdes_identical"]:
+            fail(f"PDES diverged from serial: {c['problem']} "
+                 f"{c['variant']} at {c['cgs']} CGs")
+        if c["cgs"] > c["patches"]:
+            fail(f"{c['cgs']} CGs exceeds the {c['patches']}-patch layout")
+        if degenerate:
+            if c["pdes_wall_speedup"] is not None:
+                fail("degenerate host must report pdes_wall_speedup=null, "
+                     f"got {c['pdes_wall_speedup']}")
+            if "single-core host" not in c.get("warning", ""):
+                fail("degenerate host cell is missing the honest warning")
+        else:
+            if not (isinstance(c["pdes_wall_speedup"], (int, float))
+                    and c["pdes_wall_speedup"] > 0):
+                fail(f"bad pdes_wall_speedup: {c['pdes_wall_speedup']}")
+
+    if not doc["all_identical"]:
+        fail("all_identical=false (yet no cell flagged — inconsistent doc)"
+             if all(c["pdes_identical"] for c in cells)
+             else "all_identical=false")
+    if doc["max_cgs"] != max(c["cgs"] for c in cells):
+        fail(f"max_cgs={doc['max_cgs']} disagrees with the cells")
+
+    # Strong-scaling shape per (problem, variant) group, axis order.
+    groups = {}
+    for c in cells:
+        groups.setdefault((c["problem"], c["variant"]), []).append(c)
+    for (problem, variant), rows in groups.items():
+        if abs(rows[0]["speedup"] - 1.0) > 1e-9:
+            fail(f"{problem}/{variant}: baseline speedup "
+                 f"{rows[0]['speedup']} != 1.0")
+        for a, b in zip(rows, rows[1:]):
+            if b["cgs"] <= a["cgs"]:
+                fail(f"{problem}/{variant}: CG axis not increasing "
+                     f"({a['cgs']} -> {b['cgs']})")
+            if b["speedup"] < a["speedup"] * MONOTONE_SLACK:
+                fail(f"{problem}/{variant}: speedup collapsed "
+                     f"{a['speedup']:.3f} -> {b['speedup']:.3f} at "
+                     f"{b['cgs']} CGs")
+
+    # Overlap advantage on the paper problem while ranks still hold work.
+    sync_rows = {c["cgs"]: c for c in
+                 groups.get((PAPER_PROBLEM, "acc.sync"), [])}
+    async_rows = {c["cgs"]: c for c in
+                  groups.get((PAPER_PROBLEM, "acc.async"), [])}
+    if not sync_rows or not async_rows:
+        fail(f"paper problem {PAPER_PROBLEM} missing a sync/async curve")
+    compared = 0
+    for cgs, s in sync_rows.items():
+        a = async_rows.get(cgs)
+        if a is None:
+            fail(f"{PAPER_PROBLEM}: async curve missing the {cgs}-CG row")
+        if s["patches"] // cgs >= 2:
+            compared += 1
+            if a["virtual_time_ps"] > s["virtual_time_ps"]:
+                fail(f"{PAPER_PROBLEM} at {cgs} CGs: async "
+                     f"({a['virtual_time_ps']} ps) slower than sync "
+                     f"({s['virtual_time_ps']} ps) with "
+                     f"{s['patches'] // cgs} patches/rank to overlap")
+    if compared == 0:
+        fail("no CG count left >= 2 patches/rank — the overlap check "
+             "never ran")
+
+    print(
+        f"validate_scale: OK: {len(cells)} cells over {len(groups)} "
+        f"(problem, variant) curves, max {doc['max_cgs']} CGs, "
+        f"PDES bit-identical everywhere, async-vs-sync compared at "
+        f"{compared} CG count(s)"
+        + (", degenerate single-thread host honestly reported"
+           if degenerate else "")
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

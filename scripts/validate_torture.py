@@ -12,8 +12,11 @@ Checks, failing loudly on any violation:
   never exercised the rejection oracle, or never ran a full battery, is
   vacuous), and the corruption cadence (every 7th case) roughly holds;
 * the always-on oracles (constructs, completes, quiescent,
-  telemetry_reconciles, model_agrees) each passed exactly `valid` times
-  — an oracle silently skipped for some stratum would undercount;
+  telemetry_reconciles, model_agrees, pdes_bit_identical) each passed
+  exactly `valid` times — an oracle silently skipped for some stratum
+  would undercount; pdes_bit_identical is always-on by design: the
+  conservative-PDES engine must replay every valid config's serial
+  timeline exactly, harsh fault presets included;
 * the conditional oracles (parallel/SIMD bit identity, checkpoint noop
   and restart semantics, typed rejection) each passed at least once, so
   the corpus actually reached every corner the generator claims to
@@ -35,6 +38,7 @@ ALWAYS_ON = {
     "quiescent",
     "telemetry_reconciles",
     "model_agrees",
+    "pdes_bit_identical",
 }
 
 CONDITIONAL = {
