@@ -87,14 +87,34 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping scale JSON validation"
   fi
+
+  step "concurrency checker (repro check)"
+  # Static lookahead-safety proofs over every paper problem (plus the
+  # deliberate unsafe-lookahead demo, machine-verified to the picosecond),
+  # the vector-clock race detector + static/dynamic differential over
+  # instrumented runs, and the DPOR interleaving explorer asserting
+  # bit-identical warehouses across forced drain orders. Exits non-zero on
+  # any failed check; writes results/CHECK.json.
+  cargo run --release -p bench --bin repro -- check
+  # Schema + coverage validation: all three analyses ran, zero error
+  # findings, >= 50 non-equivalent interleavings explored.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_check.py results
+  else
+    echo "python3 not found; skipping check JSON validation"
+  fi
 fi
 
-# Best-effort: run the unsafe tile write-back path under miri when the
-# toolchain component is available (it needs a network fetch the first
-# time, so an offline box without it skips the stage rather than failing).
-step "cargo miri (best effort, sw-athread unsafe path)"
+# Best-effort: run the unsafe paths under miri when the toolchain
+# component is available (it needs a network fetch the first time, so an
+# offline box without it skips the stage rather than failing). Covers the
+# sw-athread tile write-back path and the uintah-core warehouse
+# (var/dw.rs) raw-pointer paths.
+step "cargo miri (best effort, sw-athread + warehouse unsafe paths)"
 if cargo miri --version >/dev/null 2>&1; then
   MIRIFLAGS="${MIRIFLAGS:-}" cargo miri test -p sw-athread --lib exec:: \
+    || { echo "ci.sh: miri FAILED"; exit 1; }
+  MIRIFLAGS="${MIRIFLAGS:-}" cargo miri test -p uintah-core --lib var::dw:: \
     || { echo "ci.sh: miri FAILED"; exit 1; }
 else
   echo "cargo-miri not installed; skipping (rustup component add miri)"

@@ -26,11 +26,13 @@
 pub mod geom;
 pub mod hazard;
 pub mod hb;
+pub mod lookahead;
 pub mod model;
 pub mod report;
 pub mod tiles;
 
 pub use geom::Box3;
+pub use lookahead::{prove_lookahead, ChannelBound, ChannelModel, LookaheadProof, NetModel};
 pub use model::{Access, AccessKind, GhostMsg, Schedule, TaskId, TaskKind, TaskNode, VarRef};
 pub use report::{AnalysisReport, Finding, FindingKind, Severity};
 pub use tiles::TilePlan;

@@ -42,6 +42,11 @@ pub enum FindingKind {
     TileGap,
     /// A tile extends outside the output box.
     TileOutOfBounds,
+    /// A cross-CG channel whose minimum modeled delivery latency is below
+    /// the configured PDES lookahead: a message could land inside an
+    /// already-drained window (the `merge_outboxes` violation), so the
+    /// configuration must be rejected before the run starts.
+    LookaheadUnsafe,
 }
 
 impl FindingKind {
@@ -57,6 +62,7 @@ impl FindingKind {
             FindingKind::TileOverlap => "tile_overlap",
             FindingKind::TileGap => "tile_gap",
             FindingKind::TileOutOfBounds => "tile_out_of_bounds",
+            FindingKind::LookaheadUnsafe => "lookahead_unsafe",
         }
     }
 }

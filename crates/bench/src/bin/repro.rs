@@ -10,6 +10,7 @@
 //! cargo run --release -p bench --bin repro -- faults --seed 42
 //! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
 //! cargo run --release -p bench --bin repro -- scale [--quick | --full]
+//! cargo run --release -p bench --bin repro -- check
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -149,6 +150,72 @@ fn run_torture(seed: u64, cases: u64) {
             "ERROR: {} torture case(s) failed an oracle",
             outcome.failures.len()
         );
+        std::process::exit(1);
+    }
+}
+
+/// `check` subcommand: the concurrency-checker campaign — static
+/// lookahead-safety proofs over every paper problem (plus the deliberate
+/// unsafe-lookahead demo, machine-verified to the picosecond), the
+/// vector-clock race detector with the static/dynamic differential over
+/// instrumented runs, and the DPOR interleaving explorer asserting
+/// bit-identical warehouses across forced drain orders. Writes
+/// `results/CHECK.json`; exits non-zero on any failure (the ci.sh check
+/// stage relies on it).
+fn run_check() {
+    let dir = std::path::Path::new("results");
+    let outcome = bench::check::write_check_json(dir).expect("write results/CHECK.json");
+    println!("== Concurrency check: static proof, race detector, DPOR explorer ==");
+    for c in &outcome.statics {
+        println!(
+            "static {:>13} cgs {:>3}: {:>4} channels, min latency {:>9} ps vs lookahead {} ps -> safe={}",
+            c.problem, c.cgs, c.channels, c.min_latency_ps, c.lookahead_ps, c.safe
+        );
+    }
+    let d = &outcome.unsafe_demo;
+    println!(
+        "unsafe demo: lookahead {} ps flagged ({} findings); machine delivered at {} ps, agrees={}",
+        d.lookahead_ps, d.findings, d.machine_deliver_ps, d.machine_agrees
+    );
+    for c in &outcome.dynamics {
+        println!(
+            "dynamic {:<14} cgs {:>2} steps {}: {:>6} events, {:>5} accesses, {:>6} pairs, \
+             {:>3} msg edges, {} races, {} structural, {} unmatched -> clean={}",
+            c.variant,
+            c.cgs,
+            c.steps,
+            c.events,
+            c.accesses,
+            c.pairs_checked,
+            c.msg_edges,
+            c.races,
+            c.structural,
+            c.unmatched,
+            c.clean
+        );
+    }
+    for c in &outcome.dpors {
+        println!(
+            "dpor {:<10} ranks {} steps {}: {:>3} windows ({} with messages), \
+             {:>2} interleavings explored ({} replays) -> identical={}",
+            c.name,
+            c.ranks,
+            c.steps,
+            c.windows,
+            c.message_windows,
+            c.explored,
+            c.replays,
+            c.identical
+        );
+    }
+    println!(
+        "{} interleavings explored; wrote {} (ok={})",
+        outcome.total_explored(),
+        bench::check::results_file(dir).display(),
+        outcome.ok()
+    );
+    if !outcome.ok() {
+        eprintln!("ERROR: a concurrency check failed");
         std::process::exit(1);
     }
 }
@@ -361,6 +428,17 @@ fn main() {
     if positional.iter().any(|a| *a == "torture") {
         run_torture(seed, cases_arg(&args));
         if positional.iter().all(|a| *a == "torture") {
+            return;
+        }
+    }
+
+    // Concurrency-checker campaign: static lookahead proofs, dynamic race
+    // detection, DPOR interleaving exploration -> results/CHECK.json.
+    // Explicit only (writes results/, not a paper table); exits non-zero
+    // on any failed check.
+    if positional.iter().any(|a| *a == "check") {
+        run_check();
+        if positional.iter().all(|a| *a == "check") {
             return;
         }
     }

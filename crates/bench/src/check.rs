@@ -1,0 +1,616 @@
+//! `repro check`: the concurrency-checker campaign (DESIGN.md §15).
+//!
+//! Three cooperating analyses over the PDES core, recorded together in
+//! `results/CHECK.json`:
+//!
+//! * **static** — for every paper problem the compiled plan channels are
+//!   proved safe against the default lookahead
+//!   ([`uintah_core::prove_lookahead_for_plans`]), plus a deliberate
+//!   counter-demonstration: a lookahead one picosecond past the proved
+//!   minimum is flagged statically *and* refused by the machine's outbox
+//!   merge at exactly the same picosecond (`machine_agrees`);
+//! * **dynamic** — instrumented runs (the committed-trace configurations
+//!   plus a fresh sweep) are replayed through the vector-clock race
+//!   detector and the static/dynamic differential
+//!   ([`uintah_core::race_check`]); every case must come back clean;
+//! * **dpor** — small functional configs are re-run under forced
+//!   per-window drain-order permutations drawn from the window message
+//!   graph's equivalence classes ([`sw_sim::WindowGraph`]); every explored
+//!   interleaving must reproduce the baseline warehouse bit-for-bit.
+//!
+//! `scripts/validate_check.py` enforces the shape (all three sections
+//! present, zero error findings, ≥ 50 interleavings explored).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use sw_sim::{Machine, SimTime, WindowGraph};
+use uintah_core::task::build_rank_plan;
+use uintah_core::{
+    iv, prove_lookahead_for_plans, race_check, Application, ExecMode, Level, RunConfig, Simulation,
+    Variant,
+};
+
+use crate::problems::{ProblemSpec, PROBLEMS, SMALL};
+
+/// One statically proved (problem, cgs) configuration.
+pub struct StaticCell {
+    /// Problem name.
+    pub problem: &'static str,
+    /// Ranks the plans were compiled for.
+    pub cgs: usize,
+    /// Cross-CG channels the proof covered.
+    pub channels: usize,
+    /// Minimum modeled delivery latency over all channels, ps
+    /// (`u64::MAX` when the configuration has no cross-CG traffic).
+    pub min_latency_ps: u64,
+    /// Lookahead the proof was evaluated against, ps.
+    pub lookahead_ps: u64,
+    /// Whether every channel satisfied `min_latency >= lookahead`.
+    pub safe: bool,
+}
+
+/// The deliberate unsafe-lookahead demonstration: static proof and machine
+/// model agreeing on the violation boundary to the picosecond.
+pub struct UnsafeDemo {
+    /// The provably unsafe lookahead (proved minimum + 1), ps.
+    pub lookahead_ps: u64,
+    /// The proved minimum delivery latency, ps.
+    pub min_latency_ps: u64,
+    /// `lookahead_unsafe` findings the proof emitted (must be ≥ 1).
+    pub findings: usize,
+    /// Where the machine actually delivered the tightest channel's
+    /// packet, ps.
+    pub machine_deliver_ps: u64,
+    /// Machine delivered exactly at the proved minimum, refused the merge
+    /// one ps past it, and accepted the merge at it.
+    pub machine_agrees: bool,
+}
+
+/// One dynamically race-checked run.
+pub struct DynCell {
+    /// Variant name (Table IV).
+    pub variant: &'static str,
+    /// Ranks.
+    pub cgs: usize,
+    /// Timesteps.
+    pub steps: u32,
+    /// Telemetry events the happens-before relation covered.
+    pub events: usize,
+    /// Warehouse access spans extracted from the trace.
+    pub accesses: usize,
+    /// Conflicting same-resource pairs compared.
+    pub pairs_checked: u64,
+    /// `MsgPosted -> MsgDelivered` edges honored (and differentially
+    /// checked against the compiled plans).
+    pub msg_edges: usize,
+    /// Unordered conflicting pairs found (must be 0).
+    pub races: usize,
+    /// Structural trace defects (must be 0).
+    pub structural: usize,
+    /// Message edges the static model could not account for (must be 0).
+    pub unmatched: usize,
+    /// All of the above held.
+    pub clean: bool,
+}
+
+/// One DPOR-explored configuration.
+pub struct DporCell {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Ranks.
+    pub ranks: usize,
+    /// Timesteps.
+    pub steps: u32,
+    /// PDES windows the baseline run drained.
+    pub windows: usize,
+    /// Windows that merged at least one cross-CG message.
+    pub message_windows: usize,
+    /// Non-equivalent interleavings explored (baseline + replays).
+    pub explored: usize,
+    /// Forced-order replays executed.
+    pub replays: usize,
+    /// Every replay reproduced the baseline warehouse and step clock
+    /// bit-for-bit.
+    pub identical: bool,
+}
+
+/// The whole campaign's outcome.
+pub struct CheckOutcome {
+    /// Static proof sweep.
+    pub statics: Vec<StaticCell>,
+    /// The unsafe-lookahead demonstration.
+    pub unsafe_demo: UnsafeDemo,
+    /// Dynamic race-check cases.
+    pub dynamics: Vec<DynCell>,
+    /// DPOR configurations.
+    pub dpors: Vec<DporCell>,
+}
+
+impl CheckOutcome {
+    /// Interleavings explored across all DPOR configurations.
+    pub fn total_explored(&self) -> usize {
+        self.dpors.iter().map(|d| d.explored).sum()
+    }
+
+    /// Every section held: all proofs safe, the demo's two paths agree,
+    /// all traces clean, all interleavings bit-identical.
+    pub fn ok(&self) -> bool {
+        self.statics.iter().all(|s| s.safe)
+            && self.unsafe_demo.findings >= 1
+            && self.unsafe_demo.machine_agrees
+            && !self.dynamics.is_empty()
+            && self.dynamics.iter().all(|d| d.clean)
+            && !self.dpors.is_empty()
+            && self.dpors.iter().all(|d| d.identical)
+    }
+}
+
+fn plans_for(
+    level: &Level,
+    assignment: &[usize],
+    n_ranks: usize,
+    ghost: i64,
+) -> Vec<uintah_core::task::RankPlan> {
+    (0..n_ranks)
+        .map(|r| build_rank_plan(level, assignment, r, ghost))
+        .collect()
+}
+
+/// Prove every paper problem's channel set safe against the default
+/// lookahead, at its minimum rank count and at the paper's 128 CGs.
+pub fn run_static() -> Vec<StaticCell> {
+    let mut cells = Vec::new();
+    for p in &PROBLEMS {
+        let level = p.level();
+        let mut counts = vec![p.min_cgs.max(2)];
+        if !counts.contains(&128) {
+            counts.push(128);
+        }
+        for cgs in counts {
+            let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, cgs);
+            let assignment = cfg.lb.assign(&level, cgs);
+            let plans = plans_for(&level, &assignment, cgs, 1);
+            let lookahead = cfg.machine.net_latency.0;
+            let (proof, _) = prove_lookahead_for_plans(&plans, &cfg.machine, lookahead);
+            cells.push(StaticCell {
+                problem: p.name,
+                cgs,
+                channels: proof.channels.len(),
+                min_latency_ps: proof.min_latency_ps,
+                lookahead_ps: lookahead,
+                safe: proof.safe,
+            });
+        }
+    }
+    cells
+}
+
+/// The acceptance demonstration: push the lookahead one picosecond past
+/// the proved minimum and show the static proof and the machine's outbox
+/// merge reject it identically — then show the minimum itself is accepted.
+pub fn run_unsafe_demo() -> UnsafeDemo {
+    let level = SMALL.level();
+    let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, 2);
+    let assignment = cfg.lb.assign(&level, 2);
+    let plans = plans_for(&level, &assignment, 2, 1);
+    let machine = &cfg.machine;
+    let (base, _) = prove_lookahead_for_plans(&plans, machine, 0);
+    let min = base.min_latency_ps;
+    let (proof, findings) = prove_lookahead_for_plans(&plans, machine, min + 1);
+    let tight = proof
+        .channels
+        .iter()
+        .min_by_key(|c| c.min_latency_ps)
+        .expect("cross-rank plans must have channels");
+    // The packet the scheduler actually puts on the wire for this
+    // channel: the payload if it is eager, the control header otherwise.
+    let wire = if tight.bytes <= machine.eager_limit_bytes as u64 {
+        tight.bytes.max(sw_mpi::CTRL_BYTES)
+    } else {
+        sw_mpi::CTRL_BYTES
+    };
+    let mut m = Machine::new(machine.clone(), 2);
+    let deliver =
+        m.ctx(tight.src_rank)
+            .net_send(tight.src_rank, tight.dst_rank, wire, SimTime(0), 7);
+    let refused = m.merge_outboxes(Some(SimTime(min + 1)));
+    let mut m2 = Machine::new(machine.clone(), 2);
+    m2.ctx(tight.src_rank)
+        .net_send(tight.src_rank, tight.dst_rank, wire, SimTime(0), 7);
+    let accepted = m2.merge_outboxes(Some(SimTime(min)));
+    UnsafeDemo {
+        lookahead_ps: min + 1,
+        min_latency_ps: min,
+        findings: findings.len(),
+        machine_deliver_ps: deliver.0,
+        machine_agrees: !proof.safe
+            && deliver.0 == min
+            && refused.is_err_and(|v| v.at == SimTime(min) && v.src == tight.src_rank)
+            && accepted.is_ok(),
+    }
+}
+
+/// Race-check one instrumented run.
+fn dyn_case(p: &ProblemSpec, variant: Variant, cgs: usize, steps: u32) -> DynCell {
+    let level = p.level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Model, cgs);
+    cfg.steps = steps;
+    cfg.options.telemetry = true;
+    let mut sim = Simulation::new(level, app.clone(), cfg);
+    sim.run();
+    let snap = sim.recorder().snapshot();
+    let plans = plans_for(sim.level(), sim.assignment(), cgs, app.ghost());
+    let rep = race_check(&snap, sim.level(), &plans, app.stages());
+    DynCell {
+        variant: variant.name(),
+        cgs,
+        steps,
+        events: rep.hb_events,
+        accesses: rep.race.accesses,
+        pairs_checked: rep.race.pairs_checked,
+        msg_edges: rep.msg_edges,
+        races: rep.race.races.len(),
+        structural: rep.structural_errors.len(),
+        unmatched: rep.unmatched_edges.len(),
+        clean: rep.is_clean(),
+    }
+}
+
+/// The dynamic sweep: the three committed-trace configurations (the exact
+/// runs behind `results/TRACE_*.perfetto.json`) plus fresh variant/scale
+/// points.
+pub fn run_dynamic() -> Vec<DynCell> {
+    let mut cells = Vec::new();
+    // The committed Perfetto traces: SMALL, 4 CGs, 5 steps.
+    for v in [
+        Variant::ACC_SYNC,
+        Variant::ACC_ASYNC,
+        Variant::ACC_SIMD_ASYNC,
+    ] {
+        cells.push(dyn_case(SMALL, v, 4, 5));
+    }
+    // Fresh sweep: the MPE-only path and a wider async run.
+    cells.push(dyn_case(SMALL, Variant::HOST_SYNC, 2, 3));
+    cells.push(dyn_case(SMALL, Variant::ACC_ASYNC, 8, 3));
+    cells
+}
+
+/// Final warehouse of every patch as exact bit patterns.
+fn bits(sim: &Simulation) -> Vec<Vec<u64>> {
+    let level = sim.level();
+    (0..level.n_patches())
+        .map(|p| {
+            let var = sim.solution(p);
+            level
+                .patch(p)
+                .region
+                .iter()
+                .map(|c| var.get(c).to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// A tiny DPOR configuration: a functional run small enough to replay
+/// dozens of times.
+struct DporConfig {
+    name: &'static str,
+    extent: uintah_core::IntVec,
+    layout: uintah_core::IntVec,
+    ranks: usize,
+    steps: u32,
+    /// Maximum forced-order replays for this configuration.
+    budget: usize,
+}
+
+fn dpor_run_config(c: &DporConfig) -> RunConfig {
+    let mut cfg = RunConfig::paper(Variant::HOST_SYNC, ExecMode::Functional, c.ranks);
+    cfg.steps = c.steps;
+    cfg
+}
+
+/// Explore one configuration: baseline serial run with the merge log on,
+/// then one replay per non-identity drain-order class per message window
+/// (up to the budget), each asserted bit-identical to the baseline.
+fn dpor_explore(c: &DporConfig) -> DporCell {
+    let level = Level::new(c.extent, c.layout);
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = dpor_run_config(c);
+    cfg.window_log = true;
+    let mut sim = Simulation::new(level.clone(), app.clone(), cfg);
+    let base_report = sim.run();
+    let base_bits = bits(&sim);
+    let base_steps: Vec<u64> = base_report.step_end.iter().map(|t| t.0).collect();
+    let windows = sim.window_edges().to_vec();
+    let ascending: Vec<usize> = (0..c.ranks).collect();
+
+    let mut replays = 0usize;
+    let mut identical = true;
+    'outer: for (w, edges) in windows.iter().enumerate() {
+        if edges.is_empty() {
+            continue;
+        }
+        let graph = WindowGraph::from_messages(edges);
+        if graph.n_edges() == 0 {
+            continue;
+        }
+        for order in graph.class_orders(graph.n_classes(), c.ranks) {
+            if order == ascending {
+                continue; // the baseline already covers the identity class
+            }
+            if replays >= c.budget {
+                break 'outer;
+            }
+            let mut orders = vec![ascending.clone(); w];
+            orders.push(order);
+            let mut cfg2 = dpor_run_config(c);
+            cfg2.pdes_order = Some(Arc::new(orders));
+            let mut sim2 = Simulation::new(level.clone(), app.clone(), cfg2);
+            let rep2 = sim2.run();
+            let steps2: Vec<u64> = rep2.step_end.iter().map(|t| t.0).collect();
+            identical &= bits(&sim2) == base_bits && steps2 == base_steps;
+            replays += 1;
+        }
+    }
+    DporCell {
+        name: c.name,
+        ranks: c.ranks,
+        steps: c.steps,
+        windows: windows.len(),
+        message_windows: windows.iter().filter(|e| !e.is_empty()).count(),
+        explored: 1 + replays,
+        replays,
+        identical,
+    }
+}
+
+/// The DPOR sweep: three small configurations with distinct message
+/// graphs (a 2-rank line, a 4-rank 2x2 ring, a 2-rank run over a deeper
+/// level), together exploring ≥ 50 non-equivalent interleavings.
+pub fn run_dpor() -> Vec<DporCell> {
+    let configs = [
+        DporConfig {
+            name: "line2",
+            extent: iv(8, 8, 16),
+            layout: iv(2, 1, 1),
+            ranks: 2,
+            steps: 4,
+            budget: 8,
+        },
+        DporConfig {
+            name: "ring4",
+            extent: iv(8, 8, 16),
+            layout: iv(2, 2, 1),
+            ranks: 4,
+            steps: 5,
+            budget: 48,
+        },
+        DporConfig {
+            name: "line2-deep",
+            extent: iv(8, 8, 32),
+            layout: iv(2, 2, 1),
+            ranks: 2,
+            steps: 4,
+            budget: 8,
+        },
+    ];
+    configs.iter().map(dpor_explore).collect()
+}
+
+/// Run the whole campaign.
+pub fn run_check() -> CheckOutcome {
+    CheckOutcome {
+        statics: run_static(),
+        unsafe_demo: run_unsafe_demo(),
+        dynamics: run_dynamic(),
+        dpors: run_dpor(),
+    }
+}
+
+/// Render `CHECK.json`.
+pub fn check_json(o: &CheckOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"generated_by\": \"repro check\",\n");
+    s.push_str("  \"static\": {\n    \"configs\": [\n");
+    for (i, c) in o.statics.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"problem\": \"{}\", \"cgs\": {}, \"channels\": {}, \
+             \"min_latency_ps\": {}, \"lookahead_ps\": {}, \"safe\": {}}}",
+            c.problem, c.cgs, c.channels, c.min_latency_ps, c.lookahead_ps, c.safe
+        );
+        s.push_str(if i + 1 < o.statics.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ],\n");
+    let d = &o.unsafe_demo;
+    let _ = writeln!(
+        s,
+        "    \"unsafe_demo\": {{\"lookahead_ps\": {}, \"min_latency_ps\": {}, \
+         \"findings\": {}, \"machine_deliver_ps\": {}, \"machine_agrees\": {}}},",
+        d.lookahead_ps, d.min_latency_ps, d.findings, d.machine_deliver_ps, d.machine_agrees
+    );
+    let _ = writeln!(s, "    \"all_safe\": {}", o.statics.iter().all(|c| c.safe));
+    s.push_str("  },\n  \"dynamic\": {\n    \"cases\": [\n");
+    for (i, c) in o.dynamics.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"variant\": \"{}\", \"cgs\": {}, \"steps\": {}, \
+             \"events\": {}, \"accesses\": {}, \"pairs_checked\": {}, \
+             \"msg_edges\": {}, \"races\": {}, \"structural\": {}, \
+             \"unmatched\": {}, \"clean\": {}}}",
+            c.variant,
+            c.cgs,
+            c.steps,
+            c.events,
+            c.accesses,
+            c.pairs_checked,
+            c.msg_edges,
+            c.races,
+            c.structural,
+            c.unmatched,
+            c.clean
+        );
+        s.push_str(if i + 1 < o.dynamics.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(
+        s,
+        "    \"all_clean\": {}",
+        o.dynamics.iter().all(|c| c.clean)
+    );
+    s.push_str("  },\n  \"dpor\": {\n    \"configs\": [\n");
+    for (i, c) in o.dpors.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"name\": \"{}\", \"ranks\": {}, \"steps\": {}, \
+             \"windows\": {}, \"message_windows\": {}, \"explored\": {}, \
+             \"replays\": {}, \"identical\": {}}}",
+            c.name,
+            c.ranks,
+            c.steps,
+            c.windows,
+            c.message_windows,
+            c.explored,
+            c.replays,
+            c.identical
+        );
+        s.push_str(if i + 1 < o.dpors.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(s, "    \"total_explored\": {},", o.total_explored());
+    let _ = writeln!(
+        s,
+        "    \"all_identical\": {}",
+        o.dpors.iter().all(|c| c.identical)
+    );
+    s.push_str("  },\n");
+    let _ = writeln!(s, "  \"ok\": {}", o.ok());
+    s.push_str("}\n");
+    s
+}
+
+/// Where the campaign's JSON lands.
+pub fn results_file(dir: &Path) -> PathBuf {
+    dir.join("CHECK.json")
+}
+
+/// Run the campaign and write `CHECK.json` under `dir`.
+pub fn write_check_json(dir: &Path) -> io::Result<CheckOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let outcome = run_check();
+    std::fs::write(results_file(dir), check_json(&outcome))?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_demo_static_and_machine_agree() {
+        let d = run_unsafe_demo();
+        assert!(d.findings >= 1, "the proof must flag the unsafe lookahead");
+        assert_eq!(d.machine_deliver_ps, d.min_latency_ps);
+        assert!(d.machine_agrees);
+    }
+
+    #[test]
+    fn small_problems_prove_safe_at_the_default_lookahead() {
+        let level = SMALL.level();
+        let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Model, 4);
+        let assignment = cfg.lb.assign(&level, 4);
+        let plans = plans_for(&level, &assignment, 4, 1);
+        let (proof, findings) =
+            prove_lookahead_for_plans(&plans, &cfg.machine, cfg.machine.net_latency.0);
+        assert!(proof.safe, "{}", proof.to_json());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn fresh_traced_run_is_race_free() {
+        let c = dyn_case(SMALL, Variant::ACC_ASYNC, 2, 2);
+        assert!(
+            c.clean,
+            "races {} structural {} unmatched {}",
+            c.races, c.structural, c.unmatched
+        );
+        assert!(c.events > 0 && c.accesses > 0 && c.msg_edges > 0);
+    }
+
+    #[test]
+    fn dpor_replays_are_bit_identical() {
+        let cell = dpor_explore(&DporConfig {
+            name: "test",
+            extent: iv(8, 8, 16),
+            layout: iv(2, 1, 1),
+            ranks: 2,
+            steps: 2,
+            budget: 3,
+        });
+        assert!(cell.identical);
+        assert!(
+            cell.replays >= 1,
+            "tiny config must still permute something"
+        );
+        assert_eq!(cell.explored, cell.replays + 1);
+    }
+
+    #[test]
+    fn check_json_is_balanced() {
+        let o = CheckOutcome {
+            statics: vec![StaticCell {
+                problem: "p",
+                cgs: 2,
+                channels: 4,
+                min_latency_ps: 1_008_000,
+                lookahead_ps: 1_000_000,
+                safe: true,
+            }],
+            unsafe_demo: UnsafeDemo {
+                lookahead_ps: 2,
+                min_latency_ps: 1,
+                findings: 1,
+                machine_deliver_ps: 1,
+                machine_agrees: true,
+            },
+            dynamics: vec![DynCell {
+                variant: "acc.async",
+                cgs: 2,
+                steps: 2,
+                events: 10,
+                accesses: 4,
+                pairs_checked: 3,
+                msg_edges: 2,
+                races: 0,
+                structural: 0,
+                unmatched: 0,
+                clean: true,
+            }],
+            dpors: vec![DporCell {
+                name: "line2",
+                ranks: 2,
+                steps: 2,
+                windows: 9,
+                message_windows: 3,
+                explored: 4,
+                replays: 3,
+                identical: true,
+            }],
+        };
+        let json = check_json(&o);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"ok\": true"));
+        assert!(o.ok());
+        assert_eq!(o.total_explored(), 4);
+    }
+}

@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod analyze;
 pub mod breakdown;
+pub mod check;
 pub mod experiments;
 pub mod faults;
 pub mod fidelity;

@@ -28,9 +28,12 @@ pub use config::{validate_config, validate_options, ConfigError};
 pub use grid::{iv, IntVec, Level, LevelError, Patch, PatchId, Region};
 pub use lb::LoadBalancer;
 pub use schedule::{
-    build_schedule_model, verify_plans, ExecMode, SchedulerMode, SchedulerOptions, Variant,
+    build_schedule_model, channel_models, net_model, prove_lookahead_for_plans, verify_plans,
+    ExecMode, SchedulerMode, SchedulerOptions, Variant,
 };
-pub use sim::{run_simulation, RunConfig, RunReport, Simulation};
+pub use sim::{
+    access_spans, race_check, run_simulation, RaceCheckReport, RunConfig, RunReport, Simulation,
+};
 pub use task::Application;
 pub use var::{CcVar, DataWarehouse, DwPair};
 

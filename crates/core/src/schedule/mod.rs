@@ -7,4 +7,6 @@ pub mod verify;
 
 pub use rank::{RankSched, RankStats, StepCtx, LABEL_U};
 pub use variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
-pub use verify::{build_schedule_model, verify_plans};
+pub use verify::{
+    build_schedule_model, channel_models, net_model, prove_lookahead_for_plans, verify_plans,
+};

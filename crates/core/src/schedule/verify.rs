@@ -17,7 +17,10 @@
 //! output in the new DW (allocated ghosted so it can serve as the next
 //! stage's input).
 
-use sw_analyze::{analyze, AccessKind, AnalysisReport, Box3, GhostMsg, Schedule, TaskKind, VarRef};
+use sw_analyze::{
+    analyze, prove_lookahead, AccessKind, AnalysisReport, Box3, ChannelModel, GhostMsg,
+    LookaheadProof, NetModel, Schedule, TaskKind, VarRef,
+};
 use sw_athread::{assign_tiles, choose_tile_shape, tiles_of, InOutFootprint, TileDesc};
 use sw_sim::MachineConfig;
 
@@ -408,6 +411,49 @@ pub fn verify_plans(
     ))
 }
 
+/// The network model of the static lookahead proof, mirrored from the
+/// machine configuration and the communicator's wire constants.
+pub fn net_model(machine: &MachineConfig) -> NetModel {
+    NetModel {
+        latency_ps: machine.net_latency.0,
+        bw_gbs: machine.net_bw_gbs,
+        eager_limit_bytes: machine.eager_limit_bytes as u64,
+        ctrl_bytes: sw_mpi::CTRL_BYTES,
+    }
+}
+
+/// Extract every cross-CG channel of the compiled plans: one
+/// [`ChannelModel`] per `GhostSend`, with the payload size the scheduler
+/// actually puts on the wire (`window.cells() * 8` bytes of f64 ghosts).
+pub fn channel_models(plans: &[RankPlan]) -> Vec<ChannelModel> {
+    plans
+        .iter()
+        .flat_map(|plan| {
+            plan.sends.iter().map(move |snd| ChannelModel {
+                src_rank: plan.rank,
+                dst_rank: snd.dst_rank,
+                bytes: snd.window.cells() * 8,
+                label: format!(
+                    "ghost(p{},{:?})@r{}->r{}",
+                    snd.src_patch, snd.face, plan.rank, snd.dst_rank
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Statically prove `min_latency >= lookahead` for every cross-CG channel
+/// of the compiled plans — the pre-run form of the `merge_outboxes`
+/// lookahead-violation check. Returns the proof artifact plus one
+/// `lookahead_unsafe` error finding per violated channel.
+pub fn prove_lookahead_for_plans(
+    plans: &[RankPlan],
+    machine: &MachineConfig,
+    lookahead_ps: u64,
+) -> (LookaheadProof, Vec<sw_analyze::Finding>) {
+    prove_lookahead(&channel_models(plans), &net_model(machine), lookahead_ps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,5 +574,88 @@ mod tests {
         );
         assert!(s.tile_plans.is_empty());
         assert!(s.rank_serial);
+    }
+
+    #[test]
+    fn lookahead_proof_covers_every_plan_channel() {
+        let level = Level::new(iv(16, 16, 64), iv(2, 2, 2));
+        let plans = plans_for(&level, 2, 1);
+        let machine = MachineConfig::sw26010();
+        let n_sends: usize = plans.iter().map(|p| p.sends.len()).sum();
+        assert!(n_sends > 0);
+        let channels = channel_models(&plans);
+        assert_eq!(channels.len(), n_sends);
+        let sends: Vec<_> = plans.iter().flat_map(|p| p.sends.iter()).collect();
+        for (ch, snd) in channels.iter().zip(&sends) {
+            assert_eq!(ch.bytes, snd.window.cells() * 8, "{}", ch.label);
+            assert_eq!(ch.dst_rank, snd.dst_rank);
+        }
+        let net = net_model(&machine);
+        assert_eq!(net.latency_ps, machine.net_latency.0);
+        assert_eq!(net.ctrl_bytes, sw_mpi::CTRL_BYTES);
+        // The default lookahead (the net latency) is provably safe: every
+        // channel's minimum is latency + a strictly positive wire time.
+        let (proof, findings) = prove_lookahead_for_plans(&plans, &machine, machine.net_latency.0);
+        assert!(proof.safe, "{}", proof.to_json());
+        assert!(findings.is_empty());
+        assert!(proof.min_latency_ps > machine.net_latency.0);
+        assert!(proof.channels.iter().all(|c| c.slack_ps > 0));
+    }
+
+    /// Acceptance regression: a lookahead the static proof rejects is
+    /// exactly one the machine's `merge_outboxes` would refuse at runtime —
+    /// both paths agree on the boundary, to the picosecond.
+    #[test]
+    fn static_proof_and_machine_merge_agree_on_the_boundary() {
+        use sw_sim::{Machine, SimTime};
+        let level = Level::new(iv(16, 16, 64), iv(2, 2, 2));
+        let plans = plans_for(&level, 2, 1);
+        let machine = MachineConfig::sw26010();
+        let (base, _) = prove_lookahead_for_plans(&plans, &machine, 0);
+        let min = base.min_latency_ps;
+        assert_ne!(min, u64::MAX, "cross-rank plans must have channels");
+
+        // One ps past the proven minimum: the static proof flags it...
+        let (proof, findings) = prove_lookahead_for_plans(&plans, &machine, min + 1);
+        assert!(!proof.safe);
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == sw_analyze::FindingKind::LookaheadUnsafe));
+
+        // ...and the machine model agrees bit-for-bit: the tightest
+        // channel's wire packet, sent at t = 0, delivers exactly at the
+        // proved minimum (the proof mirrors the model's ps rounding)...
+        let tight = proof
+            .channels
+            .iter()
+            .min_by_key(|c| c.min_latency_ps)
+            .unwrap();
+        let wire = if tight.bytes <= machine.eager_limit_bytes as u64 {
+            tight.bytes.max(sw_mpi::CTRL_BYTES)
+        } else {
+            sw_mpi::CTRL_BYTES
+        };
+        let mut m = Machine::new(machine.clone(), 2);
+        let deliver =
+            m.ctx(tight.src_rank)
+                .net_send(tight.src_rank, tight.dst_rank, wire, SimTime::ZERO, 7);
+        assert_eq!(deliver.0, tight.min_latency_ps, "proof == model");
+
+        // ...so merging with a window that ends one ps later — the runtime
+        // shape of the rejected lookahead — is the violation that used to
+        // be a mid-run panic:
+        let v = m
+            .merge_outboxes(Some(SimTime(tight.min_latency_ps + 1)))
+            .unwrap_err();
+        assert_eq!((v.src, v.dst), (tight.src_rank, tight.dst_rank));
+        assert_eq!(v.at.0, tight.min_latency_ps);
+
+        // While a window ending exactly at the proved minimum merges fine.
+        let mut safe = Machine::new(machine.clone(), 2);
+        safe.ctx(tight.src_rank)
+            .net_send(tight.src_rank, tight.dst_rank, wire, SimTime::ZERO, 7);
+        assert!(safe
+            .merge_outboxes(Some(SimTime(tight.min_latency_ps)))
+            .is_ok());
     }
 }

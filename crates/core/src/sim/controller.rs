@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use sw_mpi::{ModeledAllreduce, MpiWorld, SharedMpi};
 use sw_resilience::{Checkpoint, FaultPlan, FaultStats, PatchRecord};
-use sw_sim::{Machine, MachineConfig, MachineCtx, MachineEvent, SimDur, SimTime};
+use sw_sim::{
+    LookaheadViolation, Machine, MachineConfig, MachineCtx, MachineEvent, SimDur, SimTime,
+};
 use sw_telemetry::{Event, Lane, Recorder};
 
 use crate::grid::{iv, Level, PatchId, Region};
@@ -81,6 +83,17 @@ pub struct RunConfig {
     /// rejected ([`crate::ConfigError::BadLookahead`]): a wider window
     /// could deliver a message into a rank's already-drained past.
     pub pdes_lookahead_ps: Option<u64>,
+    /// Forced per-window serial drain orders for the DPOR interleaving
+    /// explorer (DESIGN.md §15): entry `w` is the rank permutation window
+    /// `w` drains in (windows beyond the list use ascending order). Forces
+    /// the serial engine — the point is to *replay* one interleaving
+    /// deterministically, not to race threads. `None` (the default) drains
+    /// ascending.
+    pub pdes_order: Option<Arc<Vec<Vec<usize>>>>,
+    /// Record the cross-CG message edges `(src, dst)` merged at each window
+    /// barrier, exposed through [`Simulation::window_edges`] — the
+    /// dependency structure the DPOR explorer permutes.
+    pub window_log: bool,
 }
 
 impl RunConfig {
@@ -104,6 +117,8 @@ impl RunConfig {
             pdes: false,
             threads: None,
             pdes_lookahead_ps: None,
+            pdes_order: None,
+            window_log: false,
         }
     }
 }
@@ -195,6 +210,10 @@ pub struct Simulation {
     /// Checkpoint staged via [`Simulation::restore_from`], consumed by the
     /// next `run`.
     restore: Option<Checkpoint>,
+    /// Per-window cross-CG message edges `(src, dst)` captured at the
+    /// barrier merges of the last run, when [`RunConfig::window_log`] is
+    /// set. Empty otherwise.
+    window_edges: Vec<Vec<(usize, usize)>>,
 }
 
 impl Simulation {
@@ -292,6 +311,7 @@ impl Simulation {
             recorder,
             faults,
             restore: None,
+            window_edges: Vec::new(),
         })
     }
 
@@ -349,8 +369,23 @@ impl Simulation {
     /// # Panics
     /// Panics on deadlock (events exhausted with unfinished ranks) — which
     /// would indicate a scheduler bug, never a legal outcome — and on a
-    /// lookahead wider than the minimum modeled cross-rank latency.
+    /// lookahead violation ([`Simulation::try_run`] is the non-panicking
+    /// form of the latter).
     pub fn run(&mut self) -> RunReport {
+        self.try_run().unwrap_or_else(|v| panic!("{v}"))
+    }
+
+    /// [`Simulation::run`], but a lookahead violation — a cross-CG message
+    /// merged inside the window just drained — is returned as the typed
+    /// [`LookaheadViolation`] instead of a panic. Unreachable through
+    /// validated configurations (the constructor rejects lookaheads wider
+    /// than the minimum modeled cross-rank latency, and the static proof
+    /// [`crate::schedule::verify::prove_lookahead_for_plans`] refines that
+    /// bound per channel); this is the runtime backstop behind both.
+    ///
+    /// On `Err` the machine stops at the offending barrier: the simulation
+    /// must not be advanced further.
+    pub fn try_run(&mut self) -> Result<RunReport, LookaheadViolation> {
         // Other simulations may have run in this process since `new`;
         // re-baseline so the report only counts this run's demotions.
         self.fallback_base = sw_athread::serial_fallback_count();
@@ -359,6 +394,8 @@ impl Simulation {
         self.reductions.clear();
         self.announced.clear();
         self.reduce_out.iter_mut().for_each(Vec::clear);
+        self.window_edges.clear();
+        self.machine.set_merge_log(self.cfg.window_log);
         let Simulation {
             level,
             app,
@@ -373,6 +410,7 @@ impl Simulation {
             recorder,
             faults,
             restore,
+            window_edges,
             ..
         } = self;
         let n_ranks = cfg.n_ranks;
@@ -451,7 +489,14 @@ impl Simulation {
         for (r, sched) in ranks.iter_mut().enumerate() {
             sched.init_run(ctx!(r));
         }
-        machine.merge_outboxes(None);
+        machine
+            .merge_outboxes(None)
+            .expect("merge without a window floor cannot violate lookahead");
+        // Init/boundary merges are not window barriers; keep them out of
+        // the per-window edge log.
+        machine.take_merge_log();
+        // Window index, for the DPOR explorer's forced drain orders.
+        let mut widx = 0usize;
         loop {
             // Window barrier, part 2: fold every rank's reduction outbox
             // into the hub (rank order — a fixed, schedule-independent
@@ -480,7 +525,10 @@ impl Simulation {
                         rank.resume_held(ctx!(r), held);
                     }
                 }
-                machine.merge_outboxes(None);
+                machine
+                    .merge_outboxes(None)
+                    .expect("merge without a window floor cannot violate lookahead");
+                machine.take_merge_log();
                 continue;
             }
             if ranks.iter().all(|r| r.is_done()) {
@@ -521,8 +569,25 @@ impl Simulation {
             let active = (0..n_ranks)
                 .filter(|&r| machine.shard_peek(r).is_some_and(|t| t < wend))
                 .count();
-            if threads <= 1 || active < 2 {
-                for r in 0..n_ranks {
+            // A forced drain order (the DPOR explorer replaying one
+            // interleaving) always takes the serial path: the point is a
+            // deterministic schedule, not thread races.
+            let forced = cfg
+                .pdes_order
+                .as_ref()
+                .and_then(|orders| orders.get(widx).cloned());
+            if forced.is_some() || threads <= 1 || active < 2 {
+                let order = forced.unwrap_or_else(|| (0..n_ranks).collect());
+                debug_assert_eq!(
+                    {
+                        let mut o = order.clone();
+                        o.sort_unstable();
+                        o
+                    },
+                    (0..n_ranks).collect::<Vec<_>>(),
+                    "forced drain order must be a permutation of the ranks"
+                );
+                for r in order {
                     let mut mctx = machine.ctx(r);
                     Self::drain_rank(
                         &mut ranks[r],
@@ -558,8 +623,21 @@ impl Simulation {
             }
             // Window barrier, part 1: deliver cross-rank messages. Any
             // delivery inside the window just drained is a lookahead
-            // violation and panics.
-            machine.merge_outboxes(Some(wend));
+            // violation — unreachable through validated configs (the
+            // debug assert is the old panic), surfaced as a typed error
+            // otherwise.
+            if let Err(v) = machine.merge_outboxes(Some(wend)) {
+                debug_assert!(
+                    false,
+                    "PDES lookahead violation past config validation and the \
+                     static proof: {v}"
+                );
+                return Err(v);
+            }
+            if cfg.window_log {
+                window_edges.push(machine.take_merge_log());
+            }
+            widx += 1;
         }
         // Every isend/irecv must have been matched and retired by the end of
         // the run; a leaked handle is a scheduler bug. Release builds carry
@@ -583,7 +661,16 @@ impl Simulation {
             m.serial_fallbacks
                 .add(sw_athread::serial_fallback_count().saturating_sub(self.fallback_base));
         }
-        self.report()
+        Ok(self.report())
+    }
+
+    /// The cross-CG message edges `(src_cg, dst_cg)` merged at each window
+    /// barrier of the last run — one entry per drained window, recorded
+    /// when [`RunConfig::window_log`] is set (empty otherwise). This is the
+    /// window dependency structure the DPOR explorer builds its
+    /// interleaving classes from.
+    pub fn window_edges(&self) -> &[Vec<(usize, usize)>] {
+        &self.window_edges
     }
 
     /// Drain one rank's shard for the current window: pop every event

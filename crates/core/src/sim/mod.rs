@@ -1,7 +1,9 @@
 //! The simulation controller and run reports.
 
 pub mod controller;
+pub mod racecheck;
 pub mod report;
 
 pub use controller::{run_simulation, RunConfig, Simulation};
+pub use racecheck::{access_spans, race_check, RaceCheckReport};
 pub use report::RunReport;

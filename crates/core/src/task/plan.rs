@@ -116,6 +116,24 @@ pub fn ghost_tag(
     }
 }
 
+/// Invert [`ghost_tag`]: recover `(step, stage, src_patch, face)` from a
+/// wire tag. The dynamic race checker uses this to attribute a delivered
+/// ghost message back to the variable and region it unpacks into, and the
+/// static/dynamic differential check uses it to match observed message
+/// edges against the compiled schedule model.
+pub fn decode_ghost_tag(
+    tag: u64,
+    n_stages: usize,
+    n_patches: usize,
+) -> (u32, usize, PatchId, Face) {
+    let face = FACES[(tag % 6) as usize];
+    let src_patch = ((tag / 6) % n_patches as u64) as PatchId;
+    let stage_major = tag / (6 * n_patches as u64);
+    let stage = (stage_major % n_stages as u64) as usize;
+    let step = (stage_major / n_stages as u64) as u32;
+    (step, stage, src_patch, face)
+}
+
 /// Compile the plan for `rank` under the given patch assignment.
 pub fn build_rank_plan(level: &Level, assignment: &[usize], rank: usize, ghost: i64) -> RankPlan {
     assert_eq!(assignment.len(), level.n_patches());
@@ -192,6 +210,25 @@ mod tests {
         let total_bc: usize = plan.prep.values().map(|p| p.bc_regions.len()).sum();
         assert_eq!(total_local + total_bc, 32 * 6);
         assert!(plan.prep.values().all(|p| p.n_remote == 0));
+    }
+
+    #[test]
+    fn ghost_tag_decode_roundtrips() {
+        let (n_stages, n_patches) = (3, 32);
+        for step in [0u32, 1, 7] {
+            for stage in 0..n_stages {
+                for patch in [0usize, 5, 31] {
+                    for face in FACES {
+                        let tag = ghost_tag(step, stage, n_stages, n_patches, patch, face);
+                        assert_eq!(
+                            decode_ghost_tag(tag, n_stages, n_patches),
+                            (step, stage, patch, face),
+                            "tag {tag}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

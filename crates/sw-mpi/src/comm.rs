@@ -55,8 +55,10 @@ pub const APP_TAG_LIMIT: Tag = 1 << 62;
 /// `decode(encode(id, phase)) == (id, phase)` a total guarantee.
 pub const MAX_MSG_ID: u64 = (1 << 62) - 1;
 
-/// Size of the RTS/CTS control messages on the wire.
-const CTRL_BYTES: u64 = 64;
+/// Size of the RTS/CTS/ACK control messages on the wire — also the
+/// padding floor for eager payloads, making it the smallest packet the
+/// model can emit (the static lookahead proof's per-channel minimum).
+pub const CTRL_BYTES: u64 = 64;
 
 /// Handle to a posted non-blocking send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -11,4 +11,6 @@ pub mod collective;
 pub mod comm;
 
 pub use collective::{ModeledAllreduce, ModeledBarrier, ModeledBcast, ReduceOp};
-pub use comm::{MpiWorld, Rank, RecvHandle, SendHandle, SharedMpi, Tag, APP_TAG_LIMIT, MAX_MSG_ID};
+pub use comm::{
+    MpiWorld, Rank, RecvHandle, SendHandle, SharedMpi, Tag, APP_TAG_LIMIT, CTRL_BYTES, MAX_MSG_ID,
+};

@@ -1,0 +1,189 @@
+//! Bounded exploration of the window protocol's interleaving space.
+//!
+//! Within one lookahead window the shards drain independently; the only
+//! way two ranks can interact is through a cross-CG message in flight
+//! between them (the communicator's operations for unrelated ranks
+//! commute). Two drain orders of a window are therefore *trace
+//! equivalent* — in the Mazurkiewicz sense classical DPOR reduces over —
+//! exactly when every pair of ranks connected by a message edge drains in
+//! the same relative order. The equivalence classes of the `n!` drain
+//! permutations are the **acyclic orientations** of the window's
+//! undirected interaction graph: a permutation induces an orientation
+//! (each edge points from the earlier rank to the later one), and every
+//! acyclic orientation is realized by one of its topological orders.
+//!
+//! [`WindowGraph`] builds that graph from the `(src, dst)` pairs logged by
+//! `Machine::take_merge_log` and enumerates one representative drain order
+//! per class. The explorer re-runs the simulation once per representative
+//! and asserts bit-identical warehouse state — exhausting the reduced
+//! interleaving space instead of sampling it.
+
+/// Undirected interaction graph of one lookahead window: a node per rank,
+/// an edge per rank pair that exchanged at least one cross-CG message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowGraph {
+    /// Normalized `(lo, hi)` edges, deduplicated and sorted.
+    edges: Vec<(usize, usize)>,
+}
+
+impl WindowGraph {
+    /// Build the graph from the raw `(src, dst)` message pairs of one
+    /// window's barrier merge. Direction and multiplicity are irrelevant
+    /// for dependence, so edges are normalized and deduplicated;
+    /// self-deliveries never reach the outbox but are dropped defensively.
+    pub fn from_messages(msgs: &[(usize, usize)]) -> Self {
+        let mut edges: Vec<(usize, usize)> = msgs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        WindowGraph { edges }
+    }
+
+    /// The normalized edge set.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of dependence edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of acyclic orientations — the count of non-equivalent drain
+    /// orders of this window (1 for an edgeless graph: all orders commute).
+    pub fn n_classes(&self) -> usize {
+        self.class_orders(usize::MAX, 0).len().max(1)
+    }
+
+    /// One representative drain order (a permutation of `0..n_ranks`) per
+    /// acyclic orientation of the graph, at most `cap` of them. Each order
+    /// is a deterministic smallest-rank-first topological sort of its
+    /// orientation, so the all-edges-forward class yields the ascending
+    /// baseline order the serial engine uses.
+    pub fn class_orders(&self, cap: usize, n_ranks: usize) -> Vec<Vec<usize>> {
+        let e = self.edges.len();
+        if e == 0 || cap == 0 {
+            return Vec::new();
+        }
+        // 2^E orientations; small windows only — the explorer caps E.
+        assert!(
+            e < usize::BITS as usize,
+            "window graph too large to explore"
+        );
+        let n = n_ranks.max(self.edges.iter().map(|&(_, b)| b + 1).max().unwrap_or(0));
+        let mut orders = Vec::new();
+        for mask in 0usize..(1 << e) {
+            // Bit i clear: edge i points lo -> hi (the baseline direction).
+            let oriented: Vec<(usize, usize)> = self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    if mask & (1 << i) == 0 {
+                        (lo, hi)
+                    } else {
+                        (hi, lo)
+                    }
+                })
+                .collect();
+            if let Some(order) = toposort(n, &oriented) {
+                orders.push(order);
+                if orders.len() >= cap {
+                    break;
+                }
+            }
+        }
+        orders
+    }
+}
+
+/// Deterministic (smallest-node-first) Kahn topological sort over nodes
+/// `0..n`; `None` when the orientation is cyclic (not a valid schedule).
+fn toposort(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut indeg = vec![0usize; n];
+    let mut succ = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        indeg[b] += 1;
+        succ[a].push(b);
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&v) = ready.iter().min() {
+        ready.retain(|&u| u != v);
+        order.push(v);
+        for &w in &succ[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_and_dedups_messages() {
+        let g = WindowGraph::from_messages(&[(1, 0), (0, 1), (2, 1), (3, 3)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn path_graph_has_2_pow_e_classes() {
+        // A path is a tree: every orientation is acyclic.
+        let g = WindowGraph::from_messages(&[(0, 1), (1, 2), (2, 3)]);
+        let orders = g.class_orders(usize::MAX, 4);
+        assert_eq!(orders.len(), 8);
+        assert_eq!(g.n_classes(), 8);
+        // The all-forward class is the ascending baseline.
+        assert!(orders.contains(&vec![0, 1, 2, 3]));
+        // Each representative is a permutation of 0..4.
+        for o in &orders {
+            let mut s = o.clone();
+            s.sort_unstable();
+            assert_eq!(s, vec![0, 1, 2, 3]);
+        }
+        // Distinct classes induce distinct edge orientations.
+        let sig = |o: &[usize]| -> Vec<bool> {
+            let pos: Vec<usize> = {
+                let mut p = vec![0; o.len()];
+                for (i, &r) in o.iter().enumerate() {
+                    p[r] = i;
+                }
+                p
+            };
+            g.edges().iter().map(|&(a, b)| pos[a] < pos[b]).collect()
+        };
+        let mut sigs: Vec<_> = orders.iter().map(|o| sig(o)).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 8, "one representative per orientation");
+    }
+
+    #[test]
+    fn cyclic_orientations_are_excluded() {
+        // Triangle: 8 orientations, 2 cyclic, 6 classes.
+        let g = WindowGraph::from_messages(&[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.n_classes(), 6);
+    }
+
+    #[test]
+    fn edgeless_graph_has_one_class_and_no_reruns() {
+        let g = WindowGraph::from_messages(&[]);
+        assert_eq!(g.n_classes(), 1);
+        assert!(g.class_orders(usize::MAX, 4).is_empty());
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let g = WindowGraph::from_messages(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.class_orders(3, 4).len(), 3);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`machine`] — core groups (MPE + CPE cluster + NIC), each advanced by
 //!   its own event queue and logical clock (conservative-PDES shards);
 //! * [`mpe`] — serial busy-time accounting for the single management core;
+//! * [`explore`] — the DPOR explorer's window message graph: equivalence
+//!   classes of per-window drain orders (DESIGN.md §15);
 //! * [`ldm`] — the capacity-enforcing 64 KB scratchpad allocator;
 //! * [`flops`] — emulation of the precise per-CG floating-point counters.
 //!
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 pub mod config;
 pub mod event;
+pub mod explore;
 pub mod flops;
 pub mod ldm;
 pub mod machine;
@@ -35,9 +38,10 @@ pub mod time;
 
 pub use config::{MachineConfig, MachineConfigError};
 pub use event::EventQueue;
+pub use explore::WindowGraph;
 pub use flops::{FlopCategory, FlopCounters};
 pub use ldm::{LdmAlloc, LdmOverflow};
-pub use machine::{Cg, CgId, Machine, MachineCtx, MachineEvent, MachineStats};
+pub use machine::{Cg, CgId, LookaheadViolation, Machine, MachineCtx, MachineEvent, MachineStats};
 pub use mpe::MpeClock;
 pub use noise::{KernelNoise, SplitMix64};
 pub use time::{SimDur, SimTime};

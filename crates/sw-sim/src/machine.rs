@@ -160,6 +160,38 @@ fn mix_seed(seed: u64, cg: CgId) -> u64 {
     seed ^ (cg as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// A cross-CG delivery that lands *inside* the lookahead window just
+/// drained — the conservative-PDES contract broken. Returned (typed, not
+/// panicked) by [`Machine::merge_outboxes`] so pre-run checkers and the
+/// controller can observe it gracefully; the panicking `Simulation::run`
+/// API converts it back into the historical panic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookaheadViolation {
+    /// Source CG whose outbox held the offending message.
+    pub src: CgId,
+    /// Destination CG the message was addressed to.
+    pub dst: CgId,
+    /// Opaque message token (the communicator's wire id).
+    pub token: u64,
+    /// Modeled delivery instant.
+    pub at: SimTime,
+    /// End of the window that was already drained.
+    pub window_end: SimTime,
+}
+
+impl std::fmt::Display for LookaheadViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lookahead violation: message from CG {} delivers at {}, \
+             inside the window ending at {}",
+            self.src, self.at, self.window_end
+        )
+    }
+}
+
+impl std::error::Error for LookaheadViolation {}
+
 /// The simulated machine: `n` CGs plus the interconnect.
 ///
 /// ```
@@ -189,6 +221,11 @@ pub struct Machine {
     /// Noise parameters, kept so late-constructed shards could reuse them
     /// and so [`Machine::set_noise`] stays idempotent per shard.
     noise: Option<(f64, u64)>,
+    /// When `Some`, every cross-shard delivery merged by
+    /// [`Machine::merge_outboxes`] is appended as `(src, dst)` — the
+    /// window-interaction edges the DPOR explorer builds its dependency
+    /// graphs from. Drained with [`Machine::take_merge_log`].
+    merge_log: Option<Vec<(CgId, CgId)>>,
 }
 
 impl Machine {
@@ -203,6 +240,7 @@ impl Machine {
             rec: Recorder::off(),
             faults: None,
             noise: None,
+            merge_log: None,
         }
     }
 
@@ -285,7 +323,8 @@ impl Machine {
     /// ties across shards break by CG id (within a shard, by schedule
     /// order), which keeps the facade timeline deterministic.
     pub fn pop(&mut self) -> Option<(SimTime, MachineEvent)> {
-        self.merge_outboxes(None);
+        self.merge_outboxes(None)
+            .expect("merge without a window floor cannot violate lookahead");
         let rank = self
             .shards
             .iter()
@@ -309,10 +348,13 @@ impl Machine {
     /// Merge every shard's outbox into the destination queues, in source
     /// rank order and outbox push order — the deterministic barrier of the
     /// window protocol. With `floor = Some(end)` (the window end), a
-    /// delivery scheduled before `end` is a **lookahead violation** and
-    /// panics: the conservative contract promised no cross-CG message could
-    /// land inside the window just drained.
-    pub fn merge_outboxes(&mut self, floor: Option<SimTime>) {
+    /// delivery scheduled before `end` is a **lookahead violation**: the
+    /// conservative contract promised no cross-CG message could land inside
+    /// the window just drained. The violation is returned as a typed error
+    /// (the static lookahead proof in `sw-analyze` rules it out pre-run);
+    /// the machine must not be advanced further after an `Err` — the
+    /// offending source's remaining deliveries are discarded mid-merge.
+    pub fn merge_outboxes(&mut self, floor: Option<SimTime>) -> Result<(), LookaheadViolation> {
         for src in 0..self.shards.len() {
             if self.shards[src].outbox.is_empty() {
                 continue;
@@ -320,17 +362,41 @@ impl Machine {
             let outbox = std::mem::take(&mut self.shards[src].outbox);
             for (at, dst, token) in outbox {
                 if let Some(end) = floor {
-                    assert!(
-                        at >= end,
-                        "lookahead violation: message from CG {src} delivers at {at}, \
-                         inside the window ending at {end}"
-                    );
+                    if at < end {
+                        return Err(LookaheadViolation {
+                            src,
+                            dst,
+                            token,
+                            at,
+                            window_end: end,
+                        });
+                    }
+                }
+                if let Some(log) = &mut self.merge_log {
+                    log.push((src, dst));
                 }
                 self.shards[dst]
                     .queue
                     .schedule_at(at, MachineEvent::NetDeliver { dst, token });
             }
         }
+        Ok(())
+    }
+
+    /// Start (or stop) logging the `(src, dst)` pair of every merged
+    /// cross-shard delivery. The DPOR explorer uses the per-window logs as
+    /// interaction edges; off by default (zero cost).
+    pub fn set_merge_log(&mut self, on: bool) {
+        self.merge_log = on.then(Vec::new);
+    }
+
+    /// Drain the merge log accumulated since the last call (empty when
+    /// logging is off).
+    pub fn take_merge_log(&mut self) -> Vec<(CgId, CgId)> {
+        self.merge_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// True when any shard still has an undelivered outbox entry.
@@ -440,7 +506,8 @@ impl Machine {
         token: u64,
     ) -> SimTime {
         let deliver = self.ctx(src).net_send(src, dst, bytes, when, token);
-        self.merge_outboxes(None);
+        self.merge_outboxes(None)
+            .expect("merge without a window floor cannot violate lookahead");
         deliver
     }
 
@@ -895,19 +962,43 @@ mod tests {
         assert!(m.has_outbound(), "ctx sends park in the outbox");
         assert_eq!(m.shard_peek(1), None, "not yet visible to the target");
         assert_eq!(m.peek_time(), Some(deliver), "but visible to the facade");
-        m.merge_outboxes(None);
+        m.merge_outboxes(None).unwrap();
         assert_eq!(m.shard_peek(1), Some(deliver));
         assert!(!m.has_outbound());
     }
 
     #[test]
-    #[should_panic(expected = "lookahead violation")]
     fn merge_rejects_deliveries_inside_the_window() {
         let mut m = machine(2);
         let deliver = m.ctx(0).net_send(0, 1, 0, SimTime(0), 9);
         // Claim a window that extends past the delivery: conservative
-        // contract broken, the merge must refuse.
-        m.merge_outboxes(Some(deliver + SimDur(1)));
+        // contract broken, the merge must refuse with a typed violation
+        // carrying the channel diagnostics.
+        let end = deliver + SimDur(1);
+        let v = m.merge_outboxes(Some(end)).unwrap_err();
+        assert_eq!((v.src, v.dst, v.token), (0, 1, 9));
+        assert_eq!((v.at, v.window_end), (deliver, end));
+        assert!(v.to_string().contains("lookahead violation"));
+        // A floor at the delivery instant is legal: `at >= end` holds.
+        let mut ok = machine(2);
+        let d = ok.ctx(0).net_send(0, 1, 0, SimTime(0), 9);
+        ok.merge_outboxes(Some(d)).unwrap();
+        assert_eq!(ok.shard_peek(1), Some(d));
+    }
+
+    #[test]
+    fn merge_log_captures_window_edges() {
+        let mut m = machine(3);
+        m.set_merge_log(true);
+        m.ctx(0).net_send(0, 1, 64, SimTime(0), 1);
+        m.ctx(2).net_send(2, 1, 64, SimTime(0), 2);
+        m.merge_outboxes(None).unwrap();
+        assert_eq!(m.take_merge_log(), vec![(0, 1), (2, 1)]);
+        assert!(m.take_merge_log().is_empty(), "take drains the log");
+        m.set_merge_log(false);
+        m.ctx(0).net_send(0, 2, 64, SimTime(0), 3);
+        m.merge_outboxes(None).unwrap();
+        assert!(m.take_merge_log().is_empty(), "logging off records nothing");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   track per rank MPE + CPE lane + wire, flow arrows send→recv);
 //! * [`phases`] — the derived-metrics pass: exact per-step 4-way phase
 //!   partitions (compute / comm-hidden / comm-exposed / idle), overlap
-//!   efficiency, and critical-path extraction.
+//!   efficiency, and critical-path extraction;
+//! * [`race`] — vector-clock happens-before reconstruction over a trace
+//!   (program order, offload fork/join, message and reduction edges) and
+//!   a FastTrack-style conflicting-access checker.
 //!
 //! This crate is a dependency **leaf** (even `sw-sim` depends on it, for
 //! the deprecated `Trace` shim), so times are raw `u64` picoseconds —
@@ -30,9 +33,11 @@ pub mod event;
 pub mod metrics;
 pub mod perfetto;
 pub mod phases;
+pub mod race;
 pub mod recorder;
 
 pub use event::{Event, EventRecord, Lane};
 pub use metrics::{Counter, Hist, Metrics};
 pub use phases::{analyze, CritPathEntry, PhaseBreakdown, PhaseReport};
+pub use race::{trace_hb, AccessKind, AccessSpan, RaceFinding, RaceReport, TraceHb, VectorClock};
 pub use recorder::Recorder;

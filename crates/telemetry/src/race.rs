@@ -1,0 +1,551 @@
+//! Vector-clock happens-before reconstruction and race detection over
+//! recorded event traces (FastTrack-style, adapted to the simulator's
+//! structured events).
+//!
+//! The trace model: each rank's buffer is appended by that rank's single
+//! logical thread, so **buffer order is a valid program-order
+//! linearization per rank**; lanes split it into logical threads. The
+//! happens-before relation is rebuilt from exactly four edge families:
+//!
+//! * **program order** per `(rank, lane)` thread;
+//! * **fork/join** — `OffloadStart` inherits the MPE's clock (the MPE
+//!   spawned the kernel at that buffer position) and `OffloadDone` joins
+//!   the CPE clock back into the MPE (it is recorded at the harvest
+//!   point);
+//! * **message edges** — `MsgPosted(msg)` on the source happens before
+//!   `MsgDelivered(msg)` on the destination (matched by the
+//!   communicator's globally unique message id);
+//! * **reduction edges** — every `ReduceContribute(step)` happens before
+//!   every `ReduceDone(step)` (the allreduce hub folds all contributions
+//!   before any rank observes the result).
+//!
+//! Everything else (`Barrier`, `Idle`, wire bookkeeping, rendezvous
+//! control packets) is deliberately *not* a synchronization edge: fewer
+//! assumed edges make the detector stricter. Data accesses are not
+//! inferred here — the runtime-specific mapping from events to warehouse
+//! accesses lives in `uintah-core` — callers hand [`AccessSpan`]s to
+//! [`TraceHb::check`], which verifies every conflicting pair on a shared
+//! resource is ordered by the reconstructed happens-before.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventRecord, Lane};
+
+/// A vector clock: one component per `(rank, lane)` thread of the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    fn zero(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    fn tick(&mut self, thread: usize) {
+        self.0[thread] += 1;
+    }
+
+    /// Pointwise `self <= other`: every component at most the other's.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// Read or write, for conflict classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The span only reads the resource.
+    Read,
+    /// The span writes (or reads and writes) the resource.
+    Write,
+}
+
+/// One data access attributed to a span of trace events: the resource is
+/// accessed somewhere between the start event and the end event
+/// (inclusive) of one `(rank, lane)` thread.
+#[derive(Debug, Clone)]
+pub struct AccessSpan {
+    /// Rank whose buffer holds the span.
+    pub rank: usize,
+    /// Buffer index of the first event of the span.
+    pub start: usize,
+    /// Buffer index of the last event of the span (>= `start`).
+    pub end: usize,
+    /// Opaque resource key (the caller's encoding of variable identity);
+    /// only accesses with equal keys can conflict.
+    pub resource: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Human-readable description for diagnostics.
+    pub what: String,
+}
+
+/// One unordered conflicting pair.
+#[derive(Debug, Clone)]
+pub struct RaceFinding {
+    /// Resource key both spans touch.
+    pub resource: u64,
+    /// Description of the first access.
+    pub a: String,
+    /// Description of the second access.
+    pub b: String,
+}
+
+/// Result of checking a set of access spans against the trace's
+/// happens-before relation.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Access spans examined.
+    pub accesses: usize,
+    /// Conflicting same-resource pairs compared.
+    pub pairs_checked: u64,
+    /// Unordered conflicting pairs — empty on a clean trace.
+    pub races: Vec<RaceFinding>,
+}
+
+/// The reconstructed happens-before relation of one trace snapshot.
+pub struct TraceHb {
+    /// Per-rank, per-event clocks, parallel to the snapshot's buffers.
+    clocks: Vec<Vec<VectorClock>>,
+    /// Thread index per `(rank, lane-tid)`.
+    threads: BTreeMap<(usize, u64), usize>,
+    /// `MsgPosted -> MsgDelivered` edges honored, as `(msg, src, dst)`.
+    pub msg_edges: Vec<(u64, usize, usize)>,
+    /// `ReduceContribute -> ReduceDone` joins honored.
+    pub reduce_edges: usize,
+    /// Structural defects: deliveries with no recorded post, reductions
+    /// completed with missing contributions. Non-empty means the trace
+    /// itself (not just a schedule) is suspect.
+    pub errors: Vec<String>,
+}
+
+impl TraceHb {
+    /// The clock assigned to event `idx` of `rank`'s buffer.
+    pub fn clock(&self, rank: usize, idx: usize) -> &VectorClock {
+        &self.clocks[rank][idx]
+    }
+
+    /// Number of logical threads discovered.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total events the relation covers.
+    pub fn n_events(&self) -> usize {
+        self.clocks.iter().map(Vec::len).sum()
+    }
+
+    /// Whether event `(r1, i1)` happens before `(r2, i2)`.
+    pub fn ordered(&self, r1: usize, i1: usize, r2: usize, i2: usize) -> bool {
+        self.clocks[r1][i1].le(&self.clocks[r2][i2])
+    }
+
+    /// Check every conflicting pair of spans (same resource, at least one
+    /// write, different threads) is ordered: the whole of one span must
+    /// happen before the start of the other.
+    pub fn check(&self, spans: &[AccessSpan], lanes: &[Vec<Lane>]) -> RaceReport {
+        let mut by_resource: BTreeMap<u64, Vec<&AccessSpan>> = BTreeMap::new();
+        for s in spans {
+            by_resource.entry(s.resource).or_default().push(s);
+        }
+        let mut report = RaceReport {
+            accesses: spans.len(),
+            ..RaceReport::default()
+        };
+        let thread_of = |s: &AccessSpan| (s.rank, lanes[s.rank][s.start].tid());
+        for group in by_resource.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                        continue;
+                    }
+                    if thread_of(a) == thread_of(b) {
+                        continue; // program order
+                    }
+                    report.pairs_checked += 1;
+                    let a_first = self.clocks[a.rank][a.end].le(&self.clocks[b.rank][b.start]);
+                    let b_first = self.clocks[b.rank][b.end].le(&self.clocks[a.rank][a.start]);
+                    if !a_first && !b_first {
+                        report.races.push(RaceFinding {
+                            resource: a.resource,
+                            a: a.what.clone(),
+                            b: b.what.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Per-rank cursor state of the fixpoint pass.
+struct RankState {
+    pos: usize,
+    mpe: VectorClock,
+    cpe: BTreeMap<u64, VectorClock>,
+    wire: VectorClock,
+}
+
+/// Reconstruct the happens-before relation of a recorder snapshot.
+///
+/// Buffers are consumed in order, round-robin across ranks; an event
+/// needing a cross-rank input that has not been produced yet (a delivery
+/// whose post is further down another rank's buffer, a reduction
+/// completion whose contributions are still pending) parks its rank until
+/// the input appears. A causal trace always drains; a defective one
+/// (delivery without post, reduction completed with missing
+/// contributions) is drained anyway with the defect recorded in
+/// [`TraceHb::errors`].
+pub fn trace_hb(snapshot: &[Vec<EventRecord>]) -> TraceHb {
+    let n_ranks = snapshot.len();
+    // Pre-pass: number the threads.
+    let mut threads = BTreeMap::new();
+    for (r, buf) in snapshot.iter().enumerate() {
+        for rec in buf {
+            let next = threads.len();
+            threads.entry((r, rec.lane.tid())).or_insert(next);
+        }
+    }
+    let nt = threads.len();
+    let mut states: Vec<RankState> = (0..n_ranks)
+        .map(|_| RankState {
+            pos: 0,
+            mpe: VectorClock::zero(nt),
+            cpe: BTreeMap::new(),
+            wire: VectorClock::zero(nt),
+        })
+        .collect();
+    let mut clocks: Vec<Vec<VectorClock>> = snapshot
+        .iter()
+        .map(|b| Vec::with_capacity(b.len()))
+        .collect();
+    let mut posted: BTreeMap<u64, (usize, VectorClock)> = BTreeMap::new();
+    let mut contribs: BTreeMap<usize, (usize, VectorClock)> = BTreeMap::new();
+    let mut msg_edges = Vec::new();
+    let mut reduce_edges = 0usize;
+    let mut errors = Vec::new();
+    // `force` releases parked ranks after a no-progress round.
+    let mut force = false;
+    loop {
+        let mut progressed = false;
+        for r in 0..n_ranks {
+            while states[r].pos < snapshot[r].len() {
+                let idx = states[r].pos;
+                let rec = &snapshot[r][idx];
+                let tid = threads[&(r, rec.lane.tid())];
+                // Park on unavailable cross-rank inputs (unless forced).
+                match &rec.event {
+                    Event::MsgDelivered { msg, .. } if !posted.contains_key(msg) && !force => break,
+                    Event::ReduceDone { step } => {
+                        let have = contribs.get(step).map_or(0, |(n, _)| *n);
+                        if have < n_ranks && !force {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                let st = &mut states[r];
+                let vc = match (&rec.event, rec.lane) {
+                    (Event::OffloadStart { .. }, Lane::Cpe(k)) => {
+                        // Fork: the kernel starts with everything the MPE
+                        // has seen at the spawn point.
+                        let mpe = st.mpe.clone();
+                        let cpe = st.cpe.entry(u64::from(k)).or_insert_with(|| mpe.clone());
+                        cpe.join(&mpe);
+                        cpe.tick(tid);
+                        cpe.clone()
+                    }
+                    (Event::OffloadDone { .. }, Lane::Cpe(k)) => {
+                        // Join: recorded at the harvest point, so the MPE
+                        // has observed completion from here on.
+                        let cpe = st.cpe.entry(u64::from(k)).or_insert_with(|| {
+                            VectorClock::zero(nt) // done without start: still a thread
+                        });
+                        cpe.tick(tid);
+                        let done = cpe.clone();
+                        st.mpe.join(&done);
+                        done
+                    }
+                    (_, Lane::Cpe(k)) => {
+                        // DMA windows and other CPE-lane bookkeeping:
+                        // program order within the kernel span.
+                        let cpe = st
+                            .cpe
+                            .entry(u64::from(k))
+                            .or_insert_with(|| VectorClock::zero(nt));
+                        cpe.tick(tid);
+                        cpe.clone()
+                    }
+                    (_, Lane::Wire) => {
+                        // Wire bookkeeping is recorded by the MPE thread;
+                        // it synchronizes nothing itself (delivery edges
+                        // come from MsgPosted/MsgDelivered).
+                        st.wire.join(&st.mpe);
+                        st.wire.tick(tid);
+                        st.wire.clone()
+                    }
+                    (Event::MsgPosted { msg, peer, .. }, _) => {
+                        st.mpe.tick(tid);
+                        posted.insert(*msg, (r, st.mpe.clone()));
+                        let _ = peer;
+                        st.mpe.clone()
+                    }
+                    (Event::MsgDelivered { msg, .. }, _) => {
+                        if let Some((src, pvc)) = posted.get(msg) {
+                            st.mpe.join(pvc);
+                            msg_edges.push((*msg, *src, r));
+                        } else {
+                            errors.push(format!(
+                                "rank {r}: MsgDelivered(msg {msg}) with no recorded MsgPosted"
+                            ));
+                        }
+                        st.mpe.tick(tid);
+                        st.mpe.clone()
+                    }
+                    (Event::ReduceContribute { step }, _) => {
+                        st.mpe.tick(tid);
+                        let entry = contribs
+                            .entry(*step)
+                            .or_insert_with(|| (0, VectorClock::zero(nt)));
+                        entry.0 += 1;
+                        entry.1.join(&st.mpe);
+                        st.mpe.clone()
+                    }
+                    (Event::ReduceDone { step }, _) => {
+                        match contribs.get(step) {
+                            Some((n, joined)) => {
+                                if *n < n_ranks {
+                                    errors.push(format!(
+                                        "rank {r}: ReduceDone(step {step}) with {n}/{n_ranks} \
+                                         contributions recorded"
+                                    ));
+                                }
+                                let joined = joined.clone();
+                                st.mpe.join(&joined);
+                                reduce_edges += 1;
+                            }
+                            None => errors.push(format!(
+                                "rank {r}: ReduceDone(step {step}) with no contributions"
+                            )),
+                        }
+                        st.mpe.tick(tid);
+                        st.mpe.clone()
+                    }
+                    _ => {
+                        // Every other MPE-lane event: program order only.
+                        st.mpe.tick(tid);
+                        st.mpe.clone()
+                    }
+                };
+                clocks[r].push(vc);
+                states[r].pos += 1;
+                progressed = true;
+                force = false;
+            }
+        }
+        if states
+            .iter()
+            .enumerate()
+            .all(|(r, s)| s.pos >= snapshot[r].len())
+        {
+            break;
+        }
+        if !progressed {
+            if force {
+                // Even forced processing made no progress: impossible, but
+                // never loop forever.
+                errors.push("trace processing wedged".to_string());
+                break;
+            }
+            force = true;
+        }
+    }
+    TraceHb {
+        clocks,
+        threads,
+        msg_edges,
+        reduce_edges,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(lane: Lane, event: Event) -> EventRecord {
+        EventRecord {
+            at_ps: 0,
+            wall_ns: None,
+            lane,
+            event,
+        }
+    }
+
+    fn span(rank: usize, start: usize, end: usize, resource: u64, kind: AccessKind) -> AccessSpan {
+        AccessSpan {
+            rank,
+            start,
+            end,
+            resource,
+            kind,
+            what: format!("r{rank}[{start}..{end}] res {resource}"),
+        }
+    }
+
+    fn lanes(snap: &[Vec<EventRecord>]) -> Vec<Vec<Lane>> {
+        snap.iter()
+            .map(|b| b.iter().map(|r| r.lane).collect())
+            .collect()
+    }
+
+    #[test]
+    fn message_edge_orders_cross_rank_accesses() {
+        // Rank 0 writes then posts; rank 1 delivers then reads: ordered.
+        let snap = vec![
+            vec![
+                rec(Lane::Mpe, Event::TaskStart { patch: 0, stage: 0 }),
+                rec(Lane::Mpe, Event::TaskEnd { patch: 0, stage: 0 }),
+                rec(
+                    Lane::Mpe,
+                    Event::MsgPosted {
+                        msg: 7,
+                        peer: 1,
+                        tag: 0,
+                        bytes: 8,
+                        eager: true,
+                    },
+                ),
+            ],
+            vec![
+                rec(
+                    Lane::Mpe,
+                    Event::MsgDelivered {
+                        msg: 7,
+                        peer: 0,
+                        tag: 0,
+                        bytes: 8,
+                    },
+                ),
+                rec(Lane::Mpe, Event::TaskStart { patch: 1, stage: 0 }),
+            ],
+        ];
+        let hb = trace_hb(&snap);
+        assert!(hb.errors.is_empty(), "{:?}", hb.errors);
+        assert_eq!(hb.msg_edges, vec![(7, 0, 1)]);
+        assert!(hb.ordered(0, 2, 1, 0), "post happens before delivery");
+        assert!(!hb.ordered(1, 0, 0, 2), "not the other way around");
+        let spans = [
+            span(0, 0, 1, 42, AccessKind::Write),
+            span(1, 1, 1, 42, AccessKind::Read),
+        ];
+        let report = hb.check(&spans, &lanes(&snap));
+        assert_eq!(report.pairs_checked, 1);
+        assert!(report.races.is_empty(), "{:?}", report.races);
+    }
+
+    #[test]
+    fn unordered_conflicting_writes_race() {
+        // Two ranks write the same resource with no connecting edge.
+        let snap = vec![
+            vec![rec(Lane::Mpe, Event::TaskStart { patch: 0, stage: 0 })],
+            vec![rec(Lane::Mpe, Event::TaskStart { patch: 1, stage: 0 })],
+        ];
+        let hb = trace_hb(&snap);
+        let spans = [
+            span(0, 0, 0, 5, AccessKind::Write),
+            span(1, 0, 0, 5, AccessKind::Write),
+        ];
+        let report = hb.check(&spans, &lanes(&snap));
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].resource, 5);
+        // Read/read never conflicts; different resources never conflict.
+        let ok = [
+            span(0, 0, 0, 5, AccessKind::Read),
+            span(1, 0, 0, 5, AccessKind::Read),
+            span(1, 0, 0, 6, AccessKind::Write),
+        ];
+        assert!(hb.check(&ok, &lanes(&snap)).races.is_empty());
+    }
+
+    #[test]
+    fn fork_join_orders_kernel_against_harvested_mpe_work() {
+        let snap = vec![vec![
+            rec(Lane::Mpe, Event::TaskStart { patch: 0, stage: 0 }), // 0: prep
+            rec(Lane::Mpe, Event::TaskEnd { patch: 0, stage: 0 }),   // 1
+            rec(Lane::Cpe(0), Event::OffloadStart { patch: 0, token: 1 }), // 2: fork
+            rec(Lane::Mpe, Event::ProgressCall { actions: 0 }),      // 3: concurrent MPE
+            rec(Lane::Cpe(0), Event::OffloadDone { patch: 0, token: 1 }), // 4: join
+            rec(Lane::Mpe, Event::TaskStart { patch: 0, stage: 1 }), // 5: after harvest
+        ]];
+        let hb = trace_hb(&snap);
+        assert!(hb.ordered(0, 1, 0, 2), "prep before kernel start");
+        assert!(hb.ordered(0, 4, 0, 5), "kernel done before next prep");
+        assert!(
+            !hb.ordered(0, 3, 0, 4) || hb.ordered(0, 3, 0, 4),
+            "smoke: comparison total"
+        );
+        // The concurrent MPE progress call is NOT ordered with the kernel
+        // span in either direction.
+        assert!(!hb.ordered(0, 2, 0, 3) && !hb.ordered(0, 3, 0, 2));
+        // An unordered kernel-vs-MPE write pair on one rank is caught.
+        let snap_lanes = lanes(&snap);
+        let racy = [
+            span(0, 2, 4, 9, AccessKind::Write), // kernel span
+            {
+                let mut s = span(0, 3, 3, 9, AccessKind::Write); // MPE during kernel
+                s.what = "mpe progress write".into();
+                s
+            },
+        ];
+        assert_eq!(hb.check(&racy, &snap_lanes).races.len(), 1);
+        // Ordered prep-vs-kernel pair is clean.
+        let clean = [
+            span(0, 0, 1, 9, AccessKind::Write),
+            span(0, 2, 4, 9, AccessKind::Read),
+        ];
+        assert!(hb.check(&clean, &snap_lanes).races.is_empty());
+    }
+
+    #[test]
+    fn reduction_joins_all_contributions() {
+        let snap = vec![
+            vec![
+                rec(Lane::Mpe, Event::ReduceContribute { step: 0 }),
+                rec(Lane::Mpe, Event::ReduceDone { step: 0 }),
+            ],
+            vec![
+                rec(Lane::Mpe, Event::ReduceContribute { step: 0 }),
+                rec(Lane::Mpe, Event::ReduceDone { step: 0 }),
+            ],
+        ];
+        let hb = trace_hb(&snap);
+        assert!(hb.errors.is_empty(), "{:?}", hb.errors);
+        assert_eq!(hb.reduce_edges, 2);
+        assert!(hb.ordered(0, 0, 1, 1), "contribute before the other's done");
+        assert!(hb.ordered(1, 0, 0, 1));
+    }
+
+    #[test]
+    fn delivery_without_post_is_a_structural_error() {
+        let snap = vec![vec![rec(
+            Lane::Mpe,
+            Event::MsgDelivered {
+                msg: 99,
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+            },
+        )]];
+        let hb = trace_hb(&snap);
+        assert_eq!(hb.errors.len(), 1);
+        assert!(hb.errors[0].contains("msg 99"), "{}", hb.errors[0]);
+        assert_eq!(hb.n_events(), 1, "the trace still drains");
+    }
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate the `repro check` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* CHECK.json is well-formed JSON and all three analyses actually ran:
+  the `static`, `dynamic`, and `dpor` sections are present and
+  non-empty — a campaign that skipped one is vacuous;
+* static: every proved configuration is safe (all_safe), and the
+  deliberate unsafe-lookahead demonstration flagged at least one
+  `lookahead_unsafe` finding with the machine model agreeing on the
+  boundary to the picosecond (machine_agrees, delivery at exactly the
+  proved minimum);
+* dynamic: at least 3 instrumented runs went through the vector-clock
+  race detector, each with events and message edges to chew on, and
+  every one came back with zero races, zero structural defects, and
+  zero message edges the compiled plans cannot account for (the
+  static/dynamic differential contract);
+* dpor: at least 3 configurations were explored, at least 50
+  non-equivalent interleavings were replayed in total, and every
+  forced drain order reproduced the baseline warehouse bit-for-bit
+  (all_identical);
+* the top-level ok flag agrees with all of the above.
+
+Usage: validate_check.py <results-dir>
+"""
+
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "CHECK.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro check` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in ("static", "dynamic", "dpor", "ok"):
+        if key not in doc:
+            fail(f"CHECK.json: missing top-level key {key!r} — "
+                 "all three analyses must run")
+
+    st = doc["static"]
+    configs = st.get("configs", [])
+    if not configs:
+        fail("static: no proved configurations")
+    for c in configs:
+        for key in ("problem", "cgs", "channels", "min_latency_ps",
+                    "lookahead_ps", "safe"):
+            if key not in c:
+                fail(f"static config missing {key!r}: {c}")
+        if not c["safe"]:
+            fail(f"static: {c['problem']} at {c['cgs']} cgs is UNSAFE: "
+                 f"min latency {c['min_latency_ps']} < lookahead "
+                 f"{c['lookahead_ps']}")
+        if c["channels"] == 0:
+            fail(f"static: {c['problem']} at {c['cgs']} cgs proved zero "
+                 "channels — vacuous")
+    if not st.get("all_safe"):
+        fail("static: all_safe is false")
+    demo = st.get("unsafe_demo")
+    if not demo:
+        fail("static: unsafe_demo missing — the proof was never shown to "
+             "reject anything")
+    if demo["findings"] < 1:
+        fail("unsafe_demo: the provably unsafe lookahead produced no "
+             "findings")
+    if not demo["machine_agrees"]:
+        fail("unsafe_demo: static proof and machine merge disagree on the "
+             "violation boundary")
+    if demo["machine_deliver_ps"] != demo["min_latency_ps"]:
+        fail(f"unsafe_demo: machine delivered at {demo['machine_deliver_ps']}"
+             f" ps, proof predicted {demo['min_latency_ps']} ps")
+
+    dy = doc["dynamic"]
+    cases = dy.get("cases", [])
+    if len(cases) < 3:
+        fail(f"dynamic: only {len(cases)} race-checked runs, need >= 3")
+    for c in cases:
+        label = f"{c.get('variant')}@{c.get('cgs')}cg"
+        if c.get("events", 0) == 0 or c.get("msg_edges", 0) == 0:
+            fail(f"dynamic {label}: empty trace or no message edges — "
+                 "the detector had nothing to check")
+        if c.get("races", 1) != 0:
+            fail(f"dynamic {label}: {c['races']} race(s) detected")
+        if c.get("structural", 1) != 0:
+            fail(f"dynamic {label}: {c['structural']} structural defect(s)")
+        if c.get("unmatched", 1) != 0:
+            fail(f"dynamic {label}: {c['unmatched']} message edge(s) the "
+                 "static model cannot account for")
+        if not c.get("clean"):
+            fail(f"dynamic {label}: not clean")
+    if not dy.get("all_clean"):
+        fail("dynamic: all_clean is false")
+
+    dp = doc["dpor"]
+    configs = dp.get("configs", [])
+    if len(configs) < 3:
+        fail(f"dpor: only {len(configs)} explored configs, need >= 3")
+    for c in configs:
+        if c.get("message_windows", 0) == 0:
+            fail(f"dpor {c.get('name')}: no message windows — nothing was "
+                 "permuted")
+        if not c.get("identical"):
+            fail(f"dpor {c.get('name')}: a forced drain order diverged from "
+                 "the baseline warehouse")
+        if c.get("explored") != c.get("replays", 0) + 1:
+            fail(f"dpor {c.get('name')}: explored {c.get('explored')} != "
+                 f"baseline + {c.get('replays')} replays")
+    total = dp.get("total_explored", 0)
+    if total < 50:
+        fail(f"dpor: only {total} interleavings explored in total, need "
+             ">= 50")
+    if not dp.get("all_identical"):
+        fail("dpor: all_identical is false")
+
+    if not doc["ok"]:
+        fail("campaign reported ok=false")
+
+    print(
+        f"validate_check: OK: {len(st['configs'])} configs proved safe, "
+        f"unsafe demo agreed at {demo['min_latency_ps']} ps, "
+        f"{len(cases)} traces race-free, {total} interleavings "
+        f"bit-identical across {len(configs)} configs"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
