@@ -103,6 +103,28 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping check JSON validation"
   fi
+  step "campaign service (repro serve, deterministic 64-job demo x2 + faulted)"
+  # The same seeded 64-job demo campaign three times: cold cache, warm
+  # cache (must be 100% hits with the sampling oracle re-verifying bytes),
+  # and cold again under the standard worker-fault preset (injected worker
+  # deaths must be detected, retried, and recovered without changing a
+  # byte). Each serve exits non-zero on any lost/duplicated/failed job,
+  # oracle mismatch, or malformed job line; writes results/CAMPAIGN_*.json.
+  rm -rf results/cache_ci results/cache_ci_faulted
+  cargo run --release -p bench --bin repro -- serve --demo 64 --workers 4 \
+    --seed 42 --cache results/cache_ci --out results/CAMPAIGN_run1.json
+  cargo run --release -p bench --bin repro -- serve --demo 64 --workers 2 \
+    --seed 42 --cache results/cache_ci --out results/CAMPAIGN_run2.json
+  cargo run --release -p bench --bin repro -- serve --demo 64 --workers 4 \
+    --seed 42 --worker-faults standard --cache results/cache_ci_faulted \
+    --out results/CAMPAIGN_faulted.json
+  # Cross-run validation: byte-identical record arrays, run-2 hit rate 1.0,
+  # exactly-once everywhere, fault counters reconciled.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_campaign.py results
+  else
+    echo "python3 not found; skipping campaign JSON validation"
+  fi
 fi
 
 # Best-effort: run the unsafe paths under miri when the toolchain

@@ -11,6 +11,7 @@
 //! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
 //! cargo run --release -p bench --bin repro -- scale [--quick | --full]
 //! cargo run --release -p bench --bin repro -- check
+//! cargo run --release -p bench --bin repro -- serve --demo 64 --workers 4
 //! ```
 //!
 //! `--jobs N` fans the independent sweep simulations behind the tables out
@@ -108,8 +109,7 @@ fn run_faults(seed: u64) {
     );
     let failures = outcome.failures();
     if failures > 0 {
-        eprintln!("ERROR: {failures} resilience proof(s) failed");
-        std::process::exit(1);
+        bench::cli::fail("faults", &format!("{failures} resilience proof(s) failed"));
     }
 }
 
@@ -146,11 +146,13 @@ fn run_torture(seed: u64, cases: u64) {
         outcome.ok()
     );
     if !outcome.ok() {
-        eprintln!(
-            "ERROR: {} torture case(s) failed an oracle",
-            outcome.failures.len()
+        bench::cli::fail(
+            "torture",
+            &format!(
+                "{} torture case(s) failed an oracle",
+                outcome.failures.len()
+            ),
         );
-        std::process::exit(1);
     }
 }
 
@@ -215,8 +217,7 @@ fn run_check() {
         outcome.ok()
     );
     if !outcome.ok() {
-        eprintln!("ERROR: a concurrency check failed");
-        std::process::exit(1);
+        bench::cli::fail("check", "a concurrency check failed");
     }
 }
 
@@ -270,8 +271,133 @@ fn run_scale(quick: bool, full: bool) {
         dir.join("BENCH_scale.json").display()
     );
     if !outcome.all_identical() {
-        eprintln!("ERROR: PDES engine diverged from the serial engine on a swept config");
-        std::process::exit(1);
+        bench::cli::fail(
+            "scale",
+            "PDES engine diverged from the serial engine on a swept config",
+        );
+    }
+}
+
+/// `serve` subcommand: the campaign service front-end. Jobs come from
+/// `--jobs-file <path>` (JSONL), `--stdin`, and/or `--demo N` (seeded
+/// generator, default 64); they drain through `--workers N` pool workers
+/// with the content-addressed cache under `--cache <dir>` (default
+/// `results/cache`; `--no-cache` keeps it in memory). `--worker-faults
+/// none|standard|harsh` turns on the worker-pool fault plan (crashes are
+/// retried, never lost), `--oracle-ppm N` tunes the fraction of cache hits
+/// the reproducibility oracle re-executes, `--stream N` emits a telemetry
+/// line every N completions, and `--perfetto <dir>` writes a trace per
+/// executed job. Writes `results/CAMPAIGN.json` (or `--out <path>`); exits
+/// non-zero on any lost/duplicated/failed job, oracle mismatch, or
+/// malformed job line.
+fn run_serve(args: &[String], seed: u64) {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let worker_faults = match flag("--worker-faults").map(String::as_str) {
+        None | Some("none") => None,
+        Some("standard") => Some(sw_resilience::FaultConfig::standard(seed)),
+        Some("harsh") => Some(sw_resilience::FaultConfig::harsh(seed)),
+        Some(other) => bench::cli::fail(
+            "serve",
+            &format!("unknown --worker-faults preset `{other}` (none|standard|harsh)"),
+        ),
+    };
+    let mut serve_args = bench::serve::ServeArgs {
+        seed,
+        worker_faults,
+        read_stdin: args.iter().any(|a| a == "--stdin"),
+        ..bench::serve::ServeArgs::default()
+    };
+    if let Some(v) = flag("--demo") {
+        serve_args.demo = v.parse().expect("--demo N");
+    }
+    if let Some(v) = flag("--workers") {
+        serve_args.workers = v.parse().expect("--workers N");
+    }
+    if let Some(v) = flag("--oracle-ppm") {
+        serve_args.oracle_ppm = v.parse().expect("--oracle-ppm N");
+    }
+    if let Some(v) = flag("--stream") {
+        serve_args.stream_every = v.parse().expect("--stream N");
+    }
+    if let Some(v) = flag("--cache") {
+        serve_args.cache = Some(std::path::PathBuf::from(v));
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        serve_args.cache = None;
+    }
+    if let Some(v) = flag("--jobs-file") {
+        serve_args.jobs_file = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = flag("--out") {
+        serve_args.out = std::path::PathBuf::from(v);
+    }
+    if let Some(v) = flag("--perfetto") {
+        serve_args.perfetto = Some(std::path::PathBuf::from(v));
+    }
+    let summary = match bench::serve::run_serve(&serve_args) {
+        Ok(s) => s,
+        Err(e) => bench::cli::fail("serve", &e.to_string()),
+    };
+    let o = &summary.outcome;
+    println!(
+        "== Campaign service: {} job(s) over {} worker(s) (seed {seed}) ==",
+        o.records.len(),
+        o.workers
+    );
+    println!(
+        "submitted {} deduped {} | cache hits {} executed {} (hit rate {:.3}) | \
+         retries {} inline {} failed {}",
+        o.submitted,
+        o.deduped,
+        o.cache_hits,
+        o.executed,
+        o.hit_rate,
+        o.retries,
+        o.inline_runs,
+        o.failed
+    );
+    println!(
+        "exactly-once: lost {} duplicated {} | oracle {}/{} byte-identical re-runs",
+        o.lost, o.duplicated, o.oracle_passes, o.oracle_checks
+    );
+    println!(
+        "latency p50 {} us p99 {} us | wall {} ms",
+        o.p50_latency_us, o.p99_latency_us, o.wall_ms
+    );
+    if o.fault_counts.injected_worker_death + o.fault_counts.injected_worker_straggle > 0 {
+        let f = &o.fault_counts;
+        println!(
+            "worker faults: {} death(s) {} straggle(s) injected | {} detected {} retried \
+             {} recovered {} blacklisted",
+            f.injected_worker_death,
+            f.injected_worker_straggle,
+            f.detected_worker,
+            f.retries_job,
+            f.recovered_job,
+            f.workers_blacklisted
+        );
+    }
+    for line in &summary.bad_lines {
+        eprintln!("bad job line {line}");
+    }
+    println!("wrote {}", serve_args.out.display());
+    if !summary.ok() {
+        bench::cli::fail(
+            "serve",
+            &format!(
+                "{} lost, {} duplicated, {} failed, {}/{} oracle passes, {} bad job line(s)",
+                o.lost,
+                o.duplicated,
+                o.failed,
+                o.oracle_passes,
+                o.oracle_checks,
+                summary.bad_lines.len()
+            ),
+        );
     }
 }
 
@@ -359,8 +485,7 @@ fn run_trace(args: &[String]) {
         dir.join("TIMELINE.json").display()
     );
     if bad {
-        eprintln!("ERROR: a trace failed to reconcile with its RunReport");
-        std::process::exit(1);
+        bench::cli::fail("trace", "a trace failed to reconcile with its RunReport");
     }
 }
 
@@ -389,13 +514,26 @@ fn main() {
                     "--steps",
                     "--seed",
                     "--cases",
+                    "--demo",
+                    "--workers",
+                    "--cache",
+                    "--worker-faults",
+                    "--oracle-ppm",
+                    "--jobs-file",
+                    "--out",
+                    "--perfetto",
+                    "--stream",
                 ]
                 .contains(&a.as_str())
                 {
                     skip_next = true;
                     return false;
                 }
-                *a != "--serial" && *a != "--quick" && *a != "--full"
+                *a != "--serial"
+                    && *a != "--quick"
+                    && *a != "--full"
+                    && *a != "--stdin"
+                    && *a != "--no-cache"
             })
             .collect()
     };
@@ -408,6 +546,17 @@ fn main() {
     if positional.iter().any(|a| *a == "trace") {
         run_trace(&args);
         if positional.iter().all(|a| *a == "trace") {
+            return;
+        }
+    }
+
+    // Campaign service: sharded worker pool + content-addressed cache +
+    // reproducibility oracle -> results/CAMPAIGN.json. Explicit only
+    // (writes results/, not a paper table); exits non-zero on any lost,
+    // duplicated, or failed job, oracle mismatch, or bad job line.
+    if positional.iter().any(|a| *a == "serve") {
+        run_serve(&args, seed);
+        if positional.iter().all(|a| *a == "serve") {
             return;
         }
     }
@@ -492,7 +641,7 @@ fn main() {
             dir.join("ANALYZE.json").display()
         );
         if errors > 0 {
-            std::process::exit(1);
+            bench::cli::fail("analyze", &format!("{errors} error-severity finding(s)"));
         }
         if positional.len() == 1 {
             return;

@@ -1,0 +1,26 @@
+//! Shared CLI conventions for the `repro` binary.
+//!
+//! Every `repro` subcommand that can partially fail reports it the same
+//! way: one `ERROR: repro <subcommand>: <detail>` line on stderr and a
+//! non-zero exit. Scripts (ci.sh, the validate_*.py gates) key off both —
+//! the exit code for control flow, the stderr line for log triage — so no
+//! subcommand is allowed to invent its own failure dialect or to exit
+//! non-zero silently.
+
+/// Print the uniform failure line and exit 1.
+pub fn fail(subcmd: &str, detail: &str) -> ! {
+    eprintln!("ERROR: repro {subcmd}: {detail}");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    // `fail` never returns, so the unit test is about the message shape
+    // only; it is exercised end-to-end by scripts/validate_campaign.py.
+    #[test]
+    fn failure_line_shape() {
+        let line = format!("ERROR: repro {}: {}", "serve", "2 job(s) failed");
+        assert!(line.starts_with("ERROR: repro "));
+        assert!(line.contains(": "));
+    }
+}

@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod analyze;
 pub mod breakdown;
 pub mod check;
+pub mod cli;
 pub mod experiments;
 pub mod faults;
 pub mod fidelity;
@@ -17,6 +18,7 @@ pub mod perf;
 pub mod problems;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod table;
 pub mod timeline;
 pub mod torture;

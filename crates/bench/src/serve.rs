@@ -1,0 +1,218 @@
+//! The `repro serve` front-end: drive the `sw-campaign` service from the
+//! command line.
+//!
+//! Jobs come from three sources, combinable: a JSONL file (`--jobs-file`),
+//! stdin (`--stdin`, one flat JSON object per line), and the seeded demo
+//! generator (`--demo N`). Every job is type-validated at the boundary;
+//! malformed lines are counted and reported, never silently dropped. The
+//! campaign drains through the worker pool with the content-addressed
+//! cache under `--cache` (so a re-run of the same job file is answered
+//! from disk and re-verified by the sampling oracle), and the outcome
+//! lands in `results/CAMPAIGN.json`.
+
+use std::io::{self, BufRead as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_campaign::{demo_jobs, AppFactory, CampaignConfig, CampaignOutcome, JobSpec, Service};
+use sw_math::ExpKind;
+use sw_resilience::FaultConfig;
+use uintah_core::Application;
+
+/// Parsed `repro serve` arguments (defaults match the CI campaign stage).
+pub struct ServeArgs {
+    /// Seeded demo jobs to enqueue (0 = none).
+    pub demo: usize,
+    /// Worker threads (0 = run everything inline).
+    pub workers: usize,
+    /// Service seed: demo generation, shard routing, oracle sampling.
+    pub seed: u64,
+    /// Cache directory (`None` = in-memory only).
+    pub cache: Option<PathBuf>,
+    /// Worker-pool fault preset.
+    pub worker_faults: Option<FaultConfig>,
+    /// Oracle sampling rate, ppm of cache hits.
+    pub oracle_ppm: u32,
+    /// JSONL job file.
+    pub jobs_file: Option<PathBuf>,
+    /// Also read JSONL jobs from stdin.
+    pub read_stdin: bool,
+    /// Output JSON path.
+    pub out: PathBuf,
+    /// Per-job Perfetto trace directory.
+    pub perfetto: Option<PathBuf>,
+    /// Stream a telemetry line every N completions (0 = quiet).
+    pub stream_every: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            demo: 64,
+            workers: 4,
+            seed: 42,
+            cache: Some(PathBuf::from("results/cache")),
+            worker_faults: None,
+            oracle_ppm: 250_000,
+            jobs_file: None,
+            read_stdin: false,
+            out: PathBuf::from("results/CAMPAIGN.json"),
+            perfetto: None,
+            stream_every: 0,
+        }
+    }
+}
+
+/// What a serve run produced, for the caller to render and judge.
+pub struct ServeSummary {
+    /// The campaign outcome (records + service counters).
+    pub outcome: CampaignOutcome,
+    /// JSONL lines that failed to parse or resolve into a config.
+    pub bad_lines: Vec<String>,
+}
+
+impl ServeSummary {
+    /// Healthy campaign, no failed jobs, no unparseable input.
+    pub fn ok(&self) -> bool {
+        self.outcome.healthy() && self.outcome.failed == 0 && self.bad_lines.is_empty()
+    }
+}
+
+fn burgers_factory() -> AppFactory {
+    Arc::new(|level| Arc::new(BurgersApp::new(level, ExpKind::Fast)) as Arc<dyn Application>)
+}
+
+/// Submit one JSONL line, recording a diagnostic instead of a job when it
+/// does not resolve. `origin` names the source for the diagnostic.
+fn submit_line(svc: &mut Service, bad: &mut Vec<String>, origin: &str, n: usize, line: &str) {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return;
+    }
+    match JobSpec::parse(line).and_then(|spec| spec.build()) {
+        Ok((level, run)) => svc.submit(level, run),
+        Err(e) => bad.push(format!("{origin}:{n}: {e}")),
+    }
+}
+
+/// Run a campaign from the parsed arguments and write the outcome JSON.
+pub fn run_serve(a: &ServeArgs) -> io::Result<ServeSummary> {
+    let cfg = CampaignConfig {
+        workers: a.workers,
+        seed: a.seed,
+        cache_dir: a.cache.clone(),
+        worker_faults: a.worker_faults,
+        oracle_ppm: a.oracle_ppm,
+        stream_every: a.stream_every,
+        perfetto_dir: a.perfetto.clone(),
+        app_name: "burgers".to_string(),
+    };
+    let mut svc = Service::new(cfg, burgers_factory())
+        .map_err(|e| io::Error::other(format!("campaign service: {e}")))?;
+    let mut bad_lines = Vec::new();
+    if let Some(path) = &a.jobs_file {
+        let text = std::fs::read_to_string(path)?;
+        for (n, line) in text.lines().enumerate() {
+            submit_line(
+                &mut svc,
+                &mut bad_lines,
+                &path.display().to_string(),
+                n + 1,
+                line,
+            );
+        }
+    }
+    if a.read_stdin {
+        let stdin = io::stdin();
+        for (n, line) in stdin.lock().lines().enumerate() {
+            submit_line(&mut svc, &mut bad_lines, "<stdin>", n + 1, &line?);
+        }
+    }
+    for (level, run) in demo_jobs(a.seed, a.demo) {
+        svc.submit(level, run);
+    }
+    let outcome = svc
+        .drain()
+        .map_err(|e| io::Error::other(format!("campaign drain: {e}")))?;
+    if let Some(dir) = a.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&a.out, outcome.to_json())?;
+    Ok(ServeSummary { outcome, bad_lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sw-serve-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn demo_campaign_round_trips_through_the_cache() {
+        let cache = tmp("cache");
+        let out = tmp("out.json");
+        std::fs::remove_dir_all(&cache).ok();
+        let args = ServeArgs {
+            demo: 8,
+            workers: 2,
+            seed: 3,
+            cache: Some(cache.clone()),
+            out: out.clone(),
+            ..ServeArgs::default()
+        };
+        let first = run_serve(&args).unwrap();
+        assert!(first.ok(), "first run unhealthy");
+        assert_eq!(first.outcome.cache_hits, 0);
+        let second = run_serve(&args).unwrap();
+        assert!(second.ok(), "second run unhealthy");
+        assert_eq!(second.outcome.executed, 0, "run 2 must be all cache hits");
+        assert!((second.outcome.hit_rate - 1.0).abs() < 1e-12);
+        // Record arrays byte-identical across runs.
+        let recs =
+            |o: &CampaignOutcome| o.to_json().split("\"service\"").next().unwrap().to_string();
+        assert_eq!(recs(&first.outcome), recs(&second.outcome));
+        std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn jobs_file_lines_are_validated_at_the_boundary() {
+        let jobs = tmp("jobs.jsonl");
+        let out = tmp("jobs-out.json");
+        std::fs::write(
+            &jobs,
+            concat!(
+                "# comment lines and blanks are skipped\n",
+                "\n",
+                "{\"variant\": \"acc.sync\", \"patch\": \"3x3x3\", \"layout\": \"2x1x1\", \"steps\": 1}\n",
+                "{\"variant\": \"warp.sync\"}\n",
+                "not json at all\n",
+            ),
+        )
+        .unwrap();
+        let args = ServeArgs {
+            demo: 0,
+            workers: 1,
+            cache: None,
+            jobs_file: Some(jobs.clone()),
+            out: out.clone(),
+            ..ServeArgs::default()
+        };
+        let summary = run_serve(&args).unwrap();
+        assert_eq!(summary.outcome.records.len(), 1);
+        assert_eq!(summary.bad_lines.len(), 2, "{:?}", summary.bad_lines);
+        assert!(!summary.ok(), "bad lines must fail the serve");
+        assert!(
+            summary.bad_lines[0].contains(":4:"),
+            "{:?}",
+            summary.bad_lines
+        );
+        std::fs::remove_file(&jobs).ok();
+        std::fs::remove_file(&out).ok();
+    }
+}

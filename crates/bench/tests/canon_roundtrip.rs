@@ -1,0 +1,105 @@
+//! Canonical-serialization round-trip proof over the torture corpus.
+//!
+//! The campaign cache is keyed on `fnv128(canonical_job(..))`, so the
+//! canonical line must be **injective**: two configs that differ in any
+//! field the simulation reads must render to different lines, and the
+//! line must parse back to exactly the config that produced it. Rather
+//! than hand-picking configs, this drives the proof over the torture
+//! generator's full seed-0 corpus — the same 200 cases the `repro
+//! torture` differential campaign fuzzes with — which covers every
+//! variant, balancer, machine preset, fault preset, checkpoint cadence,
+//! and PDES engine combination the generator can draw.
+
+use std::collections::BTreeMap;
+
+use bench::torture::TortureCase;
+use uintah_core::{canonical_job, fnv128, RunConfig};
+
+const SEED: u64 = 0;
+const CASES: u64 = 200;
+
+#[test]
+fn display_fromstr_round_trips_over_the_torture_corpus() {
+    let mut checked = 0u64;
+    for id in 0..CASES {
+        let case = TortureCase::generate(SEED, id);
+        if case.corrupt.is_some() {
+            continue; // deliberately-invalid configs are the rejection
+                      // oracle's business, not the cache's
+        }
+        let (_level, cfg) = case.build();
+        let line = cfg.to_string();
+        let parsed: RunConfig = line
+            .parse()
+            .unwrap_or_else(|e| panic!("case {id}: `{line}` failed to parse: {e}"));
+        assert_eq!(parsed, cfg, "case {id}: round-trip changed the config");
+        // Re-rendering the parsed config reproduces the exact bytes.
+        assert_eq!(parsed.to_string(), line, "case {id}: unstable rendering");
+        checked += 1;
+    }
+    // The corpus split is pinned by the seed; if the generator changes,
+    // this count changes with it and the assertion documents the new one.
+    assert_eq!(
+        checked, 171,
+        "valid-case count drifted from the seed-0 corpus"
+    );
+}
+
+#[test]
+fn canonical_lines_are_injective_over_the_corpus() {
+    // canon line -> first case id that produced it; duplicate lines must
+    // come from configs that are truly equal (the generator does repeat
+    // draws), never from distinct configs colliding.
+    let mut by_line: BTreeMap<String, (u64, RunConfig)> = BTreeMap::new();
+    let mut by_key: BTreeMap<u128, String> = BTreeMap::new();
+    for id in 0..CASES {
+        let case = TortureCase::generate(SEED, id);
+        if case.corrupt.is_some() {
+            continue;
+        }
+        let (level, cfg) = case.build();
+        let line = canonical_job(&level, "burgers", &cfg);
+        if let Some((prev_id, prev_cfg)) = by_line.get(&line) {
+            assert_eq!(
+                *prev_cfg, cfg,
+                "cases {prev_id} and {id} share a canonical line but differ"
+            );
+        } else {
+            by_line.insert(line.clone(), (id, cfg));
+        }
+        // Distinct canonical lines must map to distinct 128-bit keys —
+        // a collision here is exactly what the store's hard error guards.
+        let key = fnv128(line.as_bytes());
+        if let Some(prev_line) = by_key.get(&key) {
+            assert_eq!(
+                *prev_line, line,
+                "fnv128 collision between different canonical lines"
+            );
+        } else {
+            by_key.insert(key, line);
+        }
+    }
+    assert!(
+        by_line.len() > 100,
+        "corpus should span many distinct configs"
+    );
+    assert_eq!(by_line.len(), by_key.len());
+}
+
+#[test]
+fn non_canonical_spellings_are_rejected() {
+    let (_level, cfg) = TortureCase::generate(SEED, 0).build();
+    let line = cfg.to_string();
+    // A leading zero in any integer token changes the bytes but not the
+    // value; the strict parser must refuse it so no two spellings of the
+    // same config can reach the cache under different keys.
+    let padded = line.replacen("steps=", "steps=0", 1);
+    assert_ne!(padded, line);
+    assert!(
+        padded.parse::<RunConfig>().is_err(),
+        "non-canonical integer spelling must not parse"
+    );
+    // Truncated lines (missing tokens) are rejected too.
+    let truncated = line.rsplit_once(' ').unwrap().0;
+    assert!(truncated.parse::<RunConfig>().is_err());
+}

@@ -1,0 +1,138 @@
+//! Streaming service telemetry.
+//!
+//! The campaign coordinator bumps these counters and histograms as jobs
+//! flow through the queue; a periodic stream line (stderr) and the final
+//! `results/CAMPAIGN.json` summary both render from the same
+//! [`ServiceMetrics`]. Counters and histograms are the `sw-telemetry`
+//! primitives — relaxed atomics, log2 buckets — so recording a sample
+//! costs one `fetch_add` and quantiles are exact at bucket granularity.
+
+use sw_telemetry::metrics::HIST_BUCKETS;
+use sw_telemetry::{Counter, Hist};
+
+/// Live service counters and latency/depth histograms.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Job specs accepted into the queue (before dedup).
+    pub submitted: Counter,
+    /// Specs dropped because an identical canonical job was already queued
+    /// or completed this campaign.
+    pub deduped: Counter,
+    /// Jobs answered from the content-addressed store.
+    pub cache_hits: Counter,
+    /// Jobs actually executed by a worker (or inline).
+    pub executed: Counter,
+    /// Jobs completed (hit + executed + failed-with-record).
+    pub completed: Counter,
+    /// Jobs that exhausted their retry budget or failed validation.
+    pub failed: Counter,
+    /// Job re-dispatches after a worker crash.
+    pub retries: Counter,
+    /// Jobs executed inline by the coordinator (worker pool exhausted).
+    pub inline_runs: Counter,
+    /// Cache hits re-executed by the reproducibility oracle.
+    pub oracle_checks: Counter,
+    /// Oracle re-executions whose bytes matched the stored record.
+    pub oracle_passes: Counter,
+    /// Queue depth sampled at every dispatch decision.
+    pub queue_depth: Hist,
+    /// Per-job wall latency in microseconds, log2 buckets.
+    pub latency_us: Hist,
+}
+
+/// Quantile estimate from a log2 histogram snapshot: the lower bound of
+/// the bucket where the cumulative count first reaches `q` of the total
+/// (`q` in per-mille, e.g. 500 = p50, 990 = p99). Returns 0 for an empty
+/// histogram.
+pub fn quantile_lower_bound(snapshot: &[u64; HIST_BUCKETS], q_permille: u64) -> u64 {
+    let total: u64 = snapshot.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = (total * q_permille).div_ceil(1000).max(1);
+    let mut cum = 0u64;
+    for (b, &c) in snapshot.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return if b == 0 { 0 } else { 1u64 << (b - 1) };
+        }
+    }
+    1u64 << (HIST_BUCKETS - 2)
+}
+
+impl ServiceMetrics {
+    /// Cache hit rate over answered jobs: `hits / (hits + executed)`.
+    /// 0.0 when nothing has been answered yet.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.get();
+        let exec = self.executed.get();
+        if hits + exec == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + exec) as f64
+        }
+    }
+
+    /// p50 job latency (bucket lower bound), microseconds.
+    pub fn p50_latency_us(&self) -> u64 {
+        quantile_lower_bound(&self.latency_us.snapshot(), 500)
+    }
+
+    /// p99 job latency (bucket lower bound), microseconds.
+    pub fn p99_latency_us(&self) -> u64 {
+        quantile_lower_bound(&self.latency_us.snapshot(), 990)
+    }
+
+    /// One-line progress snapshot for the telemetry stream
+    /// (`in_flight` is coordinator state, not a metric, so it is passed in).
+    pub fn stream_line(&self, in_flight: usize, queued: usize) -> String {
+        format!(
+            "queued={queued} in_flight={in_flight} done={} hits={} exec={} retries={} failed={} hit_rate={:.3} p50_us={} p99_us={}",
+            self.completed.get(),
+            self.cache_hits.get(),
+            self.executed.get(),
+            self.retries.get(),
+            self.failed.get(),
+            self.hit_rate(),
+            self.p50_latency_us(),
+            self.p99_latency_us(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        let mut snap = [0u64; HIST_BUCKETS];
+        assert_eq!(quantile_lower_bound(&snap, 500), 0);
+        // 90 samples of ~1ms (bucket 11: 1024..2047), 10 of ~16ms
+        // (bucket 15: 16384..32767).
+        snap[11] = 90;
+        snap[15] = 10;
+        assert_eq!(quantile_lower_bound(&snap, 500), 1024);
+        assert_eq!(quantile_lower_bound(&snap, 990), 16384);
+        assert_eq!(quantile_lower_bound(&snap, 900), 1024);
+    }
+
+    #[test]
+    fn hit_rate_counts_only_answered_jobs() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.cache_hits.add(3);
+        m.executed.add(1);
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_line_is_single_line() {
+        let m = ServiceMetrics::default();
+        m.completed.inc();
+        let line = m.stream_line(2, 5);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("in_flight=2"));
+        assert!(line.contains("queued=5"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The content-addressed result store.
+//!
+//! Results are addressed by the 128-bit FNV-1a hash of the job's canonical
+//! line (`uintah_core::canonical_job`). The store keeps an in-memory map
+//! and, when given a directory, persists each entry as a small byte-stable
+//! text file named by the key, so a second campaign process replays the
+//! first one's work as cache hits.
+//!
+//! **Collision discipline:** every lookup and insert carries the probe's
+//! canonical line, and the store compares it byte-for-byte against the
+//! stored line. Equal hash + different line is [`StoreError::Collision`] —
+//! a hard error the campaign aborts on — so the 128-bit address can never
+//! silently alias two different configurations. Corrupt or truncated cache
+//! files are also typed errors, not panics.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Magic first line of every persisted entry; bump on layout change.
+const MAGIC: &str = "SWCAMPRES01";
+
+/// One cached result: the canonical job line it belongs to plus the
+/// deterministic result record bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredResult {
+    /// Canonical job line (the preimage of the key).
+    pub canon: String,
+    /// Deterministic result record (see `service::execute_job`).
+    pub record: String,
+}
+
+/// Typed store failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Two different canonical lines hashed to the same 128-bit key.
+    Collision {
+        /// The shared key.
+        key: u128,
+        /// Line already in the store.
+        stored: String,
+        /// Line of the probe.
+        probe: String,
+    },
+    /// A persisted entry failed to parse (corrupt or foreign file).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Filesystem failure reading or writing an entry.
+    Io {
+        /// Offending file.
+        path: PathBuf,
+        /// Rendered `io::Error`.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Collision { key, stored, probe } => write!(
+                f,
+                "cache-key collision at {key:032x}: stored canon `{stored}` != probe `{probe}`"
+            ),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt cache entry {}: {detail}", path.display())
+            }
+            StoreError::Io { path, detail } => {
+                write!(f, "cache I/O on {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Content-addressed result store: in-memory map plus optional on-disk
+/// persistence.
+pub struct ResultStore {
+    mem: BTreeMap<u128, StoredResult>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// A store backed by memory only (results die with the process).
+    pub fn in_memory() -> Self {
+        ResultStore {
+            mem: BTreeMap::new(),
+            dir: None,
+        }
+    }
+
+    /// A store persisted under `dir` (created if missing). Entries written
+    /// by earlier processes become immediate cache hits.
+    pub fn on_disk(dir: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+            path: dir.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        Ok(ResultStore {
+            mem: BTreeMap::new(),
+            dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    fn entry_path(dir: &Path, key: u128) -> PathBuf {
+        dir.join(format!("{key:032x}.res"))
+    }
+
+    fn parse_entry(path: &Path, text: &str) -> Result<StoredResult, StoreError> {
+        let corrupt = |detail: &str| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: detail.to_string(),
+        };
+        let mut lines = text.split('\n');
+        if lines.next() != Some(MAGIC) {
+            return Err(corrupt("missing SWCAMPRES01 magic"));
+        }
+        let canon = lines
+            .next()
+            .and_then(|l| l.strip_prefix("canon="))
+            .ok_or_else(|| corrupt("missing canon= line"))?
+            .to_string();
+        let record = lines
+            .next()
+            .and_then(|l| l.strip_prefix("record="))
+            .ok_or_else(|| corrupt("missing record= line"))?
+            .to_string();
+        Ok(StoredResult { canon, record })
+    }
+
+    /// Look up `key`, verifying the stored canonical line against `canon`.
+    /// `Ok(None)` = miss; `Ok(Some(..))` = hit; collision / corruption are
+    /// errors.
+    pub fn get(&mut self, key: u128, canon: &str) -> Result<Option<StoredResult>, StoreError> {
+        if let Some(hit) = self.mem.get(&key) {
+            if hit.canon != canon {
+                return Err(StoreError::Collision {
+                    key,
+                    stored: hit.canon.clone(),
+                    probe: canon.to_string(),
+                });
+            }
+            return Ok(Some(hit.clone()));
+        }
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
+        let path = Self::entry_path(dir, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let stored = Self::parse_entry(&path, &text)?;
+        if stored.canon != canon {
+            return Err(StoreError::Collision {
+                key,
+                stored: stored.canon,
+                probe: canon.to_string(),
+            });
+        }
+        self.mem.insert(key, stored.clone());
+        Ok(Some(stored))
+    }
+
+    /// Insert a result, verifying any existing entry carries the same
+    /// canonical line (idempotent put; mismatch is a collision error).
+    pub fn put(&mut self, key: u128, canon: &str, record: &str) -> Result<(), StoreError> {
+        if let Some(existing) = self.get(key, canon)? {
+            // Same canon by the check above; keep the first record (the
+            // oracle, not the store, judges whether a re-execution agrees).
+            let _ = existing;
+            return Ok(());
+        }
+        let entry = StoredResult {
+            canon: canon.to_string(),
+            record: record.to_string(),
+        };
+        if let Some(dir) = &self.dir {
+            let path = Self::entry_path(dir, key);
+            let text = format!("{MAGIC}\ncanon={canon}\nrecord={record}\n");
+            std::fs::write(&path, text).map_err(|e| StoreError::Io {
+                path,
+                detail: e.to_string(),
+            })?;
+        }
+        self.mem.insert(key, entry);
+        Ok(())
+    }
+
+    /// Entries currently resident in memory (loaded or inserted).
+    pub fn resident(&self) -> usize {
+        self.mem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip_and_idempotent_put() {
+        let mut s = ResultStore::in_memory();
+        assert_eq!(s.get(7, "canon-a"), Ok(None));
+        s.put(7, "canon-a", "record-a").unwrap();
+        let hit = s.get(7, "canon-a").unwrap().unwrap();
+        assert_eq!(hit.record, "record-a");
+        // Idempotent re-put with the same canon is fine.
+        s.put(7, "canon-a", "record-a").unwrap();
+        assert_eq!(s.resident(), 1);
+    }
+
+    #[test]
+    fn collision_is_a_hard_error() {
+        let mut s = ResultStore::in_memory();
+        s.put(7, "canon-a", "record-a").unwrap();
+        assert!(matches!(
+            s.get(7, "canon-b"),
+            Err(StoreError::Collision { key: 7, .. })
+        ));
+        assert!(matches!(
+            s.put(7, "canon-b", "record-b"),
+            Err(StoreError::Collision { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_persistence_across_store_instances() {
+        let dir = std::env::temp_dir().join(format!("sw-campaign-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut s = ResultStore::on_disk(&dir).unwrap();
+            s.put(0xabc, "canon-x", "record-x").unwrap();
+        }
+        {
+            let mut s = ResultStore::on_disk(&dir).unwrap();
+            let hit = s.get(0xabc, "canon-x").unwrap().unwrap();
+            assert_eq!(hit.record, "record-x");
+            // Collision detection also works against on-disk entries.
+            assert!(matches!(
+                s.get(0xabc, "canon-y"),
+                Err(StoreError::Collision { .. })
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("sw-campaign-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut s = ResultStore::on_disk(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:032x}.res", 5u128)), "not a cache file").unwrap();
+        assert!(matches!(s.get(5, "c"), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -32,7 +32,8 @@ pub use schedule::{
     ExecMode, SchedulerMode, SchedulerOptions, Variant,
 };
 pub use sim::{
-    access_spans, race_check, run_simulation, RaceCheckReport, RunConfig, RunReport, Simulation,
+    access_spans, canonical_job, canonical_level, fnv128, race_check, run_simulation,
+    RaceCheckReport, RunConfig, RunReport, Simulation,
 };
 pub use task::Application;
 pub use var::{CcVar, DataWarehouse, DwPair};

@@ -1,0 +1,673 @@
+//! Canonical serialization of run configurations — the identity layer of
+//! the campaign service's content-addressed result cache (DESIGN.md §16).
+//!
+//! [`RunConfig`] gets a `Display` impl rendering a **canonical single-line
+//! token stream**: every field, in a fixed order, as `key=value` tokens
+//! with exactly one rendering per value. Floats are rendered as the hex of
+//! their IEEE-754 bit pattern (`{:016x}` of `to_bits()`), so `0.1` has one
+//! spelling and NaN payloads survive; durations render as integer
+//! picoseconds; optional fields render `-` for `None`; paths are
+//! percent-escaped so the line never contains a space outside the token
+//! separators. The strict [`FromStr`] parser accepts exactly this grammar
+//! and nothing else, which is what makes the representation *canonical*:
+//! `parse(display(cfg)) == cfg` and `display(parse(s)) == s` for every
+//! accepted `s`.
+//!
+//! [`canonical_job`] prefixes the level geometry and application name —
+//! everything that determines a simulation's output — and [`fnv128`]
+//! hashes the line into the 128-bit content address. The cache treats a
+//! key collision between *different* canonical lines as a hard error
+//! rather than a silent wrong answer; at 128 bits over campaign-sized
+//! corpora the probability is negligible, but the check is what turns
+//! "negligible" into "detected".
+
+use core::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use sw_athread::ExecPolicy;
+use sw_math::ExpKind;
+use sw_resilience::FaultConfig;
+use sw_sim::{MachineConfig, SimDur};
+
+use crate::grid::Level;
+use crate::lb::LoadBalancer;
+use crate::schedule::variant::{ExecMode, SchedulerMode, Variant};
+use crate::sim::controller::RunConfig;
+
+/// 128-bit FNV-1a over a byte string: the cache-key hash. Not
+/// cryptographic — collision *detection* (byte comparison of the stored
+/// canonical line) is the actual safety net; the hash only addresses.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Canonical geometry token of a level: `PXxPYxPZ/LXxLYxLZ`
+/// (patch extent / patch layout — together they determine the grid).
+pub fn canonical_level(level: &Level) -> String {
+    let e = level.patch_extent();
+    let l = level.layout();
+    format!("{}x{}x{}/{}x{}x{}", e.x, e.y, e.z, l.x, l.y, l.z)
+}
+
+/// The full canonical identity of one job: level geometry, application
+/// name, and every [`RunConfig`] field. This line (not the config alone)
+/// is what the campaign cache hashes: two jobs with equal lines are the
+/// same computation by construction.
+pub fn canonical_job(level: &Level, app: &str, cfg: &RunConfig) -> String {
+    debug_assert!(
+        !app.contains(char::is_whitespace),
+        "application names must be single tokens"
+    );
+    format!("level={} app={} {cfg}", canonical_level(level), app)
+}
+
+/// Percent-escape a path so it is a single space-free token. Bytes outside
+/// `[A-Za-z0-9._/-]` render as `%XX`.
+fn escape_path(p: &std::path::Path) -> String {
+    let raw = p.to_string_lossy();
+    let mut out = String::with_capacity(raw.len());
+    for b in raw.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'/' | b'-' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    out
+}
+
+fn unescape_path(s: &str) -> Result<PathBuf, String> {
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated %-escape in path token `{s}`"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| "non-utf8 escape".to_string())?;
+            out.push(
+                u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad %-escape `%{hex}` in `{s}`"))?,
+            );
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(PathBuf::from(
+        String::from_utf8(out).map_err(|_| "non-utf8 path".to_string())?,
+    ))
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("expected 16 hex digits of an f64 bit pattern, got `{s}`"))
+}
+
+/// The fixed token keys, in canonical order. One entry per `RunConfig`
+/// field (the machine and fault config expand into their own tokens), so
+/// adding a field without extending this list is a compile-visible smell —
+/// `Display` and `FromStr` below both walk it implicitly.
+const KEYS: [&str; 45] = [
+    "v", "exp", "exec", "steps", "ranks", "lb", // run shape
+    "mc", "mldm", "mmp", "mcp", "mcs", "mcv", "mme", "mstall", "mbw", "mdma", "mdl", "mcopy",
+    "mnbw", "mnlat", "meager", "mmpi", "mtask", "mcell", "mspawn", "mpoll",
+    "mspin", // machine (21)
+    "og", "odb", "opt", "oep", "ov", "otl", "of", // options (7)
+    "rebal", "noise", "nseed", "cgs", "ckpt", "ckptdir", "pdes", "threads", "la", "order", "wlog",
+];
+
+impl fmt::Display for RunConfig {
+    /// The canonical token stream (see module docs). Stable across
+    /// sessions and platforms: no pointers, no hash iteration order, no
+    /// locale, no float formatting.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.machine;
+        let o = &self.options;
+        write!(f, "v={}", self.variant.name())?;
+        write!(
+            f,
+            " exp={}",
+            match self.variant.exp {
+                ExpKind::Accurate => "accurate",
+                ExpKind::Fast => "fast",
+            }
+        )?;
+        write!(
+            f,
+            " exec={}",
+            match self.exec {
+                ExecMode::Functional => "functional",
+                ExecMode::Model => "model",
+            }
+        )?;
+        write!(f, " steps={}", self.steps)?;
+        write!(f, " ranks={}", self.n_ranks)?;
+        write!(
+            f,
+            " lb={}",
+            match self.lb {
+                LoadBalancer::Block => "block",
+                LoadBalancer::RoundRobin => "rr",
+                LoadBalancer::Morton => "morton",
+                LoadBalancer::Hilbert => "hilbert",
+            }
+        )?;
+        write!(f, " mc={} mldm={}", m.cpes_per_cg, m.ldm_bytes)?;
+        write!(
+            f,
+            " mmp={} mcp={} mcs={} mcv={} mme={}",
+            f64_hex(m.mpe_peak_gflops),
+            f64_hex(m.cpe_peak_gflops),
+            f64_hex(m.cpe_scalar_gflops),
+            f64_hex(m.cpe_simd_gflops),
+            f64_hex(m.mpe_eff_gflops),
+        )?;
+        write!(f, " mstall={}", m.accurate_exp_stall.0)?;
+        write!(
+            f,
+            " mbw={} mdma={} mdl={} mcopy={} mnbw={} mnlat={} meager={}",
+            f64_hex(m.mem_bw_gbs),
+            f64_hex(m.dma_cpe_peak_gbs),
+            m.dma_latency.0,
+            f64_hex(m.mpe_copy_gbs),
+            f64_hex(m.net_bw_gbs),
+            m.net_latency.0,
+            m.eager_limit_bytes,
+        )?;
+        write!(
+            f,
+            " mmpi={} mtask={} mcell={} mspawn={} mpoll={} mspin={}",
+            m.mpi_call_overhead.0,
+            m.mpe_task_overhead.0,
+            m.mpe_task_per_cell.0,
+            m.offload_spawn.0,
+            m.flag_poll_interval.0,
+            f64_hex(m.sync_spin_slowdown),
+        )?;
+        write!(f, " og={}", o.cpe_groups)?;
+        write!(f, " odb={}", u8::from(o.double_buffer))?;
+        write!(f, " opt={}", u8::from(o.packed_tiles))?;
+        match o.exec_policy {
+            ExecPolicy::Serial => write!(f, " oep=serial")?,
+            ExecPolicy::Parallel { threads } => write!(f, " oep=par{threads}")?,
+        }
+        write!(f, " ov={}", u8::from(o.verify))?;
+        write!(f, " otl={}", u8::from(o.telemetry))?;
+        match &o.faults {
+            None => write!(f, " of=-")?,
+            Some(fc) => write!(
+                f,
+                " of={}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+                fc.seed,
+                fc.slot_death_ppm,
+                fc.straggler_ppm,
+                fc.straggler_factor_milli,
+                fc.dma_error_ppm,
+                fc.msg_drop_ppm,
+                fc.msg_dup_ppm,
+                fc.msg_delay_ppm,
+                fc.delay_ps,
+                fc.rank_jitter_ppm,
+                fc.jitter_ps,
+                fc.max_attempts,
+                fc.backoff_base_ps,
+                fc.timeout_factor_milli,
+                fc.timeout_slack_ps,
+                fc.msg_timeout_ps,
+                u8::from(fc.guarantee_recovery),
+            )?,
+        }
+        match self.rebalance_every {
+            None => write!(f, " rebal=-")?,
+            Some(k) => write!(f, " rebal={k}")?,
+        }
+        write!(f, " noise={}", f64_hex(self.noise_frac))?;
+        write!(f, " nseed={}", self.noise_seed)?;
+        match &self.cg_speeds {
+            None => write!(f, " cgs=-")?,
+            Some(v) => {
+                write!(f, " cgs={}", v.len())?;
+                for s in v {
+                    write!(f, ":{}", f64_hex(*s))?;
+                }
+            }
+        }
+        match self.ckpt_every {
+            None => write!(f, " ckpt=-")?,
+            Some(k) => write!(f, " ckpt={k}")?,
+        }
+        match &self.ckpt_dir {
+            None => write!(f, " ckptdir=-")?,
+            Some(p) => write!(f, " ckptdir={}", escape_path(p))?,
+        }
+        write!(f, " pdes={}", u8::from(self.pdes))?;
+        match self.threads {
+            None => write!(f, " threads=-")?,
+            Some(t) => write!(f, " threads={t}")?,
+        }
+        match self.pdes_lookahead_ps {
+            None => write!(f, " la=-")?,
+            Some(ps) => write!(f, " la={ps}")?,
+        }
+        match &self.pdes_order {
+            None => write!(f, " order=-")?,
+            Some(windows) => {
+                // Count-prefixed so `Some(vec![])` and `Some(vec![vec![]])`
+                // stay distinct.
+                write!(f, " order={}", windows.len())?;
+                for w in windows.iter() {
+                    write!(f, ";{}", w.len())?;
+                    for r in w {
+                        write!(f, ",{r}")?;
+                    }
+                }
+            }
+        }
+        write!(f, " wlog={}", u8::from(self.window_log))
+    }
+}
+
+impl FromStr for RunConfig {
+    type Err = String;
+
+    /// Strict inverse of the canonical `Display`: exactly 45 tokens, each
+    /// with the expected key in the expected position, each value in the
+    /// unique canonical spelling. Everything else is an error naming the
+    /// offending token.
+    fn from_str(s: &str) -> Result<RunConfig, String> {
+        let toks: Vec<&str> = s.split(' ').collect();
+        if toks.len() != KEYS.len() {
+            return Err(format!(
+                "expected {} `key=value` tokens, got {}",
+                KEYS.len(),
+                toks.len()
+            ));
+        }
+        let mut vals = Vec::with_capacity(KEYS.len());
+        for (tok, key) in toks.iter().zip(KEYS) {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("token `{tok}` is not key=value"))?;
+            if k != key {
+                return Err(format!("expected key `{key}`, found `{k}`"));
+            }
+            vals.push(v);
+        }
+        let mut it = vals.into_iter();
+        let mut next = || it.next().expect("length checked above");
+
+        let vname = next();
+        let (mode, simd) = match vname {
+            "host.sync" => (SchedulerMode::MpeOnly, false),
+            "host_simd.sync" => (SchedulerMode::MpeOnly, true),
+            "acc.sync" => (SchedulerMode::SyncCpe, false),
+            "acc_simd.sync" => (SchedulerMode::SyncCpe, true),
+            "acc.async" => (SchedulerMode::AsyncCpe, false),
+            "acc_simd.async" => (SchedulerMode::AsyncCpe, true),
+            other => return Err(format!("unknown variant `{other}`")),
+        };
+        let exp = match next() {
+            "accurate" => ExpKind::Accurate,
+            "fast" => ExpKind::Fast,
+            other => return Err(format!("unknown exp kind `{other}`")),
+        };
+        let exec = match next() {
+            "functional" => ExecMode::Functional,
+            "model" => ExecMode::Model,
+            other => return Err(format!("unknown exec mode `{other}`")),
+        };
+        fn int<T: FromStr>(what: &str, v: &str) -> Result<T, String> {
+            // Canonical integers have no sign, no leading zeros (except "0"
+            // itself), no underscores — `u64`/`u32`/`usize` parsing accepts
+            // a superset, so re-render and compare.
+            let parsed: T = v.parse().map_err(|_| format!("bad {what} `{v}`"))?;
+            Ok(parsed)
+        }
+        fn canonical_int<T: FromStr + fmt::Display>(what: &str, v: &str) -> Result<T, String> {
+            let parsed: T = int(what, v)?;
+            if parsed.to_string() != v {
+                return Err(format!("non-canonical {what} `{v}`"));
+            }
+            Ok(parsed)
+        }
+        let steps: u32 = canonical_int("steps", next())?;
+        let n_ranks: usize = canonical_int("ranks", next())?;
+        let lb = match next() {
+            "block" => LoadBalancer::Block,
+            "rr" => LoadBalancer::RoundRobin,
+            "morton" => LoadBalancer::Morton,
+            "hilbert" => LoadBalancer::Hilbert,
+            other => return Err(format!("unknown load balancer `{other}`")),
+        };
+        let machine = MachineConfig {
+            cpes_per_cg: canonical_int("cpes_per_cg", next())?,
+            ldm_bytes: canonical_int("ldm_bytes", next())?,
+            mpe_peak_gflops: parse_f64_hex(next())?,
+            cpe_peak_gflops: parse_f64_hex(next())?,
+            cpe_scalar_gflops: parse_f64_hex(next())?,
+            cpe_simd_gflops: parse_f64_hex(next())?,
+            mpe_eff_gflops: parse_f64_hex(next())?,
+            accurate_exp_stall: SimDur(canonical_int("accurate_exp_stall", next())?),
+            mem_bw_gbs: parse_f64_hex(next())?,
+            dma_cpe_peak_gbs: parse_f64_hex(next())?,
+            dma_latency: SimDur(canonical_int("dma_latency", next())?),
+            mpe_copy_gbs: parse_f64_hex(next())?,
+            net_bw_gbs: parse_f64_hex(next())?,
+            net_latency: SimDur(canonical_int("net_latency", next())?),
+            eager_limit_bytes: canonical_int("eager_limit_bytes", next())?,
+            mpi_call_overhead: SimDur(canonical_int("mpi_call_overhead", next())?),
+            mpe_task_overhead: SimDur(canonical_int("mpe_task_overhead", next())?),
+            mpe_task_per_cell: SimDur(canonical_int("mpe_task_per_cell", next())?),
+            offload_spawn: SimDur(canonical_int("offload_spawn", next())?),
+            flag_poll_interval: SimDur(canonical_int("flag_poll_interval", next())?),
+            sync_spin_slowdown: parse_f64_hex(next())?,
+        };
+        fn flag(what: &str, v: &str) -> Result<bool, String> {
+            match v {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(format!("{what} must be 0 or 1, got `{other}`")),
+            }
+        }
+        let cpe_groups: usize = canonical_int("cpe_groups", next())?;
+        let double_buffer = flag("odb", next())?;
+        let packed_tiles = flag("opt", next())?;
+        let exec_policy = match next() {
+            "serial" => ExecPolicy::Serial,
+            oep => match oep.strip_prefix("par") {
+                Some(t) => ExecPolicy::Parallel {
+                    threads: canonical_int("exec_policy threads", t)?,
+                },
+                None => return Err(format!("unknown exec policy `{oep}`")),
+            },
+        };
+        let verify = flag("ov", next())?;
+        let telemetry = flag("otl", next())?;
+        let faults = match next() {
+            "-" => None,
+            packed => {
+                let parts: Vec<&str> = packed.split(':').collect();
+                if parts.len() != 17 {
+                    return Err(format!(
+                        "fault config must pack 17 fields, got {}",
+                        parts.len()
+                    ));
+                }
+                Some(FaultConfig {
+                    seed: canonical_int("fault seed", parts[0])?,
+                    slot_death_ppm: canonical_int("slot_death_ppm", parts[1])?,
+                    straggler_ppm: canonical_int("straggler_ppm", parts[2])?,
+                    straggler_factor_milli: canonical_int("straggler_factor_milli", parts[3])?,
+                    dma_error_ppm: canonical_int("dma_error_ppm", parts[4])?,
+                    msg_drop_ppm: canonical_int("msg_drop_ppm", parts[5])?,
+                    msg_dup_ppm: canonical_int("msg_dup_ppm", parts[6])?,
+                    msg_delay_ppm: canonical_int("msg_delay_ppm", parts[7])?,
+                    delay_ps: canonical_int("delay_ps", parts[8])?,
+                    rank_jitter_ppm: canonical_int("rank_jitter_ppm", parts[9])?,
+                    jitter_ps: canonical_int("jitter_ps", parts[10])?,
+                    max_attempts: canonical_int("max_attempts", parts[11])?,
+                    backoff_base_ps: canonical_int("backoff_base_ps", parts[12])?,
+                    timeout_factor_milli: canonical_int("timeout_factor_milli", parts[13])?,
+                    timeout_slack_ps: canonical_int("timeout_slack_ps", parts[14])?,
+                    msg_timeout_ps: canonical_int("msg_timeout_ps", parts[15])?,
+                    guarantee_recovery: flag("guarantee_recovery", parts[16])?,
+                })
+            }
+        };
+        fn opt_int<T: FromStr + fmt::Display>(what: &str, v: &str) -> Result<Option<T>, String> {
+            if v == "-" {
+                Ok(None)
+            } else {
+                canonical_int(what, v).map(Some)
+            }
+        }
+        let rebalance_every: Option<u32> = opt_int("rebal", next())?;
+        let noise_frac = parse_f64_hex(next())?;
+        let noise_seed: u64 = canonical_int("nseed", next())?;
+        let cg_speeds = match next() {
+            "-" => None,
+            packed => {
+                let mut parts = packed.split(':');
+                let n: usize = canonical_int("cg_speeds length", parts.next().unwrap_or(""))?;
+                let speeds: Vec<f64> = parts.map(parse_f64_hex).collect::<Result<_, _>>()?;
+                if speeds.len() != n {
+                    return Err(format!(
+                        "cg_speeds declares {n} entries but carries {}",
+                        speeds.len()
+                    ));
+                }
+                Some(speeds)
+            }
+        };
+        let ckpt_every: Option<u32> = opt_int("ckpt", next())?;
+        let ckpt_dir = match next() {
+            "-" => None,
+            p => Some(unescape_path(p)?),
+        };
+        let pdes = flag("pdes", next())?;
+        let threads: Option<usize> = opt_int("threads", next())?;
+        let pdes_lookahead_ps: Option<u64> = opt_int("la", next())?;
+        let pdes_order = match next() {
+            "-" => None,
+            packed => {
+                let mut windows_it = packed.split(';');
+                let n: usize = canonical_int("order length", windows_it.next().unwrap_or(""))?;
+                let mut windows = Vec::with_capacity(n);
+                for w in windows_it {
+                    let mut ranks_it = w.split(',');
+                    let k: usize = canonical_int("window length", ranks_it.next().unwrap_or(""))?;
+                    let ranks: Vec<usize> = ranks_it
+                        .map(|r| canonical_int("rank", r))
+                        .collect::<Result<_, _>>()?;
+                    if ranks.len() != k {
+                        return Err(format!(
+                            "window declares {k} ranks but carries {}",
+                            ranks.len()
+                        ));
+                    }
+                    windows.push(ranks);
+                }
+                if windows.len() != n {
+                    return Err(format!(
+                        "order declares {n} windows but carries {}",
+                        windows.len()
+                    ));
+                }
+                Some(Arc::new(windows))
+            }
+        };
+        let window_log = flag("wlog", next())?;
+        Ok(RunConfig {
+            variant: Variant { mode, simd, exp },
+            exec,
+            steps,
+            n_ranks,
+            lb,
+            machine,
+            options: crate::schedule::variant::SchedulerOptions {
+                cpe_groups,
+                double_buffer,
+                packed_tiles,
+                exec_policy,
+                verify,
+                telemetry,
+                faults,
+            },
+            rebalance_every,
+            noise_frac,
+            noise_seed,
+            cg_speeds,
+            ckpt_every,
+            ckpt_dir,
+            pdes,
+            threads,
+            pdes_lookahead_ps,
+            pdes_order,
+            window_log,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::iv;
+
+    fn busy_config() -> RunConfig {
+        let mut cfg = RunConfig::paper(Variant::ACC_SIMD_ASYNC, ExecMode::Functional, 4);
+        cfg.steps = 7;
+        cfg.lb = LoadBalancer::Hilbert;
+        cfg.machine = MachineConfig::test_tiny();
+        cfg.options.cpe_groups = 2;
+        cfg.options.double_buffer = true;
+        cfg.options.exec_policy = ExecPolicy::Parallel { threads: 3 };
+        cfg.options.telemetry = true;
+        cfg.options.faults = Some(FaultConfig::standard(0xdead_beef));
+        cfg.rebalance_every = Some(3);
+        cfg.noise_frac = 0.125;
+        cfg.noise_seed = 99;
+        cfg.cg_speeds = Some(vec![1.0, 0.5, 1.25, 1.0]);
+        cfg.ckpt_every = Some(2);
+        cfg.ckpt_dir = Some(PathBuf::from("/tmp/ckpt dir with spaces"));
+        cfg.pdes = true;
+        cfg.threads = Some(2);
+        cfg.pdes_lookahead_ps = Some(1_000_000);
+        cfg.pdes_order = Some(Arc::new(vec![vec![1, 0], vec![], vec![0, 1]]));
+        cfg.window_log = true;
+        cfg
+    }
+
+    #[test]
+    fn round_trip_paper_and_busy_configs() {
+        for cfg in [
+            RunConfig::paper(Variant::HOST_SYNC, ExecMode::Model, 1),
+            RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 8),
+            busy_config(),
+        ] {
+            let line = cfg.to_string();
+            let parsed: RunConfig = line.parse().unwrap_or_else(|e| panic!("{e}\n{line}"));
+            assert_eq!(parsed, cfg, "parse(display(cfg)) != cfg for `{line}`");
+            assert_eq!(parsed.to_string(), line, "display is not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn every_field_perturbs_the_line() {
+        // Flipping any single field must change the canonical line (and
+        // therefore the hash) — the injectivity property the cache rests on.
+        let base = busy_config();
+        let line = base.to_string();
+        let mut edits: Vec<(&str, RunConfig)> = Vec::new();
+        let mut c = base.clone();
+        c.variant = Variant::ACC_ASYNC;
+        edits.push(("variant", c));
+        let mut c = base.clone();
+        c.exec = ExecMode::Model;
+        edits.push(("exec", c));
+        let mut c = base.clone();
+        c.steps = 8;
+        edits.push(("steps", c));
+        let mut c = base.clone();
+        c.machine.sync_spin_slowdown = 0.061;
+        edits.push(("machine.sync_spin_slowdown", c));
+        let mut c = base.clone();
+        if let Some(fc) = &mut c.options.faults {
+            fc.msg_timeout_ps += 1;
+        }
+        edits.push(("faults.msg_timeout_ps", c));
+        let mut c = base.clone();
+        c.noise_frac = 0.1250000001;
+        edits.push(("noise_frac", c));
+        let mut c = base.clone();
+        c.cg_speeds = Some(vec![1.0, 0.5, 1.25, 1.0000001]);
+        edits.push(("cg_speeds", c));
+        let mut c = base.clone();
+        c.pdes_order = Some(Arc::new(vec![vec![1, 0], vec![0], vec![0, 1]]));
+        edits.push(("pdes_order", c));
+        let mut c = base.clone();
+        c.ckpt_dir = Some(PathBuf::from("/tmp/ckpt dir with spaces2"));
+        edits.push(("ckpt_dir", c));
+        for (what, edited) in edits {
+            let other = edited.to_string();
+            assert_ne!(line, other, "edit of {what} left the line unchanged");
+            assert_ne!(
+                fnv128(line.as_bytes()),
+                fnv128(other.as_bytes()),
+                "edit of {what} collided"
+            );
+            let parsed: RunConfig = other.parse().expect(what);
+            assert_eq!(parsed, edited, "{what} round trip");
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_round_trip_exactly() {
+        let mut cfg = RunConfig::paper(Variant::ACC_SYNC, ExecMode::Model, 2);
+        cfg.noise_frac = f64::NAN;
+        let parsed: RunConfig = cfg.to_string().parse().unwrap();
+        assert_eq!(parsed.noise_frac.to_bits(), cfg.noise_frac.to_bits());
+        cfg.noise_frac = -0.0;
+        let parsed: RunConfig = cfg.to_string().parse().unwrap();
+        assert_eq!(parsed.noise_frac.to_bits(), (-0.0f64).to_bits());
+        // -0.0 and 0.0 are distinct canonical lines (bit patterns differ).
+        let mut pos = cfg.clone();
+        pos.noise_frac = 0.0;
+        assert_ne!(cfg.to_string(), pos.to_string());
+    }
+
+    #[test]
+    fn parser_rejects_non_canonical_spellings() {
+        let line = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 2).to_string();
+        // Tampering with a token must be rejected, not silently normalized.
+        for bad in [
+            line.replace("steps=10", "steps=010"),
+            line.replace("steps=10", "steps=+10"),
+            line.replace("ranks=2", "Ranks=2"),
+            line.replace("lb=block", "lb=BLOCK"),
+            line.replace("pdes=0", "pdes=2"),
+            format!("{line} extra=1"),
+            line.replace(" exp=fast", ""),
+        ] {
+            assert!(
+                bad.parse::<RunConfig>().is_err(),
+                "accepted non-canonical `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_job_includes_geometry_and_app() {
+        let level = Level::new(iv(4, 4, 4), iv(2, 1, 1));
+        let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 2);
+        let line = canonical_job(&level, "burgers", &cfg);
+        assert!(line.starts_with("level=4x4x4/2x1x1 app=burgers v=acc.async "));
+        // Same config on a different level is a different job.
+        let other = canonical_job(&Level::new(iv(4, 4, 2), iv(2, 1, 1)), "burgers", &cfg);
+        assert_ne!(fnv128(line.as_bytes()), fnv128(other.as_bytes()));
+    }
+
+    #[test]
+    fn fnv128_matches_reference_vectors() {
+        // Standard FNV-1a 128 test vectors.
+        assert_eq!(fnv128(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_eq!(fnv128(b"a"), 0xd228cb696f1a8caf78912b704e4a8964);
+    }
+}

@@ -27,7 +27,11 @@ use crate::task::plan::build_rank_plan;
 use crate::var::CcVar;
 
 /// Configuration of one run.
-#[derive(Clone)]
+///
+/// Equality is full structural equality over every field (the campaign
+/// cache's round-trip tests rely on it), and [`core::fmt::Display`] renders
+/// the canonical cache-key line — see [`crate::sim::canon`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunConfig {
     /// Scheduler/kernel variant (paper Table IV).
     pub variant: Variant,

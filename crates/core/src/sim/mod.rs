@@ -1,9 +1,11 @@
 //! The simulation controller and run reports.
 
+pub mod canon;
 pub mod controller;
 pub mod racecheck;
 pub mod report;
 
+pub use canon::{canonical_job, canonical_level, fnv128};
 pub use controller::{run_simulation, RunConfig, Simulation};
 pub use racecheck::{access_spans, race_check, RaceCheckReport};
 pub use report::RunReport;

@@ -80,6 +80,20 @@ counters! {
     checkpoints_written,
     /// Checkpoints restored.
     checkpoints_restored,
+    // ---- campaign worker pool (sw-campaign; host workers, not CPE
+    // slots — the same detect/retry/blacklist discipline one level up) ----
+    /// Campaign worker crashes injected (the worker panics mid-job).
+    injected_worker_death,
+    /// Campaign worker straggles injected (the job runs slower).
+    injected_worker_straggle,
+    /// Worker crashes detected by the campaign coordinator.
+    detected_worker,
+    /// Campaign job re-dispatch attempts after a worker crash.
+    retries_job,
+    /// Campaign jobs that completed after at least one retry.
+    recovered_job,
+    /// Campaign workers blacklisted after repeated crashes.
+    workers_blacklisted,
 }
 
 impl FaultStats {

@@ -14,7 +14,11 @@ use serde::{Deserialize, Serialize};
 use crate::time::SimDur;
 
 /// All tunable parameters of the SW26010/TaihuLight machine model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is bitwise over the `f64` rates (no epsilon): two configs
+/// are "equal" exactly when they produce identical cost formulas, which is
+/// what the campaign cache's config identity needs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     // ---- topology (paper Table II, Fig 3) ----
     /// Computing Processing Elements per core group.

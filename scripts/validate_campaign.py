@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate the `repro serve` campaign output in a results directory.
+
+The ci.sh campaign stage runs the seeded 64-job demo campaign TWICE with a
+persistent cache, capturing CAMPAIGN.json from each run, then (third run)
+repeats it under the standard worker-fault preset. This script checks,
+failing loudly on any violation:
+
+* both CAMPAIGN.json captures are well-formed, with a `records` array and
+  a `service` object of the expected shape;
+* run 1 executed every deduplicated job with zero cache hits; run 2
+  answered 100% from the cache (hit_rate == 1.0, executed == 0);
+* the `records` arrays of the two runs are byte-identical as serialized
+  JSON (the determinism contract: latency and hit counters may differ,
+  results never);
+* every record's key is the 32-hex content hash and distinct records have
+  distinct keys (collision discipline);
+* exactly-once held in every run: lost == 0 and duplicated == 0;
+* the reproducibility oracle sampled cache hits in run 2 and every
+  re-execution matched byte-for-byte (checks > 0, passes == checks);
+* the dedup path fired (the demo generator repeats its first job);
+* the fault-preset run reconciles: deaths injected == deaths detected,
+  retries drove recovery (recovered == retries when nothing failed), and
+  the records STILL byte-match the calm runs — faults cost retries, never
+  answers.
+
+Usage: validate_campaign.py <results-dir>
+"""
+
+import json
+import os
+import re
+import sys
+
+SERVICE_KEYS = {
+    "workers",
+    "submitted",
+    "deduped",
+    "cache_hits",
+    "executed",
+    "hit_rate",
+    "retries",
+    "failed",
+    "inline_runs",
+    "oracle_checks",
+    "oracle_passes",
+    "lost",
+    "duplicated",
+    "p50_latency_us",
+    "p99_latency_us",
+    "wall_ms",
+    "faults",
+}
+
+WORKER_FAULT_KEYS = {
+    "injected_worker_death",
+    "detected_worker",
+    "retries_job",
+    "recovered_job",
+    "workers_blacklisted",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_campaign: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    if not os.path.exists(path):
+        fail(f"missing {path}")
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc.get("records"), list):
+        fail(f"{path}: no records array")
+    svc = doc.get("service")
+    if not isinstance(svc, dict):
+        fail(f"{path}: no service object")
+    missing = SERVICE_KEYS - svc.keys()
+    if missing:
+        fail(f"{path}: service missing keys {sorted(missing)}")
+    missing = WORKER_FAULT_KEYS - svc["faults"].keys()
+    if missing:
+        fail(f"{path}: faults missing keys {sorted(missing)}")
+    return doc
+
+
+def check_records(path: str, doc: dict) -> None:
+    keys = set()
+    for r in doc["records"]:
+        for k in ("idx", "key", "canon", "ok"):
+            if k not in r:
+                fail(f"{path}: record missing `{k}`: {r}")
+        if not re.fullmatch(r"[0-9a-f]{32}", r["key"]):
+            fail(f"{path}: record key `{r['key']}` is not 32-hex")
+        if r["key"] in keys:
+            fail(f"{path}: duplicate record key {r['key']}")
+        keys.add(r["key"])
+        if r["ok"] and "record" not in r:
+            fail(f"{path}: ok record without result bytes: {r}")
+        if not r["ok"] and "error" not in r:
+            fail(f"{path}: failed record without error detail: {r}")
+        if not r["canon"].startswith("level="):
+            fail(f"{path}: canon line does not start with level=: {r['canon']}")
+
+
+def check_exactly_once(path: str, svc: dict) -> None:
+    if svc["lost"] != 0:
+        fail(f"{path}: {svc['lost']} job(s) lost")
+    if svc["duplicated"] != 0:
+        fail(f"{path}: {svc['duplicated']} job(s) duplicated")
+    if svc["failed"] != 0:
+        fail(f"{path}: {svc['failed']} job(s) failed")
+    if svc["oracle_passes"] != svc["oracle_checks"]:
+        fail(
+            f"{path}: oracle mismatch — "
+            f"{svc['oracle_passes']}/{svc['oracle_checks']} passes"
+        )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_campaign.py <results-dir>")
+    d = sys.argv[1]
+    run1 = load(os.path.join(d, "CAMPAIGN_run1.json"))
+    run2 = load(os.path.join(d, "CAMPAIGN_run2.json"))
+    faulted = load(os.path.join(d, "CAMPAIGN_faulted.json"))
+
+    for path, doc in (("run1", run1), ("run2", run2), ("faulted", faulted)):
+        check_records(path, doc)
+        check_exactly_once(path, doc["service"])
+
+    s1, s2, sf = run1["service"], run2["service"], faulted["service"]
+
+    # Run 1: cold cache — everything executed, dedup fired.
+    if s1["cache_hits"] != 0:
+        fail(f"run1: cold cache reported {s1['cache_hits']} hits")
+    if s1["executed"] != len(run1["records"]):
+        fail(f"run1: executed {s1['executed']} != {len(run1['records'])} records")
+    if s1["deduped"] < 1:
+        fail("run1: demo batch did not exercise dedup")
+    if s1["submitted"] != s1["deduped"] + len(run1["records"]):
+        fail("run1: submitted != deduped + records")
+
+    # Run 2: warm cache — 100% hits, oracle sampled and agreed.
+    if s2["executed"] != 0:
+        fail(f"run2: warm cache still executed {s2['executed']} job(s)")
+    if s2["hit_rate"] != 1.0:
+        fail(f"run2: hit_rate {s2['hit_rate']} != 1.0")
+    if s2["cache_hits"] != len(run2["records"]):
+        fail("run2: cache_hits != records")
+    if s2["oracle_checks"] < 1:
+        fail("run2: oracle never sampled a cache hit")
+
+    # Determinism contract: the record arrays are byte-identical as
+    # serialized JSON (sort-insensitive comparison would mask idx drift).
+    r1 = json.dumps(run1["records"], sort_keys=True)
+    r2 = json.dumps(run2["records"], sort_keys=True)
+    if r1 != r2:
+        fail("run1 and run2 records differ — cache replay is not byte-stable")
+
+    # Faulted run: every injected death detected, retries recovered, and
+    # the answers still byte-match the calm runs.
+    fc = sf["faults"]
+    if fc["injected_worker_death"] < 1:
+        fail("faulted: standard preset injected no worker deaths over 64 jobs")
+    if fc["detected_worker"] != fc["injected_worker_death"]:
+        fail(
+            f"faulted: {fc['injected_worker_death']} death(s) injected but "
+            f"{fc['detected_worker']} detected"
+        )
+    if fc["retries_job"] != sf["retries"]:
+        fail("faulted: resilience retries_job disagrees with service retries")
+    if fc["recovered_job"] != fc["retries_job"]:
+        fail(
+            f"faulted: {fc['retries_job']} retried but {fc['recovered_job']} "
+            "recovered (and nothing failed)"
+        )
+    rf = json.dumps(faulted["records"], sort_keys=True)
+    if rf != r1:
+        fail("faulted records differ from calm records — faults changed answers")
+
+    print(
+        "validate_campaign: OK "
+        f"(jobs {len(run1['records'])}, deduped {s1['deduped']}, "
+        f"run2 hit rate {s2['hit_rate']}, oracle {s2['oracle_passes']}/"
+        f"{s2['oracle_checks']}, faulted deaths {fc['injected_worker_death']} "
+        f"retries {fc['retries_job']} recovered {fc['recovered_job']})"
+    )
+
+
+if __name__ == "__main__":
+    main()
