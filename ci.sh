@@ -75,6 +75,21 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "python3 not found; skipping torture JSON validation"
   fi
 
+  step "adaptive-mesh campaign (repro amr)"
+  # Two-level adaptive hierarchy over the Burgers front: fixed-vs-adaptive
+  # resolution economy, >= 2 mid-run regrids with every recompiled plan
+  # re-verified (zero findings), byte identity across execution policies,
+  # checkpoint-restart across a regrid boundary, and telemetry-driven
+  # rebalancing with a measured makespan gain. Exits non-zero on any
+  # failed proof; writes results/AMR.json and results/amr-ckpt/*.ckpt.
+  cargo run --release -p bench --bin repro -- amr --seed 42
+  # Schema + invariant validation of the written report.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_amr.py results
+  else
+    echo "python3 not found; skipping amr JSON validation"
+  fi
+
   step "strong-scaling sweep (repro scale --quick)"
   # Serial vs conservative-PDES engine on the paper problem at 1/4/16 CGs:
   # every cell asserts bit identity between the engines; exits non-zero on

@@ -1,0 +1,253 @@
+//! The multi-level grid: levels, refinement flags, and window geometry.
+//!
+//! Refinement is *patch-granular*: the flag sensor marks whole coarse
+//! patches, and the fine level covers the axis-aligned bounding box of the
+//! flagged patches (snapped to patch boundaries by construction, optionally
+//! dilated by a seeded margin). A fine level is an ordinary
+//! [`Level`] whose physical domain is the window's sub-box — every
+//! downstream layer (plans, schedulers, verifier, warehouse) sees a normal
+//! single-level problem and needs no AMR awareness.
+
+use sw_resilience::{fold, splitmix64};
+use uintah_core::grid::{iv, IntVec, Level, Region};
+use uintah_core::var::CcVar;
+
+/// Hash-domain separator for AMR's seeded draws (the window dilation),
+/// keeping its streams independent from the fault plane's and the torture
+/// harness's for any shared seed.
+pub const DOMAIN_AMR: u64 = 0xA317;
+
+/// One level of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct AmrLevel {
+    /// The grid of this level (fine levels cover a physical sub-box).
+    pub level: Level,
+    /// Refinement ratio to the parent level per axis (1 at the root).
+    pub ratio: i64,
+    /// The level's footprint in *parent patch-index* space (the full
+    /// parent layout at the root). Always patch-aligned on the parent.
+    pub window: Region,
+}
+
+impl AmrLevel {
+    /// The root entry: the whole coarse level, ratio 1, full-layout window.
+    pub fn root(level: Level) -> AmrLevel {
+        let window = Region::of_extent(level.layout());
+        AmrLevel {
+            level,
+            ratio: 1,
+            window,
+        }
+    }
+
+    /// Low corner of the window in *parent cell* space.
+    pub fn window_cell_lo(&self, parent: &Level) -> IntVec {
+        let pe = parent.patch_extent();
+        iv(
+            self.window.lo.x * pe.x,
+            self.window.lo.y * pe.y,
+            self.window.lo.z * pe.z,
+        )
+    }
+}
+
+/// The full hierarchy: levels coarsest-first, the per-level refinement
+/// flags of the epoch the hierarchy was built in, and the regrid epoch
+/// (which seeds the window dilation, so restarts replay the same future
+/// windows).
+#[derive(Clone, Debug)]
+pub struct MultiLevelGrid {
+    /// Levels, coarsest first. `levels[0]` is the root.
+    pub levels: Vec<AmrLevel>,
+    /// `flags[l][p]` = patch `p` of level `l` was flagged for refinement
+    /// when the current hierarchy was built (one entry per level; the
+    /// finest level's flags exist but have no child to drive until the
+    /// next regrid may add one).
+    pub flags: Vec<Vec<bool>>,
+    /// Regrid epoch of the current hierarchy (0 = initial build).
+    pub epoch: u32,
+}
+
+impl MultiLevelGrid {
+    /// Total interior cells over all levels — one AMR step performs exactly
+    /// this many cell updates.
+    pub fn cells(&self) -> u64 {
+        self.levels.iter().map(|l| l.level.grid().cells()).sum()
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Solution-derived refinement sensor: flag every patch whose maximum
+/// undivided gradient (forward differences toward +x/+y/+z, within the
+/// grid) exceeds `threshold`. Pure and order-fixed: the same state always
+/// produces the same flags.
+pub fn compute_flags(level: &Level, state: &CcVar, threshold: f64) -> Vec<bool> {
+    let grid = level.grid();
+    level
+        .patches()
+        .iter()
+        .map(|p| {
+            let mut max_grad = 0.0f64;
+            for c in p.region.iter() {
+                let u = state.get(c);
+                for a in 0..3 {
+                    let n = c.with_axis(a, c.axis(a) + 1);
+                    if grid.contains(n) {
+                        max_grad = max_grad.max((state.get(n) - u).abs());
+                    }
+                }
+            }
+            max_grad > threshold
+        })
+        .collect()
+}
+
+/// Seeded window-dilation margin (0 or 1 patches) for `(seed, epoch,
+/// level)` — a pure function of its inputs, so regrids at the same epoch
+/// always rebuild the same window, across restarts and exec policies.
+pub fn seeded_dilation(seed: u64, epoch: u32, level: usize) -> i64 {
+    (splitmix64(fold(&[DOMAIN_AMR, seed, u64::from(epoch), level as u64])) % 2) as i64
+}
+
+/// Bounding box of the flagged patches in patch-index space, grown by
+/// `dilate` patches per side and clamped to the layout. `None` when no
+/// patch is flagged (no child level is wanted).
+pub fn flag_window(level: &Level, flags: &[bool], dilate: i64) -> Option<Region> {
+    assert_eq!(flags.len(), level.n_patches(), "one flag per patch");
+    let mut lo = iv(i64::MAX, i64::MAX, i64::MAX);
+    let mut hi = iv(i64::MIN, i64::MIN, i64::MIN);
+    for (p, &f) in flags.iter().enumerate() {
+        if f {
+            let idx = level.patch(p).index;
+            lo = lo.min(idx);
+            hi = hi.max(idx + IntVec::ONE);
+        }
+    }
+    if hi.x == i64::MIN {
+        return None;
+    }
+    let l = level.layout();
+    let lo = (lo - iv(dilate, dilate, dilate)).max(IntVec::ZERO);
+    let hi = (hi + iv(dilate, dilate, dilate)).min(l);
+    Some(Region::new(lo, hi))
+}
+
+/// Build the child level refining `window` (parent patch coords) of
+/// `parent` by `ratio`: same patch extent, `window_patches * ratio` layout,
+/// physical domain equal to the window's sub-box. The physical corners are
+/// derived from the parent's spacing, so nested cell centroids line up
+/// exactly for power-of-two grids.
+pub fn refine_window(parent: &Level, window: Region, ratio: i64) -> Level {
+    assert!(ratio >= 2, "a refinement level needs ratio >= 2");
+    assert!(!window.is_empty(), "refinement window must be non-empty");
+    let pe = parent.patch_extent();
+    let we = window.extent();
+    let layout = iv(we.x * ratio, we.y * ratio, we.z * ratio);
+    let (dx, dy, dz) = parent.spacing();
+    let plo = parent.phys_lo();
+    let lo = [
+        plo[0] + (window.lo.x * pe.x) as f64 * dx,
+        plo[1] + (window.lo.y * pe.y) as f64 * dy,
+        plo[2] + (window.lo.z * pe.z) as f64 * dz,
+    ];
+    let hi = [
+        plo[0] + (window.hi.x * pe.x) as f64 * dx,
+        plo[1] + (window.hi.y * pe.y) as f64 * dy,
+        plo[2] + (window.hi.z * pe.z) as f64 * dz,
+    ];
+    Level::with_domain(pe, layout, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Level {
+        Level::new(iv(4, 4, 4), iv(4, 4, 4))
+    }
+
+    #[test]
+    fn gradient_sensor_flags_the_steep_patch_only() {
+        let l = root();
+        let mut v = CcVar::new(l.grid().grow(1));
+        // Smooth background, one sharp jump inside patch (2,1,1).
+        for c in l.grid().iter() {
+            v.set(c, 1e-3 * c.x as f64);
+        }
+        let hot = l.patch_at(iv(2, 1, 1)).unwrap();
+        let cell = l.patch(hot).region.lo + iv(1, 1, 1);
+        v.set(cell, 5.0);
+        let flags = compute_flags(&l, &v, 0.5);
+        // The jump is seen from the hot patch; its -x neighbor patch only
+        // differences *toward* +x across the patch boundary when the jump
+        // cell sits on the shared face (it does not here).
+        assert!(flags[hot]);
+        assert_eq!(flags.iter().filter(|f| **f).count(), 1, "{flags:?}");
+        // Threshold above the jump: nothing flagged.
+        assert!(compute_flags(&l, &v, 10.0).iter().all(|f| !f));
+    }
+
+    #[test]
+    fn flag_window_bounds_dilates_and_clamps() {
+        let l = root();
+        let mut flags = vec![false; l.n_patches()];
+        assert_eq!(flag_window(&l, &flags, 1), None);
+        flags[l.patch_at(iv(1, 1, 2)).unwrap()] = true;
+        flags[l.patch_at(iv(2, 1, 2)).unwrap()] = true;
+        let w0 = flag_window(&l, &flags, 0).unwrap();
+        assert_eq!(w0, Region::new(iv(1, 1, 2), iv(3, 2, 3)));
+        let w1 = flag_window(&l, &flags, 1).unwrap();
+        assert_eq!(w1, Region::new(iv(0, 0, 1), iv(4, 3, 4)));
+        // Dilation clamps at the layout boundary.
+        let w9 = flag_window(&l, &flags, 9).unwrap();
+        assert_eq!(w9, Region::of_extent(iv(4, 4, 4)));
+    }
+
+    #[test]
+    fn refine_window_geometry_is_exact() {
+        let l = root(); // 16^3 cells over the unit cube, dx = 1/16
+        let w = Region::new(iv(1, 1, 1), iv(3, 3, 3));
+        let fine = refine_window(&l, w, 2);
+        assert_eq!(fine.patch_extent(), iv(4, 4, 4));
+        assert_eq!(fine.layout(), iv(4, 4, 4));
+        assert_eq!(fine.phys_lo(), [0.25; 3]);
+        assert_eq!(fine.phys_hi(), [0.75; 3]);
+        let (dx, _, _) = fine.spacing();
+        assert_eq!(dx.to_bits(), (1.0 / 32.0f64).to_bits());
+        // Fine centroids nest inside coarse cells exactly: fine cell 0
+        // sits at 0.25 + dx/2.
+        let (x, _, _) = fine.cell_center(iv(0, 0, 0));
+        assert_eq!(x.to_bits(), (0.25 + 1.0 / 64.0f64).to_bits());
+    }
+
+    #[test]
+    fn seeded_dilation_is_pure_and_small() {
+        for epoch in 0..8u32 {
+            for lvl in 0..3usize {
+                let d = seeded_dilation(42, epoch, lvl);
+                assert!((0..=1).contains(&d));
+                assert_eq!(d, seeded_dilation(42, epoch, lvl), "pure");
+            }
+        }
+        // Different epochs do vary the margin somewhere.
+        let varied: Vec<i64> = (0..8).map(|e| seeded_dilation(42, e, 1)).collect();
+        assert!(varied.contains(&0) && varied.contains(&1));
+    }
+
+    #[test]
+    fn root_level_entry_and_cell_accounting() {
+        let g = MultiLevelGrid {
+            levels: vec![AmrLevel::root(root())],
+            flags: vec![vec![false; 64]],
+            epoch: 0,
+        };
+        assert_eq!(g.n_levels(), 1);
+        assert_eq!(g.cells(), 16 * 16 * 16);
+        assert_eq!(g.levels[0].window, Region::of_extent(iv(4, 4, 4)));
+        assert_eq!(g.levels[0].window_cell_lo(&root()), IntVec::ZERO);
+    }
+}

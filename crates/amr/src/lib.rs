@@ -1,0 +1,81 @@
+//! Block-structured adaptive mesh refinement over the single-level
+//! Uintah-on-Sunway runtime.
+//!
+//! Uintah proper is an AMR framework: the paper ports its runtime with a
+//! single static level and leaves "multiple levels and regridding" as the
+//! obvious next step. This crate supplies that step *on top of* the
+//! existing stack instead of forking it:
+//!
+//! * [`hierarchy`] — a [`MultiLevelGrid`] of 2–3 refinement levels, each an
+//!   ordinary [`uintah_core::Level`] over a physical sub-box of its parent
+//!   ([`uintah_core::grid::Level::try_with_domain`]), plus solution-derived
+//!   refinement flags (per-patch gradient sensor);
+//! * [`transfer`] — the coarse↔fine coupling operators: trilinear
+//!   *prolongation* (fills fine ghost/boundary cells from the parent) and
+//!   fixed-order cell-average *restriction* (folds the fine solution back
+//!   into covered parent cells). Both are pure `f64` pipelines with a fixed
+//!   evaluation order, so every run — serial, PDES, SIMD, any exec policy —
+//!   produces the same bits;
+//! * [`regrid`] — the [`regrid::RegridPolicy`]: cadence- or
+//!   flag-change-triggered window rebuilds with a seeded dilation margin
+//!   (pure function of `(seed, epoch)`, so restarts replay identical future
+//!   hierarchies), and bit-exact state transfer across a regrid;
+//! * [`rebalance`] — telemetry-driven cost profiles (per-patch compute
+//!   spans from `sw-telemetry` + per-patch ghost-exchange bytes from the
+//!   compiled plans) fed back into the LPT load balancer;
+//! * [`sim`] — the [`sim::AmrSimulation`] driver: advances every level with
+//!   one global timestep through per-step `uintah_core::Simulation` runs,
+//!   re-verifies **every** recompiled task graph with `sw-analyze`
+//!   (hazard analysis + static lookahead proofs), and serializes the whole
+//!   hierarchy into the `SWCKPT01` container's AMR trailer so a
+//!   checkpoint → kill → restart replays bit-identically across regrid
+//!   boundaries.
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod rebalance;
+pub mod regrid;
+pub mod sim;
+pub mod transfer;
+
+use std::sync::Arc;
+
+use uintah_core::grid::Level;
+use uintah_core::task::Application;
+
+pub use hierarchy::{
+    compute_flags, flag_window, refine_window, seeded_dilation, AmrLevel, MultiLevelGrid,
+};
+pub use regrid::RegridPolicy;
+pub use sim::{AmrConfig, AmrSimulation, AmrStats};
+
+/// An application *family* instantiable on any level of an AMR hierarchy.
+///
+/// The single-level [`Application`] is built for one level's spacing and
+/// origin; AMR needs a factory that can mint one per level (and re-mint
+/// them after a regrid changes the fine geometry). The exact solution hook
+/// doubles as the physical-domain boundary condition of the root level and
+/// the error metric of the campaign.
+pub trait AmrApplication: Send + Sync {
+    /// Application family name (reports, canonical job lines).
+    fn name(&self) -> &str;
+
+    /// Ghost layers every level's kernel requires.
+    fn ghost(&self) -> i64;
+
+    /// Build the single-level application for `level`'s spacing and
+    /// physical origin.
+    fn make_level_app(&self, level: &Level) -> Arc<dyn Application>;
+
+    /// Exact (or reference) solution at physical point `(x, y, z)` at time
+    /// `t` — the root boundary condition and the campaign's error metric.
+    fn exact(&self, x: f64, y: f64, z: f64, t: f64) -> f64;
+
+    /// Stable timestep on `level` (default: ask a freshly minted level
+    /// app). The driver calls this once, on the *uniformly finest* virtual
+    /// level, to pick the one global dt every level advances with.
+    fn stable_dt(&self, level: &Level) -> f64 {
+        self.make_level_app(level).stable_dt(level)
+    }
+}

@@ -1,0 +1,163 @@
+//! Telemetry-driven cost profiles feeding the LPT load balancer.
+//!
+//! The single-level runtime rebalances from the scheduler's own modeled
+//! per-patch costs. The AMR driver instead builds its profile from the
+//! *telemetry stream* of the step that just ran — per-patch compute spans
+//! (MPE task spans + CPE offload spans, virtual picoseconds) — plus the
+//! per-patch ghost-exchange bytes of the compiled plans, converted to time
+//! through the calibrated network model. Both inputs are deterministic in
+//! virtual time, so the resulting assignment (and therefore the whole
+//! adaptive run) stays bit-identical across exec policies and engines.
+
+use std::collections::BTreeMap;
+
+use sw_sim::{MachineConfig, SimDur};
+use sw_telemetry::{Event, EventRecord};
+use uintah_core::task::plan::RankPlan;
+
+/// Per-patch compute picoseconds extracted from one run's telemetry
+/// snapshot: the summed durations of every `TaskStart`/`TaskEnd` and
+/// `OffloadStart`/`OffloadDone` span, matched per lane in recording order.
+pub fn compute_profile(snapshot: &[Vec<EventRecord>]) -> BTreeMap<usize, u64> {
+    let mut out: BTreeMap<usize, u64> = BTreeMap::new();
+    for rank in snapshot {
+        // Open-span stacks keyed by (lane, kind, patch, id); kind 0 = task
+        // span keyed by stage, kind 1 = offload span keyed by token.
+        let mut open: BTreeMap<(u64, u8, usize, u64), Vec<u64>> = BTreeMap::new();
+        for rec in rank {
+            match rec.event {
+                Event::TaskStart { patch, stage } => {
+                    open.entry((rec.lane.tid(), 0, patch, stage as u64))
+                        .or_default()
+                        .push(rec.at_ps);
+                }
+                Event::TaskEnd { patch, stage } => {
+                    if let Some(start) = open
+                        .get_mut(&(rec.lane.tid(), 0, patch, stage as u64))
+                        .and_then(Vec::pop)
+                    {
+                        *out.entry(patch).or_default() += rec.at_ps.saturating_sub(start);
+                    }
+                }
+                Event::OffloadStart { patch, token } => {
+                    open.entry((rec.lane.tid(), 1, patch, token))
+                        .or_default()
+                        .push(rec.at_ps);
+                }
+                Event::OffloadDone { patch, token } => {
+                    if let Some(start) = open
+                        .get_mut(&(rec.lane.tid(), 1, patch, token))
+                        .and_then(Vec::pop)
+                    {
+                        *out.entry(patch).or_default() += rec.at_ps.saturating_sub(start);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Per-source-patch ghost-exchange payload bytes of the compiled plans
+/// (the same `window.cells() * 8` the scheduler puts on the wire).
+pub fn comm_bytes(plans: &[RankPlan]) -> BTreeMap<usize, u64> {
+    let mut out: BTreeMap<usize, u64> = BTreeMap::new();
+    for plan in plans {
+        for snd in &plan.sends {
+            *out.entry(snd.src_patch).or_default() += snd.window.cells() * 8;
+        }
+    }
+    out
+}
+
+/// Combine compute and comm splits into one LPT assignment over the CGs'
+/// relative speeds. Every patch gets a cost floor of 1 ps so a degenerate
+/// (empty-telemetry) profile still spreads patches across all ranks
+/// instead of collapsing onto rank 0.
+pub fn lpt_from_profiles(
+    n_patches: usize,
+    compute_ps: &BTreeMap<usize, u64>,
+    bytes: &BTreeMap<usize, u64>,
+    machine: &MachineConfig,
+    speeds: &[f64],
+) -> Vec<usize> {
+    let mut costs: BTreeMap<usize, SimDur> = BTreeMap::new();
+    for p in 0..n_patches {
+        let compute = SimDur(*compute_ps.get(&p).unwrap_or(&0));
+        let comm = match bytes.get(&p) {
+            Some(&b) => machine.net_time(b),
+            None => SimDur::ZERO,
+        };
+        costs.insert(p, SimDur((compute + comm).0.max(1)));
+    }
+    uintah_core::lb::lpt_assign(&costs, speeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_telemetry::Lane;
+
+    fn rec(at_ps: u64, lane: Lane, event: Event) -> EventRecord {
+        EventRecord {
+            at_ps,
+            wall_ns: None,
+            lane,
+            event,
+        }
+    }
+
+    #[test]
+    fn profile_sums_matched_spans_per_patch() {
+        let snapshot = vec![vec![
+            rec(100, Lane::Mpe, Event::TaskStart { patch: 0, stage: 0 }),
+            rec(150, Lane::Mpe, Event::TaskEnd { patch: 0, stage: 0 }),
+            rec(
+                200,
+                Lane::Cpe(0),
+                Event::OffloadStart { patch: 0, token: 7 },
+            ),
+            rec(
+                210,
+                Lane::Cpe(1),
+                Event::OffloadStart { patch: 1, token: 8 },
+            ),
+            rec(260, Lane::Cpe(0), Event::OffloadDone { patch: 0, token: 7 }),
+            rec(300, Lane::Cpe(1), Event::OffloadDone { patch: 1, token: 8 }),
+            // Unmatched end on a different lane: ignored, not panicked on.
+            rec(400, Lane::Cpe(5), Event::OffloadDone { patch: 2, token: 9 }),
+        ]];
+        let p = compute_profile(&snapshot);
+        assert_eq!(p.get(&0), Some(&110)); // 50 task + 60 offload
+        assert_eq!(p.get(&1), Some(&90));
+        assert_eq!(p.get(&2), None);
+    }
+
+    #[test]
+    fn empty_profile_still_spreads_patches() {
+        let m = MachineConfig::sw26010();
+        let a = lpt_from_profiles(8, &BTreeMap::new(), &BTreeMap::new(), &m, &[1.0, 1.0]);
+        assert_eq!(a.len(), 8);
+        assert!(a.contains(&0) && a.contains(&1), "{a:?}");
+    }
+
+    #[test]
+    fn heavy_patches_avoid_the_slow_cg() {
+        let m = MachineConfig::sw26010();
+        let mut compute = BTreeMap::new();
+        for p in 0..4usize {
+            compute.insert(p, 1_000_000u64);
+        }
+        // Rank 1 is 4x slower: it should carry fewer patches.
+        let a = lpt_from_profiles(4, &compute, &BTreeMap::new(), &m, &[1.0, 0.25]);
+        let slow = a.iter().filter(|&&r| r == 1).count();
+        let fast = a.iter().filter(|&&r| r == 0).count();
+        assert!(fast > slow, "{a:?}");
+        // Deterministic.
+        assert_eq!(
+            a,
+            lpt_from_profiles(4, &compute, &BTreeMap::new(), &m, &[1.0, 0.25])
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Regridding: when to rebuild the hierarchy, and how to move state across
+//! a rebuild without perturbing a single bit that survives it.
+//!
+//! A regrid fires on a fixed cadence *or* early, when the fraction of root
+//! refinement flags that changed since the hierarchy was built crosses a
+//! threshold (the front moved faster than the cadence assumed). Windows are
+//! rebuilt from fresh flags with a seeded dilation margin (pure in
+//! `(seed, epoch)`), the fine levels' task graphs are recompiled, and every
+//! fine cell that exists on both the old and the new grid keeps its exact
+//! bit pattern — only newly refined cells are prolonged from the parent.
+
+use uintah_core::grid::{IntVec, Level};
+use uintah_core::var::CcVar;
+
+use crate::hierarchy::AmrLevel;
+use crate::transfer::prolong_at;
+
+/// The regrid/refinement policy of an adaptive run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegridPolicy {
+    /// Maximum hierarchy depth (1 = no refinement, 2–3 supported).
+    pub max_levels: usize,
+    /// Refinement ratio per axis between adjacent levels.
+    pub ratio: i64,
+    /// Undivided-gradient threshold of the flag sensor.
+    pub flag_threshold: f64,
+    /// Regrid cadence in steps (a regrid is *considered* every
+    /// `regrid_every` steps; it only counts as one if a window changes).
+    pub regrid_every: u32,
+    /// Early-trigger threshold: regrid before the cadence when this
+    /// fraction of root flags changed since the hierarchy was built.
+    pub regrid_frac: f64,
+    /// Seed of the window-dilation draws.
+    pub seed: u64,
+}
+
+impl RegridPolicy {
+    /// A single-level (no-refinement) policy: the driver degenerates to
+    /// the plain runtime, which the uniform comparison runs use.
+    pub fn single_level() -> RegridPolicy {
+        RegridPolicy {
+            max_levels: 1,
+            ratio: 2,
+            flag_threshold: f64::INFINITY,
+            regrid_every: 0,
+            regrid_frac: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Whether the cadence is due at `step` (`every == 0` disables it).
+pub fn cadence_due(step: u32, every: u32) -> bool {
+    every > 0 && step > 0 && step.is_multiple_of(every)
+}
+
+/// Fraction of root flags that differ between the hierarchy's build-time
+/// flags and freshly computed ones (0.0 when the root has no patches).
+pub fn root_change_fraction(built: &[bool], fresh: &[bool]) -> f64 {
+    assert_eq!(built.len(), fresh.len(), "root layout never changes");
+    if built.is_empty() {
+        return 0.0;
+    }
+    let changed = built.iter().zip(fresh).filter(|(a, b)| a != b).count();
+    changed as f64 / built.len() as f64
+}
+
+/// Grid origin of level `l` in level-`l` *cell* units relative to the root
+/// origin: `origin(0) = 0`, and `origin(l)` is
+/// `(origin(l-1) + window_cell_lo(l)) * ratio(l)`. Two hierarchies over the
+/// same root share these units at equal depth, which is what makes old→new
+/// cell mapping across a regrid a pure integer translation.
+pub fn abs_cell_lo(levels: &[AmrLevel], l: usize) -> IntVec {
+    let mut o = IntVec::ZERO;
+    for i in 1..=l {
+        let parent = &levels[i - 1].level;
+        o = (o + levels[i].window_cell_lo(parent)) * levels[i].ratio;
+    }
+    o
+}
+
+/// Build the state of a (re)built fine level: every interior cell that maps
+/// into the old grid at the same depth copies its exact bit pattern; every
+/// newly refined cell is trilinearly prolonged from the new parent's
+/// ghosted donor state. The ghost ring is left zero — the driver refreshes
+/// rings at every step start.
+pub fn transfer_fine_state(
+    new_fine: &Level,
+    new_abs: IntVec,
+    old: Option<(&Level, IntVec, &CcVar)>,
+    donor: (&Level, &CcVar),
+    ghost: i64,
+) -> CcVar {
+    let mut v = CcVar::new(new_fine.grid().grow(ghost));
+    let (dlevel, dstate) = donor;
+    for c in new_fine.grid().iter() {
+        let copied = match old {
+            Some((olevel, oabs, ostate)) => {
+                let oc = c + new_abs - oabs;
+                if olevel.grid().contains(oc) {
+                    v.set(c, ostate.get(oc));
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        };
+        if !copied {
+            let (x, y, z) = new_fine.cell_center(c);
+            v.set(c, prolong_at(dstate, dlevel, x, y, z));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uintah_core::grid::{iv, Region};
+
+    #[test]
+    fn cadence_and_change_triggers() {
+        assert!(!cadence_due(0, 10));
+        assert!(!cadence_due(5, 10));
+        assert!(cadence_due(10, 10));
+        assert!(cadence_due(20, 10));
+        assert!(!cadence_due(10, 0), "0 disables the cadence");
+        let built = [true, false, false, true];
+        assert_eq!(root_change_fraction(&built, &built), 0.0);
+        let fresh = [true, true, false, false];
+        assert!((root_change_fraction(&built, &fresh) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn abs_cell_lo_walks_the_hierarchy() {
+        let root = Level::new(iv(4, 4, 4), iv(4, 4, 4));
+        let w1 = Region::new(iv(1, 1, 1), iv(3, 3, 3));
+        let l1 = crate::hierarchy::refine_window(&root, w1, 2);
+        let w2 = Region::new(iv(1, 0, 2), iv(3, 2, 4));
+        let l2 = crate::hierarchy::refine_window(&l1, w2, 2);
+        let levels = vec![
+            AmrLevel::root(root),
+            AmrLevel {
+                level: l1,
+                ratio: 2,
+                window: w1,
+            },
+            AmrLevel {
+                level: l2,
+                ratio: 2,
+                window: w2,
+            },
+        ];
+        assert_eq!(abs_cell_lo(&levels, 0), IntVec::ZERO);
+        // Level 1: window starts at root cell (4,4,4) -> fine units (8,8,8).
+        assert_eq!(abs_cell_lo(&levels, 1), iv(8, 8, 8));
+        // Level 2: ((8,8,8) + (4,0,8)) * 2.
+        assert_eq!(abs_cell_lo(&levels, 2), iv(24, 16, 32));
+    }
+
+    #[test]
+    fn transfer_keeps_surviving_bits_and_prolongs_the_rest() {
+        let root = Level::new(iv(4, 4, 4), iv(4, 4, 4));
+        // Donor: smooth field over the ghosted root grid.
+        let mut donor = CcVar::new(root.grid().grow(1));
+        for c in donor.region().iter() {
+            let (x, y, z) = root.cell_center(c);
+            donor.set(c, x + 2.0 * y - z);
+        }
+        let wa = Region::new(iv(0, 0, 0), iv(2, 2, 2));
+        let wb = Region::new(iv(1, 0, 0), iv(3, 2, 2));
+        let la = crate::hierarchy::refine_window(&root, wa, 2);
+        let lb = crate::hierarchy::refine_window(&root, wb, 2);
+        let mk = |l: &Level, w: Region| AmrLevel {
+            level: l.clone(),
+            ratio: 2,
+            window: w,
+        };
+        let ha = vec![AmrLevel::root(root.clone()), mk(&la, wa)];
+        let hb = vec![AmrLevel::root(root.clone()), mk(&lb, wb)];
+        let (aa, ab) = (abs_cell_lo(&ha, 1), abs_cell_lo(&hb, 1));
+        // Old state: arbitrary recognizable bits.
+        let mut old = CcVar::new(la.grid().grow(1));
+        for (i, c) in la.grid().iter().enumerate().collect::<Vec<_>>() {
+            old.set(c, 1000.0 + i as f64);
+        }
+        let new = transfer_fine_state(&lb, ab, Some((&la, aa, &old)), (&root, &donor), 1);
+        // Overlap: window b cell that also lives in window a keeps its bits.
+        // b's cell (0,0,0) is absolute (8,0,0), which is a's cell (8,0,0).
+        assert_eq!(
+            new.get(iv(0, 0, 0)).to_bits(),
+            old.get(iv(8, 0, 0)).to_bits()
+        );
+        // Fresh region (absolute x >= 16 is outside a): prolonged, i.e.
+        // close to the smooth donor field.
+        let c = iv(12, 3, 3);
+        let (x, y, z) = lb.cell_center(c);
+        assert!((new.get(c) - (x + 2.0 * y - z)).abs() < 0.1);
+        // No old level at this depth: everything prolonged.
+        let fresh = transfer_fine_state(&lb, ab, None, (&root, &donor), 1);
+        assert!((fresh.get(iv(0, 0, 0)) - new.get(iv(12, 3, 3))).abs() < 10.0);
+        let (x0, y0, z0) = lb.cell_center(iv(0, 0, 0));
+        assert!((fresh.get(iv(0, 0, 0)) - (x0 + 2.0 * y0 - z0)).abs() < 0.1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Coarse↔fine coupling operators: prolongation and restriction.
+//!
+//! Both operators are pure `f64` pipelines with a *fixed* evaluation order
+//! — no data-dependent branching, no accumulation-order freedom — so they
+//! produce identical bits on every engine (serial, PDES, any exec policy).
+//! That property is what lets the campaign assert cross-policy byte
+//! identity over whole adaptive runs.
+
+use uintah_core::grid::{iv, IntVec, Level, Region};
+use uintah_core::var::CcVar;
+
+/// Trilinear interpolation of `donor` (a cell-centered variable of
+/// `donor_level`) at the physical point `(x, y, z)`.
+///
+/// Lookups are clamped to the donor's stored region, so points up to half
+/// a donor cell outside it (fine ghost centroids at a window edge resolve
+/// against the parent's own ghost ring) degrade to boundary-clamped
+/// interpolation instead of reading out of bounds.
+pub fn prolong_at(donor: &CcVar, donor_level: &Level, x: f64, y: f64, z: f64) -> f64 {
+    let (dx, dy, dz) = donor_level.spacing();
+    let plo = donor_level.phys_lo();
+    let r = donor.region();
+    // Continuous cell-centered index per axis, split into base cell + weight.
+    let split = |v: f64, lo: f64, d: f64, a: usize| -> (i64, f64) {
+        let u = (v - lo) / d - 0.5;
+        let mut i = u.floor() as i64;
+        let (rlo, rhi) = (r.lo.axis(a), r.hi.axis(a));
+        i = i.clamp(rlo, rhi - 2);
+        let w = (u - i as f64).clamp(0.0, 1.0);
+        (i, w)
+    };
+    let (ix, wx) = split(x, plo[0], dx, 0);
+    let (iy, wy) = split(y, plo[1], dy, 1);
+    let (iz, wz) = split(z, plo[2], dz, 2);
+    let f = |ox: i64, oy: i64, oz: i64| donor.get(iv(ix + ox, iy + oy, iz + oz));
+    // Fixed order: x, then y, then z.
+    let c00 = f(0, 0, 0) * (1.0 - wx) + f(1, 0, 0) * wx;
+    let c10 = f(0, 1, 0) * (1.0 - wx) + f(1, 1, 0) * wx;
+    let c01 = f(0, 0, 1) * (1.0 - wx) + f(1, 0, 1) * wx;
+    let c11 = f(0, 1, 1) * (1.0 - wx) + f(1, 1, 1) * wx;
+    let c0 = c00 * (1.0 - wy) + c10 * wy;
+    let c1 = c01 * (1.0 - wy) + c11 * wy;
+    c0 * (1.0 - wz) + c1 * wz
+}
+
+/// Prolong every cell of `region` (in `fine`'s index space) from the
+/// parent donor into `dst`, x-fastest.
+pub fn prolong_region(
+    dst: &mut CcVar,
+    region: &Region,
+    fine: &Level,
+    donor: &CcVar,
+    donor_level: &Level,
+) {
+    for c in region.iter() {
+        let (x, y, z) = fine.cell_center(c);
+        dst.set(c, prolong_at(donor, donor_level, x, y, z));
+    }
+}
+
+/// Restriction: overwrite every parent cell covered by the fine level with
+/// the average of its `ratio³` fine children, summed in fixed z-outer,
+/// x-inner order. `window_cell_lo` is the fine level's low corner in
+/// parent *cell* space ([`crate::AmrLevel::window_cell_lo`]).
+pub fn restrict_level(
+    parent_state: &mut CcVar,
+    fine_state: &CcVar,
+    fine: &Level,
+    window_cell_lo: IntVec,
+    ratio: i64,
+) {
+    assert!(ratio >= 1);
+    let fe = fine.grid().extent();
+    assert_eq!(fe.x % ratio, 0, "fine grid not a multiple of the ratio");
+    let covered = Region::new(
+        window_cell_lo,
+        window_cell_lo + iv(fe.x / ratio, fe.y / ratio, fe.z / ratio),
+    );
+    let inv = 1.0 / (ratio * ratio * ratio) as f64;
+    for pc in covered.iter() {
+        let base = iv(
+            (pc.x - covered.lo.x) * ratio,
+            (pc.y - covered.lo.y) * ratio,
+            (pc.z - covered.lo.z) * ratio,
+        );
+        let mut sum = 0.0f64;
+        for oz in 0..ratio {
+            for oy in 0..ratio {
+                for ox in 0..ratio {
+                    sum += fine_state.get(base + iv(ox, oy, oz));
+                }
+            }
+        }
+        parent_state.set(pc, sum * inv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Donor over the whole ghosted coarse grid, filled with a trilinear
+    /// function of position (which trilinear interpolation reproduces
+    /// exactly).
+    fn linear_donor(level: &Level, g: i64) -> CcVar {
+        let mut v = CcVar::new(level.grid().grow(g));
+        for c in v.region().iter() {
+            let (x, y, z) = level.cell_center(c);
+            v.set(c, 2.0 * x - 3.0 * y + 0.5 * z + 1.0);
+        }
+        v
+    }
+
+    #[test]
+    fn prolongation_reproduces_trilinear_fields_exactly() {
+        let coarse = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        let donor = linear_donor(&coarse, 1);
+        let fine = Level::with_domain(iv(4, 4, 4), iv(2, 2, 2), [0.25; 3], [0.75; 3]);
+        for c in [iv(0, 0, 0), iv(3, 5, 7), iv(-1, 2, 8)] {
+            let (x, y, z) = fine.cell_center(c);
+            let want = 2.0 * x - 3.0 * y + 0.5 * z + 1.0;
+            let got = prolong_at(&donor, &coarse, x, y, z);
+            assert!((got - want).abs() < 1e-13, "{c}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn prolong_region_fills_a_ghost_ring_deterministically() {
+        let coarse = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        let donor = linear_donor(&coarse, 1);
+        let fine = Level::with_domain(iv(4, 4, 4), iv(2, 2, 2), [0.25; 3], [0.75; 3]);
+        let ring = fine.grid().grow(1);
+        let mut a = CcVar::new(ring);
+        let mut b = CcVar::new(ring);
+        prolong_region(&mut a, &ring, &fine, &donor, &coarse);
+        prolong_region(&mut b, &ring, &fine, &donor, &coarse);
+        assert_eq!(a, b, "bit-identical across calls");
+        assert_ne!(a.get(iv(0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn prolongation_clamps_at_the_donor_edge() {
+        let coarse = Level::new(iv(4, 4, 4), iv(1, 1, 1));
+        let donor = linear_donor(&coarse, 1);
+        // Far outside the donor: clamps to the boundary value instead of
+        // panicking or extrapolating wildly.
+        let v = prolong_at(&donor, &coarse, -9.0, 0.5, 0.5);
+        let edge = donor.get(iv(-1, 1, 1));
+        assert!(
+            (v - edge).abs() < 1.0,
+            "clamped near the edge: {v} vs {edge}"
+        );
+    }
+
+    #[test]
+    fn restriction_averages_the_eight_children() {
+        let coarse = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        let fine = Level::with_domain(iv(4, 4, 4), iv(2, 2, 2), [0.25; 3], [0.75; 3]);
+        let mut parent = CcVar::new(coarse.grid().grow(1));
+        let mut fs = CcVar::new(fine.grid().grow(1));
+        for (i, c) in fine.grid().iter().enumerate().collect::<Vec<_>>() {
+            fs.set(c, i as f64);
+        }
+        // Window starts at coarse cell (2,2,2) (patch (1,1,1)... here the
+        // window [0.25,0.75) covers coarse cells 2..6 per axis).
+        restrict_level(&mut parent, &fs, &fine, iv(2, 2, 2), 2);
+        // Parent cell (2,2,2) = average of fine cells (0..2)^3.
+        let mut want = 0.0;
+        for oz in 0..2 {
+            for oy in 0..2 {
+                for ox in 0..2 {
+                    want += fs.get(iv(ox, oy, oz));
+                }
+            }
+        }
+        want *= 0.125;
+        assert_eq!(parent.get(iv(2, 2, 2)).to_bits(), want.to_bits());
+        // Uncovered parent cells untouched.
+        assert_eq!(parent.get(iv(0, 0, 0)), 0.0);
+        assert_eq!(parent.get(iv(6, 6, 6)), 0.0);
+    }
+
+    #[test]
+    fn restriction_is_exact_for_constant_fields() {
+        let coarse = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        let fine = Level::with_domain(iv(4, 4, 4), iv(2, 2, 2), [0.25; 3], [0.75; 3]);
+        let mut parent = CcVar::new(coarse.grid().grow(1));
+        let mut fs = CcVar::new(fine.grid().grow(1));
+        // 0.75 has a 2-bit mantissa, so every partial sum of the eight
+        // children is exactly representable and the average is bit-exact.
+        for c in fine.grid().iter() {
+            fs.set(c, 0.75);
+        }
+        restrict_level(&mut parent, &fs, &fine, iv(2, 2, 2), 2);
+        assert_eq!(parent.get(iv(3, 4, 5)).to_bits(), 0.75f64.to_bits());
+    }
+}

@@ -1,0 +1,464 @@
+//! AMR experiments: the `repro amr` subcommand.
+//!
+//! Five proofs against the Burgers traveling front, written to
+//! `results/AMR.json`:
+//!
+//! 1. **Resolution economy** — a 2-level adaptive run (16³ root, ratio-2
+//!    child window tracking the front) must match the uniformly fine 32³
+//!    run's composite error while performing measurably fewer total cell
+//!    updates, and must beat the uniformly coarse 16³ run's error at the
+//!    same timestep.
+//! 2. **Mid-run regridding** — the adaptive run must regrid at least twice
+//!    (the window really moves), and **every** recompiled task graph must
+//!    pass the sw-analyze hazard verifier and the static lookahead proof
+//!    with zero findings.
+//! 3. **Cross-policy byte identity** — the whole adaptive run (every
+//!    level's final interior bits) is identical under the serial and
+//!    parallel tile-execution engines and under scalar vs SIMD kernels.
+//! 4. **Kill + restart across a regrid** — restoring the mid-run hierarchy
+//!    checkpoint and replaying the tail (which regrids again) lands on the
+//!    byte-identical final state.
+//! 5. **Telemetry-driven rebalancing** — on heterogeneous CGs, feeding the
+//!    measured per-patch cost profile back through the LPT balancer must
+//!    strictly reduce the weighted makespan vs the static block assignment.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use burgers::BurgersAmr;
+use sw_amr::{AmrApplication, AmrConfig, AmrSimulation, AmrStats, RegridPolicy};
+use sw_math::ExpKind;
+use sw_resilience::Checkpoint;
+use uintah_core::grid::{iv, Level};
+use uintah_core::{ExecPolicy, Variant};
+
+/// Steps every run advances (≈ 0.076 s of physical time at the fine dt —
+/// far enough for the front to move the refinement window).
+const STEPS: u32 = 30;
+/// Ranks (= CGs) every run schedules onto.
+const RANKS: usize = 4;
+/// Flag threshold that keeps the child window partial (the point of AMR).
+const THRESHOLD: f64 = 0.12;
+/// Regrid cadence in steps.
+const REGRID_EVERY: u32 = 5;
+
+fn family() -> Arc<dyn AmrApplication> {
+    Arc::new(BurgersAmr::new(ExpKind::Fast))
+}
+
+/// The adaptive policy of the campaign (2 levels, ratio 2).
+fn adaptive_policy(seed: u64) -> RegridPolicy {
+    RegridPolicy {
+        max_levels: 2,
+        ratio: 2,
+        flag_threshold: THRESHOLD,
+        regrid_every: REGRID_EVERY,
+        regrid_frac: 0.3,
+        seed,
+    }
+}
+
+/// The adaptive configuration: 16³ root, 2 levels.
+fn adaptive_cfg(seed: u64) -> AmrConfig {
+    let mut cfg = AmrConfig::basic(Variant::ACC_SIMD_ASYNC, RANKS);
+    cfg.steps = STEPS;
+    cfg.policy = adaptive_policy(seed);
+    cfg
+}
+
+fn root_16() -> Level {
+    Level::new(iv(4, 4, 4), iv(4, 4, 4))
+}
+
+/// One resolution cell: a run's work and composite error.
+#[derive(Clone, Debug)]
+pub struct ResolutionCell {
+    /// Cell label: `adaptive`, `uniform_fine`, `uniform_coarse`.
+    pub label: &'static str,
+    /// Total cell updates over the run.
+    pub cell_updates: u64,
+    /// Composite max error vs the exact solution at the final time.
+    pub max_error: f64,
+    /// Timestep the run advanced with.
+    pub dt: f64,
+}
+
+/// The regrid/verification proof of the adaptive run.
+#[derive(Clone, Debug)]
+pub struct AdaptiveProof {
+    /// Full run counters.
+    pub stats: AmrStats,
+    /// Levels at the end of the run.
+    pub n_levels: usize,
+    /// Fine-level cells as a fraction of a full-domain fine level
+    /// (< 1.0 = the window stayed partial).
+    pub fine_window_frac: f64,
+}
+
+/// One byte-identity cell: the same adaptive run under a different
+/// execution configuration.
+#[derive(Clone, Debug)]
+pub struct AmrIdentityCell {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Final interior bits of every level match the baseline's.
+    pub bit_identical: bool,
+    /// The run's regrid count matched the baseline's too.
+    pub same_regrids: bool,
+}
+
+/// Outcome of the kill + restart proof.
+#[derive(Clone, Debug)]
+pub struct AmrRestartProof {
+    /// Step the restored run resumed from.
+    pub resumed_step: u32,
+    /// Checkpoint file size in bytes.
+    pub ckpt_bytes: u64,
+    /// Regrids the resumed tail performed (must cross one).
+    pub tail_regrids: u32,
+    /// Restored final bits == uninterrupted final bits.
+    pub restart_identical: bool,
+}
+
+/// Outcome of the telemetry-rebalance proof.
+#[derive(Clone, Debug)]
+pub struct RebalanceProof {
+    /// Rebalances the run applied.
+    pub rebalances: u32,
+    /// Weighted root-level makespan (ps) of the final measured profile
+    /// under the static block assignment.
+    pub static_makespan_ps: u64,
+    /// Same profile under the telemetry-fed LPT assignment.
+    pub rebalanced_makespan_ps: u64,
+    /// Relative improvement `(static - rebalanced) / static`.
+    pub gain_frac: f64,
+}
+
+/// The whole `repro amr` campaign result.
+#[derive(Clone, Debug)]
+pub struct AmrOutcome {
+    /// Seed of the regrid-dilation draws.
+    pub seed: u64,
+    /// Adaptive vs uniform resolution economy.
+    pub resolution: Vec<ResolutionCell>,
+    /// Regrid + verification proof.
+    pub adaptive: AdaptiveProof,
+    /// Cross-policy byte identity cells.
+    pub identity: Vec<AmrIdentityCell>,
+    /// Kill + restart proof.
+    pub restart: AmrRestartProof,
+    /// Telemetry-rebalance proof.
+    pub rebalance: RebalanceProof,
+}
+
+impl AmrOutcome {
+    fn cell(&self, label: &str) -> &ResolutionCell {
+        self.resolution
+            .iter()
+            .find(|c| c.label == label)
+            .expect("resolution cell")
+    }
+
+    /// Number of failed acceptance checks (0 = all proofs hold).
+    pub fn failures(&self) -> usize {
+        let mut n = 0;
+        let (ad, fine, coarse) = (
+            self.cell("adaptive"),
+            self.cell("uniform_fine"),
+            self.cell("uniform_coarse"),
+        );
+        // Economy: materially fewer updates than uniformly fine, at the
+        // fine run's error (and clearly better than uniformly coarse).
+        if ad.cell_updates >= (fine.cell_updates * 3) / 5 {
+            n += 1;
+        }
+        if ad.max_error > fine.max_error * 1.1 {
+            n += 1;
+        }
+        if ad.max_error > coarse.max_error * 0.8 {
+            n += 1;
+        }
+        // Regridding really happened, and every recompile verified clean.
+        let s = &self.adaptive.stats;
+        if s.regrids < 2 {
+            n += 1;
+        }
+        if s.verify_errors != 0 || s.lookahead_violations != 0 || s.verified_clean != s.recompiles {
+            n += 1;
+        }
+        if self.adaptive.n_levels != 2 || self.adaptive.fine_window_frac >= 1.0 {
+            n += 1;
+        }
+        for c in &self.identity {
+            if !c.bit_identical || !c.same_regrids {
+                n += 1;
+            }
+        }
+        if !self.restart.restart_identical || self.restart.tail_regrids == 0 {
+            n += 1;
+        }
+        if self.rebalance.rebalances == 0 || self.rebalance.gain_frac <= 0.0 {
+            n += 1;
+        }
+        n
+    }
+
+    /// Render as a JSON document (hand-rolled: the workspace serde is a
+    /// no-op shim).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"resolution\": [\n");
+        for (i, c) in self.resolution.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"cell_updates\": {}, \"max_error\": {:e}, \"dt\": {:e}}}{}\n",
+                c.label,
+                c.cell_updates,
+                c.max_error,
+                c.dt,
+                if i + 1 < self.resolution.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        let a = &self.adaptive;
+        s.push_str(&format!(
+            "  \"adaptive\": {{\"regrids\": {}, \"rebalances\": {}, \"recompiles\": {}, \
+             \"verified_clean\": {}, \"verify_errors\": {}, \"lookahead_violations\": {}, \
+             \"cell_updates\": {}, \"checkpoints\": {}, \"n_levels\": {}, \
+             \"fine_window_frac\": {:.6}}},\n",
+            a.stats.regrids,
+            a.stats.rebalances,
+            a.stats.recompiles,
+            a.stats.verified_clean,
+            a.stats.verify_errors,
+            a.stats.lookahead_violations,
+            a.stats.cell_updates,
+            a.stats.checkpoints,
+            a.n_levels,
+            a.fine_window_frac,
+        ));
+        s.push_str("  \"byte_identity\": [\n");
+        for (i, c) in self.identity.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"bit_identical\": {}, \"same_regrids\": {}}}{}\n",
+                c.label,
+                c.bit_identical,
+                c.same_regrids,
+                if i + 1 < self.identity.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"restart\": {{\"resumed_step\": {}, \"ckpt_bytes\": {}, \"tail_regrids\": {}, \
+             \"restart_identical\": {}}},\n",
+            self.restart.resumed_step,
+            self.restart.ckpt_bytes,
+            self.restart.tail_regrids,
+            self.restart.restart_identical,
+        ));
+        s.push_str(&format!(
+            "  \"rebalance\": {{\"rebalances\": {}, \"static_makespan_ps\": {}, \
+             \"rebalanced_makespan_ps\": {}, \"gain_frac\": {:.6}}},\n",
+            self.rebalance.rebalances,
+            self.rebalance.static_makespan_ps,
+            self.rebalance.rebalanced_makespan_ps,
+            self.rebalance.gain_frac,
+        ));
+        s.push_str(&format!("  \"failures\": {}\n", self.failures()));
+        s.push('}');
+        s
+    }
+}
+
+/// Weighted makespan (ps) of a measured per-patch profile under an
+/// assignment: `max_r sum(profile[p] for asn[p] == r) / speed[r]`.
+fn weighted_makespan(
+    profile: &std::collections::BTreeMap<usize, u64>,
+    asn: &[usize],
+    speeds: &[f64],
+) -> u64 {
+    let mut loads = vec![0u64; speeds.len()];
+    for (&p, &cost) in profile {
+        loads[asn[p]] += cost;
+    }
+    loads
+        .iter()
+        .zip(speeds)
+        .map(|(&l, &s)| (l as f64 / s).round() as u64)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Run the full AMR campaign with the given dilation seed.
+pub fn run_amr(seed: u64, ckpt_dir: &Path) -> AmrOutcome {
+    let app = family();
+
+    // 1 + 2. The baseline adaptive run (checkpointing mid-run for proof 4).
+    let mut cfg = adaptive_cfg(seed);
+    cfg.ckpt_every = Some(10);
+    cfg.ckpt_dir = Some(ckpt_dir.to_path_buf());
+    std::fs::create_dir_all(ckpt_dir).expect("create checkpoint dir");
+    let mut base = AmrSimulation::new(root_16(), app.clone(), cfg.clone());
+    let base_stats = base.run();
+    let base_bits = base.solution_bits();
+    let fine_cells = base
+        .grid()
+        .levels
+        .last()
+        .map_or(0, |e| e.level.grid().cells());
+    let full_fine = root_16().grid().cells() * 8; // ratio 2 per axis
+    let adaptive_err = base.max_error().into_iter().fold(0.0f64, f64::max);
+
+    // Uniformly fine: the whole domain at the child resolution, same dt.
+    let fine_root = Level::new(iv(4, 4, 4), iv(8, 8, 8));
+    let mut fine_cfg = AmrConfig::basic(Variant::ACC_SIMD_ASYNC, RANKS);
+    fine_cfg.steps = STEPS;
+    let mut fine = AmrSimulation::new(fine_root, app.clone(), fine_cfg);
+    let fine_stats = fine.run();
+    let fine_err = fine.max_error().into_iter().fold(0.0f64, f64::max);
+
+    // Uniformly coarse at the same (fine) dt: an infinite flag threshold
+    // never refines but still derives dt from the virtual finest level.
+    let mut coarse_cfg = adaptive_cfg(seed);
+    coarse_cfg.policy.flag_threshold = f64::INFINITY;
+    let mut coarse = AmrSimulation::new(root_16(), app.clone(), coarse_cfg);
+    let coarse_stats = coarse.run();
+    let coarse_err = coarse.max_error().into_iter().fold(0.0f64, f64::max);
+
+    let resolution = vec![
+        ResolutionCell {
+            label: "adaptive",
+            cell_updates: base_stats.cell_updates,
+            max_error: adaptive_err,
+            dt: base.dt(),
+        },
+        ResolutionCell {
+            label: "uniform_fine",
+            cell_updates: fine_stats.cell_updates,
+            max_error: fine_err,
+            dt: fine.dt(),
+        },
+        ResolutionCell {
+            label: "uniform_coarse",
+            cell_updates: coarse_stats.cell_updates,
+            max_error: coarse_err,
+            dt: coarse.dt(),
+        },
+    ];
+
+    let adaptive = AdaptiveProof {
+        stats: base_stats.clone(),
+        n_levels: base.grid().n_levels(),
+        fine_window_frac: fine_cells as f64 / full_fine as f64,
+    };
+
+    // 3. Cross-policy byte identity: same run, different execution engines
+    // and kernel flavors.
+    let mut identity = Vec::new();
+    let variants: [(&'static str, Variant, ExecPolicy); 3] = [
+        (
+            "parallel_tiles",
+            Variant::ACC_SIMD_ASYNC,
+            ExecPolicy::Parallel { threads: 2 },
+        ),
+        ("scalar_kernel", Variant::ACC_ASYNC, ExecPolicy::Serial),
+        ("sync_scheduler", Variant::ACC_SYNC, ExecPolicy::Serial),
+    ];
+    for (label, variant, policy) in variants {
+        let mut c = adaptive_cfg(seed);
+        c.variant = variant;
+        c.options.exec_policy = policy;
+        let mut sim = AmrSimulation::new(root_16(), app.clone(), c);
+        let stats = sim.run();
+        identity.push(AmrIdentityCell {
+            label,
+            bit_identical: sim.solution_bits() == base_bits,
+            same_regrids: stats.regrids == base_stats.regrids,
+        });
+    }
+
+    // 4. Kill + restart from the step-10 checkpoint; the tail regrids
+    // again (cadence 5 over 20 remaining steps), then must land on the
+    // baseline's exact bits.
+    let ckpt_path = ckpt_dir.join("amr00010.ckpt");
+    let ckpt_bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+    let ckpt = Checkpoint::read_from(&ckpt_path).expect("read mid-run checkpoint");
+    let regrids_at_ckpt = ckpt.amr.as_ref().map_or(0, |a| a.regrids);
+    let mut resumed = AmrSimulation::restore_from(app.clone(), cfg, &ckpt);
+    while resumed.step_count() < STEPS {
+        resumed.step();
+    }
+    let restart = AmrRestartProof {
+        resumed_step: ckpt.step,
+        ckpt_bytes,
+        tail_regrids: resumed.stats().regrids - regrids_at_ckpt,
+        restart_identical: resumed.solution_bits() == base_bits,
+    };
+
+    // 5. Telemetry-driven rebalancing on heterogeneous CGs: score the
+    // final measured profile under the static block assignment vs the
+    // LPT assignment the run actually converged to.
+    let speeds = vec![1.0, 1.0, 0.5, 0.5];
+    let mut rb_cfg = adaptive_cfg(seed);
+    rb_cfg.rebalance_every = Some(3);
+    rb_cfg.cg_speeds = Some(speeds.clone());
+    let mut rb = AmrSimulation::new(root_16(), app, rb_cfg);
+    let rb_stats = rb.run();
+    let static_asn = uintah_core::LoadBalancer::Block.assign(&root_16(), RANKS);
+    let static_ms = weighted_makespan(rb.profile(0), &static_asn, &speeds);
+    let lpt_ms = weighted_makespan(rb.profile(0), rb.assignment(0), &speeds);
+    let rebalance = RebalanceProof {
+        rebalances: rb_stats.rebalances,
+        static_makespan_ps: static_ms,
+        rebalanced_makespan_ps: lpt_ms,
+        gain_frac: if static_ms == 0 {
+            0.0
+        } else {
+            (static_ms as f64 - lpt_ms as f64) / static_ms as f64
+        },
+    };
+
+    AmrOutcome {
+        seed,
+        resolution,
+        adaptive,
+        identity,
+        restart,
+        rebalance,
+    }
+}
+
+/// Run the campaign and write `AMR.json` into `dir`.
+pub fn write_amr_json(dir: &Path, seed: u64) -> io::Result<AmrOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let outcome = run_amr(seed, &dir.join("amr-ckpt"));
+    std::fs::write(dir.join("AMR.json"), outcome.to_json() + "\n")?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_makespan_respects_speeds() {
+        let mut profile = std::collections::BTreeMap::new();
+        profile.insert(0usize, 100u64);
+        profile.insert(1, 100);
+        let even = weighted_makespan(&profile, &[0, 1], &[1.0, 1.0]);
+        assert_eq!(even, 100);
+        let slow = weighted_makespan(&profile, &[0, 1], &[1.0, 0.5]);
+        assert_eq!(slow, 200, "slow rank dominates");
+        let piled = weighted_makespan(&profile, &[0, 0], &[1.0, 0.5]);
+        assert_eq!(piled, 200);
+    }
+
+    #[test]
+    fn adaptive_policy_is_the_documented_one() {
+        let p = adaptive_policy(42);
+        assert_eq!(p.max_levels, 2);
+        assert_eq!(p.ratio, 2);
+        assert_eq!(p.regrid_every, REGRID_EVERY);
+    }
+}

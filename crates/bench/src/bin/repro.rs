@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin repro -- analyze
 //! cargo run --release -p bench --bin repro -- trace --problem 16x16x512 --cgs 4
 //! cargo run --release -p bench --bin repro -- faults --seed 42
+//! cargo run --release -p bench --bin repro -- amr --seed 42
 //! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
 //! cargo run --release -p bench --bin repro -- scale [--quick | --full]
 //! cargo run --release -p bench --bin repro -- check
@@ -110,6 +111,60 @@ fn run_faults(seed: u64) {
     let failures = outcome.failures();
     if failures > 0 {
         bench::cli::fail("faults", &format!("{failures} resilience proof(s) failed"));
+    }
+}
+
+/// `amr` subcommand: the adaptive-mesh-refinement campaign — resolution
+/// economy vs uniform grids, mid-run regridding with every recompiled task
+/// graph re-verified, cross-policy byte identity over whole adaptive runs,
+/// kill + restart across a regrid boundary, and telemetry-driven
+/// rebalancing on heterogeneous CGs. Writes `results/AMR.json`; exits
+/// non-zero if any proof fails (the ci.sh amr stage relies on it).
+fn run_amr(seed: u64) {
+    let dir = std::path::Path::new("results");
+    let outcome = bench::amr::write_amr_json(dir, seed).expect("write results/AMR.json");
+    println!("== AMR: adaptive hierarchy campaign (seed {seed}) ==");
+    for c in &outcome.resolution {
+        println!(
+            "{:>15}: {:>8} cell updates, max error {:.4e} (dt {:.3e})",
+            c.label, c.cell_updates, c.max_error, c.dt
+        );
+    }
+    let s = &outcome.adaptive.stats;
+    println!(
+        "adaptive: {} regrids, {} recompiles ({} clean, {} errors, {} lookahead findings), \
+         fine window {:.0}% of the domain",
+        s.regrids,
+        s.recompiles,
+        s.verified_clean,
+        s.verify_errors,
+        s.lookahead_violations,
+        outcome.adaptive.fine_window_frac * 100.0
+    );
+    for c in &outcome.identity {
+        println!(
+            "identity {:>15}: bit_identical={} same_regrids={}",
+            c.label, c.bit_identical, c.same_regrids
+        );
+    }
+    println!(
+        "restart: resumed from step {} ({} ckpt bytes), {} tail regrid(s) -> identical={}",
+        outcome.restart.resumed_step,
+        outcome.restart.ckpt_bytes,
+        outcome.restart.tail_regrids,
+        outcome.restart.restart_identical
+    );
+    println!(
+        "rebalance: {} applied; weighted makespan {} -> {} ps ({:+.1}%)",
+        outcome.rebalance.rebalances,
+        outcome.rebalance.static_makespan_ps,
+        outcome.rebalance.rebalanced_makespan_ps,
+        -outcome.rebalance.gain_frac * 100.0
+    );
+    println!("wrote {}", dir.join("AMR.json").display());
+    let failures = outcome.failures();
+    if failures > 0 {
+        bench::cli::fail("amr", &format!("{failures} AMR proof(s) failed"));
     }
 }
 
@@ -567,6 +622,17 @@ fn main() {
     if positional.iter().any(|a| *a == "faults") {
         run_faults(seed);
         if positional.iter().all(|a| *a == "faults") {
+            return;
+        }
+    }
+
+    // AMR campaign: adaptive vs uniform resolution economy, regrid +
+    // re-verify, cross-policy identity, restart across a regrid,
+    // telemetry rebalancing -> results/AMR.json. Explicit only (writes
+    // results/, not a paper table); exits non-zero on a failed proof.
+    if positional.iter().any(|a| *a == "amr") {
+        run_amr(seed);
+        if positional.iter().all(|a| *a == "amr") {
             return;
         }
     }

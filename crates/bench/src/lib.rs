@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 pub mod ablation;
+pub mod amr;
 pub mod analyze;
 pub mod breakdown;
 pub mod check;

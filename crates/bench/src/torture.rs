@@ -23,7 +23,11 @@
 //!   bit-identical fields (the kernels are proven bit-equal);
 //! * **ckpt_noop / ckpt_restart** — a cadence longer than the run writes
 //!   nothing; otherwise restoring the last on-disk checkpoint into a fresh
-//!   process reconverges byte-identically.
+//!   process reconverges byte-identically;
+//! * **regrid_bit_identical** — on cases flagged `amr`, a two-level
+//!   adaptive run over the same root (regridding mid-run, every recompiled
+//!   plan re-verified with zero findings) produces bit-identical fields,
+//!   stats, and checkpoint bytes under serial and parallel execution.
 //!
 //! Bit-identity oracles are skipped under the `harsh` preset (recovery is
 //! deliberately not guaranteed there); completion and quiescence still
@@ -50,7 +54,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use burgers::BurgersApp;
+use burgers::{BurgersAmr, BurgersApp};
+use sw_amr::{AmrApplication, AmrConfig, AmrSimulation, RegridPolicy};
 use sw_math::ExpKind;
 use sw_resilience::{fold, splitmix64, Checkpoint, FaultConfig};
 use sw_telemetry::analyze;
@@ -87,6 +92,14 @@ mod field {
     pub const CORRUPT: u64 = 19;
     pub const PDES: u64 = 20;
     pub const PDES_THREADS: u64 = 21;
+    // AMR fields draw from fresh discriminants so adding them never
+    // perturbs the values the pre-AMR fields drew for a given (seed, id):
+    // the historical corpus split (171 valid / 29 rejected at seed 0) is
+    // preserved byte-for-byte.
+    pub const AMR: u64 = 22;
+    pub const AMR_REGRID: u64 = 23;
+    pub const AMR_THRESHOLD: u64 = 24;
+    pub const AMR_SEED: u64 = 25;
 }
 
 /// One keyed draw: same `(seed, case, field)` -> same value, always.
@@ -150,6 +163,19 @@ pub struct TortureCase {
     /// Rank-level worker threads for the PDES engine (`cfg.threads`;
     /// `None` = auto-detect).
     pub pdes_threads: Option<usize>,
+    /// Also drive the case through the adaptive-mesh driver
+    /// (`regrid_bit_identical` oracle): a two-level `AmrSimulation` over
+    /// the same root level, regridding mid-run, must produce bit-identical
+    /// fields and checkpoint bytes under serial and parallel execution.
+    pub amr: bool,
+    /// Regrid cadence for the AMR battery (1..=2 so even 1-step runs
+    /// exercise the regrid path).
+    pub amr_regrid_every: u32,
+    /// Refinement threshold, drawn from a palette that includes
+    /// refine-everything (`0.0`) and never-refine (`f64::INFINITY`).
+    pub amr_threshold: f64,
+    /// Seed for the refinement-flag dilation tie-break.
+    pub amr_seed: u64,
     /// `Some(kind)`: the config is deliberately invalid and must be
     /// rejected with a typed error (see [`corruption_name`]).
     pub corrupt: Option<u8>,
@@ -237,6 +263,9 @@ impl TortureCase {
             0 => None,
             k => Some(1 + k as usize),
         };
+        let amr = d(field::AMR) % 4 == 0;
+        let amr_regrid_every = 1 + (d(field::AMR_REGRID) % 2) as u32;
+        let amr_threshold = [0.0, 0.05, 0.5, f64::INFINITY][(d(field::AMR_THRESHOLD) % 4) as usize];
         TortureCase {
             patch,
             layout,
@@ -252,6 +281,10 @@ impl TortureCase {
             tiny_machine: tiny,
             pdes,
             pdes_threads,
+            amr,
+            amr_regrid_every,
+            amr_threshold,
+            amr_seed: splitmix64(fold(&[DOMAIN, seed, id, field::AMR_SEED])),
             corrupt,
         }
     }
@@ -317,7 +350,7 @@ impl TortureCase {
     pub fn summary(&self) -> String {
         format!(
             "patch={}x{}x{} layout={}x{}x{} variant={} exec={} faults={} ckpt={} steps={} \
-             ranks={} groups={} lb={:?} machine={} pdes={}{}",
+             ranks={} groups={} lb={:?} machine={} pdes={}{}{}",
             self.patch.0,
             self.patch.1,
             self.patch.2,
@@ -345,6 +378,14 @@ impl TortureCase {
                 }
             } else {
                 "off".to_string()
+            },
+            if self.amr {
+                format!(
+                    " amr=thr{}/every{}",
+                    self.amr_threshold, self.amr_regrid_every
+                )
+            } else {
+                String::new()
             },
             self.corrupt.map_or(String::new(), |k| format!(
                 " CORRUPT={}",
@@ -386,6 +427,10 @@ impl TortureCase {
              \x20       tiny_machine: {},\n\
              \x20       pdes: {},\n\
              \x20       pdes_threads: {:?},\n\
+             \x20       amr: {},\n\
+             \x20       amr_regrid_every: {},\n\
+             \x20       amr_threshold: {},\n\
+             \x20       amr_seed: {:#x},\n\
              \x20       corrupt: {:?},\n\
              \x20   }};\n\
              \x20   assert_eq!(bench::torture::check(&case), Ok(()));\n\
@@ -406,6 +451,15 @@ impl TortureCase {
             self.tiny_machine,
             self.pdes,
             self.pdes_threads,
+            self.amr,
+            self.amr_regrid_every,
+            // `{}` on an infinite f64 prints `inf`, which is not Rust.
+            if self.amr_threshold.is_finite() {
+                format!("{:?}", self.amr_threshold)
+            } else {
+                "f64::INFINITY".to_string()
+            },
+            self.amr_seed,
             self.corrupt,
         )
     }
@@ -776,6 +830,72 @@ fn battery_valid(
         }
     }
 
+    // --- Adaptive-mesh driver: regrid bit identity. ---
+    // The same case driven through a two-level `AmrSimulation` (regridding
+    // mid-run, every recompiled plan re-verified) must produce bit-identical
+    // fields, stats, and checkpoint bytes under the serial and parallel
+    // execution policies. Faults stay off: this oracle proves the regrid
+    // machinery, not recovery — and so it applies to harsh cases too.
+    if case.amr {
+        let run = |exec: ExecPolicy| {
+            let (level, _) = case.build();
+            let app: Arc<dyn AmrApplication> = Arc::new(BurgersAmr::new(ExpKind::Fast));
+            let mut cfg = AmrConfig::basic(case.variant, case.n_ranks);
+            cfg.steps = case.steps;
+            cfg.lb = case.lb;
+            if case.tiny_machine {
+                cfg.machine = MachineConfig::test_tiny();
+            }
+            cfg.options.cpe_groups = case.cpe_groups;
+            cfg.options.exec_policy = exec;
+            cfg.policy = RegridPolicy {
+                max_levels: 2,
+                ratio: 2,
+                flag_threshold: case.amr_threshold,
+                regrid_every: case.amr_regrid_every,
+                regrid_frac: 0.25,
+                seed: case.amr_seed,
+            };
+            let mut amr = AmrSimulation::new(level, app, cfg);
+            let stats = amr.run();
+            (amr.solution_bits(), amr.checkpoint().to_bytes(), stats)
+        };
+        let pair = guarded("amr runs", || {
+            (
+                run(ExecPolicy::Serial),
+                run(ExecPolicy::Parallel { threads: 2 }),
+            )
+        })
+        .map_err(|msg| fail("regrid_bit_identical", msg))?;
+        let ((ser_bits, ser_ckpt, ser_stats), (par_bits, par_ckpt, par_stats)) = pair;
+        if ser_stats.verify_errors != 0 || ser_stats.lookahead_violations != 0 {
+            return Err(fail(
+                "regrid_bit_identical",
+                format!(
+                    "recompiled plans failed verification: {} error(s), {} lookahead finding(s)",
+                    ser_stats.verify_errors, ser_stats.lookahead_violations
+                ),
+            ));
+        }
+        if ser_bits != par_bits || ser_stats != par_stats {
+            return Err(fail(
+                "regrid_bit_identical",
+                format!(
+                    "adaptive runs diverged across exec policies \
+                     (serial {} regrid(s), parallel {} regrid(s))",
+                    ser_stats.regrids, par_stats.regrids
+                ),
+            ));
+        }
+        if ser_ckpt != par_ckpt {
+            return Err(fail(
+                "regrid_bit_identical",
+                "adaptive checkpoints diverged across exec policies".to_string(),
+            ));
+        }
+        passed.push("regrid_bit_identical");
+    }
+
     Ok(())
 }
 
@@ -797,6 +917,7 @@ pub fn shrink(case: &TortureCase, fails: &mut dyn FnMut(&TortureCase) -> bool) -
     /// the battery stops failing) before moving to the next.
     const TRANSFORMS: &[fn(&mut TortureCase)] = &[
         |c| c.faults = Preset::NoFaults,
+        |c| c.amr = false,
         |c| c.ckpt_every = None,
         |c| {
             c.pdes = false;
@@ -1031,6 +1152,12 @@ mod tests {
         assert!(a.iter().any(|x| x.pdes) && a.iter().any(|x| !x.pdes));
         assert!(a.iter().any(|x| x.pdes_threads.is_none()));
         assert!(a.iter().any(|x| x.pdes_threads.is_some()));
+        assert!(a.iter().any(|x| x.amr) && a.iter().any(|x| !x.amr));
+        assert!(
+            a.iter().any(|x| x.amr_threshold == 0.0)
+                && a.iter().any(|x| x.amr_threshold.is_infinite()),
+            "threshold palette must span refine-everything and never-refine"
+        );
         assert!(a
             .iter()
             .any(|x| x.patch.0 == 1 || x.patch.1 == 1 || x.patch.2 == 1));
@@ -1088,6 +1215,13 @@ mod tests {
                 outcome.oracle_passes
             );
         }
+        // The AMR draw flags ~a quarter of the corpus; even this small
+        // campaign must exercise the regrid oracle at least once.
+        assert!(
+            outcome.oracle_passes.get("regrid_bit_identical").copied() >= Some(1),
+            "{:?}",
+            outcome.oracle_passes
+        );
     }
 
     #[test]
@@ -1109,6 +1243,10 @@ mod tests {
             tiny_machine: false,
             pdes: true,
             pdes_threads: Some(2),
+            amr: true,
+            amr_regrid_every: 1,
+            amr_threshold: 0.05,
+            amr_seed: 2,
             corrupt: None,
         };
         let mut evals = 0;
@@ -1119,6 +1257,7 @@ mod tests {
         assert!(evals <= 60, "shrink budget exceeded: {evals}");
         assert_eq!(min.steps, 2);
         assert_ne!(min.faults, Preset::NoFaults);
+        assert!(!min.amr);
         assert_eq!(min.ckpt_every, None);
         assert_eq!(min.exec_threads, 0);
         assert_eq!(min.cpe_groups, 1);

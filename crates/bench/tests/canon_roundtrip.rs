@@ -46,6 +46,45 @@ fn display_fromstr_round_trips_over_the_torture_corpus() {
 }
 
 #[test]
+fn amr_augmented_corpus_round_trips_and_stays_injective() {
+    // The AMR driver recompiles per-level `RunConfig`s carrying the three
+    // knobs the canonical line grew for it: a pinned patch->rank map, a
+    // hierarchy-wide dt, and a nonzero start time. Augment every valid
+    // torture case with deterministic values of all three and prove the
+    // cache contract still holds: exact round-trip, and a line distinct
+    // from the un-augmented config's (each knob is load-bearing).
+    let mut lines = std::collections::BTreeSet::new();
+    let mut checked = 0u64;
+    for id in 0..CASES {
+        let case = TortureCase::generate(SEED, id);
+        if case.corrupt.is_some() {
+            continue;
+        }
+        let (_level, base) = case.build();
+        let base_line = base.to_string();
+        let mut cfg = base.clone();
+        let patches = case.patches();
+        cfg.assignment_override = Some(std::sync::Arc::new(
+            (0..patches).map(|p| p % cfg.n_ranks).collect(),
+        ));
+        cfg.dt_override = Some(1.0 / (id + 2) as f64);
+        cfg.t0 = id as f64 * 0.125;
+        let line = cfg.to_string();
+        assert_ne!(line, base_line, "case {id}: AMR knobs must reach the line");
+        let parsed: RunConfig = line
+            .parse()
+            .unwrap_or_else(|e| panic!("case {id}: `{line}` failed to parse: {e}"));
+        assert_eq!(parsed, cfg, "case {id}: AMR round-trip changed the config");
+        assert_eq!(parsed.to_string(), line, "case {id}: unstable rendering");
+        lines.insert(line);
+        checked += 1;
+    }
+    assert_eq!(checked, 171, "corpus split drifted");
+    // dt_override and t0 differ per id, so every augmented line is unique.
+    assert_eq!(lines.len(), 171, "augmented lines must stay injective");
+}
+
+#[test]
 fn canonical_lines_are_injective_over_the_corpus() {
     // canon line -> first case id that produced it; duplicate lines must
     // come from configs that are truly equal (the generator does repeat

@@ -24,10 +24,11 @@ pub struct BurgersApp {
 }
 
 impl BurgersApp {
-    /// Build for a level's spacing with the given exp library.
+    /// Build for a level's spacing and physical origin with the given exp
+    /// library.
     pub fn new(level: &Level, exp: ExpKind) -> Self {
         let (dx, dy, dz) = level.spacing();
-        let geom = Geometry::new(dx, dy, dz);
+        let geom = Geometry::with_origin(dx, dy, dz, level.phys_lo());
         BurgersApp {
             geom,
             exp,

@@ -42,7 +42,9 @@ pub const fn cell_exp_flops(exp: ExpKind) -> u64 {
     6 * exp.flops()
 }
 
-/// Grid geometry a kernel needs: spacings and precomputed reciprocals.
+/// Grid geometry a kernel needs: spacings, precomputed reciprocals, and the
+/// physical origin of the level (cell `(0,0,0)`'s low corner — `0` for the
+/// unit-cube levels the paper runs; AMR fine levels cover sub-boxes).
 #[derive(Clone, Copy, Debug)]
 pub struct Geometry {
     /// Cell sizes.
@@ -51,6 +53,12 @@ pub struct Geometry {
     pub dy: f64,
     /// `dz`.
     pub dz: f64,
+    /// Physical x of the level's low corner.
+    pub ox: f64,
+    /// Physical y of the level's low corner.
+    pub oy: f64,
+    /// Physical z of the level's low corner.
+    pub oz: f64,
     /// `1/dx`.
     pub inv_dx: f64,
     /// `1/dy`.
@@ -66,12 +74,23 @@ pub struct Geometry {
 }
 
 impl Geometry {
-    /// Geometry from cell spacings.
+    /// Geometry from cell spacings, origin at zero (the unit-cube case).
     pub fn new(dx: f64, dy: f64, dz: f64) -> Self {
+        Geometry::with_origin(dx, dy, dz, [0.0; 3])
+    }
+
+    /// Geometry from cell spacings with an explicit physical origin. Cell
+    /// centroids evaluate as `origin + (g + 0.5) * d`, which for a zero
+    /// origin is bit-identical to the historical `(g + 0.5) * d` (adding
+    /// `+0.0` is exact, and centroids are never ±0).
+    pub fn with_origin(dx: f64, dy: f64, dz: f64, origin: [f64; 3]) -> Self {
         Geometry {
             dx,
             dy,
             dz,
+            ox: origin[0],
+            oy: origin[1],
+            oz: origin[2],
             inv_dx: 1.0 / dx,
             inv_dy: 1.0 / dy,
             inv_dz: 1.0 / dz,
@@ -145,9 +164,9 @@ impl CpeTileKernel for BurgersScalarKernel {
                 for x in 0..d.0 {
                     let (gx, gy, gz) = ctx.global_cell(x, y, z);
                     // Solution values live at cell centroids (paper §III).
-                    let cx = (gx as f64 + 0.5) * g.dx;
-                    let cy = (gy as f64 + 0.5) * g.dy;
-                    let cz = (gz as f64 + 0.5) * g.dz;
+                    let cx = g.ox + (gx as f64 + 0.5) * g.dx;
+                    let cy = g.oy + (gy as f64 + 0.5) * g.dy;
+                    let cz = g.oz + (gz as f64 + 0.5) * g.dz;
                     let phi_x = phi(cx, t, self.exp);
                     let phi_y = phi(cy, t, self.exp);
                     let phi_z = phi(cz, t, self.exp);

@@ -58,8 +58,8 @@ impl CpeTileKernel for BurgersSimdKernel {
                 let row_zm = idx3(gd, 0, y + 1, z);
                 let row_zp = idx3(gd, 0, y + 1, z + 2);
                 let (_, gy, gz) = ctx.global_cell(0, y, z);
-                let cy = (gy as f64 + 0.5) * g.dy;
-                let cz = (gz as f64 + 0.5) * g.dz;
+                let cy = g.oy + (gy as f64 + 0.5) * g.dy;
+                let cz = g.oz + (gz as f64 + 0.5) * g.dz;
                 // Lane-invariant coefficients: one evaluation, broadcast.
                 let phi_y = phi(cy, t, self.exp);
                 let phi_z = phi(cz, t, self.exp);
@@ -73,7 +73,7 @@ impl CpeTileKernel for BurgersSimdKernel {
                     // Sunway compiler would emit for the branchy call.
                     let mut phis = [0.0; 4];
                     for (l, p) in phis.iter_mut().enumerate() {
-                        let cx = ((gx + l as i64) as f64 + 0.5) * g.dx;
+                        let cx = g.ox + ((gx + l as i64) as f64 + 0.5) * g.dx;
                         *p = phi(cx, t, self.exp);
                     }
                     let v_phix = F64x4(phis);
@@ -107,7 +107,7 @@ impl CpeTileKernel for BurgersSimdKernel {
                 // Ragged tail: scalar path, identical values.
                 while x < d.0 {
                     let (gx, _, _) = ctx.global_cell(x, y, z);
-                    let cx = (gx as f64 + 0.5) * g.dx;
+                    let cx = g.ox + (gx as f64 + 0.5) * g.dx;
                     let phi_x = phi(cx, t, self.exp);
                     let inv = [
                         g.inv_dx, g.inv_dy, g.inv_dz, g.inv_dx2, g.inv_dy2, g.inv_dz2,

@@ -13,12 +13,14 @@
 //! * [`error`] — error norms against the exact solution for functional runs.
 
 #![warn(missing_docs)]
+pub mod amr;
 pub mod app;
 pub mod error;
 pub mod kernel;
 pub mod kernel_simd;
 pub mod phi;
 
+pub use amr::BurgersAmr;
 pub use app::BurgersApp;
 pub use error::{solution_error, ErrorNorms};
 pub use kernel::{cell_flops, BurgersCost, BurgersScalarKernel, Geometry, STENCIL_FLOPS};

@@ -111,6 +111,38 @@ pub enum ConfigError {
         /// The minimum modeled cross-rank latency (`machine.net_latency`, ps).
         max: u64,
     },
+    /// `assignment_override` has the wrong length (one rank per patch).
+    AssignmentLen {
+        /// Provided length.
+        got: usize,
+        /// Expected (`level.n_patches()`).
+        want: usize,
+    },
+    /// An `assignment_override` entry names a rank outside `0..n_ranks`.
+    AssignmentRankRange {
+        /// The offending patch.
+        patch: usize,
+        /// Its assigned rank.
+        rank: usize,
+        /// Ranks available.
+        n_ranks: usize,
+    },
+    /// An `assignment_override` leaves some rank with no patches: it would
+    /// never contribute to the reduction and every step would deadlock.
+    AssignmentEmptyRank {
+        /// The patch-less rank.
+        rank: usize,
+    },
+    /// `dt_override` is non-finite or non-positive.
+    BadDt {
+        /// The offending timestep.
+        got: f64,
+    },
+    /// `t0` is non-finite or negative.
+    BadT0 {
+        /// The offending start time.
+        got: f64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -157,6 +189,26 @@ impl core::fmt::Display for ConfigError {
                 "pdes_lookahead_ps {got} outside (0, {max}]: the lookahead must be \
                  positive and no wider than the minimum modeled cross-rank latency"
             ),
+            ConfigError::AssignmentLen { got, want } => {
+                write!(f, "assignment_override has {got} entries, expected {want}")
+            }
+            ConfigError::AssignmentRankRange {
+                patch,
+                rank,
+                n_ranks,
+            } => write!(
+                f,
+                "assignment_override[{patch}] = {rank} outside 0..{n_ranks}"
+            ),
+            ConfigError::AssignmentEmptyRank { rank } => {
+                write!(f, "assignment_override leaves rank {rank} with no patches")
+            }
+            ConfigError::BadDt { got } => {
+                write!(f, "dt_override {got} must be finite and positive")
+            }
+            ConfigError::BadT0 { got } => {
+                write!(f, "t0 {got} must be finite and non-negative")
+            }
         }
     }
 }
@@ -182,10 +234,16 @@ impl From<sw_sim::MachineConfigError> for ConfigError {
 /// the panicking guards this function mirrors; a config that fails names
 /// its violated constraint in the returned [`ConfigError`].
 pub fn validate_config(level: &Level, app_ghost: i64, cfg: &RunConfig) -> Result<(), ConfigError> {
-    // Re-run the level's own geometry check: `level` may have been built
-    // before these checks existed (e.g. deserialized) and validation must
-    // not trust the constructor ran.
-    Level::try_new(level.patch_extent(), level.layout()).map(|_| ())?;
+    // Re-run the level's own geometry and domain checks: `level` may have
+    // been built before these checks existed (e.g. deserialized) and
+    // validation must not trust the constructor ran.
+    Level::try_with_domain(
+        level.patch_extent(),
+        level.layout(),
+        level.phys_lo(),
+        level.phys_hi(),
+    )
+    .map(|_| ())?;
     cfg.machine.validate()?;
     if cfg.steps == 0 {
         return Err(ConfigError::ZeroSteps);
@@ -222,6 +280,36 @@ pub fn validate_config(level: &Level, app_ghost: i64, cfg: &RunConfig) -> Result
         let max = cfg.machine.net_latency.0;
         if l == 0 || l > max {
             return Err(ConfigError::BadLookahead { got: l, max });
+        }
+    }
+    if let Some(dt) = cfg.dt_override {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(ConfigError::BadDt { got: dt });
+        }
+    }
+    if !cfg.t0.is_finite() || cfg.t0 < 0.0 {
+        return Err(ConfigError::BadT0 { got: cfg.t0 });
+    }
+    if let Some(a) = &cfg.assignment_override {
+        if a.len() != level.n_patches() {
+            return Err(ConfigError::AssignmentLen {
+                got: a.len(),
+                want: level.n_patches(),
+            });
+        }
+        let mut owned = vec![false; cfg.n_ranks];
+        for (patch, &rank) in a.iter().enumerate() {
+            if rank >= cfg.n_ranks {
+                return Err(ConfigError::AssignmentRankRange {
+                    patch,
+                    rank,
+                    n_ranks: cfg.n_ranks,
+                });
+            }
+            owned[rank] = true;
+        }
+        if let Some(rank) = owned.iter().position(|&o| !o) {
+            return Err(ConfigError::AssignmentEmptyRank { rank });
         }
     }
     if let Some(speeds) = &cfg.cg_speeds {
@@ -383,6 +471,60 @@ mod tests {
             validate_config(&level, 1, &c),
             Err(ConfigError::BadLookahead { .. })
         ));
+    }
+
+    #[test]
+    fn amr_knobs_validate_clean_and_reject_with_typed_errors() {
+        use std::sync::Arc;
+        let (level, cfg) = base();
+        // Valid override: every patch assigned, both ranks non-empty.
+        let mut c = cfg.clone();
+        c.assignment_override = Some(Arc::new(vec![0, 1, 0, 1, 0, 1, 0, 1]));
+        c.dt_override = Some(1e-4);
+        c.t0 = 0.25;
+        assert_eq!(validate_config(&level, 1, &c), Ok(()));
+        // Wrong length.
+        let mut c = cfg.clone();
+        c.assignment_override = Some(Arc::new(vec![0, 1]));
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::AssignmentLen { got: 2, want: 8 })
+        );
+        // Out-of-range rank.
+        let mut c = cfg.clone();
+        c.assignment_override = Some(Arc::new(vec![0, 1, 0, 1, 0, 1, 0, 2]));
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::AssignmentRankRange {
+                patch: 7,
+                rank: 2,
+                n_ranks: 2
+            })
+        );
+        // Rank 1 owns nothing.
+        let mut c = cfg.clone();
+        c.assignment_override = Some(Arc::new(vec![0; 8]));
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::AssignmentEmptyRank { rank: 1 })
+        );
+        // Bad dt / t0.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut c = cfg.clone();
+            c.dt_override = Some(bad);
+            assert!(matches!(
+                validate_config(&level, 1, &c),
+                Err(ConfigError::BadDt { .. })
+            ));
+        }
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut c = cfg.clone();
+            c.t0 = bad;
+            assert!(matches!(
+                validate_config(&level, 1, &c),
+                Err(ConfigError::BadT0 { .. })
+            ));
+        }
     }
 
     #[test]

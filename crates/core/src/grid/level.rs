@@ -2,10 +2,10 @@
 //! patches (paper §VII-A: "the grid is partitioned into equally-sized
 //! patches for parallelization", e.g. an 8x8x2 patch layout).
 //!
-//! Uintah proper supports adaptive refinement with multiple levels; the
-//! ported model problem runs on a single level, which is what this type
-//! provides (the runtime API keeps the level explicit so refinement can be
-//! added without churn).
+//! Uintah proper supports adaptive refinement with multiple levels. The
+//! ported model problem runs on a single level; `sw-amr` stacks several of
+//! these into a `MultiLevelGrid`, with fine levels covering physical
+//! sub-boxes of their parent via [`Level::try_with_domain`].
 
 use super::intvec::{iv, IntVec};
 use super::region::{Face, Region};
@@ -16,7 +16,7 @@ pub type PatchId = usize;
 /// Typed rejection of a level geometry that could wrap downstream index
 /// arithmetic (the `idx3`/`in_at` pre-casts in `sw-athread` are
 /// `debug_assert`-only, so release builds rely on this constructor check).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LevelError {
     /// A patch-extent axis is not positive.
     EmptyPatchExtent {
@@ -42,6 +42,14 @@ pub enum LevelError {
         /// Patch layout.
         layout: IntVec,
     },
+    /// A physical-domain bound is not finite or is empty on some axis
+    /// (`lo >= hi`), so spacings would be zero, negative, or NaN.
+    BadDomain {
+        /// Requested lower corner.
+        lo: [f64; 3],
+        /// Requested upper corner.
+        hi: [f64; 3],
+    },
 }
 
 impl core::fmt::Display for LevelError {
@@ -58,6 +66,11 @@ impl core::fmt::Display for LevelError {
                 f,
                 "grid of {extent:?}-cell patches in a {layout:?} layout \
                  exceeds the safe index range"
+            ),
+            LevelError::BadDomain { lo, hi } => write!(
+                f,
+                "physical domain [{lo:?}, {hi:?}] is empty or non-finite on \
+                 some axis"
             ),
         }
     }
@@ -76,13 +89,17 @@ pub struct Patch {
     pub region: Region,
 }
 
-/// A single-level structured grid over the unit cube.
+/// A single-level structured grid over an axis-aligned physical box
+/// (the unit cube by default; AMR fine levels cover sub-boxes of their
+/// parent's domain via [`Level::try_with_domain`]).
 #[derive(Clone, Debug)]
 pub struct Level {
     grid: Region,
     patch_extent: IntVec,
     layout: IntVec,
     patches: Vec<Patch>,
+    phys_lo: [f64; 3],
+    phys_hi: [f64; 3],
 }
 
 impl Level {
@@ -111,6 +128,42 @@ impl Level {
     /// [`LevelError`] instead of constructing a level that is undefined
     /// behavior waiting to happen.
     pub fn try_new(patch_extent: IntVec, layout: IntVec) -> Result<Level, LevelError> {
+        Level::try_with_domain(patch_extent, layout, [0.0; 3], [1.0; 3])
+    }
+
+    /// [`Level::try_with_domain`] that panics on rejection, mirroring
+    /// [`Level::new`].
+    ///
+    /// # Panics
+    /// Panics on a geometry or domain [`Level::try_with_domain`] rejects.
+    pub fn with_domain(
+        patch_extent: IntVec,
+        layout: IntVec,
+        phys_lo: [f64; 3],
+        phys_hi: [f64; 3],
+    ) -> Level {
+        Level::try_with_domain(patch_extent, layout, phys_lo, phys_hi)
+            .unwrap_or_else(|e| panic!("invalid level geometry: {e}"))
+    }
+
+    /// Fallible constructor for a level whose cells cover the physical box
+    /// `[phys_lo, phys_hi]` instead of the unit cube. `try_new` is the
+    /// unit-cube special case; AMR fine levels use this to inherit correct
+    /// spacings and cell centroids for a refined sub-box.
+    pub fn try_with_domain(
+        patch_extent: IntVec,
+        layout: IntVec,
+        phys_lo: [f64; 3],
+        phys_hi: [f64; 3],
+    ) -> Result<Level, LevelError> {
+        for a in 0..3 {
+            if !phys_lo[a].is_finite() || !phys_hi[a].is_finite() || phys_lo[a] >= phys_hi[a] {
+                return Err(LevelError::BadDomain {
+                    lo: phys_lo,
+                    hi: phys_hi,
+                });
+            }
+        }
         if patch_extent.x <= 0 || patch_extent.y <= 0 || patch_extent.z <= 0 {
             return Err(LevelError::EmptyPatchExtent {
                 extent: patch_extent,
@@ -179,6 +232,8 @@ impl Level {
             patch_extent,
             layout,
             patches,
+            phys_lo,
+            phys_hi,
         })
     }
 
@@ -236,20 +291,45 @@ impl Level {
         self.neighbor(id, face).is_none()
     }
 
-    /// Cell spacing over the unit cube: `(dx, dy, dz) = 1/(nx, ny, nz)`.
+    /// Lower corner of the physical domain box (`[0,0,0]` for the default
+    /// unit cube).
+    pub fn phys_lo(&self) -> [f64; 3] {
+        self.phys_lo
+    }
+
+    /// Upper corner of the physical domain box (`[1,1,1]` for the default
+    /// unit cube).
+    pub fn phys_hi(&self) -> [f64; 3] {
+        self.phys_hi
+    }
+
+    /// Whether this level covers the default unit cube (the only domain the
+    /// canonical config line existed for before AMR; see `sim::canon`).
+    pub fn is_unit_domain(&self) -> bool {
+        self.phys_lo == [0.0; 3] && self.phys_hi == [1.0; 3]
+    }
+
+    /// Cell spacing over the physical box: `(hi - lo) / (nx, ny, nz)` per
+    /// axis (`1/(nx, ny, nz)` for the unit cube, bit-for-bit).
     pub fn spacing(&self) -> (f64, f64, f64) {
         let e = self.grid.extent();
-        (1.0 / e.x as f64, 1.0 / e.y as f64, 1.0 / e.z as f64)
+        (
+            (self.phys_hi[0] - self.phys_lo[0]) / e.x as f64,
+            (self.phys_hi[1] - self.phys_lo[1]) / e.y as f64,
+            (self.phys_hi[2] - self.phys_lo[2]) / e.z as f64,
+        )
     }
 
     /// Physical coordinate of the *centroid* of cell `c` (solution values
-    /// are situated at cell centroids, paper §III).
+    /// are situated at cell centroids, paper §III). For the unit cube the
+    /// `lo + x` form is bit-identical to the historical `x` (adding `+0.0`
+    /// is exact for every non-zero value, and centroids are never ±0).
     pub fn cell_center(&self, c: IntVec) -> (f64, f64, f64) {
         let (dx, dy, dz) = self.spacing();
         (
-            (c.x as f64 + 0.5) * dx,
-            (c.y as f64 + 0.5) * dy,
-            (c.z as f64 + 0.5) * dz,
+            self.phys_lo[0] + (c.x as f64 + 0.5) * dx,
+            self.phys_lo[1] + (c.y as f64 + 0.5) * dy,
+            self.phys_lo[2] + (c.z as f64 + 0.5) * dz,
         )
     }
 
@@ -398,5 +478,49 @@ mod tests {
         assert!((x - 0.0625).abs() < 1e-15);
         assert!((y - 0.4375).abs() < 1e-15);
         assert!((z - 0.9375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_domain_is_bit_identical_to_the_historical_formulas() {
+        let l = Level::new(iv(4, 4, 4), iv(2, 2, 2));
+        assert!(l.is_unit_domain());
+        let e = l.grid().extent();
+        let (dx, dy, dz) = l.spacing();
+        assert_eq!(dx.to_bits(), (1.0 / e.x as f64).to_bits());
+        assert_eq!(dy.to_bits(), (1.0 / e.y as f64).to_bits());
+        assert_eq!(dz.to_bits(), (1.0 / e.z as f64).to_bits());
+        // Including negative (ghost-cell) centroids.
+        for c in [iv(0, 3, 7), iv(-1, -1, -1), iv(8, 8, 8)] {
+            let (x, y, z) = l.cell_center(c);
+            assert_eq!(x.to_bits(), ((c.x as f64 + 0.5) * dx).to_bits());
+            assert_eq!(y.to_bits(), ((c.y as f64 + 0.5) * dy).to_bits());
+            assert_eq!(z.to_bits(), ((c.z as f64 + 0.5) * dz).to_bits());
+        }
+    }
+
+    #[test]
+    fn sub_box_domain_scales_spacing_and_centers() {
+        // A ratio-2 refinement of the [0.25,0.75)^3 half-window of the
+        // level above: same patch extent, twice the window's cell density.
+        let l = Level::with_domain(iv(4, 4, 4), iv(2, 2, 2), [0.25; 3], [0.75; 3]);
+        assert!(!l.is_unit_domain());
+        let (dx, dy, dz) = l.spacing();
+        assert_eq!((dx, dy, dz), (1.0 / 16.0, 1.0 / 16.0, 1.0 / 16.0));
+        let (x, y, z) = l.cell_center(iv(0, 0, 0));
+        assert!((x - 0.28125).abs() < 1e-15);
+        assert!((y - 0.28125).abs() < 1e-15);
+        assert!((z - 0.28125).abs() < 1e-15);
+        // Bad domains are typed rejections.
+        assert_eq!(
+            Level::try_with_domain(iv(4, 4, 4), iv(1, 1, 1), [0.5; 3], [0.5; 3]).unwrap_err(),
+            LevelError::BadDomain {
+                lo: [0.5; 3],
+                hi: [0.5; 3]
+            }
+        );
+        assert!(matches!(
+            Level::try_with_domain(iv(4, 4, 4), iv(1, 1, 1), [0.0; 3], [f64::NAN; 3]),
+            Err(LevelError::BadDomain { .. })
+        ));
     }
 }

@@ -367,6 +367,100 @@ mod tests {
     }
 
     #[test]
+    fn ragged_layouts_balance_within_one_for_every_policy() {
+        // AMR regrids hand the balancer whatever window the flags produced:
+        // prime rank counts over prime, lopsided layouts. Every policy must
+        // still use all ranks and balance to within one patch.
+        for (layout, n_patches) in [(iv(3, 5, 7), 105usize), (iv(1, 1, 9), 9)] {
+            let l = Level::new(iv(4, 4, 4), layout);
+            for lb in [
+                LoadBalancer::Block,
+                LoadBalancer::Morton,
+                LoadBalancer::Hilbert,
+            ] {
+                for n_ranks in [3usize, 5, 7] {
+                    let a = lb.assign(&l, n_ranks);
+                    assert_eq!(a.len(), n_patches);
+                    let mut counts = vec![0usize; n_ranks];
+                    for &r in &a {
+                        assert!(r < n_ranks, "{lb:?} emitted rank {r} of {n_ranks}");
+                        counts[r] += 1;
+                    }
+                    assert!(
+                        counts.iter().all(|&c| c > 0),
+                        "{lb:?} left a rank idle on {layout} x {n_ranks}: {counts:?}"
+                    );
+                    assert!(
+                        counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1,
+                        "{lb:?} unbalanced on {layout} x {n_ranks}: {counts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eleven_ranks_over_a_prime_box() {
+        // 11 does not divide 105; the remainder patches spread one-per-rank
+        // starting at rank 0, never stacked.
+        let l = Level::new(iv(2, 2, 2), iv(3, 5, 7));
+        for lb in [
+            LoadBalancer::Block,
+            LoadBalancer::Morton,
+            LoadBalancer::Hilbert,
+        ] {
+            let a = lb.assign(&l, 11);
+            let mut counts = vec![0usize; 11];
+            for &r in &a {
+                counts[r] += 1;
+            }
+            // 105 = 9 * 11 + 6: six ranks get 10, five get 9.
+            let tens = counts.iter().filter(|&&c| c == 10).count();
+            let nines = counts.iter().filter(|&&c| c == 9).count();
+            assert_eq!((tens, nines), (6, 5), "{lb:?}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ragged_assignments_are_deterministic() {
+        // Same level, same policy, fresh Level object: identical map. The
+        // regrid path leans on this — recompiled plans must not depend on
+        // which Level instance computed the assignment.
+        for lb in [
+            LoadBalancer::Block,
+            LoadBalancer::Morton,
+            LoadBalancer::Hilbert,
+        ] {
+            for n_ranks in [3usize, 5, 7, 11] {
+                let a = lb.assign(&Level::new(iv(4, 4, 4), iv(3, 5, 7)), n_ranks);
+                let b = lb.assign(&Level::new(iv(4, 4, 4), iv(3, 5, 7)), n_ranks);
+                assert_eq!(a, b, "{lb:?} x {n_ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_cuts_keep_ranks_contiguous_along_the_curve() {
+        // Walking the patches in curve order must visit ranks in
+        // non-decreasing order — the property that makes contiguous cuts
+        // communication-light — even when the cut is ragged.
+        let l = Level::new(iv(2, 2, 2), iv(3, 5, 7));
+        for (lb, key) in [
+            (LoadBalancer::Morton, morton as fn(IntVec) -> u64),
+            (LoadBalancer::Hilbert, hilbert as fn(IntVec) -> u64),
+        ] {
+            let a = lb.assign(&l, 7);
+            let mut order: Vec<usize> = (0..l.n_patches()).collect();
+            order.sort_by_key(|&p| key(l.patch(p).index));
+            let along: Vec<usize> = order.iter().map(|&p| a[p]).collect();
+            assert!(
+                along.windows(2).all(|w| w[0] <= w[1]),
+                "{lb:?} rank sequence not monotone along its curve"
+            );
+        }
+    }
+
+    #[test]
     fn lpt_is_deterministic() {
         use sw_sim::SimDur;
         let costs: std::collections::BTreeMap<usize, SimDur> = (0..20)

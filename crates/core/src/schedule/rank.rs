@@ -205,7 +205,11 @@ pub struct RankSched {
     step: u32,
     total_steps: u32,
     t: f64,
+    /// Physical time of step 0 (non-zero for AMR mid-run segments).
+    t0: f64,
     dt: f64,
+    /// Forced timestep (AMR global dt); `None` = the application's stable dt.
+    dt_override: Option<f64>,
     patch_state: BTreeMap<PatchId, PatchRun>,
     pending_recvs: Vec<(RecvHandle, usize, usize)>,
     pending_sends: Vec<SendHandle>,
@@ -285,7 +289,9 @@ impl RankSched {
             step: 0,
             total_steps,
             t: 0.0,
+            t0: 0.0,
             dt: 0.0,
+            dt_override: None,
             patch_state: BTreeMap::new(),
             pending_recvs: Vec::new(),
             pending_sends: Vec::new(),
@@ -316,6 +322,20 @@ impl RankSched {
     pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
         self.athread.set_fault_plan(Arc::clone(&plan));
         self.faults = Some(plan);
+    }
+
+    /// Force the timestep instead of deriving it from the application's
+    /// stable dt (AMR runs advance every level with one global dt chosen for
+    /// the finest level; see `RunConfig::dt_override`).
+    pub fn set_dt_override(&mut self, dt: Option<f64>) {
+        self.dt_override = dt;
+    }
+
+    /// Start the physical clock at `t0` instead of zero, so boundary fills
+    /// and time-dependent kernel coefficients see absolute time when a run
+    /// is a mid-simulation segment (see `RunConfig::t0`).
+    pub fn set_t0(&mut self, t0: f64) {
+        self.t0 = t0;
     }
 
     /// Park at a checkpoint boundary every `n` steps (the controller writes
@@ -401,8 +421,10 @@ impl RankSched {
     /// mode), set the stable timestep, and begin step 0. Called once by the
     /// controller at virtual time zero.
     pub fn init_run(&mut self, ctx: &mut StepCtx<'_>) {
-        self.dt = ctx.app.stable_dt(ctx.level);
-        self.t = 0.0;
+        self.dt = self
+            .dt_override
+            .unwrap_or_else(|| ctx.app.stable_dt(ctx.level));
+        self.t = self.t0;
         self.stages = ctx.app.stages();
         assert!(self.stages >= 1, "an application needs at least one stage");
         if self.exec == ExecMode::Functional {
@@ -423,7 +445,7 @@ impl RankSched {
         // not about the (shorter) restarted timeline.
         if let Some((step, vars)) = self.restore.take() {
             self.step = step;
-            self.t = f64::from(step) * self.dt;
+            self.t = self.t0 + f64::from(step) * self.dt;
             for (p, v) in vars {
                 self.dws.old.put(LABEL_U, p, v);
             }

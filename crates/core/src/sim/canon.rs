@@ -51,11 +51,25 @@ pub fn fnv128(bytes: &[u8]) -> u128 {
 }
 
 /// Canonical geometry token of a level: `PXxPYxPZ/LXxLYxLZ`
-/// (patch extent / patch layout — together they determine the grid).
+/// (patch extent / patch layout — together they determine the grid). AMR
+/// levels over a non-unit physical box append `@lo:lo:lo:hi:hi:hi` in f64
+/// bit-pattern hex; the historical unit-cube rendering is unchanged, so
+/// every pre-AMR cache key survives byte-for-byte.
 pub fn canonical_level(level: &Level) -> String {
     let e = level.patch_extent();
     let l = level.layout();
-    format!("{}x{}x{}/{}x{}x{}", e.x, e.y, e.z, l.x, l.y, l.z)
+    let mut s = format!("{}x{}x{}/{}x{}x{}", e.x, e.y, e.z, l.x, l.y, l.z);
+    if !level.is_unit_domain() {
+        let lo = level.phys_lo();
+        let hi = level.phys_hi();
+        s.push('@');
+        s.push_str(&f64_hex(lo[0]));
+        for v in [lo[1], lo[2], hi[0], hi[1], hi[2]] {
+            s.push(':');
+            s.push_str(&f64_hex(v));
+        }
+    }
+    s
 }
 
 /// The full canonical identity of one job: level geometry, application
@@ -125,13 +139,14 @@ fn parse_f64_hex(s: &str) -> Result<f64, String> {
 /// field (the machine and fault config expand into their own tokens), so
 /// adding a field without extending this list is a compile-visible smell —
 /// `Display` and `FromStr` below both walk it implicitly.
-const KEYS: [&str; 45] = [
+const KEYS: [&str; 48] = [
     "v", "exp", "exec", "steps", "ranks", "lb", // run shape
     "mc", "mldm", "mmp", "mcp", "mcs", "mcv", "mme", "mstall", "mbw", "mdma", "mdl", "mcopy",
     "mnbw", "mnlat", "meager", "mmpi", "mtask", "mcell", "mspawn", "mpoll",
     "mspin", // machine (21)
     "og", "odb", "opt", "oep", "ov", "otl", "of", // options (7)
     "rebal", "noise", "nseed", "cgs", "ckpt", "ckptdir", "pdes", "threads", "la", "order", "wlog",
+    "assign", "dt", "t0", // AMR knobs
 ];
 
 impl fmt::Display for RunConfig {
@@ -281,14 +296,29 @@ impl fmt::Display for RunConfig {
                 }
             }
         }
-        write!(f, " wlog={}", u8::from(self.window_log))
+        write!(f, " wlog={}", u8::from(self.window_log))?;
+        match &self.assignment_override {
+            None => write!(f, " assign=-")?,
+            Some(a) => {
+                // Count-prefixed like `cgs`, one rank per patch.
+                write!(f, " assign={}", a.len())?;
+                for r in a.iter() {
+                    write!(f, ":{r}")?;
+                }
+            }
+        }
+        match self.dt_override {
+            None => write!(f, " dt=-")?,
+            Some(dt) => write!(f, " dt={}", f64_hex(dt))?,
+        }
+        write!(f, " t0={}", f64_hex(self.t0))
     }
 }
 
 impl FromStr for RunConfig {
     type Err = String;
 
-    /// Strict inverse of the canonical `Display`: exactly 45 tokens, each
+    /// Strict inverse of the canonical `Display`: exactly 48 tokens, each
     /// with the expected key in the expected position, each value in the
     /// unique canonical spelling. Everything else is an error naming the
     /// offending token.
@@ -495,6 +525,28 @@ impl FromStr for RunConfig {
             }
         };
         let window_log = flag("wlog", next())?;
+        let assignment_override = match next() {
+            "-" => None,
+            packed => {
+                let mut parts = packed.split(':');
+                let n: usize = canonical_int("assign length", parts.next().unwrap_or(""))?;
+                let ranks: Vec<usize> = parts
+                    .map(|r| canonical_int("assign rank", r))
+                    .collect::<Result<_, _>>()?;
+                if ranks.len() != n {
+                    return Err(format!(
+                        "assign declares {n} entries but carries {}",
+                        ranks.len()
+                    ));
+                }
+                Some(Arc::new(ranks))
+            }
+        };
+        let dt_override = match next() {
+            "-" => None,
+            v => Some(parse_f64_hex(v)?),
+        };
+        let t0 = parse_f64_hex(next())?;
         Ok(RunConfig {
             variant: Variant { mode, simd, exp },
             exec,
@@ -522,6 +574,9 @@ impl FromStr for RunConfig {
             pdes_lookahead_ps,
             pdes_order,
             window_log,
+            assignment_override,
+            dt_override,
+            t0,
         })
     }
 }
@@ -552,6 +607,9 @@ mod tests {
         cfg.pdes_lookahead_ps = Some(1_000_000);
         cfg.pdes_order = Some(Arc::new(vec![vec![1, 0], vec![], vec![0, 1]]));
         cfg.window_log = true;
+        cfg.assignment_override = Some(Arc::new(vec![0, 1, 2, 3, 0, 1]));
+        cfg.dt_override = Some(2.5e-4);
+        cfg.t0 = 0.125;
         cfg
     }
 
@@ -605,6 +663,15 @@ mod tests {
         let mut c = base.clone();
         c.ckpt_dir = Some(PathBuf::from("/tmp/ckpt dir with spaces2"));
         edits.push(("ckpt_dir", c));
+        let mut c = base.clone();
+        c.assignment_override = Some(Arc::new(vec![0, 1, 2, 3, 0, 2]));
+        edits.push(("assignment_override", c));
+        let mut c = base.clone();
+        c.dt_override = Some(2.5000001e-4);
+        edits.push(("dt_override", c));
+        let mut c = base.clone();
+        c.t0 = 0.1250001;
+        edits.push(("t0", c));
         for (what, edited) in edits {
             let other = edited.to_string();
             assert_ne!(line, other, "edit of {what} left the line unchanged");
@@ -662,6 +729,27 @@ mod tests {
         // Same config on a different level is a different job.
         let other = canonical_job(&Level::new(iv(4, 4, 2), iv(2, 1, 1)), "burgers", &cfg);
         assert_ne!(fnv128(line.as_bytes()), fnv128(other.as_bytes()));
+    }
+
+    #[test]
+    fn canonical_level_distinguishes_amr_sub_boxes() {
+        // Unit-cube rendering is the historical one (no `@` suffix): every
+        // pre-AMR cache key survives byte-for-byte.
+        let unit = Level::new(iv(4, 4, 4), iv(2, 1, 1));
+        assert_eq!(canonical_level(&unit), "4x4x4/2x1x1");
+        // A fine level over a sub-box appends its domain in bit-pattern hex.
+        let fine = Level::with_domain(iv(4, 4, 4), iv(2, 1, 1), [0.25; 3], [0.75; 3]);
+        let tok = canonical_level(&fine);
+        assert!(tok.starts_with("4x4x4/2x1x1@"), "{tok}");
+        assert!(!tok.contains(' '));
+        // Different windows are different jobs.
+        let other = Level::with_domain(iv(4, 4, 4), iv(2, 1, 1), [0.25; 3], [0.875; 3]);
+        assert_ne!(tok, canonical_level(&other));
+        let cfg = RunConfig::paper(Variant::ACC_ASYNC, ExecMode::Functional, 2);
+        assert_ne!(
+            fnv128(canonical_job(&fine, "burgers", &cfg).as_bytes()),
+            fnv128(canonical_job(&other, "burgers", &cfg).as_bytes())
+        );
     }
 
     #[test]

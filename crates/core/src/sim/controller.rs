@@ -98,6 +98,26 @@ pub struct RunConfig {
     /// barrier, exposed through [`Simulation::window_edges`] — the
     /// dependency structure the DPOR explorer permutes.
     pub window_log: bool,
+    /// Explicit patch→rank assignment (one entry per patch), bypassing
+    /// [`RunConfig::lb`] — the AMR rebalancer computes assignments from
+    /// telemetry cost profiles and feeds them back here. Validation rejects
+    /// wrong lengths, out-of-range ranks, and empty ranks
+    /// ([`crate::ConfigError::AssignmentLen`] /
+    /// [`crate::ConfigError::AssignmentRankRange`] /
+    /// [`crate::ConfigError::AssignmentEmptyRank`]).
+    pub assignment_override: Option<Arc<Vec<usize>>>,
+    /// Force the timestep instead of the application's stable dt (AMR
+    /// advances every level with one global dt chosen for the finest
+    /// level). Must be finite and positive
+    /// ([`crate::ConfigError::BadDt`]); keeping it at or below the
+    /// application's stable dt is the caller's stability obligation.
+    pub dt_override: Option<f64>,
+    /// Physical time of step 0 (default 0.0). AMR runs a simulation
+    /// per inter-regrid segment; segments after the first start mid-run, and
+    /// boundary fills plus time-dependent kernel coefficients must see
+    /// absolute time. Must be finite and non-negative
+    /// ([`crate::ConfigError::BadT0`]).
+    pub t0: f64,
 }
 
 impl RunConfig {
@@ -123,6 +143,9 @@ impl RunConfig {
             pdes_lookahead_ps: None,
             pdes_order: None,
             window_log: false,
+            assignment_override: None,
+            dt_override: None,
+            t0: 0.0,
         }
     }
 }
@@ -241,7 +264,10 @@ impl Simulation {
         cfg: RunConfig,
     ) -> Result<Self, crate::ConfigError> {
         crate::config::validate_config(&level, app.ghost(), &cfg)?;
-        let assignment = cfg.lb.assign(&level, cfg.n_ranks);
+        let assignment = match &cfg.assignment_override {
+            Some(a) => a.as_ref().clone(),
+            None => cfg.lb.assign(&level, cfg.n_ranks),
+        };
         let mut machine = Machine::new(cfg.machine.clone(), cfg.n_ranks);
         machine.set_noise(cfg.noise_frac, cfg.noise_seed);
         if let Some(speeds) = &cfg.cg_speeds {
@@ -292,6 +318,8 @@ impl Simulation {
                 );
                 sched.set_rebalance_every(cfg.rebalance_every);
                 sched.set_ckpt_every(cfg.ckpt_every);
+                sched.set_dt_override(cfg.dt_override);
+                sched.set_t0(cfg.t0);
                 sched.set_recorder(recorder.clone());
                 if let Some(plan) = &faults {
                     sched.set_fault_plan(Arc::clone(plan));
@@ -782,6 +810,7 @@ impl Simulation {
             t_ps: held.0,
             n_ranks: cfg.n_ranks as u32,
             patches: Vec::new(),
+            amr: None,
         };
         if cfg.exec == ExecMode::Functional {
             for (p, &r) in assignment.iter().enumerate() {
@@ -992,7 +1021,11 @@ impl Simulation {
 
     /// Final simulated physical time.
     pub fn final_time(&self) -> f64 {
-        self.cfg.steps as f64 * self.app.stable_dt(&self.level)
+        let dt = self
+            .cfg
+            .dt_override
+            .unwrap_or_else(|| self.app.stable_dt(&self.level));
+        self.cfg.t0 + self.cfg.steps as f64 * dt
     }
 }
 

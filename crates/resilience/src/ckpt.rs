@@ -25,6 +25,33 @@
 //!   len    8  u64
 //!   data   8*len  u64 (f64::to_bits of each cell)
 //! ```
+//!
+//! AMR runs append an *optional* trailing section (absent for single-level
+//! checkpoints, so every pre-AMR file and byte stream is still valid and
+//! still parses to the same value — `amr: None`):
+//!
+//! ```text
+//! amr magic 8  b"AMRSECT1"
+//! dt_bits   8  u64   (f64::to_bits of the global AMR timestep)
+//! epoch     4  u32   (regrid epoch the hierarchy was built in)
+//! regrids   4  u32   (regrids completed so far)
+//! n_levels  4  u32
+//! per level:
+//!   extent  24 3 x i64   (patch extent)
+//!   layout  24 3 x i64   (patch layout)
+//!   lo      24 3 x u64   (f64::to_bits of the physical low corner)
+//!   hi      24 3 x u64   (f64::to_bits of the physical high corner)
+//!   win_lo  24 3 x i64   (window low corner, parent patch coords)
+//!   ratio   8  u64       (refinement ratio to the parent; 1 at level 0)
+//!   n_asn   8  u64
+//!   asn     8*n_asn u64  (patch -> owning rank)
+//! n_flags   8  u64
+//! flags     n_flags u8   (coarse-patch refinement flags, 0/1)
+//! ```
+//!
+//! For AMR checkpoints the per-patch `label` field doubles as the level
+//! index (the warehouse has one field, `u`, per level — a label per
+//! `(level, variable)` pair would be the next step if more fields appear).
 
 use std::fs;
 use std::io::{self, Read, Write};
@@ -32,6 +59,50 @@ use std::path::Path;
 
 /// On-disk magic for checkpoint files (version 01).
 pub const MAGIC: [u8; 8] = *b"SWCKPT01";
+
+/// On-disk magic of the optional trailing AMR section (version 1).
+pub const AMR_MAGIC: [u8; 8] = *b"AMRSECT1";
+
+/// Geometry and ownership of one AMR level at checkpoint time. Everything
+/// is stored as exact integers or `f64` bit patterns so the section is
+/// byte-stable and `Eq`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AmrLevelRecord {
+    /// Patch extent in cells.
+    pub patch_extent: [i64; 3],
+    /// Patch layout per axis.
+    pub layout: [i64; 3],
+    /// `f64::to_bits` of the physical low corner.
+    pub phys_lo_bits: [u64; 3],
+    /// `f64::to_bits` of the physical high corner.
+    pub phys_hi_bits: [u64; 3],
+    /// Low corner of the refinement window in *parent patch-index* space
+    /// (`[0, 0, 0]` at level 0) — stored as exact integers so a restart
+    /// replaces the window without re-deriving it from the float corners.
+    pub window_lo: [i64; 3],
+    /// Refinement ratio to the parent level (1 at level 0).
+    pub ratio: u64,
+    /// Patch → owning rank at checkpoint time.
+    pub assignment: Vec<u64>,
+}
+
+/// The optional AMR trailer: grid hierarchy, refinement flags, and the
+/// global timestep — everything a restart needs to rebuild the multi-level
+/// state machine bit-identically across a regrid boundary.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AmrSection {
+    /// `f64::to_bits` of the global AMR timestep.
+    pub dt_bits: u64,
+    /// Regrid epoch the current hierarchy was built in (seeds the seeded
+    /// flag dilation, so a restart replays the same future windows).
+    pub epoch: u32,
+    /// Regrids completed before this checkpoint.
+    pub regrids: u32,
+    /// Levels, coarsest first.
+    pub levels: Vec<AmrLevelRecord>,
+    /// Per-coarse-patch refinement flags of the current hierarchy.
+    pub flags: Vec<bool>,
+}
 
 /// One `(label, patch)` field captured bit-exactly.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,7 +131,11 @@ pub struct Checkpoint {
     /// Rank count the run was configured with (restart must match).
     pub n_ranks: u32,
     /// All captured fields, sorted by `(label, patch)` for determinism.
+    /// For AMR checkpoints `label` is the level index.
     pub patches: Vec<PatchRecord>,
+    /// Optional AMR trailer; `None` for single-level checkpoints (and for
+    /// every pre-AMR file, which parses unchanged).
+    pub amr: Option<AmrSection>,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -139,6 +214,39 @@ impl Checkpoint {
                 put_u64(&mut out, bits);
             }
         }
+        if let Some(amr) = &self.amr {
+            out.extend_from_slice(&AMR_MAGIC);
+            put_u64(&mut out, amr.dt_bits);
+            put_u32(&mut out, amr.epoch);
+            put_u32(&mut out, amr.regrids);
+            put_u32(&mut out, amr.levels.len() as u32);
+            for l in &amr.levels {
+                for d in 0..3 {
+                    put_i64(&mut out, l.patch_extent[d]);
+                }
+                for d in 0..3 {
+                    put_i64(&mut out, l.layout[d]);
+                }
+                for d in 0..3 {
+                    put_u64(&mut out, l.phys_lo_bits[d]);
+                }
+                for d in 0..3 {
+                    put_u64(&mut out, l.phys_hi_bits[d]);
+                }
+                for d in 0..3 {
+                    put_i64(&mut out, l.window_lo[d]);
+                }
+                put_u64(&mut out, l.ratio);
+                put_u64(&mut out, l.assignment.len() as u64);
+                for &r in &l.assignment {
+                    put_u64(&mut out, r);
+                }
+            }
+            put_u64(&mut out, amr.flags.len() as u64);
+            for &f in &amr.flags {
+                out.push(u8::from(f));
+            }
+        }
         out
     }
 
@@ -182,6 +290,67 @@ impl Checkpoint {
                 data,
             });
         }
+        let amr = if c.at < buf.len() {
+            if c.take(8)? != AMR_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "trailing bytes after checkpoint are not an AMR section",
+                ));
+            }
+            let dt_bits = c.u64()?;
+            let epoch = c.u32()?;
+            let regrids = c.u32()?;
+            let n_levels = c.u32()?;
+            let mut levels = Vec::with_capacity(n_levels.min(1 << 10) as usize);
+            for _ in 0..n_levels {
+                let mut l = AmrLevelRecord::default();
+                for d in &mut l.patch_extent {
+                    *d = c.i64()?;
+                }
+                for d in &mut l.layout {
+                    *d = c.i64()?;
+                }
+                for d in &mut l.phys_lo_bits {
+                    *d = c.u64()?;
+                }
+                for d in &mut l.phys_hi_bits {
+                    *d = c.u64()?;
+                }
+                for d in &mut l.window_lo {
+                    *d = c.i64()?;
+                }
+                l.ratio = c.u64()?;
+                let n_asn = c.u64()? as usize;
+                l.assignment.reserve(n_asn.min(1 << 20));
+                for _ in 0..n_asn {
+                    l.assignment.push(c.u64()?);
+                }
+                levels.push(l);
+            }
+            let n_flags = c.u64()? as usize;
+            let mut flags = Vec::with_capacity(n_flags.min(1 << 20));
+            for _ in 0..n_flags {
+                flags.push(match c.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("refinement flag byte {b} is not 0/1"),
+                        ))
+                    }
+                });
+            }
+            Some(AmrSection {
+                dt_bits,
+                epoch,
+                regrids,
+                levels,
+                flags,
+            })
+        } else {
+            None
+        };
         if c.at != buf.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -193,6 +362,7 @@ impl Checkpoint {
             t_ps,
             n_ranks,
             patches,
+            amr,
         })
     }
 
@@ -249,8 +419,40 @@ mod tests {
                     data: vec![f64::to_bits(-0.0), f64::to_bits(f64::NAN)],
                 },
             ],
+            amr: None,
         };
         c.canonicalize();
+        c
+    }
+
+    fn amr_sample() -> Checkpoint {
+        let mut c = sample();
+        c.amr = Some(AmrSection {
+            dt_bits: f64::to_bits(2.5e-4),
+            epoch: 3,
+            regrids: 2,
+            levels: vec![
+                AmrLevelRecord {
+                    patch_extent: [4, 4, 4],
+                    layout: [2, 2, 2],
+                    phys_lo_bits: [f64::to_bits(0.0); 3],
+                    phys_hi_bits: [f64::to_bits(1.0); 3],
+                    window_lo: [0; 3],
+                    ratio: 1,
+                    assignment: vec![0, 0, 1, 1, 0, 0, 1, 1],
+                },
+                AmrLevelRecord {
+                    patch_extent: [4, 4, 4],
+                    layout: [2, 2, 2],
+                    phys_lo_bits: [f64::to_bits(0.25); 3],
+                    phys_hi_bits: [f64::to_bits(0.75); 3],
+                    window_lo: [1, 1, 1],
+                    ratio: 2,
+                    assignment: vec![0, 1, 0, 1, 0, 1, 0, 1],
+                },
+            ],
+            flags: vec![true, false, false, true, false, false, true, true],
+        });
         c
     }
 
@@ -307,5 +509,54 @@ mod tests {
     fn payload_bytes_counts_field_data_only() {
         let c = sample();
         assert_eq!(c.payload_bytes(), 8 * (32 + 2));
+    }
+
+    #[test]
+    fn amr_section_roundtrips_and_stays_byte_stable() {
+        let c = amr_sample();
+        let bytes = c.to_bytes();
+        assert_eq!(bytes, amr_sample().to_bytes(), "byte stability");
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+        let amr = back.amr.unwrap();
+        assert_eq!(amr.levels.len(), 2);
+        assert_eq!(amr.levels[1].ratio, 2);
+        assert_eq!(amr.flags.iter().filter(|&&f| f).count(), 4);
+    }
+
+    #[test]
+    fn pre_amr_bytes_still_parse_with_amr_none() {
+        // A file written before the AMR trailer existed is exactly the
+        // trailer-less encoding; it must keep parsing to the same value.
+        let c = sample();
+        assert!(c.amr.is_none());
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+        // And an AMR checkpoint is the pre-AMR bytes plus the trailer.
+        let bytes = amr_sample().to_bytes();
+        assert!(bytes.starts_with(&c.to_bytes()[..]));
+    }
+
+    #[test]
+    fn corrupt_amr_trailers_are_rejected() {
+        let good = amr_sample().to_bytes();
+        // Garbage instead of the AMR magic.
+        let base = sample().to_bytes();
+        let mut bad = base.clone();
+        bad.extend_from_slice(b"NOTAMR!!");
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        // Truncated mid-section.
+        let mut trunc = good.clone();
+        trunc.truncate(good.len() - 4);
+        assert!(Checkpoint::from_bytes(&trunc).is_err());
+        // A refinement flag that is neither 0 nor 1.
+        let mut badflag = good.clone();
+        let last = badflag.len() - 1;
+        badflag[last] = 7;
+        assert!(Checkpoint::from_bytes(&badflag).is_err());
+        // Bytes after the trailer.
+        let mut extra = good;
+        extra.push(0);
+        assert!(Checkpoint::from_bytes(&extra).is_err());
     }
 }

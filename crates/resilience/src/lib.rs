@@ -29,6 +29,6 @@ pub mod ckpt;
 pub mod plan;
 pub mod stats;
 
-pub use ckpt::{Checkpoint, PatchRecord};
+pub use ckpt::{AmrLevelRecord, AmrSection, Checkpoint, PatchRecord};
 pub use plan::{fold, splitmix64, FaultConfig, FaultPlan, MsgFault, MsgKey, OffloadKey, SlotFault};
 pub use stats::{FaultCounts, FaultStats};

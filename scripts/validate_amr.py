@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate the `repro amr` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* AMR.json is well-formed JSON with the expected top-level shape
+  (seed, resolution, adaptive, byte_identity, restart, rebalance,
+  failures) and the campaign reported zero failed proofs;
+* the resolution study ran all three grids (adaptive, uniform_fine,
+  uniform_coarse) at one shared dt, and the adaptive run resolved the
+  fine-level features with measurably fewer cell updates than the
+  uniformly-fine run (< 60%) at essentially the same max error
+  (<= 1.1x), while clearly beating the uniformly-coarse grid's error;
+* the adaptive run regridded at least twice mid-run, every recompiled
+  plan verified clean (verified_clean == recompiles, zero error
+  findings, zero lookahead violations), and the fine window stayed a
+  proper sub-box of the domain (0 < fine_window_frac < 1);
+* every execution-policy identity cell is bit-identical with the same
+  regrid history;
+* the restart proof resumed from a real mid-run checkpoint, crossed at
+  least one regrid boundary, and reconverged byte-identically;
+* telemetry-driven rebalancing fired and strictly reduced the weighted
+  makespan (gain_frac > 0);
+* the checkpoint files on disk (results/amr-ckpt/amr*.ckpt) start with
+  the SWCKPT01 magic.
+
+Usage: validate_amr.py <results-dir>
+"""
+
+import glob
+import json
+import os
+import sys
+
+RESOLUTION_LABELS = {"adaptive", "uniform_fine", "uniform_coarse"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_amr: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "AMR.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro amr` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in (
+        "seed",
+        "resolution",
+        "adaptive",
+        "byte_identity",
+        "restart",
+        "rebalance",
+        "failures",
+    ):
+        if key not in doc:
+            fail(f"AMR.json: missing top-level key {key!r}")
+    if doc["failures"] != 0:
+        fail(f"campaign reported {doc['failures']} failed proof(s)")
+
+    cells = {c["label"]: c for c in doc["resolution"]}
+    if set(cells) != RESOLUTION_LABELS:
+        fail(f"resolution covers {sorted(cells)}, expected "
+             f"{sorted(RESOLUTION_LABELS)}")
+    dts = {c["dt"] for c in cells.values()}
+    if len(dts) != 1 or min(dts) <= 0:
+        fail(f"resolution cells disagree on dt: {sorted(dts)}")
+    for label, c in cells.items():
+        if c["cell_updates"] <= 0 or c["max_error"] <= 0:
+            fail(f"resolution[{label}]: non-positive cell_updates or error")
+    ad, fine, coarse = (cells[k] for k in
+                        ("adaptive", "uniform_fine", "uniform_coarse"))
+    if ad["cell_updates"] >= 0.6 * fine["cell_updates"]:
+        fail(f"adaptive spent {ad['cell_updates']} cell updates, "
+             f"not measurably fewer than uniform_fine's "
+             f"{fine['cell_updates']}")
+    if ad["max_error"] > 1.1 * fine["max_error"]:
+        fail(f"adaptive error {ad['max_error']:.4e} exceeds 1.1x the "
+             f"uniform-fine error {fine['max_error']:.4e}")
+    if ad["max_error"] > 0.8 * coarse["max_error"]:
+        fail(f"adaptive error {ad['max_error']:.4e} does not clearly beat "
+             f"the uniform-coarse error {coarse['max_error']:.4e}")
+
+    a = doc["adaptive"]
+    if a["regrids"] < 2:
+        fail(f"only {a['regrids']} regrid(s); the run must regrid >= 2 "
+             "times mid-run")
+    if a["verify_errors"] != 0 or a["lookahead_violations"] != 0:
+        fail(f"recompiled plans failed verification: "
+             f"{a['verify_errors']} error(s), "
+             f"{a['lookahead_violations']} lookahead finding(s)")
+    if a["verified_clean"] != a["recompiles"] or a["recompiles"] <= 0:
+        fail(f"{a['verified_clean']} of {a['recompiles']} recompiles "
+             "verified clean")
+    if a["n_levels"] != 2:
+        fail(f"adaptive hierarchy has {a['n_levels']} level(s), expected 2")
+    if not 0.0 < a["fine_window_frac"] < 1.0:
+        fail(f"fine window covers {a['fine_window_frac']:.0%} of the "
+             "domain — refinement is not selective")
+
+    if len(doc["byte_identity"]) < 3:
+        fail("byte_identity must cover at least 3 execution policies")
+    for c in doc["byte_identity"]:
+        if not c["bit_identical"] or not c["same_regrids"]:
+            fail(f"byte_identity[{c['label']}]: adaptive run diverged "
+                 "across execution policies")
+
+    r = doc["restart"]
+    if r["resumed_step"] <= 0:
+        fail(f"restart: resumed_step {r['resumed_step']} is not mid-run")
+    if r["ckpt_bytes"] <= 0:
+        fail("restart: checkpoint file is empty")
+    if r["tail_regrids"] <= 0:
+        fail("restart: the resumed run never crossed a regrid boundary — "
+             "the proof is vacuous")
+    if not r["restart_identical"]:
+        fail("restart: restored run diverged from the uninterrupted run")
+
+    rb = doc["rebalance"]
+    if rb["rebalances"] <= 0:
+        fail("rebalance: the telemetry-driven rebalancer never fired")
+    if rb["gain_frac"] <= 0 or \
+            rb["rebalanced_makespan_ps"] >= rb["static_makespan_ps"]:
+        fail(f"rebalance: weighted makespan {rb['static_makespan_ps']} -> "
+             f"{rb['rebalanced_makespan_ps']} ps is not an improvement")
+
+    ckpts = sorted(glob.glob(os.path.join(results_dir, "amr-ckpt",
+                                          "amr*.ckpt")))
+    if not ckpts:
+        fail("no checkpoint files under results/amr-ckpt/")
+    with open(ckpts[0], "rb") as f:
+        magic = f.read(8)
+    if magic != b"SWCKPT01":
+        fail(f"{ckpts[0]}: bad checkpoint magic {magic!r}")
+
+    print(
+        f"validate_amr: OK: seed {doc['seed']}, adaptive resolved the fine "
+        f"features with {ad['cell_updates']} of {fine['cell_updates']} "
+        f"uniform-fine cell updates "
+        f"({ad['cell_updates'] / fine['cell_updates']:.0%}), "
+        f"{a['regrids']} regrids all verified clean, restart from step "
+        f"{r['resumed_step']} reconverged, rebalance gain "
+        f"{rb['gain_frac']:.1%}, {len(ckpts)} checkpoint file(s)"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
