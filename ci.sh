@@ -118,6 +118,21 @@ if [[ "${1:-}" != "quick" ]]; then
   else
     echo "python3 not found; skipping check JSON validation"
   fi
+  step "comm-layer sweep (repro comm)"
+  # Endpoint counts x aggregation thresholds x eager/rendezvous crossover
+  # sizes: every cell byte-identical to the single-endpoint baseline,
+  # telemetry reconciled, lookahead proof safe over the coalesced channel
+  # models, and the canonical aggregated async overlap >= 0.800. Exits
+  # non-zero on any violation; writes results/COMM.json.
+  cargo run --release -p bench --bin repro -- comm
+  # Schema + invariant validation: full grid present, byte identity and
+  # proof safety on every cell, overlap bars held.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_comm.py results
+  else
+    echo "python3 not found; skipping comm JSON validation"
+  fi
+
   step "campaign service (repro serve, deterministic 64-job demo x2 + faulted)"
   # The same seeded 64-job demo campaign three times: cold cache, warm
   # cache (must be 100% hits with the sampling oracle re-verifying bytes),

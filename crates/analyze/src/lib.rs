@@ -32,7 +32,9 @@ pub mod report;
 pub mod tiles;
 
 pub use geom::Box3;
-pub use lookahead::{prove_lookahead, ChannelBound, ChannelModel, LookaheadProof, NetModel};
+pub use lookahead::{
+    coalesce_channels, prove_lookahead, ChannelBound, ChannelModel, LookaheadProof, NetModel,
+};
 pub use model::{Access, AccessKind, GhostMsg, Schedule, TaskId, TaskKind, TaskNode, VarRef};
 pub use report::{AnalysisReport, Finding, FindingKind, Severity};
 pub use tiles::TilePlan;

@@ -58,6 +58,12 @@ impl NetModel {
         self.latency_ps + self.wire_time_ps(wire)
     }
 
+    /// Whether a `bytes`-sized application message takes the eager path on
+    /// this model (payload-in-packet) rather than rendezvous (RTS first).
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        bytes <= self.eager_limit_bytes
+    }
+
     /// Serialization time of `bytes` on the wire, in picoseconds. Mirrors
     /// the machine model's `SimDur::from_secs_f64` rounding exactly
     /// (nearest picosecond, ties to even, strictly positive floors to
@@ -151,6 +157,55 @@ impl LookaheadProof {
         s.push_str("]}");
         s
     }
+}
+
+/// Fold per-send channel models into the coalesced channels a message
+/// aggregation layer actually drives.
+///
+/// With aggregation on, every eager-path send into a `(src, dst)` pair
+/// shares that pair's staging buffers, and the smallest packet such a
+/// buffer can flush is a deadline flush holding a *single* staged message:
+/// the smallest member's payload, padded to the control floor by the
+/// sender. Larger flushes only carry more bytes, and wire time is
+/// monotone in bytes, so one folded channel with `bytes = min(member
+/// bytes)` bounds every packet the coalesced channel can emit.
+/// Rendezvous-path sends are never staged — their smallest packet is a
+/// bare RTS either way — so they keep their per-send channels.
+///
+/// The fold deliberately ignores endpoint routing: endpoints partition a
+/// pair's traffic across injection lanes by message tag (which varies per
+/// step), and every endpoint-refined grouping has per-group minima that
+/// are at least this pair-wide minimum. Proving the folded channel is
+/// therefore sound for any endpoint count — endpoints widen injection
+/// bandwidth, they never shorten a delivery.
+///
+/// Rendezvous channels come first in input order, then one folded channel
+/// per `(src, dst)` pair in rank order — deterministic for a given input.
+pub fn coalesce_channels(channels: &[ChannelModel], net: &NetModel) -> Vec<ChannelModel> {
+    use std::collections::BTreeMap;
+    let mut out = Vec::with_capacity(channels.len());
+    // (src, dst) -> (smallest member bytes, member count).
+    let mut pairs: BTreeMap<(usize, usize), (u64, usize)> = BTreeMap::new();
+    for ch in channels {
+        if net.is_eager(ch.bytes) {
+            let e = pairs
+                .entry((ch.src_rank, ch.dst_rank))
+                .or_insert((u64::MAX, 0));
+            e.0 = e.0.min(ch.bytes);
+            e.1 += 1;
+        } else {
+            out.push(ch.clone());
+        }
+    }
+    for ((src, dst), (bytes, members)) in pairs {
+        out.push(ChannelModel {
+            src_rank: src,
+            dst_rank: dst,
+            bytes,
+            label: format!("coalesced(r{src}->r{dst}, {members} eager sends)"),
+        });
+    }
+    out
 }
 
 /// Prove (or refute) `min_latency >= lookahead` for every channel.
@@ -285,6 +340,54 @@ mod tests {
         assert!(proof.safe);
         assert!(findings.is_empty());
         assert_eq!(proof.min_latency_ps, u64::MAX);
+    }
+
+    #[test]
+    fn coalescing_folds_eager_pairs_and_keeps_rendezvous_channels() {
+        let channels = [
+            ch(0, 1, 4096),
+            ch(0, 1, 64),
+            ch(0, 1, 1 << 20), // rendezvous: above the 16 KiB eager limit
+            ch(1, 0, 256),
+        ];
+        let folded = coalesce_channels(&channels, &net());
+        // One rendezvous channel survives verbatim, then one folded channel
+        // per eager (src, dst) pair in rank order.
+        assert_eq!(folded.len(), 3);
+        assert_eq!(folded[0], channels[2]);
+        assert_eq!(
+            (folded[1].src_rank, folded[1].dst_rank, folded[1].bytes),
+            (0, 1, 64),
+            "folded bytes must be the smallest member's payload"
+        );
+        assert!(
+            folded[1].label.contains("2 eager sends"),
+            "{}",
+            folded[1].label
+        );
+        assert_eq!(
+            (folded[2].src_rank, folded[2].dst_rank, folded[2].bytes),
+            (1, 0, 256)
+        );
+    }
+
+    #[test]
+    fn coalesced_proof_has_the_same_global_minimum_as_the_per_send_proof() {
+        // The fold takes the min member per pair and min_delivery_ps is
+        // monotone in bytes, so the global minimum — the quantity the
+        // window barrier enforces — is identical.
+        let channels = [ch(0, 1, 4096), ch(0, 1, 64), ch(1, 2, 1 << 20)];
+        let la = 1_000_000;
+        let (per_send, f1) = prove_lookahead(&channels, &net(), la);
+        let folded = coalesce_channels(&channels, &net());
+        let (coalesced, f2) = prove_lookahead(&folded, &net(), la);
+        assert_eq!(per_send.min_latency_ps, coalesced.min_latency_ps);
+        assert!(per_send.safe && coalesced.safe);
+        assert!(f1.is_empty() && f2.is_empty());
+        // And both proofs reject the same over-wide lookahead.
+        let bad = per_send.min_latency_ps + 1;
+        assert!(!prove_lookahead(&channels, &net(), bad).0.safe);
+        assert!(!prove_lookahead(&folded, &net(), bad).0.safe);
     }
 
     #[test]

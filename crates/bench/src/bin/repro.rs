@@ -12,6 +12,7 @@
 //! cargo run --release -p bench --bin repro -- torture --seed 0 --cases 200
 //! cargo run --release -p bench --bin repro -- scale [--quick | --full]
 //! cargo run --release -p bench --bin repro -- check
+//! cargo run --release -p bench --bin repro -- comm
 //! cargo run --release -p bench --bin repro -- serve --demo 64 --workers 4
 //! ```
 //!
@@ -273,6 +274,53 @@ fn run_check() {
     );
     if !outcome.ok() {
         bench::cli::fail("check", "a concurrency check failed");
+    }
+}
+
+/// `comm` subcommand: the communication-layer sweep — endpoint counts ×
+/// aggregation thresholds × eager/rendezvous crossover sizes, every cell
+/// byte-identical to the single-endpoint baseline, telemetry-reconciled,
+/// and proved safe over its coalesced channel models. Writes
+/// `results/COMM.json`; exits non-zero on any violation (the ci.sh comm
+/// stage relies on it).
+fn run_comm() {
+    let dir = std::path::Path::new("results");
+    let outcome = bench::comm::write_comm_json(dir).expect("write results/COMM.json");
+    println!(
+        "== Comm layer: endpoints x aggregation x crossover ({} cgs {} steps {}) ==",
+        outcome.problem, outcome.cgs, outcome.steps
+    );
+    for c in &outcome.cells {
+        let xo = c
+            .crossover
+            .map_or_else(|| "default".to_string(), |x| x.to_string());
+        println!(
+            "ep {} agg {:>5}B/{:>9}ps xo {:>8}: identical={} overlap {:.3} reconciled={} \
+             staged {:>3} flushes {:>3} | {} channels min {} ps safe={}",
+            c.endpoints,
+            c.agg_bytes,
+            c.agg_deadline_ps,
+            xo,
+            c.bit_identical,
+            c.overlap_efficiency,
+            c.reconciled,
+            c.agg_staged,
+            c.agg_flushes,
+            c.channels,
+            c.min_latency_ps,
+            c.proof_safe
+        );
+    }
+    println!(
+        "overlap: sync {:.3} async {:.3} async+agg {:.3}; wrote {} (ok={})",
+        outcome.sync_overlap,
+        outcome.async_overlap,
+        outcome.async_agg_overlap,
+        bench::comm::results_file(dir).display(),
+        outcome.ok()
+    );
+    if !outcome.ok() {
+        bench::cli::fail("comm", "a comm-layer proof failed");
     }
 }
 
@@ -654,6 +702,17 @@ fn main() {
     if positional.iter().any(|a| *a == "check") {
         run_check();
         if positional.iter().all(|a| *a == "check") {
+            return;
+        }
+    }
+
+    // Communication-layer sweep: endpoints x aggregation x crossover with
+    // byte-identity, overlap, and coalesced-proof checks on every cell ->
+    // results/COMM.json. Explicit only (writes results/, not a paper
+    // table); exits non-zero on any violation.
+    if positional.iter().any(|a| *a == "comm") {
+        run_comm();
+        if positional.iter().all(|a| *a == "comm") {
             return;
         }
     }

@@ -1,0 +1,457 @@
+//! `repro comm`: the multi-endpoint / aggregation / crossover sweep
+//! (DESIGN.md §18).
+//!
+//! A grid over the communication-layer knobs — endpoint counts ×
+//! aggregation thresholds × eager/rendezvous crossover sizes — with every
+//! cell proved three ways and recorded in `results/COMM.json`:
+//!
+//! * **byte identity** — a functional run under the cell's knobs must
+//!   reproduce the single-endpoint, no-aggregation baseline warehouse
+//!   bit-for-bit (endpoints, coalescing, the progress lane, and the
+//!   crossover are pure transport refinements: they may reorder wire
+//!   packets, never payload unpacking);
+//! * **overlap efficiency** — an instrumented model run of the async
+//!   scheduler, its phase pass reconciled against `RunReport::step_end`
+//!   exactly; the campaign's headline `async_agg_overlap` (the canonical
+//!   aggregated cell) must stay at or above the plain async baseline's
+//!   0.800;
+//! * **lookahead proof** — the static proof over the cell's *coalesced*
+//!   channel models ([`uintah_core::prove_lookahead_for_plans_with`])
+//!   must come back safe at the default lookahead.
+//!
+//! `scripts/validate_comm.py` enforces all three on the JSON and exits
+//! non-zero on any violation (the ci.sh comm stage relies on it).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use burgers::BurgersApp;
+use sw_math::ExpKind;
+use sw_telemetry::{analyze, Event};
+use uintah_core::task::build_rank_plan;
+use uintah_core::{
+    prove_lookahead_for_plans_with, CommConfig, ExecMode, RunConfig, Simulation, Variant,
+};
+
+use crate::problems::{ProblemSpec, SMALL};
+
+/// Endpoint counts swept.
+pub const ENDPOINTS: [u32; 3] = [1, 2, 4];
+
+/// Aggregation `(agg_bytes, agg_deadline_ps)` points swept; `(0, 0)` is
+/// aggregation off.
+pub const AGGREGATION: [(u64, u64); 3] = [(0, 0), (512, AGG_DEADLINE_PS), (4096, AGG_DEADLINE_PS)];
+
+/// Flush deadline for the aggregated cells: 5 us, a few wire times of the
+/// largest staged payload — long enough for byte-threshold flushes to
+/// dominate, short enough that a lone straggler never stalls a window.
+pub const AGG_DEADLINE_PS: u64 = 5_000_000;
+
+/// Eager/rendezvous crossover overrides swept; `None` keeps the machine's
+/// calibrated `eager_limit_bytes`.
+pub const CROSSOVER: [Option<u64>; 3] = [None, Some(256), Some(65536)];
+
+/// The sweep problem and shape: the committed-trace configuration, so the
+/// baseline overlap numbers line up with `results/TIMELINE.json`.
+pub const CGS: usize = 4;
+/// Timesteps per run.
+pub const STEPS: u32 = 5;
+
+/// The canonical aggregated configuration the headline number is measured
+/// at: all endpoint lanes on, byte-threshold coalescing, calibrated
+/// crossover, dedicated progress lane.
+pub const CANONICAL: CommConfig = CommConfig {
+    endpoints: 4,
+    agg_bytes: 4096,
+    agg_deadline_ps: AGG_DEADLINE_PS,
+    eager_crossover: None,
+    progress_lane: true,
+};
+
+/// One swept cell's outcome.
+pub struct CommCell {
+    /// Endpoint lanes per rank.
+    pub endpoints: u32,
+    /// Aggregation flush threshold, bytes (0 = aggregation off).
+    pub agg_bytes: u64,
+    /// Aggregation flush deadline, ps (0 = aggregation off).
+    pub agg_deadline_ps: u64,
+    /// Eager/rendezvous crossover override (`None` = machine default).
+    pub crossover: Option<u64>,
+    /// Functional run reproduced the baseline warehouse bit-for-bit.
+    pub bit_identical: bool,
+    /// Overlap efficiency of the instrumented async model run.
+    pub overlap_efficiency: f64,
+    /// Phase pass reconciled against `RunReport::step_end` exactly.
+    pub reconciled: bool,
+    /// Messages parked in staging buffers during the model run.
+    pub agg_staged: usize,
+    /// Coalesced flushes the model run emitted.
+    pub agg_flushes: usize,
+    /// Channels the cell's lookahead proof covered (coalesced when the
+    /// cell aggregates).
+    pub channels: usize,
+    /// Proved minimum delivery latency over those channels, ps.
+    pub min_latency_ps: u64,
+    /// The proof held at the default lookahead.
+    pub proof_safe: bool,
+}
+
+impl CommCell {
+    /// The comm knobs this cell ran under.
+    pub fn comm(&self) -> CommConfig {
+        CommConfig {
+            endpoints: self.endpoints,
+            agg_bytes: self.agg_bytes,
+            agg_deadline_ps: self.agg_deadline_ps,
+            eager_crossover: self.crossover,
+            progress_lane: true,
+        }
+    }
+
+    /// All three proofs held.
+    pub fn ok(&self) -> bool {
+        self.bit_identical && self.reconciled && self.proof_safe
+    }
+}
+
+/// The whole sweep's outcome.
+pub struct CommOutcome {
+    /// Sweep problem name.
+    pub problem: &'static str,
+    /// Ranks per run.
+    pub cgs: usize,
+    /// Timesteps per run.
+    pub steps: u32,
+    /// Every grid cell, endpoint-major.
+    pub cells: Vec<CommCell>,
+    /// Baseline sync overlap efficiency (no comm knobs).
+    pub sync_overlap: f64,
+    /// Baseline async overlap efficiency (no comm knobs).
+    pub async_overlap: f64,
+    /// Async overlap efficiency at [`CANONICAL`] — the acceptance number.
+    pub async_agg_overlap: f64,
+}
+
+impl CommOutcome {
+    /// Every cell held its three proofs, aggregation actually engaged
+    /// somewhere, and the canonical aggregated run kept the async
+    /// baseline's overlap bar.
+    pub fn ok(&self) -> bool {
+        !self.cells.is_empty()
+            && self.cells.iter().all(CommCell::ok)
+            && self.cells.iter().any(|c| c.agg_flushes > 0)
+            && self.async_agg_overlap >= 0.800
+            && self.async_overlap > self.sync_overlap
+    }
+}
+
+fn base_config(mode: ExecMode) -> RunConfig {
+    let mut cfg = RunConfig::paper(Variant::ACC_ASYNC, mode, CGS);
+    cfg.steps = STEPS;
+    cfg
+}
+
+/// Final warehouse of every patch as exact bit patterns.
+fn bits(sim: &Simulation) -> Vec<Vec<u64>> {
+    let level = sim.level();
+    (0..level.n_patches())
+        .map(|p| {
+            let var = sim.solution(p);
+            level
+                .patch(p)
+                .region
+                .iter()
+                .map(|c| var.get(c).to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Functional run under `comm`; returns the final warehouse bits.
+///
+/// Deliberately *not* the virtual step clocks: the comm knobs change when
+/// packets move (that is the performance effect the model cells measure),
+/// the byte-identity contract is about what the packets carry.
+fn functional_bits(p: &ProblemSpec, comm: CommConfig) -> Vec<Vec<u64>> {
+    let level = p.level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = base_config(ExecMode::Functional);
+    cfg.comm = comm;
+    let mut sim = Simulation::new(level, app, cfg);
+    sim.run();
+    bits(&sim)
+}
+
+/// Instrumented model run under `comm` (any Table IV variant); returns
+/// `(overlap_efficiency, reconciled, agg_staged, agg_flushes)`.
+fn model_overlap(p: &ProblemSpec, variant: Variant, comm: CommConfig) -> (f64, bool, usize, usize) {
+    let level = p.level();
+    let app = Arc::new(BurgersApp::new(&level, ExpKind::Fast));
+    let mut cfg = RunConfig::paper(variant, ExecMode::Model, CGS);
+    cfg.steps = STEPS;
+    cfg.options.telemetry = true;
+    cfg.comm = comm;
+    let mut sim = Simulation::new(level, app, cfg);
+    let report = sim.run();
+    let snap = sim.recorder().snapshot();
+    let phases = analyze(&snap);
+    let reconciled = phases.step_end_ps.len() == report.step_end.len()
+        && phases
+            .step_end_ps
+            .iter()
+            .zip(&report.step_end)
+            .all(|(&ps, t)| ps == t.0)
+        && phases.breakdowns.iter().all(|b| b.sum_ps() == b.window_ps);
+    let mut staged = 0usize;
+    let mut flushes = 0usize;
+    for r in snap.iter().flatten() {
+        match r.event {
+            Event::AggStaged { .. } => staged += 1,
+            Event::AggFlushed { .. } => flushes += 1,
+            _ => {}
+        }
+    }
+    (phases.overlap_efficiency, reconciled, staged, flushes)
+}
+
+/// Prove the cell's (coalesced) channel set safe at the default lookahead.
+fn cell_proof(p: &ProblemSpec, comm: &CommConfig) -> (usize, u64, bool) {
+    let level = p.level();
+    let cfg = base_config(ExecMode::Model);
+    let assignment = cfg.lb.assign(&level, CGS);
+    let plans: Vec<_> = (0..CGS)
+        .map(|r| build_rank_plan(&level, &assignment, r, 1))
+        .collect();
+    let (proof, _) =
+        prove_lookahead_for_plans_with(&plans, &cfg.machine, comm, cfg.machine.net_latency.0);
+    (proof.channels.len(), proof.min_latency_ps, proof.safe)
+}
+
+/// Run one cell: byte identity against `base`, instrumented overlap, and
+/// the static proof.
+fn run_cell(p: &ProblemSpec, comm: CommConfig, base: &[Vec<u64>]) -> CommCell {
+    let bit_identical = functional_bits(p, comm) == base;
+    let (overlap, reconciled, agg_staged, agg_flushes) = model_overlap(p, Variant::ACC_ASYNC, comm);
+    let (channels, min_latency_ps, proof_safe) = cell_proof(p, &comm);
+    CommCell {
+        endpoints: comm.endpoints,
+        agg_bytes: comm.agg_bytes,
+        agg_deadline_ps: comm.agg_deadline_ps,
+        crossover: comm.eager_crossover,
+        bit_identical,
+        overlap_efficiency: overlap,
+        reconciled,
+        agg_staged,
+        agg_flushes,
+        channels,
+        min_latency_ps,
+        proof_safe,
+    }
+}
+
+/// Run the whole sweep.
+pub fn run_comm() -> CommOutcome {
+    let p = SMALL;
+    let base = functional_bits(p, CommConfig::default());
+    let mut cells = Vec::new();
+    for endpoints in ENDPOINTS {
+        for (agg_bytes, agg_deadline_ps) in AGGREGATION {
+            for crossover in CROSSOVER {
+                let comm = CommConfig {
+                    endpoints,
+                    agg_bytes,
+                    agg_deadline_ps,
+                    eager_crossover: crossover,
+                    progress_lane: true,
+                };
+                cells.push(run_cell(p, comm, &base));
+            }
+        }
+    }
+    let (sync_overlap, ..) = model_overlap(p, Variant::ACC_SYNC, CommConfig::default());
+    let (async_overlap, ..) = model_overlap(p, Variant::ACC_ASYNC, CommConfig::default());
+    let (async_agg_overlap, ..) = model_overlap(p, Variant::ACC_ASYNC, CANONICAL);
+    CommOutcome {
+        problem: p.name,
+        cgs: CGS,
+        steps: STEPS,
+        cells,
+        sync_overlap,
+        async_overlap,
+        async_agg_overlap,
+    }
+}
+
+/// Render `COMM.json`.
+pub fn comm_json(o: &CommOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"generated_by\": \"repro comm\",\n");
+    let _ = writeln!(s, "  \"problem\": \"{}\",", o.problem);
+    let _ = writeln!(s, "  \"cgs\": {},", o.cgs);
+    let _ = writeln!(s, "  \"steps\": {},", o.steps);
+    let _ = writeln!(s, "  \"sync_overlap\": {:.6},", o.sync_overlap);
+    let _ = writeln!(s, "  \"async_overlap\": {:.6},", o.async_overlap);
+    let _ = writeln!(s, "  \"async_agg_overlap\": {:.6},", o.async_agg_overlap);
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in o.cells.iter().enumerate() {
+        let xo = c
+            .crossover
+            .map_or_else(|| "null".to_string(), |x| x.to_string());
+        let _ = write!(
+            s,
+            "    {{\"endpoints\": {}, \"agg_bytes\": {}, \"agg_deadline_ps\": {}, \
+             \"crossover\": {}, \"bit_identical\": {}, \
+             \"overlap_efficiency\": {:.6}, \"reconciled\": {}, \
+             \"agg_staged\": {}, \"agg_flushes\": {}, \"channels\": {}, \
+             \"min_latency_ps\": {}, \"proof_safe\": {}}}",
+            c.endpoints,
+            c.agg_bytes,
+            c.agg_deadline_ps,
+            xo,
+            c.bit_identical,
+            c.overlap_efficiency,
+            c.reconciled,
+            c.agg_staged,
+            c.agg_flushes,
+            c.channels,
+            c.min_latency_ps,
+            c.proof_safe
+        );
+        s.push_str(if i + 1 < o.cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"all_identical\": {},",
+        o.cells.iter().all(|c| c.bit_identical)
+    );
+    let _ = writeln!(
+        s,
+        "  \"all_safe\": {},",
+        o.cells.iter().all(|c| c.proof_safe)
+    );
+    let _ = writeln!(s, "  \"ok\": {}", o.ok());
+    s.push_str("}\n");
+    s
+}
+
+/// Where the sweep's JSON lands.
+pub fn results_file(dir: &Path) -> PathBuf {
+    dir.join("COMM.json")
+}
+
+/// Run the sweep and write `COMM.json` under `dir`.
+pub fn write_comm_json(dir: &Path) -> io::Result<CommOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let outcome = run_comm();
+    std::fs::write(results_file(dir), comm_json(&outcome))?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uintah_core::iv;
+
+    /// A unit-test-sized problem (the full sweep runs [`SMALL`] in release
+    /// via `repro comm`; debug-mode tests need something much cheaper).
+    const TINY: &ProblemSpec = &ProblemSpec {
+        name: "tiny",
+        patch: iv(4, 4, 8),
+        min_cgs: 1,
+    };
+
+    #[test]
+    fn aggregated_cell_is_bit_identical_and_actually_coalesces() {
+        let base = functional_bits(TINY, CommConfig::default());
+        let cell = run_cell(TINY, CANONICAL, &base);
+        assert!(cell.bit_identical, "aggregation changed the warehouse");
+        assert!(cell.reconciled);
+        assert!(cell.proof_safe);
+        assert!(
+            cell.agg_staged > 0 && cell.agg_flushes > 0,
+            "canonical knobs must engage the aggregation path \
+             (staged {}, flushes {})",
+            cell.agg_staged,
+            cell.agg_flushes
+        );
+        assert!(cell.agg_flushes <= cell.agg_staged);
+    }
+
+    #[test]
+    fn crossover_boundary_cells_are_byte_identical() {
+        // Satellite: a crossover at the largest ghost payload, one byte
+        // under it, and one byte over it — the protocol flips between
+        // eager and rendezvous across these, the bytes must not move.
+        let base = functional_bits(TINY, CommConfig::default());
+        let payload = {
+            let level = TINY.level();
+            let cfg = base_config(ExecMode::Model);
+            let assignment = cfg.lb.assign(&level, CGS);
+            let plans: Vec<_> = (0..CGS)
+                .map(|r| build_rank_plan(&level, &assignment, r, 1))
+                .collect();
+            plans
+                .iter()
+                .flat_map(|p| p.sends.iter().map(|s| s.window.cells() * 8))
+                .max()
+                .expect("cross-rank plans must have sends")
+        };
+        for xo in [payload - 1, payload, payload + 1] {
+            let comm = CommConfig {
+                eager_crossover: Some(xo),
+                ..CommConfig::default()
+            };
+            assert_eq!(
+                functional_bits(TINY, comm),
+                base,
+                "crossover {xo} changed the warehouse"
+            );
+        }
+        // At the boundary itself — every ghost flips from rendezvous to
+        // eager — the instrumented model run must still reconcile with its
+        // RunReport and the coalesced-channel proof must still hold.
+        let comm = CommConfig {
+            eager_crossover: Some(payload),
+            ..CommConfig::default()
+        };
+        let (_, reconciled, ..) = model_overlap(TINY, Variant::ACC_ASYNC, comm);
+        assert!(reconciled, "boundary crossover broke reconciliation");
+        let (_, _, safe) = cell_proof(TINY, &comm);
+        assert!(safe);
+    }
+
+    #[test]
+    fn comm_json_is_balanced() {
+        let o = CommOutcome {
+            problem: "p",
+            cgs: 4,
+            steps: 5,
+            cells: vec![CommCell {
+                endpoints: 2,
+                agg_bytes: 512,
+                agg_deadline_ps: 5_000_000,
+                crossover: None,
+                bit_identical: true,
+                overlap_efficiency: 0.81,
+                reconciled: true,
+                agg_staged: 10,
+                agg_flushes: 4,
+                channels: 8,
+                min_latency_ps: 1_008_000,
+                proof_safe: true,
+            }],
+            sync_overlap: 0.72,
+            async_overlap: 0.80,
+            async_agg_overlap: 0.81,
+        };
+        let json = comm_json(&o);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"crossover\": null"));
+        assert!(json.contains("\"ok\": true"));
+        assert!(o.ok());
+    }
+}

@@ -12,6 +12,7 @@ pub mod analyze;
 pub mod breakdown;
 pub mod check;
 pub mod cli;
+pub mod comm;
 pub mod experiments;
 pub mod faults;
 pub mod fidelity;

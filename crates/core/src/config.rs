@@ -143,6 +143,37 @@ pub enum ConfigError {
         /// The offending start time.
         got: f64,
     },
+    /// `comm.endpoints` is zero (no lane to route to) or implausibly large
+    /// (> 64 — more endpoints than CPEs in a CG buys nothing and explodes
+    /// the per-lane NIC state).
+    BadEndpoints {
+        /// The offending endpoint count.
+        got: u32,
+    },
+    /// Exactly one of `comm.agg_bytes` / `comm.agg_deadline_ps` is zero:
+    /// aggregation needs both a byte threshold and a flush deadline (a
+    /// byte threshold alone could strand a partial buffer forever; a
+    /// deadline alone never triggers because nothing stages).
+    BadAggregation {
+        /// The configured byte threshold.
+        bytes: u64,
+        /// The configured flush deadline (ps).
+        deadline_ps: u64,
+    },
+    /// Message aggregation combined with the fault plane: the reliable
+    /// layer's per-message retry/ack state machine does not know how to
+    /// resend a slice of a coalesced packet.
+    AggregationWithFaults,
+    /// `comm.eager_crossover` is below the control-packet size: the static
+    /// lookahead proof assumes every rendezvous packet occupies at least
+    /// `CTRL_BYTES` on the wire, and an eager floor below that would let a
+    /// payload undercut the proof's per-channel minimum.
+    BadCrossover {
+        /// The offending crossover (bytes).
+        got: u64,
+        /// The minimum legal crossover (`sw_mpi::CTRL_BYTES`).
+        min: u64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -209,6 +240,24 @@ impl core::fmt::Display for ConfigError {
             ConfigError::BadT0 { got } => {
                 write!(f, "t0 {got} must be finite and non-negative")
             }
+            ConfigError::BadEndpoints { got } => {
+                write!(f, "comm.endpoints {got} outside 1..=64")
+            }
+            ConfigError::BadAggregation { bytes, deadline_ps } => write!(
+                f,
+                "aggregation needs both knobs: agg_bytes {bytes}, agg_deadline_ps \
+                 {deadline_ps} (either both zero or both positive)"
+            ),
+            ConfigError::AggregationWithFaults => write!(
+                f,
+                "message aggregation and the reliable fault layer are mutually exclusive"
+            ),
+            ConfigError::BadCrossover { got, min } => write!(
+                f,
+                "eager_crossover {got} below the control packet size {min}: a \
+                 rendezvous payload could undercut the lookahead proof's \
+                 per-channel packet floor"
+            ),
         }
     }
 }
@@ -289,6 +338,29 @@ pub fn validate_config(level: &Level, app_ghost: i64, cfg: &RunConfig) -> Result
     }
     if !cfg.t0.is_finite() || cfg.t0 < 0.0 {
         return Err(ConfigError::BadT0 { got: cfg.t0 });
+    }
+    let comm = &cfg.comm;
+    if comm.endpoints == 0 || comm.endpoints > 64 {
+        return Err(ConfigError::BadEndpoints {
+            got: comm.endpoints,
+        });
+    }
+    if (comm.agg_bytes == 0) != (comm.agg_deadline_ps == 0) {
+        return Err(ConfigError::BadAggregation {
+            bytes: comm.agg_bytes,
+            deadline_ps: comm.agg_deadline_ps,
+        });
+    }
+    if comm.agg_bytes > 0 && cfg.options.faults.is_some() {
+        return Err(ConfigError::AggregationWithFaults);
+    }
+    if let Some(x) = comm.eager_crossover {
+        if x < sw_mpi::CTRL_BYTES {
+            return Err(ConfigError::BadCrossover {
+                got: x,
+                min: sw_mpi::CTRL_BYTES,
+            });
+        }
     }
     if let Some(a) = &cfg.assignment_override {
         if a.len() != level.n_patches() {
@@ -525,6 +597,64 @@ mod tests {
                 Err(ConfigError::BadT0 { .. })
             ));
         }
+    }
+
+    #[test]
+    fn comm_knobs_validate_clean_and_reject_with_typed_errors() {
+        use sw_resilience::FaultConfig;
+        let (level, cfg) = base();
+        // A fully loaded (legal) comm config passes.
+        let mut c = cfg.clone();
+        c.comm.endpoints = 4;
+        c.comm.agg_bytes = 512;
+        c.comm.agg_deadline_ps = 5_000_000;
+        c.comm.eager_crossover = Some(sw_mpi::CTRL_BYTES);
+        c.comm.progress_lane = true;
+        assert_eq!(validate_config(&level, 1, &c), Ok(()));
+        // Endpoint count out of range, both ends.
+        for bad in [0, 65] {
+            let mut c = cfg.clone();
+            c.comm.endpoints = bad;
+            assert_eq!(
+                validate_config(&level, 1, &c),
+                Err(ConfigError::BadEndpoints { got: bad })
+            );
+        }
+        // Half-configured aggregation: exactly one knob zero.
+        let mut c = cfg.clone();
+        c.comm.agg_bytes = 512;
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadAggregation {
+                bytes: 512,
+                deadline_ps: 0
+            })
+        );
+        let mut c = cfg.clone();
+        c.comm.agg_deadline_ps = 1_000;
+        assert!(matches!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadAggregation { .. })
+        ));
+        // Aggregation and the fault plane are mutually exclusive.
+        let mut c = cfg.clone();
+        c.comm.agg_bytes = 512;
+        c.comm.agg_deadline_ps = 1_000;
+        c.options.faults = Some(FaultConfig::standard(7));
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::AggregationWithFaults)
+        );
+        // Crossover below the control packet floor breaks the proof.
+        let mut c = cfg.clone();
+        c.comm.eager_crossover = Some(sw_mpi::CTRL_BYTES - 1);
+        assert_eq!(
+            validate_config(&level, 1, &c),
+            Err(ConfigError::BadCrossover {
+                got: sw_mpi::CTRL_BYTES - 1,
+                min: sw_mpi::CTRL_BYTES
+            })
+        );
     }
 
     #[test]

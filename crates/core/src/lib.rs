@@ -28,8 +28,9 @@ pub use config::{validate_config, validate_options, ConfigError};
 pub use grid::{iv, IntVec, Level, LevelError, Patch, PatchId, Region};
 pub use lb::LoadBalancer;
 pub use schedule::{
-    build_schedule_model, channel_models, net_model, prove_lookahead_for_plans, verify_plans,
-    ExecMode, SchedulerMode, SchedulerOptions, Variant,
+    build_schedule_model, channel_models, channel_models_with, net_model, net_model_with,
+    prove_lookahead_for_plans, prove_lookahead_for_plans_with, verify_plans, ExecMode,
+    SchedulerMode, SchedulerOptions, Variant,
 };
 pub use sim::{
     access_spans, canonical_job, canonical_level, fnv128, race_check, run_simulation,
@@ -39,4 +40,5 @@ pub use task::Application;
 pub use var::{CcVar, DataWarehouse, DwPair};
 
 pub use sw_athread::ExecPolicy;
+pub use sw_mpi::CommConfig;
 pub use sw_sim::{MachineConfig, SimDur, SimTime};

@@ -8,5 +8,6 @@ pub mod verify;
 pub use rank::{RankSched, RankStats, StepCtx, LABEL_U};
 pub use variant::{ExecMode, SchedulerMode, SchedulerOptions, Variant};
 pub use verify::{
-    build_schedule_model, channel_models, net_model, prove_lookahead_for_plans, verify_plans,
+    build_schedule_model, channel_models, channel_models_with, net_model, net_model_with,
+    prove_lookahead_for_plans, prove_lookahead_for_plans_with, verify_plans,
 };

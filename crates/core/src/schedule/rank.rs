@@ -573,7 +573,14 @@ impl RankSched {
             // keeps calling it while any of its sends is un-acked even after
             // `send_done` (eager sends complete locally long before the ack).
             let reliable_pending = self.faults.is_some() && ctx.mpi.unacked(self.rank) > 0;
-            if !self.pending_recvs.is_empty() || !self.pending_sends.is_empty() || reliable_pending
+            // Aggregation: staged payloads flush from inside `progress`
+            // (deadline path), so a rank with a non-empty staging buffer
+            // keeps entering the library even after its send handles
+            // completed locally.
+            if !self.pending_recvs.is_empty()
+                || !self.pending_sends.is_empty()
+                || reliable_pending
+                || ctx.mpi.staged(self.rank) > 0
             {
                 let cfg_overhead = ctx.machine.cfg().mpi_call_overhead;
                 cursor = self.consume_cat(&mut ctx.machine, cursor, cfg_overhead, |b| &mut b.mpi);
@@ -1410,6 +1417,12 @@ impl RankSched {
         if !self.contributed || !self.pending_sends.is_empty() || !self.pending_recvs.is_empty() {
             return false;
         }
+        // Staged (aggregated but unflushed) payloads would strand their
+        // receivers if the step ended here; the deadline flush is this
+        // rank's responsibility.
+        if ctx.mpi.staged(self.rank) > 0 {
+            return false;
+        }
         if !self.running.is_empty() || !self.retry.is_empty() {
             return false;
         }
@@ -1520,6 +1533,12 @@ impl RankSched {
             if let Some(d) = ctx.mpi.next_deadline(self.rank) {
                 consider(d.max(cursor));
             }
+        }
+        // Aggregation deadline: a staged buffer flushes from `progress`, so
+        // the MPE must re-enter the library no later than the earliest
+        // flush deadline even if nothing else would wake it.
+        if let Some(d) = ctx.mpi.next_flush_at(self.rank) {
+            consider(d.max(cursor));
         }
         // Message arrivals and CTS handshakes wake us via NetDeliver events;
         // no polling needed for those.

@@ -414,10 +414,21 @@ pub fn verify_plans(
 /// The network model of the static lookahead proof, mirrored from the
 /// machine configuration and the communicator's wire constants.
 pub fn net_model(machine: &MachineConfig) -> NetModel {
+    net_model_with(machine, &sw_mpi::CommConfig::default())
+}
+
+/// [`net_model`] under explicit communication-layer knobs: an
+/// [`sw_mpi::CommConfig::eager_crossover`] overrides the machine's
+/// eager/rendezvous threshold, exactly as the communicator's send path
+/// does, so the proof's smallest-packet-per-channel reasoning follows the
+/// protocol actually run.
+pub fn net_model_with(machine: &MachineConfig, comm: &sw_mpi::CommConfig) -> NetModel {
     NetModel {
         latency_ps: machine.net_latency.0,
         bw_gbs: machine.net_bw_gbs,
-        eager_limit_bytes: machine.eager_limit_bytes as u64,
+        eager_limit_bytes: comm
+            .eager_crossover
+            .unwrap_or(machine.eager_limit_bytes as u64),
         ctrl_bytes: sw_mpi::CTRL_BYTES,
     }
 }
@@ -442,6 +453,29 @@ pub fn channel_models(plans: &[RankPlan]) -> Vec<ChannelModel> {
         .collect()
 }
 
+/// [`channel_models`] under explicit communication-layer knobs.
+///
+/// With message aggregation on, eager-path ghost sends into a rank pair
+/// share that pair's staging buffers and go out as coalesced packets; the
+/// analyzer folds them into one channel per pair whose payload is the
+/// smallest member's — the smallest packet a deadline flush can emit
+/// ([`sw_analyze::coalesce_channels`] documents why the fold is sound for
+/// any endpoint count). The crossover knob shifts which sends are on the
+/// eager path in the first place. Without aggregation this is exactly
+/// [`channel_models`].
+pub fn channel_models_with(
+    plans: &[RankPlan],
+    machine: &MachineConfig,
+    comm: &sw_mpi::CommConfig,
+) -> Vec<ChannelModel> {
+    let per_send = channel_models(plans);
+    if comm.aggregation() {
+        sw_analyze::coalesce_channels(&per_send, &net_model_with(machine, comm))
+    } else {
+        per_send
+    }
+}
+
 /// Statically prove `min_latency >= lookahead` for every cross-CG channel
 /// of the compiled plans — the pre-run form of the `merge_outboxes`
 /// lookahead-violation check. Returns the proof artifact plus one
@@ -451,7 +485,24 @@ pub fn prove_lookahead_for_plans(
     machine: &MachineConfig,
     lookahead_ps: u64,
 ) -> (LookaheadProof, Vec<sw_analyze::Finding>) {
-    prove_lookahead(&channel_models(plans), &net_model(machine), lookahead_ps)
+    prove_lookahead_for_plans_with(plans, machine, &sw_mpi::CommConfig::default(), lookahead_ps)
+}
+
+/// [`prove_lookahead_for_plans`] under explicit communication-layer knobs:
+/// the channel inventory sees coalesced channels when aggregation is on
+/// and the eager decision follows the effective crossover, so the proof
+/// stays sound over the protocol the communicator actually runs.
+pub fn prove_lookahead_for_plans_with(
+    plans: &[RankPlan],
+    machine: &MachineConfig,
+    comm: &sw_mpi::CommConfig,
+    lookahead_ps: u64,
+) -> (LookaheadProof, Vec<sw_analyze::Finding>) {
+    prove_lookahead(
+        &channel_models_with(plans, machine, comm),
+        &net_model_with(machine, comm),
+        lookahead_ps,
+    )
 }
 
 #[cfg(test)]
@@ -600,6 +651,73 @@ mod tests {
         assert!(findings.is_empty());
         assert!(proof.min_latency_ps > machine.net_latency.0);
         assert!(proof.channels.iter().all(|c| c.slack_ps > 0));
+    }
+
+    #[test]
+    fn comm_aware_proof_coalesces_channels_and_keeps_the_global_minimum() {
+        let level = Level::new(iv(16, 16, 64), iv(2, 2, 2));
+        let plans = plans_for(&level, 4, 1);
+        let machine = MachineConfig::sw26010();
+        let comm = sw_mpi::CommConfig {
+            endpoints: 4,
+            agg_bytes: 4096,
+            agg_deadline_ps: 5_000_000,
+            eager_crossover: None,
+            progress_lane: true,
+        };
+
+        // Aggregation folds eager sends into one channel per rank pair.
+        let per_send = channel_models(&plans);
+        let folded = channel_models_with(&plans, &machine, &comm);
+        assert!(folded.len() < per_send.len(), "nothing coalesced");
+        let net = net_model_with(&machine, &comm);
+        for ch in &folded {
+            if ch.label.starts_with("coalesced") {
+                let members: Vec<_> = per_send
+                    .iter()
+                    .filter(|c| {
+                        (c.src_rank, c.dst_rank) == (ch.src_rank, ch.dst_rank)
+                            && net.is_eager(c.bytes)
+                    })
+                    .collect();
+                assert!(!members.is_empty(), "{}", ch.label);
+                assert_eq!(
+                    ch.bytes,
+                    members.iter().map(|c| c.bytes).min().unwrap(),
+                    "folded channel must bound its smallest member: {}",
+                    ch.label
+                );
+            }
+        }
+
+        // The fold preserves the global minimum — the quantity the window
+        // barrier enforces — so the comm-aware proof accepts and rejects
+        // exactly the lookaheads the per-send proof does.
+        let (base, _) = prove_lookahead_for_plans(&plans, &machine, 0);
+        let (with, findings) =
+            prove_lookahead_for_plans_with(&plans, &machine, &comm, machine.net_latency.0);
+        assert!(with.safe, "{}", with.to_json());
+        assert!(findings.is_empty());
+        assert_eq!(with.min_latency_ps, base.min_latency_ps);
+        let (bad, bad_findings) =
+            prove_lookahead_for_plans_with(&plans, &machine, &comm, base.min_latency_ps + 1);
+        assert!(!bad.safe);
+        assert!(!bad_findings.is_empty());
+
+        // A crossover below every ghost payload pushes all channels onto
+        // the rendezvous path: nothing left to coalesce, and the proved
+        // minimum becomes the bare control packet's delivery.
+        let rdv = sw_mpi::CommConfig {
+            eager_crossover: Some(sw_mpi::CTRL_BYTES),
+            ..comm
+        };
+        let rdv_channels = channel_models_with(&plans, &machine, &rdv);
+        assert!(rdv_channels
+            .iter()
+            .all(|c| !c.label.starts_with("coalesced")));
+        let (rdv_proof, _) = prove_lookahead_for_plans_with(&plans, &machine, &rdv, 0);
+        let ctrl_min = net_model_with(&machine, &rdv).min_delivery_ps(sw_mpi::CTRL_BYTES + 1);
+        assert_eq!(rdv_proof.min_latency_ps, ctrl_min);
     }
 
     /// Acceptance regression: a lookahead the static proof rejects is

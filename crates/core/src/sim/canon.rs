@@ -139,7 +139,7 @@ fn parse_f64_hex(s: &str) -> Result<f64, String> {
 /// field (the machine and fault config expand into their own tokens), so
 /// adding a field without extending this list is a compile-visible smell —
 /// `Display` and `FromStr` below both walk it implicitly.
-const KEYS: [&str; 48] = [
+const KEYS: [&str; 53] = [
     "v", "exp", "exec", "steps", "ranks", "lb", // run shape
     "mc", "mldm", "mmp", "mcp", "mcs", "mcv", "mme", "mstall", "mbw", "mdma", "mdl", "mcopy",
     "mnbw", "mnlat", "meager", "mmpi", "mtask", "mcell", "mspawn", "mpoll",
@@ -147,6 +147,7 @@ const KEYS: [&str; 48] = [
     "og", "odb", "opt", "oep", "ov", "otl", "of", // options (7)
     "rebal", "noise", "nseed", "cgs", "ckpt", "ckptdir", "pdes", "threads", "la", "order", "wlog",
     "assign", "dt", "t0", // AMR knobs
+    "cep", "cagg", "cdl", "cxo", "cpl", // comm layer (5)
 ];
 
 impl fmt::Display for RunConfig {
@@ -311,14 +312,25 @@ impl fmt::Display for RunConfig {
             None => write!(f, " dt=-")?,
             Some(dt) => write!(f, " dt={}", f64_hex(dt))?,
         }
-        write!(f, " t0={}", f64_hex(self.t0))
+        write!(f, " t0={}", f64_hex(self.t0))?;
+        let c = &self.comm;
+        write!(
+            f,
+            " cep={} cagg={} cdl={}",
+            c.endpoints, c.agg_bytes, c.agg_deadline_ps
+        )?;
+        match c.eager_crossover {
+            None => write!(f, " cxo=-")?,
+            Some(x) => write!(f, " cxo={x}")?,
+        }
+        write!(f, " cpl={}", u8::from(c.progress_lane))
     }
 }
 
 impl FromStr for RunConfig {
     type Err = String;
 
-    /// Strict inverse of the canonical `Display`: exactly 48 tokens, each
+    /// Strict inverse of the canonical `Display`: exactly 53 tokens, each
     /// with the expected key in the expected position, each value in the
     /// unique canonical spelling. Everything else is an error naming the
     /// offending token.
@@ -547,6 +559,13 @@ impl FromStr for RunConfig {
             v => Some(parse_f64_hex(v)?),
         };
         let t0 = parse_f64_hex(next())?;
+        let comm = sw_mpi::CommConfig {
+            endpoints: canonical_int("cep", next())?,
+            agg_bytes: canonical_int("cagg", next())?,
+            agg_deadline_ps: canonical_int("cdl", next())?,
+            eager_crossover: opt_int("cxo", next())?,
+            progress_lane: flag("cpl", next())?,
+        };
         Ok(RunConfig {
             variant: Variant { mode, simd, exp },
             exec,
@@ -577,6 +596,7 @@ impl FromStr for RunConfig {
             assignment_override,
             dt_override,
             t0,
+            comm,
         })
     }
 }
@@ -610,6 +630,15 @@ mod tests {
         cfg.assignment_override = Some(Arc::new(vec![0, 1, 2, 3, 0, 1]));
         cfg.dt_override = Some(2.5e-4);
         cfg.t0 = 0.125;
+        // Validation would reject aggregation + faults; the canonical line
+        // is a pure serialization and must render any combination.
+        cfg.comm = sw_mpi::CommConfig {
+            endpoints: 4,
+            agg_bytes: 512,
+            agg_deadline_ps: 5_000_000,
+            eager_crossover: Some(4096),
+            progress_lane: true,
+        };
         cfg
     }
 
@@ -672,6 +701,21 @@ mod tests {
         let mut c = base.clone();
         c.t0 = 0.1250001;
         edits.push(("t0", c));
+        let mut c = base.clone();
+        c.comm.endpoints = 2;
+        edits.push(("comm.endpoints", c));
+        let mut c = base.clone();
+        c.comm.agg_bytes = 1024;
+        edits.push(("comm.agg_bytes", c));
+        let mut c = base.clone();
+        c.comm.agg_deadline_ps += 1;
+        edits.push(("comm.agg_deadline_ps", c));
+        let mut c = base.clone();
+        c.comm.eager_crossover = None;
+        edits.push(("comm.eager_crossover", c));
+        let mut c = base.clone();
+        c.comm.progress_lane = false;
+        edits.push(("comm.progress_lane", c));
         for (what, edited) in edits {
             let other = edited.to_string();
             assert_ne!(line, other, "edit of {what} left the line unchanged");

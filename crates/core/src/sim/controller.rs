@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use sw_mpi::{ModeledAllreduce, MpiWorld, SharedMpi};
+use sw_mpi::{CommConfig, ModeledAllreduce, MpiWorld, SharedMpi};
 use sw_resilience::{Checkpoint, FaultPlan, FaultStats, PatchRecord};
 use sw_sim::{
     LookaheadViolation, Machine, MachineConfig, MachineCtx, MachineEvent, SimDur, SimTime,
@@ -118,6 +118,18 @@ pub struct RunConfig {
     /// absolute time. Must be finite and non-negative
     /// ([`crate::ConfigError::BadT0`]).
     pub t0: f64,
+    /// Communication-layer knobs (DESIGN.md §18): endpoints per rank,
+    /// small-message aggregation thresholds, the explicit eager/rendezvous
+    /// crossover, and the dedicated progress lane. The default
+    /// ([`CommConfig::default`]) reproduces the historical single-endpoint
+    /// host-progressed layer bit-for-bit. Validation rejects zero or
+    /// excessive endpoint counts, half-configured aggregation, aggregation
+    /// combined with the fault plane, and crossovers below the control
+    /// packet size ([`crate::ConfigError::BadEndpoints`] /
+    /// [`crate::ConfigError::BadAggregation`] /
+    /// [`crate::ConfigError::AggregationWithFaults`] /
+    /// [`crate::ConfigError::BadCrossover`]).
+    pub comm: CommConfig,
 }
 
 impl RunConfig {
@@ -146,6 +158,7 @@ impl RunConfig {
             assignment_override: None,
             dt_override: None,
             t0: 0.0,
+            comm: CommConfig::default(),
         }
     }
 }
@@ -277,6 +290,7 @@ impl Simulation {
             }
         }
         let mut mpi = MpiWorld::new(cfg.n_ranks);
+        mpi.set_comm(cfg.comm);
         // Telemetry: one recorder shared by every layer. Functional mode
         // also captures wall-clock offsets (host time is meaningful there).
         let recorder = if cfg.options.telemetry {
@@ -466,6 +480,10 @@ impl Simulation {
         } else {
             1
         };
+        // Multi-threaded PDES also shards the barrier merge itself: the
+        // serial bucketing pass fixes the order, the per-destination
+        // appends fan out (bit-identical either way).
+        machine.set_parallel_merge(cfg.pdes && threads > 1);
         macro_rules! ctx {
             ($r:expr) => {
                 &mut StepCtx {
@@ -631,6 +649,7 @@ impl Simulation {
                         &**app,
                         n_ranks,
                         wend,
+                        cfg.comm.progress_lane,
                     );
                 }
             } else {
@@ -641,12 +660,22 @@ impl Simulation {
                     .collect();
                 let chunk = work.len().div_ceil(threads);
                 let (mpi, reductions, level, app) = (&*mpi, &*reductions, &*level, &**app);
+                let progress_lane = cfg.comm.progress_lane;
                 rayon::scope(|s| {
                     for slice in work.chunks_mut(chunk) {
                         s.spawn(move || {
                             for (mctx, (sched, outbox)) in slice.iter_mut() {
                                 Self::drain_rank(
-                                    sched, mctx, mpi, reductions, outbox, level, app, n_ranks, wend,
+                                    sched,
+                                    mctx,
+                                    mpi,
+                                    reductions,
+                                    outbox,
+                                    level,
+                                    app,
+                                    n_ranks,
+                                    wend,
+                                    progress_lane,
                                 );
                             }
                         });
@@ -711,6 +740,13 @@ impl Simulation {
     /// reaches its own queue/CG, the communicator is internally
     /// synchronized (and its operations for different ranks commute inside
     /// a window), and reduction contributions go to a private outbox.
+    ///
+    /// With `progress_lane` (the dedicated-progress-lane machine variant,
+    /// [`CommConfig::progress_lane`]) every wire delivery is immediately
+    /// followed by a protocol progression attributed to [`Lane::Progress`]:
+    /// the modeled comm thread advances handshakes and harvests payloads at
+    /// delivery time instead of waiting for the MPE's next library call —
+    /// the "progression requires the host" rule of paper §V relaxed.
     #[allow(clippy::too_many_arguments)]
     fn drain_rank(
         sched: &mut RankSched,
@@ -722,6 +758,7 @@ impl Simulation {
         app: &dyn Application,
         n_ranks: usize,
         wend: SimTime,
+        progress_lane: bool,
     ) {
         let mut ctx = StepCtx {
             machine: machine.reborrow(),
@@ -731,10 +768,14 @@ impl Simulation {
             app,
             n_ranks,
         };
+        let rank = ctx.machine.rank();
         while let Some((t, ev)) = ctx.machine.pop_before(wend) {
             match ev {
                 MachineEvent::NetDeliver { token, .. } => {
                     mpi.on_wire(token);
+                    if progress_lane {
+                        mpi.progress_on(rank, &mut ctx.machine, t, Lane::Progress);
+                    }
                     sched.on_wake(&mut ctx, t);
                 }
                 MachineEvent::KernelDone { .. } | MachineEvent::Timer { .. } => {

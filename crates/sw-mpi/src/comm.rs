@@ -19,11 +19,36 @@
 //!
 //! Matching is MPI-ordered: posted receives match messages from a given
 //! `(source, tag)` in message-id (send-program) order.
+//!
+//! # Multi-endpoint mode, aggregation, and the progress lane
+//!
+//! [`CommConfig`] layers three orthogonal refinements on the base protocol
+//! (all off by default, all timing-only — the warehouse bytes of a run
+//! never depend on them):
+//!
+//! * **Endpoints** — each rank's NIC is split into `endpoints` independent
+//!   injection lanes (the `hypre_ep` threads-as-endpoints idea). A message
+//!   is routed to `fold([src, dst, tag]) % endpoints`: a pure function of
+//!   message identity, so both sides (and every control packet of the
+//!   message) agree on the lane without coordination.
+//! * **Aggregation** — eager payloads are parked in per-(destination,
+//!   endpoint) staging buffers and flushed as one coalesced wire packet
+//!   when the buffered bytes cross [`CommConfig::agg_bytes`] (at push) or
+//!   the oldest member ages past [`CommConfig::agg_deadline_ps`] (at the
+//!   next `progress` call). Members unpack at the receiver in push order;
+//!   matching is unchanged because per-source ids stay ascending.
+//! * **Crossover** — [`CommConfig::eager_crossover`] overrides the
+//!   machine's eager limit, moving the eager/rendezvous boundary per run.
+//!
+//! Independently, [`MpiWorld::progress_on`] lets the controller drive the
+//! protocol from a *dedicated progress lane* ([`Lane::Progress`]) at wire
+//! delivery time, relaxing the progression-requires-host rule as a modeled
+//! machine variant.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use sw_resilience::{FaultPlan, FaultStats, MsgFault, MsgKey};
+use sw_resilience::{fold, FaultPlan, FaultStats, MsgFault, MsgKey};
 use sw_sim::{CgId, MachineCtx, SimDur, SimTime};
 use sw_telemetry::{Event, Lane, Recorder};
 
@@ -60,6 +85,73 @@ pub const MAX_MSG_ID: u64 = (1 << 62) - 1;
 /// model can emit (the static lookahead proof's per-channel minimum).
 pub const CTRL_BYTES: u64 = 64;
 
+/// Index of one NIC injection lane within a rank (multi-endpoint MPI).
+pub type EndpointId = u32;
+
+/// Domain-separation discriminant for the endpoint-routing hash (see
+/// [`CommConfig::route`]); mirrors the fault plane's `D_*` constants.
+const D_ENDPOINT: u64 = 0x4550_4f49_4e54; // "EPOINT"
+
+/// How often (in `progress` calls) completed-and-consumed receive handles
+/// are compacted away. Bounds the handle maps on long campaigns without
+/// paying a retain-scan on every poll.
+const COMPACT_CADENCE: u64 = 64;
+
+/// Communication-layer tuning knobs (multi-endpoint MPI, message
+/// aggregation, eager/rendezvous crossover, dedicated progress lane).
+///
+/// The default is the pre-existing behaviour: one endpoint, no
+/// aggregation, the machine's eager limit, host-driven progression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommConfig {
+    /// NIC injection lanes per rank (>= 1). Messages are spread across
+    /// lanes by [`CommConfig::route`]; different lanes do not serialize
+    /// against each other at injection.
+    pub endpoints: u32,
+    /// Aggregation flush threshold in payload bytes; `0` disables
+    /// aggregation entirely.
+    pub agg_bytes: u64,
+    /// Aggregation flush deadline in picoseconds: a staging buffer older
+    /// than this is flushed by the next `progress` call on the sender.
+    /// Must be non-zero whenever `agg_bytes` is (validated upstream).
+    pub agg_deadline_ps: u64,
+    /// Eager/rendezvous crossover in bytes (`bytes <= crossover` goes
+    /// eager); `None` uses the machine's `eager_limit_bytes`.
+    pub eager_crossover: Option<u64>,
+    /// Drive protocol progression from a dedicated lane at wire-delivery
+    /// time (consumed by the controller, not by this crate's logic).
+    pub progress_lane: bool,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            endpoints: 1,
+            agg_bytes: 0,
+            agg_deadline_ps: 0,
+            eager_crossover: None,
+            progress_lane: false,
+        }
+    }
+}
+
+impl CommConfig {
+    /// Whether message aggregation is enabled.
+    pub fn aggregation(&self) -> bool {
+        self.agg_bytes > 0
+    }
+
+    /// Deterministic message → endpoint routing: a pure function of the
+    /// message identity `(src, dst, tag)`, so the sender, the receiver,
+    /// and every control packet of the message agree on the lane.
+    pub fn route(&self, src: Rank, dst: Rank, tag: Tag) -> EndpointId {
+        if self.endpoints <= 1 {
+            return 0;
+        }
+        (fold(&[D_ENDPOINT, src as u64, dst as u64, tag]) % u64::from(self.endpoints)) as EndpointId
+    }
+}
+
 /// Handle to a posted non-blocking send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SendHandle(u64);
@@ -70,6 +162,10 @@ pub struct RecvHandle(u64);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum MsgState {
+    /// Aggregation: eager payload parked in a staging buffer on the
+    /// sender, waiting for a byte- or deadline-triggered flush. The send
+    /// request is complete (the library buffers the payload).
+    Staged,
     /// Rendezvous: RTS on the wire.
     RtsInFlight,
     /// Rendezvous: RTS at the receiver, waiting for match + progress.
@@ -101,6 +197,9 @@ struct Msg {
     payload: Option<Vec<f64>>,
     state: MsgState,
     eager: bool,
+    /// NIC injection lane every packet of this message rides (both
+    /// directions — the routing is a pure function of message identity).
+    endpoint: EndpointId,
     matched_recv: Option<u64>,
     send_complete: bool,
     /// Reliable mode: payload transmission attempt, starting at 0.
@@ -114,7 +213,21 @@ struct Msg {
 struct RecvReq {
     matched_msg: Option<u64>,
     complete: bool,
+    /// The application consumed the payload via `take_payload`; the handle
+    /// is dead weight and eligible for cadenced compaction.
+    taken: bool,
     payload: Option<Vec<f64>>,
+}
+
+/// One per-(destination, endpoint) aggregation staging buffer on a sender.
+#[derive(Debug)]
+struct StageBuf {
+    /// Member message ids in push (send-program) order.
+    members: Vec<u64>,
+    /// Sum of member payload bytes.
+    bytes: u64,
+    /// When the buffer was opened (first push) — the deadline clock.
+    opened_at: SimTime,
 }
 
 /// The simulated communicator.
@@ -168,9 +281,19 @@ pub struct MpiWorld {
     /// *reliable* layer (fault consult at injection, ack on consumption,
     /// resend on timeout, duplicate suppression).
     faults: Option<Arc<FaultPlan>>,
-    /// Fully retired message ids (reliable mode): late duplicates for these
-    /// are suppressed rather than treated as protocol errors.
-    retired: BTreeSet<u64>,
+    /// Communication-layer knobs (endpoints, aggregation, crossover).
+    comm: CommConfig,
+    /// Aggregation staging buffers, keyed `(src, dst, endpoint)`. Only the
+    /// source rank's calls touch its own buffers, so concurrent shards'
+    /// calls commute (see [`SharedMpi`]).
+    stage: BTreeMap<(Rank, Rank, EndpointId), StageBuf>,
+    /// Coalesced batches in flight: batch id → member ids in push order.
+    /// Batch ids are minted from the sender's message-id namespace, so
+    /// they never collide with plain message ids.
+    batches: BTreeMap<u64, Vec<u64>>,
+    /// Progress calls since the last cadenced compaction (satellite of the
+    /// unbounded-handle-map fix: compaction must not wait for quiescence).
+    calls_since_compact: u64,
 }
 
 /// Decode a wire token into (message id, phase).
@@ -211,7 +334,10 @@ impl MpiWorld {
             recvs_completed: 0,
             rec: Recorder::off(),
             faults: None,
-            retired: BTreeSet::new(),
+            comm: CommConfig::default(),
+            stage: BTreeMap::new(),
+            batches: BTreeMap::new(),
+            calls_since_compact: 0,
         }
     }
 
@@ -222,8 +348,45 @@ impl MpiWorld {
 
     /// Install a fault plan, switching payload transmission to the
     /// reliable (ack + resend) layer.
+    ///
+    /// # Panics
+    /// Panics if message aggregation is enabled: a coalesced packet has no
+    /// per-member fault/ack story, so the combination is rejected (typed
+    /// upstream as `ConfigError::AggregationWithFaults`, asserted here as
+    /// the last line of defence).
     pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert!(
+            !self.comm.aggregation(),
+            "message aggregation and the reliable fault layer are mutually exclusive"
+        );
         self.faults = Some(plan);
+    }
+
+    /// Install the communication-layer knobs (endpoints, aggregation,
+    /// crossover). Call before any traffic is posted.
+    ///
+    /// # Panics
+    /// Panics on `endpoints == 0`, on aggregation combined with a fault
+    /// plan, and on aggregation with a zero deadline (the byte threshold
+    /// alone cannot guarantee a flush, so quiescence would be unreachable).
+    pub fn set_comm(&mut self, comm: CommConfig) {
+        assert!(comm.endpoints >= 1, "endpoints must be >= 1");
+        if comm.aggregation() {
+            assert!(
+                self.faults.is_none(),
+                "message aggregation and the reliable fault layer are mutually exclusive"
+            );
+            assert!(
+                comm.agg_deadline_ps > 0,
+                "aggregation needs a non-zero flush deadline"
+            );
+        }
+        self.comm = comm;
+    }
+
+    /// The installed communication-layer knobs.
+    pub fn comm(&self) -> CommConfig {
+        self.comm
     }
 
     /// Communicator size.
@@ -258,7 +421,14 @@ impl MpiWorld {
         );
         self.next_msg[src] += 1;
         self.sends_posted += 1;
-        let eager = bytes <= machine.cfg().eager_limit_bytes as u64;
+        // Eager/rendezvous crossover: an explicit comm-layer threshold
+        // overrides the machine's default eager limit.
+        let eager_limit = self
+            .comm
+            .eager_crossover
+            .unwrap_or(machine.cfg().eager_limit_bytes as u64);
+        let eager = bytes <= eager_limit;
+        let endpoint = self.comm.route(src, dst, tag);
         self.rec.record(
             src,
             when.0,
@@ -275,13 +445,18 @@ impl MpiWorld {
             m.messages_posted.inc();
             m.msg_bytes.record(bytes);
         }
-        let (state, send_complete) = if eager {
+        let aggregate = eager && self.comm.aggregation();
+        let (state, send_complete) = if aggregate {
+            // Aggregation: the payload parks in a staging buffer; the
+            // library buffers it, so the send request is complete.
+            (MsgState::Staged, true)
+        } else if eager {
             // Eager: payload leaves immediately (possibly through the fault
             // plane); the library buffers it, so the send request is
             // complete as soon as it is injected.
             (MsgState::DataInFlight, true)
         } else {
-            machine.net_send(src, dst, CTRL_BYTES, when, encode(id, PH_RTS));
+            machine.net_send_ep(src, dst, CTRL_BYTES, when, encode(id, PH_RTS), endpoint);
             self.rec.record(
                 src,
                 when.0,
@@ -300,6 +475,7 @@ impl MpiWorld {
                 payload,
                 state,
                 eager,
+                endpoint,
                 matched_recv: None,
                 send_complete,
                 attempt: 0,
@@ -308,10 +484,113 @@ impl MpiWorld {
         );
         self.active[src].insert(id);
         self.active[dst].insert(id);
-        if eager {
+        if aggregate {
+            self.stage_push(machine, id, when);
+        } else if eager {
             self.inject_data(machine, id, when, false);
         }
         SendHandle(id)
+    }
+
+    /// Park an eager payload in its `(dst, endpoint)` staging buffer,
+    /// flushing immediately if the byte threshold is crossed.
+    fn stage_push(&mut self, machine: &mut MachineCtx<'_>, id: u64, when: SimTime) {
+        let (src, dst, ep, bytes) = {
+            let m = &self.msgs[&id];
+            (m.src, m.dst, m.endpoint, m.bytes)
+        };
+        let buf = self
+            .stage
+            .entry((src, dst, ep))
+            .or_insert_with(|| StageBuf {
+                members: Vec::new(),
+                bytes: 0,
+                opened_at: when,
+            });
+        buf.members.push(id);
+        buf.bytes += bytes;
+        let full = buf.bytes >= self.comm.agg_bytes;
+        self.rec.record(
+            src,
+            when.0,
+            Lane::Mpe,
+            Event::AggStaged {
+                msg: id,
+                peer: dst,
+                endpoint: ep,
+                bytes,
+            },
+        );
+        if full {
+            self.flush_stage(machine, (src, dst, ep), when, "bytes");
+        }
+    }
+
+    /// Flush one staging buffer as a single coalesced wire packet. The
+    /// batch id is minted from the sender's message-id namespace (only the
+    /// sender's calls mint here, preserving the commuting-calls property).
+    fn flush_stage(
+        &mut self,
+        machine: &mut MachineCtx<'_>,
+        key: (Rank, Rank, EndpointId),
+        when: SimTime,
+        reason: &'static str,
+    ) {
+        let Some(buf) = self.stage.remove(&key) else {
+            return;
+        };
+        let (src, dst, ep) = key;
+        let batch = src as u64 + self.n as u64 * self.next_msg[src];
+        assert!(
+            batch <= MAX_MSG_ID,
+            "message id space exhausted: wire tokens would alias"
+        );
+        self.next_msg[src] += 1;
+        for &id in &buf.members {
+            let m = self.msgs.get_mut(&id).unwrap();
+            debug_assert_eq!(m.state, MsgState::Staged);
+            m.state = MsgState::DataInFlight;
+        }
+        // The coalesced packet occupies at least a control packet — the
+        // same floor as a lone eager payload, so the static lookahead
+        // proof's per-channel minimum still holds.
+        let wire_bytes = buf.bytes.max(CTRL_BYTES);
+        machine.net_send_ep(src, dst, wire_bytes, when, encode(batch, PH_DATA), ep);
+        self.rec.record(
+            src,
+            when.0,
+            Lane::Mpe,
+            Event::AggFlushed {
+                batch,
+                peer: dst,
+                endpoint: ep,
+                msgs: buf.members.len() as u64,
+                bytes: buf.bytes,
+                reason,
+            },
+        );
+        self.batches.insert(batch, buf.members);
+    }
+
+    /// Messages currently parked in `rank`'s staging buffers. The
+    /// scheduler must not end a step while this is non-zero.
+    pub fn staged(&self, rank: Rank) -> usize {
+        self.stage
+            .iter()
+            .filter(|((src, _, _), _)| *src == rank)
+            .map(|(_, b)| b.members.len())
+            .sum()
+    }
+
+    /// The earliest deadline flush among `rank`'s staging buffers — the
+    /// scheduler arranges an MPE wakeup for it so the flush path runs even
+    /// when no other event would wake the rank.
+    pub fn next_flush_at(&self, rank: Rank) -> Option<SimTime> {
+        self.stage
+            .iter()
+            .filter(|((src, _, _), _)| *src == rank)
+            .map(|(_, b)| b.opened_at + SimDur(self.comm.agg_deadline_ps))
+            .min()
     }
 
     /// Put a message's payload on the wire (eager post, rendezvous grant,
@@ -319,9 +598,9 @@ impl MpiWorld {
     /// With `forced` the fault consult is bypassed — the last-resort
     /// delivery after the retry budget is exhausted.
     fn inject_data(&mut self, machine: &mut MachineCtx<'_>, id: u64, when: SimTime, forced: bool) {
-        let (src, dst, bytes, tag, eager, attempt) = {
+        let (src, dst, bytes, tag, eager, attempt, ep) = {
             let m = &self.msgs[&id];
-            (m.src, m.dst, m.bytes, m.tag, m.eager, m.attempt)
+            (m.src, m.dst, m.bytes, m.tag, m.eager, m.attempt, m.endpoint)
         };
         // Eager messages occupy at least a control packet on the wire.
         let wire_bytes = if eager { bytes.max(CTRL_BYTES) } else { bytes };
@@ -358,8 +637,8 @@ impl MpiWorld {
             Some(MsgFault::Duplicate) => {
                 m.state = MsgState::DataInFlight;
                 m.deadline = None;
-                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
-                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
+                machine.net_send_ep(src, dst, wire_bytes, when, encode(id, PH_DATA), ep);
+                machine.net_send_ep(src, dst, wire_bytes, when, encode(id, PH_DATA), ep);
                 let plan = self.faults.as_ref().unwrap();
                 FaultStats::bump(&plan.stats.injected_msg_dup);
                 self.rec.record(
@@ -375,12 +654,13 @@ impl MpiWorld {
             Some(MsgFault::Delay { extra_ps }) => {
                 m.state = MsgState::DataInFlight;
                 m.deadline = None;
-                machine.net_send(
+                machine.net_send_ep(
                     src,
                     dst,
                     wire_bytes,
                     when + SimDur(extra_ps),
                     encode(id, PH_DATA),
+                    ep,
                 );
                 let plan = self.faults.as_ref().unwrap();
                 FaultStats::bump(&plan.stats.injected_msg_delay);
@@ -397,21 +677,29 @@ impl MpiWorld {
             None => {
                 m.state = MsgState::DataInFlight;
                 m.deadline = None;
-                machine.net_send(src, dst, wire_bytes, when, encode(id, PH_DATA));
+                machine.net_send_ep(src, dst, wire_bytes, when, encode(id, PH_DATA), ep);
             }
         }
     }
 
     /// Retire a message entirely (reliable mode: its ack landed, or a
-    /// clean run consumed it). Late wire deliveries for it are suppressed.
+    /// clean run consumed it). Late wire deliveries for it are suppressed
+    /// via the minted-id watermark ([`MpiWorld::was_minted`]) — no
+    /// retired-id set to grow without bound on long campaigns.
     fn retire_msg(&mut self, id: u64) {
         if let Some(m) = self.msgs.remove(&id) {
             self.active[m.src].remove(&id);
             self.active[m.dst].remove(&id);
-            if self.faults.is_some() {
-                self.retired.insert(id);
-            }
         }
+    }
+
+    /// Whether `id` was ever minted by `isend` (or a batch flush): ids are
+    /// drawn as `src + n * seq`, so the per-source sequence counters are a
+    /// complete O(1) record of every id handed out — an unknown-but-minted
+    /// id on the wire can only be a late duplicate of a retired message.
+    fn was_minted(&self, id: u64) -> bool {
+        let src = (id % self.n as u64) as usize;
+        id / (self.n as u64) < self.next_msg[src]
     }
 
     /// Post a non-blocking receive for a message from `src` with `tag`.
@@ -428,6 +716,7 @@ impl MpiWorld {
             RecvReq {
                 matched_msg: None,
                 complete: false,
+                taken: false,
                 payload: None,
             },
         );
@@ -443,14 +732,24 @@ impl MpiWorld {
     /// yet *visible* to either rank — visibility requires `progress`.
     pub fn on_wire(&mut self, token: u64) {
         let (id, phase) = decode(token);
+        if phase == PH_DATA {
+            if let Some(members) = self.batches.remove(&id) {
+                // A coalesced packet landed: every member becomes visible
+                // in push order (ascending id per source, so FIFO matching
+                // order is exactly the senders' program order).
+                for m in members {
+                    let msg = self.msgs.get_mut(&m).expect("batch member vanished");
+                    debug_assert_eq!(msg.state, MsgState::DataInFlight);
+                    msg.state = MsgState::DataArrived;
+                }
+                return;
+            }
+        }
         if self.faults.is_some() {
             // Reliable mode: duplicates, late copies, and acks are part of
             // the protocol rather than errors.
             if !self.msgs.contains_key(&id) {
-                assert!(
-                    self.retired.contains(&id),
-                    "wire token for unknown message {id}"
-                );
+                assert!(self.was_minted(id), "wire token for unknown message {id}");
                 // A late duplicate (or redundant resend) of a message whose
                 // ack already landed: suppressed exactly like a live dup.
                 if phase == PH_DATA {
@@ -506,14 +805,52 @@ impl MpiWorld {
     /// actions taken (0 means nothing changed). The caller accounts the MPE
     /// call cost.
     pub fn progress(&mut self, rank: Rank, machine: &mut MachineCtx<'_>, now: SimTime) -> usize {
+        self.progress_on(rank, machine, now, Lane::Mpe)
+    }
+
+    /// [`MpiWorld::progress`] with an explicit telemetry lane: the
+    /// dedicated-progress-lane machine variant drives the protocol at wire
+    /// delivery time on [`Lane::Progress`] instead of from the MPE, so the
+    /// actions it takes are attributed to their own track.
+    pub fn progress_on(
+        &mut self,
+        rank: Rank,
+        machine: &mut MachineCtx<'_>,
+        now: SimTime,
+        lane: Lane,
+    ) -> usize {
         let mut actions = 0;
+        // Deadline-triggered aggregation flushes for this rank's staging
+        // buffers: the byte threshold flushes at push, everything else
+        // ages out here.
+        if self.comm.aggregation() {
+            let deadline = SimDur(self.comm.agg_deadline_ps);
+            let due: Vec<(Rank, Rank, EndpointId)> = self
+                .stage
+                .iter()
+                .filter(|((src, _, _), buf)| *src == rank && buf.opened_at + deadline <= now)
+                .map(|(&key, _)| key)
+                .collect();
+            for key in due {
+                self.flush_stage(machine, key, now, "deadline");
+                actions += 1;
+            }
+        }
         // Deterministic iteration over this rank's live traffic only:
         // ascending message id gives MPI-FIFO matching.
         let ids: Vec<u64> = self.active[rank].iter().copied().collect();
         for id in ids {
-            let (src, dst, tag, state, matched, eager) = {
+            let (src, dst, tag, state, matched, eager, ep) = {
                 let m = &self.msgs[&id];
-                (m.src, m.dst, m.tag, m.state, m.matched_recv, m.eager)
+                (
+                    m.src,
+                    m.dst,
+                    m.tag,
+                    m.state,
+                    m.matched_recv,
+                    m.eager,
+                    m.endpoint,
+                )
             };
             match state {
                 MsgState::RtsArrived if dst == rank => {
@@ -521,14 +858,10 @@ impl MpiWorld {
                     let recv = matched.or_else(|| self.match_recv(id, dst, src, tag));
                     if let Some(r) = recv {
                         self.msgs.get_mut(&id).unwrap().matched_recv = Some(r);
-                        machine.net_send(dst, src, CTRL_BYTES, now, encode(id, PH_CTS));
+                        machine.net_send_ep(dst, src, CTRL_BYTES, now, encode(id, PH_CTS), ep);
                         self.msgs.get_mut(&id).unwrap().state = MsgState::CtsInFlight;
-                        self.rec.record(
-                            dst,
-                            now.0,
-                            Lane::Mpe,
-                            Event::CtsSent { msg: id, peer: src },
-                        );
+                        self.rec
+                            .record(dst, now.0, lane, Event::CtsSent { msg: id, peer: src });
                         actions += 1;
                     }
                 }
@@ -552,7 +885,7 @@ impl MpiWorld {
                         self.rec.record(
                             src,
                             now.0,
-                            Lane::Mpe,
+                            lane,
                             Event::FaultDetected {
                                 kind: "msg_timeout",
                                 id,
@@ -594,7 +927,7 @@ impl MpiWorld {
                         self.rec.record(
                             dst,
                             now.0,
-                            Lane::Mpe,
+                            lane,
                             Event::MsgDelivered {
                                 msg: id,
                                 peer: src,
@@ -612,7 +945,7 @@ impl MpiWorld {
                                 self.rec.record(
                                     dst,
                                     now.0,
-                                    Lane::Mpe,
+                                    lane,
                                     Event::FaultRecovered {
                                         kind: "msg_resend",
                                         id,
@@ -620,7 +953,7 @@ impl MpiWorld {
                                 );
                             }
                             self.msgs.get_mut(&id).unwrap().state = MsgState::AckWait;
-                            machine.net_send(dst, src, CTRL_BYTES, now, encode(id, PH_ACK));
+                            machine.net_send_ep(dst, src, CTRL_BYTES, now, encode(id, PH_ACK), ep);
                         } else {
                             // Fully finished: retire from the live indexes
                             // (the eager/rendezvous send side is complete
@@ -635,13 +968,23 @@ impl MpiWorld {
         self.rec.record(
             rank,
             now.0,
-            Lane::Mpe,
+            lane,
             Event::ProgressCall {
                 actions: actions as u64,
             },
         );
         if let Some(m) = self.rec.metrics() {
             m.progress_calls.inc();
+        }
+        // Cadenced compaction (bugfix: this used to run only at quiescence,
+        // so long campaigns grew the receive-handle map without bound).
+        // Compaction only drops handles whose payload was already consumed
+        // — observably a no-op for every caller — so the shared cadence
+        // counter does not break the commuting-calls property.
+        self.calls_since_compact += 1;
+        if self.calls_since_compact >= COMPACT_CADENCE {
+            self.calls_since_compact = 0;
+            self.compact();
         }
         actions
     }
@@ -659,9 +1002,11 @@ impl MpiWorld {
         self.msgs.get(&h.0).is_none_or(|m| m.send_complete)
     }
 
-    /// Has this receive completed?
+    /// Has this receive completed? A handle that was already retired or
+    /// compacted away reports `true` — only completed-and-consumed
+    /// receives ever leave the map.
     pub fn recv_done(&self, h: RecvHandle) -> bool {
-        self.recvs[&h.0].complete
+        self.recvs.get(&h.0).is_none_or(|r| r.complete)
     }
 
     /// Take the functional payload of a completed receive.
@@ -671,6 +1016,7 @@ impl MpiWorld {
     pub fn take_payload(&mut self, h: RecvHandle) -> Option<Vec<f64>> {
         let r = self.recvs.get_mut(&h.0).expect("unknown recv");
         assert!(r.complete, "take_payload before completion");
+        r.taken = true;
         r.payload.take()
     }
 
@@ -682,13 +1028,22 @@ impl MpiWorld {
     /// Whether an unmatched message from `src` with `tag` is waiting at
     /// `rank` (MPI `Iprobe` shape): its payload has arrived (eager) or its
     /// RTS has (rendezvous), but no posted receive has claimed it.
+    ///
+    /// Agreement contract with `take_payload`/`retire_recv` (bugfix): a
+    /// probe hit is a message an `irecv` + `progress` on this rank will
+    /// deliver, take, and retire — states a suppressed duplicate can reach
+    /// (`Consumed`, `AckWait`) are never reported, and the scan covers the
+    /// live index only, so a retired message can never probe positive off
+    /// stale bookkeeping.
     pub fn iprobe(&self, rank: Rank, src: Rank, tag: Tag) -> bool {
-        self.msgs.values().any(|m| {
-            m.dst == rank
-                && m.src == src
-                && m.tag == tag
-                && m.matched_recv.is_none()
-                && matches!(m.state, MsgState::RtsArrived | MsgState::DataArrived)
+        self.active[rank].iter().any(|id| {
+            self.msgs.get(id).is_some_and(|m| {
+                m.dst == rank
+                    && m.src == src
+                    && m.tag == tag
+                    && m.matched_recv.is_none()
+                    && matches!(m.state, MsgState::RtsArrived | MsgState::DataArrived)
+            })
         })
     }
 
@@ -739,11 +1094,20 @@ impl MpiWorld {
         }
     }
 
-    /// True when no message is still in flight or awaiting consumption
-    /// (quiescence check between timesteps). Fully finished messages are
-    /// retired eagerly, so this checks emptiness of the live set.
+    /// True when no message is still in flight, staged, or awaiting
+    /// consumption (quiescence check between timesteps). Fully finished
+    /// messages are retired eagerly, so this checks emptiness of the live
+    /// set (staged and batched members are live entries in it).
     pub fn quiescent(&self) -> bool {
+        debug_assert!(!self.msgs.is_empty() || (self.stage.is_empty() && self.batches.is_empty()));
         self.msgs.is_empty()
+    }
+
+    /// Sizes of the message- and receive-handle maps — the memory the
+    /// library holds per live (or not-yet-compacted) request. Campaign
+    /// tests pin these to stay bounded over long runs.
+    pub fn handle_map_sizes(&self) -> (usize, usize) {
+        (self.msgs.len(), self.recvs.len())
     }
 
     /// Outstanding handles at the end of a run, by `(rank, tag)`: one entry
@@ -761,10 +1125,12 @@ impl MpiWorld {
         out
     }
 
-    /// Drop completed receives (fully finished messages are already retired
-    /// eagerly by `progress`).
+    /// Drop completed receives whose payload was consumed (fully finished
+    /// messages are already retired eagerly by `progress`). Runs on a
+    /// bounded cadence from `progress` — merely-complete receives are kept
+    /// so `recv_done` pollers and pending `take_payload` calls stay valid.
     pub fn compact(&mut self) {
-        self.recvs.retain(|_, r| !r.complete);
+        self.recvs.retain(|_, r| !(r.complete && r.taken));
     }
 }
 
@@ -815,6 +1181,16 @@ impl SharedMpi {
         self.lock().set_fault_plan(plan);
     }
 
+    /// Install communication-layer knobs (see [`MpiWorld::set_comm`]).
+    pub fn set_comm(&self, comm: CommConfig) {
+        self.lock().set_comm(comm);
+    }
+
+    /// The installed communication-layer knobs.
+    pub fn comm(&self) -> CommConfig {
+        self.lock().comm()
+    }
+
     /// Communicator size.
     pub fn size(&self) -> usize {
         self.lock().size()
@@ -849,6 +1225,27 @@ impl SharedMpi {
     /// See [`MpiWorld::progress`].
     pub fn progress(&self, rank: Rank, machine: &mut MachineCtx<'_>, now: SimTime) -> usize {
         self.lock().progress(rank, machine, now)
+    }
+
+    /// See [`MpiWorld::progress_on`].
+    pub fn progress_on(
+        &self,
+        rank: Rank,
+        machine: &mut MachineCtx<'_>,
+        now: SimTime,
+        lane: Lane,
+    ) -> usize {
+        self.lock().progress_on(rank, machine, now, lane)
+    }
+
+    /// See [`MpiWorld::staged`].
+    pub fn staged(&self, rank: Rank) -> usize {
+        self.lock().staged(rank)
+    }
+
+    /// See [`MpiWorld::next_flush_at`].
+    pub fn next_flush_at(&self, rank: Rank) -> Option<SimTime> {
+        self.lock().next_flush_at(rank)
     }
 
     /// See [`MpiWorld::send_done`].
@@ -909,6 +1306,11 @@ impl SharedMpi {
     /// See [`MpiWorld::compact`].
     pub fn compact(&self) {
         self.lock().compact();
+    }
+
+    /// See [`MpiWorld::handle_map_sizes`].
+    pub fn handle_map_sizes(&self) -> (usize, usize) {
+        self.lock().handle_map_sizes()
     }
 
     /// Wire-level statistic: sends posted so far.
@@ -1071,9 +1473,15 @@ mod tests {
         let t = m.now();
         w.progress(1, &mut m.ctx(1), t);
         assert!(w.recv_done(r));
+        // Completed but not yet consumed: compaction must keep the handle
+        // so a pending take_payload stays valid.
+        w.compact();
+        assert_eq!(w.recvs.len(), 1, "unconsumed receive survives compaction");
+        let _ = w.take_payload(r);
         w.compact();
         assert!(w.msgs.is_empty() && w.recvs.is_empty());
         assert_eq!(w.recvs_completed, 1);
+        assert!(w.recv_done(r), "compacted handle still reports done");
     }
 
     #[test]
@@ -1329,5 +1737,265 @@ mod tests {
         assert_eq!(w.unacked(0), 0);
         assert_eq!(plan.stats.snapshot().total_injected(), 0);
         assert!(w.quiescent());
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-endpoint routing, crossover, aggregation, progress lane
+    // ------------------------------------------------------------------
+
+    use sw_telemetry::Recorder;
+
+    fn comm(endpoints: u32, agg_bytes: u64, agg_deadline_ps: u64) -> CommConfig {
+        CommConfig {
+            endpoints,
+            agg_bytes,
+            agg_deadline_ps,
+            ..CommConfig::default()
+        }
+    }
+
+    #[test]
+    fn endpoint_routing_is_deterministic_and_in_range() {
+        let c = comm(4, 0, 0);
+        for src in 0..3usize {
+            for dst in 0..3usize {
+                for tag in [0u64, 7, 12345] {
+                    let ep = c.route(src, dst, tag);
+                    assert!(ep < 4);
+                    assert_eq!(ep, c.route(src, dst, tag), "pure function");
+                }
+            }
+        }
+        // One endpoint: everything on lane 0, no hash in the path.
+        let c1 = comm(1, 0, 0);
+        assert_eq!(c1.route(2, 1, 99), 0);
+        // The spread is non-trivial: some pair of channels lands on
+        // different lanes (fold is a real hash, not a constant).
+        let lanes: std::collections::BTreeSet<u32> = (0..16u64).map(|t| c.route(0, 1, t)).collect();
+        assert!(lanes.len() > 1, "16 tags all hashed to one endpoint");
+    }
+
+    #[test]
+    fn endpoints_deliver_the_same_payloads_as_one_lane() {
+        // Same traffic, 1 vs 4 endpoints: identical payloads, identical
+        // matching order — endpoints change injection timing only.
+        let run = |endpoints: u32| -> Vec<Vec<f64>> {
+            let (mut m, mut w) = setup(3);
+            w.set_comm(comm(endpoints, 0, 0));
+            let mut handles = Vec::new();
+            for i in 0..6u64 {
+                let src = (i % 2) as usize;
+                let payload = vec![i as f64, (i * i) as f64];
+                w.isend(
+                    &mut m.ctx(src),
+                    src,
+                    2,
+                    i % 3,
+                    64 + i,
+                    Some(payload),
+                    SimTime::ZERO,
+                );
+                handles.push(w.irecv(2, src, i % 3));
+            }
+            for _ in 0..16 {
+                drain(&mut m, &mut w);
+                let now = m.now();
+                for r in 0..3 {
+                    w.progress(r, &mut m.ctx(r), now);
+                }
+                if w.quiescent() {
+                    break;
+                }
+            }
+            assert!(w.quiescent());
+            handles
+                .into_iter()
+                .map(|h| w.take_payload(h).unwrap())
+                .collect()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn crossover_overrides_the_machine_eager_limit() {
+        // Below the machine limit but above a tiny crossover: rendezvous.
+        let (mut m, mut w) = setup(2);
+        w.set_comm(CommConfig {
+            eager_crossover: Some(256),
+            ..CommConfig::default()
+        });
+        let s = w.isend(&mut m.ctx(0), 0, 1, 1, 257, None, SimTime::ZERO);
+        assert!(!w.send_done(s), "257 > crossover 256: rendezvous path");
+        // At the threshold: eager.
+        let s2 = w.isend(&mut m.ctx(0), 0, 1, 2, 256, None, SimTime::ZERO);
+        assert!(w.send_done(s2), "256 <= crossover 256: eager path");
+        // Above the machine limit but under a raised crossover: eager.
+        let (mut m3, mut w3) = setup(2);
+        let machine_limit = MachineConfig::sw26010().eager_limit_bytes as u64;
+        w3.set_comm(CommConfig {
+            eager_crossover: Some(machine_limit * 4),
+            ..CommConfig::default()
+        });
+        let s3 = w3.isend(
+            &mut m3.ctx(0),
+            0,
+            1,
+            1,
+            machine_limit * 2,
+            None,
+            SimTime::ZERO,
+        );
+        assert!(w3.send_done(s3), "crossover raised the eager boundary");
+    }
+
+    #[test]
+    fn aggregation_flushes_by_bytes_and_unpacks_in_push_order() {
+        let (mut m, mut w) = setup(2);
+        w.set_comm(comm(1, 48, 1_000_000_000));
+        let s1 = w.isend(&mut m.ctx(0), 0, 1, 5, 16, Some(vec![1.0]), SimTime::ZERO);
+        let s2 = w.isend(&mut m.ctx(0), 0, 1, 5, 16, Some(vec![2.0]), SimTime::ZERO);
+        assert!(w.send_done(s1) && w.send_done(s2), "staged sends complete");
+        assert_eq!(w.staged(0), 2, "both parked below the 48-byte threshold");
+        assert!(m.peek_time().is_none(), "nothing on the wire yet");
+        // Third push crosses the threshold: one coalesced packet.
+        w.isend(&mut m.ctx(0), 0, 1, 5, 16, Some(vec![3.0]), SimTime::ZERO);
+        assert_eq!(w.staged(0), 0, "flush-by-bytes drained the buffer");
+        let r1 = w.irecv(1, 0, 5);
+        let r2 = w.irecv(1, 0, 5);
+        let r3 = w.irecv(1, 0, 5);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m.ctx(1), t);
+        // Push order preserved through the coalesced packet.
+        assert_eq!(w.take_payload(r1), Some(vec![1.0]));
+        assert_eq!(w.take_payload(r2), Some(vec![2.0]));
+        assert_eq!(w.take_payload(r3), Some(vec![3.0]));
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn aggregation_flushes_by_deadline() {
+        let (mut m, mut w) = setup(2);
+        let deadline = 5_000_000u64;
+        w.set_comm(comm(1, 1 << 30, deadline));
+        w.isend(&mut m.ctx(0), 0, 1, 3, 8, Some(vec![7.5]), SimTime::ZERO);
+        assert_eq!(w.staged(0), 1);
+        assert_eq!(w.next_flush_at(0), Some(SimTime(deadline)));
+        // Progress before the deadline: still parked.
+        w.progress(0, &mut m.ctx(0), SimTime(deadline - 1));
+        assert_eq!(w.staged(0), 1);
+        // Progress at the deadline: flushed.
+        let acted = w.progress(0, &mut m.ctx(0), SimTime(deadline));
+        assert!(acted >= 1);
+        assert_eq!(w.staged(0), 0);
+        assert_eq!(w.next_flush_at(0), None);
+        let r = w.irecv(1, 0, 3);
+        drain(&mut m, &mut w);
+        let t = m.now();
+        w.progress(1, &mut m.ctx(1), t);
+        assert_eq!(w.take_payload(r), Some(vec![7.5]));
+        assert!(w.quiescent());
+    }
+
+    #[test]
+    fn progress_on_attributes_actions_to_the_given_lane() {
+        let (mut m, mut w) = setup(2);
+        w.set_recorder(Recorder::new(2));
+        w.isend(&mut m.ctx(0), 0, 1, 7, 8, Some(vec![1.0]), SimTime::ZERO);
+        let r = w.irecv(1, 0, 7);
+        drain(&mut m, &mut w);
+        let now = m.now();
+        w.progress_on(1, &mut m.ctx(1), now, Lane::Progress);
+        assert!(w.recv_done(r));
+        let snap = w.rec.snapshot();
+        assert!(
+            snap[1]
+                .iter()
+                .any(|e| e.lane == Lane::Progress && matches!(e.event, Event::MsgDelivered { .. })),
+            "delivery recorded on the progress lane"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn aggregation_rejects_fault_plans() {
+        let (_m, mut w) = setup(2);
+        w.set_comm(comm(1, 512, 1_000));
+        w.set_fault_plan(Arc::new(FaultPlan::new(FaultConfig::none(1))));
+    }
+
+    #[test]
+    fn handle_maps_stay_bounded_over_10k_messages() {
+        // Bugfix regression: compaction used to wait for quiescence and the
+        // reliable layer kept a retired-id set forever; both maps must now
+        // stay O(cadence) over a long campaign.
+        let (mut m, mut w, _plan) = reliable(2, FaultConfig::none(30));
+        let (mut max_msgs, mut max_recvs) = (0usize, 0usize);
+        for i in 0..10_000u64 {
+            w.isend(
+                &mut m.ctx(0),
+                0,
+                1,
+                1,
+                8,
+                Some(vec![i as f64]),
+                SimTime::ZERO,
+            );
+            let r = w.irecv(1, 0, 1);
+            // Payload over, consumed, ack back — without ever calling
+            // retire_recv: cadenced compaction must bound the recv map.
+            drain(&mut m, &mut w);
+            let now = m.now();
+            w.progress(1, &mut m.ctx(1), now);
+            drain(&mut m, &mut w);
+            assert_eq!(w.take_payload(r), Some(vec![i as f64]));
+            let (nm, nr) = w.handle_map_sizes();
+            max_msgs = max_msgs.max(nm);
+            max_recvs = max_recvs.max(nr);
+        }
+        assert!(w.quiescent());
+        assert!(max_msgs <= 4, "live messages bounded, got {max_msgs}");
+        assert!(
+            max_recvs <= COMPACT_CADENCE as usize + 2,
+            "recv handles bounded by the compaction cadence, got {max_recvs}"
+        );
+    }
+
+    #[test]
+    fn probe_then_retire_agrees_under_duplicate_suppression() {
+        // Bugfix regression: a suppressed duplicate must never make iprobe
+        // report a message that take_payload/retire_recv can't finish.
+        let cfg = FaultConfig {
+            msg_dup_ppm: 999_999,
+            ..FaultConfig::none(31)
+        };
+        let (mut m, mut w, plan) = reliable(2, cfg);
+        w.isend(&mut m.ctx(0), 0, 1, 5, 8, Some(vec![4.0]), SimTime::ZERO);
+        drain(&mut m, &mut w);
+        assert!(w.iprobe(1, 0, 5), "arrived (twice), unmatched");
+        // Probe-then-retire sequence: post, progress, take, retire.
+        let r = w.irecv(1, 0, 5);
+        let now = m.now();
+        w.progress(1, &mut m.ctx(1), now);
+        assert!(w.recv_done(r));
+        assert!(!w.iprobe(1, 0, 5), "claimed: probe must go quiet");
+        assert_eq!(w.take_payload(r), Some(vec![4.0]));
+        w.retire_recv(r);
+        // The ack (and any straggler duplicate) drains without protest.
+        settle(&mut m, &mut w, 2);
+        assert!(w.quiescent());
+        assert!(!w.iprobe(1, 0, 5), "retired: probe stays quiet");
+        assert_eq!(plan.stats.snapshot().duplicates_suppressed, 1);
+        // Late wire copies of the retired id are suppressed off the minted
+        // watermark, not a stored set.
+        w.on_wire(encode(0, PH_DATA));
+        assert_eq!(plan.stats.snapshot().duplicates_suppressed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown message")]
+    fn never_minted_wire_tokens_still_panic() {
+        let (_m, mut w, _plan) = reliable(2, FaultConfig::none(32));
+        w.on_wire(encode(99, PH_DATA));
     }
 }

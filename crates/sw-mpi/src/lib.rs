@@ -12,5 +12,6 @@ pub mod comm;
 
 pub use collective::{ModeledAllreduce, ModeledBarrier, ModeledBcast, ReduceOp};
 pub use comm::{
-    MpiWorld, Rank, RecvHandle, SendHandle, SharedMpi, Tag, APP_TAG_LIMIT, CTRL_BYTES, MAX_MSG_ID,
+    CommConfig, EndpointId, MpiWorld, Rank, RecvHandle, SendHandle, SharedMpi, Tag, APP_TAG_LIMIT,
+    CTRL_BYTES, MAX_MSG_ID,
 };

@@ -74,8 +74,13 @@ pub struct Cg {
     /// enforced by the athread layer, which may split the cluster into
     /// groups — paper §IX future work).
     cpe_busy_until: SimTime,
-    /// Injection serialization point of this CG's NIC.
-    nic_free_at: SimTime,
+    /// Injection serialization points of this CG's NIC, one per endpoint
+    /// lane (grown on demand; endpoint 0 is the classic single lane).
+    /// Distinct lanes inject concurrently — the multi-endpoint model of
+    /// the communication layer maps each simulated MPI endpoint onto its
+    /// own lane so a bulk transfer cannot head-of-line-block control
+    /// packets routed to a different endpoint.
+    nic_free_at: Vec<SimTime>,
     /// Accumulated CPE-cluster busy time.
     cpe_busy_total: SimDur,
 }
@@ -86,7 +91,7 @@ impl Cg {
             mpe: MpeClock::new(),
             counters: FlopCounters::new(),
             cpe_busy_until: SimTime::ZERO,
-            nic_free_at: SimTime::ZERO,
+            nic_free_at: Vec::new(),
             cpe_busy_total: SimDur::ZERO,
         }
     }
@@ -226,6 +231,11 @@ pub struct Machine {
     /// window-interaction edges the DPOR explorer builds its dependency
     /// graphs from. Drained with [`Machine::take_merge_log`].
     merge_log: Option<Vec<(CgId, CgId)>>,
+    /// When set, phase B of [`Machine::merge_outboxes`] (the per-destination
+    /// appends) runs on scoped threads. Off by default; the controller
+    /// enables it for multi-threaded PDES runs. Bit-identical to the serial
+    /// merge by construction — see `merge_outboxes`.
+    parallel_merge: bool,
 }
 
 impl Machine {
@@ -241,6 +251,7 @@ impl Machine {
             faults: None,
             noise: None,
             merge_log: None,
+            parallel_merge: false,
         }
     }
 
@@ -352,16 +363,24 @@ impl Machine {
     /// conservative contract promised no cross-CG message could land inside
     /// the window just drained. The violation is returned as a typed error
     /// (the static lookahead proof in `sw-analyze` rules it out pre-run);
-    /// the machine must not be advanced further after an `Err` — the
-    /// offending source's remaining deliveries are discarded mid-merge.
+    /// on `Err` **no** delivery has been applied and every outbox is left
+    /// intact, so checkers can inspect the offending state.
+    ///
+    /// Internally the merge is *bucket-then-append*: a serial phase A scans
+    /// outboxes in src-major/push order (validating the floor, feeding the
+    /// merge log, and bucketing each delivery by destination), then phase B
+    /// appends each destination's bucket to that shard's queue. Because
+    /// phase A fixes the per-destination order and phase B touches each
+    /// destination queue exactly once, the appends are independent across
+    /// destinations — [`Machine::set_parallel_merge`] runs them on scoped
+    /// threads with bit-identical results.
     pub fn merge_outboxes(&mut self, floor: Option<SimTime>) -> Result<(), LookaheadViolation> {
-        for src in 0..self.shards.len() {
-            if self.shards[src].outbox.is_empty() {
-                continue;
-            }
-            let outbox = std::mem::take(&mut self.shards[src].outbox);
-            for (at, dst, token) in outbox {
-                if let Some(end) = floor {
+        // Phase A (serial): validate all-or-nothing, log, and bucket in
+        // src-major/push order so every destination's append order is the
+        // documented deterministic one.
+        if let Some(end) = floor {
+            for (src, shard) in self.shards.iter().enumerate() {
+                for &(at, dst, token) in &shard.outbox {
                     if at < end {
                         return Err(LookaheadViolation {
                             src,
@@ -372,15 +391,61 @@ impl Machine {
                         });
                     }
                 }
+            }
+        }
+        let mut buckets: Vec<Vec<(SimTime, u64)>> = vec![Vec::new(); self.shards.len()];
+        let mut any = false;
+        for src in 0..self.shards.len() {
+            if self.shards[src].outbox.is_empty() {
+                continue;
+            }
+            any = true;
+            let outbox = std::mem::take(&mut self.shards[src].outbox);
+            for (at, dst, token) in outbox {
                 if let Some(log) = &mut self.merge_log {
                     log.push((src, dst));
                 }
-                self.shards[dst]
-                    .queue
-                    .schedule_at(at, MachineEvent::NetDeliver { dst, token });
+                buckets[dst].push((at, token));
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+        // Phase B: per-destination appends — disjoint mutable state, so the
+        // parallel path is a plain fan-out with no ordering decisions left.
+        if self.parallel_merge {
+            rayon::scope(|s| {
+                for (dst, (shard, bucket)) in self.shards.iter_mut().zip(buckets).enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    s.spawn(move || {
+                        for (at, token) in bucket {
+                            shard
+                                .queue
+                                .schedule_at(at, MachineEvent::NetDeliver { dst, token });
+                        }
+                    });
+                }
+            });
+        } else {
+            for (dst, (shard, bucket)) in self.shards.iter_mut().zip(buckets).enumerate() {
+                for (at, token) in bucket {
+                    shard
+                        .queue
+                        .schedule_at(at, MachineEvent::NetDeliver { dst, token });
+                }
             }
         }
         Ok(())
+    }
+
+    /// Run phase B of [`Machine::merge_outboxes`] (the per-destination
+    /// appends) on scoped threads. Off by default; bit-identical either
+    /// way because the serial phase A already fixed every destination's
+    /// append order.
+    pub fn set_parallel_merge(&mut self, on: bool) {
+        self.parallel_merge = on;
     }
 
     /// Start (or stop) logging the `(src, dst)` pair of every merged
@@ -671,6 +736,9 @@ impl MachineCtx<'_> {
     /// reaches `dst`'s queue at the next barrier merge — and its time is
     /// returned. Delivery can never precede `now + net_latency`, which is
     /// exactly the lookahead the PDES window protocol relies on.
+    ///
+    /// Sends on the default endpoint lane 0; multi-endpoint senders use
+    /// [`MachineCtx::net_send_ep`].
     pub fn net_send(
         &mut self,
         src: CgId,
@@ -679,14 +747,36 @@ impl MachineCtx<'_> {
         when: SimTime,
         token: u64,
     ) -> SimTime {
+        self.net_send_ep(src, dst, bytes, when, token, 0)
+    }
+
+    /// [`MachineCtx::net_send`] on a specific NIC endpoint lane.
+    ///
+    /// Each lane is its own injection serialization point (grown on
+    /// demand), so packets on different endpoints of one CG inject
+    /// concurrently; packets on the *same* endpoint still serialize in
+    /// send order. Wire time, latency, jitter, and the lookahead floor
+    /// (`now + net_latency`) are identical across lanes — endpoints widen
+    /// injection bandwidth, they never shorten a delivery.
+    pub fn net_send_ep(
+        &mut self,
+        src: CgId,
+        dst: CgId,
+        bytes: u64,
+        when: SimTime,
+        token: u64,
+        ep: u32,
+    ) -> SimTime {
         assert_eq!(src, self.rank, "shard ctx may only send from its own CG");
         assert!(dst < self.n_cgs, "bad destination CG {dst}");
-        let inject_start = when
-            .max(self.shard.cg.nic_free_at)
-            .max(self.shard.queue.now());
+        let lanes = &mut self.shard.cg.nic_free_at;
+        if lanes.len() <= ep as usize {
+            lanes.resize(ep as usize + 1, SimTime::ZERO);
+        }
+        let inject_start = when.max(lanes[ep as usize]).max(self.shard.queue.now());
         let inject_dur = SimDur::from_secs_f64(bytes as f64 / (self.cfg.net_bw_gbs * 1e9));
         let inject_end = inject_start + inject_dur;
-        self.shard.cg.nic_free_at = inject_end;
+        self.shard.cg.nic_free_at[ep as usize] = inject_end;
         // Rank-level NIC jitter: a jittered source pays constant extra
         // latency on every packet it injects (models a hot/slow node).
         let jitter = self
@@ -984,6 +1074,70 @@ mod tests {
         let d = ok.ctx(0).net_send(0, 1, 0, SimTime(0), 9);
         ok.merge_outboxes(Some(d)).unwrap();
         assert_eq!(ok.shard_peek(1), Some(d));
+    }
+
+    #[test]
+    fn endpoint_lanes_inject_concurrently_but_serialize_within_a_lane() {
+        let mut m = machine(2);
+        let bytes = 8_000_000_000; // 1 s of injection at 8 GB/s
+        let d0 = m.ctx(0).net_send_ep(0, 1, bytes, SimTime(0), 1, 0);
+        let d1 = m.ctx(0).net_send_ep(0, 1, bytes, SimTime(0), 2, 1);
+        assert_eq!(d0, d1, "distinct lanes of one NIC do not contend");
+        let d2 = m.ctx(0).net_send_ep(0, 1, bytes, SimTime(0), 3, 1);
+        assert_eq!(
+            d2.since(d1),
+            SimDur::from_secs_f64(1.0),
+            "same lane still serializes in send order"
+        );
+        // net_send is exactly lane 0.
+        let d3 = m.ctx(0).net_send(0, 1, bytes, SimTime(0), 4);
+        assert_eq!(d3.since(d0), SimDur::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn parallel_merge_is_bit_identical_to_the_serial_merge() {
+        // Same traffic through both merge modes: every destination queue
+        // must pop the identical (time, event) sequence, and the merge log
+        // must record the identical src-major edge order.
+        let traffic: &[(CgId, CgId, u64, u64)] = &[
+            (0, 1, 64, 1),
+            (0, 2, 8_000_000_000, 2),
+            (1, 2, 64, 3),
+            (2, 0, 128, 4),
+            (0, 1, 64, 5),
+            (3, 1, 256, 6),
+            (1, 0, 64, 7),
+        ];
+        let run = |parallel: bool| {
+            let mut m = machine(4);
+            m.set_parallel_merge(parallel);
+            m.set_merge_log(true);
+            for &(src, dst, bytes, token) in traffic {
+                m.ctx(src).net_send(src, dst, bytes, SimTime(0), token);
+            }
+            m.merge_outboxes(None).unwrap();
+            let log = m.take_merge_log();
+            let mut popped = Vec::new();
+            while let Some(ev) = m.pop() {
+                popped.push(ev);
+            }
+            (log, popped)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn merge_violation_applies_nothing() {
+        // All-or-nothing: a floor violation must leave every outbox intact
+        // and every destination queue untouched — including deliveries from
+        // sources *before* the offending one in merge order.
+        let mut m = machine(3);
+        let ok = m.ctx(0).net_send(0, 2, 0, SimTime(0), 1);
+        m.ctx(1).net_send(1, 2, 0, SimTime(0), 2);
+        let end = ok + SimDur(1);
+        assert!(m.merge_outboxes(Some(end)).is_err());
+        assert!(m.has_outbound(), "outboxes survive a refused merge");
+        assert_eq!(m.shard_peek(2), None, "no delivery was applied");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 /// Execution lane an event belongs to, within one rank (one core group).
 ///
 /// Perfetto track mapping: `Mpe` → tid 0, `Cpe(k)` → tid `1 + k`,
-/// `Wire` → tid [`Lane::WIRE_TID`].
+/// `Progress` → tid [`Lane::PROGRESS_TID`], `Wire` → tid
+/// [`Lane::WIRE_TID`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lane {
     /// The management processing element (the MPE scheduler thread).
@@ -18,11 +19,18 @@ pub enum Lane {
     /// One CPE kernel slot (0-based slot index, not a physical CPE id:
     /// a slot drives a whole 64-CPE spawn in this runtime's model).
     Cpe(u32),
+    /// The dedicated MPI progress lane (modeled comm thread): protocol
+    /// actions taken at wire-delivery time instead of inside an MPE
+    /// `progress` call. Only populated when the progress-lane machine
+    /// variant is enabled.
+    Progress,
     /// The synthetic "wire" track carrying in-flight network messages.
     Wire,
 }
 
 impl Lane {
+    /// Perfetto thread id reserved for the dedicated progress lane.
+    pub const PROGRESS_TID: u64 = 98;
     /// Perfetto thread id reserved for the wire track.
     pub const WIRE_TID: u64 = 99;
 
@@ -31,6 +39,7 @@ impl Lane {
         match self {
             Lane::Mpe => 0,
             Lane::Cpe(k) => 1 + u64::from(k),
+            Lane::Progress => Self::PROGRESS_TID,
             Lane::Wire => Self::WIRE_TID,
         }
     }
@@ -40,6 +49,7 @@ impl Lane {
         match self {
             Lane::Mpe => "MPE".into(),
             Lane::Cpe(k) => format!("CPE slot {k}"),
+            Lane::Progress => "progress".into(),
             Lane::Wire => "wire".into(),
         }
     }
@@ -149,6 +159,35 @@ pub enum Event {
         /// Protocol actions taken by this call (0 = no-op poll).
         actions: u64,
     },
+    /// An eager payload was parked in a per-(destination, endpoint)
+    /// aggregation staging buffer instead of going straight to the wire.
+    AggStaged {
+        /// Message id staged.
+        msg: u64,
+        /// Destination rank of the staging buffer.
+        peer: usize,
+        /// Endpoint the buffer (and eventually the coalesced packet) rides.
+        endpoint: u32,
+        /// Payload bytes added to the buffer.
+        bytes: u64,
+    },
+    /// A staging buffer was flushed as one coalesced wire packet.
+    AggFlushed {
+        /// Batch id of the coalesced packet (drawn from the sender's
+        /// message-id namespace).
+        batch: u64,
+        /// Destination rank.
+        peer: usize,
+        /// Endpoint the coalesced packet rides.
+        endpoint: u32,
+        /// Member messages coalesced into the packet.
+        msgs: u64,
+        /// Sum of member payload bytes (before the control-packet floor).
+        bytes: u64,
+        /// Flush trigger: `"bytes"` (threshold crossed at push) or
+        /// `"deadline"` (oldest member aged out in `progress`).
+        reason: &'static str,
+    },
     /// This rank contributed its local value to the timestep reduction.
     ReduceContribute {
         /// Timestep index.
@@ -231,6 +270,8 @@ impl Event {
             Event::RtsSent { .. } => "RtsSent",
             Event::CtsSent { .. } => "CtsSent",
             Event::ProgressCall { .. } => "ProgressCall",
+            Event::AggStaged { .. } => "AggStaged",
+            Event::AggFlushed { .. } => "AggFlushed",
             Event::ReduceContribute { .. } => "ReduceContribute",
             Event::ReduceDone { .. } => "ReduceDone",
             Event::Barrier { .. } => "Barrier",
@@ -269,8 +310,10 @@ mod tests {
         assert_eq!(Lane::Mpe.tid(), 0);
         assert_eq!(Lane::Cpe(0).tid(), 1);
         assert_eq!(Lane::Cpe(7).tid(), 8);
+        assert_eq!(Lane::Progress.tid(), 98);
         assert_eq!(Lane::Wire.tid(), 99);
         assert_eq!(Lane::Cpe(3).name(), "CPE slot 3");
+        assert_eq!(Lane::Progress.name(), "progress");
     }
 
     #[test]

@@ -227,6 +227,37 @@ pub fn export(ranks: &[Vec<EventRecord>]) -> String {
                         ));
                     }
                 }
+                Event::AggStaged {
+                    msg,
+                    peer,
+                    endpoint,
+                    bytes,
+                } => ev.push(instant(
+                    rank,
+                    tid,
+                    "agg.stage",
+                    r.at_ps,
+                    &format!(
+                        "\"msg\": {msg}, \"dst\": {peer}, \"ep\": {endpoint}, \"bytes\": {bytes}"
+                    ),
+                )),
+                Event::AggFlushed {
+                    batch,
+                    peer,
+                    endpoint,
+                    msgs,
+                    bytes,
+                    reason,
+                } => ev.push(instant(
+                    rank,
+                    tid,
+                    &format!("agg.flush.{reason}"),
+                    r.at_ps,
+                    &format!(
+                        "\"batch\": {batch}, \"dst\": {peer}, \"ep\": {endpoint}, \
+                         \"msgs\": {msgs}, \"bytes\": {bytes}"
+                    ),
+                )),
                 Event::ReduceContribute { step } => ev.push(instant(
                     rank,
                     tid,

@@ -189,6 +189,7 @@ struct RankState {
     pos: usize,
     mpe: VectorClock,
     cpe: BTreeMap<u64, VectorClock>,
+    prog: VectorClock,
     wire: VectorClock,
 }
 
@@ -218,6 +219,7 @@ pub fn trace_hb(snapshot: &[Vec<EventRecord>]) -> TraceHb {
             pos: 0,
             mpe: VectorClock::zero(nt),
             cpe: BTreeMap::new(),
+            prog: VectorClock::zero(nt),
             wire: VectorClock::zero(nt),
         })
         .collect();
@@ -289,6 +291,30 @@ pub fn trace_hb(snapshot: &[Vec<EventRecord>]) -> TraceHb {
                         st.wire.join(&st.mpe);
                         st.wire.tick(tid);
                         st.wire.clone()
+                    }
+                    (Event::MsgDelivered { msg, .. }, Lane::Progress) => {
+                        // Dedicated-progress-lane delivery: the message edge
+                        // lands on the progress thread, and the completion
+                        // joins into the MPE (the model makes it visible to
+                        // the host from this point on — the next recv poll
+                        // observes it).
+                        if let Some((src, pvc)) = posted.get(msg) {
+                            st.prog.join(pvc);
+                            msg_edges.push((*msg, *src, r));
+                        } else {
+                            errors.push(format!(
+                                "rank {r}: MsgDelivered(msg {msg}) with no recorded MsgPosted"
+                            ));
+                        }
+                        st.prog.tick(tid);
+                        st.mpe.join(&st.prog);
+                        st.prog.clone()
+                    }
+                    (_, Lane::Progress) => {
+                        // Other progress-lane protocol actions: program
+                        // order on the progress thread only.
+                        st.prog.tick(tid);
+                        st.prog.clone()
                     }
                     (Event::MsgPosted { msg, peer, .. }, _) => {
                         st.mpe.tick(tid);

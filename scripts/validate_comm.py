@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate the `repro comm` output in a results directory.
+
+Checks, failing loudly on any violation:
+
+* COMM.json is well-formed JSON with the full sweep grid present
+  (every endpoint x aggregation x crossover cell);
+* byte identity: every cell's functional run reproduced the
+  single-endpoint, no-aggregation baseline warehouse bit-for-bit
+  (bit_identical on every cell, and the all_identical rollup);
+* overlap: every instrumented run reconciled with its RunReport, the
+  async baseline beats the sync baseline, and the canonical
+  aggregated configuration's overlap efficiency (async_agg_overlap)
+  is at least 0.800;
+* aggregation engaged: at least one aggregated cell actually staged
+  and flushed coalesced packets — a sweep whose aggregation path
+  never ran is vacuous;
+* proofs: every cell's lookahead proof over its (coalesced) channel
+  models is safe, with a non-vacuous channel count;
+* the top-level ok flag agrees with all of the above.
+
+Usage: validate_comm.py <results-dir>
+"""
+
+import json
+import os
+import sys
+
+MIN_ASYNC_AGG_OVERLAP = 0.800
+
+
+def fail(msg: str) -> None:
+    print(f"validate_comm: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(results_dir: str) -> None:
+    path = os.path.join(results_dir, "COMM.json")
+    if not os.path.exists(path):
+        fail(f"{path} not found (run `repro comm` first)")
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in ("cells", "sync_overlap", "async_overlap",
+                "async_agg_overlap", "all_identical", "all_safe", "ok"):
+        if key not in doc:
+            fail(f"COMM.json: missing top-level key {key!r}")
+
+    cells = doc["cells"]
+    if not cells:
+        fail("no swept cells")
+    grid = {(c.get("endpoints"), c.get("agg_bytes"), c.get("crossover"))
+            for c in cells}
+    if len(grid) != len(cells):
+        fail("duplicate grid cells in the sweep")
+    endpoints = {c["endpoints"] for c in cells}
+    aggs = {c["agg_bytes"] for c in cells}
+    crossovers = {c["crossover"] for c in cells}
+    if len(endpoints) < 2 or len(aggs) < 2 or len(crossovers) < 2:
+        fail(f"sweep too narrow: endpoints {sorted(endpoints)}, "
+             f"agg_bytes {sorted(aggs)}, crossovers {crossovers}")
+
+    # Channel counts of the aggregation-off cells, keyed by the other two
+    # axes: an aggregated cell with *fewer* proved channels than its
+    # aggregation-off sibling coalesced eager sends, so its model run must
+    # have staged something. (A small crossover can push every payload to
+    # rendezvous, in which case zero staging is correct — and the channel
+    # counts match.)
+    no_agg_channels = {(c["endpoints"], c.get("crossover")): c["channels"]
+                       for c in cells if c.get("agg_bytes") == 0}
+
+    flushed_somewhere = False
+    for c in cells:
+        label = (f"ep={c.get('endpoints')} agg={c.get('agg_bytes')} "
+                 f"xo={c.get('crossover')}")
+        for key in ("endpoints", "agg_bytes", "agg_deadline_ps",
+                    "bit_identical", "overlap_efficiency", "reconciled",
+                    "agg_staged", "agg_flushes", "channels",
+                    "min_latency_ps", "proof_safe"):
+            if key not in c:
+                fail(f"cell {label}: missing {key!r}")
+        if not c["bit_identical"]:
+            fail(f"cell {label}: warehouse diverged from the "
+                 "single-endpoint baseline")
+        if not c["reconciled"]:
+            fail(f"cell {label}: phase pass did not reconcile with the "
+                 "RunReport")
+        if not c["proof_safe"]:
+            fail(f"cell {label}: lookahead proof unsafe over the coalesced "
+                 "channels")
+        if c["channels"] == 0:
+            fail(f"cell {label}: proved zero channels — vacuous")
+        if not 0.0 <= c["overlap_efficiency"] <= 1.0:
+            fail(f"cell {label}: overlap {c['overlap_efficiency']} outside "
+                 "[0, 1]")
+        sibling = no_agg_channels.get((c["endpoints"], c.get("crossover")))
+        coalesced = sibling is not None and c["channels"] < sibling
+        if c["agg_bytes"] > 0 and coalesced and c["agg_staged"] == 0:
+            fail(f"cell {label}: aggregation coalesced channels but nothing "
+                 "was staged")
+        if c["agg_flushes"] > c["agg_staged"]:
+            fail(f"cell {label}: more flushes ({c['agg_flushes']}) than "
+                 f"staged messages ({c['agg_staged']})")
+        if c["agg_flushes"] > 0:
+            flushed_somewhere = True
+    if not flushed_somewhere:
+        fail("no cell ever flushed a coalesced packet — the aggregation "
+             "path never ran")
+    if not doc["all_identical"]:
+        fail("all_identical is false")
+    if not doc["all_safe"]:
+        fail("all_safe is false")
+
+    if doc["async_overlap"] <= doc["sync_overlap"]:
+        fail(f"async overlap {doc['async_overlap']} does not beat sync "
+             f"{doc['sync_overlap']}")
+    if doc["async_agg_overlap"] < MIN_ASYNC_AGG_OVERLAP:
+        fail(f"canonical aggregated overlap {doc['async_agg_overlap']} "
+             f"below the {MIN_ASYNC_AGG_OVERLAP} bar")
+
+    if not doc["ok"]:
+        fail("sweep reported ok=false")
+
+    print(
+        f"validate_comm: OK: {len(cells)} cells byte-identical and proved "
+        f"safe; overlap sync {doc['sync_overlap']:.3f} -> async "
+        f"{doc['async_overlap']:.3f} -> async+agg "
+        f"{doc['async_agg_overlap']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
